@@ -1,0 +1,61 @@
+// Ablation: physical placement and Equation 1's term C.
+//
+// "Careful placement of the p's to the P's can help in reducing the
+// overall runtime" (Sec. 2).  This bench binds the JPEG pipeline to 8
+// tiles, places it on a 4x4 mesh three ways (snake / row-major /
+// deterministic scatter), evaluates the routed copy cost per block, and
+// shows what the greedy swap improver recovers from the bad placements.
+#include <cstdio>
+
+#include "apps/jpeg/process_table.hpp"
+#include "common/table.hpp"
+#include "mapping/placement.hpp"
+#include "mapping/rebalance.hpp"
+
+int main() {
+  using namespace cgra;
+  using mapping::CostParams;
+  using mapping::PlacementStrategy;
+
+  const auto net = jpeg::jpeg_split_pipeline();
+  const auto binding = mapping::rebalance(
+      net, 8, mapping::RebalanceAlgorithm::kTwo, CostParams{});
+  std::printf("Ablation — placement (term C), JPEG on 8 tiles of a 4x4 "
+              "mesh\nBinding: %s\n\n",
+              binding.describe(net).c_str());
+
+  const interconnect::CopyCostModel copy{5 * kCycleNs, 100.0};
+  TextTable table({"placement", "non-neighbor edges", "extra hops",
+                   "copy ns/block", "II(us)", "img/s (200x200)"});
+  for (const auto strategy :
+       {PlacementStrategy::kSnake, PlacementStrategy::kRowMajor,
+        PlacementStrategy::kScatter}) {
+    const auto p = mapping::place(binding, 4, 4, strategy);
+    const auto pe = mapping::evaluate_placement(net, binding, p, copy);
+    const auto eval =
+        mapping::evaluate_with_placement(net, binding, p, CostParams{}, copy);
+    table.add_row({mapping::placement_strategy_name(strategy),
+                   TextTable::integer(pe.non_neighbor_edges),
+                   TextTable::integer(pe.total_hops),
+                   TextTable::num(pe.copy_ns_per_item, 0),
+                   TextTable::num(eval.ii_ns / 1000.0, 2),
+                   TextTable::num(
+                       eval.items_per_sec / jpeg::kPaperImageBlocks, 2)});
+
+    // Greedy improvement from this starting point.
+    const auto improved = mapping::improve_placement(net, binding, p, copy);
+    const auto ipe = mapping::evaluate_placement(net, binding, improved, copy);
+    table.add_row({std::string("  +local search"),
+                   TextTable::integer(ipe.non_neighbor_edges),
+                   TextTable::integer(ipe.total_hops),
+                   TextTable::num(ipe.copy_ns_per_item, 0), "", ""});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Adjacent (1-hop) edges ride the free semi-systolic link; every extra\n"
+      "hop pays a routed cp process (5 instructions/word) plus a link\n"
+      "reconfiguration.  Replicated groups charge their worst replica, so\n"
+      "even snake order keeps a residual cost once the DCT fans out; the\n"
+      "greedy swap improver converges all starts to the same optimum here.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Regenerates Figures 10 and 11: 1024-point FFT throughput versus link
+// reconfiguration cost L, for 1/2/5/10-column designs.
+//
+// Process times are measured on the cycle simulator and fed into the
+// tau-equation model (Sec. 3.2).  Figure 10 sweeps L in [0, 5000] ns;
+// Figure 11 is the same data restricted to [0, 4000] ns where the
+// crossovers live, so one table serves both.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "dse/fft_perf_model.hpp"
+
+int main() {
+  using namespace cgra;
+  const auto g = fft::make_geometry(1024);
+  std::printf("Measuring kernel runtimes on the simulator...\n");
+  const auto times = dse::measure_process_times(g);
+
+  std::printf(
+      "Figure 10/11 — #1024-point R2FFTs per second vs link cost L\n"
+      "(paper anchors at L=0: one col ~12000, ten cols ~45000; PC ~1000)\n\n");
+
+  TextTable table({"L(ns)", "one col", "two cols", "five cols", "10 cols"});
+  for (int link = 0; link <= 5000; link += 250) {
+    std::vector<std::string> row = {TextTable::integer(link)};
+    for (const int cols : {1, 2, 5, 10}) {
+      const auto cost = dse::evaluate_fft_design(
+          g, times, cols, static_cast<Nanoseconds>(link));
+      row.push_back(TextTable::num(cost.throughput_per_sec(), 0));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Crossover report: first L at which each wider design stops beating the
+  // next narrower one (Fig. 11's "interesting part").
+  const int col_opts[4] = {1, 2, 5, 10};
+  for (int i = 3; i > 0; --i) {
+    const int wide = col_opts[i];
+    const int narrow = col_opts[i - 1];
+    int crossover = -1;
+    for (int link = 0; link <= 8000; link += 10) {
+      const double tw = dse::evaluate_fft_design(g, times, wide, link)
+                            .throughput_per_sec();
+      const double tn = dse::evaluate_fft_design(g, times, narrow, link)
+                            .throughput_per_sec();
+      if (tw < tn) {
+        crossover = link;
+        break;
+      }
+    }
+    if (crossover >= 0) {
+      std::printf("%2d cols fall below %d cols at L ~ %d ns\n", wide, narrow,
+                  crossover);
+    } else {
+      std::printf("%2d cols never fall below %d cols for L <= 8000 ns\n",
+                  wide, narrow);
+    }
+  }
+  std::printf(
+      "\nPaper: beyond ~700 ns extra columns stop helping; beyond ~1100 ns\n"
+      "they hurt.  The crossovers above must land in the same few-hundred-\n"
+      "to-few-thousand-ns decade.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates Figure 12: throughput versus column count, one curve per
+// link-reconfiguration cost in {0, 100, ..., 1500} ns.
+//
+// The paper's reading: for small L more columns help; near L ~ 700 ns the
+// benefit flattens; above ~1100 ns adding columns reduces throughput.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "dse/fft_perf_model.hpp"
+
+int main() {
+  using namespace cgra;
+  const auto g = fft::make_geometry(1024);
+  std::printf("Measuring kernel runtimes on the simulator...\n");
+  const auto times = dse::measure_process_times(g);
+
+  std::printf("Figure 12 — throughput vs #columns for several link costs\n\n");
+
+  const auto cols_opts = dse::usable_column_counts(g);
+  std::vector<std::string> header = {"cost(ns)"};
+  for (const int c : cols_opts) header.push_back(std::to_string(c) + " col");
+  TextTable table(header);
+
+  for (int cost = 0; cost <= 1500; cost += 100) {
+    std::vector<std::string> row = {TextTable::integer(cost)};
+    for (const int cols : cols_opts) {
+      const auto eval = dse::evaluate_fft_design(
+          g, times, cols, static_cast<Nanoseconds>(cost));
+      row.push_back(TextTable::num(eval.throughput_per_sec(), 0));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Shape summary: best column count per cost level.
+  std::printf("Best design per link cost:\n");
+  for (int cost = 0; cost <= 1500; cost += 100) {
+    int best_cols = 0;
+    double best = -1.0;
+    for (const int cols : cols_opts) {
+      const double t = dse::evaluate_fft_design(g, times, cols, cost)
+                           .throughput_per_sec();
+      if (t > best) {
+        best = t;
+        best_cols = cols;
+      }
+    }
+    std::printf("  L=%4d ns -> %2d columns (%.0f FFT/s)\n", cost, best_cols,
+                best);
+  }
+  return 0;
+}

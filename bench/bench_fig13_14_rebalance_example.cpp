@@ -1,0 +1,75 @@
+// Regenerates Figures 13 and 14: the paper's worked rebalancing example.
+//
+// Figure 13 walks reBalanceOne from one to five tiles over a synthetic
+// five-process pipeline (3200 ns total; the heaviest split first);
+// Figure 14 then shows reBalanceTwo and reBalanceOPT redistributing the
+// set around the heaviest tile, cutting the makespan from 1400 ns to
+// 1200 ns and below.  We reconstruct the process runtimes from the
+// figure's annotations and print each step's allocation.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "mapping/rebalance.hpp"
+
+namespace {
+
+cgra::procnet::ProcessNetwork fig13_network() {
+  using cgra::procnet::Process;
+  // Runtimes reconstructed from Figure 13's step annotations (in ns at
+  // 2.5 ns per cycle): p1 1100, p2 800, p3 500, p4 900, p5 900 — one tile
+  // holds all five at 4200 ns and the splits produce the figure's
+  // 1100/800/1400/900 pattern.
+  std::vector<Process> procs;
+  const struct {
+    const char* name;
+    int ns;
+  } spec[5] = {{"p1", 1100}, {"p2", 800}, {"p3", 500}, {"p4", 900},
+               {"p5", 900}};
+  for (const auto& s : spec) {
+    Process p;
+    p.name = s.name;
+    p.runtime_cycles = s.ns * 2 / 5;  // ns -> cycles at 2.5 ns
+    p.insts = 20;
+    procs.push_back(p);
+  }
+  return cgra::procnet::ProcessNetwork::pipeline(std::move(procs), 16);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cgra;
+  using mapping::CostParams;
+  using mapping::RebalanceAlgorithm;
+
+  const auto net = fig13_network();
+  const CostParams params{};
+
+  std::printf("Figure 13 — reBalanceOne, one tile at a time\n\n");
+  for (int tiles = 1; tiles <= 5; ++tiles) {
+    const auto b = mapping::rebalance(net, tiles, RebalanceAlgorithm::kOne,
+                                      params);
+    const auto eval = mapping::evaluate(net, b, params);
+    std::printf("  %d tile(s): %-55s makespan %.0f ns\n", tiles,
+                b.describe(net).c_str(), eval.ii_ns);
+  }
+
+  std::printf(
+      "\nFigure 14 — refining the allocation around the heaviest tile\n"
+      "(at 4 tiles, where the greedy split leaves an imbalance)\n\n");
+  TextTable table({"algorithm", "binding", "makespan(ns)"});
+  for (const auto algo : {RebalanceAlgorithm::kOne, RebalanceAlgorithm::kTwo,
+                          RebalanceAlgorithm::kOpt}) {
+    const auto b = mapping::rebalance(net, 4, algo, params);
+    const auto eval = mapping::evaluate(net, b, params);
+    table.add_row({mapping::rebalance_name(algo), b.describe(net),
+                   TextTable::num(eval.ii_ns, 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper: reBalanceOne leaves 1400 ns; redistributing the surrounding\n"
+      "set (reBalanceTwo) reaches 1200 ns and reBalanceOPT the set optimum.\n"
+      "The refined algorithms must dominate the greedy one (asserted as a\n"
+      "property by the test suite).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Regenerates Figure 8: twiddle-factor classes per stage and the reload
+// reduction from the Red/Green/Yellow/Blue scheme.
+//
+// For the paper's illustration geometry (64-point, M=8) the per-(row,
+// stage) classes are printed as a grid; for the evaluation geometry
+// (1024-point, M=128) only the aggregate counts are shown, next to the
+// paper's closed-form reduction claim:
+//   naive  N/2 * log2 N  ->  optimised ~ (log2 N - log2 M) * N/2 words.
+#include <cstdio>
+#include <map>
+
+#include "apps/fft/twiddle.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace cgra;
+  using fft::TwiddleClass;
+
+  // ---- Figure 8 grid: 64-point, M = 8 ----
+  {
+    const auto g = fft::make_geometry(64, 8);
+    const auto report = fft::analyze_twiddles(g, 1);  // single column
+    std::printf("Figure 8 — twiddle classes, 64-point FFT, M=8, one column\n");
+    std::printf("(steady state; R=red/preloaded, G=green/generated, "
+                "B=blue/resident, Y=yellow/ICAP reload)\n\n");
+    std::map<std::pair<int, int>, const fft::TwiddleSlot*> grid;
+    for (const auto& slot : report.slots) {
+      grid[{slot.row, slot.stage}] = &slot;
+    }
+    TextTable table({"row", "s0", "s1", "s2", "s3", "s4", "s5"});
+    for (int r = 0; r < g.rows; ++r) {
+      std::vector<std::string> row = {TextTable::integer(r)};
+      for (int s = 0; s < g.stages; ++s) {
+        const auto* slot = grid.at({r, s});
+        std::string cell(1, "RBGY"[static_cast<int>(slot->cls)]);
+        cell += "(" + std::to_string(slot->words) + ")";
+        row.push_back(cell);
+      }
+      table.add_row(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  // ---- Aggregates for the evaluation geometry ----
+  {
+    const auto g = fft::make_geometry(1024);
+    std::printf(
+        "1024-point, M=128 — reload accounting per transform (words):\n\n");
+    TextTable table({"cols", "naive", "empirical yellow", "green generated",
+                     "paper rule (events x N/2)"});
+    for (const int cols : {1, 2, 5, 10}) {
+      const auto report = fft::analyze_twiddles(g, cols);
+      table.add_row({TextTable::integer(cols),
+                     TextTable::integer(report.naive_words),
+                     TextTable::integer(report.reload_words),
+                     TextTable::integer(report.generated_words),
+                     TextTable::integer(fft::paper_reload_words(g, cols))});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper claim: reload (log2N - log2M) x N/2 = %lld words instead of\n"
+        "N/2 x log2N = %lld — a %.1fx reduction.  Our empirical classifier\n"
+        "lands in the same decade at every column count and reaches zero for\n"
+        "the fully spatial design, but is not monotone in between (each\n"
+        "column pays its own wrap-around reload); see EXPERIMENTS.md.\n",
+        fft::paper_reload_estimate(g),
+        static_cast<long long>(g.n) / 2 * g.stages,
+        static_cast<double>(g.n) / 2 * g.stages /
+            static_cast<double>(fft::paper_reload_estimate(g)));
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// The paper's PC baseline: "throughput in a high end PC computer is
+// roughly 1000 [1024-point FFTs per second]" (2013 hardware).
+//
+// google-benchmark measures our portable host radix-2 FFT; the final
+// benchmark prints the modelled fabric throughput next to it so the
+// comparison the paper makes (fabric ~45x a PC) can be re-examined on
+// today's hardware.
+#include <benchmark/benchmark.h>
+
+#include "apps/fft/reference.hpp"
+#include "common/prng.hpp"
+#include "dse/fft_perf_model.hpp"
+
+namespace {
+
+std::vector<cgra::fft::Cplx> random_signal(std::size_t n) {
+  cgra::SplitMix64 rng(0xABCD);
+  std::vector<cgra::fft::Cplx> x(n);
+  for (auto& v : x) v = {rng.next_double(-1, 1), rng.next_double(-1, 1)};
+  return x;
+}
+
+void BM_HostFft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_signal(n);
+  for (auto _ : state) {
+    auto x = base;
+    cgra::fft::fft_dif(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["FFTs/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HostFft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_HostFftPlanned(benchmark::State& state) {
+  // Precomputed twiddles: the fair "optimised PC implementation" baseline.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const cgra::fft::FftPlan plan(n);
+  const auto base = random_signal(n);
+  for (auto _ : state) {
+    auto x = base;
+    plan.transform_dif(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["FFTs/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HostFftPlanned)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_HostDftNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_signal(n);
+  for (auto _ : state) {
+    auto y = cgra::fft::dft_naive(base);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_HostDftNaive)->Arg(256);
+
+void BM_ModeledFabricThroughput(benchmark::State& state) {
+  // Not a wall-clock benchmark: evaluates the tau model once per iteration
+  // and reports the modelled fabric throughput as a counter, so the bench
+  // output juxtaposes PC vs fabric like the paper's Sec. 3.3 remark.
+  const auto g = cgra::fft::make_geometry(1024);
+  const auto times = cgra::dse::measure_process_times(g);
+  double modeled = 0.0;
+  for (auto _ : state) {
+    const auto cost = cgra::dse::evaluate_fft_design(g, times, 10, 0.0);
+    modeled = cost.throughput_per_sec();
+    benchmark::DoNotOptimize(modeled);
+  }
+  state.counters["modeled_fabric_FFTs/s"] = modeled;
+}
+BENCHMARK(BM_ModeledFabricThroughput);
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Microbenchmarks of the simulator itself: tile step rate, assembler
+// throughput, end-to-end fabric FFT simulation speed, JPEG block pipeline.
+// These quantify the cost of the methodology (how many simulated cycles
+// per host second) rather than any paper result.
+#include <benchmark/benchmark.h>
+
+#include "apps/fft/fabric_fft.hpp"
+#include "apps/fft/programs.hpp"
+#include "apps/jpeg/fabric_jpeg.hpp"
+#include "common/prng.hpp"
+#include "fabric/fabric.hpp"
+#include "isa/assembler.hpp"
+
+namespace {
+
+void BM_TileStepRate(benchmark::State& state) {
+  using namespace cgra;
+  const auto lay = fft::make_layout(128);
+  fabric::Fabric fab(1, 1);
+  fab.tile(0).load_program(fft::must_assemble(fft::bf_pair_source(lay)));
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    fab.tile(0).restart();
+    const auto run = fab.run(1'000'000);
+    cycles += run.cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TileStepRate);
+
+void BM_FabricStepRate64Tiles(benchmark::State& state) {
+  using namespace cgra;
+  const auto lay = fft::make_layout(128);
+  fabric::Fabric fab(8, 8);
+  const auto prog = fft::must_assemble(fft::bf_pair_source(lay));
+  for (int t = 0; t < fab.tile_count(); ++t) {
+    fab.tile(t).load_program(prog);
+  }
+  std::int64_t tile_cycles = 0;
+  for (auto _ : state) {
+    for (int t = 0; t < fab.tile_count(); ++t) fab.tile(t).restart();
+    const auto run = fab.run(1'000'000);
+    tile_cycles += run.cycles * fab.tile_count();
+  }
+  state.counters["tile_cycles/s"] = benchmark::Counter(
+      static_cast<double>(tile_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FabricStepRate64Tiles);
+
+void BM_Assembler(benchmark::State& state) {
+  using namespace cgra;
+  const auto lay = fft::make_layout(128);
+  const std::string src = fft::bf_local_source(lay, 16);
+  for (auto _ : state) {
+    auto result = isa::assemble(src);
+    benchmark::DoNotOptimize(result.program.code.data());
+  }
+}
+BENCHMARK(BM_Assembler);
+
+void BM_FabricFftEndToEnd(benchmark::State& state) {
+  using namespace cgra;
+  const int n = static_cast<int>(state.range(0));
+  const auto g = fft::make_geometry(n, std::min(n, 16));
+  SplitMix64 rng(7);
+  std::vector<fft::Cplx> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = {rng.next_double(-1, 1), rng.next_double(-1, 1)};
+  for (auto _ : state) {
+    auto result = fft::run_fabric_fft(g, x);
+    if (!result.ok) state.SkipWithError("fabric FFT failed");
+    benchmark::DoNotOptimize(result.output.data());
+  }
+}
+BENCHMARK(BM_FabricFftEndToEnd)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_JpegBlockOnFabric(benchmark::State& state) {
+  using namespace cgra;
+  const auto quant = jpeg::scaled_quant(50);
+  jpeg::IntBlock raw{};
+  SplitMix64 rng(9);
+  for (auto& v : raw) v = static_cast<int>(rng.next_below(256));
+  for (auto _ : state) {
+    auto result = jpeg::encode_block_on_fabric(raw, quant);
+    if (!result.ok) state.SkipWithError("fabric block failed");
+    benchmark::DoNotOptimize(result.zigzagged.data());
+  }
+}
+BENCHMARK(BM_JpegBlockOnFabric);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Regenerates Table 1: 1024-point radix-2 FFT process runtimes.
+//
+// Each BF stage kernel (and the vcp/hcp copy processes) runs standalone on
+// the cycle simulator; the measured runtime sits next to the paper's
+// published number.  Absolute values differ (our ISA retires a butterfly in
+// a different number of cycles than reMORPH's), but the shape holds: early
+// pair-kernel stages share one runtime, deeper stages pay growing loop
+// overhead, and hcp ~ 2x vcp.
+#include <cstdio>
+
+#include "apps/fft/fabric_fft.hpp"
+#include "apps/fft/programs.hpp"
+#include "common/table.hpp"
+#include "common/timing.hpp"
+
+int main() {
+  using namespace cgra;
+  const auto g = fft::make_geometry(1024);
+
+  std::printf("Table 1 — 1024-point Radix2 FFT processes (N=%d, M=%d)\n\n",
+              g.n, g.m);
+
+  const double paper_bf_ns[10] = {2672, 2672, 2672, 4112, 3434,
+                                  3134, 3062, 3182, 3554, 4364};
+  const isa::Program bf_prog =
+      fft::must_assemble(fft::bf_pair_source(fft::make_layout(g.m)));
+
+  TextTable table({"process", "paper runtime(ns)", "measured runtime(ns)",
+                   "twiddles", "insts", "dmem words"});
+  for (int s = 0; s < g.stages; ++s) {
+    const auto cycles = fft::measure_bf_cycles(g, s);
+    const int dmem = 3 * g.m + 41;  // paper's 3M+41 budget
+    table.add_row({"BF" + std::to_string(s),
+                   TextTable::num(paper_bf_ns[s], 0),
+                   TextTable::num(cycles_to_ns(cycles), 0),
+                   TextTable::integer(g.twiddles_for_stage(s)),
+                   TextTable::integer(bf_prog.inst_words()),
+                   TextTable::integer(dmem)});
+  }
+  {
+    const auto vcp = fft::measure_copy_cycles(g.m, g.m / 2);
+    const auto hcp = fft::measure_copy_cycles(g.m, g.m);
+    table.add_row({"vcp", "789", TextTable::num(cycles_to_ns(vcp), 0), "0",
+                   "9", "11"});
+    table.add_row({"hcp", "1557", TextTable::num(cycles_to_ns(hcp), 0), "0",
+                   "9", "11"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Notes: measured values come from executing the generated kernels on\n"
+      "the cycle-accurate simulator at 2.5 ns/instruction.  The early stages\n"
+      "(BF0..BF%d) use the constant-geometry pair kernel and therefore share\n"
+      "one runtime; deeper stages use the stride kernel whose group overhead\n"
+      "grows, reproducing the paper's upward trend.\n",
+      g.cross_stages() - 1);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Regenerates Table 3: JPEG encoder process annotations.
+//
+// Left: the paper's published annotations (consumed by the Table-4/5 and
+// Figure-16/17 experiments).  Right: the cycle counts of our own fabric
+// kernels where a stage runs as real tile assembly — the cross-check that
+// the methodology (annotate, then map) works on measured numbers too.
+#include <cstdio>
+
+#include "apps/jpeg/fabric_jpeg.hpp"
+#include "apps/jpeg/process_table.hpp"
+#include "common/prng.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace cgra;
+  const auto procs = jpeg::paper_table3_processes();
+  const auto measured = jpeg::measure_jpeg_kernels();
+
+  std::printf("Table 3 — JPEG process annotations\n\n");
+  TextTable table({"process", "insts", "data1", "data2", "data3",
+                   "paper runtime(cycles)", "measured(cycles)"});
+  // Entropy coding of a representative block on the fabric (the paper
+  // splits it into hman1..5; our table-driven form fits one tile).
+  std::int64_t hman_cycles = 0;
+  {
+    SplitMix64 rng(0x7AB1E3);
+    jpeg::IntBlock raw{};
+    for (auto& px : raw) px = static_cast<int>(rng.next_below(256));
+    const auto zz = jpeg::encode_block_stages(raw, jpeg::scaled_quant(50));
+    const auto entropy = jpeg::encode_entropy_on_fabric(zz, 0);
+    if (entropy.ok) hman_cycles = entropy.cycles;
+  }
+  auto measured_for = [&](const std::string& name) -> std::string {
+    if (name == "shift") return std::to_string(measured.shift);
+    if (name == "DCT") return std::to_string(measured.dct);
+    if (name == "Quantize") return std::to_string(measured.quantize);
+    if (name == "Zigzag") return std::to_string(measured.zigzag);
+    if (name == "Hman1") return std::to_string(hman_cycles) + " (all 5)";
+    return "-";  // helper process without a standalone kernel
+  };
+  for (const auto& p : procs) {
+    table.add_row({p.name, TextTable::integer(p.insts),
+                   TextTable::integer(p.data1), TextTable::integer(p.data2),
+                   TextTable::integer(p.data3),
+                   TextTable::integer(p.runtime_cycles),
+                   measured_for(p.name)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Measured cycles execute the generated tile assembly on the cycle\n"
+      "simulator.  The paper's DCT (133324 cycles) is float-heavy; our Q12\n"
+      "matrix-multiply DCT is leaner in absolute cycles but remains the\n"
+      "dominant process by an order of magnitude, which is the property the\n"
+      "mapping experiments depend on.  Entropy coding runs as a single\n"
+      "table-driven tile program (the Hman1 row shows its total block cost;\n"
+      "the paper needed five tiles for its larger code footprint).  The\n"
+      "mapping experiments keep the paper's per-process annotations.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Regenerates Table 4: the five manual mappings of the JPEG encoder
+// (1, 2, 10, 13 and 5 tiles) with per-image time, average utilisation,
+// images per second and the reconfiguration / reLink flags.
+//
+// Workload: the paper's 200x200-pixel image = 625 8x8 blocks.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "apps/jpeg/process_table.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace cgra;
+  using mapping::CostParams;
+  using mapping::evaluate;
+
+  std::printf("Table 4 — JPEG encoder manual mappings (200x200 image, %d "
+              "blocks)\n\n",
+              jpeg::kPaperImageBlocks);
+
+  struct PaperRow {
+    double time_us;
+    double util;
+    double images;
+    const char* reconfig;
+    const char* relink;
+  };
+  const std::map<std::string, PaperRow> paper = {
+      {"Impl1", {419, 1.00, 2.98, "yes", "no"}},
+      {"Impl2", {334, 0.62, 3.74, "yes", "no"}},
+      {"Impl3", {334, 0.12, 3.74, "no", "no"}},
+      {"Impl4", {84, 0.37, 14.88, "no", "yes"}},
+      {"Impl5", {86, 0.98, 14.43, "yes", "yes"}},
+  };
+
+  TextTable table({"impl", "tiles", "binding", "II(us)", "paper II(us)",
+                   "util", "paper util", "images/s", "paper img/s",
+                   "reconfig", "reLink"});
+  for (const auto& m : jpeg::table4_manual_mappings()) {
+    const auto eval = evaluate(m.network, m.binding, CostParams{});
+    const double images_per_sec =
+        eval.items_per_sec / jpeg::kPaperImageBlocks;
+    const auto& p = paper.at(m.name);
+    table.add_row({m.name, TextTable::integer(m.tiles),
+                   m.binding.describe(m.network).substr(0, 40),
+                   TextTable::num(eval.ii_ns / 1000.0, 1),
+                   TextTable::num(p.time_us, 0),
+                   TextTable::num(eval.avg_utilization, 2),
+                   TextTable::num(p.util, 2),
+                   TextTable::num(images_per_sec, 2),
+                   TextTable::num(p.images, 2),
+                   eval.needs_reconfig ? "yes" : "no",
+                   eval.needs_relink ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Shape checks: Impl2 == Impl3 and Impl4 ~= Impl5 in throughput (the\n"
+      "DCT tile dominates unless it is split); splitting the DCT lifts\n"
+      "throughput ~4x; utilisation peaks for the 5-tile Impl5.\n");
+  return 0;
+}

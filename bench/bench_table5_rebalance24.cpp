@@ -1,0 +1,51 @@
+// Regenerates Table 5: reBalanceOne binding of the JPEG encoder to a
+// 24-tile circuit.  The paper's result: p1 (DCT) receives 17 tiles, p5
+// (hman1) two, everything else shares the remaining five.
+#include <cstdio>
+
+#include "apps/jpeg/process_table.hpp"
+#include "common/table.hpp"
+#include "mapping/rebalance.hpp"
+
+int main() {
+  using namespace cgra;
+  using mapping::CostParams;
+  using mapping::RebalanceAlgorithm;
+
+  const auto net = jpeg::jpeg_main_pipeline();
+
+  std::printf("Table 5 — binding JPEG processes to 24 tiles "
+              "(reBalanceOne)\n\n");
+  std::printf("Paper: T1:p0  T2:p1(17)  T3:p2-4  T4:p5(2)  T5:p6  T6:p7-8  "
+              "T7:p9\n\n");
+
+  for (const auto algo : {RebalanceAlgorithm::kOne, RebalanceAlgorithm::kTwo,
+                          RebalanceAlgorithm::kOpt}) {
+    const auto binding = mapping::rebalance(net, 24, algo, CostParams{});
+    const auto eval = mapping::evaluate(net, binding, CostParams{});
+    std::printf("%s (%d tiles):\n", mapping::rebalance_name(algo),
+                binding.tile_count());
+
+    TextTable table({"tile group", "processes", "replicas", "busy(us)",
+                     "effective(us)"});
+    for (std::size_t i = 0; i < binding.groups.size(); ++i) {
+      const auto& g = binding.groups[i];
+      std::string procs;
+      for (const int p : g.procs) {
+        if (!procs.empty()) procs += " ";
+        procs += net.process(p).name;
+      }
+      const double busy = eval.groups[i].busy_ns() / 1000.0;
+      table.add_row({"T" + std::to_string(i + 1), procs,
+                     TextTable::integer(g.replication),
+                     TextTable::num(busy, 1),
+                     TextTable::num(busy / g.replication, 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("  II = %.1f us, %.2f images/s, avg util %.2f\n\n",
+                eval.ii_ns / 1000.0,
+                eval.items_per_sec / jpeg::kPaperImageBlocks,
+                eval.avg_utilization);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Design-space explorer: the paper's methodology as a command-line tool.
+// For an N-point FFT it measures kernel times on the simulator, sweeps
+// column counts x link costs, and prints the Pareto view (best design per
+// link cost plus the crossover points).
+//
+//   ./build/examples/dse_explorer [N] [M] [maxL]   (defaults: 1024 128 2000)
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "dse/fft_perf_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cgra;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 1024;
+  const int m = argc > 2 ? std::atoi(argv[2]) : 128;
+  const int max_link = argc > 3 ? std::atoi(argv[3]) : 2000;
+
+  fft::FftGeometry g;
+  try {
+    g = fft::make_geometry(n, m);
+  } catch (const std::exception& e) {
+    std::printf("bad geometry: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("Design space for the %d-point FFT on M=%d tiles\n", g.n, g.m);
+  std::printf("Rows per column: %d; usable column counts:", g.rows);
+  const auto cols_opts = dse::usable_column_counts(g);
+  for (const int c : cols_opts) std::printf(" %d", c);
+  std::printf("\nMeasuring kernels on the simulator...\n\n");
+  const auto times = dse::measure_process_times(g);
+
+  TextTable kernels({"process", "runtime(ns)"});
+  for (std::size_t s = 0; s < times.bf.size(); ++s) {
+    kernels.add_row({"BF" + std::to_string(s), TextTable::num(times.bf[s], 0)});
+  }
+  kernels.add_row({"vcp", TextTable::num(times.vcp, 0)});
+  kernels.add_row({"hcp", TextTable::num(times.hcp, 0)});
+  std::printf("%s\n", kernels.render().c_str());
+
+  std::printf("Throughput (transforms/s) by design point:\n\n");
+  std::vector<std::string> header = {"L(ns)"};
+  for (const int c : cols_opts) {
+    header.push_back(std::to_string(c) + "c/" + std::to_string(c * g.rows) +
+                     "t");
+  }
+  header.push_back("best");
+  TextTable table(header);
+  for (int link = 0; link <= max_link; link += max_link / 10) {
+    std::vector<std::string> row = {TextTable::integer(link)};
+    int best_cols = 0;
+    double best = -1.0;
+    for (const int c : cols_opts) {
+      const double t =
+          dse::evaluate_fft_design(g, times, c, link).throughput_per_sec();
+      row.push_back(TextTable::num(t, 0));
+      if (t > best) {
+        best = t;
+        best_cols = c;
+      }
+    }
+    row.push_back(std::to_string(best_cols) + " cols");
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Cost breakdown of the widest design at the middle link cost.
+  const int wide = cols_opts.back();
+  const auto bd = dse::evaluate_fft_design(g, times, wide, max_link / 2);
+  std::printf("tau breakdown for %d columns at L=%d ns:\n", wide,
+              max_link / 2);
+  static const char* kTauNames[8] = {
+      "tau0 receive input",  "tau1 twiddle reload",  "tau2 BF pipeline",
+      "tau3 vcp var reload", "tau4 vcp execution",   "tau5 horizontal links",
+      "tau6 hcp reconfig",   "tau7 send results"};
+  for (int i = 0; i < 8; ++i) {
+    std::printf("  %-22s %10.1f ns\n", kTauNames[i], bd.tau[i]);
+  }
+  std::printf("  %-22s %10.1f ns  (%.0f transforms/s)\n", "total",
+              bd.total_ns(), bd.throughput_per_sec());
+  return 0;
+}

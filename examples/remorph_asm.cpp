@@ -1,0 +1,120 @@
+// remorph_asm — assembler / disassembler / single-tile runner CLI.
+//
+// The developer tool for writing tile programs by hand:
+//
+//   remorph_asm check  prog.s              assemble, report diagnostics
+//   remorph_asm dis    prog.s              assemble then disassemble
+//   remorph_asm run    prog.s [options]    execute on one tile
+//
+// run options:
+//   --trace              print the execution trace (last 64 events)
+//   --cycles N           cycle budget (default 1e6)
+//   --dump LO HI         print dmem[LO..HI) after the run
+//
+// Exit status: 0 on success, 1 on assembly errors or runtime faults.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "fabric/fabric.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+
+namespace {
+
+std::string read_file(const char* path, bool* ok) {
+  std::ifstream in(path);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  *ok = true;
+  return os.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: remorph_asm (check|dis|run) prog.s "
+               "[--trace] [--cycles N] [--dump LO HI]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cgra;
+  if (argc < 3) return usage();
+  const std::string mode = argv[1];
+  bool ok = false;
+  const std::string source = read_file(argv[2], &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+
+  const auto assembled = isa::assemble(source);
+  if (!assembled.ok()) {
+    for (const auto& err : assembled.errors) {
+      std::fprintf(stderr, "%s: %s\n", argv[2], err.c_str());
+    }
+    return 1;
+  }
+  std::printf("assembled %d instruction word(s), %d data word(s)\n",
+              assembled.program.inst_words(), assembled.program.data_words());
+  if (mode == "check") return 0;
+
+  if (mode == "dis") {
+    std::printf("%s", isa::disassemble(assembled.program).c_str());
+    return 0;
+  }
+  if (mode != "run") return usage();
+
+  bool trace = false;
+  long long cycles = 1'000'000;
+  int dump_lo = -1;
+  int dump_hi = -1;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      cycles = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dump") == 0 && i + 2 < argc) {
+      dump_lo = std::atoi(argv[++i]);
+      dump_hi = std::atoi(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+
+  fabric::Fabric fab(1, 1);
+  fabric::Tracer tracer;
+  if (trace) fab.attach_tracer(&tracer);
+  if (!fab.tile(0).load_program(assembled.program)) {
+    std::fprintf(stderr, "program does not fit the tile\n");
+    return 1;
+  }
+  fab.tile(0).restart();
+  const auto run = fab.run(cycles);
+  std::printf("ran %lld cycle(s) = %.1f ns, %s\n",
+              static_cast<long long>(run.cycles), run.elapsed_ns(),
+              run.all_halted ? "halted" : "cycle budget exhausted");
+  for (const auto& fault : run.faults) {
+    std::printf("FAULT: %s\n", fault.describe().c_str());
+  }
+  if (trace) {
+    std::printf("--- trace ---\n%s", tracer.dump().c_str());
+  }
+  if (dump_lo >= 0 && dump_hi > dump_lo && dump_hi <= kDataMemWords) {
+    std::printf("--- dmem[%d..%d) ---\n", dump_lo, dump_hi);
+    for (int a = dump_lo; a < dump_hi; ++a) {
+      const Word w = fab.tile(0).dmem(a);
+      std::printf("%4d: %s  (%lld)\n", a, word_to_hex(w).c_str(),
+                  static_cast<long long>(to_signed(w)));
+    }
+  }
+  return run.ok() ? 0 : 1;
+}

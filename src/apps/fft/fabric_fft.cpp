@@ -1,0 +1,373 @@
+#include "apps/fft/fabric_fft.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/fft/programs.hpp"
+#include "common/fixed_complex.hpp"
+#include "fabric/fabric.hpp"
+#include "interconnect/link.hpp"
+
+namespace cgra::fft {
+
+using config::EpochConfig;
+using config::ReconfigController;
+using config::TileUpdate;
+using interconnect::Direction;
+using interconnect::LinkConfig;
+
+ElementPos element_position(const FftGeometry& g, int stage, int e) {
+  const int h = g.half_span(stage);
+  const int span2 = 2 * h;
+  const int r_in = e % span2;
+  const bool b_side = r_in >= h;
+  const int t = (e / span2) * h + (b_side ? r_in - h : r_in);
+  const int half = g.m / 2;
+  ElementPos pos;
+  pos.row = t / half;
+  pos.slot = (t % half) + (b_side ? half : 0);
+  return pos;
+}
+
+namespace {
+
+/// Twiddle patches for stage `stage` of row `row`: W[k] holds the factor of
+/// butterfly r*M/2 + k.
+std::vector<isa::DataPatch> twiddle_patches(const FftGeometry& g,
+                                            const TileLayout& lay, int row,
+                                            int stage) {
+  const int h = g.half_span(stage);
+  const int step = g.n / (2 * h);
+  std::vector<isa::DataPatch> patches;
+  patches.reserve(static_cast<std::size_t>(g.m / 2));
+  for (int k = 0; k < g.m / 2; ++k) {
+    const int t = row * (g.m / 2) + k;
+    const std::size_t exponent =
+        static_cast<std::size_t>((t % h) * step) % static_cast<std::size_t>(g.n);
+    patches.push_back(isa::DataPatch{
+        lay.w + k,
+        pack_complex(to_fixed(twiddle(static_cast<std::size_t>(g.n),
+                                      exponent)))});
+  }
+  return patches;
+}
+
+/// One pending inter-stage element move (between physical tiles).
+struct Move {
+  int src_tile = 0, src_slot = 0;
+  int dst_tile = 0, dst_slot = 0;
+  int cur_tile = 0;
+  bool in_transit = false;  ///< Value sits in P[dst_slot] of cur_tile.
+  bool delivered = false;   ///< Arrived at dst_tile's P (awaiting apply).
+  bool applied = false;
+};
+
+}  // namespace
+
+FabricFftResult run_fabric_fft(const FftGeometry& g,
+                               const std::vector<Cplx>& input,
+                               const FabricFftOptions& opt) {
+  FabricFftResult result;
+  if (static_cast<int>(input.size()) != g.n) return result;
+  const int cols = opt.cols;
+  if (cols < 1 || g.stages % cols != 0) return result;
+  const int spc = g.stages / cols;  // stage slots per column
+  const auto stage_col = [spc](int stage) { return stage / spc; };
+
+  const TileLayout lay = make_layout(g.m);
+  fabric::Fabric fab(g.rows, cols);
+  const auto tidx = [cols](int row, int col) { return row * cols + col; };
+  ReconfigController ctrl(IcapModel{},
+                          interconnect::LinkCostModel{opt.link_cost_ns});
+  config::Timeline& timeline = result.timeline;
+
+  auto run_epoch = [&](const EpochConfig& epoch) -> bool {
+    const auto report = ctrl.apply(fab, epoch);
+    timeline.reconfig_ns += report.total_ns();
+    timeline.transitions.push_back(report);
+    const auto run = fab.run(opt.max_cycles_per_epoch);
+    timeline.epoch_compute_ns += run.elapsed_ns();
+    ++result.epochs;
+    if (!run.ok()) {
+      result.faults = run.faults;
+      return false;
+    }
+    return true;
+  };
+
+  const LinkConfig no_links(g.rows, cols);
+
+  // ---- preprocessing: scatter scaled inputs to the stage-0 arrangement ----
+  {
+    EpochConfig load;
+    load.name = "input-scramble";
+    load.links = no_links;
+    const double scale = 1.0 / static_cast<double>(g.n);
+    std::map<int, std::vector<isa::DataPatch>> per_tile;
+    for (int e = 0; e < g.n; ++e) {
+      const ElementPos pos = element_position(g, 0, e);
+      per_tile[tidx(pos.row, 0)].push_back(isa::DataPatch{
+          lay.x + pos.slot,
+          pack_complex(to_fixed(input[static_cast<std::size_t>(e)] * scale))});
+    }
+    for (auto& [tile, patches] : per_tile) {
+      TileUpdate update;
+      update.patches = std::move(patches);
+      update.restart = false;
+      load.tiles[tile] = std::move(update);
+    }
+    if (!run_epoch(load)) return result;
+  }
+
+  const isa::Program bf_prog = must_assemble(bf_pair_source(lay));
+  // Instruction pinning: the BF kernel stays resident in a tile until a
+  // redistribution epoch overwrites that tile's instruction memory.
+  std::vector<bool> kernel_resident(
+      static_cast<std::size_t>(g.rows * cols), false);
+
+  for (int s = 0; s < g.stages; ++s) {
+    const int sc = stage_col(s);
+    // ---- butterfly epoch on column sc: twiddles patched, kernel reloaded
+    // only where a copy program clobbered it ----
+    EpochConfig bf;
+    bf.name = "bf-stage-" + std::to_string(s);
+    bf.links = no_links;
+    for (int row = 0; row < g.rows; ++row) {
+      const int tile = tidx(row, sc);
+      TileUpdate update;
+      if (!kernel_resident[static_cast<std::size_t>(tile)]) {
+        update.program = bf_prog;
+        update.reload_program = true;
+        kernel_resident[static_cast<std::size_t>(tile)] = true;
+      }
+      update.patches = twiddle_patches(g, lay, row, s);
+      update.restart = true;
+      bf.tiles[tile] = std::move(update);
+    }
+    if (!run_epoch(bf)) return result;
+    if (s + 1 == g.stages) break;
+
+    // ---- redistribution to the stage-(s+1) arrangement ----
+    // When the next stage lives in the next column this also performs the
+    // hcp horizontal transfer; within a column it is the vcp exchange.
+    const int next_col = stage_col(s + 1);
+    std::vector<Move> moves;
+    for (int e = 0; e < g.n; ++e) {
+      const ElementPos from = element_position(g, s, e);
+      const ElementPos to = element_position(g, s + 1, e);
+      const int src_tile = tidx(from.row, sc);
+      const int dst_tile = tidx(to.row, next_col);
+      if (src_tile == dst_tile && from.slot == to.slot) continue;
+      Move mv;
+      mv.src_tile = src_tile;
+      mv.src_slot = from.slot;
+      mv.dst_tile = dst_tile;
+      mv.dst_slot = to.slot;
+      mv.cur_tile = src_tile;
+      moves.push_back(mv);
+    }
+    // P-region occupancy: (tile, slot) held by an unapplied in-transit move.
+    std::set<std::pair<int, int>> occupied;
+    // X slots that are still the source of a not-yet-departed move.
+    auto x_busy = [&](int tile, int slot) {
+      for (const auto& mv : moves) {
+        if (!mv.in_transit && !mv.delivered && mv.src_tile == tile &&
+            mv.src_slot == slot) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    auto all_done = [&]() {
+      return std::all_of(moves.begin(), moves.end(),
+                         [](const Move& m) { return m.applied; });
+    };
+
+    // Next hop of a move: vertical first, then horizontal.
+    auto next_hop = [&](const Move& mv) -> std::optional<Direction> {
+      const auto cur = no_links.coord(mv.cur_tile);
+      const auto dst = no_links.coord(mv.dst_tile);
+      if (dst.row < cur.row) return Direction::kNorth;
+      if (dst.row > cur.row) return Direction::kSouth;
+      if (dst.col > cur.col) return Direction::kEast;
+      if (dst.col < cur.col) return Direction::kWest;
+      return std::nullopt;
+    };
+
+    int guard = 0;
+    while (!all_done()) {
+      if (++guard > 8 * (g.rows + cols) + 64) {
+        return result;  // routing livelock: reported as ok == false
+      }
+      bool progress = false;
+
+      // One hop sub-epoch per direction.
+      for (const Direction dir :
+           {Direction::kNorth, Direction::kSouth, Direction::kEast,
+            Direction::kWest}) {
+        EpochConfig hop;
+        hop.name = "redistribute-s" + std::to_string(s);
+        hop.links = no_links;
+        std::map<int, std::vector<std::pair<int, int>>> remote_moves;
+        std::map<int, std::vector<std::pair<int, int>>> local_moves;
+        std::vector<Move*> advancing;
+        std::set<std::pair<int, int>> claimed;  // P slots claimed this hop
+
+        for (auto& mv : moves) {
+          if (mv.delivered) continue;
+          if (mv.dst_tile == mv.cur_tile) {
+            // Local move X -> P (only before transit; first batch).
+            if (dir == Direction::kNorth && !mv.in_transit) {
+              const auto key = std::make_pair(mv.cur_tile, mv.dst_slot);
+              if (occupied.count(key) != 0 || claimed.count(key) != 0) continue;
+              claimed.insert(key);
+              local_moves[mv.cur_tile].push_back(
+                  {lay.x + mv.src_slot, lay.p + mv.dst_slot});
+              advancing.push_back(&mv);
+            }
+            continue;
+          }
+          const auto want = next_hop(mv);
+          if (!want || *want != dir) continue;
+          // A tile drives one link per sub-epoch: if this tile already
+          // queued sends this batch they share `dir`, which is fine.
+          const auto next = no_links.neighbor(mv.cur_tile, dir);
+          if (!next) continue;
+          const auto key = std::make_pair(*next, mv.dst_slot);
+          if (occupied.count(key) != 0 || claimed.count(key) != 0) continue;
+          claimed.insert(key);
+          const int src_addr =
+              mv.in_transit ? lay.p + mv.dst_slot : lay.x + mv.src_slot;
+          remote_moves[mv.cur_tile].push_back({src_addr, lay.p + mv.dst_slot});
+          advancing.push_back(&mv);
+        }
+        if (advancing.empty()) continue;
+
+        for (const auto& [tile, entries] : remote_moves) {
+          hop.links.set_output(tile, dir);
+        }
+        std::set<int> tiles;
+        for (const auto& [tile, entries] : remote_moves) tiles.insert(tile);
+        for (const auto& [tile, entries] : local_moves) tiles.insert(tile);
+        for (int tile : tiles) {
+          std::vector<std::pair<int, int>> remote =
+              remote_moves.count(tile) != 0
+                  ? remote_moves[tile]
+                  : std::vector<std::pair<int, int>>{};
+          std::vector<std::pair<int, int>> local =
+              local_moves.count(tile) != 0
+                  ? local_moves[tile]
+                  : std::vector<std::pair<int, int>>{};
+          // One straight-line program covering both kinds.
+          std::string src = copy_straight_source(remote, true);
+          if (!local.empty()) {
+            // Strip trailing halt and append the local moves.
+            src = src.substr(0, src.rfind("  halt"));
+            src += copy_straight_source(local, false);
+          }
+          TileUpdate update;
+          update.program = must_assemble(src);
+          update.reload_program = true;
+          update.restart = true;
+          hop.tiles[tile] = std::move(update);
+          kernel_resident[static_cast<std::size_t>(tile)] = false;
+        }
+        if (!run_epoch(hop)) return result;
+        ++result.redistribution_subepochs;
+
+        for (Move* mv : advancing) {
+          if (mv->in_transit) {
+            occupied.erase({mv->cur_tile, mv->dst_slot});
+          }
+          if (mv->dst_tile != mv->cur_tile) {
+            mv->cur_tile = *no_links.neighbor(mv->cur_tile, dir);
+          }
+          mv->in_transit = true;
+          occupied.insert({mv->cur_tile, mv->dst_slot});
+          if (mv->cur_tile == mv->dst_tile) mv->delivered = true;
+          progress = true;
+        }
+      }
+
+      // Partial apply: commit delivered values whose X slot is safe.
+      {
+        std::map<int, std::vector<std::pair<int, int>>> applies;
+        std::vector<Move*> applying;
+        for (auto& mv : moves) {
+          if (!mv.delivered || mv.applied) continue;
+          if (x_busy(mv.dst_tile, mv.dst_slot)) continue;
+          applies[mv.dst_tile].push_back(
+              {lay.p + mv.dst_slot, lay.x + mv.dst_slot});
+          applying.push_back(&mv);
+        }
+        if (!applying.empty()) {
+          EpochConfig apply;
+          apply.name = "apply-s" + std::to_string(s);
+          apply.links = no_links;
+          for (const auto& [tile, entries] : applies) {
+            TileUpdate update;
+            update.program = must_assemble(copy_straight_source(entries, false));
+            update.reload_program = true;
+            update.restart = true;
+            apply.tiles[tile] = std::move(update);
+            kernel_resident[static_cast<std::size_t>(tile)] = false;
+          }
+          if (!run_epoch(apply)) return result;
+          ++result.redistribution_subepochs;
+          for (Move* mv : applying) {
+            occupied.erase({mv->dst_tile, mv->dst_slot});
+            mv->applied = true;
+            progress = true;
+          }
+        }
+      }
+
+      if (!progress) {
+        return result;  // routing stuck: reported as ok == false
+      }
+    }
+  }
+
+  // ---- readback: stage-(S-1) arrangement, then bit-reversal ----
+  result.output.assign(static_cast<std::size_t>(g.n), Cplx{});
+  const int bits = g.stages;
+  const int last_col = stage_col(g.stages - 1);
+  for (int e = 0; e < g.n; ++e) {
+    const ElementPos pos = element_position(g, g.stages - 1, e);
+    const Word w = fab.tile(tidx(pos.row, last_col)).dmem(lay.x + pos.slot);
+    result.output[bit_reverse(static_cast<std::size_t>(e), bits)] =
+        to_double(unpack_complex(w));
+  }
+  result.ok = true;
+  return result;
+}
+
+std::int64_t measure_bf_cycles(const FftGeometry& g, int stage) {
+  const TileLayout lay = make_layout(g.m);
+  const int h = g.half_span(stage);
+  const std::string src =
+      h >= g.m / 2 ? bf_pair_source(lay) : bf_local_source(lay, h);
+  fabric::Fabric fab(1, 1);
+  fab.tile(0).load_program(must_assemble(src));
+  fab.tile(0).restart();
+  const auto run = fab.run(10'000'000);
+  return run.ok() ? run.cycles : -1;
+}
+
+std::int64_t measure_copy_cycles(int m, int words) {
+  const TileLayout lay = make_layout(m);
+  fabric::Fabric fab(2, 1);
+  fab.links().set_output(0, Direction::kSouth);
+  fab.tile(0).load_program(
+      must_assemble(copy_loop_source(lay, words, lay.x, lay.x, true)));
+  fab.tile(0).restart();
+  const auto run = fab.run(10'000'000);
+  return run.ok() ? run.cycles : -1;
+}
+
+}  // namespace cgra::fft

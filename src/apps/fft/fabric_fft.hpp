@@ -1,0 +1,77 @@
+// End-to-end N-point FFT executed on the cycle-level fabric.
+//
+// The orchestrator plays the role of the MicroBlaze runtime management
+// system: it prepares epoch configurations (programs, twiddle patches, link
+// settings), lets the reconfiguration controller stream them in, and runs
+// the fabric between epochs.  The dataflow is the constant-geometry variant
+// of the paper's rearranged structure (Fig. 6):
+//
+//   * Before stage s, tile-row r holds the M elements of its M/2
+//     butterflies: 'a' operands in slots [0, M/2), 'b' operands in slots
+//     [M/2, M) — so every butterfly is tile-local and the same bf_pair
+//     kernel (pinned after the first epoch) serves every stage.
+//   * Between stages the elements are redistributed to restore the
+//     invariant.  Moves travel over the near-neighbour vertical links as
+//     hop sub-epochs (the vcp role, Fig. 9); each in-flight element rides
+//     in the transit region P at its destination slot, and a final apply
+//     epoch commits P into X.
+//   * Twiddle tables are patched per stage through the ICAP (charged at
+//     33.33 ns/word); the TwiddleManager quantifies how much of that an
+//     optimised schedule avoids.
+//
+// Output is compared against the double-precision reference in the tests;
+// inputs are pre-scaled by 1/N so the Q3.20 samples cannot overflow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/fft/partition.hpp"
+#include "apps/fft/reference.hpp"
+#include "common/status.hpp"
+#include "common/timing.hpp"
+#include "config/reconfig.hpp"
+
+namespace cgra::fft {
+
+/// Options for a fabric FFT run.
+struct FabricFftOptions {
+  Nanoseconds link_cost_ns = 100.0;   ///< Per-link reconfiguration cost L.
+  std::int64_t max_cycles_per_epoch = 1'000'000;
+  /// Columns of tiles (the paper's design parameter): column c executes
+  /// stage slots [c*S/cols, (c+1)*S/cols).  Must divide log2(N).  With
+  /// cols > 1 the inter-column transfers exercise the horizontal links and
+  /// hcp copies of Sec. 3.1 for real.
+  int cols = 1;
+};
+
+/// Result of a fabric FFT run.
+struct FabricFftResult {
+  std::vector<Cplx> output;        ///< Natural order, scaled by 1/N.
+  config::Timeline timeline;       ///< Equation-1 accounting.
+  bool ok = false;
+  std::vector<Fault> faults;
+  int epochs = 0;                  ///< Epoch configurations applied.
+  std::int64_t redistribution_subepochs = 0;
+};
+
+/// Where logical element `e` lives under the stage-`s` arrangement.
+struct ElementPos {
+  int row = 0;
+  int slot = 0;
+  friend bool operator==(const ElementPos&, const ElementPos&) = default;
+};
+ElementPos element_position(const FftGeometry& g, int stage, int e);
+
+/// Run the FFT of `input` (size g.n) on a fresh rows x opt.cols fabric.
+FabricFftResult run_fabric_fft(const FftGeometry& g,
+                               const std::vector<Cplx>& input,
+                               const FabricFftOptions& opt = {});
+
+/// Cycle counts of the standalone kernels (Table 1's runtime column):
+/// the stage-s butterfly process executed on one tile.
+std::int64_t measure_bf_cycles(const FftGeometry& g, int stage);
+/// The vcp / hcp copy processes for `words` words.
+std::int64_t measure_copy_cycles(int m, int words);
+
+}  // namespace cgra::fft

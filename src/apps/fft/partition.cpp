@@ -1,0 +1,56 @@
+#include "apps/fft/partition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "apps/fft/reference.hpp"
+
+namespace cgra::fft {
+
+int max_partition_size(int dmem_words) noexcept {
+  const int budget = (dmem_words - 41) / 3;
+  int m = 1;
+  while (m * 2 <= budget) m *= 2;
+  return m;
+}
+
+int FftGeometry::cross_stages() const noexcept {
+  return log2_exact(static_cast<std::size_t>(n)) -
+         log2_exact(static_cast<std::size_t>(m));
+}
+
+int FftGeometry::half_span(int stage) const noexcept {
+  return n >> (stage + 1);
+}
+
+int FftGeometry::twiddles_for_stage(int stage) const noexcept {
+  return std::min(m, std::max(1, n >> (stage + 1)));
+}
+
+std::vector<int> FftGeometry::twiddle_exponents(int row, int stage) const {
+  const int half = m / 2;                 // butterflies per row
+  const int distinct = std::max(1, n >> (stage + 1));
+  std::set<int> exps;
+  for (int k = 0; k < half; ++k) {
+    const int t = row * half + k;         // global butterfly index
+    exps.insert((t % distinct) << stage);
+  }
+  return {exps.begin(), exps.end()};
+}
+
+FftGeometry make_geometry(int n, int m) {
+  if (m == 0) m = std::min(n, max_partition_size());
+  if (!is_pow2(static_cast<std::size_t>(n)) ||
+      !is_pow2(static_cast<std::size_t>(m)) || m > n || m < 2) {
+    throw std::invalid_argument("FFT geometry requires 2 <= M <= N, powers of 2");
+  }
+  FftGeometry g;
+  g.n = n;
+  g.m = m;
+  g.stages = log2_exact(static_cast<std::size_t>(n));
+  g.rows = n / m;
+  return g;
+}
+
+}  // namespace cgra::fft

@@ -1,0 +1,56 @@
+// Radix-2 FFT partitioning onto M-point tiles (Sec. 3.1).
+//
+// An N-point radix-2 DIF FFT has S = log2(N) stages.  The computation is
+// broken into N/M horizontal rows, each mapped to a tile; a design uses
+// `cols` columns of tiles, each column executing S/cols consecutive stages.
+//
+// The partition size M is fixed by the tile's data memory: a stage needs
+// 2M locations for data (own + partner/scratch), up to M for twiddles and
+// 41 temporaries, so M = 2^x with x = floor(log2((DM - 41) / 3)); for the
+// 512-word reMORPH memory M = 128 (paper Sec. 3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timing.hpp"
+
+namespace cgra::fft {
+
+/// Largest power-of-two partition size a data memory of `dmem_words`
+/// supports (3M + 41 <= DM).
+int max_partition_size(int dmem_words = kDataMemWords) noexcept;
+
+/// Geometry of an N-point FFT on M-point tiles.
+struct FftGeometry {
+  int n = 0;       ///< Transform size (power of two).
+  int m = 0;       ///< Partition (tile) size (power of two, m <= n).
+  int stages = 0;  ///< log2(n).
+  int rows = 0;    ///< n / m tiles per column.
+
+  /// Stages whose butterfly span crosses tiles (need vertical exchange):
+  /// the first log2(n) - log2(m) stages.
+  [[nodiscard]] int cross_stages() const noexcept;
+
+  /// Butterfly half-span of stage s: H = n / 2^(s+1).
+  [[nodiscard]] int half_span(int stage) const noexcept;
+
+  /// Twiddle words a tile needs for stage s: min(M, N / 2^(s+1))
+  /// (reproduces Table 1's "Twiddle" column for N=1024, M=128).
+  [[nodiscard]] int twiddles_for_stage(int stage) const noexcept;
+
+  /// Distinct twiddle exponents tile-row `row` needs at `stage`, following
+  /// the rearranged structure of Fig. 6/8: row r owns butterflies
+  /// [r*M/2, (r+1)*M/2), and butterfly t of stage s uses exponent
+  /// 2^s * (t mod N/2^(s+1)).
+  [[nodiscard]] std::vector<int> twiddle_exponents(int row, int stage) const;
+
+  /// Minimum and maximum usable column counts (1 .. stages).
+  [[nodiscard]] int min_tiles() const noexcept { return rows; }
+  [[nodiscard]] int max_tiles() const noexcept { return rows * stages; }
+};
+
+/// Build the geometry; M defaults to the memory-derived maximum.
+FftGeometry make_geometry(int n, int m = 0);
+
+}  // namespace cgra::fft

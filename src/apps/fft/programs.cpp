@@ -1,0 +1,139 @@
+#include "apps/fft/programs.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/timing.hpp"
+
+namespace cgra::fft {
+
+TileLayout make_layout(int m) {
+  if (3 * m + 16 > kDataMemWords) {
+    throw std::invalid_argument("partition size exceeds tile data memory");
+  }
+  TileLayout lay;
+  lay.m = m;
+  lay.x = 0;
+  lay.p = m;
+  lay.w = 2 * m;
+  lay.ctrl = 3 * m;
+  lay.cnt_g = lay.ctrl + 0;
+  lay.cnt_j = lay.ctrl + 1;
+  lay.pa = lay.ctrl + 2;
+  lay.pb = lay.ctrl + 3;
+  lay.pw = lay.ctrl + 4;
+  lay.ts = lay.ctrl + 5;
+  lay.td = lay.ctrl + 6;
+  lay.ps = lay.ctrl + 7;
+  return lay;
+}
+
+namespace {
+void emit_equs(std::ostringstream& os, const TileLayout& lay) {
+  os << ".equ X, " << lay.x << "\n"
+     << ".equ P, " << lay.p << "\n"
+     << ".equ W, " << lay.w << "\n"
+     << ".equ cnt_g, " << lay.cnt_g << "\n"
+     << ".equ cnt_j, " << lay.cnt_j << "\n"
+     << ".equ pa, " << lay.pa << "\n"
+     << ".equ pb, " << lay.pb << "\n"
+     << ".equ pw, " << lay.pw << "\n"
+     << ".equ ts, " << lay.ts << "\n"
+     << ".equ td, " << lay.td << "\n"
+     << ".equ ps, " << lay.ps << "\n";
+}
+}  // namespace
+
+std::string bf_pair_source(const TileLayout& lay) {
+  std::ostringstream os;
+  emit_equs(os, lay);
+  os << "  movi pa, #X\n"
+     << "  movi pb, #X+" << lay.m / 2 << "\n"
+     << "  movi pw, #W\n"
+     << "  movi cnt_j, #" << lay.m / 2 << "\n"
+     << "inner:\n"
+     << "  cadd ts, pa*, pb*\n"
+     << "  csub td, pa*, pb*\n"
+     << "  mov pa*, ts\n"
+     << "  cmul pb*, td, pw*\n"
+     << "  add pa, pa, #1\n"
+     << "  add pb, pb, #1\n"
+     << "  add pw, pw, #1\n"
+     << "  sub cnt_j, cnt_j, #1\n"
+     << "  bnez cnt_j, inner\n"
+     << "  halt\n";
+  return os.str();
+}
+
+std::string bf_local_source(const TileLayout& lay, int h) {
+  if (h < 1 || 2 * h > lay.m) {
+    throw std::invalid_argument("bf_local requires 1 <= H <= M/2");
+  }
+  std::ostringstream os;
+  emit_equs(os, lay);
+  os << "  movi pa, #X\n"
+     << "  movi pw, #W\n"
+     << "  movi cnt_g, #" << lay.m / (2 * h) << "\n"
+     << "grp:\n"
+     << "  add pb, pa, #" << h << "\n"
+     << "  movi pw, #W\n"
+     << "  movi cnt_j, #" << h << "\n"
+     << "inner:\n"
+     << "  cadd ts, pa*, pb*\n"
+     << "  csub td, pa*, pb*\n"
+     << "  mov pa*, ts\n"
+     << "  cmul pb*, td, pw*\n"
+     << "  add pa, pa, #1\n"
+     << "  add pb, pb, #1\n"
+     << "  add pw, pw, #1\n"
+     << "  sub cnt_j, cnt_j, #1\n"
+     << "  bnez cnt_j, inner\n"
+     << "  add pa, pa, #" << h << "\n"
+     << "  sub cnt_g, cnt_g, #1\n"
+     << "  bnez cnt_g, grp\n"
+     << "  halt\n";
+  return os.str();
+}
+
+std::string copy_loop_source(const TileLayout& lay, int count, int src_base,
+                             int dst_base, bool remote) {
+  std::ostringstream os;
+  emit_equs(os, lay);
+  // ps / pb double as the re-targetable copy variables (Table 2): a later
+  // epoch can retarget the copy with two data patches instead of a reload.
+  os << "  movi ps, #" << src_base << "\n"
+     << "  movi pb, #" << dst_base << "\n"
+     << "  movi cnt_j, #" << count << "\n"
+     << "loop:\n"
+     << "  mov " << (remote ? "!" : "") << "pb*, ps*\n"
+     << "  add ps, ps, #1\n"
+     << "  add pb, pb, #1\n"
+     << "  sub cnt_j, cnt_j, #1\n"
+     << "  bnez cnt_j, loop\n"
+     << "  halt\n";
+  return os.str();
+}
+
+std::string copy_straight_source(
+    const std::vector<std::pair<int, int>>& moves, bool remote) {
+  std::ostringstream os;
+  for (const auto& [src, dst] : moves) {
+    os << "  mov " << (remote ? "!" : "") << dst << ", " << src << "\n";
+  }
+  os << "  halt\n";
+  return os.str();
+}
+
+isa::Program must_assemble(const std::string& source) {
+  auto result = isa::assemble(source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "internal assembly error: %s\nsource:\n%s\n",
+                 result.status.message().c_str(), source.c_str());
+    std::abort();
+  }
+  return std::move(result.program);
+}
+
+}  // namespace cgra::fft

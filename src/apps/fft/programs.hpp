@@ -1,0 +1,69 @@
+// Assembly program builders for the FFT kernels.
+//
+// Tile data-memory layout for an M-point partition (3M + 41 words, the
+// paper's budget):
+//   X = [0, M)        data (inputs, overwritten by outputs)
+//   P = [M, 2M)       partner / transit scratch
+//   W = [2M, 3M)      twiddle factors
+//   CTRL = [3M, 3M+8) loop counters, pointers, temporaries
+//
+// Kernels:
+//   bf_pair    — the constant-geometry butterfly: slot k pairs with slot
+//                k+M/2, twiddle W[k]; used by every stage of the fabric FFT.
+//   bf_local   — stride-H in-tile butterflies (groups of 2H); used to
+//                measure the per-stage runtimes of Table 1, where later
+//                stages pay more loop overhead.
+//   copy_loop  — the vcp/hcp copy process: a 5-instruction/word loop that
+//                streams `count` words to the linked neighbour; its
+//                source/destination variables live in CTRL so they can be
+//                updated in place (Table 2's optimisation) instead of
+//                reloading the program.
+//   copy_straight — straight-line remote/local moves used by the
+//                redistribution sub-epochs (one instruction per word).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/assembler.hpp"
+
+namespace cgra::fft {
+
+/// Layout constants for an M-point tile.
+struct TileLayout {
+  int m = 0;
+  int x = 0;       ///< data base
+  int p = 0;       ///< scratch base
+  int w = 0;       ///< twiddle base
+  int ctrl = 0;    ///< control base
+  // Control-region slots.
+  int cnt_g = 0, cnt_j = 0, pa = 0, pb = 0, pw = 0, ts = 0, td = 0, ps = 0;
+};
+
+/// Build the layout for partition size m (requires 3m + 16 <= 512).
+TileLayout make_layout(int m);
+
+/// Constant-geometry butterfly kernel: M/2 butterflies (k, k+M/2).
+std::string bf_pair_source(const TileLayout& lay);
+
+/// Stride-H butterfly kernel (H < M): M/(2H) groups of H butterflies.
+std::string bf_local_source(const TileLayout& lay, int h);
+
+/// Copy loop streaming `count` words from `src_base` to the neighbour's
+/// `dst_base` (remote = true) or locally (remote = false).  The source and
+/// destination pointers are CTRL variables initialised by the program but
+/// re-targetable by 2-word data patches (Table 2).
+std::string copy_loop_source(const TileLayout& lay, int count, int src_base,
+                             int dst_base, bool remote);
+
+/// One straight-line move per (src, dst) pair; remote selects neighbour
+/// writes.  Used by the redistribution sub-epochs.
+std::string copy_straight_source(
+    const std::vector<std::pair<int, int>>& moves, bool remote);
+
+/// Assemble `source`, aborting the process on assembly errors (builder
+/// outputs are programmatically generated; errors are bugs, not input).
+isa::Program must_assemble(const std::string& source);
+
+}  // namespace cgra::fft

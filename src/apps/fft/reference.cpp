@@ -1,0 +1,114 @@
+#include "apps/fft/reference.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace cgra::fft {
+
+bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+int log2_exact(std::size_t n) noexcept {
+  int bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+std::size_t bit_reverse(std::size_t i, int bits) noexcept {
+  std::size_t out = 0;
+  for (int b = 0; b < bits; ++b) {
+    out = (out << 1) | ((i >> b) & 1u);
+  }
+  return out;
+}
+
+Cplx twiddle(std::size_t n, std::size_t k) {
+  const double ang =
+      -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+  return {std::cos(ang), std::sin(ang)};
+}
+
+void fft_dif(std::vector<Cplx>& x) {
+  const std::size_t n = x.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft size must be 2^k");
+  for (std::size_t half = n / 2; half >= 1; half /= 2) {
+    const std::size_t step = n / (2 * half);  // twiddle exponent stride
+    for (std::size_t base = 0; base < n; base += 2 * half) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const Cplx a = x[base + j];
+        const Cplx b = x[base + j + half];
+        x[base + j] = a + b;
+        x[base + j + half] = (a - b) * twiddle(n, j * step);
+      }
+    }
+  }
+}
+
+FftPlan::FftPlan(std::size_t n) : n_(n), bits_(log2_exact(n)) {
+  if (!is_pow2(n)) throw std::invalid_argument("fft size must be 2^k");
+  twiddles_.reserve(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    twiddles_.push_back(twiddle(n, k));
+  }
+}
+
+void FftPlan::transform_dif(std::vector<Cplx>& x) const {
+  if (x.size() != n_) throw std::invalid_argument("size mismatch with plan");
+  for (std::size_t half = n_ / 2; half >= 1; half /= 2) {
+    const std::size_t step = n_ / (2 * half);
+    for (std::size_t base = 0; base < n_; base += 2 * half) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const Cplx a = x[base + j];
+        const Cplx b = x[base + j + half];
+        x[base + j] = a + b;
+        x[base + j + half] = (a - b) * twiddles_[j * step];
+      }
+    }
+  }
+}
+
+std::vector<Cplx> FftPlan::transform(std::vector<Cplx> x) const {
+  transform_dif(x);
+  std::vector<Cplx> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[bit_reverse(i, bits_)] = x[i];
+  }
+  return out;
+}
+
+std::vector<Cplx> fft(std::vector<Cplx> x) {
+  const int bits = log2_exact(x.size());
+  fft_dif(x);
+  std::vector<Cplx> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[bit_reverse(i, bits)] = x[i];
+  }
+  return out;
+}
+
+std::vector<Cplx> dft_naive(const std::vector<Cplx>& x) {
+  const std::size_t n = x.size();
+  std::vector<Cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Cplx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += x[j] * twiddle(n, (j * k) % n);
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+double rms_error(const std::vector<Cplx>& a, const std::vector<Cplx>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += std::norm(a[i] - b[i]);
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+}  // namespace cgra::fft

@@ -1,0 +1,62 @@
+// Host reference FFTs.
+//
+// Three roles: (1) golden model for validating the fabric FFT, (2) the
+// "high end PC" baseline the paper quotes (~1000 1024-point FFTs/s on a
+// 2013 PC), measured with google-benchmark, and (3) the twiddle-exponent
+// source for the fabric program builders.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace cgra::fft {
+
+using Cplx = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n) noexcept;
+/// log2 of a power of two.
+int log2_exact(std::size_t n) noexcept;
+
+/// Bit-reverse `i` within `bits` bits.
+std::size_t bit_reverse(std::size_t i, int bits) noexcept;
+
+/// In-place iterative radix-2 DIF FFT: natural-order input,
+/// bit-reversed-order output (matches the fabric dataflow).
+void fft_dif(std::vector<Cplx>& x);
+
+/// Precomputed-twiddle FFT plan: the optimised host baseline ("high end PC"
+/// comparison point).  Reusable across transforms of the same size.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  /// In-place DIF transform, bit-reversed output (same contract as
+  /// fft_dif, ~an order of magnitude faster for repeated use).
+  void transform_dif(std::vector<Cplx>& x) const;
+
+  /// Natural-order out-of-place transform.
+  [[nodiscard]] std::vector<Cplx> transform(std::vector<Cplx> x) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  int bits_;
+  std::vector<Cplx> twiddles_;  ///< w_N^k for k in [0, N/2).
+};
+
+/// Out-of-place natural-order FFT (DIF + bit-reversal reorder).
+std::vector<Cplx> fft(std::vector<Cplx> x);
+
+/// Naive O(N^2) DFT, the independent cross-check for the FFTs themselves.
+std::vector<Cplx> dft_naive(const std::vector<Cplx>& x);
+
+/// Root-mean-square error between two complex vectors.
+double rms_error(const std::vector<Cplx>& a, const std::vector<Cplx>& b);
+
+/// Twiddle w_N^k = exp(-2*pi*i*k/N).
+Cplx twiddle(std::size_t n, std::size_t k);
+
+}  // namespace cgra::fft

@@ -1,0 +1,114 @@
+#include "apps/fft/twiddle.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace cgra::fft {
+
+const char* twiddle_class_name(TwiddleClass c) noexcept {
+  switch (c) {
+    case TwiddleClass::kRed: return "red";
+    case TwiddleClass::kBlue: return "blue";
+    case TwiddleClass::kGreen: return "green";
+    case TwiddleClass::kYellow: return "yellow";
+  }
+  return "?";
+}
+
+namespace {
+
+using ExpSet = std::set<int>;
+
+ExpSet squares(const ExpSet& s, int n) {
+  ExpSet out;
+  for (int e : s) out.insert((2 * e) % n);
+  return out;
+}
+
+bool subset(const ExpSet& needle, const ExpSet& hay) {
+  return std::includes(hay.begin(), hay.end(), needle.begin(), needle.end());
+}
+
+}  // namespace
+
+TwiddleReport analyze_twiddles(const FftGeometry& g, int cols) {
+  if (cols < 1 || cols > g.stages || g.stages % cols != 0) {
+    throw std::invalid_argument("cols must divide log2(N)");
+  }
+  const int stages_per_col = g.stages / cols;
+
+  TwiddleReport report;
+  report.naive_words =
+      static_cast<long long>(g.n) / 2 * g.stages;
+
+  for (int col = 0; col < cols; ++col) {
+    const int first_stage = col * stages_per_col;
+    for (int row = 0; row < g.rows; ++row) {
+      // The tile's block-cyclic schedule: first_stage .. first_stage+spc-1,
+      // then wrap to first_stage for the next block.  Simulate two full
+      // blocks; steady state is the second.
+      ExpSet held;
+      {
+        const auto v = g.twiddle_exponents(row, first_stage);
+        held = ExpSet(v.begin(), v.end());  // Red: preloaded at residency
+      }
+      for (int block = 0; block < 2; ++block) {
+        for (int s = 0; s < stages_per_col; ++s) {
+          const int stage = first_stage + s;
+          const auto needed_v = g.twiddle_exponents(row, stage);
+          const ExpSet needed(needed_v.begin(), needed_v.end());
+
+          TwiddleSlot slot;
+          slot.row = row;
+          slot.col = col;
+          slot.stage = stage;
+          slot.words = static_cast<int>(needed.size());
+
+          const bool first_visit = block == 0 && s == 0;
+          if (first_visit) {
+            slot.cls = TwiddleClass::kRed;  // preprocessing load
+          } else if (subset(needed, held)) {
+            slot.cls = TwiddleClass::kBlue;
+          } else if (subset(needed, squares(held, g.n))) {
+            slot.cls = TwiddleClass::kGreen;
+            held = needed;
+          } else {
+            slot.cls = TwiddleClass::kYellow;
+            slot.reload_words = slot.words;
+            held = needed;
+          }
+
+          if (block == 1) {  // steady state accounting
+            report.slots.push_back(slot);
+            report.reload_words += slot.reload_words;
+            if (slot.cls == TwiddleClass::kGreen) {
+              report.generated_words += slot.words;
+            }
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+long long paper_reload_estimate(const FftGeometry& g) noexcept {
+  const long long yellow_stages = g.cross_stages();
+  return yellow_stages * (static_cast<long long>(g.n) / 2);
+}
+
+int paper_reload_events(const FftGeometry& g, int cols) noexcept {
+  if (cols >= g.stages) return 0;
+  const double frac =
+      1.0 - static_cast<double>(cols - 1) / static_cast<double>(g.stages - 1);
+  const double events = static_cast<double>(g.cross_stages()) * frac;
+  const auto whole = static_cast<int>(events);
+  return (static_cast<double>(whole) < events) ? whole + 1 : whole;
+}
+
+long long paper_reload_words(const FftGeometry& g, int cols) noexcept {
+  return static_cast<long long>(paper_reload_events(g, cols)) * (g.n / 2);
+}
+
+}  // namespace cgra::fft

@@ -1,0 +1,75 @@
+// Twiddle-factor management (Sec. 3.1, Fig. 8).
+//
+// Reloading twiddles through the ICAP costs 33.33 ns per word, while one
+// instruction runs in 2.5 ns, so the paper classifies each tile's per-stage
+// twiddle set and avoids reloads wherever possible:
+//
+//   Red    — the set a tile holds when a column residency begins
+//            (streamed during preprocessing; free at steady state start).
+//   Blue   — the needed set is already resident (only the indexing
+//            changes): no reload.
+//   Green  — the needed set equals the squares of the resident set
+//            (w_{2i} = w_i^2): the tile generates it with ALU instructions
+//            instead of reloading (33.33 ns -> 2.5 ns per twiddle).
+//   Yellow — anything else: the set streams in through the ICAP.
+//
+// We classify *empirically* from the real exponent sets of the rearranged
+// structure (FftGeometry::twiddle_exponents) by simulating each tile's
+// block-cyclic stage schedule to steady state.  Tests assert the structural
+// consequences the paper claims: a fully spatial design (cols == stages)
+// reloads nothing; fewer columns reload more; and the optimised total is
+// far below the naive N/2 * log2(N) words per transform.
+#pragma once
+
+#include <vector>
+
+#include "apps/fft/partition.hpp"
+
+namespace cgra::fft {
+
+/// Classification of one (row, stage) twiddle set.
+enum class TwiddleClass { kRed, kBlue, kGreen, kYellow };
+
+const char* twiddle_class_name(TwiddleClass c) noexcept;
+
+/// Steady-state classification of one tile's one stage-slot.
+struct TwiddleSlot {
+  int row = 0;
+  int col = 0;
+  int stage = 0;
+  TwiddleClass cls = TwiddleClass::kRed;
+  int words = 0;          ///< Size of the needed exponent set.
+  int reload_words = 0;   ///< ICAP words paid per block (yellow only).
+};
+
+/// Per-design twiddle accounting.
+struct TwiddleReport {
+  std::vector<TwiddleSlot> slots;
+  long long naive_words = 0;      ///< N/2 * log2(N): reload everything.
+  long long reload_words = 0;     ///< Steady-state yellow words per block.
+  long long generated_words = 0;  ///< Green words produced by ALU per block.
+
+  [[nodiscard]] double reload_ns(const IcapModel& icap) const {
+    return icap.data_reload_ns(reload_words);
+  }
+};
+
+/// Analyse an N-point design executed on `cols` columns (each column owns
+/// stages/cols consecutive stages; cols must divide stages).
+TwiddleReport analyze_twiddles(const FftGeometry& g, int cols);
+
+/// The paper's headline reduction: instead of reloading N*log2(N) twiddles
+/// we reload about (log2(N) - log2(M)) * N/2 — returns that closed-form
+/// estimate for comparison with the empirical count.
+long long paper_reload_estimate(const FftGeometry& g) noexcept;
+
+/// The paper's per-design reload-event rule (the tau1 case table of
+/// Sec. 3.2: {3, 3, 2, 0} events for 1024-point at 1/2/5/10 columns),
+/// generalised as ceil(cross * (1 - (cols-1)/(stages-1))): the number of
+/// N/2-word yellow reloads a `cols`-column design pays per transform.
+int paper_reload_events(const FftGeometry& g, int cols) noexcept;
+
+/// Words reloaded per transform under the paper's rule: events * N/2.
+long long paper_reload_words(const FftGeometry& g, int cols) noexcept;
+
+}  // namespace cgra::fft

@@ -1,0 +1,54 @@
+#include "apps/jpeg/bitio.hpp"
+
+namespace cgra::jpeg {
+
+void BitWriter::flush_byte() {
+  while (acc_bits_ >= 8) {
+    const auto byte = static_cast<std::uint8_t>((acc_ >> (acc_bits_ - 8)) & 0xFF);
+    bytes_.push_back(byte);
+    if (byte == 0xFF) bytes_.push_back(0x00);  // stuffing
+    acc_bits_ -= 8;
+    acc_ &= (1u << acc_bits_) - 1;
+  }
+}
+
+void BitWriter::put(std::uint32_t value, int bits) {
+  if (bits <= 0) return;
+  acc_ = (acc_ << bits) | (value & ((bits >= 32 ? 0xFFFFFFFFu : (1u << bits) - 1)));
+  acc_bits_ += bits;
+  bit_count_ += static_cast<std::size_t>(bits);
+  flush_byte();
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (acc_bits_ > 0) {
+    const int pad = 8 - acc_bits_;
+    put((1u << pad) - 1, pad);  // pad with 1-bits per the standard
+  }
+  return std::move(bytes_);
+}
+
+std::int32_t BitReader::get_bit() {
+  if (pos_ >= size_) return -1;
+  const std::uint8_t byte = data_[pos_];
+  const std::int32_t bit = (byte >> (7 - bit_)) & 1;
+  if (++bit_ == 8) {
+    bit_ = 0;
+    ++pos_;
+    // Skip the stuffed 0x00 after a 0xFF data byte.
+    if (byte == 0xFF && pos_ < size_ && data_[pos_] == 0x00) ++pos_;
+  }
+  return bit;
+}
+
+std::int32_t BitReader::get(int bits) {
+  std::int32_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    const std::int32_t b = get_bit();
+    if (b < 0) return -1;
+    out = (out << 1) | b;
+  }
+  return out;
+}
+
+}  // namespace cgra::jpeg

@@ -1,0 +1,46 @@
+// JPEG entropy-coded-segment bit I/O with 0xFF byte stuffing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cgra::jpeg {
+
+/// MSB-first bit writer; emits 0x00 after every 0xFF data byte.
+class BitWriter {
+ public:
+  /// Append the low `bits` bits of `value` (MSB first), bits in [0, 24].
+  void put(std::uint32_t value, int bits);
+
+  /// Pad the final partial byte with 1-bits and return the stream.
+  std::vector<std::uint8_t> finish();
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+
+ private:
+  void flush_byte();
+  std::vector<std::uint8_t> bytes_;
+  std::uint32_t acc_ = 0;
+  int acc_bits_ = 0;
+  std::size_t bit_count_ = 0;
+};
+
+/// MSB-first bit reader that undoes 0xFF00 stuffing.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  /// Read `bits` bits; returns -1 past the end of the segment.
+  std::int32_t get(int bits);
+  /// Read one bit (-1 at end).
+  std::int32_t get_bit();
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  int bit_ = 0;  ///< Next bit within data_[pos_], 0 = MSB.
+};
+
+}  // namespace cgra::jpeg

@@ -1,0 +1,202 @@
+#include "apps/jpeg/color.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/jpeg/bitio.hpp"
+#include "common/prng.hpp"
+
+namespace cgra::jpeg {
+
+RgbImage synthetic_rgb_image(int width, int height, std::uint64_t seed) {
+  RgbImage img;
+  img.width = width;
+  img.height = height;
+  img.rgb.resize(static_cast<std::size_t>(width) *
+                 static_cast<std::size_t>(height) * 3);
+  SplitMix64 rng(seed);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const std::size_t i = (static_cast<std::size_t>(y) *
+                                 static_cast<std::size_t>(width) +
+                             static_cast<std::size_t>(x)) *
+                            3;
+      const int noise = static_cast<int>(rng.next_below(13)) - 6;
+      img.rgb[i + 0] = static_cast<std::uint8_t>(
+          std::clamp((x * 255) / std::max(1, width - 1) + noise, 0, 255));
+      img.rgb[i + 1] = static_cast<std::uint8_t>(
+          std::clamp((y * 255) / std::max(1, height - 1) + noise, 0, 255));
+      img.rgb[i + 2] = static_cast<std::uint8_t>(
+          std::clamp(((x + y) % 32) * 8 + 64 + noise, 0, 255));
+    }
+  }
+  return img;
+}
+
+namespace {
+std::uint8_t clamp_u8(double v) {
+  return static_cast<std::uint8_t>(
+      std::clamp(static_cast<int>(std::lround(v)), 0, 255));
+}
+}  // namespace
+
+void rgb_to_ycbcr(std::uint8_t r, std::uint8_t g, std::uint8_t b,
+                  std::uint8_t* y, std::uint8_t* cb, std::uint8_t* cr) {
+  *y = clamp_u8(0.299 * r + 0.587 * g + 0.114 * b);
+  *cb = clamp_u8(128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b);
+  *cr = clamp_u8(128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b);
+}
+
+void ycbcr_to_rgb(std::uint8_t y, std::uint8_t cb, std::uint8_t cr,
+                  std::uint8_t* r, std::uint8_t* g, std::uint8_t* b) {
+  const double yd = y;
+  const double cbd = cb - 128.0;
+  const double crd = cr - 128.0;
+  *r = clamp_u8(yd + 1.402 * crd);
+  *g = clamp_u8(yd - 0.344136 * cbd - 0.714136 * crd);
+  *b = clamp_u8(yd + 1.772 * cbd);
+}
+
+void split_planes(const RgbImage& img, Image* y, Image* cb, Image* cr) {
+  for (Image* plane : {y, cb, cr}) {
+    plane->width = img.width;
+    plane->height = img.height;
+    plane->pixels.resize(static_cast<std::size_t>(img.width) *
+                         static_cast<std::size_t>(img.height));
+  }
+  for (int py = 0; py < img.height; ++py) {
+    for (int px = 0; px < img.width; ++px) {
+      const std::uint8_t* p = img.pixel(px, py);
+      const std::size_t i = static_cast<std::size_t>(py) *
+                                static_cast<std::size_t>(img.width) +
+                            static_cast<std::size_t>(px);
+      rgb_to_ycbcr(p[0], p[1], p[2], &y->pixels[i], &cb->pixels[i],
+                   &cr->pixels[i]);
+    }
+  }
+}
+
+RgbImage merge_planes(const Image& y, const Image& cb, const Image& cr) {
+  RgbImage out;
+  out.width = y.width;
+  out.height = y.height;
+  out.rgb.resize(static_cast<std::size_t>(y.width) *
+                 static_cast<std::size_t>(y.height) * 3);
+  for (std::size_t i = 0; i < y.pixels.size(); ++i) {
+    ycbcr_to_rgb(y.pixels[i], cb.pixels[i], cr.pixels[i], &out.rgb[i * 3],
+                 &out.rgb[i * 3 + 1], &out.rgb[i * 3 + 2]);
+  }
+  return out;
+}
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+void put_marker(std::vector<std::uint8_t>& out, std::uint8_t code) {
+  out.push_back(0xFF);
+  out.push_back(code);
+}
+void put_dqt(std::vector<std::uint8_t>& out, int id,
+             const std::array<int, 64>& quant) {
+  put_marker(out, 0xDB);
+  put_u16(out, 2 + 1 + 64);
+  out.push_back(static_cast<std::uint8_t>(id));
+  for (std::size_t i = 0; i < 64; ++i) {
+    out.push_back(static_cast<std::uint8_t>(
+        quant[static_cast<std::size_t>(zigzag_order()[i])]));
+  }
+}
+void put_dht(std::vector<std::uint8_t>& out, int clazz, int id,
+             const HuffSpec& spec) {
+  put_marker(out, 0xC4);
+  put_u16(out, static_cast<std::uint16_t>(2 + 1 + 16 + spec.symbols.size()));
+  out.push_back(static_cast<std::uint8_t>((clazz << 4) | id));
+  for (const auto c : spec.counts) out.push_back(c);
+  out.insert(out.end(), spec.symbols.begin(), spec.symbols.end());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_color_image(const RgbImage& img,
+                                             int quality) {
+  Image planes[3];
+  split_planes(img, &planes[0], &planes[1], &planes[2]);
+  const std::array<int, 64> quants[2] = {scaled_quant(quality),
+                                         scaled_chroma_quant(quality)};
+  const HuffEncoder dc_enc[2] = {build_encoder(dc_luminance_spec()),
+                                 build_encoder(dc_chrominance_spec())};
+  const HuffEncoder ac_enc[2] = {build_encoder(ac_luminance_spec()),
+                                 build_encoder(ac_chrominance_spec())};
+
+  std::vector<std::uint8_t> out;
+  put_marker(out, 0xD8);  // SOI
+  put_dqt(out, 0, quants[0]);
+  put_dqt(out, 1, quants[1]);
+
+  // SOF0: three components, 1x1 sampling each (4:4:4).
+  put_marker(out, 0xC0);
+  put_u16(out, 2 + 6 + 3 * 3);
+  out.push_back(8);
+  put_u16(out, static_cast<std::uint16_t>(img.height));
+  put_u16(out, static_cast<std::uint16_t>(img.width));
+  out.push_back(3);
+  for (int c = 0; c < 3; ++c) {
+    out.push_back(static_cast<std::uint8_t>(c + 1));  // component id
+    out.push_back(0x11);                              // 1x1 sampling
+    out.push_back(c == 0 ? 0 : 1);                    // quant table
+  }
+
+  put_dht(out, 0, 0, dc_luminance_spec());
+  put_dht(out, 1, 0, ac_luminance_spec());
+  put_dht(out, 0, 1, dc_chrominance_spec());
+  put_dht(out, 1, 1, ac_chrominance_spec());
+
+  // SOS
+  put_marker(out, 0xDA);
+  put_u16(out, 2 + 1 + 2 * 3 + 3);
+  out.push_back(3);
+  for (int c = 0; c < 3; ++c) {
+    out.push_back(static_cast<std::uint8_t>(c + 1));
+    out.push_back(c == 0 ? 0x00 : 0x11);  // DC/AC table selectors
+  }
+  out.push_back(0);
+  out.push_back(63);
+  out.push_back(0);
+
+  BitWriter bw;
+  int pred[3] = {0, 0, 0};
+  const int bw_blocks = (img.width + 7) / 8;
+  const int bh_blocks = (img.height + 7) / 8;
+  for (int by = 0; by < bh_blocks; ++by) {
+    for (int bx = 0; bx < bw_blocks; ++bx) {
+      for (int c = 0; c < 3; ++c) {
+        const int t = c == 0 ? 0 : 1;
+        const IntBlock zz = encode_block_stages(
+            extract_block(planes[c], bx, by), quants[t]);
+        pred[c] =
+            huffman_encode_block(zz, pred[c], bw, dc_enc[t], ac_enc[t]);
+      }
+    }
+  }
+  const auto ecs = bw.finish();
+  out.insert(out.end(), ecs.begin(), ecs.end());
+  put_marker(out, 0xD9);  // EOI
+  return out;
+}
+
+double psnr_rgb(const RgbImage& a, const RgbImage& b) {
+  if (a.width != b.width || a.height != b.height || a.rgb.empty()) return 0.0;
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.rgb.size(); ++i) {
+    const double d = static_cast<double>(a.rgb[i]) - b.rgb[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.rgb.size());
+  if (mse <= 0.0) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace cgra::jpeg

@@ -1,0 +1,52 @@
+// Color JPEG: RGB <-> YCbCr conversion and a baseline 4:4:4 encoder.
+//
+// An extension beyond the paper's grayscale pipeline: three interleaved
+// components (Y with the luminance tables, Cb/Cr with the chrominance
+// tables), 1x1 sampling, one block per component per MCU.  The bundled
+// decoder (decoder.hpp) handles both grayscale and this layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/jpeg/encoder.hpp"
+
+namespace cgra::jpeg {
+
+/// An 8-bit RGB image (interleaved, row-major).
+struct RgbImage {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> rgb;  ///< size = width * height * 3.
+
+  [[nodiscard]] const std::uint8_t* pixel(int x, int y) const {
+    return rgb.data() + (static_cast<std::size_t>(y) *
+                             static_cast<std::size_t>(width) +
+                         static_cast<std::size_t>(x)) *
+                            3;
+  }
+};
+
+/// Deterministic synthetic color image.
+RgbImage synthetic_rgb_image(int width, int height, std::uint64_t seed);
+
+/// BT.601 full-range conversions (the JFIF convention), rounded and
+/// clamped to [0, 255].
+void rgb_to_ycbcr(std::uint8_t r, std::uint8_t g, std::uint8_t b,
+                  std::uint8_t* y, std::uint8_t* cb, std::uint8_t* cr);
+void ycbcr_to_rgb(std::uint8_t y, std::uint8_t cb, std::uint8_t cr,
+                  std::uint8_t* r, std::uint8_t* g, std::uint8_t* b);
+
+/// Split into three full-resolution planes (4:4:4).
+void split_planes(const RgbImage& img, Image* y, Image* cb, Image* cr);
+/// Recombine three planes into RGB.
+RgbImage merge_planes(const Image& y, const Image& cb, const Image& cr);
+
+/// Encode an RGB image as a baseline 4:4:4 color JFIF stream.
+std::vector<std::uint8_t> encode_color_image(const RgbImage& img,
+                                             int quality = 50);
+
+/// PSNR over the three RGB channels.
+double psnr_rgb(const RgbImage& a, const RgbImage& b);
+
+}  // namespace cgra::jpeg

@@ -1,0 +1,100 @@
+#include "apps/jpeg/dct.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace cgra::jpeg {
+
+namespace {
+double basis(int k, int x) {
+  const double ck = k == 0 ? std::sqrt(0.5) : 1.0;
+  return 0.5 * ck *
+         std::cos((2.0 * x + 1.0) * k * std::numbers::pi / 16.0);
+}
+}  // namespace
+
+const std::array<std::int32_t, 64>& dct_basis_q12() {
+  static const std::array<std::int32_t, 64> kBasis = [] {
+    std::array<std::int32_t, 64> b{};
+    for (int k = 0; k < 8; ++k) {
+      for (int x = 0; x < 8; ++x) {
+        b[static_cast<std::size_t>(k * 8 + x)] = static_cast<std::int32_t>(
+            std::lround(basis(k, x) * (1 << kDctFracBits)));
+      }
+    }
+    return b;
+  }();
+  return kBasis;
+}
+
+Block fdct_float(const IntBlock& spatial) {
+  Block out{};
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      double acc = 0.0;
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          acc += spatial[static_cast<std::size_t>(y * 8 + x)] * basis(u, y) *
+                 basis(v, x);
+        }
+      }
+      out[static_cast<std::size_t>(u * 8 + v)] = acc;
+    }
+  }
+  return out;
+}
+
+Block idct_float(const Block& freq) {
+  Block out{};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      double acc = 0.0;
+      for (int u = 0; u < 8; ++u) {
+        for (int v = 0; v < 8; ++v) {
+          acc += freq[static_cast<std::size_t>(u * 8 + v)] * basis(u, y) *
+                 basis(v, x);
+        }
+      }
+      out[static_cast<std::size_t>(y * 8 + x)] = acc;
+    }
+  }
+  return out;
+}
+
+namespace {
+std::int64_t round_shift(std::int64_t v, int bits) {
+  return (v + (std::int64_t{1} << (bits - 1))) >> bits;
+}
+}  // namespace
+
+IntBlock fdct_fixed(const IntBlock& spatial) {
+  const auto& c = dct_basis_q12();
+  // Pass 1: T = C * X   (rows of C against columns of X).
+  std::array<std::int64_t, 64> t{};
+  for (int u = 0; u < 8; ++u) {
+    for (int x = 0; x < 8; ++x) {
+      std::int64_t acc = 0;
+      for (int y = 0; y < 8; ++y) {
+        acc += static_cast<std::int64_t>(c[static_cast<std::size_t>(u * 8 + y)]) *
+               spatial[static_cast<std::size_t>(y * 8 + x)];
+      }
+      t[static_cast<std::size_t>(u * 8 + x)] = round_shift(acc, kDctFracBits);
+    }
+  }
+  // Pass 2: Y = T * C^T.
+  IntBlock out{};
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      std::int64_t acc = 0;
+      for (int x = 0; x < 8; ++x) {
+        acc += t[static_cast<std::size_t>(u * 8 + x)] *
+               static_cast<std::int64_t>(c[static_cast<std::size_t>(v * 8 + x)]);
+      }
+      out[static_cast<std::size_t>(u * 8 + v)] =
+          static_cast<int>(round_shift(acc, kDctFracBits));
+    }
+  }
+  return out;
+}
+
+}  // namespace cgra::jpeg

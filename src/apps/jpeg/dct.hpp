@@ -1,0 +1,36 @@
+// 8x8 forward / inverse DCT.
+//
+// Two forward implementations share a test-asserted contract:
+//   * fdct_float — the exact type-II DCT with JPEG normalisation (the
+//     golden model and the decoder's inverse counterpart), and
+//   * fdct_fixed — the Q12 fixed-point matrix-multiply form whose
+//     arithmetic matches the fabric DCT kernel bit for bit, so the fabric
+//     can be verified against the host without tolerance fudging.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cgra::jpeg {
+
+using Block = std::array<double, 64>;       ///< Row-major 8x8.
+using IntBlock = std::array<int, 64>;
+
+/// Fraction bits of the fixed-point DCT basis.
+inline constexpr int kDctFracBits = 12;
+
+/// The Q12 DCT basis matrix C[k][x] = round(2^12 * c(k)/2 * cos((2x+1)k pi/16)).
+const std::array<std::int32_t, 64>& dct_basis_q12();
+
+/// Exact forward DCT of level-shifted samples (values around [-128, 127]).
+Block fdct_float(const IntBlock& spatial);
+
+/// Exact inverse DCT; output unclamped, caller adds the +128 level shift.
+Block idct_float(const Block& freq);
+
+/// Fixed-point forward DCT: Y = (C * X * C^T) with Q12 basis and
+/// round-to-nearest right shifts after each pass — the fabric kernel's
+/// arithmetic exactly.
+IntBlock fdct_fixed(const IntBlock& spatial);
+
+}  // namespace cgra::jpeg

@@ -1,0 +1,309 @@
+#include "apps/jpeg/decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/jpeg/bitio.hpp"
+
+namespace cgra::jpeg {
+
+HuffDecoder::HuffDecoder(const HuffSpec& spec)
+    : symbols_(spec.symbols) {
+  std::int32_t code = 0;
+  int k = 0;
+  for (int len = 1; len <= 16; ++len) {
+    const int count = spec.counts[static_cast<std::size_t>(len - 1)];
+    if (count == 0) {
+      min_code_[static_cast<std::size_t>(len)] = 0;
+      max_code_[static_cast<std::size_t>(len)] = -1;
+    } else {
+      val_ptr_[static_cast<std::size_t>(len)] = k;
+      min_code_[static_cast<std::size_t>(len)] = code;
+      code += count;
+      k += count;
+      max_code_[static_cast<std::size_t>(len)] = code - 1;
+    }
+    code <<= 1;
+  }
+}
+
+int HuffDecoder::decode(BitReader& br) const {
+  std::int32_t code = 0;
+  for (int len = 1; len <= 16; ++len) {
+    const std::int32_t bit = br.get_bit();
+    if (bit < 0) return -1;
+    code = (code << 1) | bit;
+    if (max_code_[static_cast<std::size_t>(len)] >= 0 &&
+        code <= max_code_[static_cast<std::size_t>(len)]) {
+      const int idx = val_ptr_[static_cast<std::size_t>(len)] +
+                      (code - min_code_[static_cast<std::size_t>(len)]);
+      if (idx < 0 || idx >= static_cast<int>(symbols_.size())) return -1;
+      return symbols_[static_cast<std::size_t>(idx)];
+    }
+  }
+  return -1;
+}
+
+int extend_amplitude(int bits_value, int category) noexcept {
+  if (category == 0) return 0;
+  // If the leading bit is 0 the value is negative (one's-complement form).
+  if (bits_value < (1 << (category - 1))) {
+    return bits_value - (1 << category) + 1;
+  }
+  return bits_value;
+}
+
+namespace {
+
+struct Parser {
+  const std::vector<std::uint8_t>& data;
+  std::size_t pos = 0;
+
+  bool eof() const { return pos >= data.size(); }
+  int u8() { return eof() ? -1 : data[pos++]; }
+  int u16() {
+    const int hi = u8();
+    const int lo = u8();
+    return hi < 0 || lo < 0 ? -1 : (hi << 8) | lo;
+  }
+};
+
+}  // namespace
+
+DecodeResult decode_image(const std::vector<std::uint8_t>& data) {
+  DecodeResult result;
+  Parser p{data};
+
+  auto fail = [&](const std::string& why) {
+    result.ok = false;
+    result.error = why;
+    return result;
+  };
+
+  if (p.u8() != 0xFF || p.u8() != 0xD8) return fail("missing SOI");
+
+  std::array<std::array<int, 64>, 4> quants{};  // natural order, by table id
+  std::array<bool, 4> have_quant{};
+  std::array<std::optional<HuffDecoder>, 4> dc_decs;
+  std::array<std::optional<HuffDecoder>, 4> ac_decs;
+  int width = 0;
+  int height = 0;
+  struct Component {
+    int quant_id = 0;
+    int dc_id = 0;
+    int ac_id = 0;
+  };
+  std::vector<Component> comps;
+
+  while (!p.eof()) {
+    if (p.u8() != 0xFF) return fail("marker expected");
+    int marker = p.u8();
+    while (marker == 0xFF) marker = p.u8();  // fill bytes
+    if (marker == 0xD9) return fail("EOI before scan");
+
+    const int length = p.u16();
+    if (length < 2) return fail("bad segment length");
+    const std::size_t seg_end = p.pos + static_cast<std::size_t>(length - 2);
+    if (seg_end > p.data.size()) return fail("segment overruns stream");
+
+    switch (marker) {
+      case 0xDB: {  // DQT (possibly several tables per segment)
+        while (p.pos < seg_end) {
+          const int pq_tq = p.u8();
+          if ((pq_tq >> 4) != 0) return fail("16-bit quant unsupported");
+          const int id = pq_tq & 0x0F;
+          if (id >= 4) return fail("bad quant table id");
+          for (int i = 0; i < 64; ++i) {
+            quants[static_cast<std::size_t>(id)][static_cast<std::size_t>(
+                zigzag_order()[static_cast<std::size_t>(i)])] = p.u8();
+          }
+          have_quant[static_cast<std::size_t>(id)] = true;
+        }
+        break;
+      }
+      case 0xC0: {  // SOF0
+        p.u8();  // precision
+        height = p.u16();
+        width = p.u16();
+        const int ncomp = p.u8();
+        if (ncomp != 1 && ncomp != 3) {
+          return fail("only 1- or 3-component frames supported");
+        }
+        comps.assign(static_cast<std::size_t>(ncomp), Component{});
+        for (auto& comp : comps) {
+          p.u8();  // component id (assumed in scan order)
+          const int sampling = p.u8();
+          if (sampling != 0x11) return fail("subsampling unsupported");
+          comp.quant_id = p.u8();
+          if (comp.quant_id < 0 || comp.quant_id >= 4) {
+            return fail("bad quant selector");
+          }
+        }
+        break;
+      }
+      case 0xC4: {  // DHT (possibly several tables per segment)
+        while (p.pos < seg_end) {
+          const int tc_th = p.u8();
+          HuffSpec spec;
+          int total = 0;
+          for (int i = 0; i < 16; ++i) {
+            const int c = p.u8();
+            spec.counts[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(c);
+            total += c;
+          }
+          spec.symbols.resize(static_cast<std::size_t>(total));
+          for (int i = 0; i < total; ++i) {
+            spec.symbols[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(p.u8());
+          }
+          const int id = tc_th & 0x0F;
+          if (id >= 4) return fail("bad huffman table id");
+          if ((tc_th >> 4) == 0) {
+            dc_decs[static_cast<std::size_t>(id)].emplace(spec);
+          } else {
+            ac_decs[static_cast<std::size_t>(id)].emplace(spec);
+          }
+        }
+        break;
+      }
+      case 0xDA: {  // SOS: header then entropy-coded segment
+        if (comps.empty() || width <= 0 || height <= 0) {
+          return fail("scan before frame header");
+        }
+        const int ns = p.u8();
+        if (ns != static_cast<int>(comps.size())) {
+          return fail("scan component count mismatch");
+        }
+        for (auto& comp : comps) {
+          p.u8();  // component id (assumed frame order)
+          const int tables = p.u8();
+          comp.dc_id = tables >> 4;
+          comp.ac_id = tables & 0x0F;
+          if (comp.dc_id >= 4 || comp.ac_id >= 4) {
+            return fail("bad huffman selector");
+          }
+        }
+        p.pos = seg_end;  // skip spectral selection bytes
+        for (const auto& comp : comps) {
+          if (!have_quant[static_cast<std::size_t>(comp.quant_id)] ||
+              !dc_decs[static_cast<std::size_t>(comp.dc_id)] ||
+              !ac_decs[static_cast<std::size_t>(comp.ac_id)]) {
+            return fail("scan references missing tables");
+          }
+        }
+        if (static_cast<long long>(width) * height > 64LL * 1024 * 1024) {
+          return fail("image larger than the decoder's 64-megapixel limit");
+        }
+        // Entropy data runs until the EOI marker (0xFF not followed by 0x00).
+        std::size_t ecs_end = p.pos;
+        while (ecs_end + 1 < p.data.size() &&
+               !(p.data[ecs_end] == 0xFF && p.data[ecs_end + 1] != 0x00)) {
+          ++ecs_end;
+        }
+        BitReader br(p.data.data() + p.pos, ecs_end - p.pos);
+
+        std::vector<Image> planes(comps.size());
+        for (auto& plane : planes) {
+          plane.width = width;
+          plane.height = height;
+          plane.pixels.assign(static_cast<std::size_t>(width) *
+                                  static_cast<std::size_t>(height),
+                              0);
+        }
+        const int bw_blocks = (width + 7) / 8;
+        const int bh_blocks = (height + 7) / 8;
+        std::vector<int> prev_dc(comps.size(), 0);
+        for (int by = 0; by < bh_blocks; ++by) {
+          for (int bx = 0; bx < bw_blocks; ++bx) {
+            for (std::size_t c = 0; c < comps.size(); ++c) {
+              const auto& comp = comps[c];
+              const auto& dc_dec =
+                  *dc_decs[static_cast<std::size_t>(comp.dc_id)];
+              const auto& ac_dec =
+                  *ac_decs[static_cast<std::size_t>(comp.ac_id)];
+              const auto& quant =
+                  quants[static_cast<std::size_t>(comp.quant_id)];
+              // --- Huffman decode one block in zigzag order ---
+              IntBlock zz{};
+              const int dc_cat = dc_dec.decode(br);
+              if (dc_cat < 0) return fail("DC decode error");
+              const int dc_bits = dc_cat == 0 ? 0 : br.get(dc_cat);
+              if (dc_bits < 0) return fail("DC amplitude error");
+              prev_dc[c] += extend_amplitude(dc_bits, dc_cat);
+              zz[0] = prev_dc[c];
+              int k = 1;
+              while (k < 64) {
+                const int sym = ac_dec.decode(br);
+                if (sym < 0) return fail("AC decode error");
+                if (sym == 0x00) break;  // EOB
+                if (sym == 0xF0) {       // ZRL: sixteen zeros
+                  k += 16;
+                  continue;
+                }
+                const int run = sym >> 4;
+                const int cat = sym & 0x0F;
+                k += run;
+                if (k >= 64) return fail("AC run overflow");
+                const int amp = br.get(cat);
+                if (amp < 0) return fail("AC amplitude error");
+                zz[static_cast<std::size_t>(k++)] =
+                    extend_amplitude(amp, cat);
+              }
+              // --- dequantise + IDCT + level shift ---
+              Block freq{};
+              for (std::size_t i = 0; i < 64; ++i) {
+                freq[static_cast<std::size_t>(zigzag_order()[i])] =
+                    static_cast<double>(zz[i]) *
+                    quant[static_cast<std::size_t>(zigzag_order()[i])];
+              }
+              const Block spatial = idct_float(freq);
+              for (int y = 0; y < 8; ++y) {
+                for (int x = 0; x < 8; ++x) {
+                  const int px = bx * 8 + x;
+                  const int py = by * 8 + y;
+                  if (px >= width || py >= height) continue;
+                  const int v = static_cast<int>(std::lround(
+                      spatial[static_cast<std::size_t>(y * 8 + x)] + 128.0));
+                  planes[c].pixels[static_cast<std::size_t>(py) *
+                                       static_cast<std::size_t>(width) +
+                                   static_cast<std::size_t>(px)] =
+                      static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+                }
+              }
+            }
+          }
+        }
+        result.image = std::move(planes[0]);
+        if (comps.size() == 3) {
+          result.is_color = true;
+          result.rgb = merge_planes(result.image, planes[1], planes[2]);
+        }
+        result.ok = true;
+        return result;
+      }
+      default:
+        p.pos = seg_end;  // skip APPn / COM / unknown
+        break;
+    }
+    p.pos = seg_end;
+  }
+  return fail("no scan found");
+}
+
+double psnr(const Image& a, const Image& b) {
+  if (a.width != b.width || a.height != b.height || a.pixels.empty()) {
+    return 0.0;
+  }
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+    const double d =
+        static_cast<double>(a.pixels[i]) - static_cast<double>(b.pixels[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.pixels.size());
+  if (mse <= 0.0) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace cgra::jpeg

@@ -1,0 +1,56 @@
+// Baseline grayscale JPEG decoder.
+//
+// An independent implementation path (Huffman decode, dequantise, float
+// IDCT) used by the integration tests to round-trip the encoder's output:
+// parse -> decode -> PSNR against the original must exceed a quality-
+// dependent bound.  Parses the subset of JFIF the encoder emits plus the
+// usual marker skipping, so it also documents the stream layout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/jpeg/bitio.hpp"
+#include "apps/jpeg/color.hpp"
+#include "apps/jpeg/encoder.hpp"
+
+namespace cgra::jpeg {
+
+/// Decode outcome.  Grayscale streams fill `image`; three-component 4:4:4
+/// streams fill `rgb` as well (with `image` holding the Y plane).
+struct DecodeResult {
+  Image image;
+  RgbImage rgb;
+  bool is_color = false;
+  bool ok = false;
+  std::string error;
+};
+
+/// Decode a baseline JFIF stream: grayscale or 4:4:4 color (1x1 sampling).
+DecodeResult decode_image(const std::vector<std::uint8_t>& data);
+
+/// Peak signal-to-noise ratio between two same-size images (dB).
+double psnr(const Image& a, const Image& b);
+
+/// Canonical-Huffman decoder built from a DHT spec (exposed for tests).
+class HuffDecoder {
+ public:
+  explicit HuffDecoder(const HuffSpec& spec);
+
+  /// Decode one symbol from the reader; -1 on error/end.
+  int decode(BitReader& br) const;
+
+ private:
+  // Per code length: first code value, first symbol index.
+  std::array<std::int32_t, 17> min_code_{};
+  std::array<std::int32_t, 17> max_code_{};  ///< -1 when no codes of length.
+  std::array<int, 17> val_ptr_{};
+  std::vector<std::uint8_t> symbols_;
+};
+
+/// Inverse of the encoder's amplitude encoding.
+int extend_amplitude(int bits_value, int category) noexcept;
+
+}  // namespace cgra::jpeg

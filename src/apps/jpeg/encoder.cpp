@@ -1,0 +1,227 @@
+#include "apps/jpeg/encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/jpeg/bitio.hpp"
+#include "common/prng.hpp"
+
+namespace cgra::jpeg {
+
+Image synthetic_image(int width, int height, std::uint64_t seed) {
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(static_cast<std::size_t>(width) *
+                    static_cast<std::size_t>(height));
+  SplitMix64 rng(seed);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      // Smooth gradient + coarse checker + mild noise: exercises DC deltas,
+      // AC runs and the occasional dense block.
+      const int gradient = (x * 255) / std::max(1, width - 1);
+      const int checker = (((x / 16) + (y / 16)) % 2 == 0) ? 48 : 0;
+      const int noise = static_cast<int>(rng.next_below(17)) - 8;
+      const int v = std::clamp(gradient / 2 + checker + 64 + noise, 0, 255);
+      img.pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(v);
+    }
+  }
+  return img;
+}
+
+int block_count(int width, int height) noexcept {
+  return ((width + 7) / 8) * ((height + 7) / 8);
+}
+
+IntBlock extract_block(const Image& img, int bx, int by) {
+  IntBlock out{};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const int px = std::min(bx * 8 + x, img.width - 1);
+      const int py = std::min(by * 8 + y, img.height - 1);
+      out[static_cast<std::size_t>(y * 8 + x)] = img.at(px, py);
+    }
+  }
+  return out;
+}
+
+IntBlock level_shift(const IntBlock& block) {
+  IntBlock out{};
+  for (std::size_t i = 0; i < 64; ++i) out[i] = block[i] - 128;
+  return out;
+}
+
+std::int32_t quant_reciprocal(int q) noexcept {
+  return static_cast<std::int32_t>((65536 + q / 2) / q);
+}
+
+IntBlock quantize(const IntBlock& coeffs, const std::array<int, 64>& quant) {
+  IntBlock out{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::int64_t prod =
+        static_cast<std::int64_t>(coeffs[i]) * quant_reciprocal(quant[i]);
+    out[i] = static_cast<int>((prod + 32768) >> 16);
+  }
+  return out;
+}
+
+IntBlock zigzag_scan(const IntBlock& block) {
+  IntBlock out{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    out[i] = block[static_cast<std::size_t>(zigzag_order()[i])];
+  }
+  return out;
+}
+
+int bit_category(int value) noexcept {
+  int mag = value < 0 ? -value : value;
+  int bits = 0;
+  while (mag != 0) {
+    ++bits;
+    mag >>= 1;
+  }
+  return bits;
+}
+
+namespace {
+/// JPEG encodes negative values as the one's complement of |v| in `bits`.
+std::uint32_t amplitude_bits(int value, int bits) noexcept {
+  return value >= 0 ? static_cast<std::uint32_t>(value)
+                    : static_cast<std::uint32_t>(value + (1 << bits) - 1);
+}
+}  // namespace
+
+int huffman_encode_block(const IntBlock& zz, int prev_dc, BitWriter& bw,
+                         const HuffEncoder& dc, const HuffEncoder& ac) {
+  // DC: category + amplitude of the prediction delta.
+  const int diff = zz[0] - prev_dc;
+  const int dc_cat = bit_category(diff);
+  bw.put(dc.code[static_cast<std::size_t>(dc_cat)],
+         dc.length[static_cast<std::size_t>(dc_cat)]);
+  if (dc_cat > 0) bw.put(amplitude_bits(diff, dc_cat), dc_cat);
+
+  // AC: (run, size) symbols with ZRL (0xF0) and EOB (0x00).
+  int run = 0;
+  for (std::size_t i = 1; i < 64; ++i) {
+    const int v = zz[i];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      bw.put(ac.code[0xF0], ac.length[0xF0]);
+      run -= 16;
+    }
+    const int cat = bit_category(v);
+    const auto sym = static_cast<std::size_t>((run << 4) | cat);
+    bw.put(ac.code[sym], ac.length[sym]);
+    bw.put(amplitude_bits(v, cat), cat);
+    run = 0;
+  }
+  if (run > 0) bw.put(ac.code[0x00], ac.length[0x00]);  // EOB
+  return zz[0];
+}
+
+IntBlock encode_block_stages(const IntBlock& raw,
+                             const std::array<int, 64>& quant) {
+  return zigzag_scan(quantize(fdct_fixed(level_shift(raw)), quant));
+}
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_marker(std::vector<std::uint8_t>& out, std::uint8_t code) {
+  out.push_back(0xFF);
+  out.push_back(code);
+}
+
+void put_dht(std::vector<std::uint8_t>& out, int clazz, int id,
+             const HuffSpec& spec) {
+  put_marker(out, 0xC4);
+  put_u16(out, static_cast<std::uint16_t>(2 + 1 + 16 + spec.symbols.size()));
+  out.push_back(static_cast<std::uint8_t>((clazz << 4) | id));
+  for (const auto c : spec.counts) out.push_back(c);
+  out.insert(out.end(), spec.symbols.begin(), spec.symbols.end());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_image(const Image& img, int quality) {
+  const std::array<int, 64> quant = scaled_quant(quality);
+  const HuffEncoder dc = build_encoder(dc_luminance_spec());
+  const HuffEncoder ac = build_encoder(ac_luminance_spec());
+
+  std::vector<std::uint8_t> out;
+  put_marker(out, 0xD8);  // SOI
+
+  // APP0 / JFIF
+  put_marker(out, 0xE0);
+  put_u16(out, 16);
+  for (const char c : {'J', 'F', 'I', 'F', '\0'}) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  out.push_back(1);
+  out.push_back(1);
+  out.push_back(0);   // aspect-ratio units
+  put_u16(out, 1);    // x density
+  put_u16(out, 1);    // y density
+  out.push_back(0);   // no thumbnail
+  out.push_back(0);
+
+  // DQT (table 0, zigzag order).
+  put_marker(out, 0xDB);
+  put_u16(out, 2 + 1 + 64);
+  out.push_back(0x00);
+  for (std::size_t i = 0; i < 64; ++i) {
+    out.push_back(static_cast<std::uint8_t>(
+        quant[static_cast<std::size_t>(zigzag_order()[i])]));
+  }
+
+  // SOF0: baseline, 8-bit, one component.
+  put_marker(out, 0xC0);
+  put_u16(out, 2 + 6 + 3);
+  out.push_back(8);
+  put_u16(out, static_cast<std::uint16_t>(img.height));
+  put_u16(out, static_cast<std::uint16_t>(img.width));
+  out.push_back(1);     // components
+  out.push_back(1);     // component id
+  out.push_back(0x11);  // 1x1 sampling
+  out.push_back(0);     // quant table 0
+
+  put_dht(out, 0, 0, dc_luminance_spec());
+  put_dht(out, 1, 0, ac_luminance_spec());
+
+  // SOS
+  put_marker(out, 0xDA);
+  put_u16(out, 2 + 1 + 2 + 3);
+  out.push_back(1);
+  out.push_back(1);
+  out.push_back(0x00);  // DC table 0, AC table 0
+  out.push_back(0);     // spectral start
+  out.push_back(63);    // spectral end
+  out.push_back(0);     // approximation
+
+  BitWriter bw;
+  int prev_dc = 0;
+  const int bw_blocks = (img.width + 7) / 8;
+  const int bh_blocks = (img.height + 7) / 8;
+  for (int by = 0; by < bh_blocks; ++by) {
+    for (int bx = 0; bx < bw_blocks; ++bx) {
+      const IntBlock zz =
+          encode_block_stages(extract_block(img, bx, by), quant);
+      prev_dc = huffman_encode_block(zz, prev_dc, bw, dc, ac);
+    }
+  }
+  const auto ecs = bw.finish();
+  out.insert(out.end(), ecs.begin(), ecs.end());
+
+  put_marker(out, 0xD9);  // EOI
+  return out;
+}
+
+}  // namespace cgra::jpeg

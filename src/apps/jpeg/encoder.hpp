@@ -1,0 +1,68 @@
+// Baseline grayscale JPEG encoder (the paper's second kernel).
+//
+// The pipeline follows the paper's process decomposition exactly —
+// { Blocking/shift, DCT, Quantization, ZigZag, Huffman } — with each stage
+// exposed as a standalone function so the fabric kernels can be verified
+// stage by stage.  encode_image() produces a well-formed JFIF byte stream
+// that the companion decoder (decoder.hpp) round-trips in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/jpeg/bitio.hpp"
+#include "apps/jpeg/dct.hpp"
+#include "apps/jpeg/tables.hpp"
+
+namespace cgra::jpeg {
+
+/// An 8-bit grayscale image.
+struct Image {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> pixels;  ///< Row-major, size = width*height.
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    return pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                  static_cast<std::size_t>(x)];
+  }
+};
+
+/// Deterministic synthetic test images (gradient / checker / noise mix).
+Image synthetic_image(int width, int height, std::uint64_t seed);
+
+/// Number of 8x8 blocks an encode of (w, h) processes (edge-padded).
+int block_count(int width, int height) noexcept;
+
+/// Extract (with edge replication) the 8x8 block at block coords (bx, by).
+IntBlock extract_block(const Image& img, int bx, int by);
+
+/// Stage 1 — level shift: subtract 128 from each sample.
+IntBlock level_shift(const IntBlock& block);
+
+/// Stage 3 — quantisation by reciprocal multiplication (the division-free
+/// form both the host and the fabric kernel use):
+///   y = round_to_nearest(x * recip(q) / 2^16),  recip(q) = round(2^16 / q).
+IntBlock quantize(const IntBlock& coeffs, const std::array<int, 64>& quant);
+/// Q16 reciprocal of one quantiser entry.
+std::int32_t quant_reciprocal(int q) noexcept;
+
+/// Stage 4 — zigzag scan (natural order -> zigzag order).
+IntBlock zigzag_scan(const IntBlock& block);
+
+/// Stage 5 — Huffman-encode one zigzagged block into `bw`.
+/// `prev_dc` carries the DC predictor; returns the new predictor.
+int huffman_encode_block(const IntBlock& zz, int prev_dc, BitWriter& bw,
+                         const HuffEncoder& dc, const HuffEncoder& ac);
+
+/// JPEG magnitude category (number of bits) of a coefficient value.
+int bit_category(int value) noexcept;
+
+/// Full pipeline for one block: shift -> fixed DCT -> quantize -> zigzag.
+IntBlock encode_block_stages(const IntBlock& raw,
+                             const std::array<int, 64>& quant);
+
+/// Encode a whole image to a JFIF byte stream (baseline, grayscale).
+std::vector<std::uint8_t> encode_image(const Image& img, int quality = 50);
+
+}  // namespace cgra::jpeg

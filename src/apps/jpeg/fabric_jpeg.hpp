@@ -1,0 +1,139 @@
+// JPEG stages as fabric assembly kernels.
+//
+// shift, DCT, quantize and zigzag run as real tile programs; their cycle
+// counts are measured on the simulator (our analogue of Table 3's runtime
+// column) and their outputs are verified bit-exactly against the host
+// reference (level_shift / fdct_fixed / quantize / zigzag_scan share the
+// arithmetic).  Huffman stays a host process — its annotations come from
+// the paper's Table 3 — a substitution documented in DESIGN.md: the mapping
+// algorithms only consume annotations, never the code.
+//
+// Tile data-memory layout (one 8x8 block per tile):
+//   X  = [0, 64)     block (in place through the pipeline)
+//   T  = [64, 128)   intermediate / output buffer
+//   C  = [128, 192)  Q12 DCT basis
+//   R  = [192, 256)  Q16 quantiser reciprocals (natural order)
+//   CTRL = [448, 464) counters / pointers
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/jpeg/encoder.hpp"
+#include "common/status.hpp"
+#include "common/timing.hpp"
+#include "mapping/schedule_compiler.hpp"
+#include "procnet/network.hpp"
+
+namespace cgra::jpeg {
+
+/// Layout constants (fixed: a JPEG block always fits one tile).
+struct JpegLayout {
+  int x = 0;      ///< Working block.
+  int t = 64;     ///< Intermediate / output buffer.
+  int c = 128;    ///< Q12 DCT basis.
+  int r = 192;    ///< Q16 quantiser reciprocals.
+  int p = 256;    ///< Inbox (double buffer) for the streaming pipeline.
+  int ctrl = 448; ///< Counters / pointers.
+};
+
+/// Kernel sources.
+std::string shift_source(const JpegLayout& lay);
+std::string dct_source(const JpegLayout& lay);       ///< Two-pass Q12 matmul.
+std::string quantize_source(const JpegLayout& lay);  ///< Reciprocal multiply.
+std::string zigzag_source(const JpegLayout& lay);    ///< 64 straight moves.
+/// Append to any kernel: stream a 64-word block from `src_base` to
+/// `dst_base` in the linked neighbour (default: its working block X).
+std::string send_block_source(const JpegLayout& lay, int src_base,
+                              int dst_base = 0);
+
+/// Measured cycle counts of the fabric kernels (Table-3 analogue).
+struct JpegKernelCycles {
+  std::int64_t shift = 0;
+  std::int64_t dct = 0;
+  std::int64_t quantize = 0;
+  std::int64_t zigzag = 0;
+};
+JpegKernelCycles measure_jpeg_kernels();
+
+/// Data-memory layout of the Huffman (hman) tile.  The code tables pack
+/// (length << 16) | code into one word each; output is emitted as 24-bit
+/// chunks (MSB first) with the partial-word tail left in acc/nbits.
+struct HmanLayout {
+  int zz = 0;         ///< [0, 64)    zigzagged coefficients (input).
+  int out = 64;       ///< [64, 152)  24-bit output chunks (88 words).
+  int ac_tab = 152;   ///< [152, 408) AC (run,size) -> packed code table.
+  int dc_tab = 408;   ///< [408, 420) DC category -> packed code table.
+  int mask24 = 430;   ///< Constant 0xFFFFFF.
+  int prev_dc = 431;  ///< DC predictor in, block DC out (for chaining).
+  int acc_out = 432;  ///< Residual bit accumulator after the run.
+  int nbits_out = 433;///< Residual bit count.
+  int out_count = 434;///< 24-bit words emitted.
+  int ctrl = 440;     ///< Scratch registers.
+};
+
+/// The Huffman entropy-coding tile program: encodes one zigzagged block
+/// (DC delta + run-length AC with ZRL/EOB, canonical Huffman, amplitude
+/// bits) into the OUT region.  The paper split this across hman1..hman5;
+/// our leaner ISA tables fit one tile.
+std::string hman_source(const HmanLayout& lay);
+
+/// Constant patches for the hman tile (code tables, masks, predictor).
+std::vector<isa::DataPatch> hman_patches(const HmanLayout& lay, int prev_dc);
+
+/// Result of entropy-coding one block on the fabric.
+struct FabricEntropyResult {
+  std::vector<std::uint8_t> bits;  ///< The exact bit string, MSB first.
+  std::int64_t cycles = 0;
+  bool ok = false;
+};
+
+/// Run the hman program on one tile for `zz` and return the bit string
+/// (matches the host Huffman encoder bit for bit, pre-stuffing).
+FabricEntropyResult encode_entropy_on_fabric(const IntBlock& zz, int prev_dc);
+
+/// Result of running one block through the fabric pipeline.
+struct FabricBlockResult {
+  IntBlock zigzagged{};   ///< Output of the zigzag tile.
+  bool ok = false;
+  std::vector<Fault> faults;
+  std::int64_t total_cycles = 0;
+  Nanoseconds reconfig_ns = 0.0;
+};
+
+/// Run shift -> DCT -> quantize -> zigzag for one raw block on a 1x4 tile
+/// pipeline (cp64-style block transfers over east links).  Output matches
+/// encode_block_stages() bit for bit.
+FabricBlockResult encode_block_on_fabric(const IntBlock& raw,
+                                         const std::array<int, 64>& quant);
+
+/// Result of streaming many blocks through the pipelined fabric.
+struct FabricStreamResult {
+  std::vector<IntBlock> zigzagged;     ///< One output per input block.
+  std::vector<std::int64_t> beat_cycles;  ///< Cycles of each pipeline beat.
+  std::int64_t steady_ii_cycles = 0;   ///< Median beat once the pipe is full.
+  bool ok = false;
+  std::vector<Fault> faults;
+};
+
+/// Program library for the schedule compiler: implementations of the four
+/// fabric-resident transform processes, keyed by their ids in
+/// `jpeg_transform_pipeline()` (0 shift, 1 DCT, 2 quantize, 3 zigzag).
+mapping::ProgramLibrary jpeg_program_library(const std::array<int, 64>& quant);
+
+/// The fabric-resident subset of the JPEG pipeline (shift, DCT, quantize,
+/// zigzag) annotated with measured cycle counts — the network the schedule
+/// compiler can realise end to end.
+procnet::ProcessNetwork jpeg_transform_pipeline();
+
+/// Stream `blocks` through the 1x4 pipeline with true overlap: in each
+/// "beat" all four tiles run concurrently on consecutive blocks (double-
+/// buffered through the P inbox), so the steady-state beat time is the
+/// executed initiation interval — directly comparable with the mapping
+/// cost model's II prediction.  Outputs match encode_block_stages().
+FabricStreamResult encode_blocks_on_fabric_stream(
+    const std::vector<IntBlock>& blocks, const std::array<int, 64>& quant);
+
+}  // namespace cgra::jpeg

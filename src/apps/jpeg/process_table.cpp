@@ -1,0 +1,127 @@
+#include "apps/jpeg/process_table.hpp"
+
+namespace cgra::jpeg {
+
+using procnet::Process;
+using procnet::ProcessNetwork;
+
+std::vector<Process> paper_table3_processes() {
+  // name, insts, data1, data2, data3, runtime(cycles)  — paper Table 3.
+  std::vector<Process> p;
+  p.push_back({"shift", 11, 0, 2, 9, 720, 1, true});
+  p.push_back({"DCT", 62, 64, 14, 13, 133324, 1, true});
+  p.push_back({"Alpha", 12, 64, 2, 7, 720, 1, true});
+  p.push_back({"Quantize", 35, 64, 7, 7, 1576, 1, true});
+  p.push_back({"Zigzag", 65, 0, 0, 0, 65, 1, true});
+  p.push_back({"Hman1", 71, 0, 10, 9, 7934, 1, true});
+  p.push_back({"Hman2", 56, 0, 10, 6, 1587, 1, true});
+  p.push_back({"Hman3", 151, 0, 43, 12, 1651, 1, true});
+  p.push_back({"Hman4", 180, 0, 17, 12, 2300, 1, true});
+  p.push_back({"Hman5", 109, 21, 14, 17, 6823, 1, true});
+  // Auxiliary: the quarter-block DCT, four invocations per 8x8 block.
+  p.push_back({"dct", 62, 64, 14, 13, 33372, 4, true});
+  // Copy processes (time-optimised variants of Table 3).
+  p.push_back({"CP16", 17, 0, 0, 0, 17, 1, true});
+  p.push_back({"CP32", 33, 0, 0, 0, 33, 1, true});
+  p.push_back({"CP64", 65, 0, 0, 0, 65, 1, true});
+  return p;
+}
+
+namespace {
+ProcessNetwork pipeline_from(const std::vector<int>& ids) {
+  const auto all = paper_table3_processes();
+  std::vector<Process> procs;
+  procs.reserve(ids.size());
+  for (int id : ids) procs.push_back(all[static_cast<std::size_t>(id)]);
+  return ProcessNetwork::pipeline(std::move(procs), /*words_per_edge=*/64);
+}
+}  // namespace
+
+ProcessNetwork jpeg_main_pipeline() {
+  return pipeline_from({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+}
+
+ProcessNetwork jpeg_split_pipeline() {
+  return pipeline_from({0, 10, 2, 3, 4, 5, 6, 7, 8, 9});
+}
+
+ProcessNetwork measured_pipeline(const JpegKernelCycles& cycles) {
+  auto procs = paper_table3_processes();
+  procs[0].runtime_cycles = cycles.shift;
+  procs[1].runtime_cycles = cycles.dct;
+  procs[3].runtime_cycles = cycles.quantize;
+  procs[4].runtime_cycles = cycles.zigzag;
+  // Alpha is folded into our DCT basis; keep it as a (cheap) placeholder
+  // with the paper's annotation.  Huffman annotations stay the paper's.
+  std::vector<Process> main(procs.begin(), procs.begin() + 10);
+  return ProcessNetwork::pipeline(std::move(main), 64);
+}
+
+namespace {
+mapping::Binding binding_of(std::vector<mapping::TileGroup> groups) {
+  mapping::Binding b;
+  b.groups = std::move(groups);
+  return b;
+}
+}  // namespace
+
+std::vector<ManualMapping> table4_manual_mappings() {
+  std::vector<ManualMapping> out;
+
+  // Impl1: everything on one tile.
+  {
+    ManualMapping m;
+    m.name = "Impl1";
+    m.tiles = 1;
+    m.network = jpeg_main_pipeline();
+    m.binding = mapping::all_on_one_tile(m.network);
+    out.push_back(std::move(m));
+  }
+  // Impl2: DCT alone on one tile, the other nine processes on the second.
+  {
+    ManualMapping m;
+    m.name = "Impl2";
+    m.tiles = 2;
+    m.network = jpeg_main_pipeline();
+    // The paper puts shift on the same tile as the post-DCT processes
+    // (Table 4: T0 hosts p0 and p2..p9, T1 hosts the DCT).
+    m.binding = binding_of({{{1}, 1}, {{0, 2, 3, 4, 5, 6, 7, 8, 9}, 1}});
+    out.push_back(std::move(m));
+  }
+  // Impl3: one-to-one mapping, ten tiles, everything pinned.
+  {
+    ManualMapping m;
+    m.name = "Impl3";
+    m.tiles = 10;
+    m.network = jpeg_main_pipeline();
+    std::vector<mapping::TileGroup> groups;
+    for (int i = 0; i < 10; ++i) groups.push_back({{i}, 1});
+    m.binding = binding_of(std::move(groups));
+    out.push_back(std::move(m));
+  }
+  // Impl4: one-to-one with DCT split onto four dct tiles (13 tiles).
+  {
+    ManualMapping m;
+    m.name = "Impl4";
+    m.tiles = 13;
+    m.network = jpeg_split_pipeline();
+    std::vector<mapping::TileGroup> groups;
+    groups.push_back({{0}, 1});
+    groups.push_back({{1}, 4});  // dct x4
+    for (int i = 2; i < 10; ++i) groups.push_back({{i}, 1});
+    m.binding = binding_of(std::move(groups));
+    out.push_back(std::move(m));
+  }
+  // Impl5: four dct tiles plus one tile for everything else (5 tiles).
+  {
+    ManualMapping m;
+    m.name = "Impl5";
+    m.tiles = 5;
+    m.network = jpeg_split_pipeline();
+    m.binding = binding_of({{{1}, 4}, {{0, 2, 3, 4, 5, 6, 7, 8, 9}, 1}});
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace cgra::jpeg

@@ -1,0 +1,50 @@
+// Baseline JPEG constants: quantisation table, zigzag order, and the
+// standard (Annex K) Huffman tables for luminance DC/AC coefficients.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cgra::jpeg {
+
+/// Standard luminance quantisation table (Annex K, quality 50), in natural
+/// (row-major) order.
+const std::array<int, 64>& luminance_quant();
+
+/// Standard chrominance quantisation table (Annex K), natural order.
+const std::array<int, 64>& chrominance_quant();
+
+/// Quality-scaled quantisation table (IJG scaling, quality in [1, 100]).
+std::array<int, 64> scaled_quant(int quality);
+
+/// Quality-scaled chrominance table.
+std::array<int, 64> scaled_chroma_quant(int quality);
+
+/// Zigzag scan: zigzag_order()[i] = natural index of the i-th zigzag entry.
+const std::array<int, 64>& zigzag_order();
+/// Inverse map: natural index -> zigzag position.
+const std::array<int, 64>& zigzag_inverse();
+
+/// A canonical Huffman table in JPEG DHT form.
+struct HuffSpec {
+  std::array<std::uint8_t, 16> counts;  ///< # codes of length 1..16.
+  std::vector<std::uint8_t> symbols;    ///< Symbols in code order.
+};
+
+/// Annex K luminance DC / AC specs.
+const HuffSpec& dc_luminance_spec();
+const HuffSpec& ac_luminance_spec();
+
+/// Annex K chrominance DC / AC specs.
+const HuffSpec& dc_chrominance_spec();
+const HuffSpec& ac_chrominance_spec();
+
+/// Derived encode table: per symbol, its code and length.
+struct HuffEncoder {
+  std::array<std::uint16_t, 256> code{};
+  std::array<std::uint8_t, 256> length{};  ///< 0 = symbol absent.
+};
+HuffEncoder build_encoder(const HuffSpec& spec);
+
+}  // namespace cgra::jpeg

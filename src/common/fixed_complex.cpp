@@ -1,0 +1,100 @@
+#include "common/fixed_complex.hpp"
+
+#include <cmath>
+
+namespace cgra {
+
+std::int32_t saturate_half(std::int64_t v) noexcept {
+  if (v > kHalfMax) return kHalfMax;
+  if (v < kHalfMin) return kHalfMin;
+  return static_cast<std::int32_t>(v);
+}
+
+std::int32_t double_to_half(double v) noexcept {
+  const double scaled = v * kFixedScale;
+  // llround saturates poorly on huge inputs; clamp in double space first.
+  const double lo = static_cast<double>(kHalfMin);
+  const double hi = static_cast<double>(kHalfMax);
+  const double clamped = scaled < lo ? lo : (scaled > hi ? hi : scaled);
+  return saturate_half(std::llround(clamped));
+}
+
+double half_to_double(std::int32_t h) noexcept {
+  return static_cast<double>(h) / kFixedScale;
+}
+
+Word pack_complex(FixedComplex c) noexcept {
+  const auto re = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(c.re) & ((1u << kHalfBits) - 1));
+  const auto im = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(c.im) & ((1u << kHalfBits) - 1));
+  return truncate_word((re << kHalfBits) | im);
+}
+
+namespace {
+std::int32_t sign_extend_half(std::uint32_t h) noexcept {
+  const std::uint32_t sign_bit = 1u << (kHalfBits - 1);
+  const std::uint32_t mask = (1u << kHalfBits) - 1;
+  const std::uint32_t payload = h & mask;
+  return (payload & sign_bit) != 0
+             ? static_cast<std::int32_t>(payload | ~mask)
+             : static_cast<std::int32_t>(payload);
+}
+}  // namespace
+
+FixedComplex unpack_complex(Word w) noexcept {
+  FixedComplex c;
+  c.re = sign_extend_half(static_cast<std::uint32_t>((w >> kHalfBits)));
+  c.im = sign_extend_half(static_cast<std::uint32_t>(w));
+  return c;
+}
+
+FixedComplex to_fixed(std::complex<double> z) noexcept {
+  return FixedComplex{double_to_half(z.real()), double_to_half(z.imag())};
+}
+
+std::complex<double> to_double(FixedComplex c) noexcept {
+  return {half_to_double(c.re), half_to_double(c.im)};
+}
+
+FixedComplex cadd(FixedComplex a, FixedComplex b) noexcept {
+  return FixedComplex{
+      saturate_half(static_cast<std::int64_t>(a.re) + b.re),
+      saturate_half(static_cast<std::int64_t>(a.im) + b.im)};
+}
+
+FixedComplex csub(FixedComplex a, FixedComplex b) noexcept {
+  return FixedComplex{
+      saturate_half(static_cast<std::int64_t>(a.re) - b.re),
+      saturate_half(static_cast<std::int64_t>(a.im) - b.im)};
+}
+
+namespace {
+// Round-to-nearest arithmetic shift by kFixedFracBits.
+std::int64_t renorm(std::int64_t v) noexcept {
+  const std::int64_t half = std::int64_t{1} << (kFixedFracBits - 1);
+  return (v + half) >> kFixedFracBits;
+}
+}  // namespace
+
+FixedComplex cmul(FixedComplex a, FixedComplex b) noexcept {
+  const std::int64_t re = static_cast<std::int64_t>(a.re) * b.re -
+                          static_cast<std::int64_t>(a.im) * b.im;
+  const std::int64_t im = static_cast<std::int64_t>(a.re) * b.im +
+                          static_cast<std::int64_t>(a.im) * b.re;
+  return FixedComplex{saturate_half(renorm(re)), saturate_half(renorm(im))};
+}
+
+Word word_cadd(Word a, Word b) noexcept {
+  return pack_complex(cadd(unpack_complex(a), unpack_complex(b)));
+}
+
+Word word_csub(Word a, Word b) noexcept {
+  return pack_complex(csub(unpack_complex(a), unpack_complex(b)));
+}
+
+Word word_cmul(Word a, Word b) noexcept {
+  return pack_complex(cmul(unpack_complex(a), unpack_complex(b)));
+}
+
+}  // namespace cgra

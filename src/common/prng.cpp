@@ -1,0 +1,6 @@
+#include "common/prng.hpp"
+
+// ODR anchor for the header-only SplitMix64.
+namespace cgra {
+static_assert(SplitMix64(1).next_below(10) < 10);
+}  // namespace cgra

@@ -1,0 +1,26 @@
+#include "common/status.hpp"
+
+#include <sstream>
+
+namespace cgra {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kIllegalOpcode: return "illegal-opcode";
+    case FaultKind::kPcOutOfRange: return "pc-out-of-range";
+    case FaultKind::kAddressOutOfRange: return "address-out-of-range";
+    case FaultKind::kNoActiveLink: return "no-active-link";
+    case FaultKind::kDivideByZero: return "divide-by-zero";
+  }
+  return "unknown";
+}
+
+std::string Fault::describe() const {
+  std::ostringstream os;
+  os << fault_kind_name(kind) << " at tile " << tile << " pc " << pc
+     << " cycle " << cycle;
+  return os.str();
+}
+
+}  // namespace cgra

@@ -1,0 +1,65 @@
+// Lightweight error reporting used across the library.
+//
+// The assembler and loaders report rich diagnostics; the simulator reports
+// runtime faults.  Neither path uses exceptions on hot paths: the tile
+// interpreter records a Fault and halts, and offline tools return Status.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cgra {
+
+/// Result of an offline operation (assembly, configuration loading, ...).
+class Status {
+ public:
+  /// Success.
+  Status() = default;
+
+  /// Failure with a human-readable message.
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return !message_.has_value(); }
+  [[nodiscard]] const std::string& message() const noexcept {
+    static const std::string kOk = "ok";
+    return message_ ? *message_ : kOk;
+  }
+
+  explicit operator bool() const noexcept { return ok(); }
+
+ private:
+  std::optional<std::string> message_;
+};
+
+/// Runtime fault classes the tile interpreter can raise.
+enum class FaultKind {
+  kNone,
+  kIllegalOpcode,       ///< Undefined opcode field.
+  kPcOutOfRange,        ///< PC walked past the instruction memory.
+  kAddressOutOfRange,   ///< Direct or indirect address outside data memory.
+  kNoActiveLink,        ///< Remote write with no configured output link.
+  kDivideByZero,        ///< Reserved for future ops.
+};
+
+/// Human-readable fault name.
+const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// A recorded runtime fault: what happened, where, and when.
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  int tile = -1;          ///< Linear tile index.
+  int pc = -1;            ///< PC of the faulting instruction.
+  long long cycle = -1;   ///< Fabric cycle of the fault.
+
+  [[nodiscard]] bool is_fault() const noexcept {
+    return kind != FaultKind::kNone;
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace cgra

@@ -1,0 +1,35 @@
+// Minimal fixed-width table printer for benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables/figures as text;
+// this helper keeps their output aligned and uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgra {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline and two-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Format helpers for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cgra

@@ -1,0 +1,7 @@
+#include "common/timing.hpp"
+
+// Header-only definitions; this translation unit exists so the library has a
+// stable archive member and the constants get ODR-anchored in one place.
+namespace cgra {
+static_assert(kCycleNs == 2.5, "paper specifies 2.5 ns per instruction");
+}  // namespace cgra

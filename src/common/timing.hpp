@@ -1,0 +1,75 @@
+// Timing and reconfiguration cost constants of the modelled fabric.
+//
+// All published numbers from the paper are centralised here:
+//   * 400 MHz tile clock  -> 2.5 ns per instruction,
+//   * ICAP reconfiguration at 180 MB/s -> 33.33 ns per 48-bit data word and
+//     50 ns per 72-bit instruction word,
+//   * 48-wire links whose reconfiguration cost L is a swept parameter.
+#pragma once
+
+#include <cstdint>
+
+namespace cgra {
+
+/// Nanoseconds, carried as double so analytic models can mix measured cycle
+/// counts with fractional ICAP costs exactly as the paper does.
+using Nanoseconds = double;
+
+/// Tile clock frequency (Hz).
+inline constexpr double kClockHz = 400e6;
+/// One instruction per cycle at 400 MHz.
+inline constexpr Nanoseconds kCycleNs = 1e9 / kClockHz;  // 2.5 ns
+
+/// ICAP partial-reconfiguration bandwidth (bytes per second).
+inline constexpr double kIcapBytesPerSec = 180e6;
+
+/// Data memory geometry: 512 x 48-bit words (two 512x48 dual-port BRAMs).
+inline constexpr int kDataMemWords = 512;
+/// Instruction memory geometry: 512 x 72-bit words.
+inline constexpr int kInstMemWords = 512;
+
+/// Bits per data word / instruction word / link.
+inline constexpr int kDataWordBits = 48;
+inline constexpr int kInstWordBits = 72;
+inline constexpr int kLinkWires = 48;
+
+/// Cost model for ICAP-driven partial reconfiguration.
+struct IcapModel {
+  double bytes_per_sec = kIcapBytesPerSec;
+
+  /// ns to stream `bytes` through the ICAP.
+  [[nodiscard]] Nanoseconds ns_for_bytes(double bytes) const noexcept {
+    return bytes / bytes_per_sec * 1e9;
+  }
+  /// ns to reload one 48-bit data-memory word (paper: 33.33 ns).
+  [[nodiscard]] Nanoseconds ns_per_data_word() const noexcept {
+    return ns_for_bytes(kDataWordBits / 8.0);
+  }
+  /// ns to reload one 72-bit instruction word (50 ns at 180 MB/s).
+  [[nodiscard]] Nanoseconds ns_per_inst_word() const noexcept {
+    return ns_for_bytes(kInstWordBits / 8.0);
+  }
+  /// ns to reload `n` data words.
+  [[nodiscard]] Nanoseconds data_reload_ns(std::int64_t n) const noexcept {
+    return ns_per_data_word() * static_cast<double>(n);
+  }
+  /// ns to reload `n` instruction words.
+  [[nodiscard]] Nanoseconds inst_reload_ns(std::int64_t n) const noexcept {
+    return ns_per_inst_word() * static_cast<double>(n);
+  }
+};
+
+/// Convert a cycle count to nanoseconds at the fabric clock.
+constexpr Nanoseconds cycles_to_ns(std::int64_t cycles) noexcept {
+  return static_cast<double>(cycles) * kCycleNs;
+}
+
+/// Convert nanoseconds to whole cycles (rounding up: a tile cannot resume
+/// mid-cycle after reconfiguration).
+constexpr std::int64_t ns_to_cycles_ceil(Nanoseconds ns) noexcept {
+  const double cycles = ns / kCycleNs;
+  const auto whole = static_cast<std::int64_t>(cycles);
+  return (static_cast<double>(whole) < cycles) ? whole + 1 : whole;
+}
+
+}  // namespace cgra

@@ -1,0 +1,18 @@
+#include "common/word.hpp"
+
+#include <array>
+
+namespace cgra {
+
+std::string word_to_hex(Word w) {
+  static constexpr std::array<char, 16> digits = {'0', '1', '2', '3', '4', '5',
+                                                  '6', '7', '8', '9', 'a', 'b',
+                                                  'c', 'd', 'e', 'f'};
+  std::string out = "0x";
+  for (int shift = kWordBits - 4; shift >= 0; shift -= 4) {
+    out.push_back(digits[static_cast<std::size_t>((w >> shift) & 0xF)]);
+  }
+  return out;
+}
+
+}  // namespace cgra

@@ -1,0 +1,4 @@
+#include "config/epoch.hpp"
+
+// EpochConfig is a plain aggregate; this TU anchors the library archive.
+namespace cgra::config {}

@@ -1,0 +1,80 @@
+#include "config/reconfig.hpp"
+
+namespace cgra::config {
+
+TransitionReport ReconfigController::apply(fabric::Fabric& fabric,
+                                           const EpochConfig& next) {
+  TransitionReport report;
+  report.start_cycle = fabric.now();
+
+  // --- link rewiring ---
+  report.links_changed =
+      interconnect::LinkConfig::changed_links(fabric.links(), next.links);
+  report.link_ns = link_cost_.links_ns(report.links_changed);
+  fabric.links() = next.links;
+
+  // --- serial ICAP streaming, tile by tile ---
+  // The link rewiring occupies the ICAP first (it is itself a partial
+  // bitstream), then each tile's payload streams in ascending tile order.
+  Nanoseconds icap_free_ns = cycles_to_ns(fabric.now()) + report.link_ns;
+  for (const auto& [tile_index, update] : next.tiles) {
+    const Nanoseconds inst_ns = icap_.inst_reload_ns(update.inst_words());
+    const Nanoseconds data_ns = icap_.data_reload_ns(update.data_words());
+    report.inst_reload_ns += inst_ns;
+    report.data_reload_ns += data_ns;
+
+    const Nanoseconds done_ns = icap_free_ns + inst_ns + data_ns;
+    icap_free_ns = done_ns;
+
+    auto& tile = fabric.tile(tile_index);
+    if (update.reload_program) {
+      tile.load_program(update.program);
+    }
+    if (!update.patches.empty()) {
+      tile.patch_data(update.patches);
+    }
+    if (update.restart) {
+      tile.restart();
+    }
+    tile.stall_until(ns_to_cycles_ceil(done_ns));
+  }
+
+  report.complete_cycle = ns_to_cycles_ceil(icap_free_ns);
+  report.icap_busy_cycles = report.complete_cycle - report.start_cycle;
+
+  if (!partial_) {
+    // Single-context baseline: the whole array stalls until the last byte
+    // of the transition has streamed in.
+    for (int t = 0; t < fabric.tile_count(); ++t) {
+      fabric.tile(t).stall_until(report.complete_cycle);
+    }
+  }
+  return report;
+}
+
+ScheduleResult run_schedule(fabric::Fabric& fabric, ReconfigController& ctrl,
+                            const std::vector<EpochConfig>& epochs,
+                            std::int64_t max_cycles_per_epoch) {
+  ScheduleResult result;
+  for (const auto& epoch : epochs) {
+    const TransitionReport report = ctrl.apply(fabric, epoch);
+    result.timeline.reconfig_ns += report.total_ns();
+    result.timeline.transitions.push_back(report);
+
+    const fabric::RunResult run = fabric.run(max_cycles_per_epoch);
+    result.timeline.epoch_compute_ns += run.elapsed_ns();
+    if (!run.faults.empty()) {
+      result.faults.insert(result.faults.end(), run.faults.begin(),
+                           run.faults.end());
+      result.ok = false;
+      break;
+    }
+    if (!run.all_halted) {
+      result.ok = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cgra::config

@@ -1,0 +1,108 @@
+// Partial-reconfiguration controller.
+//
+// Models the MicroBlaze + ICAP runtime management system: the ICAP is a
+// single serial channel (180 MB/s); reconfiguring tile set S stalls only S,
+// so computation in tiles outside S overlaps with reconfiguration — the
+// paper's central mechanism for hiding context-switch overhead.
+//
+// The controller both *performs* the reconfiguration on a Fabric (loading
+// programs, patching data, rewiring links, stalling the affected tiles for
+// the modelled number of cycles) and *reports* the cost breakdown so the
+// analytic models can be validated against the executed timeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "config/epoch.hpp"
+#include "fabric/fabric.hpp"
+
+namespace cgra::config {
+
+/// Cost breakdown of one epoch transition.
+struct TransitionReport {
+  int links_changed = 0;
+  Nanoseconds link_ns = 0.0;        ///< links_changed * L.
+  Nanoseconds inst_reload_ns = 0.0; ///< Instruction words through the ICAP.
+  Nanoseconds data_reload_ns = 0.0; ///< Data words through the ICAP.
+  std::int64_t icap_busy_cycles = 0;  ///< Serial ICAP occupancy in cycles.
+  std::int64_t start_cycle = 0;     ///< Fabric cycle the transition began.
+  std::int64_t complete_cycle = 0;  ///< Cycle all affected tiles may resume.
+
+  [[nodiscard]] Nanoseconds total_ns() const noexcept {
+    return link_ns + inst_reload_ns + data_reload_ns;
+  }
+};
+
+/// Aggregated Equation-1 accounting over a run.
+///
+/// `epoch_compute_ns` is the *executed* wall time of the epochs, measured on
+/// the fabric clock.  Because affected tiles are stalled while their payload
+/// streams through the ICAP, any reconfiguration that could NOT be hidden
+/// behind other tiles' computation is already included in it.  The analytic
+/// reconfiguration cost (term B of Eq. 1, what a non-overlapped design would
+/// pay) is reported separately in `reconfig_ns` so the hidden fraction can
+/// be quantified: hidden = reconfig_ns - (epoch_compute_ns - pure compute).
+struct Timeline {
+  Nanoseconds epoch_compute_ns = 0.0;  ///< Executed time incl. visible stalls.
+  Nanoseconds reconfig_ns = 0.0;       ///< Analytic term B (links + ICAP).
+  std::vector<TransitionReport> transitions;
+
+  /// Executed wall time of the whole schedule.
+  [[nodiscard]] Nanoseconds total_ns() const noexcept {
+    return epoch_compute_ns;
+  }
+};
+
+/// Applies epoch transitions to a fabric.
+class ReconfigController {
+ public:
+  ReconfigController(IcapModel icap, interconnect::LinkCostModel link_cost,
+                     bool partial_reconfiguration = true)
+      : icap_(icap),
+        link_cost_(link_cost),
+        partial_(partial_reconfiguration) {}
+
+  /// Apply `next` to `fabric` at the fabric's current cycle.
+  ///
+  /// * Link changes are counted against the previous configuration.
+  /// * Each updated tile is reloaded through the serial ICAP in tile order;
+  ///   the tile is stalled until its own payload (plus its share of the
+  ///   link rewiring) has streamed through.
+  /// * Tiles not mentioned in `next` keep running — partial
+  ///   reconfiguration.  With `partial_reconfiguration = false` the
+  ///   controller instead stalls the whole array for the duration of the
+  ///   transition (the single-context baseline the paper argues against);
+  ///   the ablation bench quantifies the difference.
+  TransitionReport apply(fabric::Fabric& fabric, const EpochConfig& next);
+
+  [[nodiscard]] bool partial() const noexcept { return partial_; }
+
+  [[nodiscard]] const IcapModel& icap() const noexcept { return icap_; }
+  [[nodiscard]] const interconnect::LinkCostModel& link_cost() const noexcept {
+    return link_cost_;
+  }
+
+ private:
+  IcapModel icap_;
+  interconnect::LinkCostModel link_cost_;
+  bool partial_ = true;
+};
+
+/// Convenience driver: run a sequence of epochs to completion on a fabric,
+/// applying transitions between them and accumulating the Equation-1 terms.
+///
+/// Each epoch runs until all tiles halt (or `max_cycles_per_epoch` elapses,
+/// which is reported as a fault-free but incomplete run via `ok=false`).
+struct ScheduleResult {
+  Timeline timeline;
+  bool ok = true;
+  std::vector<Fault> faults;
+};
+
+ScheduleResult run_schedule(fabric::Fabric& fabric, ReconfigController& ctrl,
+                            const std::vector<EpochConfig>& epochs,
+                            std::int64_t max_cycles_per_epoch);
+
+}  // namespace cgra::config

@@ -1,0 +1,88 @@
+// The empirical FFT performance equation (Sec. 3.2, Eqs. 2-14).
+//
+// Total per-transform time T = tau0 + ... + tau7 for an N-point design on
+// `cols` columns of N/M tiles, with per-link reconfiguration cost L:
+//
+//   tau0  receive input from the preprocessing column     = t_hcp
+//   tau1  reload yellow twiddle factors through the ICAP  (TwiddleManager)
+//   tau2  the butterfly pipeline itself: the cols columns run stage-slots
+//         in lockstep, so per slot the time is the max over columns of the
+//         owned stage's BF time, overlapped with the vertical link
+//         reconfiguration of slots that need vertical exchange (Fig. 9)
+//   tau3  reload of vcp source/destination variables (zero when the
+//         Table-2 in-place update optimisation is enabled)
+//   tau4  execution of the vertical copy processes
+//   tau5  horizontal link configuration, one link per tile per column
+//   tau6  hcp data-memory reconfiguration = 0 (Eq. 13)
+//   tau7  send results onward                            = t_hcp
+//
+// Vertical exchange is needed only for the first log2(N)-log2(M) stage
+// slots (the paper's S_i indicator, Eq. 3).  Link reconfigurations charge
+// one 48-wire link per tile involved, i.e. `rows` links per column slot.
+//
+// Process times (t_bf[s], t_vcp, t_hcp) are *measured* on the cycle
+// simulator (Table 1's runtime column), so the model's absolute numbers are
+// self-consistent with the implementation rather than copied from the
+// paper; the reproduced quantities are the curve shapes and crossovers of
+// Figures 10-12.
+#pragma once
+
+#include <vector>
+
+#include "apps/fft/partition.hpp"
+#include "apps/fft/twiddle.hpp"
+#include "common/timing.hpp"
+
+namespace cgra::dse {
+
+/// Measured process times feeding the model.
+struct FftProcessTimes {
+  std::vector<Nanoseconds> bf;  ///< Per-stage butterfly time (size = stages).
+  Nanoseconds vcp = 0.0;        ///< Vertical copy (M/2 words).
+  Nanoseconds hcp = 0.0;        ///< Horizontal copy (M words).
+  int reg_cp = 2;               ///< Copy variables reloaded per retarget.
+};
+
+/// Measure the process times by running the kernels on the simulator.
+FftProcessTimes measure_process_times(const fft::FftGeometry& g);
+
+/// How tau1 (twiddle reload) is costed.
+enum class TwiddleCosting {
+  kPaperRule,  ///< The Sec. 3.2 case table ({3,3,2,0} events), generalised.
+  kEmpirical,  ///< TwiddleManager's set-arithmetic classification.
+  kNaive,      ///< No optimisation: N/2 * log2(N) words per transform.
+};
+
+/// Model configuration.
+struct FftModelOptions {
+  bool optimized_copy_vars = false;  ///< Table-2 in-place vcp retargeting.
+  TwiddleCosting twiddles = TwiddleCosting::kPaperRule;
+  IcapModel icap;
+};
+
+/// Per-design cost breakdown.
+struct FftCostBreakdown {
+  Nanoseconds tau[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  [[nodiscard]] Nanoseconds total_ns() const noexcept {
+    Nanoseconds t = 0;
+    for (const Nanoseconds v : tau) t += v;
+    return t;
+  }
+  /// Transforms per second (the paper's "#1024-point R2FFTs per second").
+  [[nodiscard]] double throughput_per_sec() const noexcept {
+    const Nanoseconds t = total_ns();
+    return t > 0 ? 1e9 / t : 0.0;
+  }
+};
+
+/// Evaluate the model for `cols` columns and per-link cost `link_ns`.
+/// `cols` must divide log2(N).
+FftCostBreakdown evaluate_fft_design(const fft::FftGeometry& g,
+                                     const FftProcessTimes& times, int cols,
+                                     Nanoseconds link_ns,
+                                     const FftModelOptions& opt = {});
+
+/// Divisor column counts of log2(N) (the paper sweeps 1, 2, 5, 10).
+std::vector<int> usable_column_counts(const fft::FftGeometry& g);
+
+}  // namespace cgra::dse

@@ -1,0 +1,92 @@
+#include "fabric/fabric.hpp"
+
+namespace cgra::fabric {
+
+Fabric::Fabric(int rows, int cols)
+    : links_(rows, cols),
+      tiles_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {}
+
+int Fabric::step() {
+  int retired = 0;
+  remote_buffer_.clear();
+  for (int i = 0; i < tile_count(); ++i) {
+    auto& tile = tiles_[static_cast<std::size_t>(i)];
+    const bool has_link = links_.target(i).has_value();
+    const int pc_before = tile.pc();
+    const bool was_faulted = tile.faulted();
+    if (tile.step(i, cycle_, has_link, remote_buffer_)) {
+      ++retired;
+      if (tracer_ != nullptr) {
+        const isa::Instruction* in = tile.instruction_at(pc_before);
+        TraceEvent ev;
+        ev.cycle = cycle_;
+        ev.tile = i;
+        ev.pc = pc_before;
+        if (in != nullptr) ev.opcode = in->opcode;
+        ev.kind = (in != nullptr && in->opcode == isa::Opcode::kHalt)
+                      ? TraceEventKind::kHalt
+                      : TraceEventKind::kRetire;
+        tracer_->record(ev);
+      }
+    } else if (tracer_ != nullptr && !was_faulted && tile.faulted()) {
+      TraceEvent ev;
+      ev.cycle = cycle_;
+      ev.kind = TraceEventKind::kFault;
+      ev.tile = i;
+      ev.pc = pc_before;
+      const isa::Instruction* in = tile.instruction_at(pc_before);
+      if (in != nullptr) ev.opcode = in->opcode;
+      tracer_->record(ev);
+    }
+  }
+  // Commit remote writes synchronously at end of cycle, in tile order
+  // (deterministic: lower tile index wins ties on the same destination word
+  // last, i.e. the higher index's value persists — documented semantics).
+  for (const auto& w : remote_buffer_) {
+    const auto dst = links_.target(w.src_tile);
+    if (dst) {
+      tiles_[static_cast<std::size_t>(*dst)].set_dmem(w.addr, w.value);
+      if (tracer_ != nullptr) {
+        TraceEvent ev;
+        ev.cycle = cycle_;
+        ev.kind = TraceEventKind::kRemoteWrite;
+        ev.tile = w.src_tile;
+        ev.dst_tile = *dst;
+        ev.addr = w.addr;
+        ev.value = w.value;
+        tracer_->record(ev);
+      }
+    }
+  }
+  ++cycle_;
+  return retired;
+}
+
+RunResult Fabric::run(std::int64_t max_cycles) {
+  RunResult result;
+  for (std::int64_t i = 0; i < max_cycles; ++i) {
+    if (all_halted()) break;
+    step();
+    ++result.cycles;
+  }
+  result.all_halted = all_halted();
+  result.faults = faults();
+  return result;
+}
+
+bool Fabric::all_halted() const {
+  for (const auto& t : tiles_) {
+    if (!t.halted()) return false;
+  }
+  return true;
+}
+
+std::vector<Fault> Fabric::faults() const {
+  std::vector<Fault> out;
+  for (const auto& t : tiles_) {
+    if (t.faulted()) out.push_back(t.fault());
+  }
+  return out;
+}
+
+}  // namespace cgra::fabric

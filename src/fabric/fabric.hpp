@@ -1,0 +1,85 @@
+// The tile array: an R x C mesh of Tiles plus the malleable interconnect.
+//
+// Execution is globally synchronous: every cycle each running tile retires
+// one instruction; remote writes are buffered and committed at the end of
+// the cycle into the destination tile's data memory (the semi-systolic
+// shared-memory transfer of the paper).  MIMD: each tile runs its own
+// program.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fabric/tile.hpp"
+#include "fabric/trace.hpp"
+#include "interconnect/link.hpp"
+
+namespace cgra::fabric {
+
+/// Result of running the fabric.
+struct RunResult {
+  std::int64_t cycles = 0;       ///< Cycles executed by this run() call.
+  bool all_halted = false;       ///< Every tile halted cleanly.
+  std::vector<Fault> faults;     ///< All faults raised during the run.
+
+  [[nodiscard]] bool ok() const noexcept {
+    return all_halted && faults.empty();
+  }
+  [[nodiscard]] Nanoseconds elapsed_ns() const noexcept {
+    return cycles_to_ns(cycles);
+  }
+};
+
+/// The mesh of tiles.
+class Fabric {
+ public:
+  Fabric(int rows, int cols);
+
+  [[nodiscard]] int rows() const noexcept { return links_.rows(); }
+  [[nodiscard]] int cols() const noexcept { return links_.cols(); }
+  [[nodiscard]] int tile_count() const noexcept { return links_.tile_count(); }
+
+  [[nodiscard]] Tile& tile(int index) { return tiles_.at(static_cast<std::size_t>(index)); }
+  [[nodiscard]] const Tile& tile(int index) const {
+    return tiles_.at(static_cast<std::size_t>(index));
+  }
+  [[nodiscard]] Tile& tile(interconnect::TileCoord c) {
+    return tile(links_.index(c));
+  }
+
+  /// Current link configuration (mutable: epochs rewire it).
+  [[nodiscard]] interconnect::LinkConfig& links() noexcept { return links_; }
+  [[nodiscard]] const interconnect::LinkConfig& links() const noexcept {
+    return links_;
+  }
+
+  /// Global cycle counter (monotonic across run() calls).
+  [[nodiscard]] std::int64_t now() const noexcept { return cycle_; }
+
+  /// Execute one cycle: step every tile, then commit remote writes.
+  /// Returns the number of tiles that retired an instruction.
+  int step();
+
+  /// Run until every tile is halted, a fault occurs, or `max_cycles` elapse.
+  RunResult run(std::int64_t max_cycles);
+
+  /// True if every tile is halted (cleanly or by fault).
+  [[nodiscard]] bool all_halted() const;
+
+  /// Collect faults currently latched in the tiles.
+  [[nodiscard]] std::vector<Fault> faults() const;
+
+  /// Attach (or detach with nullptr) an event tracer; the fabric does not
+  /// own it.  Tracing costs one branch per tile-step when detached.
+  void attach_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
+ private:
+  interconnect::LinkConfig links_;
+  std::vector<Tile> tiles_;
+  std::vector<RemoteWrite> remote_buffer_;
+  std::int64_t cycle_ = 0;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace cgra::fabric

@@ -1,0 +1,214 @@
+#include "fabric/tile.hpp"
+
+namespace cgra::fabric {
+
+using isa::Instruction;
+using isa::Opcode;
+
+bool Tile::load_program(const isa::Program& prog) {
+  if (prog.inst_words() > kInstMemWords) return false;
+  for (const auto& patch : prog.data) {
+    if (patch.addr < 0 || patch.addr >= kDataMemWords) return false;
+  }
+  code_ = prog.code;
+  for (const auto& patch : prog.data) {
+    dmem_[static_cast<std::size_t>(patch.addr)] = truncate_word(patch.value);
+  }
+  pc_ = 0;
+  halted_ = true;  // a loaded tile awaits restart()
+  fault_ = Fault{};
+  return true;
+}
+
+bool Tile::patch_data(std::span<const isa::DataPatch> patches) {
+  for (const auto& patch : patches) {
+    if (patch.addr < 0 || patch.addr >= kDataMemWords) return false;
+  }
+  for (const auto& patch : patches) {
+    dmem_[static_cast<std::size_t>(patch.addr)] = truncate_word(patch.value);
+  }
+  return true;
+}
+
+void Tile::restart(int pc) {
+  pc_ = pc;
+  halted_ = code_.empty();
+  fault_ = Fault{};
+}
+
+void Tile::raise(FaultKind kind, int tile_index, std::int64_t cycle) {
+  fault_.kind = kind;
+  fault_.tile = tile_index;
+  fault_.pc = pc_;
+  fault_.cycle = cycle;
+  halted_ = true;
+}
+
+int Tile::effective_addr(std::uint16_t field, bool indirect, int tile_index,
+                         std::int64_t cycle) {
+  int addr = field;
+  if (indirect) {
+    if (addr >= kDataMemWords) {
+      raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
+      return -1;
+    }
+    addr = static_cast<int>(
+        to_signed(dmem_[static_cast<std::size_t>(addr)]));
+  }
+  if (addr < 0 || addr >= kDataMemWords) {
+    raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
+    return -1;
+  }
+  return addr;
+}
+
+bool Tile::step(int tile_index, std::int64_t cycle, bool has_link,
+                std::vector<RemoteWrite>& remote_out) {
+  if (halted_ || fault_.is_fault()) return false;
+  if (cycle < stalled_until_) {
+    ++stats_.cycles_stalled;
+    return false;
+  }
+  if (pc_ < 0 || pc_ >= static_cast<int>(code_.size())) {
+    raise(FaultKind::kPcOutOfRange, tile_index, cycle);
+    return false;
+  }
+  const Instruction& in = code_[static_cast<std::size_t>(pc_)];
+
+  // --- operand fetch ---
+  Word a = 0;
+  if (isa::reads_srca(in.opcode)) {
+    const int ea = effective_addr(in.srca, in.has_flag(isa::kFlagSrcAIndirect),
+                                  tile_index, cycle);
+    if (ea < 0) return false;
+    a = dmem_[static_cast<std::size_t>(ea)];
+  }
+  Word b = 0;
+  if (isa::reads_srcb(in.opcode)) {
+    if (in.has_flag(isa::kFlagUseImm)) {
+      b = from_signed(in.imm);
+    } else {
+      const int eb = effective_addr(
+          in.srcb, in.has_flag(isa::kFlagSrcBIndirect), tile_index, cycle);
+      if (eb < 0) return false;
+      b = dmem_[static_cast<std::size_t>(eb)];
+    }
+  }
+
+  // --- execute ---
+  Word result = 0;
+  int next_pc = pc_ + 1;
+  bool halt_after = false;
+  switch (in.opcode) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      halt_after = true;
+      break;
+    case Opcode::kMov:
+      result = a;
+      break;
+    case Opcode::kMovi:
+      result = from_signed(in.imm);
+      break;
+    case Opcode::kAdd:
+      result = word_add(a, b);
+      break;
+    case Opcode::kSub:
+      result = word_sub(a, b);
+      break;
+    case Opcode::kMul:
+      result = word_mul(a, b);
+      break;
+    case Opcode::kAnd:
+      result = a & b;
+      break;
+    case Opcode::kOrr:
+      result = a | b;
+      break;
+    case Opcode::kXor:
+      result = a ^ b;
+      break;
+    case Opcode::kShl:
+      result = truncate_word(a << (to_signed(b) & 63));
+      break;
+    case Opcode::kShr:
+      result = truncate_word((a & kWordMask) >>
+                             static_cast<unsigned>(to_signed(b) & 63));
+      break;
+    case Opcode::kSra:
+      result = from_signed(to_signed(a) >>
+                           static_cast<unsigned>(to_signed(b) & 63));
+      break;
+    case Opcode::kCadd:
+      result = word_cadd(a, b);
+      break;
+    case Opcode::kCsub:
+      result = word_csub(a, b);
+      break;
+    case Opcode::kCmul:
+      result = word_cmul(a, b);
+      break;
+    case Opcode::kBeqz:
+      if (to_signed(a) == 0) next_pc = in.imm;
+      break;
+    case Opcode::kBnez:
+      if (to_signed(a) != 0) next_pc = in.imm;
+      break;
+    case Opcode::kBltz:
+      if (to_signed(a) < 0) next_pc = in.imm;
+      break;
+    case Opcode::kJmp:
+      next_pc = in.imm;
+      break;
+    case Opcode::kMacz:
+      acc_ = to_signed(a) * to_signed(b);
+      break;
+    case Opcode::kMac:
+      acc_ += to_signed(a) * to_signed(b);
+      break;
+    case Opcode::kMacr:
+      result = from_signed(acc_);
+      break;
+    case Opcode::kOpcodeCount:
+      raise(FaultKind::kIllegalOpcode, tile_index, cycle);
+      return false;
+  }
+
+  // --- write back ---
+  if (isa::writes_dst(in.opcode)) {
+    const bool remote = in.has_flag(isa::kFlagDstRemote);
+    if (remote) {
+      if (!has_link) {
+        raise(FaultKind::kNoActiveLink, tile_index, cycle);
+        return false;
+      }
+      // Remote effective address is resolved with *local* indirection
+      // (pointer lives in this tile) but addresses the neighbour's memory;
+      // range is validated here, the fabric routes the value.
+      int addr = in.dst;
+      if (in.has_flag(isa::kFlagDstIndirect)) {
+        const int ea = effective_addr(in.dst, true, tile_index, cycle);
+        if (ea < 0) return false;
+        addr = ea;
+      } else if (addr >= kDataMemWords) {
+        raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
+        return false;
+      }
+      remote_out.push_back(RemoteWrite{tile_index, addr, result});
+      ++stats_.remote_writes;
+    } else {
+      const int ed = effective_addr(in.dst, in.has_flag(isa::kFlagDstIndirect),
+                                    tile_index, cycle);
+      if (ed < 0) return false;
+      dmem_[static_cast<std::size_t>(ed)] = truncate_word(result);
+    }
+  }
+
+  pc_ = next_pc;
+  halted_ = halt_after;
+  ++stats_.instructions;
+  return true;
+}
+
+}  // namespace cgra::fabric

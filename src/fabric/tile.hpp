@@ -1,0 +1,112 @@
+// One coarse-grain processing element (tile / grain / CGRM).
+//
+// Geometry and timing follow the paper: 512 x 48-bit data memory with two
+// reads + one write per cycle, 512 x 72-bit instruction memory, one
+// instruction per 2.5 ns cycle.  A tile reads only its own data memory but
+// can write either its own memory or — via the active output link — the
+// data memory of the connected neighbour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_complex.hpp"
+#include "common/status.hpp"
+#include "common/timing.hpp"
+#include "common/word.hpp"
+#include "isa/program.hpp"
+
+namespace cgra::fabric {
+
+/// A remote write emitted during a cycle; the Fabric commits it at cycle end
+/// (synchronous semi-systolic transfer).
+struct RemoteWrite {
+  int src_tile = 0;
+  int addr = 0;   ///< Destination address in the *neighbour's* data memory.
+  Word value = 0;
+};
+
+/// Per-tile execution counters.
+struct TileStats {
+  std::int64_t instructions = 0;  ///< Instructions retired.
+  std::int64_t remote_writes = 0;
+  std::int64_t cycles_stalled = 0;  ///< Cycles spent stalled for reconfig.
+};
+
+/// One processing element.
+class Tile {
+ public:
+  Tile() { dmem_.fill(0); }
+
+  /// Load a program: replaces the instruction image, applies data patches
+  /// and resets the PC.  The tile stays halted until restart() — mirroring
+  /// the runtime system configuring a partition before releasing it.
+  /// Returns false (and loads nothing) if the program exceeds the memories.
+  bool load_program(const isa::Program& prog);
+
+  /// Apply data patches only (e.g. reloading twiddle factors or copy-process
+  /// variables during partial reconfiguration).
+  bool patch_data(std::span<const isa::DataPatch> patches);
+
+  /// Restart execution at `pc` (default 0) and clear the halted flag.
+  void restart(int pc = 0);
+
+  /// Data memory access for harness / test code.
+  [[nodiscard]] Word dmem(int addr) const { return dmem_.at(static_cast<std::size_t>(addr)); }
+  void set_dmem(int addr, Word v) { dmem_.at(static_cast<std::size_t>(addr)) = v; }
+
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] const Fault& fault() const noexcept { return fault_; }
+  [[nodiscard]] bool faulted() const noexcept { return fault_.is_fault(); }
+  [[nodiscard]] int pc() const noexcept { return pc_; }
+  [[nodiscard]] const TileStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] int code_size() const noexcept {
+    return static_cast<int>(code_.size());
+  }
+  /// Instruction at `pc`, or nullptr when out of range (used by tracing).
+  [[nodiscard]] const isa::Instruction* instruction_at(int pc) const noexcept {
+    return pc >= 0 && pc < code_size()
+               ? &code_[static_cast<std::size_t>(pc)]
+               : nullptr;
+  }
+
+  /// Stall handling: the tile does nothing until the fabric cycle counter
+  /// reaches `until_cycle` (used by the reconfiguration controller).
+  void stall_until(std::int64_t until_cycle) noexcept {
+    stalled_until_ = until_cycle;
+  }
+  [[nodiscard]] std::int64_t stalled_until() const noexcept {
+    return stalled_until_;
+  }
+
+  /// Execute one cycle.
+  ///
+  /// `tile_index` and `cycle` are used for fault reporting and stall checks.
+  /// `has_link` says whether an output link is currently configured; if a
+  /// remote write occurs it is appended to `remote_out` for the fabric to
+  /// commit at end of cycle.  Returns true if an instruction retired.
+  bool step(int tile_index, std::int64_t cycle, bool has_link,
+            std::vector<RemoteWrite>& remote_out);
+
+ private:
+  /// Resolve an effective data-memory address; returns -1 and records a
+  /// fault if the address (or the indirection pointer) is out of range.
+  int effective_addr(std::uint16_t field, bool indirect, int tile_index,
+                     std::int64_t cycle);
+  void raise(FaultKind kind, int tile_index, std::int64_t cycle);
+
+  std::array<Word, kDataMemWords> dmem_{};
+  std::vector<isa::Instruction> code_;
+  /// The DSP-macro accumulator (macz/mac/macr); 64-bit internally, results
+  /// truncate to 48 bits when read back with macr.
+  std::int64_t acc_ = 0;
+  int pc_ = 0;
+  bool halted_ = true;  ///< A fresh tile has no program: halted.
+  Fault fault_;
+  TileStats stats_;
+  std::int64_t stalled_until_ = 0;
+};
+
+}  // namespace cgra::fabric

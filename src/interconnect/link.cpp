@@ -1,0 +1,86 @@
+#include "interconnect/link.hpp"
+
+namespace cgra::interconnect {
+
+namespace {
+constexpr std::uint8_t kNoLink = 255;
+}  // namespace
+
+Direction opposite(Direction d) noexcept {
+  switch (d) {
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kSouth: return Direction::kNorth;
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kWest: return Direction::kEast;
+  }
+  return Direction::kNorth;
+}
+
+const char* direction_name(Direction d) noexcept {
+  switch (d) {
+    case Direction::kNorth: return "N";
+    case Direction::kEast: return "E";
+    case Direction::kSouth: return "S";
+    case Direction::kWest: return "W";
+  }
+  return "?";
+}
+
+LinkConfig::LinkConfig(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      out_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+           kNoLink) {}
+
+std::optional<int> LinkConfig::neighbor(int tile, Direction d) const {
+  if (tile < 0 || tile >= tile_count()) return std::nullopt;
+  TileCoord c = coord(tile);
+  switch (d) {
+    case Direction::kNorth: c.row -= 1; break;
+    case Direction::kSouth: c.row += 1; break;
+    case Direction::kEast: c.col += 1; break;
+    case Direction::kWest: c.col -= 1; break;
+  }
+  if (c.row < 0 || c.row >= rows_ || c.col < 0 || c.col >= cols_) {
+    return std::nullopt;
+  }
+  return index(c);
+}
+
+bool LinkConfig::set_output(int tile, std::optional<Direction> d) {
+  if (tile < 0 || tile >= tile_count()) return false;
+  if (!d) {
+    out_[static_cast<std::size_t>(tile)] = kNoLink;
+    return true;
+  }
+  if (!neighbor(tile, *d)) return false;
+  out_[static_cast<std::size_t>(tile)] = static_cast<std::uint8_t>(*d);
+  return true;
+}
+
+std::optional<Direction> LinkConfig::output(int tile) const {
+  if (tile < 0 || tile >= tile_count()) return std::nullopt;
+  const std::uint8_t v = out_[static_cast<std::size_t>(tile)];
+  if (v == kNoLink) return std::nullopt;
+  return static_cast<Direction>(v);
+}
+
+std::optional<int> LinkConfig::target(int tile) const {
+  const auto d = output(tile);
+  if (!d) return std::nullopt;
+  return neighbor(tile, *d);
+}
+
+int LinkConfig::changed_links(const LinkConfig& a, const LinkConfig& b) {
+  const std::size_t n =
+      std::min(a.out_.size(), b.out_.size());
+  int changed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.out_[i] != b.out_[i]) ++changed;
+  }
+  // Tiles present in only one configuration count as changed.
+  changed += static_cast<int>(std::max(a.out_.size(), b.out_.size()) - n);
+  return changed;
+}
+
+}  // namespace cgra::interconnect

@@ -1,0 +1,100 @@
+// Near-neighbour malleable interconnect.
+//
+// The fabric is an R x C mesh.  At any instant each tile drives at most ONE
+// outgoing 48-wire link to a neighbour in one of the four principal
+// directions ("Each tile is connected to its neighbour in one of the four
+// principal directions at any instant in time").  Remote writes from a tile
+// land in the data memory of the tile its active link points at.
+//
+// Changing which links are active is the "reLink" partial reconfiguration;
+// its cost is proportional to the number of links changed (Eq. 1, term B),
+// with the per-link cost L a swept design parameter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/timing.hpp"
+
+namespace cgra::interconnect {
+
+/// Mesh directions.
+enum class Direction : std::uint8_t { kNorth = 0, kEast, kSouth, kWest };
+
+/// The opposite direction (kNorth <-> kSouth, kEast <-> kWest).
+Direction opposite(Direction d) noexcept;
+
+/// Short name ("N", "E", "S", "W").
+const char* direction_name(Direction d) noexcept;
+
+/// Position of a tile in the mesh.
+struct TileCoord {
+  int row = 0;
+  int col = 0;
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+/// Active-output-link configuration of an R x C mesh.
+class LinkConfig {
+ public:
+  LinkConfig() = default;
+  LinkConfig(int rows, int cols);
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] int tile_count() const noexcept { return rows_ * cols_; }
+
+  /// Linear index of (row, col).
+  [[nodiscard]] int index(TileCoord c) const noexcept {
+    return c.row * cols_ + c.col;
+  }
+  /// Coordinates of a linear index.
+  [[nodiscard]] TileCoord coord(int tile) const noexcept {
+    return TileCoord{tile / cols_, tile % cols_};
+  }
+
+  /// Neighbour of `tile` in direction `d`, or nullopt at the mesh edge.
+  [[nodiscard]] std::optional<int> neighbor(int tile, Direction d) const;
+
+  /// Set (or clear) the active output link of `tile`.
+  /// Setting a direction with no neighbour (mesh edge) is rejected: the
+  /// call returns false and the configuration is unchanged.
+  bool set_output(int tile, std::optional<Direction> d);
+
+  /// Active output direction of `tile` (nullopt = no link driven).
+  [[nodiscard]] std::optional<Direction> output(int tile) const;
+
+  /// Tile the active link of `tile` points at, if any.
+  [[nodiscard]] std::optional<int> target(int tile) const;
+
+  /// Number of per-tile output settings that differ between two
+  /// configurations of the same mesh (the paper's l_ij).
+  static int changed_links(const LinkConfig& a, const LinkConfig& b);
+
+  friend bool operator==(const LinkConfig&, const LinkConfig&) = default;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  /// Per-tile active direction; 255 = none.
+  std::vector<std::uint8_t> out_;
+};
+
+/// Cost model for link ("reLink") reconfiguration.
+struct LinkCostModel {
+  /// ns to reconfigure one 48-wire link (the paper's swept parameter L).
+  Nanoseconds per_link_ns = 0.0;
+
+  /// Cost of switching from configuration `a` to configuration `b`.
+  [[nodiscard]] Nanoseconds transition_ns(const LinkConfig& a,
+                                          const LinkConfig& b) const {
+    return per_link_ns * LinkConfig::changed_links(a, b);
+  }
+  /// Cost of reconfiguring `n` links.
+  [[nodiscard]] Nanoseconds links_ns(int n) const noexcept {
+    return per_link_ns * n;
+  }
+};
+
+}  // namespace cgra::interconnect

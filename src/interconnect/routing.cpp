@@ -1,0 +1,38 @@
+#include "interconnect/routing.hpp"
+
+#include <cstdlib>
+
+namespace cgra::interconnect {
+
+std::optional<Route> shortest_route(const LinkConfig& mesh, int from, int to) {
+  if (from < 0 || from >= mesh.tile_count() || to < 0 ||
+      to >= mesh.tile_count()) {
+    return std::nullopt;
+  }
+  Route route;
+  route.from = from;
+  route.to = to;
+  TileCoord cur = mesh.coord(from);
+  const TileCoord dst = mesh.coord(to);
+  while (cur.row != dst.row) {
+    const Direction d =
+        cur.row < dst.row ? Direction::kSouth : Direction::kNorth;
+    route.hops.push_back(d);
+    cur.row += cur.row < dst.row ? 1 : -1;
+  }
+  while (cur.col != dst.col) {
+    const Direction d =
+        cur.col < dst.col ? Direction::kEast : Direction::kWest;
+    route.hops.push_back(d);
+    cur.col += cur.col < dst.col ? 1 : -1;
+  }
+  return route;
+}
+
+int manhattan_distance(const LinkConfig& mesh, int a, int b) {
+  const TileCoord ca = mesh.coord(a);
+  const TileCoord cb = mesh.coord(b);
+  return std::abs(ca.row - cb.row) + std::abs(ca.col - cb.col);
+}
+
+}  // namespace cgra::interconnect

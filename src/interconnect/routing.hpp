@@ -1,0 +1,54 @@
+// Multi-hop routing over the near-neighbour mesh.
+//
+// A tile can only write into the neighbour its single output link points
+// at, so data for a non-adjacent consumer travels through intermediate
+// tiles with explicit copy processes ("The data generated at non neighbour
+// tiles is brought to the tile's memory using explicit copy instructions
+// and changing connectivity if required").  This module computes the hop
+// routes and their cost: each hop is one cp process execution plus one
+// link reconfiguration if the hop tile's output link must change.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "interconnect/link.hpp"
+
+namespace cgra::interconnect {
+
+/// A route: the sequence of directions to follow from the source tile.
+struct Route {
+  int from = 0;
+  int to = 0;
+  std::vector<Direction> hops;
+
+  [[nodiscard]] int length() const noexcept {
+    return static_cast<int>(hops.size());
+  }
+};
+
+/// Shortest Manhattan route (row-first) between two tiles of the mesh.
+/// Returns nullopt for invalid indices.  `from == to` yields an empty route.
+std::optional<Route> shortest_route(const LinkConfig& mesh, int from, int to);
+
+/// Manhattan distance between two tiles.
+int manhattan_distance(const LinkConfig& mesh, int a, int b);
+
+/// Cost model for routed block transfers (the paper's term C).
+struct CopyCostModel {
+  /// ns to copy one 48-bit word one hop: the cp loop's 5 instructions.
+  Nanoseconds per_word_hop_ns = 5 * kCycleNs;
+  /// Per-hop link reconfiguration cost (0 when the link already points the
+  /// right way; callers pass the swept L when it must change).
+  Nanoseconds per_hop_link_ns = 0.0;
+
+  /// Cost of moving `words` words along a route of `hops` hops.
+  [[nodiscard]] Nanoseconds transfer_ns(int words, int hops) const noexcept {
+    if (hops <= 0) return 0.0;
+    return static_cast<double>(hops) *
+           (static_cast<double>(words) * per_word_hop_ns + per_hop_link_ns);
+  }
+};
+
+}  // namespace cgra::interconnect

@@ -1,0 +1,481 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "common/fixed_complex.hpp"
+
+namespace cgra::isa {
+namespace {
+
+/// One parsed operand before encoding.
+struct Operand {
+  std::string expr;      ///< Textual expression (resolved in pass 2).
+  bool indirect = false;
+  bool remote = false;
+  bool immediate = false;
+};
+
+/// One parsed statement.
+struct Stmt {
+  int line = 0;
+  std::string mnemonic;           ///< Lower-case mnemonic (code lines only).
+  std::vector<Operand> operands;  ///< For code lines.
+  bool is_directive = false;
+  std::string directive;               ///< ".equ" | ".data" | ".cdata"
+  std::vector<std::string> dir_args;   ///< Raw directive arguments.
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  const std::string last = trim(cur);
+  if (!last.empty() || !out.empty()) out.push_back(last);
+  return out;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '.';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '.';
+}
+
+/// Collects diagnostics with line numbers.
+class Diag {
+ public:
+  void error(int line, const std::string& msg) {
+    std::ostringstream os;
+    os << "line " << line << ": " << msg;
+    errors_.push_back(os.str());
+  }
+  [[nodiscard]] bool has_errors() const noexcept { return !errors_.empty(); }
+  [[nodiscard]] std::vector<std::string> take() { return std::move(errors_); }
+
+ private:
+  std::vector<std::string> errors_;
+};
+
+/// Expression evaluator over symbols + labels: term (('+'|'-') term)*.
+class ExprEval {
+ public:
+  ExprEval(const std::map<std::string, std::int64_t>& symbols,
+           const std::map<std::string, int>& labels)
+      : symbols_(symbols), labels_(labels) {}
+
+  std::optional<std::int64_t> eval(const std::string& text,
+                                   std::string* err) const {
+    std::size_t pos = 0;
+    auto first = term(text, pos, err);
+    if (!first) return std::nullopt;
+    std::int64_t acc = *first;
+    skip_ws(text, pos);
+    while (pos < text.size()) {
+      const char op = text[pos];
+      if (op != '+' && op != '-') {
+        if (err != nullptr) *err = "unexpected character '" + std::string(1, op) + "'";
+        return std::nullopt;
+      }
+      ++pos;
+      auto rhs = term(text, pos, err);
+      if (!rhs) return std::nullopt;
+      acc = (op == '+') ? acc + *rhs : acc - *rhs;
+      skip_ws(text, pos);
+    }
+    return acc;
+  }
+
+ private:
+  static void skip_ws(const std::string& t, std::size_t& pos) {
+    while (pos < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  std::optional<std::int64_t> term(const std::string& t, std::size_t& pos,
+                                   std::string* err) const {
+    skip_ws(t, pos);
+    if (pos >= t.size()) {
+      if (err != nullptr) *err = "empty expression";
+      return std::nullopt;
+    }
+    bool neg = false;
+    if (t[pos] == '-' || t[pos] == '+') {
+      neg = t[pos] == '-';
+      ++pos;
+      skip_ws(t, pos);
+    }
+    if (pos >= t.size()) {
+      if (err != nullptr) *err = "dangling sign";
+      return std::nullopt;
+    }
+    std::int64_t value = 0;
+    if (std::isdigit(static_cast<unsigned char>(t[pos])) != 0) {
+      char* end = nullptr;
+      value = std::strtoll(t.c_str() + pos, &end, 0);
+      pos = static_cast<std::size_t>(end - t.c_str());
+    } else if (is_ident_start(t[pos])) {
+      std::size_t start = pos;
+      while (pos < t.size() && is_ident_char(t[pos])) ++pos;
+      const std::string name = t.substr(start, pos - start);
+      if (auto it = symbols_.find(name); it != symbols_.end()) {
+        value = it->second;
+      } else if (auto jt = labels_.find(name); jt != labels_.end()) {
+        value = jt->second;
+      } else {
+        if (err != nullptr) *err = "undefined symbol '" + name + "'";
+        return std::nullopt;
+      }
+    } else {
+      if (err != nullptr) {
+        *err = "bad expression character '" + std::string(1, t[pos]) + "'";
+      }
+      return std::nullopt;
+    }
+    return neg ? -value : value;
+  }
+
+  const std::map<std::string, std::int64_t>& symbols_;
+  const std::map<std::string, int>& labels_;
+};
+
+std::optional<Operand> parse_operand(std::string text, std::string* err) {
+  Operand op;
+  text = trim(text);
+  if (text.empty()) {
+    *err = "empty operand";
+    return std::nullopt;
+  }
+  if (text.front() == '#') {
+    op.immediate = true;
+    text = trim(text.substr(1));
+  }
+  if (!text.empty() && text.front() == '!') {
+    op.remote = true;
+    text = trim(text.substr(1));
+  }
+  if (!text.empty() && text.back() == '*') {
+    op.indirect = true;
+    text = trim(text.substr(0, text.size() - 1));
+  }
+  if (text.empty()) {
+    *err = "operand has no expression";
+    return std::nullopt;
+  }
+  if (op.immediate && (op.remote || op.indirect)) {
+    *err = "immediate operand cannot be remote or indirect";
+    return std::nullopt;
+  }
+  op.expr = text;
+  return op;
+}
+
+}  // namespace
+
+AssembleResult assemble(const std::string& source) {
+  AssembleResult result;
+  Diag diag;
+  Program& prog = result.program;
+
+  // ---- Pass 1: scan statements, collect labels and .equ symbols. ----
+  std::vector<Stmt> stmts;
+  {
+    std::istringstream in(source);
+    std::string raw;
+    int line_no = 0;
+    int inst_index = 0;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      if (auto cut = raw.find(';'); cut != std::string::npos) {
+        raw.resize(cut);
+      }
+      std::string line = trim(raw);
+      if (line.empty()) continue;
+
+      // Labels may share a line with an instruction: "loop:  add ..."
+      while (true) {
+        std::size_t i = 0;
+        if (!is_ident_start(line[0])) break;
+        while (i < line.size() && is_ident_char(line[i])) ++i;
+        if (i < line.size() && line[i] == ':') {
+          const std::string label = line.substr(0, i);
+          if (prog.labels.count(label) != 0) {
+            diag.error(line_no, "duplicate label '" + label + "'");
+          }
+          prog.labels[label] = inst_index;
+          line = trim(line.substr(i + 1));
+          if (line.empty()) break;
+          continue;
+        }
+        break;
+      }
+      if (line.empty()) continue;
+
+      Stmt stmt;
+      stmt.line = line_no;
+      if (line[0] == '.') {
+        stmt.is_directive = true;
+        std::size_t sp = line.find_first_of(" \t");
+        stmt.directive = line.substr(0, sp);
+        const std::string rest =
+            sp == std::string::npos ? "" : trim(line.substr(sp));
+        stmt.dir_args = split_commas(rest);
+        if (stmt.directive == ".equ") {
+          if (stmt.dir_args.size() != 2) {
+            diag.error(line_no, ".equ needs NAME, expr");
+          }
+          // Value resolved in pass 2 (may reference earlier symbols only);
+          // record the name now so labels/symbols don't collide.
+        } else if (stmt.directive != ".data" && stmt.directive != ".cdata") {
+          diag.error(line_no, "unknown directive '" + stmt.directive + "'");
+          continue;
+        }
+        stmts.push_back(std::move(stmt));
+        continue;
+      }
+
+      // Instruction statement.
+      std::size_t sp = line.find_first_of(" \t");
+      stmt.mnemonic = line.substr(0, sp);
+      for (auto& c : stmt.mnemonic) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      const std::string rest =
+          sp == std::string::npos ? "" : trim(line.substr(sp));
+      if (!rest.empty()) {
+        for (const auto& part : split_commas(rest)) {
+          std::string err;
+          auto op = parse_operand(part, &err);
+          if (!op) {
+            diag.error(line_no, err);
+            op = Operand{};  // placeholder keeps operand counts aligned
+          }
+          stmt.operands.push_back(*op);
+        }
+      }
+      stmts.push_back(std::move(stmt));
+      ++inst_index;
+    }
+  }
+
+  // ---- Pass 2: resolve expressions and encode. ----
+  ExprEval eval(prog.symbols, prog.labels);
+
+  auto eval_or = [&](const std::string& text, int line,
+                     std::int64_t fallback) -> std::int64_t {
+    std::string err;
+    auto v = eval.eval(text, &err);
+    if (!v) {
+      diag.error(line, err + " in '" + text + "'");
+      return fallback;
+    }
+    return *v;
+  };
+
+  auto addr_field = [&](const Operand& op, int line) -> std::uint16_t {
+    const std::int64_t v = eval_or(op.expr, line, 0);
+    if (v < 0 || v > kAddrFieldMask) {
+      diag.error(line, "address out of field range: " + op.expr);
+      return 0;
+    }
+    return static_cast<std::uint16_t>(v);
+  };
+
+  auto imm_field = [&](const Operand& op, int line) -> std::int32_t {
+    const std::int64_t v = eval_or(op.expr, line, 0);
+    if (v < kImmMin || v > kImmMax) {
+      diag.error(line, "immediate out of 24-bit range: " + op.expr);
+      return 0;
+    }
+    return static_cast<std::int32_t>(v);
+  };
+
+  for (const auto& stmt : stmts) {
+    if (stmt.is_directive) {
+      if (stmt.directive == ".equ") {
+        if (stmt.dir_args.size() == 2) {
+          prog.symbols[stmt.dir_args[0]] =
+              eval_or(stmt.dir_args[1], stmt.line, 0);
+        }
+      } else if (stmt.directive == ".data") {
+        if (stmt.dir_args.size() < 2) {
+          diag.error(stmt.line, ".data needs addr, v0 [, v1 ...]");
+          continue;
+        }
+        const std::int64_t base = eval_or(stmt.dir_args[0], stmt.line, 0);
+        for (std::size_t i = 1; i < stmt.dir_args.size(); ++i) {
+          const std::int64_t v = eval_or(stmt.dir_args[i], stmt.line, 0);
+          prog.data.push_back(
+              DataPatch{static_cast<int>(base + static_cast<std::int64_t>(i) - 1),
+                        from_signed(v)});
+        }
+      } else if (stmt.directive == ".cdata") {
+        if (stmt.dir_args.size() != 3) {
+          diag.error(stmt.line, ".cdata needs addr, re, im");
+          continue;
+        }
+        const std::int64_t addr = eval_or(stmt.dir_args[0], stmt.line, 0);
+        char* end = nullptr;
+        const double re = std::strtod(stmt.dir_args[1].c_str(), &end);
+        const double im = std::strtod(stmt.dir_args[2].c_str(), &end);
+        prog.data.push_back(DataPatch{
+            static_cast<int>(addr),
+            pack_complex(FixedComplex{double_to_half(re), double_to_half(im)})});
+      }
+      continue;
+    }
+
+    auto opcode = opcode_from_mnemonic(stmt.mnemonic);
+    if (!opcode) {
+      diag.error(stmt.line, "unknown mnemonic '" + stmt.mnemonic + "'");
+      continue;
+    }
+    Instruction in;
+    in.opcode = *opcode;
+    const auto& ops = stmt.operands;
+    auto expect = [&](std::size_t n) {
+      if (ops.size() != n) {
+        std::ostringstream os;
+        os << "'" << stmt.mnemonic << "' expects " << n << " operand(s), got "
+           << ops.size();
+        diag.error(stmt.line, os.str());
+        return false;
+      }
+      return true;
+    };
+
+    auto set_dst = [&](const Operand& op) {
+      if (op.immediate) {
+        diag.error(stmt.line, "destination cannot be immediate");
+        return;
+      }
+      in.dst = addr_field(op, stmt.line);
+      if (op.indirect) in.flags |= kFlagDstIndirect;
+      if (op.remote) in.flags |= kFlagDstRemote;
+    };
+    auto set_srca = [&](const Operand& op) {
+      if (op.immediate || op.remote) {
+        diag.error(stmt.line, "srcA cannot be immediate or remote");
+        return;
+      }
+      in.srca = addr_field(op, stmt.line);
+      if (op.indirect) in.flags |= kFlagSrcAIndirect;
+    };
+    auto set_srcb_or_imm = [&](const Operand& op) {
+      if (op.remote) {
+        diag.error(stmt.line, "srcB cannot be remote");
+        return;
+      }
+      if (op.immediate) {
+        in.flags |= kFlagUseImm;
+        in.imm = imm_field(op, stmt.line);
+      } else {
+        in.srcb = addr_field(op, stmt.line);
+        if (op.indirect) in.flags |= kFlagSrcBIndirect;
+      }
+    };
+    auto set_target = [&](const Operand& op) {
+      if (op.indirect || op.remote || op.immediate) {
+        diag.error(stmt.line, "branch target must be a plain expression");
+        return;
+      }
+      in.imm = imm_field(op, stmt.line);
+    };
+
+    switch (in.opcode) {
+      case Opcode::kNop:
+      case Opcode::kHalt:
+        expect(0);
+        break;
+      case Opcode::kMov:
+        if (expect(2)) {
+          set_dst(ops[0]);
+          set_srca(ops[1]);
+        }
+        break;
+      case Opcode::kMovi:
+        if (expect(2)) {
+          set_dst(ops[0]);
+          if (!ops[1].immediate) {
+            diag.error(stmt.line, "movi operand must be immediate (#expr)");
+          } else {
+            in.flags |= kFlagUseImm;
+            in.imm = imm_field(ops[1], stmt.line);
+          }
+        }
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kAnd:
+      case Opcode::kOrr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kSra:
+      case Opcode::kCadd:
+      case Opcode::kCsub:
+      case Opcode::kCmul:
+        if (expect(3)) {
+          set_dst(ops[0]);
+          set_srca(ops[1]);
+          set_srcb_or_imm(ops[2]);
+        }
+        break;
+      case Opcode::kBeqz:
+      case Opcode::kBnez:
+      case Opcode::kBltz:
+        if (expect(2)) {
+          set_srca(ops[0]);
+          set_target(ops[1]);
+        }
+        break;
+      case Opcode::kJmp:
+        if (expect(1)) set_target(ops[0]);
+        break;
+      case Opcode::kMacz:
+      case Opcode::kMac:
+        if (expect(2)) {
+          set_srca(ops[0]);
+          set_srcb_or_imm(ops[1]);
+        }
+        break;
+      case Opcode::kMacr:
+        if (expect(1)) set_dst(ops[0]);
+        break;
+      case Opcode::kOpcodeCount:
+        break;
+    }
+    prog.code.push_back(in);
+  }
+
+  if (diag.has_errors()) {
+    result.errors = diag.take();
+    result.status = Status::error(result.errors.front());
+  }
+  return result;
+}
+
+}  // namespace cgra::isa

@@ -1,0 +1,51 @@
+// Two-pass assembler for the tile ISA.
+//
+// Syntax (one statement per line, ';' starts a comment):
+//
+//   .equ NAME, expr              define a symbol
+//   .data addr, v0, v1, ...      initialise dmem[addr..] with 48-bit values
+//   .cdata addr, re, im          initialise dmem[addr] with a packed Q3.20
+//                                complex constant (floats accepted)
+//   label:                       code label (instruction index)
+//   mnemonic operands            see below
+//
+// Operand forms:
+//   expr        direct data-memory address
+//   expr*       register-indirect: effective address = dmem[expr]
+//   !expr       remote: write into the linked neighbour (dst only)
+//   !expr*      remote + indirect
+//   #expr       immediate (srcB position only; also movi's operand)
+//
+// Expressions are integer literals (decimal or 0x hex), .equ symbols and
+// code labels combined with + and - (left associative).
+//
+// Operand shapes per mnemonic:
+//   nop | halt
+//   mov   dst, srcA
+//   movi  dst, #imm
+//   add|sub|mul|and|orr|xor|shl|shr|sra|cadd|csub|cmul  dst, srcA, (srcB|#imm)
+//   beqz|bnez|bltz  srcA, target
+//   jmp   target
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "isa/program.hpp"
+
+namespace cgra::isa {
+
+/// Outcome of assembling one source unit.
+struct AssembleResult {
+  Program program;                  ///< Valid only if status.ok().
+  Status status;                    ///< First error, or ok.
+  std::vector<std::string> errors;  ///< All diagnostics ("line N: ...").
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+};
+
+/// Assemble `source` into a Program.
+AssembleResult assemble(const std::string& source);
+
+}  // namespace cgra::isa

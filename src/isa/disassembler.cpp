@@ -1,0 +1,74 @@
+#include "isa/disassembler.hpp"
+
+#include <sstream>
+
+namespace cgra::isa {
+
+namespace {
+std::string dst_text(const Instruction& in) {
+  std::string out;
+  if (in.has_flag(kFlagDstRemote)) out += "!";
+  out += std::to_string(in.dst);
+  if (in.has_flag(kFlagDstIndirect)) out += "*";
+  return out;
+}
+std::string srca_text(const Instruction& in) {
+  std::string out = std::to_string(in.srca);
+  if (in.has_flag(kFlagSrcAIndirect)) out += "*";
+  return out;
+}
+std::string srcb_text(const Instruction& in) {
+  if (in.has_flag(kFlagUseImm)) return "#" + std::to_string(in.imm);
+  std::string out = std::to_string(in.srcb);
+  if (in.has_flag(kFlagSrcBIndirect)) out += "*";
+  return out;
+}
+}  // namespace
+
+std::string disassemble(const Instruction& in) {
+  std::ostringstream os;
+  os << mnemonic(in.opcode);
+  switch (in.opcode) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      break;
+    case Opcode::kMov:
+      os << ' ' << dst_text(in) << ", " << srca_text(in);
+      break;
+    case Opcode::kMovi:
+      os << ' ' << dst_text(in) << ", #" << in.imm;
+      break;
+    case Opcode::kBeqz:
+    case Opcode::kBnez:
+    case Opcode::kBltz:
+      os << ' ' << srca_text(in) << ", " << in.imm;
+      break;
+    case Opcode::kJmp:
+      os << ' ' << in.imm;
+      break;
+    case Opcode::kMacz:
+    case Opcode::kMac:
+      os << ' ' << srca_text(in) << ", " << srcb_text(in);
+      break;
+    case Opcode::kMacr:
+      os << ' ' << dst_text(in);
+      break;
+    case Opcode::kOpcodeCount:
+      break;
+    default:
+      os << ' ' << dst_text(in) << ", " << srca_text(in) << ", "
+         << srcb_text(in);
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(const Program& prog) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    os << disassemble(prog.code[i]) << "    ; [" << i << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace cgra::isa

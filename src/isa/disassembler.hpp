@@ -1,0 +1,21 @@
+// Disassembler: renders instructions back into assembler syntax.
+//
+// disassemble(assemble(text).program) reassembles to the same encodings
+// (label names are lost; branch targets become numeric), which the test
+// suite asserts as a round-trip property.
+#pragma once
+
+#include <string>
+
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+
+namespace cgra::isa {
+
+/// Render one instruction ("cmul 10, 20*, 30*").
+std::string disassemble(const Instruction& in);
+
+/// Render a whole program, one instruction per line with index comments.
+std::string disassemble(const Program& prog);
+
+}  // namespace cgra::isa

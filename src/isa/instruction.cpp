@@ -1,0 +1,136 @@
+#include "isa/instruction.hpp"
+
+#include <array>
+
+namespace cgra::isa {
+
+namespace {
+constexpr std::array<const char*, static_cast<std::size_t>(
+                                      Opcode::kOpcodeCount)>
+    kMnemonics = {"nop",  "halt", "mov",  "movi", "add",  "sub",
+                  "mul",  "and",  "orr",  "xor",  "shl",  "shr",
+                  "sra",  "cadd", "csub", "cmul", "beqz", "bnez",
+                  "bltz", "jmp",  "macz", "mac",  "macr"};
+}  // namespace
+
+EncodedInstr encode(const Instruction& in) noexcept {
+  const std::uint64_t opcode =
+      static_cast<std::uint64_t>(in.opcode) & 0x3F;
+  const std::uint64_t flags = static_cast<std::uint64_t>(in.flags) & 0x3F;
+  const std::uint64_t dst = in.dst & kAddrFieldMask;
+  const std::uint64_t srca = in.srca & kAddrFieldMask;
+  const std::uint64_t srcb = in.srcb & kAddrFieldMask;
+  const std::uint64_t imm =
+      static_cast<std::uint32_t>(in.imm) & ((1u << kImmBits) - 1);
+
+  // Assemble the 72-bit value as (hi:8, lo:64).
+  // bits: opcode [71:66], flags [65:60], dst [59:48], srca [47:36],
+  //       srcb [35:24], imm [23:0]
+  const unsigned __int128 word =
+      (static_cast<unsigned __int128>(opcode) << 66) |
+      (static_cast<unsigned __int128>(flags) << 60) |
+      (static_cast<unsigned __int128>(dst) << 48) | (srca << 36) |
+      (srcb << 24) | imm;
+  EncodedInstr out;
+  out.lo = static_cast<std::uint64_t>(word);
+  out.hi = static_cast<std::uint8_t>(word >> 64);
+  return out;
+}
+
+std::optional<Instruction> decode(EncodedInstr raw) noexcept {
+  const unsigned __int128 word =
+      (static_cast<unsigned __int128>(raw.hi) << 64) | raw.lo;
+  const auto opcode_field = static_cast<std::uint8_t>((word >> 66) & 0x3F);
+  if (opcode_field >= static_cast<std::uint8_t>(Opcode::kOpcodeCount)) {
+    return std::nullopt;
+  }
+  Instruction in;
+  in.opcode = static_cast<Opcode>(opcode_field);
+  in.flags = static_cast<std::uint8_t>((word >> 60) & 0x3F);
+  in.dst = static_cast<std::uint16_t>((word >> 48) & kAddrFieldMask);
+  in.srca = static_cast<std::uint16_t>((word >> 36) & kAddrFieldMask);
+  in.srcb = static_cast<std::uint16_t>((word >> 24) & kAddrFieldMask);
+  const auto imm_raw = static_cast<std::uint32_t>(word & ((1u << kImmBits) - 1));
+  const std::uint32_t sign = 1u << (kImmBits - 1);
+  in.imm = (imm_raw & sign) != 0
+               ? static_cast<std::int32_t>(imm_raw | ~((1u << kImmBits) - 1))
+               : static_cast<std::int32_t>(imm_raw);
+  return in;
+}
+
+const char* mnemonic(Opcode op) noexcept {
+  const auto idx = static_cast<std::size_t>(op);
+  return idx < kMnemonics.size() ? kMnemonics[idx] : "???";
+}
+
+std::optional<Opcode> opcode_from_mnemonic(const std::string& name) noexcept {
+  for (std::size_t i = 0; i < kMnemonics.size(); ++i) {
+    if (name == kMnemonics[i]) return static_cast<Opcode>(i);
+  }
+  return std::nullopt;
+}
+
+bool writes_dst(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kBeqz:
+    case Opcode::kBnez:
+    case Opcode::kBltz:
+    case Opcode::kJmp:
+    case Opcode::kMacz:
+    case Opcode::kMac:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool reads_srca(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kMovi:
+    case Opcode::kJmp:
+    case Opcode::kMacr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool reads_srcb(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kAnd:
+    case Opcode::kOrr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSra:
+    case Opcode::kCadd:
+    case Opcode::kCsub:
+    case Opcode::kCmul:
+    case Opcode::kMacz:
+    case Opcode::kMac:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_branch(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kBeqz:
+    case Opcode::kBnez:
+    case Opcode::kBltz:
+    case Opcode::kJmp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace cgra::isa

@@ -1,0 +1,12 @@
+#include "isa/program.hpp"
+
+namespace cgra::isa {
+
+std::vector<EncodedInstr> Program::encoded() const {
+  std::vector<EncodedInstr> out;
+  out.reserve(code.size());
+  for (const auto& in : code) out.push_back(encode(in));
+  return out;
+}
+
+}  // namespace cgra::isa

@@ -1,0 +1,45 @@
+// A tile program: instruction image plus data-memory initialisation.
+//
+// This is the unit of (re)configuration: loading a Program into a tile via
+// the ICAP costs inst_words * 50 ns + data_words * 33.33 ns in the timing
+// model (see config/ReconfigController).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/word.hpp"
+#include "isa/instruction.hpp"
+
+namespace cgra::isa {
+
+/// One data-memory initialisation: dmem[addr] = value.
+struct DataPatch {
+  int addr = 0;
+  Word value = 0;
+  friend bool operator==(const DataPatch&, const DataPatch&) = default;
+};
+
+/// An assembled tile program.
+struct Program {
+  std::vector<Instruction> code;      ///< Decoded instruction stream.
+  std::vector<DataPatch> data;        ///< Data-memory initial contents.
+  std::map<std::string, int> labels;  ///< Code labels -> instruction index.
+  std::map<std::string, std::int64_t> symbols;  ///< .equ symbol values.
+
+  /// Number of 72-bit instruction words (reconfiguration footprint).
+  [[nodiscard]] int inst_words() const noexcept {
+    return static_cast<int>(code.size());
+  }
+  /// Number of 48-bit data words initialised (reconfiguration footprint).
+  [[nodiscard]] int data_words() const noexcept {
+    return static_cast<int>(data.size());
+  }
+
+  /// Encoded 72-bit image, in instruction order.
+  [[nodiscard]] std::vector<EncodedInstr> encoded() const;
+};
+
+}  // namespace cgra::isa

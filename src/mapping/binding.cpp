@@ -1,0 +1,158 @@
+#include "mapping/binding.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+namespace cgra::mapping {
+
+using procnet::Process;
+using procnet::ProcessNetwork;
+
+Status Binding::validate(const ProcessNetwork& net) const {
+  std::vector<int> seen(static_cast<std::size_t>(net.size()), 0);
+  for (const auto& g : groups) {
+    if (g.replication < 1) return Status::error("replication < 1");
+    if (g.procs.empty()) return Status::error("empty tile group");
+    for (int p : g.procs) {
+      if (p < 0 || p >= net.size()) {
+        return Status::error("group references unknown process");
+      }
+      if (++seen[static_cast<std::size_t>(p)] > 1) {
+        return Status::error("process '" + net.process(p).name +
+                             "' bound twice");
+      }
+    }
+    if (g.replication > 1) {
+      for (int p : g.procs) {
+        if (!net.process(p).replicable) {
+          return Status::error("process '" + net.process(p).name +
+                               "' is not replicable");
+        }
+      }
+    }
+  }
+  for (int i = 0; i < net.size(); ++i) {
+    if (seen[static_cast<std::size_t>(i)] == 0) {
+      return Status::error("process '" + net.process(i).name + "' unbound");
+    }
+  }
+  return Status{};
+}
+
+std::string Binding::describe(const ProcessNetwork& net) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (i != 0) os << "  ";
+    os << "T" << i << ":";
+    for (int p : groups[i].procs) os << ' ' << net.process(p).name;
+    if (groups[i].replication > 1) os << " (x" << groups[i].replication << ")";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Pinning decision for one group: pin processes largest-first while the
+/// instruction memory allows.  Returns pinned flags aligned with `procs`.
+std::vector<bool> pin_selection(const ProcessNetwork& net,
+                                const std::vector<int>& procs,
+                                int imem_words) {
+  std::vector<std::size_t> order(procs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return net.process(procs[a]).insts > net.process(procs[b]).insts;
+  });
+  std::vector<bool> pinned(procs.size(), false);
+  int used = 0;
+  for (std::size_t idx : order) {
+    const int insts = net.process(procs[idx]).insts;
+    if (used + insts <= imem_words) {
+      pinned[idx] = true;
+      used += insts;
+    }
+  }
+  return pinned;
+}
+
+GroupEval evaluate_group(const ProcessNetwork& net,
+                         const std::vector<int>& procs,
+                         const CostParams& params) {
+  GroupEval eval;
+  for (int p : procs) {
+    const Process& proc = net.process(p);
+    eval.work_ns += cycles_to_ns(proc.work_cycles_per_item());
+    eval.total_insts += proc.insts;
+    if (proc.data_words() > params.dmem_words) eval.data_fits = false;
+  }
+  if (procs.size() <= 1) {
+    // Resident single process: no per-item context switching.
+    eval.pinned_insts = eval.total_insts;
+    eval.all_pinned = eval.total_insts <= params.imem_words;
+    return eval;
+  }
+  const std::vector<bool> pinned =
+      params.allow_pinning ? pin_selection(net, procs, params.imem_words)
+                           : std::vector<bool>(procs.size(), false);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const Process& proc = net.process(procs[i]);
+    const double activations = proc.invocations_per_item;
+    eval.reconfig_ns +=
+        activations * params.icap.data_reload_ns(proc.data3);
+    if (pinned[i]) {
+      eval.pinned_insts += proc.insts;
+    } else {
+      eval.all_pinned = false;
+      eval.reconfig_ns += activations * params.icap.inst_reload_ns(proc.insts);
+    }
+  }
+  return eval;
+}
+
+}  // namespace
+
+Nanoseconds group_busy_ns(const ProcessNetwork& net,
+                          const std::vector<int>& procs,
+                          const CostParams& params) {
+  return evaluate_group(net, procs, params).busy_ns();
+}
+
+BindingEval evaluate(const ProcessNetwork& net, const Binding& binding,
+                     const CostParams& params) {
+  BindingEval out;
+  out.tile_count = binding.tile_count();
+  for (const auto& g : binding.groups) {
+    GroupEval ge = evaluate_group(net, g.procs, params);
+    if (g.procs.size() > 1) out.needs_reconfig = true;
+    if (g.replication > 1) out.needs_relink = true;
+    const Nanoseconds effective =
+        ge.busy_ns() / static_cast<double>(g.replication);
+    out.ii_ns = std::max(out.ii_ns, effective);
+    out.groups.push_back(std::move(ge));
+  }
+  if (out.ii_ns > 0.0) {
+    out.items_per_sec = 1e9 / out.ii_ns;
+    double util_sum = 0.0;
+    for (std::size_t i = 0; i < binding.groups.size(); ++i) {
+      const auto& g = binding.groups[i];
+      const Nanoseconds effective =
+          out.groups[i].busy_ns() / static_cast<double>(g.replication);
+      util_sum += static_cast<double>(g.replication) * (effective / out.ii_ns);
+    }
+    out.avg_utilization =
+        out.tile_count > 0 ? util_sum / out.tile_count : 0.0;
+  }
+  return out;
+}
+
+Binding all_on_one_tile(const ProcessNetwork& net) {
+  Binding b;
+  TileGroup g;
+  g.procs.resize(static_cast<std::size_t>(net.size()));
+  std::iota(g.procs.begin(), g.procs.end(), 0);
+  b.groups.push_back(std::move(g));
+  return b;
+}
+
+}  // namespace cgra::mapping

@@ -1,0 +1,109 @@
+// Bindings of processes to tiles, and their pipeline cost model.
+//
+// A binding assigns every process of a network to a tile *group*; a group
+// may be replicated n times ("instantiating a tile n times for a heavy
+// process", Fig. 15), in which case consecutive pipeline items round-robin
+// over the replicas and the group's effective time divides by n.
+//
+// Cost model (matches Sec. 3.4/3.5 and Table 4):
+//   * A tile hosting a single process runs it resident: no per-item
+//     reconfiguration.
+//   * A tile hosting k > 1 processes context-switches between them every
+//     item: each activation reloads the process's data3 words (33.33 ns
+//     each) and, unless the process's instructions are pinned "(f)", its
+//     instruction words (50 ns each).  Pinning is selective: processes are
+//     pinned largest-first while the tile's 512-word instruction memory
+//     allows.
+//   * Initiation interval II = max over groups of busy/replication;
+//     throughput = 1 / II; per-tile utilisation = (busy/replication) / II.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/timing.hpp"
+#include "procnet/network.hpp"
+
+namespace cgra::mapping {
+
+/// One tile group: a set of processes sharing a tile, possibly replicated.
+struct TileGroup {
+  std::vector<int> procs;  ///< Process ids, in pipeline order.
+  int replication = 1;     ///< Number of physical tiles instantiated.
+};
+
+/// A complete assignment of processes to tile groups.
+struct Binding {
+  std::vector<TileGroup> groups;
+
+  /// Number of physical tiles used.
+  [[nodiscard]] int tile_count() const noexcept {
+    int n = 0;
+    for (const auto& g : groups) n += g.replication;
+    return n;
+  }
+
+  /// Every process of `net` appears in exactly one group.
+  [[nodiscard]] Status validate(const procnet::ProcessNetwork& net) const;
+
+  /// "T0: p2-4(x2)  T1: p5" style rendering for tables and logs.
+  [[nodiscard]] std::string describe(
+      const procnet::ProcessNetwork& net) const;
+};
+
+/// Cost-model parameters.
+struct CostParams {
+  IcapModel icap;
+  int imem_words = kInstMemWords;   ///< Pinning capacity per tile.
+  int dmem_words = kDataMemWords;   ///< Residency check per process.
+  /// Ablation switch: with pinning disabled, a context-switching tile
+  /// reloads every process's instructions on every activation (Table 4's
+  /// "(f)" annotations become impossible).
+  bool allow_pinning = true;
+};
+
+/// Evaluation of one group.
+struct GroupEval {
+  Nanoseconds work_ns = 0.0;      ///< Pure compute per pipeline item.
+  Nanoseconds reconfig_ns = 0.0;  ///< Context-switch ICAP cost per item.
+  int pinned_insts = 0;           ///< Instruction words kept resident.
+  int total_insts = 0;
+  bool all_pinned = true;         ///< Table 4's "(f)" for every process.
+  bool data_fits = true;          ///< Heaviest process fits the data memory.
+
+  [[nodiscard]] Nanoseconds busy_ns() const noexcept {
+    return work_ns + reconfig_ns;
+  }
+};
+
+/// Evaluation of a whole binding.
+struct BindingEval {
+  std::vector<GroupEval> groups;
+  Nanoseconds ii_ns = 0.0;          ///< Initiation interval per item.
+  double items_per_sec = 0.0;       ///< 1e9 / ii_ns.
+  double avg_utilization = 0.0;     ///< Mean over physical tiles.
+  bool needs_reconfig = false;      ///< Any multi-process tile.
+  bool needs_relink = false;        ///< Any replicated group.
+  int tile_count = 0;
+
+  /// Time to process `items` pipeline items (steady-state, ns).
+  [[nodiscard]] Nanoseconds time_for_items(std::int64_t items) const noexcept {
+    return ii_ns * static_cast<double>(items);
+  }
+};
+
+/// Per-item busy time of a hypothetical tile hosting exactly `procs`.
+Nanoseconds group_busy_ns(const procnet::ProcessNetwork& net,
+                          const std::vector<int>& procs,
+                          const CostParams& params);
+
+/// Evaluate a binding against a network.
+BindingEval evaluate(const procnet::ProcessNetwork& net, const Binding& binding,
+                     const CostParams& params);
+
+/// Convenience: single-tile binding hosting the whole network.
+Binding all_on_one_tile(const procnet::ProcessNetwork& net);
+
+}  // namespace cgra::mapping

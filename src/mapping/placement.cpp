@@ -1,0 +1,217 @@
+#include "mapping/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace cgra::mapping {
+
+using interconnect::CopyCostModel;
+using interconnect::LinkConfig;
+
+Status Placement::validate(const Binding& binding) const {
+  if (tile_of.size() != binding.groups.size()) {
+    return Status::error("placement group count mismatch");
+  }
+  std::set<int> used;
+  const int n = mesh_rows * mesh_cols;
+  for (std::size_t g = 0; g < tile_of.size(); ++g) {
+    if (static_cast<int>(tile_of[g].size()) !=
+        binding.groups[g].replication) {
+      return Status::error("placement replica count mismatch");
+    }
+    for (const int t : tile_of[g]) {
+      if (t < 0 || t >= n) return Status::error("tile index out of mesh");
+      if (!used.insert(t).second) {
+        return Status::error("tile placed twice");
+      }
+    }
+  }
+  return Status{};
+}
+
+const char* placement_strategy_name(PlacementStrategy s) noexcept {
+  switch (s) {
+    case PlacementStrategy::kSnake: return "snake";
+    case PlacementStrategy::kRowMajor: return "row-major";
+    case PlacementStrategy::kScatter: return "scatter";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Boustrophedon enumeration of mesh tiles: every consecutive pair is a
+/// mesh neighbour.
+std::vector<int> snake_order(int rows, int cols) {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    if (r % 2 == 0) {
+      for (int c = 0; c < cols; ++c) order.push_back(r * cols + c);
+    } else {
+      for (int c = cols - 1; c >= 0; --c) order.push_back(r * cols + c);
+    }
+  }
+  return order;
+}
+
+/// Deterministic spreading: stride through the tile list coprime-ish to
+/// its length so pipeline neighbours land far apart.
+std::vector<int> scatter_order(int rows, int cols) {
+  const int n = rows * cols;
+  int stride = std::max(2, n / 2 - 1);
+  while (std::gcd(stride, n) != 1) ++stride;
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  int cur = 0;
+  for (int i = 0; i < n; ++i) {
+    order.push_back(cur);
+    cur = (cur + stride) % n;
+  }
+  return order;
+}
+
+}  // namespace
+
+Placement place(const Binding& binding, int mesh_rows, int mesh_cols,
+                PlacementStrategy strategy) {
+  const int needed = binding.tile_count();
+  if (needed > mesh_rows * mesh_cols) {
+    throw std::invalid_argument("binding does not fit the mesh");
+  }
+  std::vector<int> order;
+  switch (strategy) {
+    case PlacementStrategy::kSnake:
+      order = snake_order(mesh_rows, mesh_cols);
+      break;
+    case PlacementStrategy::kRowMajor:
+      order.resize(static_cast<std::size_t>(mesh_rows * mesh_cols));
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<int>(i);
+      }
+      break;
+    case PlacementStrategy::kScatter:
+      order = scatter_order(mesh_rows, mesh_cols);
+      break;
+  }
+
+  Placement p;
+  p.mesh_rows = mesh_rows;
+  p.mesh_cols = mesh_cols;
+  std::size_t next = 0;
+  for (const auto& g : binding.groups) {
+    std::vector<int> replicas;
+    replicas.reserve(static_cast<std::size_t>(g.replication));
+    for (int r = 0; r < g.replication; ++r) {
+      replicas.push_back(order.at(next++));
+    }
+    p.tile_of.push_back(std::move(replicas));
+  }
+  return p;
+}
+
+namespace {
+
+/// Group index hosting a process.
+std::vector<int> group_of_process(const procnet::ProcessNetwork& net,
+                                  const Binding& binding) {
+  std::vector<int> owner(static_cast<std::size_t>(net.size()), -1);
+  for (std::size_t g = 0; g < binding.groups.size(); ++g) {
+    for (const int p : binding.groups[g].procs) {
+      owner[static_cast<std::size_t>(p)] = static_cast<int>(g);
+    }
+  }
+  return owner;
+}
+
+}  // namespace
+
+PlacementEval evaluate_placement(const procnet::ProcessNetwork& net,
+                                 const Binding& binding,
+                                 const Placement& placement,
+                                 const CopyCostModel& copy) {
+  PlacementEval eval;
+  const LinkConfig mesh = placement.mesh();
+  const auto owner = group_of_process(net, binding);
+  for (const auto& edge : net.edges()) {
+    const int ga = owner[static_cast<std::size_t>(edge.from)];
+    const int gb = owner[static_cast<std::size_t>(edge.to)];
+    if (ga < 0 || gb < 0 || ga == gb) continue;  // in-tile communication
+    // Worst replica pair: the pipeline is gated by its slowest path.
+    int worst = 0;
+    for (const int ta : placement.tile_of[static_cast<std::size_t>(ga)]) {
+      for (const int tb : placement.tile_of[static_cast<std::size_t>(gb)]) {
+        worst = std::max(worst, interconnect::manhattan_distance(mesh, ta, tb));
+      }
+    }
+    if (worst > 1) {
+      eval.non_neighbor_edges += 1;
+      eval.total_hops += worst - 1;
+    }
+    // A neighbour edge (1 hop) is the free semi-systolic transfer; routed
+    // edges pay every hop beyond it.
+    eval.copy_ns_per_item += copy.transfer_ns(edge.words, worst - 1);
+  }
+  return eval;
+}
+
+Placement improve_placement(const procnet::ProcessNetwork& net,
+                            const Binding& binding, Placement placement,
+                            const CopyCostModel& copy, int max_iterations) {
+  auto cost = [&](const Placement& p) {
+    return evaluate_placement(net, binding, p, copy).copy_ns_per_item;
+  };
+  double best = cost(placement);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool improved = false;
+    for (std::size_t g1 = 0; g1 < placement.tile_of.size() && !improved; ++g1) {
+      for (std::size_t r1 = 0; r1 < placement.tile_of[g1].size() && !improved;
+           ++r1) {
+        for (std::size_t g2 = g1; g2 < placement.tile_of.size() && !improved;
+             ++g2) {
+          for (std::size_t r2 = (g2 == g1 ? r1 + 1 : 0);
+               r2 < placement.tile_of[g2].size(); ++r2) {
+            std::swap(placement.tile_of[g1][r1], placement.tile_of[g2][r2]);
+            const double candidate = cost(placement);
+            if (candidate < best - 1e-12) {
+              best = candidate;
+              improved = true;
+              break;
+            }
+            std::swap(placement.tile_of[g1][r1], placement.tile_of[g2][r2]);
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return placement;
+}
+
+BindingEval evaluate_with_placement(const procnet::ProcessNetwork& net,
+                                    const Binding& binding,
+                                    const Placement& placement,
+                                    const CostParams& params,
+                                    const CopyCostModel& copy) {
+  BindingEval eval = evaluate(net, binding, params);
+  const PlacementEval pe = evaluate_placement(net, binding, placement, copy);
+  eval.ii_ns += pe.copy_ns_per_item;
+  if (eval.ii_ns > 0.0) {
+    eval.items_per_sec = 1e9 / eval.ii_ns;
+    // Utilisation: the copy epochs keep tiles waiting, lowering everyone.
+    double util_sum = 0.0;
+    for (std::size_t i = 0; i < binding.groups.size(); ++i) {
+      const auto& g = binding.groups[i];
+      const Nanoseconds effective =
+          eval.groups[i].busy_ns() / static_cast<double>(g.replication);
+      util_sum += static_cast<double>(g.replication) * (effective / eval.ii_ns);
+    }
+    eval.avg_utilization =
+        eval.tile_count > 0 ? util_sum / eval.tile_count : 0.0;
+  }
+  return eval;
+}
+
+}  // namespace cgra::mapping

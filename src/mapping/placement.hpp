@@ -1,0 +1,77 @@
+// Physical placement of a binding onto the mesh, and Equation 1's term C.
+//
+// A Binding says *which* processes share a tile; a Placement says *where*
+// those tiles sit in the R x C mesh.  "Careful placement of the p's to the
+// P's can help in reducing the overall runtime" (Sec. 2): every network
+// edge whose producer and consumer tiles are not neighbours pays routed
+// copy cost per pipeline item.  This module provides placement strategies,
+// the copy-cost evaluation, and a local-search improver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interconnect/routing.hpp"
+#include "mapping/binding.hpp"
+
+namespace cgra::mapping {
+
+/// Physical placement: for each group g and replica r of a binding,
+/// tile_of[g][r] is a linear mesh index.  All indices are distinct.
+struct Placement {
+  int mesh_rows = 0;
+  int mesh_cols = 0;
+  std::vector<std::vector<int>> tile_of;
+
+  [[nodiscard]] interconnect::LinkConfig mesh() const {
+    return interconnect::LinkConfig(mesh_rows, mesh_cols);
+  }
+  /// Every replica placed exactly once on a valid, distinct tile.
+  [[nodiscard]] Status validate(const Binding& binding) const;
+};
+
+/// Placement strategies.
+enum class PlacementStrategy {
+  kSnake,     ///< Groups laid out along a boustrophedon path: consecutive
+              ///< pipeline groups are always mesh neighbours.
+  kRowMajor,  ///< Naive row-major order (wraps break adjacency).
+  kScatter,   ///< Deterministic worst-ish case: groups spread far apart.
+};
+
+const char* placement_strategy_name(PlacementStrategy s) noexcept;
+
+/// Place `binding` on an R x C mesh (throws if it does not fit).
+Placement place(const Binding& binding, int mesh_rows, int mesh_cols,
+                PlacementStrategy strategy);
+
+/// Copy-cost evaluation (term C of Eq. 1).
+struct PlacementEval {
+  Nanoseconds copy_ns_per_item = 0.0;  ///< Routed transfer cost per item.
+  int total_hops = 0;                  ///< Extra hops beyond adjacency.
+  int non_neighbor_edges = 0;          ///< Edges needing routed copies.
+};
+
+/// Evaluate the routed copy cost of every network edge under a placement.
+/// Replicated groups charge the worst replica of each edge endpoint (the
+/// pipeline must wait for the slowest path).
+PlacementEval evaluate_placement(const procnet::ProcessNetwork& net,
+                                 const Binding& binding,
+                                 const Placement& placement,
+                                 const interconnect::CopyCostModel& copy);
+
+/// Greedy pairwise-swap local search: repeatedly swap two tile positions
+/// while the copy cost improves.  Returns the improved placement.
+Placement improve_placement(const procnet::ProcessNetwork& net,
+                            const Binding& binding, Placement placement,
+                            const interconnect::CopyCostModel& copy,
+                            int max_iterations = 200);
+
+/// Throughput evaluation including term C: the per-item initiation interval
+/// grows by the copy cost that cannot be hidden.
+BindingEval evaluate_with_placement(const procnet::ProcessNetwork& net,
+                                    const Binding& binding,
+                                    const Placement& placement,
+                                    const CostParams& params,
+                                    const interconnect::CopyCostModel& copy);
+
+}  // namespace cgra::mapping

@@ -1,0 +1,308 @@
+#include "mapping/rebalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cgra::mapping {
+
+using procnet::ProcessNetwork;
+
+const char* rebalance_name(RebalanceAlgorithm a) noexcept {
+  switch (a) {
+    case RebalanceAlgorithm::kOne: return "reBalanceOne";
+    case RebalanceAlgorithm::kTwo: return "reBalanceTwo";
+    case RebalanceAlgorithm::kOpt: return "reBalanceOPT";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Effective per-item time of a group (busy time divided by replication):
+/// this is what the group contributes to the initiation interval, so it is
+/// what "heaviest" means during rebalancing.
+Nanoseconds effective_ns(const ProcessNetwork& net, const TileGroup& g,
+                         const CostParams& params) {
+  return group_busy_ns(net, g.procs, params) /
+         static_cast<double>(g.replication);
+}
+
+/// Index of the heaviest group if it can still be improved: a multi-process
+/// group can be split, a single-process replicable group can gain a replica.
+/// Returns -1 when the bottleneck group cannot be improved — adding tiles
+/// anywhere else cannot reduce the initiation interval, so the incremental
+/// allocation stops (Algorithm 1's termination).
+int heaviest_improvable(const ProcessNetwork& net,
+                        const std::vector<TileGroup>& groups,
+                        const CostParams& params) {
+  int best = -1;
+  Nanoseconds best_time = -1.0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const Nanoseconds t = effective_ns(net, groups[i], params);
+    if (t > best_time) {
+      best_time = t;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return -1;
+  const auto& g = groups[static_cast<std::size_t>(best)];
+  const bool improvable =
+      g.procs.size() > 1 ||
+      (g.procs.size() == 1 && net.process(g.procs[0]).replicable);
+  return improvable ? best : -1;
+}
+
+/// Algorithm 1's split of one multi-process group into two contiguous
+/// groups: move processes from the back group to the front one while the
+/// imbalance |Time(T2) - Time(T1)| keeps decreasing.
+std::pair<TileGroup, TileGroup> split_group(const ProcessNetwork& net,
+                                            const TileGroup& g,
+                                            const CostParams& params) {
+  const auto& procs = g.procs;
+  auto imbalance = [&](std::size_t k) {
+    const std::vector<int> front(procs.begin(),
+                                 procs.begin() + static_cast<std::ptrdiff_t>(k));
+    const std::vector<int> back(procs.begin() + static_cast<std::ptrdiff_t>(k),
+                                procs.end());
+    const Nanoseconds t1 = front.empty() ? 0.0 : group_busy_ns(net, front, params);
+    const Nanoseconds t2 = group_busy_ns(net, back, params);
+    return std::abs(t2 - t1);
+  };
+  std::size_t k = 1;  // both halves must be nonempty
+  Nanoseconds best = imbalance(k);
+  while (k + 1 < procs.size()) {
+    const Nanoseconds next = imbalance(k + 1);
+    if (next >= best) break;
+    best = next;
+    ++k;
+  }
+  TileGroup front;
+  front.procs.assign(procs.begin(), procs.begin() + static_cast<std::ptrdiff_t>(k));
+  TileGroup back;
+  back.procs.assign(procs.begin() + static_cast<std::ptrdiff_t>(k), procs.end());
+  return {front, back};
+}
+
+/// The "surrounding set" of the heaviest group (Sec. 3.5): the maximal run
+/// of single-replication groups containing it, bounded by replicated groups
+/// or the ends of the circuit.  Returns [first, last] group indices.
+std::pair<int, int> surrounding_set(const std::vector<TileGroup>& groups,
+                                    int heavy) {
+  int first = heavy;
+  while (first > 0 && groups[static_cast<std::size_t>(first - 1)].replication == 1) {
+    --first;
+  }
+  int last = heavy;
+  while (last + 1 < static_cast<int>(groups.size()) &&
+         groups[static_cast<std::size_t>(last + 1)].replication == 1) {
+    ++last;
+  }
+  return {first, last};
+}
+
+/// Algorithm 2's redistribution: spread `procs` over `parts` contiguous
+/// groups so each lands near the average time.  A process joins the current
+/// group while doing so moves the group closer to the average (and enough
+/// processes remain for the later groups).
+std::vector<std::vector<int>> average_partition(const ProcessNetwork& net,
+                                                const std::vector<int>& procs,
+                                                int parts,
+                                                const CostParams& params) {
+  const int n = static_cast<int>(procs.size());
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(parts));
+  const Nanoseconds total = group_busy_ns(net, procs, params);
+  const Nanoseconds avg = total / parts;
+
+  int j = 0;  // next process
+  for (int i = 0; i < parts; ++i) {
+    auto& group = out[static_cast<std::size_t>(i)];
+    const int groups_left = parts - i - 1;
+    // Every later group must still get at least one process.
+    while (j < n && (n - j) > groups_left) {
+      if (group.empty()) {
+        group.push_back(procs[static_cast<std::size_t>(j++)]);
+        continue;
+      }
+      const Nanoseconds cur = group_busy_ns(net, group, params);
+      std::vector<int> with = group;
+      with.push_back(procs[static_cast<std::size_t>(j)]);
+      const Nanoseconds ext = group_busy_ns(net, with, params);
+      // Accept if the extended time is closer to the average.
+      if (std::abs(ext - avg) <= std::abs(cur - avg)) {
+        group = std::move(with);
+        ++j;
+      } else {
+        break;
+      }
+    }
+    if (group.empty() && j < n) {
+      group.push_back(procs[static_cast<std::size_t>(j++)]);
+    }
+  }
+  // Any leftover processes go to the last group.
+  while (j < n) {
+    out.back().push_back(procs[static_cast<std::size_t>(j++)]);
+  }
+  return out;
+}
+
+/// Makespan of a candidate partition.
+Nanoseconds partition_makespan(const ProcessNetwork& net,
+                               const std::vector<std::vector<int>>& parts,
+                               const CostParams& params) {
+  Nanoseconds worst = 0.0;
+  for (const auto& g : parts) {
+    if (!g.empty()) worst = std::max(worst, group_busy_ns(net, g, params));
+  }
+  return worst;
+}
+
+/// Redistribute the surrounding set of the heaviest tile; `optimal` selects
+/// the DP (reBalanceOPT) over the average heuristic (reBalanceTwo).
+void refine(const ProcessNetwork& net, std::vector<TileGroup>& groups,
+            bool optimal, const CostParams& params) {
+  for (int iter = 0; iter < 32; ++iter) {
+    // Heaviest group overall (replicated groups bound the set but may still
+    // be heaviest; refinement then has nothing to redistribute).
+    int heavy = -1;
+    Nanoseconds heavy_t = -1.0;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      const Nanoseconds t = effective_ns(net, groups[i], params);
+      if (t > heavy_t) {
+        heavy_t = t;
+        heavy = static_cast<int>(i);
+      }
+    }
+    if (heavy < 0 || groups[static_cast<std::size_t>(heavy)].replication != 1) {
+      return;
+    }
+    const auto [first, last] = surrounding_set(groups, heavy);
+    const int m = last - first + 1;
+    if (m <= 1) return;
+
+    std::vector<int> procs;
+    for (int i = first; i <= last; ++i) {
+      const auto& g = groups[static_cast<std::size_t>(i)].procs;
+      procs.insert(procs.end(), g.begin(), g.end());
+    }
+    if (static_cast<int>(procs.size()) < m) return;
+
+    const auto parts = optimal ? optimal_partition(net, procs, m, params)
+                               : average_partition(net, procs, m, params);
+
+    // Accept only if the set's makespan does not get worse.
+    std::vector<std::vector<int>> old_parts;
+    for (int i = first; i <= last; ++i) {
+      old_parts.push_back(groups[static_cast<std::size_t>(i)].procs);
+    }
+    if (partition_makespan(net, parts, params) >=
+        partition_makespan(net, old_parts, params)) {
+      return;
+    }
+    bool changed = false;
+    for (int i = 0; i < m; ++i) {
+      auto& g = groups[static_cast<std::size_t>(first + i)];
+      if (g.procs != parts[static_cast<std::size_t>(i)]) {
+        g.procs = parts[static_cast<std::size_t>(i)];
+        changed = true;
+      }
+    }
+    if (!changed) return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> optimal_partition(const ProcessNetwork& net,
+                                                const std::vector<int>& procs,
+                                                int parts,
+                                                const CostParams& params) {
+  const int n = static_cast<int>(procs.size());
+  parts = std::min(parts, n);
+  // cost[i][j] = busy time of procs[i..j] as one group (group costs are not
+  // additive because of pinning, so precompute all ranges).
+  std::vector<std::vector<Nanoseconds>> cost(
+      static_cast<std::size_t>(n),
+      std::vector<Nanoseconds>(static_cast<std::size_t>(n), 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const std::vector<int> range(procs.begin() + i, procs.begin() + j + 1);
+      cost[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          group_busy_ns(net, range, params);
+    }
+  }
+  constexpr Nanoseconds kInf = std::numeric_limits<double>::infinity();
+  // dp[k][j] = min makespan of the first j processes split into k groups.
+  std::vector<std::vector<Nanoseconds>> dp(
+      static_cast<std::size_t>(parts + 1),
+      std::vector<Nanoseconds>(static_cast<std::size_t>(n + 1), kInf));
+  std::vector<std::vector<int>> cut(
+      static_cast<std::size_t>(parts + 1),
+      std::vector<int>(static_cast<std::size_t>(n + 1), 0));
+  dp[0][0] = 0.0;
+  for (int k = 1; k <= parts; ++k) {
+    for (int j = k; j <= n; ++j) {
+      for (int i = k - 1; i < j; ++i) {
+        const Nanoseconds cand =
+            std::max(dp[static_cast<std::size_t>(k - 1)]
+                       [static_cast<std::size_t>(i)],
+                     cost[static_cast<std::size_t>(i)]
+                         [static_cast<std::size_t>(j - 1)]);
+        if (cand < dp[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]) {
+          dp[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] = cand;
+          cut[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] = i;
+        }
+      }
+    }
+  }
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(parts));
+  int j = n;
+  for (int k = parts; k >= 1; --k) {
+    const int i = cut[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(k - 1)]
+        .assign(procs.begin() + i, procs.begin() + j);
+    j = i;
+  }
+  return out;
+}
+
+Binding rebalance(const ProcessNetwork& net, int max_tiles,
+                  RebalanceAlgorithm algo, const CostParams& params) {
+  Binding binding = all_on_one_tile(net);
+  while (binding.tile_count() < max_tiles) {
+    auto& groups = binding.groups;
+    const int h = heaviest_improvable(net, groups, params);
+    if (h < 0) break;  // nothing can be improved further
+    auto& heavy = groups[static_cast<std::size_t>(h)];
+    if (heavy.procs.size() == 1) {
+      // "make T2 as a copy of T1": one more pipelined instantiation.
+      heavy.replication += 1;
+    } else {
+      auto [front, back] = split_group(net, heavy, params);
+      heavy = front;
+      groups.insert(groups.begin() + h + 1, back);
+    }
+    if (algo != RebalanceAlgorithm::kOne) {
+      refine(net, groups, algo == RebalanceAlgorithm::kOpt, params);
+    }
+  }
+  return binding;
+}
+
+std::vector<SweepPoint> sweep(const ProcessNetwork& net, int max_tiles,
+                              RebalanceAlgorithm algo,
+                              const CostParams& params) {
+  std::vector<SweepPoint> points;
+  points.reserve(static_cast<std::size_t>(max_tiles));
+  for (int n = 1; n <= max_tiles; ++n) {
+    SweepPoint pt;
+    pt.tiles = n;
+    pt.binding = rebalance(net, n, algo, params);
+    pt.eval = evaluate(net, pt.binding, params);
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
+
+}  // namespace cgra::mapping

@@ -1,0 +1,56 @@
+// The paper's rebalancing algorithms (Sec. 3.5, Algorithms 1 and 2).
+//
+// All three follow the same incremental scheme: start with one tile holding
+// the whole pipeline and add tiles one at a time up to the budget, each time
+// relieving the heaviest tile — by splitting it if it hosts several
+// processes, or by instantiating another copy (replication) if it hosts one.
+// They differ in how processes are redistributed after each step:
+//
+//   reBalanceOne  — Algorithm 1 only: greedy bisection of the heaviest tile.
+//   reBalanceTwo  — after each step, Algorithm 2 redistributes the processes
+//                   of the set "surrounding" the heaviest tile so that each
+//                   tile lands near the set's average execution time.
+//   reBalanceOPT  — same surrounding set, but the redistribution is the
+//                   optimal contiguous partition (min-makespan DP).
+//
+// The pipeline order of processes is preserved throughout (the algorithms
+// move processes only between neighbouring tiles).
+#pragma once
+
+#include <vector>
+
+#include "mapping/binding.hpp"
+
+namespace cgra::mapping {
+
+/// Which rebalancer to run.
+enum class RebalanceAlgorithm { kOne, kTwo, kOpt };
+
+/// Short display name ("reBalanceOne", ...).
+const char* rebalance_name(RebalanceAlgorithm a) noexcept;
+
+/// Run the chosen rebalancer on the pipeline `net` with a budget of
+/// `max_tiles` physical tiles.  The returned binding uses at most
+/// `max_tiles` tiles (fewer if no step can improve further).
+Binding rebalance(const procnet::ProcessNetwork& net, int max_tiles,
+                  RebalanceAlgorithm algo, const CostParams& params);
+
+/// One point of a tile-count sweep (Figures 16/17).
+struct SweepPoint {
+  int tiles = 0;
+  Binding binding;
+  BindingEval eval;
+};
+
+/// Evaluate the rebalancer for every tile budget in [1, max_tiles].
+std::vector<SweepPoint> sweep(const procnet::ProcessNetwork& net,
+                              int max_tiles, RebalanceAlgorithm algo,
+                              const CostParams& params);
+
+/// Optimal contiguous partition of `procs` into `parts` groups minimising
+/// the maximum per-group busy time (exposed for reBalanceOPT and tests).
+std::vector<std::vector<int>> optimal_partition(
+    const procnet::ProcessNetwork& net, const std::vector<int>& procs,
+    int parts, const CostParams& params);
+
+}  // namespace cgra::mapping

@@ -1,0 +1,162 @@
+#include "mapping/schedule_compiler.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "interconnect/routing.hpp"
+#include "isa/assembler.hpp"
+
+namespace cgra::mapping {
+
+using config::EpochConfig;
+using config::TileUpdate;
+using interconnect::Direction;
+using interconnect::LinkConfig;
+
+namespace {
+
+/// A copy-loop program: `words` words from src_base to the neighbour's
+/// dst_base (remote) with pointers in the transit control slots.
+isa::Program copy_program(int words, int src_base, int dst_base,
+                          int ctrl_base) {
+  std::ostringstream os;
+  os << ".equ ps, " << ctrl_base << "\n"
+     << ".equ pd, " << ctrl_base + 1 << "\n"
+     << ".equ cnt, " << ctrl_base + 2 << "\n"
+     << "  movi ps, #" << src_base << "\n"
+     << "  movi pd, #" << dst_base << "\n"
+     << "  movi cnt, #" << words << "\n"
+     << "loop:\n"
+     << "  mov !pd*, ps*\n"
+     << "  add ps, ps, #1\n"
+     << "  add pd, pd, #1\n"
+     << "  sub cnt, cnt, #1\n"
+     << "  bnez cnt, loop\n"
+     << "  halt\n";
+  auto result = isa::assemble(os.str());
+  if (!result.ok()) {
+    // Generated internally: a failure is a compiler bug, not user input.
+    std::fprintf(stderr, "schedule compiler produced bad assembly: %s\n",
+                 result.status.message().c_str());
+    std::abort();
+  }
+  return std::move(result.program);
+}
+
+}  // namespace
+
+CompiledSchedule compile_item_schedule(const procnet::ProcessNetwork& net,
+                                       const Binding& binding,
+                                       const Placement& placement,
+                                       const ProgramLibrary& library,
+                                       const CompileOptions& options) {
+  CompiledSchedule out;
+  if (const Status s = binding.validate(net); !s.ok()) {
+    out.status = s;
+    return out;
+  }
+  if (const Status s = placement.validate(binding); !s.ok()) {
+    out.status = s;
+    return out;
+  }
+  const LinkConfig mesh = placement.mesh();
+  const LinkConfig idle_links(placement.mesh_rows, placement.mesh_cols);
+  // The transit control slots live right after the transit block.
+  const int transit_ctrl = options.transit_base + 64;
+  if (transit_ctrl + 3 > kDataMemWords) {
+    out.status = Status::error("transit region exceeds data memory");
+    return out;
+  }
+
+  auto fail = [&](const std::string& why) {
+    out.status = Status::error(why);
+    out.epochs.clear();
+    return out;
+  };
+
+  for (std::size_t g = 0; g < binding.groups.size(); ++g) {
+    const auto& group = binding.groups[g];
+    const int tile = placement.tile_of[g].front();
+
+    // --- one epoch per process activation on this tile ---
+    const CompiledProcess* prev = nullptr;
+    for (const int pid : group.procs) {
+      const auto it = library.find(pid);
+      if (it == library.end()) {
+        return fail("no program for process '" + net.process(pid).name + "'");
+      }
+      const CompiledProcess& impl = it->second;
+      if (impl.program.inst_words() > kInstMemWords) {
+        return fail("program too large for process '" +
+                    net.process(pid).name + "'");
+      }
+      if (impl.in_base + impl.words > kDataMemWords ||
+          impl.out_base + impl.words > kDataMemWords) {
+        return fail("block region out of range for '" +
+                    net.process(pid).name + "'");
+      }
+      if (prev != nullptr && prev->out_base != impl.in_base) {
+        return fail("in-tile chain mismatch: '" + net.process(pid).name +
+                    "' expects its input where the previous process did "
+                    "not leave it");
+      }
+      EpochConfig epoch;
+      epoch.name = "run-" + net.process(pid).name;
+      epoch.links = idle_links;
+      TileUpdate update;
+      update.program = impl.program;
+      update.reload_program = true;
+      update.patches = impl.constants;
+      epoch.tiles[tile] = std::move(update);
+      out.epochs.push_back(std::move(epoch));
+      prev = &impl;
+    }
+
+    // --- routed transfer to the next group ---
+    if (g + 1 >= binding.groups.size()) break;
+    const int next_tile = placement.tile_of[g + 1].front();
+    const int last_pid = group.procs.back();
+    const int first_next_pid = binding.groups[g + 1].procs.front();
+    const CompiledProcess& producer = library.at(last_pid);
+    const auto next_it = library.find(first_next_pid);
+    if (next_it == library.end()) {
+      return fail("no program for process '" +
+                  net.process(first_next_pid).name + "'");
+    }
+    const CompiledProcess& consumer = next_it->second;
+    if (producer.words != consumer.words) {
+      return fail("block size mismatch between groups");
+    }
+
+    const auto route = interconnect::shortest_route(mesh, tile, next_tile);
+    if (!route || route->length() == 0) {
+      return fail("groups placed on the same tile or off the mesh");
+    }
+    int hop_from = tile;
+    for (int h = 0; h < route->length(); ++h) {
+      const Direction dir = route->hops[static_cast<std::size_t>(h)];
+      const bool first = h == 0;
+      const bool last = h + 1 == route->length();
+      const int src_base = first ? producer.out_base : options.transit_base;
+      const int dst_base = last ? consumer.in_base : options.transit_base;
+      EpochConfig hop;
+      hop.name = "route-" + net.process(last_pid).name + "-h" +
+                 std::to_string(h);
+      hop.links = idle_links;
+      if (!hop.links.set_output(hop_from, dir)) {
+        return fail("route leaves the mesh");
+      }
+      TileUpdate update;
+      update.program =
+          copy_program(producer.words, src_base, dst_base, transit_ctrl);
+      update.reload_program = true;
+      hop.tiles[hop_from] = std::move(update);
+      out.epochs.push_back(std::move(hop));
+      hop_from = *mesh.neighbor(hop_from, dir);
+    }
+  }
+  return out;
+}
+
+}  // namespace cgra::mapping

@@ -1,0 +1,67 @@
+// Compiles a mapped process network into an executable epoch schedule.
+//
+// The paper's flow stops at the analytic cost model; its stated future work
+// is "a formal process network formulation for performing an automated
+// mapping, placement and dynamic routing".  This module closes that loop
+// for pipelines whose processes have real tile programs: given a Binding
+// (who shares a tile), a Placement (where the tiles sit) and a program
+// library (the implementation of each process), it emits the EpochConfig
+// sequence that pushes one pipeline item through the fabric —
+//
+//   * one epoch per process activation (context switches on shared tiles
+//     become instruction reloads through the ICAP, exactly as costed),
+//   * routed transfer epochs between groups: each hop of the shortest mesh
+//     route gets a link reconfiguration plus a cp copy-loop program, with
+//     intermediate tiles relaying through a reserved transit region,
+//
+// and run_schedule() executes it cycle-accurately.
+#pragma once
+
+#include <map>
+
+#include "config/reconfig.hpp"
+#include "mapping/placement.hpp"
+
+namespace cgra::mapping {
+
+/// Implementation of one process.
+struct CompiledProcess {
+  isa::Program program;                   ///< The tile code.
+  std::vector<isa::DataPatch> constants;  ///< Tables (DCT basis, recips...).
+  int in_base = 0;    ///< Where the process expects its input block.
+  int out_base = 0;   ///< Where it leaves its output block.
+  int words = 64;     ///< Block size in words.
+};
+
+/// Process id -> implementation.
+using ProgramLibrary = std::map<int, CompiledProcess>;
+
+/// Compiler knobs.
+struct CompileOptions {
+  /// Reserved relay region in every tile's data memory (multi-hop routes
+  /// stage data here so they never clobber a host group's layout).
+  int transit_base = 256;
+};
+
+/// A compiled schedule: run it with config::run_schedule.
+struct CompiledSchedule {
+  std::vector<config::EpochConfig> epochs;
+  Status status;  ///< Compilation diagnostics; epochs valid only if ok.
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+};
+
+/// Compile the flow of ONE pipeline item through `binding` as placed by
+/// `placement`.  Replicated groups execute on their first replica (the
+/// steady-state round-robin is the cost model's concern, correctness is
+/// identical per replica).  Fails with a diagnostic if:
+///   * a process lacks a library entry or its program overflows the tile,
+///   * consecutive processes on one tile disagree on block location,
+///   * any region (including transit on route tiles) exceeds data memory.
+CompiledSchedule compile_item_schedule(const procnet::ProcessNetwork& net,
+                                       const Binding& binding,
+                                       const Placement& placement,
+                                       const ProgramLibrary& library,
+                                       const CompileOptions& options = {});
+
+}  // namespace cgra::mapping

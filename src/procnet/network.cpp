@@ -1,0 +1,62 @@
+#include "procnet/network.hpp"
+
+namespace cgra::procnet {
+
+int ProcessNetwork::add_process(Process p) {
+  procs_.push_back(std::move(p));
+  return static_cast<int>(procs_.size()) - 1;
+}
+
+bool ProcessNetwork::add_edge(int from, int to, int words) {
+  if (from < 0 || from >= size() || to < 0 || to >= size() || from == to) {
+    return false;
+  }
+  edges_.push_back(Edge{from, to, words});
+  return true;
+}
+
+int ProcessNetwork::find(const std::string& name) const {
+  for (int i = 0; i < size(); ++i) {
+    if (procs_[static_cast<std::size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+std::int64_t ProcessNetwork::total_work_cycles() const {
+  std::int64_t total = 0;
+  for (const auto& p : procs_) total += p.work_cycles_per_item();
+  return total;
+}
+
+Status ProcessNetwork::validate() const {
+  if (procs_.empty()) return Status::error("network has no processes");
+  for (const auto& e : edges_) {
+    if (e.from < 0 || e.from >= size() || e.to < 0 || e.to >= size()) {
+      return Status::error("edge references unknown process");
+    }
+    if (e.from == e.to) return Status::error("self-loop edge");
+    if (e.words < 0) return Status::error("negative edge volume");
+  }
+  for (const auto& p : procs_) {
+    if (p.runtime_cycles < 0) return Status::error("negative runtime");
+    if (p.insts < 0 || p.data1 < 0 || p.data2 < 0 || p.data3 < 0) {
+      return Status::error("negative memory annotation");
+    }
+    if (p.invocations_per_item <= 0) {
+      return Status::error("invocations_per_item must be positive");
+    }
+  }
+  return Status{};
+}
+
+ProcessNetwork ProcessNetwork::pipeline(std::vector<Process> procs,
+                                        int words_per_edge) {
+  ProcessNetwork net;
+  for (auto& p : procs) net.add_process(std::move(p));
+  for (int i = 0; i + 1 < net.size(); ++i) {
+    net.add_edge(i, i + 1, words_per_edge);
+  }
+  return net;
+}
+
+}  // namespace cgra::procnet

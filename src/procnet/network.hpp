@@ -1,0 +1,72 @@
+// Process networks: pipelines of communicating sequential processes.
+//
+// We model the application as a set of interacting sequential processes
+// whose communication pattern defines the epochs (Sec. 2).  For the two
+// paper kernels the network is a linear pipeline with known per-edge data
+// volumes; the general graph form also carries non-pipeline edges so copy
+// costs (term C of Eq. 1) can be charged when producer and consumer are not
+// neighbours.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "procnet/process.hpp"
+
+namespace cgra::procnet {
+
+/// A directed communication edge: `words` 48-bit words per pipeline item.
+struct Edge {
+  int from = 0;
+  int to = 0;
+  int words = 0;
+};
+
+/// A process network.  Process ids are dense indices in insertion order,
+/// which for pipelines is also the pipeline order.
+class ProcessNetwork {
+ public:
+  /// Add a process; returns its id.
+  int add_process(Process p);
+
+  /// Add a communication edge; returns false for invalid ids.
+  bool add_edge(int from, int to, int words);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(procs_.size());
+  }
+  [[nodiscard]] const Process& process(int id) const {
+    return procs_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] Process& process(int id) {
+    return procs_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const std::vector<Process>& processes() const noexcept {
+    return procs_;
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Id of a process by name, or -1.
+  [[nodiscard]] int find(const std::string& name) const;
+
+  /// Total work per pipeline item across all processes (cycles).
+  [[nodiscard]] std::int64_t total_work_cycles() const;
+
+  /// Structural checks: nonempty, edge ids valid, no self-loops.
+  [[nodiscard]] Status validate() const;
+
+  /// Build a linear pipeline from a process list, adding edges with the
+  /// given per-item word volume between consecutive processes.
+  static ProcessNetwork pipeline(std::vector<Process> procs,
+                                 int words_per_edge);
+
+ private:
+  std::vector<Process> procs_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace cgra::procnet

@@ -1,0 +1,4 @@
+#include "procnet/process.hpp"
+
+// Process is a plain aggregate; this TU anchors the library archive.
+namespace cgra::procnet {}

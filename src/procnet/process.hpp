@@ -1,0 +1,50 @@
+// Annotated sequential processes.
+//
+// The mapping flow (Sec. 3.5) consumes a process network "annotated with
+// some parameters for each process, viz., data memory and instruction memory
+// usage and runtime".  Table 3 of the paper is exactly one of these
+// annotation sets; our FFT and JPEG builders produce others by measuring
+// their kernels on the cycle simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cgra::procnet {
+
+/// One sequential process with the paper's Table-3 annotation scheme.
+struct Process {
+  std::string name;
+
+  /// Instruction-memory words the process occupies.
+  int insts = 0;
+  /// Fixed data loaded once per residency (Table 3 "data1").
+  int data1 = 0;
+  /// Temporaries needing no (re)initialisation (Table 3 "data2").
+  int data2 = 0;
+  /// Words reinitialised each activation (Table 3 "data3") — the per-context-
+  /// switch ICAP payload when the process shares a tile.
+  int data3 = 0;
+
+  /// Execution time of one invocation, in fabric cycles.
+  std::int64_t runtime_cycles = 0;
+
+  /// Invocations per pipeline item (e.g. the JPEG sub-block DCT `dct` runs
+  /// 4x per 8x8 block).  Default 1.
+  int invocations_per_item = 1;
+
+  /// Whether multiple tiles may be instantiated for this process to pipeline
+  /// consecutive invocations (the paper replicates DCT this way).
+  bool replicable = true;
+
+  /// Total data-memory words the process needs resident.
+  [[nodiscard]] int data_words() const noexcept {
+    return data1 + data2 + data3;
+  }
+  /// Work per pipeline item in cycles.
+  [[nodiscard]] std::int64_t work_cycles_per_item() const noexcept {
+    return runtime_cycles * invocations_per_item;
+  }
+};
+
+}  // namespace cgra::procnet

@@ -1,0 +1,176 @@
+// Assembler tests: syntax, labels, directives, diagnostics, round-trip.
+#include <gtest/gtest.h>
+
+#include "common/fixed_complex.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+
+namespace cgra::isa {
+namespace {
+
+TEST(Assembler, MinimalProgram) {
+  const auto r = assemble("  movi 0, #42\n  halt\n");
+  ASSERT_TRUE(r.ok()) << r.status.message();
+  ASSERT_EQ(r.program.code.size(), 2u);
+  EXPECT_EQ(r.program.code[0].opcode, Opcode::kMovi);
+  EXPECT_EQ(r.program.code[0].imm, 42);
+  EXPECT_EQ(r.program.code[1].opcode, Opcode::kHalt);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto r = assemble(
+      "; leading comment\n"
+      "\n"
+      "  nop ; trailing comment\n"
+      "  halt\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.program.code.size(), 2u);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBack) {
+  const auto r = assemble(
+      "start:\n"
+      "  beqz 0, done\n"
+      "  jmp start\n"
+      "done:\n"
+      "  halt\n");
+  ASSERT_TRUE(r.ok()) << r.status.message();
+  EXPECT_EQ(r.program.code[0].imm, 2);  // done
+  EXPECT_EQ(r.program.code[1].imm, 0);  // start
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  const auto r = assemble("loop: sub 1, 1, #1\n  bnez 1, loop\n  halt\n");
+  ASSERT_TRUE(r.ok()) << r.status.message();
+  EXPECT_EQ(r.program.labels.at("loop"), 0);
+  EXPECT_EQ(r.program.code[1].imm, 0);
+}
+
+TEST(Assembler, EquSymbolsAndArithmetic) {
+  const auto r = assemble(
+      ".equ BASE, 0x40\n"
+      ".equ OFF, 4\n"
+      "  mov BASE+OFF, BASE-2\n"
+      "  halt\n");
+  ASSERT_TRUE(r.ok()) << r.status.message();
+  EXPECT_EQ(r.program.code[0].dst, 0x44);
+  EXPECT_EQ(r.program.code[0].srca, 0x3E);
+}
+
+TEST(Assembler, DataDirective) {
+  const auto r = assemble(".data 10, 1, 2, -3\n  halt\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.program.data.size(), 3u);
+  EXPECT_EQ(r.program.data[0].addr, 10);
+  EXPECT_EQ(to_signed(r.program.data[2].value), -3);
+}
+
+TEST(Assembler, CdataPacksComplex) {
+  const auto r = assemble(".cdata 5, 0.5, -0.25\n  halt\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.program.data.size(), 1u);
+  const auto c = unpack_complex(r.program.data[0].value);
+  EXPECT_NEAR(half_to_double(c.re), 0.5, 1e-5);
+  EXPECT_NEAR(half_to_double(c.im), -0.25, 1e-5);
+}
+
+TEST(Assembler, OperandFlags) {
+  const auto r = assemble("  cmul !1*, 2*, 3*\n  add 4, 5, #-6\n  halt\n");
+  ASSERT_TRUE(r.ok()) << r.status.message();
+  const auto& c = r.program.code[0];
+  EXPECT_TRUE(c.has_flag(kFlagDstRemote));
+  EXPECT_TRUE(c.has_flag(kFlagDstIndirect));
+  EXPECT_TRUE(c.has_flag(kFlagSrcAIndirect));
+  EXPECT_TRUE(c.has_flag(kFlagSrcBIndirect));
+  const auto& a = r.program.code[1];
+  EXPECT_TRUE(a.has_flag(kFlagUseImm));
+  EXPECT_EQ(a.imm, -6);
+}
+
+TEST(Assembler, ErrorUnknownMnemonic) {
+  const auto r = assemble("  frobnicate 1, 2\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.errors.front().find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(Assembler, ErrorUndefinedSymbol) {
+  const auto r = assemble("  mov 1, NOPE\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.errors.front().find("undefined symbol"), std::string::npos);
+}
+
+TEST(Assembler, ErrorWrongOperandCount) {
+  const auto r = assemble("  add 1, 2\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Assembler, ErrorDuplicateLabel) {
+  const auto r = assemble("x:\n  nop\nx:\n  halt\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.errors.front().find("duplicate label"), std::string::npos);
+}
+
+TEST(Assembler, ErrorImmediateOutOfRange) {
+  const auto r = assemble("  movi 0, #9000000\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Assembler, ErrorMoviRequiresImmediate) {
+  const auto r = assemble("  movi 0, 5\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Assembler, ErrorRemoteSource) {
+  const auto r = assemble("  mov 1, !2\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Assembler, MultipleErrorsAllReported) {
+  const auto r = assemble("  bogus 1\n  mov 1, NOPE\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_GE(r.errors.size(), 2u);
+}
+
+TEST(Assembler, DisassembleReassembleFixpoint) {
+  const std::string src =
+      "  movi 5, #100\n"
+      "loop:\n"
+      "  cadd 10, 5*, 6\n"
+      "  cmul !7, 8, 9*\n"
+      "  sub 5, 5, #1\n"
+      "  bnez 5, loop\n"
+      "  halt\n";
+  const auto first = assemble(src);
+  ASSERT_TRUE(first.ok()) << first.status.message();
+  const auto second = assemble(disassemble(first.program));
+  ASSERT_TRUE(second.ok()) << second.status.message();
+  ASSERT_EQ(first.program.code.size(), second.program.code.size());
+  for (std::size_t i = 0; i < first.program.code.size(); ++i) {
+    EXPECT_EQ(first.program.code[i], second.program.code[i]) << i;
+  }
+}
+
+TEST(Assembler, MacOperandShapes) {
+  const auto r = assemble(
+      "  macz 1, 2\n  mac 3*, #7\n  macr 4\n  halt\n");
+  ASSERT_TRUE(r.ok()) << r.status.message();
+  EXPECT_EQ(r.program.code[0].opcode, Opcode::kMacz);
+  EXPECT_EQ(r.program.code[0].srca, 1);
+  EXPECT_EQ(r.program.code[0].srcb, 2);
+  EXPECT_TRUE(r.program.code[1].has_flag(kFlagSrcAIndirect));
+  EXPECT_TRUE(r.program.code[1].has_flag(kFlagUseImm));
+  EXPECT_EQ(r.program.code[2].dst, 4);
+  // Wrong shapes rejected.
+  EXPECT_FALSE(assemble("  macz 1\n").ok());
+  EXPECT_FALSE(assemble("  macr 1, 2\n").ok());
+}
+
+TEST(Assembler, FootprintCounters) {
+  const auto r = assemble(".data 0, 1, 2\n  nop\n  halt\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.program.inst_words(), 2);
+  EXPECT_EQ(r.program.data_words(), 2);
+}
+
+}  // namespace
+}  // namespace cgra::isa

@@ -1,0 +1,136 @@
+// Fabric-level tests: mesh stepping, synchronous remote-write commit,
+// MIMD execution, run() termination.
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hpp"
+#include "isa/assembler.hpp"
+
+namespace cgra::fabric {
+namespace {
+
+using interconnect::Direction;
+
+isa::Program prog(const std::string& src) {
+  auto r = isa::assemble(src);
+  EXPECT_TRUE(r.ok()) << r.status.message();
+  return r.program;
+}
+
+TEST(Fabric, GeometryAndIndexing) {
+  Fabric f(3, 4);
+  EXPECT_EQ(f.rows(), 3);
+  EXPECT_EQ(f.cols(), 4);
+  EXPECT_EQ(f.tile_count(), 12);
+}
+
+TEST(Fabric, EmptyFabricIsHalted) {
+  Fabric f(2, 2);
+  EXPECT_TRUE(f.all_halted());
+  const auto r = f.run(100);
+  EXPECT_EQ(r.cycles, 0);
+  EXPECT_TRUE(r.all_halted);
+}
+
+TEST(Fabric, RemoteWriteTravelsEast) {
+  Fabric f(1, 2);
+  f.links().set_output(0, Direction::kEast);
+  f.tile(0).load_program(prog("  movi 0, #42\n  mov !7, 0\n  halt\n"));
+  f.tile(0).restart();
+  const auto r = f.run(100);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(to_signed(f.tile(1).dmem(7)), 42);
+}
+
+TEST(Fabric, RemoteWriteCommitsAtEndOfCycle) {
+  // Writer and reader run in lockstep: the reader sampling dmem[0] in the
+  // same cycle the writer sends must observe the OLD value.
+  Fabric f(1, 2);
+  f.links().set_output(0, Direction::kEast);
+  // Writer: cycle 0 sends 5 into neighbour's dmem[0].
+  f.tile(0).load_program(prog("  movi 1, #5\n  mov !0, 1\n  halt\n"));
+  // Reader: copies its dmem[0] into dmem[1] every cycle for 3 cycles.
+  f.tile(1).load_program(prog(
+      "  mov 1, 0\n"   // cycle 0: old value
+      "  mov 2, 0\n"   // cycle 1: may see write from writer's cycle 1
+      "  mov 3, 0\n"
+      "  halt\n"));
+  f.tile(1).set_dmem(0, 99);
+  f.tile(0).restart();
+  f.tile(1).restart();
+  const auto r = f.run(100);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(to_signed(f.tile(1).dmem(1)), 99);  // before the send retired
+  EXPECT_EQ(to_signed(f.tile(1).dmem(3)), 5);   // after commit
+}
+
+TEST(Fabric, MimdTilesRunDifferentPrograms) {
+  Fabric f(2, 1);
+  f.tile(0).load_program(prog("  movi 0, #1\n  halt\n"));
+  f.tile(1).load_program(prog("  movi 0, #2\n  movi 1, #3\n  halt\n"));
+  f.tile(0).restart();
+  f.tile(1).restart();
+  const auto r = f.run(100);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(to_signed(f.tile(0).dmem(0)), 1);
+  EXPECT_EQ(to_signed(f.tile(1).dmem(1)), 3);
+  EXPECT_EQ(r.cycles, 3);  // bounded by the longest program
+}
+
+TEST(Fabric, RunStopsAtMaxCycles) {
+  Fabric f(1, 1);
+  f.tile(0).load_program(prog("spin:\n  jmp spin\n"));
+  f.tile(0).restart();
+  const auto r = f.run(50);
+  EXPECT_EQ(r.cycles, 50);
+  EXPECT_FALSE(r.all_halted);
+}
+
+TEST(Fabric, FaultsAreCollected) {
+  Fabric f(1, 2);
+  f.tile(0).load_program(prog("  mov !0, 0\n  halt\n"));  // no link -> fault
+  f.tile(0).restart();
+  const auto r = f.run(100);
+  ASSERT_EQ(r.faults.size(), 1u);
+  EXPECT_EQ(r.faults[0].kind, FaultKind::kNoActiveLink);
+  EXPECT_EQ(r.faults[0].tile, 0);
+}
+
+TEST(Fabric, CycleCounterMonotonicAcrossRuns) {
+  Fabric f(1, 1);
+  f.tile(0).load_program(prog("  nop\n  halt\n"));
+  f.tile(0).restart();
+  f.run(100);
+  const auto t1 = f.now();
+  f.tile(0).restart();
+  f.run(100);
+  EXPECT_GT(f.now(), t1);
+}
+
+TEST(Fabric, PipelineOfThreeTiles) {
+  // tile0 computes, sends to tile1; tile1 doubles, sends to tile2.
+  Fabric f(1, 3);
+  f.links().set_output(0, Direction::kEast);
+  f.links().set_output(1, Direction::kEast);
+  f.tile(0).load_program(prog("  movi 0, #21\n  mov !0, 0\n  halt\n"));
+  f.tile(1).load_program(prog(
+      "wait:\n  beqz 0, wait\n  add 1, 0, 0\n  mov !0, 1\n  halt\n"));
+  f.tile(0).restart();
+  f.tile(1).restart();
+  const auto r = f.run(1000);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(to_signed(f.tile(2).dmem(0)), 42);
+}
+
+TEST(Fabric, StalledTileResumesAutomatically) {
+  Fabric f(1, 1);
+  f.tile(0).load_program(prog("  movi 0, #9\n  halt\n"));
+  f.tile(0).restart();
+  f.tile(0).stall_until(10);
+  const auto r = f.run(100);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(to_signed(f.tile(0).dmem(0)), 9);
+  EXPECT_EQ(r.cycles, 12);  // 10 stalled + 2 executing
+}
+
+}  // namespace
+}  // namespace cgra::fabric

@@ -1,0 +1,79 @@
+// FFT partition geometry tests (Sec. 3.1's M/N arithmetic).
+#include <gtest/gtest.h>
+
+#include "apps/fft/partition.hpp"
+
+namespace cgra::fft {
+namespace {
+
+TEST(Partition, ReMorphMemoryGivesM128) {
+  // "for the specific case of reMORPH where DM=512, M turns out to be 128"
+  EXPECT_EQ(max_partition_size(512), 128);
+}
+
+TEST(Partition, SmallerMemoriesShrinkM) {
+  EXPECT_EQ(max_partition_size(256), 64);
+  EXPECT_EQ(max_partition_size(128), 16);
+}
+
+TEST(Partition, Geometry1024) {
+  const auto g = make_geometry(1024);
+  EXPECT_EQ(g.m, 128);
+  EXPECT_EQ(g.stages, 10);
+  EXPECT_EQ(g.rows, 8);
+  EXPECT_EQ(g.cross_stages(), 3);
+  // "a 1024-point Radix2 FFT implementation needs at least 8 and at most
+  //  80 tiles"
+  EXPECT_EQ(g.min_tiles(), 8);
+  EXPECT_EQ(g.max_tiles(), 80);
+}
+
+TEST(Partition, TwiddleColumnMatchesTable1) {
+  // Table 1: BF0..BF9 need 128,128,128,64,32,16,8,4,2,1 twiddles.
+  const auto g = make_geometry(1024);
+  const int expected[10] = {128, 128, 128, 64, 32, 16, 8, 4, 2, 1};
+  for (int s = 0; s < 10; ++s) {
+    EXPECT_EQ(g.twiddles_for_stage(s), expected[s]) << "stage " << s;
+  }
+}
+
+TEST(Partition, HalfSpanHalvesEachStage) {
+  const auto g = make_geometry(64, 8);
+  EXPECT_EQ(g.half_span(0), 32);
+  EXPECT_EQ(g.half_span(1), 16);
+  EXPECT_EQ(g.half_span(5), 1);
+}
+
+TEST(Partition, TwiddleExponentsMatchFigure8) {
+  // 64-point, M=8 (Fig. 8): row 0 stage 0 holds w0..w3; stage 1 holds
+  // w0,w2,w4,w6; row 1 stage 1 holds w8,w10,w12,w14.
+  const auto g = make_geometry(64, 8);
+  EXPECT_EQ(g.twiddle_exponents(0, 0), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(g.twiddle_exponents(0, 1), (std::vector<int>{0, 2, 4, 6}));
+  EXPECT_EQ(g.twiddle_exponents(1, 1), (std::vector<int>{8, 10, 12, 14}));
+  // Row 4 wraps: stage 1 needs w0,w2,w4,w6 again.
+  EXPECT_EQ(g.twiddle_exponents(4, 1), (std::vector<int>{0, 2, 4, 6}));
+}
+
+TEST(Partition, LateStagesNeedFewDistinctExponents) {
+  const auto g = make_geometry(64, 8);
+  // Final stage: single twiddle w0 everywhere.
+  for (int r = 0; r < g.rows; ++r) {
+    EXPECT_EQ(g.twiddle_exponents(r, 5), (std::vector<int>{0}));
+  }
+}
+
+TEST(Partition, InvalidGeometriesRejected) {
+  EXPECT_THROW(make_geometry(1000), std::invalid_argument);      // not 2^k
+  EXPECT_THROW(make_geometry(64, 128), std::invalid_argument);   // M > N
+  EXPECT_THROW(make_geometry(64, 6), std::invalid_argument);     // M not 2^k
+}
+
+TEST(Partition, DefaultsMToMemoryBound) {
+  const auto g = make_geometry(64);
+  EXPECT_EQ(g.m, 64);  // min(N, 128)
+  EXPECT_EQ(g.rows, 1);
+}
+
+}  // namespace
+}  // namespace cgra::fft

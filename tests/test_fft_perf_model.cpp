@@ -1,0 +1,147 @@
+// Tests of the tau-equation performance model driving Figures 10-12.
+#include <gtest/gtest.h>
+
+#include "dse/fft_perf_model.hpp"
+
+namespace cgra::dse {
+namespace {
+
+using fft::make_geometry;
+
+/// Synthetic process times close to Table 1 (ns): lets the model tests run
+/// without the (slower) simulator measurement.
+FftProcessTimes table1_like_times() {
+  FftProcessTimes t;
+  t.bf = {2672, 2672, 2672, 4112, 3434, 3134, 3062, 3182, 3554, 4364};
+  t.vcp = 789;
+  t.hcp = 1557;
+  return t;
+}
+
+TEST(FftModel, UsableColumnsAreDivisors) {
+  const auto g = make_geometry(1024);
+  EXPECT_EQ(usable_column_counts(g), (std::vector<int>{1, 2, 5, 10}));
+}
+
+TEST(FftModel, MoreColumnsWinAtZeroLinkCost) {
+  const auto g = make_geometry(1024);
+  const auto times = table1_like_times();
+  double prev = 0.0;
+  for (const int cols : {1, 2, 5, 10}) {
+    const auto cost = evaluate_fft_design(g, times, cols, 0.0);
+    EXPECT_GT(cost.throughput_per_sec(), prev) << cols;
+    prev = cost.throughput_per_sec();
+  }
+}
+
+TEST(FftModel, ThroughputFallsWithLinkCost) {
+  const auto g = make_geometry(1024);
+  const auto times = table1_like_times();
+  for (const int cols : {1, 2, 5, 10}) {
+    double prev = 1e18;
+    for (double link = 0.0; link <= 5000.0; link += 500.0) {
+      const auto cost = evaluate_fft_design(g, times, cols, link);
+      EXPECT_LE(cost.throughput_per_sec(), prev + 1e-9) << cols << "@" << link;
+      prev = cost.throughput_per_sec();
+    }
+  }
+}
+
+TEST(FftModel, WiderDesignsAreMoreSensitiveToLinkCost) {
+  // Fig. 11's key claim: "circuits with more columns are more sensitive to
+  // link reconfiguration cost" — compare the total-time slope in L.
+  const auto g = make_geometry(1024);
+  const auto times = table1_like_times();
+  auto slope = [&](int cols) {
+    const auto a = evaluate_fft_design(g, times, cols, 0.0);
+    const auto b = evaluate_fft_design(g, times, cols, 2000.0);
+    return (b.total_ns() - a.total_ns()) / 2000.0;
+  };
+  EXPECT_GT(slope(10), slope(5));
+  EXPECT_GT(slope(5), slope(2));
+  EXPECT_GE(slope(2), slope(1));
+}
+
+TEST(FftModel, CrossoverExists) {
+  // For small L the 10-column design beats 1 column; for large L the
+  // ordering flips (Fig. 10/12's "opposite effect" beyond ~1100 ns).
+  const auto g = make_geometry(1024);
+  const auto times = table1_like_times();
+  const auto t10_cheap = evaluate_fft_design(g, times, 10, 0.0);
+  const auto t1_cheap = evaluate_fft_design(g, times, 1, 0.0);
+  EXPECT_GT(t10_cheap.throughput_per_sec(), t1_cheap.throughput_per_sec());
+  const auto t10_dear = evaluate_fft_design(g, times, 10, 5000.0);
+  const auto t1_dear = evaluate_fft_design(g, times, 1, 5000.0);
+  EXPECT_LT(t10_dear.throughput_per_sec(), t1_dear.throughput_per_sec());
+}
+
+TEST(FftModel, FullySpatialDesignPaysNoTwiddleReload) {
+  const auto g = make_geometry(1024);
+  const auto times = table1_like_times();
+  const auto cost = evaluate_fft_design(g, times, 10, 0.0);
+  EXPECT_DOUBLE_EQ(cost.tau[1], 0.0);
+}
+
+TEST(FftModel, NaiveTwiddleOptionCostsMore) {
+  const auto g = make_geometry(1024);
+  const auto times = table1_like_times();
+  FftModelOptions naive;
+  naive.twiddles = TwiddleCosting::kNaive;
+  FftModelOptions opt;
+  const auto a = evaluate_fft_design(g, times, 2, 0.0, naive);
+  const auto b = evaluate_fft_design(g, times, 2, 0.0, opt);
+  EXPECT_GT(a.tau[1], b.tau[1]);
+  // Naive reload: N/2 * log2 N words * 33.33 ns.
+  EXPECT_NEAR(a.tau[1], 512 * 10 * 33.3333, 1.0);
+}
+
+TEST(FftModel, OptimizedCopyVarsZeroTau3) {
+  const auto g = make_geometry(1024);
+  const auto times = table1_like_times();
+  FftModelOptions opt;
+  opt.optimized_copy_vars = true;
+  const auto cost = evaluate_fft_design(g, times, 1, 0.0, opt);
+  EXPECT_DOUBLE_EQ(cost.tau[3], 0.0);
+  const auto base = evaluate_fft_design(g, times, 1, 0.0);
+  EXPECT_GT(base.tau[3], 0.0);
+}
+
+TEST(FftModel, Tau6IsZeroPerEq13) {
+  const auto g = make_geometry(1024);
+  const auto cost = evaluate_fft_design(g, table1_like_times(), 5, 100.0);
+  EXPECT_DOUBLE_EQ(cost.tau[6], 0.0);
+}
+
+TEST(FftModel, HorizontalLinkTermScalesWithColumns) {
+  const auto g = make_geometry(1024);
+  const auto times = table1_like_times();
+  const double link = 100.0;
+  const auto c2 = evaluate_fft_design(g, times, 2, link);
+  const auto c10 = evaluate_fft_design(g, times, 10, link);
+  EXPECT_NEAR(c10.tau[5] / c2.tau[5], 5.0, 1e-9);
+  EXPECT_NEAR(c2.tau[5], 2 * 8 * link, 1e-6);  // cols * rows * L
+}
+
+TEST(FftModel, RejectsBadArguments) {
+  const auto g = make_geometry(1024);
+  const auto times = table1_like_times();
+  EXPECT_THROW(evaluate_fft_design(g, times, 3, 0.0), std::invalid_argument);
+  FftProcessTimes wrong = times;
+  wrong.bf.pop_back();
+  EXPECT_THROW(evaluate_fft_design(g, wrong, 2, 0.0), std::invalid_argument);
+}
+
+TEST(FftModel, MeasuredTimesDriveModel) {
+  // Full path: measure kernels on the simulator for a small geometry and
+  // feed the model.  (64-point keeps the measurement fast.)
+  const auto g = make_geometry(64, 8);
+  const auto times = measure_process_times(g);
+  ASSERT_EQ(times.bf.size(), 6u);
+  for (const auto t : times.bf) EXPECT_GT(t, 0.0);
+  EXPECT_GT(times.hcp, times.vcp);
+  const auto cost = evaluate_fft_design(g, times, 6, 100.0);
+  EXPECT_GT(cost.throughput_per_sec(), 0.0);
+}
+
+}  // namespace
+}  // namespace cgra::dse

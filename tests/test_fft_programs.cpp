@@ -1,0 +1,176 @@
+// FFT kernel program tests: the generated assembly computes correct
+// butterflies on a real tile and its footprint fits the memories.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "apps/fft/programs.hpp"
+#include "apps/fft/reference.hpp"
+#include "common/fixed_complex.hpp"
+#include "fabric/fabric.hpp"
+#include "interconnect/link.hpp"
+
+namespace cgra::fft {
+namespace {
+
+TEST(FftPrograms, LayoutRespectsBudget) {
+  const auto lay = make_layout(128);
+  EXPECT_EQ(lay.x, 0);
+  EXPECT_EQ(lay.p, 128);
+  EXPECT_EQ(lay.w, 256);
+  EXPECT_EQ(lay.ctrl, 384);
+  EXPECT_LT(lay.ps, kDataMemWords);
+  EXPECT_THROW(make_layout(256), std::invalid_argument);  // 3*256+16 > 512
+}
+
+TEST(FftPrograms, KernelsFitInstructionMemory) {
+  const auto lay = make_layout(128);
+  EXPECT_LE(must_assemble(bf_pair_source(lay)).inst_words(), kInstMemWords);
+  EXPECT_LE(must_assemble(bf_local_source(lay, 16)).inst_words(),
+            kInstMemWords);
+  EXPECT_LE(must_assemble(copy_loop_source(lay, 128, 0, 0, true)).inst_words(),
+            kInstMemWords);
+}
+
+/// Run the pair kernel on one tile for M=8 and compare each butterfly with
+/// double-precision arithmetic.
+TEST(FftPrograms, PairKernelComputesButterflies) {
+  const int m = 8;
+  const auto lay = make_layout(m);
+  fabric::Fabric fab(1, 1);
+  auto& tile = fab.tile(0);
+  ASSERT_TRUE(tile.load_program(must_assemble(bf_pair_source(lay))));
+
+  std::vector<std::complex<double>> a(m), w(m / 2);
+  for (int i = 0; i < m; ++i) {
+    a[static_cast<std::size_t>(i)] = {0.1 * i - 0.3, 0.05 * i};
+    tile.set_dmem(lay.x + i, pack_complex(to_fixed(a[static_cast<std::size_t>(i)])));
+  }
+  for (int k = 0; k < m / 2; ++k) {
+    w[static_cast<std::size_t>(k)] = twiddle(16, static_cast<std::size_t>(k));
+    tile.set_dmem(lay.w + k, pack_complex(to_fixed(w[static_cast<std::size_t>(k)])));
+  }
+  tile.restart();
+  const auto run = fab.run(100000);
+  ASSERT_TRUE(run.ok());
+
+  for (int k = 0; k < m / 2; ++k) {
+    const auto sum = a[static_cast<std::size_t>(k)] +
+                     a[static_cast<std::size_t>(k + m / 2)];
+    const auto diff = (a[static_cast<std::size_t>(k)] -
+                       a[static_cast<std::size_t>(k + m / 2)]) *
+                      w[static_cast<std::size_t>(k)];
+    const auto got_sum = to_double(unpack_complex(tile.dmem(lay.x + k)));
+    const auto got_diff =
+        to_double(unpack_complex(tile.dmem(lay.x + k + m / 2)));
+    EXPECT_NEAR(std::abs(got_sum - sum), 0.0, 1e-4) << k;
+    EXPECT_NEAR(std::abs(got_diff - diff), 0.0, 1e-4) << k;
+  }
+}
+
+/// The stride kernel with H=2 on M=8 does groups {0..3} and {4..7}.
+TEST(FftPrograms, LocalKernelStridePattern) {
+  const int m = 8;
+  const int h = 2;
+  const auto lay = make_layout(m);
+  fabric::Fabric fab(1, 1);
+  auto& tile = fab.tile(0);
+  ASSERT_TRUE(tile.load_program(must_assemble(bf_local_source(lay, h))));
+
+  std::vector<std::complex<double>> a(m);
+  for (int i = 0; i < m; ++i) {
+    a[static_cast<std::size_t>(i)] = {0.2 * i - 0.7, -0.1 * i + 0.4};
+    tile.set_dmem(lay.x + i, pack_complex(to_fixed(a[static_cast<std::size_t>(i)])));
+  }
+  std::vector<std::complex<double>> w(h);
+  for (int k = 0; k < h; ++k) {
+    w[static_cast<std::size_t>(k)] = twiddle(8, static_cast<std::size_t>(2 * k));
+    tile.set_dmem(lay.w + k, pack_complex(to_fixed(w[static_cast<std::size_t>(k)])));
+  }
+  tile.restart();
+  ASSERT_TRUE(fab.run(100000).ok());
+
+  for (int g = 0; g < m / (2 * h); ++g) {
+    for (int j = 0; j < h; ++j) {
+      const int ia = g * 2 * h + j;
+      const int ib = ia + h;
+      const auto sum = a[static_cast<std::size_t>(ia)] + a[static_cast<std::size_t>(ib)];
+      const auto diff = (a[static_cast<std::size_t>(ia)] -
+                         a[static_cast<std::size_t>(ib)]) *
+                        w[static_cast<std::size_t>(j)];
+      EXPECT_NEAR(std::abs(to_double(unpack_complex(tile.dmem(lay.x + ia))) - sum),
+                  0.0, 1e-4);
+      EXPECT_NEAR(
+          std::abs(to_double(unpack_complex(tile.dmem(lay.x + ib))) - diff),
+          0.0, 1e-4);
+    }
+  }
+}
+
+TEST(FftPrograms, CopyLoopStreamsToNeighbor) {
+  const int m = 8;
+  const auto lay = make_layout(m);
+  fabric::Fabric fab(2, 1);
+  fab.links().set_output(0, interconnect::Direction::kSouth);
+  auto& src = fab.tile(0);
+  ASSERT_TRUE(src.load_program(
+      must_assemble(copy_loop_source(lay, m, lay.x, lay.p, true))));
+  for (int i = 0; i < m; ++i) src.set_dmem(lay.x + i, static_cast<Word>(i * 3 + 1));
+  src.restart();
+  ASSERT_TRUE(fab.run(10000).ok());
+  for (int i = 0; i < m; ++i) {
+    EXPECT_EQ(fab.tile(1).dmem(lay.p + i), static_cast<Word>(i * 3 + 1)) << i;
+  }
+}
+
+TEST(FftPrograms, CopyLoopRetargetableViaPatches) {
+  // Table 2's optimisation: retarget source/destination with two data
+  // patches instead of reloading the program.
+  const int m = 8;
+  const auto lay = make_layout(m);
+  fabric::Fabric fab(2, 1);
+  fab.links().set_output(0, interconnect::Direction::kSouth);
+  auto& src = fab.tile(0);
+  ASSERT_TRUE(src.load_program(
+      must_assemble(copy_loop_source(lay, 4, lay.x, lay.p, true))));
+  for (int i = 0; i < m; ++i) src.set_dmem(lay.x + i, static_cast<Word>(100 + i));
+  src.restart();
+  ASSERT_TRUE(fab.run(10000).ok());
+
+  // Re-run the resident loop with new pointers: skip the first three init
+  // instructions by restarting at the loop body after patching variables.
+  const std::vector<isa::DataPatch> retarget = {
+      {lay.ps, static_cast<Word>(lay.x + 4)},
+      {lay.pb, static_cast<Word>(lay.p + 4)},
+      {lay.cnt_j, 4}};
+  ASSERT_TRUE(src.patch_data(retarget));
+  src.restart(3);  // loop: label
+  ASSERT_TRUE(fab.run(10000).ok());
+  EXPECT_EQ(fab.tile(1).dmem(lay.p + 4), 104u);
+  EXPECT_EQ(fab.tile(1).dmem(lay.p + 7), 107u);
+}
+
+TEST(FftPrograms, StraightCopyLocalAndRemote) {
+  fabric::Fabric fab(1, 2);
+  fab.links().set_output(0, interconnect::Direction::kEast);
+  auto& t0 = fab.tile(0);
+  const std::vector<std::pair<int, int>> remote = {{0, 10}, {1, 11}};
+  ASSERT_TRUE(t0.load_program(must_assemble(copy_straight_source(remote, true))));
+  t0.set_dmem(0, 5);
+  t0.set_dmem(1, 6);
+  t0.restart();
+  ASSERT_TRUE(fab.run(1000).ok());
+  EXPECT_EQ(fab.tile(1).dmem(10), 5u);
+  EXPECT_EQ(fab.tile(1).dmem(11), 6u);
+}
+
+TEST(FftPrograms, CopyLoopFootprintIsNineInstructions) {
+  // 3 pointer/counter initialisations + 5-instruction loop body + halt:
+  // the compact footprint that makes the vcp/hcp processes cheap to pin.
+  const auto lay = make_layout(128);
+  const auto prog = must_assemble(copy_loop_source(lay, 64, lay.x, lay.p, true));
+  EXPECT_EQ(prog.inst_words(), 9);
+}
+
+}  // namespace
+}  // namespace cgra::fft

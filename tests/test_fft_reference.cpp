@@ -1,0 +1,134 @@
+// Reference FFT tests: DIF FFT vs naive DFT, parseval, linearity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/fft/reference.hpp"
+#include "common/prng.hpp"
+
+namespace cgra::fft {
+namespace {
+
+std::vector<Cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<Cplx> x(n);
+  for (auto& v : x) v = {rng.next_double(-1, 1), rng.next_double(-1, 1)};
+  return x;
+}
+
+TEST(ReferenceFft, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(log2_exact(1024), 10);
+  EXPECT_EQ(bit_reverse(0b0011, 4), 0b1100u);
+  EXPECT_EQ(bit_reverse(1, 10), 512u);
+}
+
+TEST(ReferenceFft, ImpulseGivesFlatSpectrum) {
+  std::vector<Cplx> x(16, Cplx{0, 0});
+  x[0] = {1, 0};
+  const auto y = fft(x);
+  for (const auto& v : y) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(ReferenceFft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<Cplx> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    x[j] = twiddle(n, (n - 5) * j % n);  // e^{+2 pi i 5 j / n}
+  }
+  const auto y = fft(x);
+  EXPECT_NEAR(std::abs(y[5]), static_cast<double>(n), 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != 5) {
+      EXPECT_NEAR(std::abs(y[k]), 0.0, 1e-9) << k;
+    }
+  }
+}
+
+class FftVsDft : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftVsDft, MatchesNaiveDft) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  const auto x = random_signal(n, 0xBEEF + n);
+  const auto fast = fft(x);
+  const auto slow = dft_naive(x);
+  EXPECT_LT(rms_error(fast, slow), 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftVsDft,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256));
+
+TEST(ReferenceFft, LinearityProperty) {
+  const std::size_t n = 128;
+  const auto a = random_signal(n, 1);
+  const auto b = random_signal(n, 2);
+  std::vector<Cplx> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  const auto fs = fft(sum);
+  double err = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    err += std::norm(fs[i] - (2.0 * fa[i] + 3.0 * fb[i]));
+  }
+  EXPECT_LT(std::sqrt(err / n), 1e-10);
+}
+
+TEST(ReferenceFft, ParsevalProperty) {
+  const std::size_t n = 256;
+  const auto x = random_signal(n, 7);
+  const auto y = fft(x);
+  double ex = 0, ey = 0;
+  for (const auto& v : x) ex += std::norm(v);
+  for (const auto& v : y) ey += std::norm(v);
+  EXPECT_NEAR(ey, ex * static_cast<double>(n), 1e-6 * ex * n);
+}
+
+TEST(ReferenceFft, DifOutputIsBitReversedNaturalFft) {
+  const std::size_t n = 32;
+  auto x = random_signal(n, 3);
+  const auto natural = fft(x);
+  auto dif = x;
+  fft_dif(dif);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(dif[i] - natural[bit_reverse(i, 5)]), 0.0, 1e-9);
+  }
+}
+
+TEST(ReferenceFft, RejectsNonPowerOfTwo) {
+  std::vector<Cplx> x(12);
+  EXPECT_THROW(fft_dif(x), std::invalid_argument);
+  EXPECT_THROW(FftPlan(12), std::invalid_argument);
+}
+
+TEST(ReferenceFft, PlanMatchesAdHocTransform) {
+  const std::size_t n = 512;
+  const auto x = random_signal(n, 21);
+  const FftPlan plan(n);
+  const auto planned = plan.transform(x);
+  const auto adhoc = fft(x);
+  EXPECT_LT(rms_error(planned, adhoc), 1e-10);
+}
+
+TEST(ReferenceFft, PlanRejectsSizeMismatch) {
+  const FftPlan plan(64);
+  std::vector<Cplx> x(32);
+  EXPECT_THROW(plan.transform_dif(x), std::invalid_argument);
+}
+
+TEST(ReferenceFft, PlanIsReusableAcrossTransforms) {
+  const FftPlan plan(128);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto x = random_signal(128, seed);
+    EXPECT_LT(rms_error(plan.transform(x), fft(x)), 1e-10) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cgra::fft

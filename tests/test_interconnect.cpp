@@ -1,0 +1,90 @@
+// Interconnect tests: mesh topology, single-output-link rule, link deltas.
+#include <gtest/gtest.h>
+
+#include "interconnect/link.hpp"
+
+namespace cgra::interconnect {
+namespace {
+
+TEST(Link, OppositeDirections) {
+  EXPECT_EQ(opposite(Direction::kNorth), Direction::kSouth);
+  EXPECT_EQ(opposite(Direction::kSouth), Direction::kNorth);
+  EXPECT_EQ(opposite(Direction::kEast), Direction::kWest);
+  EXPECT_EQ(opposite(Direction::kWest), Direction::kEast);
+}
+
+TEST(Link, NeighborsInsideMesh) {
+  LinkConfig lc(3, 3);
+  // Centre tile (1,1) = index 4.
+  EXPECT_EQ(lc.neighbor(4, Direction::kNorth), 1);
+  EXPECT_EQ(lc.neighbor(4, Direction::kSouth), 7);
+  EXPECT_EQ(lc.neighbor(4, Direction::kEast), 5);
+  EXPECT_EQ(lc.neighbor(4, Direction::kWest), 3);
+}
+
+TEST(Link, EdgesHaveNoNeighbor) {
+  LinkConfig lc(2, 2);
+  EXPECT_FALSE(lc.neighbor(0, Direction::kNorth).has_value());
+  EXPECT_FALSE(lc.neighbor(0, Direction::kWest).has_value());
+  EXPECT_FALSE(lc.neighbor(3, Direction::kSouth).has_value());
+  EXPECT_FALSE(lc.neighbor(3, Direction::kEast).has_value());
+}
+
+TEST(Link, SetOutputRejectsEdges) {
+  LinkConfig lc(2, 2);
+  EXPECT_FALSE(lc.set_output(0, Direction::kNorth));
+  EXPECT_FALSE(lc.output(0).has_value());
+  EXPECT_TRUE(lc.set_output(0, Direction::kEast));
+  EXPECT_EQ(lc.output(0), Direction::kEast);
+  EXPECT_EQ(lc.target(0), 1);
+}
+
+TEST(Link, OneOutputLinkAtATime) {
+  // "Each tile is connected to its neighbour in one of the four principal
+  // directions at any instant in time."
+  LinkConfig lc(2, 2);
+  EXPECT_TRUE(lc.set_output(0, Direction::kEast));
+  EXPECT_TRUE(lc.set_output(0, Direction::kSouth));  // replaces, not adds
+  EXPECT_EQ(lc.output(0), Direction::kSouth);
+  EXPECT_EQ(lc.target(0), 2);
+}
+
+TEST(Link, ClearLink) {
+  LinkConfig lc(2, 2);
+  lc.set_output(0, Direction::kEast);
+  EXPECT_TRUE(lc.set_output(0, std::nullopt));
+  EXPECT_FALSE(lc.target(0).has_value());
+}
+
+TEST(Link, ChangedLinksCountsDifferences) {
+  LinkConfig a(2, 2);
+  LinkConfig b(2, 2);
+  EXPECT_EQ(LinkConfig::changed_links(a, b), 0);
+  a.set_output(0, Direction::kEast);
+  EXPECT_EQ(LinkConfig::changed_links(a, b), 1);
+  b.set_output(0, Direction::kEast);
+  b.set_output(2, Direction::kNorth);
+  EXPECT_EQ(LinkConfig::changed_links(a, b), 1);
+  a.set_output(2, Direction::kEast);
+  EXPECT_EQ(LinkConfig::changed_links(a, b), 1);  // differing direction
+}
+
+TEST(Link, CostModelScalesWithDelta) {
+  LinkCostModel cost{700.0};
+  LinkConfig a(2, 2);
+  LinkConfig b(2, 2);
+  b.set_output(0, Direction::kEast);
+  b.set_output(1, Direction::kSouth);
+  EXPECT_DOUBLE_EQ(cost.transition_ns(a, b), 1400.0);
+  EXPECT_DOUBLE_EQ(cost.links_ns(3), 2100.0);
+}
+
+TEST(Link, CoordRoundTrip) {
+  LinkConfig lc(4, 5);
+  for (int i = 0; i < lc.tile_count(); ++i) {
+    EXPECT_EQ(lc.index(lc.coord(i)), i);
+  }
+}
+
+}  // namespace
+}  // namespace cgra::interconnect

@@ -1,0 +1,121 @@
+// Encode/decode round-trip and metadata tests for the instruction set.
+#include <gtest/gtest.h>
+
+#include "isa/disassembler.hpp"
+#include "isa/instruction.hpp"
+
+namespace cgra::isa {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTripBasic) {
+  Instruction in;
+  in.opcode = Opcode::kAdd;
+  in.flags = kFlagSrcAIndirect | kFlagUseImm;
+  in.dst = 100;
+  in.srca = 200;
+  in.srcb = 0;
+  in.imm = -42;
+  const auto decoded = decode(encode(in));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, in);
+}
+
+TEST(Isa, ImmediateSignBoundaries) {
+  for (const std::int32_t imm : {kImmMin, kImmMin + 1, -1, 0, 1, kImmMax}) {
+    Instruction in;
+    in.opcode = Opcode::kMovi;
+    in.imm = imm;
+    const auto decoded = decode(encode(in));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->imm, imm) << imm;
+  }
+}
+
+TEST(Isa, AddressFieldBoundaries) {
+  Instruction in;
+  in.opcode = Opcode::kMov;
+  in.dst = kAddrFieldMask;
+  in.srca = 511;
+  const auto decoded = decode(encode(in));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->dst, kAddrFieldMask);
+  EXPECT_EQ(decoded->srca, 511);
+}
+
+TEST(Isa, UndefinedOpcodeRejected) {
+  Instruction in;
+  in.opcode = Opcode::kJmp;
+  EncodedInstr raw = encode(in);
+  // Force the opcode field to an undefined value (63).
+  raw.hi = static_cast<std::uint8_t>((raw.hi & ~0xFCu) | (63u << 2));
+  EXPECT_FALSE(decode(raw).has_value());
+}
+
+TEST(Isa, MnemonicRoundTrip) {
+  for (int i = 0; i < static_cast<int>(Opcode::kOpcodeCount); ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto back = opcode_from_mnemonic(mnemonic(op));
+    ASSERT_TRUE(back.has_value()) << mnemonic(op);
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(Isa, OperandMetadataConsistency) {
+  // Branches never write; ALU ops read both sources.
+  EXPECT_FALSE(writes_dst(Opcode::kBnez));
+  EXPECT_FALSE(writes_dst(Opcode::kHalt));
+  EXPECT_TRUE(writes_dst(Opcode::kCmul));
+  EXPECT_TRUE(reads_srca(Opcode::kMov));
+  EXPECT_FALSE(reads_srca(Opcode::kMovi));
+  EXPECT_TRUE(reads_srcb(Opcode::kXor));
+  EXPECT_FALSE(reads_srcb(Opcode::kMov));
+  EXPECT_TRUE(is_branch(Opcode::kJmp));
+  EXPECT_FALSE(is_branch(Opcode::kAdd));
+}
+
+// Round-trip every opcode with a mix of flags, parameterised.
+class OpcodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeRoundTrip, AllFieldsSurvive) {
+  Instruction in;
+  in.opcode = static_cast<Opcode>(GetParam());
+  in.flags = static_cast<std::uint8_t>(GetParam() % 32);
+  in.dst = static_cast<std::uint16_t>((GetParam() * 37) % 4096);
+  in.srca = static_cast<std::uint16_t>((GetParam() * 101) % 4096);
+  in.srcb = static_cast<std::uint16_t>((GetParam() * 53) % 4096);
+  in.imm = (GetParam() * 991) % kImmMax - kImmMax / 2;
+  const auto decoded = decode(encode(in));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Range(0, static_cast<int>(Opcode::kOpcodeCount)));
+
+TEST(Disassembler, RendersOperandForms) {
+  Instruction in;
+  in.opcode = Opcode::kCmul;
+  in.dst = 10;
+  in.srca = 20;
+  in.srcb = 30;
+  in.flags = kFlagDstRemote | kFlagSrcAIndirect | kFlagSrcBIndirect;
+  EXPECT_EQ(disassemble(in), "cmul !10, 20*, 30*");
+
+  Instruction imm;
+  imm.opcode = Opcode::kAdd;
+  imm.dst = 1;
+  imm.srca = 2;
+  imm.flags = kFlagUseImm;
+  imm.imm = 7;
+  EXPECT_EQ(disassemble(imm), "add 1, 2, #7");
+
+  Instruction br;
+  br.opcode = Opcode::kBnez;
+  br.srca = 5;
+  br.imm = 3;
+  EXPECT_EQ(disassemble(br), "bnez 5, 3");
+}
+
+}  // namespace
+}  // namespace cgra::isa

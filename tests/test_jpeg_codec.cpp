@@ -1,0 +1,162 @@
+// Encoder/decoder round-trip and per-stage tests.
+#include <gtest/gtest.h>
+
+#include "apps/jpeg/decoder.hpp"
+#include "apps/jpeg/encoder.hpp"
+
+namespace cgra::jpeg {
+namespace {
+
+TEST(JpegStages, LevelShiftCenters) {
+  IntBlock b{};
+  b.fill(128);
+  const auto s = level_shift(b);
+  for (const int v : s) EXPECT_EQ(v, 0);
+}
+
+TEST(JpegStages, QuantReciprocalAccuracy) {
+  for (int q = 1; q <= 255; ++q) {
+    // Reciprocal quantisation of q*k must give k for reasonable k.
+    for (int k : {-30, -7, -1, 0, 1, 5, 29}) {
+      IntBlock c{};
+      std::array<int, 64> quant{};
+      quant.fill(q);
+      c[0] = q * k;
+      const auto out = quantize(c, quant);
+      EXPECT_EQ(out[0], k) << "q=" << q << " k=" << k;
+    }
+  }
+}
+
+TEST(JpegStages, ZigzagScanUsesOrder) {
+  IntBlock b{};
+  for (int i = 0; i < 64; ++i) b[static_cast<std::size_t>(i)] = i;
+  const auto z = zigzag_scan(b);
+  EXPECT_EQ(z[0], 0);
+  EXPECT_EQ(z[1], 1);
+  EXPECT_EQ(z[2], 8);
+  EXPECT_EQ(z[3], 16);
+}
+
+TEST(JpegStages, BitCategory) {
+  EXPECT_EQ(bit_category(0), 0);
+  EXPECT_EQ(bit_category(1), 1);
+  EXPECT_EQ(bit_category(-1), 1);
+  EXPECT_EQ(bit_category(2), 2);
+  EXPECT_EQ(bit_category(-3), 2);
+  EXPECT_EQ(bit_category(255), 8);
+  EXPECT_EQ(bit_category(-1024), 11);
+}
+
+TEST(JpegStages, AmplitudeExtendRoundTrip) {
+  for (int v : {-1000, -255, -5, -1, 1, 3, 127, 900}) {
+    const int cat = bit_category(v);
+    const std::uint32_t bits =
+        v >= 0 ? static_cast<std::uint32_t>(v)
+               : static_cast<std::uint32_t>(v + (1 << cat) - 1);
+    EXPECT_EQ(extend_amplitude(static_cast<int>(bits), cat), v) << v;
+  }
+}
+
+TEST(BitIo, WriterReaderRoundTrip) {
+  BitWriter bw;
+  bw.put(0b101, 3);
+  bw.put(0xFF, 8);  // forces stuffing
+  bw.put(0b0, 1);
+  bw.put(0x1234, 16);
+  const auto bytes = bw.finish();
+  BitReader br(bytes.data(), bytes.size());
+  EXPECT_EQ(br.get(3), 0b101);
+  EXPECT_EQ(br.get(8), 0xFF);
+  EXPECT_EQ(br.get(1), 0);
+  EXPECT_EQ(br.get(16), 0x1234);
+}
+
+TEST(BitIo, StuffingInsertsZeroByte) {
+  BitWriter bw;
+  bw.put(0xFF, 8);
+  const auto bytes = bw.finish();
+  ASSERT_GE(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xFF);
+  EXPECT_EQ(bytes[1], 0x00);
+}
+
+TEST(BitIo, ReaderStopsAtEnd) {
+  const std::uint8_t one = 0xA0;
+  BitReader br(&one, 1);
+  EXPECT_EQ(br.get(8), 0xA0);
+  EXPECT_EQ(br.get_bit(), -1);
+}
+
+TEST(HuffmanBlock, DcOnlyBlockEncodesCompactly) {
+  BitWriter bw;
+  IntBlock zz{};
+  zz[0] = 10;
+  const auto dc = build_encoder(dc_luminance_spec());
+  const auto ac = build_encoder(ac_luminance_spec());
+  const int pred = huffman_encode_block(zz, 0, bw, dc, ac);
+  EXPECT_EQ(pred, 10);
+  // category-4 code (3 bits) + 4 amplitude + EOB (4 bits) = 11 bits.
+  EXPECT_LE(bw.bit_count(), 16u);
+}
+
+TEST(JpegCodec, StreamHasJfifStructure) {
+  const auto img = synthetic_image(32, 24, 1);
+  const auto bytes = encode_image(img);
+  ASSERT_GE(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0xFF);
+  EXPECT_EQ(bytes[1], 0xD8);  // SOI
+  EXPECT_EQ(bytes[bytes.size() - 2], 0xFF);
+  EXPECT_EQ(bytes.back(), 0xD9);  // EOI
+}
+
+class RoundTrip : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RoundTrip, DecodeRecoversImage) {
+  const auto [w, h] = GetParam();
+  const auto img = synthetic_image(w, h, 42);
+  const auto bytes = encode_image(img, 75);
+  const auto decoded = decode_image(bytes);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  ASSERT_EQ(decoded.image.width, w);
+  ASSERT_EQ(decoded.image.height, h);
+  EXPECT_GT(psnr(img, decoded.image), 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RoundTrip,
+    ::testing::Values(std::make_pair(8, 8), std::make_pair(16, 16),
+                      std::make_pair(64, 48), std::make_pair(200, 200),
+                      std::make_pair(20, 12) /* non multiple of 8 */));
+
+TEST(JpegCodec, QualityTradesSizeForPsnr) {
+  const auto img = synthetic_image(64, 64, 7);
+  const auto lo = encode_image(img, 20);
+  const auto hi = encode_image(img, 90);
+  EXPECT_LT(lo.size(), hi.size());
+  const auto dlo = decode_image(lo);
+  const auto dhi = decode_image(hi);
+  ASSERT_TRUE(dlo.ok);
+  ASSERT_TRUE(dhi.ok);
+  EXPECT_LT(psnr(img, dlo.image), psnr(img, dhi.image));
+}
+
+TEST(JpegCodec, DecoderRejectsGarbage) {
+  EXPECT_FALSE(decode_image({0x00, 0x01, 0x02}).ok);
+  EXPECT_FALSE(decode_image({0xFF, 0xD8}).ok);  // SOI then nothing
+}
+
+TEST(JpegCodec, FlatImageCompressesHard) {
+  Image img;
+  img.width = 64;
+  img.height = 64;
+  img.pixels.assign(64 * 64, 128);
+  const auto bytes = encode_image(img);
+  EXPECT_LT(bytes.size(), 1200u);  // headers dominate
+  const auto decoded = decode_image(bytes);
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_GT(psnr(img, decoded.image), 45.0);
+}
+
+}  // namespace
+}  // namespace cgra::jpeg

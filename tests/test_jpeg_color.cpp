@@ -1,0 +1,119 @@
+// Color JPEG tests: conversions, chrominance tables, 4:4:4 round trip.
+#include <gtest/gtest.h>
+
+#include "apps/jpeg/color.hpp"
+#include "apps/jpeg/decoder.hpp"
+#include "common/prng.hpp"
+
+namespace cgra::jpeg {
+namespace {
+
+TEST(Color, YcbcrRoundTripNearlyLossless) {
+  SplitMix64 rng(0xC0105);
+  for (int i = 0; i < 500; ++i) {
+    const auto r = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto g = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    std::uint8_t y;
+    std::uint8_t cb;
+    std::uint8_t cr;
+    rgb_to_ycbcr(r, g, b, &y, &cb, &cr);
+    std::uint8_t r2;
+    std::uint8_t g2;
+    std::uint8_t b2;
+    ycbcr_to_rgb(y, cb, cr, &r2, &g2, &b2);
+    EXPECT_NEAR(r, r2, 2);
+    EXPECT_NEAR(g, g2, 2);
+    EXPECT_NEAR(b, b2, 2);
+  }
+}
+
+TEST(Color, GrayIsAchromatic) {
+  std::uint8_t y;
+  std::uint8_t cb;
+  std::uint8_t cr;
+  rgb_to_ycbcr(100, 100, 100, &y, &cb, &cr);
+  EXPECT_EQ(y, 100);
+  EXPECT_EQ(cb, 128);
+  EXPECT_EQ(cr, 128);
+}
+
+TEST(Color, ChromaQuantCoarserThanLuma) {
+  // The standard chrominance table quantises high frequencies harder.
+  EXPECT_EQ(chrominance_quant()[0], 17);
+  EXPECT_EQ(chrominance_quant()[63], 99);
+  int chroma_ge = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (chrominance_quant()[i] >= luminance_quant()[i]) ++chroma_ge;
+  }
+  EXPECT_GT(chroma_ge, 50);
+}
+
+TEST(Color, ChromaHuffSpecsWellFormed) {
+  for (const auto* spec : {&dc_chrominance_spec(), &ac_chrominance_spec()}) {
+    int total = 0;
+    for (const auto c : spec->counts) total += c;
+    EXPECT_EQ(static_cast<std::size_t>(total), spec->symbols.size());
+  }
+  EXPECT_EQ(ac_chrominance_spec().symbols.size(), 162u);
+}
+
+TEST(Color, SplitMergePlanesRoundTrip) {
+  const auto img = synthetic_rgb_image(16, 16, 9);
+  Image y;
+  Image cb;
+  Image cr;
+  split_planes(img, &y, &cb, &cr);
+  const auto back = merge_planes(y, cb, cr);
+  EXPECT_GT(psnr_rgb(img, back), 45.0);  // conversion rounding only
+}
+
+class ColorRoundTrip : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ColorRoundTrip, EncodeDecodeRecoversImage) {
+  const auto [w, h] = GetParam();
+  const auto img = synthetic_rgb_image(w, h, 33);
+  const auto bytes = encode_color_image(img, 80);
+  const auto decoded = decode_image(bytes);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  ASSERT_TRUE(decoded.is_color);
+  ASSERT_EQ(decoded.rgb.width, w);
+  ASSERT_EQ(decoded.rgb.height, h);
+  EXPECT_GT(psnr_rgb(img, decoded.rgb), 28.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ColorRoundTrip,
+    ::testing::Values(std::make_pair(8, 8), std::make_pair(32, 24),
+                      std::make_pair(64, 64), std::make_pair(20, 12)));
+
+TEST(Color, GrayscaleStreamsStillDecode) {
+  const auto img = synthetic_image(32, 32, 4);
+  const auto decoded = decode_image(encode_image(img, 75));
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_FALSE(decoded.is_color);
+  EXPECT_GT(psnr(img, decoded.image), 30.0);
+}
+
+TEST(Color, QualityControlsColorFidelity) {
+  const auto img = synthetic_rgb_image(48, 48, 12);
+  const auto lo = decode_image(encode_color_image(img, 15));
+  const auto hi = decode_image(encode_color_image(img, 92));
+  ASSERT_TRUE(lo.ok);
+  ASSERT_TRUE(hi.ok);
+  EXPECT_LT(psnr_rgb(img, lo.rgb), psnr_rgb(img, hi.rgb));
+}
+
+TEST(Color, ColorStreamIsLargerThanGray) {
+  const auto rgb = synthetic_rgb_image(64, 64, 5);
+  Image y;
+  Image cb;
+  Image cr;
+  split_planes(rgb, &y, &cb, &cr);
+  const auto color_bytes = encode_color_image(rgb, 75);
+  const auto gray_bytes = encode_image(y, 75);
+  EXPECT_GT(color_bytes.size(), gray_bytes.size());
+}
+
+}  // namespace
+}  // namespace cgra::jpeg

@@ -1,0 +1,82 @@
+// DCT tests: float DCT correctness, fixed-point agreement, inverse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/jpeg/dct.hpp"
+#include "common/prng.hpp"
+
+namespace cgra::jpeg {
+namespace {
+
+IntBlock random_block(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  IntBlock b{};
+  for (auto& v : b) v = static_cast<int>(rng.next_below(256)) - 128;
+  return b;
+}
+
+TEST(Dct, FlatBlockHasOnlyDc) {
+  IntBlock b{};
+  b.fill(100);
+  const auto f = fdct_float(b);
+  EXPECT_NEAR(f[0], 800.0, 1e-9);  // 8 * mean
+  for (std::size_t i = 1; i < 64; ++i) EXPECT_NEAR(f[i], 0.0, 1e-9);
+}
+
+TEST(Dct, InverseRecoversFloat) {
+  const auto b = random_block(11);
+  const auto f = fdct_float(b);
+  const auto back = idct_float(f);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(back[i], static_cast<double>(b[i]), 1e-9) << i;
+  }
+}
+
+TEST(Dct, BasisIsOrthonormalScaled) {
+  // DC basis row: all entries 2^12 * 0.5 * sqrt(0.5) ~ 1448.
+  const auto& c = dct_basis_q12();
+  for (int x = 0; x < 8; ++x) {
+    EXPECT_EQ(c[static_cast<std::size_t>(x)],
+              static_cast<std::int32_t>(
+                  std::lround(0.5 * std::sqrt(0.5) * 4096)));
+  }
+}
+
+class FixedVsFloat : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixedVsFloat, AgreesWithinTwoUnits) {
+  const auto b = random_block(GetParam());
+  const auto exact = fdct_float(b);
+  const auto fixed = fdct_fixed(b);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(static_cast<double>(fixed[i]), exact[i], 2.0) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedVsFloat,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(Dct, FixedDcTermExact) {
+  IntBlock b{};
+  b.fill(64);
+  const auto fixed = fdct_fixed(b);
+  EXPECT_NEAR(static_cast<double>(fixed[0]), 512.0, 1.0);
+  for (std::size_t i = 1; i < 64; ++i) {
+    EXPECT_NEAR(static_cast<double>(fixed[i]), 0.0, 1.0);
+  }
+}
+
+TEST(Dct, RangeStaysWithinCoefficientBudget) {
+  // Worst-case +-128 inputs keep |coef| <= 1024 (8 * 128): no 48-bit issues
+  // on the fabric and no int overflow here.
+  IntBlock extreme{};
+  for (int i = 0; i < 64; ++i) extreme[static_cast<std::size_t>(i)] = (i % 2 == 0) ? 127 : -128;
+  const auto fixed = fdct_fixed(extreme);
+  for (const int v : fixed) {
+    EXPECT_LE(std::abs(v), 1100);
+  }
+}
+
+}  // namespace
+}  // namespace cgra::jpeg

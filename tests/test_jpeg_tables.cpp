@@ -1,0 +1,103 @@
+// JPEG constant-table tests: quantiser scaling, zigzag, Huffman canonics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/jpeg/tables.hpp"
+
+namespace cgra::jpeg {
+namespace {
+
+TEST(JpegTables, QuantBaseValues) {
+  EXPECT_EQ(luminance_quant()[0], 16);
+  EXPECT_EQ(luminance_quant()[63], 99);
+}
+
+TEST(JpegTables, Quality50IsIdentityScaling) {
+  const auto q = scaled_quant(50);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(q[i], luminance_quant()[i]) << i;
+  }
+}
+
+TEST(JpegTables, HigherQualityMeansSmallerQuantisers) {
+  const auto q90 = scaled_quant(90);
+  const auto q10 = scaled_quant(10);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_LE(q90[i], q10[i]) << i;
+    EXPECT_GE(q90[i], 1);
+    EXPECT_LE(q10[i], 255);
+  }
+}
+
+TEST(JpegTables, QualityClamped) {
+  EXPECT_NO_THROW(scaled_quant(0));
+  EXPECT_NO_THROW(scaled_quant(101));
+}
+
+TEST(JpegTables, ZigzagIsPermutation) {
+  std::set<int> seen(zigzag_order().begin(), zigzag_order().end());
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 63);
+}
+
+TEST(JpegTables, ZigzagKnownPrefix) {
+  // The canonical start: 0, 1, 8, 16, 9, 2, 3, 10, ...
+  const auto& z = zigzag_order();
+  EXPECT_EQ(z[0], 0);
+  EXPECT_EQ(z[1], 1);
+  EXPECT_EQ(z[2], 8);
+  EXPECT_EQ(z[3], 16);
+  EXPECT_EQ(z[4], 9);
+  EXPECT_EQ(z[5], 2);
+  EXPECT_EQ(z[63], 63);
+}
+
+TEST(JpegTables, ZigzagInverseComposesToIdentity) {
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(zigzag_inverse()[static_cast<std::size_t>(
+                  zigzag_order()[static_cast<std::size_t>(i)])],
+              i);
+  }
+}
+
+TEST(JpegTables, HuffSpecsSumToSymbolCount) {
+  for (const auto* spec : {&dc_luminance_spec(), &ac_luminance_spec()}) {
+    int total = 0;
+    for (const auto c : spec->counts) total += c;
+    EXPECT_EQ(static_cast<std::size_t>(total), spec->symbols.size());
+  }
+  EXPECT_EQ(dc_luminance_spec().symbols.size(), 12u);
+  EXPECT_EQ(ac_luminance_spec().symbols.size(), 162u);
+}
+
+TEST(JpegTables, CanonicalCodesArePrefixFree) {
+  const auto enc = build_encoder(ac_luminance_spec());
+  // Compare every pair of assigned codes for prefix relations.
+  for (int a = 0; a < 256; ++a) {
+    if (enc.length[static_cast<std::size_t>(a)] == 0) continue;
+    for (int b = 0; b < 256; ++b) {
+      if (b == a || enc.length[static_cast<std::size_t>(b)] == 0) continue;
+      const int la = enc.length[static_cast<std::size_t>(a)];
+      const int lb = enc.length[static_cast<std::size_t>(b)];
+      if (la > lb) continue;
+      const auto prefix =
+          enc.code[static_cast<std::size_t>(b)] >> (lb - la);
+      EXPECT_FALSE(prefix == enc.code[static_cast<std::size_t>(a)])
+          << a << " prefixes " << b;
+    }
+  }
+}
+
+TEST(JpegTables, KnownDcCodes) {
+  // Annex K: DC category 0 -> code 00 (2 bits), category 2 -> 011 (3 bits).
+  const auto enc = build_encoder(dc_luminance_spec());
+  EXPECT_EQ(enc.length[0], 2);
+  EXPECT_EQ(enc.code[0], 0b00u);
+  EXPECT_EQ(enc.length[2], 3);
+  EXPECT_EQ(enc.code[2], 0b011u);
+}
+
+}  // namespace
+}  // namespace cgra::jpeg

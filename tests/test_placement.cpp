@@ -1,0 +1,183 @@
+// Routing and placement tests (Equation 1's term C machinery).
+#include <gtest/gtest.h>
+
+#include "interconnect/routing.hpp"
+#include "mapping/placement.hpp"
+
+namespace cgra::mapping {
+namespace {
+
+using interconnect::CopyCostModel;
+using interconnect::LinkConfig;
+using procnet::Process;
+using procnet::ProcessNetwork;
+
+TEST(Routing, ManhattanDistance) {
+  LinkConfig mesh(3, 4);
+  EXPECT_EQ(interconnect::manhattan_distance(mesh, 0, 0), 0);
+  EXPECT_EQ(interconnect::manhattan_distance(mesh, 0, 3), 3);
+  EXPECT_EQ(interconnect::manhattan_distance(mesh, 0, 11), 5);
+  EXPECT_EQ(interconnect::manhattan_distance(mesh, 5, 6), 1);
+}
+
+TEST(Routing, ShortestRouteLengthsAndEndpoints) {
+  LinkConfig mesh(3, 3);
+  const auto route = interconnect::shortest_route(mesh, 0, 8);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->length(), 4);
+  // Walk the route and land on the destination.
+  int cur = 0;
+  for (const auto d : route->hops) {
+    const auto next = mesh.neighbor(cur, d);
+    ASSERT_TRUE(next.has_value());
+    cur = *next;
+  }
+  EXPECT_EQ(cur, 8);
+}
+
+TEST(Routing, SelfRouteIsEmpty) {
+  LinkConfig mesh(2, 2);
+  const auto route = interconnect::shortest_route(mesh, 3, 3);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->length(), 0);
+}
+
+TEST(Routing, InvalidTilesRejected) {
+  LinkConfig mesh(2, 2);
+  EXPECT_FALSE(interconnect::shortest_route(mesh, -1, 0).has_value());
+  EXPECT_FALSE(interconnect::shortest_route(mesh, 0, 4).has_value());
+}
+
+TEST(Routing, CopyCostScalesWithWordsAndHops) {
+  CopyCostModel copy;
+  EXPECT_DOUBLE_EQ(copy.transfer_ns(64, 0), 0.0);
+  EXPECT_DOUBLE_EQ(copy.transfer_ns(64, 1), 64 * 12.5);
+  EXPECT_DOUBLE_EQ(copy.transfer_ns(64, 2), 2 * 64 * 12.5);
+  CopyCostModel with_links{5 * kCycleNs, 700.0};
+  EXPECT_DOUBLE_EQ(with_links.transfer_ns(16, 1), 16 * 12.5 + 700.0);
+}
+
+// ---- placement ----
+
+ProcessNetwork chain(int n) {
+  std::vector<Process> procs;
+  for (int i = 0; i < n; ++i) {
+    Process p;
+    p.name = "p" + std::to_string(i);
+    p.runtime_cycles = 100 * (i + 1);
+    procs.push_back(p);
+  }
+  return ProcessNetwork::pipeline(std::move(procs), 64);
+}
+
+Binding one_to_one(const ProcessNetwork& net) {
+  Binding b;
+  for (int i = 0; i < net.size(); ++i) b.groups.push_back({{i}, 1});
+  return b;
+}
+
+TEST(Placement, SnakeKeepsPipelineNeighborsAdjacent) {
+  const auto net = chain(6);
+  const auto binding = one_to_one(net);
+  const auto p = place(binding, 2, 3, PlacementStrategy::kSnake);
+  EXPECT_TRUE(p.validate(binding).ok());
+  const auto eval = evaluate_placement(net, binding, p, CopyCostModel{});
+  EXPECT_EQ(eval.non_neighbor_edges, 0);
+  EXPECT_DOUBLE_EQ(eval.copy_ns_per_item, 0.0);
+}
+
+TEST(Placement, RowMajorPaysAtWraps) {
+  const auto net = chain(6);
+  const auto binding = one_to_one(net);
+  const auto p = place(binding, 2, 3, PlacementStrategy::kRowMajor);
+  const auto eval = evaluate_placement(net, binding, p, CopyCostModel{});
+  // Edge p2 -> p3 spans the row wrap (tile 2 -> tile 3): distance 3.
+  EXPECT_EQ(eval.non_neighbor_edges, 1);
+  EXPECT_EQ(eval.total_hops, 2);
+  EXPECT_GT(eval.copy_ns_per_item, 0.0);
+}
+
+TEST(Placement, ScatterIsWorseThanSnake) {
+  const auto net = chain(9);
+  const auto binding = one_to_one(net);
+  const auto snake = place(binding, 3, 3, PlacementStrategy::kSnake);
+  const auto scatter = place(binding, 3, 3, PlacementStrategy::kScatter);
+  const CopyCostModel copy;
+  EXPECT_GT(evaluate_placement(net, binding, scatter, copy).copy_ns_per_item,
+            evaluate_placement(net, binding, snake, copy).copy_ns_per_item);
+}
+
+TEST(Placement, ValidationCatchesDuplicates) {
+  const auto net = chain(2);
+  const auto binding = one_to_one(net);
+  Placement p;
+  p.mesh_rows = 1;
+  p.mesh_cols = 2;
+  p.tile_of = {{0}, {0}};
+  EXPECT_FALSE(p.validate(binding).ok());
+}
+
+TEST(Placement, ValidationCatchesReplicaMismatch) {
+  const auto net = chain(2);
+  Binding b;
+  b.groups = {{{0}, 2}, {{1}, 1}};
+  Placement p;
+  p.mesh_rows = 1;
+  p.mesh_cols = 3;
+  p.tile_of = {{0}, {1}};  // group 0 needs two tiles
+  EXPECT_FALSE(p.validate(b).ok());
+}
+
+TEST(Placement, DoesNotFitThrows) {
+  const auto net = chain(5);
+  const auto binding = one_to_one(net);
+  EXPECT_THROW(place(binding, 2, 2, PlacementStrategy::kSnake),
+               std::invalid_argument);
+}
+
+TEST(Placement, ReplicatedGroupsChargeWorstReplica) {
+  const auto net = chain(2);
+  Binding b;
+  b.groups = {{{0}, 1}, {{1}, 2}};
+  Placement p;
+  p.mesh_rows = 1;
+  p.mesh_cols = 4;
+  p.tile_of = {{0}, {1, 3}};  // replica at tile 3 is 3 hops away
+  const auto eval = evaluate_placement(net, b, p, CopyCostModel{});
+  EXPECT_EQ(eval.total_hops, 2);  // worst distance 3 => 2 extra hops
+}
+
+TEST(Placement, LocalSearchImprovesScatter) {
+  const auto net = chain(9);
+  const auto binding = one_to_one(net);
+  const CopyCostModel copy;
+  const auto scatter = place(binding, 3, 3, PlacementStrategy::kScatter);
+  const double before =
+      evaluate_placement(net, binding, scatter, copy).copy_ns_per_item;
+  const auto improved = improve_placement(net, binding, scatter, copy);
+  const double after =
+      evaluate_placement(net, binding, improved, copy).copy_ns_per_item;
+  EXPECT_LE(after, before);
+  EXPECT_LT(after, before * 0.8);  // the greedy search must bite
+  EXPECT_TRUE(improved.validate(binding).ok());
+}
+
+TEST(Placement, EvaluateWithPlacementFoldsTermC) {
+  const auto net = chain(4);
+  const auto binding = one_to_one(net);
+  const CopyCostModel copy;
+  const auto good = place(binding, 2, 2, PlacementStrategy::kSnake);
+  const auto bad = place(binding, 2, 2, PlacementStrategy::kScatter);
+  const auto base = evaluate(net, binding, CostParams{});
+  const auto with_good =
+      evaluate_with_placement(net, binding, good, CostParams{}, copy);
+  const auto with_bad =
+      evaluate_with_placement(net, binding, bad, CostParams{}, copy);
+  EXPECT_DOUBLE_EQ(with_good.ii_ns, base.ii_ns);  // snake: no copies
+  EXPECT_GE(with_bad.ii_ns, with_good.ii_ns);
+  EXPECT_LE(with_bad.items_per_sec, with_good.items_per_sec);
+  EXPECT_LE(with_bad.avg_utilization, with_good.avg_utilization + 1e-12);
+}
+
+}  // namespace
+}  // namespace cgra::mapping

@@ -1,0 +1,79 @@
+// Process network construction and validation tests.
+#include <gtest/gtest.h>
+
+#include "procnet/network.hpp"
+
+namespace cgra::procnet {
+namespace {
+
+Process make(const std::string& name, std::int64_t runtime) {
+  Process p;
+  p.name = name;
+  p.runtime_cycles = runtime;
+  return p;
+}
+
+TEST(ProcNet, PipelineBuildsEdges) {
+  auto net = ProcessNetwork::pipeline(
+      {make("a", 10), make("b", 20), make("c", 30)}, 64);
+  EXPECT_EQ(net.size(), 3);
+  ASSERT_EQ(net.edges().size(), 2u);
+  EXPECT_EQ(net.edges()[0].from, 0);
+  EXPECT_EQ(net.edges()[0].to, 1);
+  EXPECT_EQ(net.edges()[0].words, 64);
+  EXPECT_TRUE(net.validate().ok());
+}
+
+TEST(ProcNet, FindByName) {
+  auto net = ProcessNetwork::pipeline({make("x", 1), make("y", 2)}, 8);
+  EXPECT_EQ(net.find("y"), 1);
+  EXPECT_EQ(net.find("zzz"), -1);
+}
+
+TEST(ProcNet, TotalWorkHonoursInvocations) {
+  Process p = make("dct", 100);
+  p.invocations_per_item = 4;
+  ProcessNetwork net;
+  net.add_process(p);
+  net.add_process(make("q", 50));
+  EXPECT_EQ(net.total_work_cycles(), 450);
+}
+
+TEST(ProcNet, RejectsBadEdges) {
+  ProcessNetwork net;
+  net.add_process(make("a", 1));
+  EXPECT_FALSE(net.add_edge(0, 0, 4));   // self loop
+  EXPECT_FALSE(net.add_edge(0, 5, 4));   // unknown id
+  EXPECT_FALSE(net.add_edge(-1, 0, 4));  // negative id
+}
+
+TEST(ProcNet, ValidateCatchesEmptyNetwork) {
+  ProcessNetwork net;
+  EXPECT_FALSE(net.validate().ok());
+}
+
+TEST(ProcNet, ValidateCatchesNegativeAnnotations) {
+  ProcessNetwork net;
+  Process p = make("bad", -5);
+  net.add_process(p);
+  EXPECT_FALSE(net.validate().ok());
+}
+
+TEST(ProcNet, ValidateCatchesZeroInvocations) {
+  ProcessNetwork net;
+  Process p = make("bad", 5);
+  p.invocations_per_item = 0;
+  net.add_process(p);
+  EXPECT_FALSE(net.validate().ok());
+}
+
+TEST(ProcNet, DataWordsSumsAnnotations) {
+  Process p;
+  p.data1 = 64;
+  p.data2 = 14;
+  p.data3 = 13;
+  EXPECT_EQ(p.data_words(), 91);
+}
+
+}  // namespace
+}  // namespace cgra::procnet

@@ -1,0 +1,116 @@
+// Cross-geometry property sweeps: the structural invariants of the
+// partitioning, twiddle management and performance model must hold for
+// every legal (N, M, cols) combination, not just the paper's 1024/128.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/fft/fabric_fft.hpp"
+#include "apps/fft/twiddle.hpp"
+#include "dse/fft_perf_model.hpp"
+
+namespace cgra {
+namespace {
+
+struct Geo {
+  int n;
+  int m;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<Geo> {};
+
+TEST_P(GeometrySweep, PartitionArithmeticConsistent) {
+  const auto [n, m] = GetParam();
+  const auto g = fft::make_geometry(n, m);
+  EXPECT_EQ(g.rows * g.m, g.n);
+  EXPECT_EQ(g.cross_stages(),
+            fft::log2_exact(static_cast<std::size_t>(g.rows)));
+  // Half spans halve from N/2 down to 1.
+  EXPECT_EQ(g.half_span(0), n / 2);
+  EXPECT_EQ(g.half_span(g.stages - 1), 1);
+  // Twiddle need per stage never grows.
+  for (int s = 1; s < g.stages; ++s) {
+    EXPECT_LE(g.twiddles_for_stage(s), g.twiddles_for_stage(s - 1)) << s;
+  }
+}
+
+TEST_P(GeometrySweep, ElementPositionsAreBijective) {
+  const auto [n, m] = GetParam();
+  const auto g = fft::make_geometry(n, m);
+  for (int s = 0; s < g.stages; ++s) {
+    std::set<std::pair<int, int>> seen;
+    for (int e = 0; e < g.n; ++e) {
+      const auto pos = fft::element_position(g, s, e);
+      EXPECT_TRUE(seen.insert({pos.row, pos.slot}).second)
+          << "collision stage " << s << " element " << e;
+    }
+  }
+}
+
+TEST_P(GeometrySweep, TwiddleInvariants) {
+  const auto [n, m] = GetParam();
+  const auto g = fft::make_geometry(n, m);
+  for (const int cols : dse::usable_column_counts(g)) {
+    const auto report = fft::analyze_twiddles(g, cols);
+    // Reloads and generation never exceed the naive total.
+    EXPECT_LE(report.reload_words, report.naive_words) << cols;
+    EXPECT_GE(report.reload_words, 0) << cols;
+    // Every slot is classified and yellow <=> pays words.
+    EXPECT_EQ(report.slots.size(),
+              static_cast<std::size_t>(g.rows * g.stages));
+    long long yellow = 0;
+    for (const auto& slot : report.slots) {
+      EXPECT_EQ(slot.cls == fft::TwiddleClass::kYellow,
+                slot.reload_words > 0);
+      yellow += slot.reload_words;
+    }
+    EXPECT_EQ(yellow, report.reload_words);
+    // The paper rule is monotone and bounded by the naive count.
+    EXPECT_LE(fft::paper_reload_words(g, cols), report.naive_words);
+  }
+  EXPECT_EQ(fft::analyze_twiddles(g, g.stages).reload_words, 0);
+}
+
+TEST_P(GeometrySweep, PerfModelInvariants) {
+  const auto [n, m] = GetParam();
+  const auto g = fft::make_geometry(n, m);
+  // Synthetic but plausible kernel times.
+  dse::FftProcessTimes times;
+  for (int s = 0; s < g.stages; ++s) {
+    times.bf.push_back(1000.0 + 100.0 * s);
+  }
+  times.vcp = 400;
+  times.hcp = 800;
+  for (const int cols : dse::usable_column_counts(g)) {
+    double prev = 1e300;
+    for (const double link : {0.0, 500.0, 2000.0}) {
+      const auto cost = dse::evaluate_fft_design(g, times, cols, link);
+      for (const double tau : cost.tau) EXPECT_GE(tau, 0.0);
+      EXPECT_GT(cost.total_ns(), 0.0);
+      EXPECT_LE(cost.total_ns(), prev * 1e9);  // sanity, no NaN/inf
+      // Total time is non-decreasing in link cost.
+      if (prev < 1e299) {
+        EXPECT_GE(cost.total_ns() + 1e-9, prev) << cols << "@" << link;
+      }
+      prev = cost.total_ns();
+    }
+    // tau2 (the pipeline term) shrinks as columns are added: compare the
+    // one-column sum against this design's lockstep sum.
+    const auto wide = dse::evaluate_fft_design(g, times, cols, 0.0);
+    const auto narrow = dse::evaluate_fft_design(g, times, 1, 0.0);
+    EXPECT_LE(wide.tau[2], narrow.tau[2] + 1e-9) << cols;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(Geo{16, 4}, Geo{16, 8}, Geo{32, 8}, Geo{64, 8},
+                      Geo{64, 16}, Geo{128, 16}, Geo{256, 32}, Geo{512, 64},
+                      Geo{1024, 128}, Geo{2048, 128}, Geo{4096, 128}),
+    [](const ::testing::TestParamInfo<Geo>& info) {
+      return "N" + std::to_string(info.param.n) + "M" +
+             std::to_string(info.param.m);
+    });
+
+}  // namespace
+}  // namespace cgra

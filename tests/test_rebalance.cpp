@@ -1,0 +1,176 @@
+// Rebalancing algorithm tests: Algorithm 1/2 behaviour, optimal partition
+// DP, and the monotonicity / dominance properties the paper relies on.
+#include <gtest/gtest.h>
+
+#include "mapping/rebalance.hpp"
+
+namespace cgra::mapping {
+namespace {
+
+using procnet::Process;
+using procnet::ProcessNetwork;
+
+Process make(const std::string& name, std::int64_t runtime,
+             bool replicable = true) {
+  Process p;
+  p.name = name;
+  p.runtime_cycles = runtime;
+  p.insts = 10;
+  p.replicable = replicable;
+  return p;
+}
+
+/// The paper's Figure-13 example: five processes, 3200 ns on one tile
+/// (runtimes here in cycles; 2.5 ns each).
+ProcessNetwork fig13_net() {
+  return ProcessNetwork::pipeline({make("p1", 440), make("p2", 320),
+                                   make("p3", 160), make("p4", 200),
+                                   make("p5", 160)},
+                                  16);
+}
+
+double makespan_ns(const ProcessNetwork& net, const Binding& b) {
+  return evaluate(net, b, CostParams{}).ii_ns;
+}
+
+TEST(RebalanceOne, OneTileHostsEverything) {
+  const auto net = fig13_net();
+  const auto b = rebalance(net, 1, RebalanceAlgorithm::kOne, CostParams{});
+  EXPECT_EQ(b.tile_count(), 1);
+  EXPECT_TRUE(b.validate(net).ok());
+}
+
+TEST(RebalanceOne, SplitsHeaviestTile) {
+  const auto net = fig13_net();
+  const auto b = rebalance(net, 2, RebalanceAlgorithm::kOne, CostParams{});
+  EXPECT_EQ(b.tile_count(), 2);
+  EXPECT_TRUE(b.validate(net).ok());
+  // The split must reduce the makespan versus one tile.
+  const auto one = rebalance(net, 1, RebalanceAlgorithm::kOne, CostParams{});
+  EXPECT_LT(makespan_ns(net, b), makespan_ns(net, one));
+}
+
+TEST(RebalanceOne, ReplicatesSingleHeavyProcess) {
+  // One dominant process: extra tiles become replicas (Fig. 13 case d->e).
+  ProcessNetwork net = ProcessNetwork::pipeline(
+      {make("light", 100), make("heavy", 1000)}, 16);
+  const auto b = rebalance(net, 4, RebalanceAlgorithm::kOne, CostParams{});
+  EXPECT_EQ(b.tile_count(), 4);
+  bool replicated = false;
+  for (const auto& g : b.groups) {
+    if (g.replication > 1) {
+      replicated = true;
+      EXPECT_EQ(g.procs.size(), 1u);
+      EXPECT_EQ(net.process(g.procs[0]).name, "heavy");
+    }
+  }
+  EXPECT_TRUE(replicated);
+}
+
+TEST(RebalanceOne, RespectsNonReplicableProcesses) {
+  ProcessNetwork net = ProcessNetwork::pipeline(
+      {make("a", 100), make("heavy", 1000, /*replicable=*/false)}, 16);
+  const auto b = rebalance(net, 5, RebalanceAlgorithm::kOne, CostParams{});
+  EXPECT_TRUE(b.validate(net).ok());
+  for (const auto& g : b.groups) {
+    if (g.procs.size() == 1 && net.process(g.procs[0]).name == "heavy") {
+      EXPECT_EQ(g.replication, 1);
+    }
+  }
+  // Budget cannot be filled: only 2 useful tiles exist.
+  EXPECT_LE(b.tile_count(), 2);
+}
+
+TEST(RebalanceOne, PreservesPipelineOrder) {
+  const auto net = fig13_net();
+  const auto b = rebalance(net, 4, RebalanceAlgorithm::kOne, CostParams{});
+  int expected = 0;
+  for (const auto& g : b.groups) {
+    for (int p : g.procs) {
+      EXPECT_EQ(p, expected++);
+    }
+  }
+}
+
+TEST(OptimalPartition, MatchesBruteForceSmallCase) {
+  const auto net = fig13_net();
+  const std::vector<int> procs = {0, 1, 2, 3, 4};
+  const auto parts = optimal_partition(net, procs, 3, CostParams{});
+  ASSERT_EQ(parts.size(), 3u);
+  // Optimal 3-way split of {1100, 800, 400, 500, 400} ns:
+  // {1100} {800,400} {500,400} -> makespan 1200 ns.
+  double worst = 0.0;
+  for (const auto& g : parts) {
+    worst = std::max(worst, group_busy_ns(net, g, CostParams{}));
+  }
+  EXPECT_NEAR(worst, 1200.0, 1e-6);
+}
+
+TEST(OptimalPartition, HandlesMorePartsThanProcs) {
+  const auto net = fig13_net();
+  const auto parts = optimal_partition(net, {0, 1}, 5, CostParams{});
+  EXPECT_EQ(parts.size(), 2u);  // clamped
+}
+
+// ---- cross-algorithm properties (parameterised over tile budgets) ----
+
+class RebalanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RebalanceSweep, AllAlgorithmsProduceValidBindings) {
+  const auto net = fig13_net();
+  const int tiles = GetParam();
+  for (const auto algo : {RebalanceAlgorithm::kOne, RebalanceAlgorithm::kTwo,
+                          RebalanceAlgorithm::kOpt}) {
+    const auto b = rebalance(net, tiles, algo, CostParams{});
+    EXPECT_TRUE(b.validate(net).ok()) << rebalance_name(algo);
+    EXPECT_LE(b.tile_count(), tiles) << rebalance_name(algo);
+  }
+}
+
+TEST_P(RebalanceSweep, MoreTilesNeverHurt) {
+  const auto net = fig13_net();
+  const int tiles = GetParam();
+  for (const auto algo : {RebalanceAlgorithm::kOne, RebalanceAlgorithm::kTwo,
+                          RebalanceAlgorithm::kOpt}) {
+    const auto fewer = rebalance(net, tiles, algo, CostParams{});
+    const auto more = rebalance(net, tiles + 1, algo, CostParams{});
+    EXPECT_LE(makespan_ns(net, more), makespan_ns(net, fewer) + 1e-9)
+        << rebalance_name(algo) << " at " << tiles;
+  }
+}
+
+TEST_P(RebalanceSweep, RefinedAlgorithmsDominateGreedy) {
+  const auto net = fig13_net();
+  const int tiles = GetParam();
+  const auto one =
+      rebalance(net, tiles, RebalanceAlgorithm::kOne, CostParams{});
+  const auto two =
+      rebalance(net, tiles, RebalanceAlgorithm::kTwo, CostParams{});
+  const auto opt =
+      rebalance(net, tiles, RebalanceAlgorithm::kOpt, CostParams{});
+  EXPECT_LE(makespan_ns(net, two), makespan_ns(net, one) + 1e-9);
+  EXPECT_LE(makespan_ns(net, opt), makespan_ns(net, two) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileBudgets, RebalanceSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10));
+
+TEST(RebalanceSweepDriver, ProducesOnePointPerBudget) {
+  const auto net = fig13_net();
+  const auto pts = sweep(net, 6, RebalanceAlgorithm::kTwo, CostParams{});
+  ASSERT_EQ(pts.size(), 6u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].tiles, static_cast<int>(i) + 1);
+    EXPECT_GT(pts[i].eval.items_per_sec, 0.0);
+    EXPECT_GT(pts[i].eval.avg_utilization, 0.0);
+    EXPECT_LE(pts[i].eval.avg_utilization, 1.0 + 1e-9);
+  }
+  // Throughput is non-decreasing in the tile budget.
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].eval.items_per_sec + 1e-6,
+              pts[i - 1].eval.items_per_sec);
+  }
+}
+
+}  // namespace
+}  // namespace cgra::mapping

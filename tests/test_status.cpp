@@ -1,0 +1,51 @@
+// Tests for the Status / Fault reporting types.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+
+namespace cgra {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.message(), "ok");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  const Status s = Status::error("something broke");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(static_cast<bool>(s));
+  EXPECT_EQ(s.message(), "something broke");
+}
+
+TEST(Fault, DefaultIsNotAFault) {
+  const Fault f;
+  EXPECT_FALSE(f.is_fault());
+}
+
+TEST(Fault, DescribeNamesEverything) {
+  Fault f;
+  f.kind = FaultKind::kNoActiveLink;
+  f.tile = 3;
+  f.pc = 17;
+  f.cycle = 420;
+  const std::string text = f.describe();
+  EXPECT_NE(text.find("no-active-link"), std::string::npos);
+  EXPECT_NE(text.find("tile 3"), std::string::npos);
+  EXPECT_NE(text.find("pc 17"), std::string::npos);
+  EXPECT_NE(text.find("cycle 420"), std::string::npos);
+}
+
+TEST(Fault, AllKindsHaveNames) {
+  for (const auto kind :
+       {FaultKind::kNone, FaultKind::kIllegalOpcode, FaultKind::kPcOutOfRange,
+        FaultKind::kAddressOutOfRange, FaultKind::kNoActiveLink,
+        FaultKind::kDivideByZero}) {
+    EXPECT_STRNE(fault_kind_name(kind), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace cgra

@@ -1,0 +1,35 @@
+// Tests for the text-table renderer used by the bench harnesses.
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+namespace cgra {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // All lines share the same prefix width for column 2.
+  const auto first_line_end = out.find('\n');
+  ASSERT_NE(first_line_end, std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::integer(-42), "-42");
+}
+
+}  // namespace
+}  // namespace cgra

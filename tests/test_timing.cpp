@@ -1,0 +1,56 @@
+// Tests pinning the paper's published timing constants.
+#include <gtest/gtest.h>
+
+#include "common/timing.hpp"
+
+namespace cgra {
+namespace {
+
+TEST(Timing, InstructionTakes2500Picoseconds) {
+  EXPECT_DOUBLE_EQ(kCycleNs, 2.5);
+  EXPECT_DOUBLE_EQ(cycles_to_ns(4), 10.0);
+}
+
+TEST(Timing, IcapDataWordMatchesPaper) {
+  // "reloading one location in data memory takes 33.33 ns"
+  const IcapModel icap;
+  EXPECT_NEAR(icap.ns_per_data_word(), 33.33, 0.01);
+}
+
+TEST(Timing, IcapInstructionWordIs50ns) {
+  const IcapModel icap;
+  EXPECT_NEAR(icap.ns_per_inst_word(), 50.0, 0.01);
+}
+
+TEST(Timing, BulkReloadScalesLinearly) {
+  const IcapModel icap;
+  EXPECT_NEAR(icap.data_reload_ns(512), 512 * icap.ns_per_data_word(), 1e-6);
+  EXPECT_NEAR(icap.inst_reload_ns(0), 0.0, 1e-12);
+}
+
+TEST(Timing, MemoryGeometryMatchesReMorph) {
+  EXPECT_EQ(kDataMemWords, 512);
+  EXPECT_EQ(kInstMemWords, 512);
+  EXPECT_EQ(kDataWordBits, 48);
+  EXPECT_EQ(kInstWordBits, 72);
+  EXPECT_EQ(kLinkWires, 48);
+}
+
+TEST(Timing, NsToCyclesRoundsUp) {
+  EXPECT_EQ(ns_to_cycles_ceil(0.0), 0);
+  EXPECT_EQ(ns_to_cycles_ceil(2.5), 1);
+  EXPECT_EQ(ns_to_cycles_ceil(2.6), 2);
+  EXPECT_EQ(ns_to_cycles_ceil(33.33), 14);
+}
+
+TEST(Timing, Table2CopyCostsReproduce) {
+  // Table 2: reloading the 2 copy variables of the vcp processes of one
+  // column (8 tiles x 2 words x 2 retargets) costs 1066.6 ns; the in-place
+  // update costs 6 instructions (15 ns).
+  const IcapModel icap;
+  EXPECT_NEAR(icap.data_reload_ns(2 * 8 * 2), 1066.6, 1.0);
+  EXPECT_NEAR(cycles_to_ns(6), 15.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cgra

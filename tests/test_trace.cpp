@@ -1,0 +1,126 @@
+// Tracer tests: event streams, histograms, ring-buffer bounds.
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hpp"
+#include "isa/assembler.hpp"
+
+namespace cgra::fabric {
+namespace {
+
+isa::Program prog(const std::string& src) {
+  auto r = isa::assemble(src);
+  EXPECT_TRUE(r.ok()) << r.status.message();
+  return r.program;
+}
+
+TEST(Trace, RecordsRetirementsInOrder) {
+  Fabric f(1, 1);
+  Tracer tracer;
+  f.attach_tracer(&tracer);
+  f.tile(0).load_program(prog("  movi 0, #1\n  add 0, 0, #1\n  halt\n"));
+  f.tile(0).restart();
+  f.run(100);
+  ASSERT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.events()[0].opcode, isa::Opcode::kMovi);
+  EXPECT_EQ(tracer.events()[1].opcode, isa::Opcode::kAdd);
+  EXPECT_EQ(tracer.events()[2].kind, TraceEventKind::kHalt);
+  EXPECT_LT(tracer.events()[0].cycle, tracer.events()[2].cycle);
+  EXPECT_EQ(tracer.events()[1].pc, 1);
+}
+
+TEST(Trace, HistogramMatchesTileStats) {
+  Fabric f(1, 1);
+  Tracer tracer;
+  f.attach_tracer(&tracer);
+  f.tile(0).load_program(prog(
+      "  movi 0, #5\nl:\n  sub 0, 0, #1\n  bnez 0, l\n  halt\n"));
+  f.tile(0).restart();
+  f.run(1000);
+  EXPECT_EQ(tracer.tile_retirements(0), f.tile(0).stats().instructions);
+  EXPECT_EQ(tracer.opcode_count(0, isa::Opcode::kSub), 5);
+  EXPECT_EQ(tracer.opcode_count(0, isa::Opcode::kBnez), 5);
+  EXPECT_EQ(tracer.opcode_count(0, isa::Opcode::kHalt), 1);
+}
+
+TEST(Trace, RemoteWritesCarryDestination) {
+  Fabric f(1, 2);
+  f.links().set_output(0, interconnect::Direction::kEast);
+  Tracer tracer;
+  f.attach_tracer(&tracer);
+  f.tile(0).load_program(prog("  movi 0, #9\n  mov !3, 0\n  halt\n"));
+  f.tile(0).restart();
+  f.run(100);
+  bool saw_remote = false;
+  for (const auto& ev : tracer.events()) {
+    if (ev.kind == TraceEventKind::kRemoteWrite) {
+      saw_remote = true;
+      EXPECT_EQ(ev.tile, 0);
+      EXPECT_EQ(ev.dst_tile, 1);
+      EXPECT_EQ(ev.addr, 3);
+      EXPECT_EQ(to_signed(ev.value), 9);
+    }
+  }
+  EXPECT_TRUE(saw_remote);
+}
+
+TEST(Trace, FaultEventsRecorded) {
+  Fabric f(1, 1);
+  Tracer tracer;
+  f.attach_tracer(&tracer);
+  f.tile(0).load_program(prog("  mov !0, 0\n  halt\n"));  // no link
+  f.tile(0).restart();
+  f.run(100);
+  ASSERT_FALSE(tracer.events().empty());
+  EXPECT_EQ(tracer.events().back().kind, TraceEventKind::kFault);
+}
+
+TEST(Trace, RingBufferBoundsAndCounters) {
+  Fabric f(1, 1);
+  Tracer tracer(8);  // tiny capacity
+  f.attach_tracer(&tracer);
+  f.tile(0).load_program(prog(
+      "  movi 0, #50\nl:\n  sub 0, 0, #1\n  bnez 0, l\n  halt\n"));
+  f.tile(0).restart();
+  f.run(1000);
+  EXPECT_LE(tracer.events().size(), 8u);
+  EXPECT_GT(tracer.dropped(), 0);
+  // Histograms never drop.
+  EXPECT_EQ(tracer.tile_retirements(0), f.tile(0).stats().instructions);
+}
+
+TEST(Trace, DumpMentionsMnemonics) {
+  Fabric f(1, 1);
+  Tracer tracer;
+  f.attach_tracer(&tracer);
+  f.tile(0).load_program(prog("  cmul 2, 0, 1\n  halt\n"));
+  f.tile(0).restart();
+  f.run(100);
+  const std::string text = tracer.dump();
+  EXPECT_NE(text.find("cmul"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(Trace, ClearResetsEverything) {
+  Tracer tracer(4);
+  TraceEvent ev;
+  ev.tile = 0;
+  for (int i = 0; i < 10; ++i) tracer.record(ev);
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.dropped(), 0);
+  EXPECT_EQ(tracer.tile_retirements(0), 0);
+}
+
+TEST(Trace, DetachedFabricRunsUntraced) {
+  Fabric f(1, 1);
+  Tracer tracer;
+  f.attach_tracer(&tracer);
+  f.attach_tracer(nullptr);
+  f.tile(0).load_program(prog("  halt\n"));
+  f.tile(0).restart();
+  f.run(10);
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+}  // namespace
+}  // namespace cgra::fabric

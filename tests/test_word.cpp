@@ -1,0 +1,69 @@
+// Unit tests for the 48-bit word type.
+#include <gtest/gtest.h>
+
+#include "common/word.hpp"
+
+namespace cgra {
+namespace {
+
+TEST(Word, TruncateMasksTo48Bits) {
+  EXPECT_EQ(truncate_word(0xFFFF'FFFF'FFFF'FFFFull), kWordMask);
+  EXPECT_EQ(truncate_word(0), 0u);
+  EXPECT_EQ(truncate_word(std::uint64_t{1} << 48), 0u);
+  EXPECT_EQ(truncate_word((std::uint64_t{1} << 48) | 5u), 5u);
+}
+
+TEST(Word, SignedRoundTripPositive) {
+  for (std::int64_t v : {0LL, 1LL, 42LL, (1LL << 46), (1LL << 47) - 1}) {
+    EXPECT_EQ(to_signed(from_signed(v)), v) << v;
+  }
+}
+
+TEST(Word, SignedRoundTripNegative) {
+  for (std::int64_t v : {-1LL, -42LL, -(1LL << 46), -(1LL << 47)}) {
+    EXPECT_EQ(to_signed(from_signed(v)), v) << v;
+  }
+}
+
+TEST(Word, SignedWrapsAtBoundary) {
+  // 2^47 wraps to -2^47.
+  EXPECT_EQ(to_signed(from_signed(1LL << 47)), -(1LL << 47));
+}
+
+TEST(Word, AddWraps) {
+  EXPECT_EQ(word_add(kWordMask, 1), 0u);
+  EXPECT_EQ(to_signed(word_add(from_signed(-5), from_signed(3))), -2);
+}
+
+TEST(Word, SubWraps) {
+  EXPECT_EQ(to_signed(word_sub(from_signed(3), from_signed(5))), -2);
+  EXPECT_EQ(word_sub(0, 1), kWordMask);
+}
+
+TEST(Word, MulSigned) {
+  EXPECT_EQ(to_signed(word_mul(from_signed(-3), from_signed(7))), -21);
+  EXPECT_EQ(to_signed(word_mul(from_signed(1 << 20), from_signed(1 << 20))),
+            1LL << 40);
+}
+
+TEST(Word, HexRendering) {
+  EXPECT_EQ(word_to_hex(0), "0x000000000000");
+  EXPECT_EQ(word_to_hex(kWordMask), "0xffffffffffff");
+  EXPECT_EQ(word_to_hex(0xABCDEF), "0x000000abcdef");
+}
+
+// Property sweep: signed round-trip across a pseudo-random sample.
+class WordRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(WordRoundTrip, RoundTrips) {
+  const std::int64_t v = GetParam();
+  EXPECT_EQ(to_signed(from_signed(v)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sample, WordRoundTrip,
+    ::testing::Values(0, 1, -1, 1000, -1000, 123456789, -123456789,
+                      (1LL << 47) - 1, -(1LL << 47), 0x7FFF'FFFF'FFFF >> 3));
+
+}  // namespace
+}  // namespace cgra
