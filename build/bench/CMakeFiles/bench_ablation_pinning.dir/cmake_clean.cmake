@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pinning.dir/bench_ablation_pinning.cpp.o"
+  "CMakeFiles/bench_ablation_pinning.dir/bench_ablation_pinning.cpp.o.d"
+  "bench_ablation_pinning"
+  "bench_ablation_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_fft_throughput.dir/bench_fig10_11_fft_throughput.cpp.o"
+  "CMakeFiles/bench_fig10_11_fft_throughput.dir/bench_fig10_11_fft_throughput.cpp.o.d"
+  "bench_fig10_11_fft_throughput"
+  "bench_fig10_11_fft_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_fft_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_linkcost_columns.dir/bench_fig12_linkcost_columns.cpp.o"
+  "CMakeFiles/bench_fig12_linkcost_columns.dir/bench_fig12_linkcost_columns.cpp.o.d"
+  "bench_fig12_linkcost_columns"
+  "bench_fig12_linkcost_columns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_linkcost_columns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_twiddles.dir/bench_fig8_twiddles.cpp.o"
+  "CMakeFiles/bench_fig8_twiddles.dir/bench_fig8_twiddles.cpp.o.d"
+  "bench_fig8_twiddles"
+  "bench_fig8_twiddles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_twiddles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_fft_baseline.dir/bench_host_fft_baseline.cpp.o"
+  "CMakeFiles/bench_host_fft_baseline.dir/bench_host_fft_baseline.cpp.o.d"
+  "bench_host_fft_baseline"
+  "bench_host_fft_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_fft_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

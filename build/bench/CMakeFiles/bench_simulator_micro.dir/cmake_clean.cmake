@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulator_micro.dir/bench_simulator_micro.cpp.o"
+  "CMakeFiles/bench_simulator_micro.dir/bench_simulator_micro.cpp.o.d"
+  "bench_simulator_micro"
+  "bench_simulator_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulator_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

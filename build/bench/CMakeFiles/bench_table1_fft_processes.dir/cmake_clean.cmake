@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fft_processes.dir/bench_table1_fft_processes.cpp.o"
+  "CMakeFiles/bench_table1_fft_processes.dir/bench_table1_fft_processes.cpp.o.d"
+  "bench_table1_fft_processes"
+  "bench_table1_fft_processes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fft_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_jpeg_processes.dir/bench_table3_jpeg_processes.cpp.o"
+  "CMakeFiles/bench_table3_jpeg_processes.dir/bench_table3_jpeg_processes.cpp.o.d"
+  "bench_table3_jpeg_processes"
+  "bench_table3_jpeg_processes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_jpeg_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

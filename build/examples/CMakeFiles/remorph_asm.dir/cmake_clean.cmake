@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remorph_asm.dir/remorph_asm.cpp.o"
+  "CMakeFiles/remorph_asm.dir/remorph_asm.cpp.o.d"
+  "remorph_asm"
+  "remorph_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remorph_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fft_pipeline "/root/repo/build/examples/fft_pipeline" "64" "8" "2")
+set_tests_properties(example_fft_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_jpeg_encode "/root/repo/build/examples/jpeg_encode" "32" "24" "75" "/root/repo/build/examples/smoke.jpg")
+set_tests_properties(example_jpeg_encode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dse_explorer "/root/repo/build/examples/dse_explorer" "64" "8" "1000")
+set_tests_properties(example_dse_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_remorph_asm "/root/repo/build/examples/remorph_asm" "run" "/root/repo/build/examples/smoke.s" "--dump" "0" "1")
+set_tests_properties(example_remorph_asm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,3 @@
+  movi 0, #41
+  add 0, 0, #1
+  halt

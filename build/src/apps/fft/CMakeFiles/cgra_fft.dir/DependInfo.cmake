@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fft/fabric_fft.cpp" "src/apps/fft/CMakeFiles/cgra_fft.dir/fabric_fft.cpp.o" "gcc" "src/apps/fft/CMakeFiles/cgra_fft.dir/fabric_fft.cpp.o.d"
+  "/root/repo/src/apps/fft/partition.cpp" "src/apps/fft/CMakeFiles/cgra_fft.dir/partition.cpp.o" "gcc" "src/apps/fft/CMakeFiles/cgra_fft.dir/partition.cpp.o.d"
+  "/root/repo/src/apps/fft/programs.cpp" "src/apps/fft/CMakeFiles/cgra_fft.dir/programs.cpp.o" "gcc" "src/apps/fft/CMakeFiles/cgra_fft.dir/programs.cpp.o.d"
+  "/root/repo/src/apps/fft/reference.cpp" "src/apps/fft/CMakeFiles/cgra_fft.dir/reference.cpp.o" "gcc" "src/apps/fft/CMakeFiles/cgra_fft.dir/reference.cpp.o.d"
+  "/root/repo/src/apps/fft/twiddle.cpp" "src/apps/fft/CMakeFiles/cgra_fft.dir/twiddle.cpp.o" "gcc" "src/apps/fft/CMakeFiles/cgra_fft.dir/twiddle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cgra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cgra_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/cgra_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/cgra_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/cgra_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

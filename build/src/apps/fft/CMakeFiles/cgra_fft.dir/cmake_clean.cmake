@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_fft.dir/fabric_fft.cpp.o"
+  "CMakeFiles/cgra_fft.dir/fabric_fft.cpp.o.d"
+  "CMakeFiles/cgra_fft.dir/partition.cpp.o"
+  "CMakeFiles/cgra_fft.dir/partition.cpp.o.d"
+  "CMakeFiles/cgra_fft.dir/programs.cpp.o"
+  "CMakeFiles/cgra_fft.dir/programs.cpp.o.d"
+  "CMakeFiles/cgra_fft.dir/reference.cpp.o"
+  "CMakeFiles/cgra_fft.dir/reference.cpp.o.d"
+  "CMakeFiles/cgra_fft.dir/twiddle.cpp.o"
+  "CMakeFiles/cgra_fft.dir/twiddle.cpp.o.d"
+  "libcgra_fft.a"
+  "libcgra_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

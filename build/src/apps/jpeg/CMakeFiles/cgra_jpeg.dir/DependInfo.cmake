@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/jpeg/bitio.cpp" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/bitio.cpp.o" "gcc" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/bitio.cpp.o.d"
+  "/root/repo/src/apps/jpeg/color.cpp" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/color.cpp.o" "gcc" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/color.cpp.o.d"
+  "/root/repo/src/apps/jpeg/dct.cpp" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/dct.cpp.o" "gcc" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/dct.cpp.o.d"
+  "/root/repo/src/apps/jpeg/decoder.cpp" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/decoder.cpp.o" "gcc" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/decoder.cpp.o.d"
+  "/root/repo/src/apps/jpeg/encoder.cpp" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/encoder.cpp.o" "gcc" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/encoder.cpp.o.d"
+  "/root/repo/src/apps/jpeg/fabric_jpeg.cpp" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/fabric_jpeg.cpp.o" "gcc" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/fabric_jpeg.cpp.o.d"
+  "/root/repo/src/apps/jpeg/process_table.cpp" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/process_table.cpp.o" "gcc" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/process_table.cpp.o.d"
+  "/root/repo/src/apps/jpeg/tables.cpp" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/tables.cpp.o" "gcc" "src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cgra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cgra_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/cgra_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/cgra_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/procnet/CMakeFiles/cgra_procnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/cgra_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/fft/CMakeFiles/cgra_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/cgra_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

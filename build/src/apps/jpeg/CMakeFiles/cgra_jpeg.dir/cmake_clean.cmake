@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_jpeg.dir/bitio.cpp.o"
+  "CMakeFiles/cgra_jpeg.dir/bitio.cpp.o.d"
+  "CMakeFiles/cgra_jpeg.dir/color.cpp.o"
+  "CMakeFiles/cgra_jpeg.dir/color.cpp.o.d"
+  "CMakeFiles/cgra_jpeg.dir/dct.cpp.o"
+  "CMakeFiles/cgra_jpeg.dir/dct.cpp.o.d"
+  "CMakeFiles/cgra_jpeg.dir/decoder.cpp.o"
+  "CMakeFiles/cgra_jpeg.dir/decoder.cpp.o.d"
+  "CMakeFiles/cgra_jpeg.dir/encoder.cpp.o"
+  "CMakeFiles/cgra_jpeg.dir/encoder.cpp.o.d"
+  "CMakeFiles/cgra_jpeg.dir/fabric_jpeg.cpp.o"
+  "CMakeFiles/cgra_jpeg.dir/fabric_jpeg.cpp.o.d"
+  "CMakeFiles/cgra_jpeg.dir/process_table.cpp.o"
+  "CMakeFiles/cgra_jpeg.dir/process_table.cpp.o.d"
+  "CMakeFiles/cgra_jpeg.dir/tables.cpp.o"
+  "CMakeFiles/cgra_jpeg.dir/tables.cpp.o.d"
+  "libcgra_jpeg.a"
+  "libcgra_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/fixed_complex.cpp" "src/common/CMakeFiles/cgra_common.dir/fixed_complex.cpp.o" "gcc" "src/common/CMakeFiles/cgra_common.dir/fixed_complex.cpp.o.d"
+  "/root/repo/src/common/prng.cpp" "src/common/CMakeFiles/cgra_common.dir/prng.cpp.o" "gcc" "src/common/CMakeFiles/cgra_common.dir/prng.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/cgra_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/cgra_common.dir/status.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/cgra_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/cgra_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/timing.cpp" "src/common/CMakeFiles/cgra_common.dir/timing.cpp.o" "gcc" "src/common/CMakeFiles/cgra_common.dir/timing.cpp.o.d"
+  "/root/repo/src/common/word.cpp" "src/common/CMakeFiles/cgra_common.dir/word.cpp.o" "gcc" "src/common/CMakeFiles/cgra_common.dir/word.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_common.dir/fixed_complex.cpp.o"
+  "CMakeFiles/cgra_common.dir/fixed_complex.cpp.o.d"
+  "CMakeFiles/cgra_common.dir/prng.cpp.o"
+  "CMakeFiles/cgra_common.dir/prng.cpp.o.d"
+  "CMakeFiles/cgra_common.dir/status.cpp.o"
+  "CMakeFiles/cgra_common.dir/status.cpp.o.d"
+  "CMakeFiles/cgra_common.dir/table.cpp.o"
+  "CMakeFiles/cgra_common.dir/table.cpp.o.d"
+  "CMakeFiles/cgra_common.dir/timing.cpp.o"
+  "CMakeFiles/cgra_common.dir/timing.cpp.o.d"
+  "CMakeFiles/cgra_common.dir/word.cpp.o"
+  "CMakeFiles/cgra_common.dir/word.cpp.o.d"
+  "libcgra_common.a"
+  "libcgra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_config.dir/epoch.cpp.o"
+  "CMakeFiles/cgra_config.dir/epoch.cpp.o.d"
+  "CMakeFiles/cgra_config.dir/reconfig.cpp.o"
+  "CMakeFiles/cgra_config.dir/reconfig.cpp.o.d"
+  "libcgra_config.a"
+  "libcgra_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

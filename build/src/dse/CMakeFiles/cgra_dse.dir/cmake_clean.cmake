@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_dse.dir/fft_perf_model.cpp.o"
+  "CMakeFiles/cgra_dse.dir/fft_perf_model.cpp.o.d"
+  "libcgra_dse.a"
+  "libcgra_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

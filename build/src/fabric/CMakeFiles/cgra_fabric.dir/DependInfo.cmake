@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/fabric.cpp" "src/fabric/CMakeFiles/cgra_fabric.dir/fabric.cpp.o" "gcc" "src/fabric/CMakeFiles/cgra_fabric.dir/fabric.cpp.o.d"
+  "/root/repo/src/fabric/tile.cpp" "src/fabric/CMakeFiles/cgra_fabric.dir/tile.cpp.o" "gcc" "src/fabric/CMakeFiles/cgra_fabric.dir/tile.cpp.o.d"
+  "/root/repo/src/fabric/trace.cpp" "src/fabric/CMakeFiles/cgra_fabric.dir/trace.cpp.o" "gcc" "src/fabric/CMakeFiles/cgra_fabric.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cgra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cgra_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/cgra_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/cgra_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/cgra_fabric.dir/tile.cpp.o"
+  "CMakeFiles/cgra_fabric.dir/tile.cpp.o.d"
+  "CMakeFiles/cgra_fabric.dir/trace.cpp.o"
+  "CMakeFiles/cgra_fabric.dir/trace.cpp.o.d"
+  "libcgra_fabric.a"
+  "libcgra_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_interconnect.dir/link.cpp.o"
+  "CMakeFiles/cgra_interconnect.dir/link.cpp.o.d"
+  "CMakeFiles/cgra_interconnect.dir/routing.cpp.o"
+  "CMakeFiles/cgra_interconnect.dir/routing.cpp.o.d"
+  "libcgra_interconnect.a"
+  "libcgra_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_isa.dir/assembler.cpp.o"
+  "CMakeFiles/cgra_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/cgra_isa.dir/disassembler.cpp.o"
+  "CMakeFiles/cgra_isa.dir/disassembler.cpp.o.d"
+  "CMakeFiles/cgra_isa.dir/instruction.cpp.o"
+  "CMakeFiles/cgra_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/cgra_isa.dir/program.cpp.o"
+  "CMakeFiles/cgra_isa.dir/program.cpp.o.d"
+  "libcgra_isa.a"
+  "libcgra_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/binding.cpp" "src/mapping/CMakeFiles/cgra_mapping.dir/binding.cpp.o" "gcc" "src/mapping/CMakeFiles/cgra_mapping.dir/binding.cpp.o.d"
+  "/root/repo/src/mapping/placement.cpp" "src/mapping/CMakeFiles/cgra_mapping.dir/placement.cpp.o" "gcc" "src/mapping/CMakeFiles/cgra_mapping.dir/placement.cpp.o.d"
+  "/root/repo/src/mapping/rebalance.cpp" "src/mapping/CMakeFiles/cgra_mapping.dir/rebalance.cpp.o" "gcc" "src/mapping/CMakeFiles/cgra_mapping.dir/rebalance.cpp.o.d"
+  "/root/repo/src/mapping/schedule_compiler.cpp" "src/mapping/CMakeFiles/cgra_mapping.dir/schedule_compiler.cpp.o" "gcc" "src/mapping/CMakeFiles/cgra_mapping.dir/schedule_compiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cgra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/procnet/CMakeFiles/cgra_procnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/cgra_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/cgra_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/cgra_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cgra_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

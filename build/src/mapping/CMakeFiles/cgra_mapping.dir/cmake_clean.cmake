@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_mapping.dir/binding.cpp.o"
+  "CMakeFiles/cgra_mapping.dir/binding.cpp.o.d"
+  "CMakeFiles/cgra_mapping.dir/placement.cpp.o"
+  "CMakeFiles/cgra_mapping.dir/placement.cpp.o.d"
+  "CMakeFiles/cgra_mapping.dir/rebalance.cpp.o"
+  "CMakeFiles/cgra_mapping.dir/rebalance.cpp.o.d"
+  "CMakeFiles/cgra_mapping.dir/schedule_compiler.cpp.o"
+  "CMakeFiles/cgra_mapping.dir/schedule_compiler.cpp.o.d"
+  "libcgra_mapping.a"
+  "libcgra_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

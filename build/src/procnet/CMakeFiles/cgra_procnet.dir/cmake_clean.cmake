@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_procnet.dir/network.cpp.o"
+  "CMakeFiles/cgra_procnet.dir/network.cpp.o.d"
+  "CMakeFiles/cgra_procnet.dir/process.cpp.o"
+  "CMakeFiles/cgra_procnet.dir/process.cpp.o.d"
+  "libcgra_procnet.a"
+  "libcgra_procnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_procnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fabric_fft.cpp" "tests/CMakeFiles/test_fabric_fft.dir/test_fabric_fft.cpp.o" "gcc" "tests/CMakeFiles/test_fabric_fft.dir/test_fabric_fft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cgra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cgra_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/cgra_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/cgra_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/cgra_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/procnet/CMakeFiles/cgra_procnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/cgra_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/cgra_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/fft/CMakeFiles/cgra_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/jpeg/CMakeFiles/cgra_jpeg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

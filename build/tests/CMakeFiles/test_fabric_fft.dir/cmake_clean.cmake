@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fabric_fft.dir/test_fabric_fft.cpp.o"
+  "CMakeFiles/test_fabric_fft.dir/test_fabric_fft.cpp.o.d"
+  "test_fabric_fft"
+  "test_fabric_fft.pdb"
+  "test_fabric_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fabric_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

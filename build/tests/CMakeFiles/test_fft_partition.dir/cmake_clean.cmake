@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_partition.dir/test_fft_partition.cpp.o"
+  "CMakeFiles/test_fft_partition.dir/test_fft_partition.cpp.o.d"
+  "test_fft_partition"
+  "test_fft_partition.pdb"
+  "test_fft_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_reference.dir/test_fft_reference.cpp.o"
+  "CMakeFiles/test_fft_reference.dir/test_fft_reference.cpp.o.d"
+  "test_fft_reference"
+  "test_fft_reference.pdb"
+  "test_fft_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

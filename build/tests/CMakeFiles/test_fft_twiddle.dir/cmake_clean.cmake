@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_twiddle.dir/test_fft_twiddle.cpp.o"
+  "CMakeFiles/test_fft_twiddle.dir/test_fft_twiddle.cpp.o.d"
+  "test_fft_twiddle"
+  "test_fft_twiddle.pdb"
+  "test_fft_twiddle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_twiddle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

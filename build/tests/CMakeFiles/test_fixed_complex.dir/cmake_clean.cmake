@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_complex.dir/test_fixed_complex.cpp.o"
+  "CMakeFiles/test_fixed_complex.dir/test_fixed_complex.cpp.o.d"
+  "test_fixed_complex"
+  "test_fixed_complex.pdb"
+  "test_fixed_complex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jpeg_color.dir/test_jpeg_color.cpp.o"
+  "CMakeFiles/test_jpeg_color.dir/test_jpeg_color.cpp.o.d"
+  "test_jpeg_color"
+  "test_jpeg_color.pdb"
+  "test_jpeg_color[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jpeg_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jpeg_dct.dir/test_jpeg_dct.cpp.o"
+  "CMakeFiles/test_jpeg_dct.dir/test_jpeg_dct.cpp.o.d"
+  "test_jpeg_dct"
+  "test_jpeg_dct.pdb"
+  "test_jpeg_dct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jpeg_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jpeg_fabric.dir/test_jpeg_fabric.cpp.o"
+  "CMakeFiles/test_jpeg_fabric.dir/test_jpeg_fabric.cpp.o.d"
+  "test_jpeg_fabric"
+  "test_jpeg_fabric.pdb"
+  "test_jpeg_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jpeg_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

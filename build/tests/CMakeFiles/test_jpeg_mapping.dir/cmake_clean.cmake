@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jpeg_mapping.dir/test_jpeg_mapping.cpp.o"
+  "CMakeFiles/test_jpeg_mapping.dir/test_jpeg_mapping.cpp.o.d"
+  "test_jpeg_mapping"
+  "test_jpeg_mapping.pdb"
+  "test_jpeg_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jpeg_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

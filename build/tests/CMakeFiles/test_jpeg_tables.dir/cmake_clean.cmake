@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jpeg_tables.dir/test_jpeg_tables.cpp.o"
+  "CMakeFiles/test_jpeg_tables.dir/test_jpeg_tables.cpp.o.d"
+  "test_jpeg_tables"
+  "test_jpeg_tables.pdb"
+  "test_jpeg_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jpeg_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

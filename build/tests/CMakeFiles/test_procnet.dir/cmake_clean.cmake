@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procnet.dir/test_procnet.cpp.o"
+  "CMakeFiles/test_procnet.dir/test_procnet.cpp.o.d"
+  "test_procnet"
+  "test_procnet.pdb"
+  "test_procnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_compiler.dir/test_schedule_compiler.cpp.o"
+  "CMakeFiles/test_schedule_compiler.dir/test_schedule_compiler.cpp.o.d"
+  "test_schedule_compiler"
+  "test_schedule_compiler.pdb"
+  "test_schedule_compiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
