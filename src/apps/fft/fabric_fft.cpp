@@ -83,6 +83,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
   const auto tidx = [cols](int row, int col) { return row * cols + col; };
   ReconfigController ctrl(IcapModel{},
                           interconnect::LinkCostModel{opt.link_cost_ns});
+  ctrl.set_fault_options(opt.icap_faults);
   config::Timeline& timeline = result.timeline;
 
   auto run_epoch = [&](const EpochConfig& epoch) -> bool {

@@ -43,6 +43,10 @@ struct FabricFftOptions {
   /// cols > 1 the inter-column transfers exercise the horizontal links and
   /// hcp copies of Sec. 3.1 for real.
   int cols = 1;
+  /// ICAP fault-path knobs (docs/FAULTS.md): a tap to corrupt streams in
+  /// flight, readback verification, and the retry bound.  Default-off: the
+  /// zero-fault run streams exactly as the paper models it.
+  config::IcapFaultOptions icap_faults{};
 };
 
 /// Result of a fabric FFT run.

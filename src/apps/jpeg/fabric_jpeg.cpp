@@ -606,4 +606,36 @@ FabricStreamResult encode_blocks_on_fabric_stream(
   return result;
 }
 
+ResilientBlockResult encode_block_resilient(const IntBlock& raw,
+                                            const std::array<int, 64>& quant,
+                                            const faults::FaultPlan& plan,
+                                            const faults::RecoveryPolicy& policy,
+                                            int rows, int cols) {
+  ResilientBlockResult result;
+  const auto net = jpeg_transform_pipeline();
+  const auto lib = jpeg_program_library(quant);
+  mapping::Binding binding;
+  binding.groups = {{{0}, 1}, {{1}, 1}, {{2}, 1}, {{3}, 1}};
+  const auto placement = mapping::place(binding, rows, cols,
+                                        mapping::PlacementStrategy::kSnake);
+
+  fabric::Fabric fab(rows, cols);
+  config::ReconfigController ctrl(IcapModel{},
+                                  interconnect::LinkCostModel{50.0});
+  faults::FaultInjector injector(plan);
+  faults::RecoveryManager manager(fab, ctrl,
+                                  plan.empty() ? nullptr : &injector, policy);
+
+  std::vector<Word> input;
+  input.reserve(raw.size());
+  for (const int v : raw) input.push_back(from_signed(v));
+  result.report = manager.run_item(net, binding, placement, lib, input);
+  if (result.report.ok) {
+    for (std::size_t i = 0; i < result.zigzagged.size(); ++i) {
+      result.zigzagged[i] = static_cast<int>(to_signed(result.report.output[i]));
+    }
+  }
+  return result;
+}
+
 }  // namespace cgra::jpeg

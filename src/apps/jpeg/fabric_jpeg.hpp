@@ -24,6 +24,7 @@
 #include "apps/jpeg/encoder.hpp"
 #include "common/status.hpp"
 #include "common/timing.hpp"
+#include "faults/recovery.hpp"
 #include "mapping/schedule_compiler.hpp"
 #include "procnet/network.hpp"
 
@@ -127,6 +128,26 @@ mapping::ProgramLibrary jpeg_program_library(const std::array<int, 64>& quant);
 /// zigzag) annotated with measured cycle counts — the network the schedule
 /// compiler can realise end to end.
 procnet::ProcessNetwork jpeg_transform_pipeline();
+
+/// Result of a resilient single-block run (docs/FAULTS.md).
+struct ResilientBlockResult {
+  IntBlock zigzagged{};            ///< Valid only when report.ok.
+  faults::RecoveryReport report;   ///< Recovery accounting and diagnostics.
+};
+
+/// Run shift -> DCT -> quantize -> zigzag for one raw block under the
+/// RecoveryManager: each process on its own tile of a `rows x cols` mesh
+/// (snake placement), faults injected per `plan`, detected and recovered
+/// per `policy`.  With an empty plan the output matches
+/// encode_block_stages() and no recovery cost is paid; with tile-death or
+/// ICAP-corruption plans the output is still bit-identical as long as
+/// recovery succeeds (report.ok).  The default mesh is 2x7: the paper's
+/// 13-tile JPEG deployment rounded up to a rectangle, so routes can detour
+/// around an evacuated tile (a single-row mesh has no detours).
+ResilientBlockResult encode_block_resilient(
+    const IntBlock& raw, const std::array<int, 64>& quant,
+    const faults::FaultPlan& plan, const faults::RecoveryPolicy& policy = {},
+    int rows = 2, int cols = 7);
 
 /// Stream `blocks` through the 1x4 pipeline with true overlap: in each
 /// "beat" all four tiles run concurrently on consecutive blocks (double-

@@ -1,8 +1,28 @@
 #include "common/status.hpp"
 
+#include <cstdarg>
+#include <cstdio>
 #include <sstream>
+#include <vector>
 
 namespace cgra {
+
+Status Status::errorf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string message;
+  if (needed > 0) {
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    message.assign(buf.data(), static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+  return error(std::move(message));
+}
 
 const char* fault_kind_name(FaultKind kind) noexcept {
   switch (kind) {
@@ -11,9 +31,35 @@ const char* fault_kind_name(FaultKind kind) noexcept {
     case FaultKind::kPcOutOfRange: return "pc-out-of-range";
     case FaultKind::kAddressOutOfRange: return "address-out-of-range";
     case FaultKind::kNoActiveLink: return "no-active-link";
-    case FaultKind::kDivideByZero: return "divide-by-zero";
+    case FaultKind::kIcapCorruption: return "icap-corruption";
+    case FaultKind::kWatchdogTimeout: return "watchdog-timeout";
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kTileDead: return "tile-dead";
   }
   return "unknown";
+}
+
+bool fault_is_transient(FaultKind kind) noexcept {
+  switch (kind) {
+    // An SEU in a memory or a corrupted ICAP transfer manifests as one of
+    // these; scrubbing (re-streaming the intended configuration) clears it.
+    case FaultKind::kIllegalOpcode:
+    case FaultKind::kPcOutOfRange:
+    case FaultKind::kAddressOutOfRange:
+    case FaultKind::kIcapCorruption:
+    case FaultKind::kWatchdogTimeout:
+      return true;
+    case FaultKind::kNone:
+    case FaultKind::kNoActiveLink:
+    case FaultKind::kLinkDown:
+    case FaultKind::kTileDead:
+      return false;
+  }
+  return false;
+}
+
+bool fault_is_permanent(FaultKind kind) noexcept {
+  return kind == FaultKind::kLinkDown || kind == FaultKind::kTileDead;
 }
 
 std::string Fault::describe() const {

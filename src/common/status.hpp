@@ -24,6 +24,10 @@ class Status {
     return s;
   }
 
+  /// Failure with a printf-style formatted message — the one formatting
+  /// idiom every diagnostic call site uses, so messages stay greppable.
+  [[gnu::format(printf, 1, 2)]] static Status errorf(const char* fmt, ...);
+
   [[nodiscard]] bool ok() const noexcept { return !message_.has_value(); }
   [[nodiscard]] const std::string& message() const noexcept {
     static const std::string kOk = "ok";
@@ -36,18 +40,31 @@ class Status {
   std::optional<std::string> message_;
 };
 
-/// Runtime fault classes the tile interpreter can raise.
+/// Runtime fault classes the tile interpreter, the reconfiguration
+/// controller and the fault-detection layer can raise.
 enum class FaultKind {
   kNone,
   kIllegalOpcode,       ///< Undefined opcode field.
   kPcOutOfRange,        ///< PC walked past the instruction memory.
   kAddressOutOfRange,   ///< Direct or indirect address outside data memory.
   kNoActiveLink,        ///< Remote write with no configured output link.
-  kDivideByZero,        ///< Reserved for future ops.
+  kIcapCorruption,      ///< Readback-verify mismatch after an ICAP stream.
+  kWatchdogTimeout,     ///< Epoch ran past the analytic prediction margin.
+  kLinkDown,            ///< Remote write over a physically failed link.
+  kTileDead,            ///< Hard tile failure: the tile never recovers.
 };
 
 /// Human-readable fault name.
 const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// True for fault classes that scrub-and-retry (roll back to the last
+/// checkpoint, re-stream the configuration, re-run) can plausibly clear:
+/// SEU-style transient corruption of memories or ICAP transfers.
+bool fault_is_transient(FaultKind kind) noexcept;
+
+/// True for permanent hardware faults the recovery layer must evacuate
+/// (remap the work onto surviving resources) rather than retry.
+bool fault_is_permanent(FaultKind kind) noexcept;
 
 /// A recorded runtime fault: what happened, where, and when.
 struct Fault {

@@ -1,6 +1,113 @@
 #include "config/reconfig.hpp"
 
+#include <cmath>
+
 namespace cgra::config {
+
+namespace {
+
+/// True when the tile's memories hold exactly what `update` intended.
+bool readback_matches(const fabric::Tile& tile, const TileUpdate& update) {
+  if (update.reload_program) {
+    if (tile.code_size() != static_cast<int>(update.program.code.size())) {
+      return false;
+    }
+    for (int i = 0; i < tile.code_size(); ++i) {
+      const isa::Instruction* got = tile.instruction_at(i);
+      if (got == nullptr ||
+          !(*got == update.program.code[static_cast<std::size_t>(i)])) {
+        return false;
+      }
+    }
+    for (const auto& patch : update.program.data) {
+      if (tile.dmem(patch.addr) != truncate_word(patch.value)) return false;
+    }
+  }
+  for (const auto& patch : update.patches) {
+    if (tile.dmem(patch.addr) != truncate_word(patch.value)) return false;
+  }
+  return true;
+}
+
+void record_recovery(fabric::Fabric& fabric, int tile,
+                     fabric::RecoveryAction action, int attempt) {
+  if (fabric.tracer() == nullptr) return;
+  fabric::TraceEvent ev;
+  ev.cycle = fabric.now();
+  ev.kind = fabric::TraceEventKind::kRecovery;
+  ev.tile = tile;
+  ev.action = action;
+  ev.attempt = attempt;
+  fabric.tracer()->record(ev);
+}
+
+}  // namespace
+
+Nanoseconds ReconfigController::stream_tile(fabric::Fabric& fabric,
+                                            int tile_index,
+                                            const TileUpdate& update,
+                                            TransitionReport& report) {
+  const Nanoseconds inst_ns = icap_.inst_reload_ns(update.inst_words());
+  const Nanoseconds data_ns = icap_.data_reload_ns(update.data_words());
+  const Nanoseconds payload_ns = inst_ns + data_ns;
+  report.inst_reload_ns += inst_ns;
+  report.data_reload_ns += data_ns;
+
+  auto& tile = fabric.tile(tile_index);
+  const IcapFaultOptions& opts = fault_options_;
+
+  // Zero-fault fast path: no payload copies, no verification.
+  if (opts.tap == nullptr && !opts.verify_readback) {
+    if (update.reload_program) tile.load_program(update.program);
+    if (!update.patches.empty()) tile.patch_data(update.patches);
+    return payload_ns;
+  }
+
+  const Nanoseconds verify_ns =
+      opts.verify_readback ? payload_ns * opts.verify_cost_factor : 0.0;
+  Nanoseconds occupied = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    // The tap sees (and may corrupt) a copy of the words in flight; the
+    // pristine `update` stays available for verification and re-streaming.
+    isa::Program streamed = update.program;
+    std::vector<isa::DataPatch> patches = update.patches;
+    if (opts.tap != nullptr) {
+      opts.tap->on_stream(tile_index, attempt, streamed, patches);
+    }
+    if (update.reload_program) tile.load_program(streamed);
+    if (!patches.empty()) tile.patch_data(patches);
+
+    if (attempt == 0) {
+      occupied += payload_ns + verify_ns;
+      report.verify_ns += verify_ns;
+    } else {
+      const Nanoseconds backoff =
+          opts.retry_backoff_ns *
+          std::pow(opts.backoff_factor, static_cast<double>(attempt - 1));
+      occupied += backoff + payload_ns + verify_ns;
+      report.retry_ns += backoff + payload_ns + verify_ns;
+      report.icap_retries += 1;
+    }
+
+    if (!opts.verify_readback || readback_matches(tile, update)) break;
+    if (attempt >= opts.max_retries) {
+      // Retry budget exhausted: latch the corruption on the tile so the
+      // schedule runner (and the recovery layer above it) can see it.
+      tile.inject_fault(FaultKind::kIcapCorruption, tile_index, fabric.now());
+      Fault f;
+      f.kind = FaultKind::kIcapCorruption;
+      f.tile = tile_index;
+      f.cycle = fabric.now();
+      report.detected.push_back(f);
+      record_recovery(fabric, tile_index, fabric::RecoveryAction::kGiveUp,
+                      attempt);
+      break;
+    }
+    record_recovery(fabric, tile_index, fabric::RecoveryAction::kIcapRetry,
+                    attempt + 1);
+  }
+  return occupied;
+}
 
 TransitionReport ReconfigController::apply(fabric::Fabric& fabric,
                                            const EpochConfig& next) {
@@ -18,25 +125,18 @@ TransitionReport ReconfigController::apply(fabric::Fabric& fabric,
   // bitstream), then each tile's payload streams in ascending tile order.
   Nanoseconds icap_free_ns = cycles_to_ns(fabric.now()) + report.link_ns;
   for (const auto& [tile_index, update] : next.tiles) {
-    const Nanoseconds inst_ns = icap_.inst_reload_ns(update.inst_words());
-    const Nanoseconds data_ns = icap_.data_reload_ns(update.data_words());
-    report.inst_reload_ns += inst_ns;
-    report.data_reload_ns += data_ns;
-
-    const Nanoseconds done_ns = icap_free_ns + inst_ns + data_ns;
-    icap_free_ns = done_ns;
+    const Nanoseconds occupied =
+        stream_tile(fabric, tile_index, update, report);
+    icap_free_ns += occupied;
 
     auto& tile = fabric.tile(tile_index);
-    if (update.reload_program) {
-      tile.load_program(update.program);
-    }
-    if (!update.patches.empty()) {
-      tile.patch_data(update.patches);
-    }
-    if (update.restart) {
+    // A tile whose payload failed verification is NOT restarted into the
+    // corrupted configuration: restart() would clear the latched fault and
+    // run garbage.  It stays faulted for the recovery layer to handle.
+    if (update.restart && !tile.faulted()) {
       tile.restart();
     }
-    tile.stall_until(ns_to_cycles_ceil(done_ns));
+    tile.stall_until(ns_to_cycles_ceil(icap_free_ns));
   }
 
   report.complete_cycle = ns_to_cycles_ceil(icap_free_ns);
@@ -49,6 +149,27 @@ TransitionReport ReconfigController::apply(fabric::Fabric& fabric,
       fabric.tile(t).stall_until(report.complete_cycle);
     }
   }
+  return report;
+}
+
+TransitionReport ReconfigController::scrub_tile(fabric::Fabric& fabric,
+                                                const EpochConfig& epoch,
+                                                int tile) {
+  TransitionReport report;
+  report.start_cycle = fabric.now();
+  const auto it = epoch.tiles.find(tile);
+  if (it == epoch.tiles.end()) {
+    report.complete_cycle = report.start_cycle;
+    return report;
+  }
+  const Nanoseconds occupied =
+      stream_tile(fabric, tile, it->second, report);
+  const Nanoseconds done_ns = cycles_to_ns(fabric.now()) + occupied;
+  auto& t = fabric.tile(tile);
+  if (it->second.restart && !t.faulted()) t.restart();
+  t.stall_until(ns_to_cycles_ceil(done_ns));
+  report.complete_cycle = ns_to_cycles_ceil(done_ns);
+  report.icap_busy_cycles = report.complete_cycle - report.start_cycle;
   return report;
 }
 

@@ -9,6 +9,12 @@
 // programs, patching data, rewiring links, stalling the affected tiles for
 // the modelled number of cycles) and *reports* the cost breakdown so the
 // analytic models can be validated against the executed timeline.
+//
+// Fault handling (docs/FAULTS.md): an IcapTap lets the fault-injection
+// layer corrupt words in flight; with readback-verify enabled the
+// controller compares each tile's memories against the intended payload
+// after streaming and re-streams (scrub + retry with backoff) up to a
+// bounded number of times, accounting every retry into the transition cost.
 #pragma once
 
 #include <cstdint>
@@ -20,18 +26,49 @@
 
 namespace cgra::config {
 
+/// Observer/mutator of ICAP payloads in flight.  The fault-injection layer
+/// implements this to model corrupted transfers; the controller calls it
+/// once per stream attempt of each tile payload.
+class IcapTap {
+ public:
+  virtual ~IcapTap() = default;
+  /// May mutate the words streamed for `tile`.  `attempt` is 0 for the
+  /// first stream and increments on every retry of the same payload.
+  virtual void on_stream(int tile, int attempt, isa::Program& program,
+                         std::vector<isa::DataPatch>& patches) = 0;
+};
+
+/// Fault-path knobs of the controller.  All off by default: the zero-fault
+/// configuration streams exactly as the paper models it.
+struct IcapFaultOptions {
+  IcapTap* tap = nullptr;        ///< In-flight corruption hook (not owned).
+  bool verify_readback = false;  ///< Compare memories against intent.
+  /// Extra ICAP occupancy of the readback pass, as a fraction of the
+  /// payload stream time (1.0 = full readback at ICAP bandwidth).
+  double verify_cost_factor = 1.0;
+  int max_retries = 0;           ///< Re-streams allowed after a bad verify.
+  /// Idle scrub/settle time before retry r is backoff_ns * factor^(r-1).
+  Nanoseconds retry_backoff_ns = 0.0;
+  double backoff_factor = 2.0;
+};
+
 /// Cost breakdown of one epoch transition.
 struct TransitionReport {
   int links_changed = 0;
   Nanoseconds link_ns = 0.0;        ///< links_changed * L.
   Nanoseconds inst_reload_ns = 0.0; ///< Instruction words through the ICAP.
   Nanoseconds data_reload_ns = 0.0; ///< Data words through the ICAP.
+  Nanoseconds verify_ns = 0.0;      ///< Readback-verify ICAP occupancy.
+  Nanoseconds retry_ns = 0.0;       ///< Re-streams + backoff after bad
+                                    ///< verifies (includes their verify).
+  int icap_retries = 0;             ///< Payload re-streams performed.
+  std::vector<Fault> detected;      ///< kIcapCorruption faults latched.
   std::int64_t icap_busy_cycles = 0;  ///< Serial ICAP occupancy in cycles.
   std::int64_t start_cycle = 0;     ///< Fabric cycle the transition began.
   std::int64_t complete_cycle = 0;  ///< Cycle all affected tiles may resume.
 
   [[nodiscard]] Nanoseconds total_ns() const noexcept {
-    return link_ns + inst_reload_ns + data_reload_ns;
+    return link_ns + inst_reload_ns + data_reload_ns + verify_ns + retry_ns;
   }
 };
 
@@ -44,6 +81,8 @@ struct TransitionReport {
 /// reconfiguration cost (term B of Eq. 1, what a non-overlapped design would
 /// pay) is reported separately in `reconfig_ns` so the hidden fraction can
 /// be quantified: hidden = reconfig_ns - (epoch_compute_ns - pure compute).
+/// Fault recovery (retries, rollbacks, re-streams) also lands in
+/// `reconfig_ns` — degraded-mode cost is quantified, never hidden.
 struct Timeline {
   Nanoseconds epoch_compute_ns = 0.0;  ///< Executed time incl. visible stalls.
   Nanoseconds reconfig_ns = 0.0;       ///< Analytic term B (links + ICAP).
@@ -75,7 +114,16 @@ class ReconfigController {
   ///   controller instead stalls the whole array for the duration of the
   ///   transition (the single-context baseline the paper argues against);
   ///   the ablation bench quantifies the difference.
+  /// * With fault options armed, each payload may be corrupted in flight,
+  ///   verified by readback, and re-streamed up to the retry bound; an
+  ///   exhausted bound latches kIcapCorruption on the tile.
   TransitionReport apply(fabric::Fabric& fabric, const EpochConfig& next);
+
+  /// Re-stream the payload of a single tile of `epoch` (scrub).  Used by
+  /// the recovery layer to repair suspected SEU corruption; pays the same
+  /// ICAP costs as the original stream and returns the report.
+  TransitionReport scrub_tile(fabric::Fabric& fabric, const EpochConfig& epoch,
+                              int tile);
 
   [[nodiscard]] bool partial() const noexcept { return partial_; }
 
@@ -84,10 +132,25 @@ class ReconfigController {
     return link_cost_;
   }
 
+  /// Arm (or disarm) the fault path.  Cheap to call; the zero-fault
+  /// configuration pays nothing beyond a null check per updated tile.
+  void set_fault_options(const IcapFaultOptions& options) noexcept {
+    fault_options_ = options;
+  }
+  [[nodiscard]] const IcapFaultOptions& fault_options() const noexcept {
+    return fault_options_;
+  }
+
  private:
+  /// Stream one tile update (with tamper/verify/retry); returns the ns the
+  /// payload occupied the ICAP and updates `report`.
+  Nanoseconds stream_tile(fabric::Fabric& fabric, int tile_index,
+                          const TileUpdate& update, TransitionReport& report);
+
   IcapModel icap_;
   interconnect::LinkCostModel link_cost_;
   bool partial_ = true;
+  IcapFaultOptions fault_options_;
 };
 
 /// Convenience driver: run a sequence of epochs to completion on a fabric,

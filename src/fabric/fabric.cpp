@@ -4,17 +4,21 @@ namespace cgra::fabric {
 
 Fabric::Fabric(int rows, int cols)
     : links_(rows, cols),
-      tiles_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {}
+      tiles_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)),
+      failed_links_(tiles_.size(), 0) {}
 
 int Fabric::step() {
   int retired = 0;
   remote_buffer_.clear();
   for (int i = 0; i < tile_count(); ++i) {
     auto& tile = tiles_[static_cast<std::size_t>(i)];
-    const bool has_link = links_.target(i).has_value();
+    const LinkState link =
+        !links_.target(i).has_value() ? LinkState::kNone
+        : failed_links_[static_cast<std::size_t>(i)] != 0 ? LinkState::kDown
+                                                          : LinkState::kUp;
     const int pc_before = tile.pc();
     const bool was_faulted = tile.faulted();
-    if (tile.step(i, cycle_, has_link, remote_buffer_)) {
+    if (tile.step(i, cycle_, link, remote_buffer_)) {
       ++retired;
       if (tracer_ != nullptr) {
         const isa::Instruction* in = tile.instruction_at(pc_before);
@@ -85,6 +89,14 @@ std::vector<Fault> Fabric::faults() const {
   std::vector<Fault> out;
   for (const auto& t : tiles_) {
     if (t.faulted()) out.push_back(t.fault());
+  }
+  return out;
+}
+
+std::vector<int> Fabric::dead_tiles() const {
+  std::vector<int> out;
+  for (int i = 0; i < tile_count(); ++i) {
+    if (tiles_[static_cast<std::size_t>(i)].dead()) out.push_back(i);
   }
   return out;
 }

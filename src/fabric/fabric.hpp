@@ -54,6 +54,25 @@ class Fabric {
     return links_;
   }
 
+  // --- fault injection: permanent hardware failures ---
+  // Failure state lives on the Fabric, not in LinkConfig: epochs overwrite
+  // the link *configuration* wholesale, but broken wires stay broken.
+
+  /// Permanently fail the outgoing link driver of `tile`.  Remote writes
+  /// from it raise kLinkDown from then on, whatever the epoch configures.
+  void fail_link(int tile) {
+    failed_links_.at(static_cast<std::size_t>(tile)) = 1;
+  }
+  [[nodiscard]] bool link_failed(int tile) const {
+    return failed_links_.at(static_cast<std::size_t>(tile)) != 0;
+  }
+
+  /// Hard-fail a whole tile at the current cycle (see Tile::hard_fail).
+  void kill_tile(int tile) { this->tile(tile).hard_fail(tile, cycle_); }
+
+  /// Linear indices of all dead tiles.
+  [[nodiscard]] std::vector<int> dead_tiles() const;
+
   /// Global cycle counter (monotonic across run() calls).
   [[nodiscard]] std::int64_t now() const noexcept { return cycle_; }
 
@@ -73,11 +92,13 @@ class Fabric {
   /// Attach (or detach with nullptr) an event tracer; the fabric does not
   /// own it.  Tracing costs one branch per tile-step when detached.
   void attach_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] Tracer* tracer() const noexcept { return tracer_; }
 
  private:
   interconnect::LinkConfig links_;
   std::vector<Tile> tiles_;
   std::vector<RemoteWrite> remote_buffer_;
+  std::vector<std::uint8_t> failed_links_;  ///< 1 = output driver broken.
   std::int64_t cycle_ = 0;
   Tracer* tracer_ = nullptr;
 };

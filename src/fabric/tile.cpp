@@ -1,11 +1,16 @@
 #include "fabric/tile.hpp"
 
+#include <algorithm>
+
+#include "isa/instruction.hpp"
+
 namespace cgra::fabric {
 
 using isa::Instruction;
 using isa::Opcode;
 
 bool Tile::load_program(const isa::Program& prog) {
+  if (dead_) return false;
   if (prog.inst_words() > kInstMemWords) return false;
   for (const auto& patch : prog.data) {
     if (patch.addr < 0 || patch.addr >= kDataMemWords) return false;
@@ -21,6 +26,7 @@ bool Tile::load_program(const isa::Program& prog) {
 }
 
 bool Tile::patch_data(std::span<const isa::DataPatch> patches) {
+  if (dead_) return false;
   for (const auto& patch : patches) {
     if (patch.addr < 0 || patch.addr >= kDataMemWords) return false;
   }
@@ -31,9 +37,51 @@ bool Tile::patch_data(std::span<const isa::DataPatch> patches) {
 }
 
 void Tile::restart(int pc) {
+  if (dead_) return;
   pc_ = pc;
   halted_ = code_.empty();
   fault_ = Fault{};
+}
+
+bool Tile::restore_dmem(std::span<const Word> image) {
+  if (dead_ || image.size() != dmem_.size()) return false;
+  std::copy(image.begin(), image.end(), dmem_.begin());
+  return true;
+}
+
+void Tile::flip_dmem_bit(int addr, int bit) {
+  auto& word = dmem_.at(static_cast<std::size_t>(addr));
+  word = truncate_word(word ^ (std::uint64_t{1} << (bit % kWordBits)));
+}
+
+bool Tile::flip_inst_bit(int index, int bit) {
+  if (index < 0 || index >= code_size()) return false;
+  isa::EncodedInstr raw = isa::encode(code_[static_cast<std::size_t>(index)]);
+  bit %= kInstWordBits;
+  if (bit < 64) {
+    raw.lo ^= std::uint64_t{1} << bit;
+  } else {
+    raw.hi ^= static_cast<std::uint8_t>(1u << (bit - 64));
+  }
+  const auto decoded = isa::decode(raw);
+  // An upset that lands in the opcode field may leave an undefined opcode;
+  // poison the slot so executing it raises kIllegalOpcode.
+  code_[static_cast<std::size_t>(index)] =
+      decoded.value_or(isa::Instruction{isa::Opcode::kOpcodeCount, 0, 0, 0,
+                                        0, 0});
+  return true;
+}
+
+void Tile::inject_fault(FaultKind kind, int tile_index, std::int64_t cycle) {
+  // A dead tile keeps its latched kTileDead fault; later injections
+  // (e.g. ICAP corruption of a payload aimed at it) must not mask it.
+  if (dead_) return;
+  raise(kind, tile_index, cycle);
+}
+
+void Tile::hard_fail(int tile_index, std::int64_t cycle) {
+  raise(FaultKind::kTileDead, tile_index, cycle);
+  dead_ = true;
 }
 
 void Tile::raise(FaultKind kind, int tile_index, std::int64_t cycle) {
@@ -62,7 +110,7 @@ int Tile::effective_addr(std::uint16_t field, bool indirect, int tile_index,
   return addr;
 }
 
-bool Tile::step(int tile_index, std::int64_t cycle, bool has_link,
+bool Tile::step(int tile_index, std::int64_t cycle, LinkState link,
                 std::vector<RemoteWrite>& remote_out) {
   if (halted_ || fault_.is_fault()) return false;
   if (cycle < stalled_until_) {
@@ -179,8 +227,10 @@ bool Tile::step(int tile_index, std::int64_t cycle, bool has_link,
   if (isa::writes_dst(in.opcode)) {
     const bool remote = in.has_flag(isa::kFlagDstRemote);
     if (remote) {
-      if (!has_link) {
-        raise(FaultKind::kNoActiveLink, tile_index, cycle);
+      if (link != LinkState::kUp) {
+        raise(link == LinkState::kDown ? FaultKind::kLinkDown
+                                       : FaultKind::kNoActiveLink,
+              tile_index, cycle);
         return false;
       }
       // Remote effective address is resolved with *local* indirection

@@ -20,6 +20,13 @@
 
 namespace cgra::fabric {
 
+/// State of a tile's outgoing link as seen by the interpreter.
+enum class LinkState : std::uint8_t {
+  kNone,  ///< No output link configured this epoch.
+  kUp,    ///< Link configured and healthy.
+  kDown,  ///< Link configured but physically failed (fault injection).
+};
+
 /// A remote write emitted during a cycle; the Fabric commits it at cycle end
 /// (synchronous semi-systolic transfer).
 struct RemoteWrite {
@@ -43,7 +50,8 @@ class Tile {
   /// Load a program: replaces the instruction image, applies data patches
   /// and resets the PC.  The tile stays halted until restart() — mirroring
   /// the runtime system configuring a partition before releasing it.
-  /// Returns false (and loads nothing) if the program exceeds the memories.
+  /// Returns false (and loads nothing) if the program exceeds the memories
+  /// or the tile is dead.
   bool load_program(const isa::Program& prog);
 
   /// Apply data patches only (e.g. reloading twiddle factors or copy-process
@@ -51,26 +59,63 @@ class Tile {
   bool patch_data(std::span<const isa::DataPatch> patches);
 
   /// Restart execution at `pc` (default 0) and clear the halted flag.
+  /// A dead tile ignores the restart and stays faulted.
   void restart(int pc = 0);
 
   /// Data memory access for harness / test code.
   [[nodiscard]] Word dmem(int addr) const { return dmem_.at(static_cast<std::size_t>(addr)); }
   void set_dmem(int addr, Word v) { dmem_.at(static_cast<std::size_t>(addr)) = v; }
 
+  /// Checkpoint support: copy-out / copy-in the whole data memory.
+  [[nodiscard]] std::vector<Word> snapshot_dmem() const {
+    return {dmem_.begin(), dmem_.end()};
+  }
+  /// Restores a snapshot taken with snapshot_dmem(); returns false (and
+  /// restores nothing) on size mismatch or a dead tile.
+  bool restore_dmem(std::span<const Word> image);
+
   [[nodiscard]] bool halted() const noexcept { return halted_; }
   [[nodiscard]] const Fault& fault() const noexcept { return fault_; }
   [[nodiscard]] bool faulted() const noexcept { return fault_.is_fault(); }
+  [[nodiscard]] bool dead() const noexcept { return dead_; }
   [[nodiscard]] int pc() const noexcept { return pc_; }
   [[nodiscard]] const TileStats& stats() const noexcept { return stats_; }
   [[nodiscard]] int code_size() const noexcept {
     return static_cast<int>(code_.size());
   }
-  /// Instruction at `pc`, or nullptr when out of range (used by tracing).
+  /// Instruction at `pc`, or nullptr when out of range (used by tracing and
+  /// by the readback-verify pass of the reconfiguration controller).
   [[nodiscard]] const isa::Instruction* instruction_at(int pc) const noexcept {
     return pc >= 0 && pc < code_size()
                ? &code_[static_cast<std::size_t>(pc)]
                : nullptr;
   }
+
+  // --- fault injection (SEU model) ---
+
+  /// Flip one bit of a data-memory word (single-event upset).
+  void flip_dmem_bit(int addr, int bit);
+
+  /// Flip one bit of the 72-bit encoded form of instruction `index` and
+  /// decode it back.  If the flipped word no longer decodes, the slot is
+  /// poisoned so executing it raises kIllegalOpcode — exactly how a real
+  /// configuration upset surfaces.  Returns false if `index` is out of
+  /// range.
+  bool flip_inst_bit(int index, int bit);
+
+  /// Latch an externally detected fault (e.g. ICAP readback mismatch) and
+  /// halt the tile.
+  void inject_fault(FaultKind kind, int tile_index, std::int64_t cycle);
+
+  /// Clear a latched fault after external recovery (scrub / rollback); the
+  /// tile stays halted until reloaded.  Dead tiles keep kTileDead latched.
+  void clear_fault() noexcept {
+    if (!dead_) fault_ = Fault{};
+  }
+
+  /// Hard permanent failure: latches kTileDead and makes every subsequent
+  /// load / patch / restart a no-op.  There is no way back.
+  void hard_fail(int tile_index, std::int64_t cycle);
 
   /// Stall handling: the tile does nothing until the fabric cycle counter
   /// reaches `until_cycle` (used by the reconfiguration controller).
@@ -84,10 +129,11 @@ class Tile {
   /// Execute one cycle.
   ///
   /// `tile_index` and `cycle` are used for fault reporting and stall checks.
-  /// `has_link` says whether an output link is currently configured; if a
-  /// remote write occurs it is appended to `remote_out` for the fabric to
-  /// commit at end of cycle.  Returns true if an instruction retired.
-  bool step(int tile_index, std::int64_t cycle, bool has_link,
+  /// `link` is the state of the tile's output link this cycle; a remote
+  /// write is appended to `remote_out` for the fabric to commit at end of
+  /// cycle (or raises kNoActiveLink / kLinkDown).  Returns true if an
+  /// instruction retired.
+  bool step(int tile_index, std::int64_t cycle, LinkState link,
             std::vector<RemoteWrite>& remote_out);
 
  private:
@@ -104,6 +150,7 @@ class Tile {
   std::int64_t acc_ = 0;
   int pc_ = 0;
   bool halted_ = true;  ///< A fresh tile has no program: halted.
+  bool dead_ = false;   ///< Hard-failed: permanently out of service.
   Fault fault_;
   TileStats stats_;
   std::int64_t stalled_until_ = 0;

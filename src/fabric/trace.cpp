@@ -10,6 +10,17 @@ const char* trace_event_kind_name(TraceEventKind k) noexcept {
     case TraceEventKind::kRemoteWrite: return "remote";
     case TraceEventKind::kHalt: return "halt";
     case TraceEventKind::kFault: return "fault";
+    case TraceEventKind::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
+const char* recovery_action_name(RecoveryAction a) noexcept {
+  switch (a) {
+    case RecoveryAction::kIcapRetry: return "icap-retry";
+    case RecoveryAction::kRollback: return "rollback";
+    case RecoveryAction::kRebalance: return "rebalance";
+    case RecoveryAction::kGiveUp: return "give-up";
   }
   return "?";
 }
@@ -68,6 +79,10 @@ std::string Tracer::dump(std::size_t max_lines) const {
       case TraceEventKind::kRemoteWrite:
         os << " -> t" << ev.dst_tile << "[" << ev.addr
            << "] = " << word_to_hex(ev.value);
+        break;
+      case TraceEventKind::kRecovery:
+        os << " " << recovery_action_name(ev.action) << " attempt "
+           << ev.attempt;
         break;
     }
     os << '\n';

@@ -23,9 +23,20 @@ enum class TraceEventKind : std::uint8_t {
   kRemoteWrite,  ///< A value crossed a link (recorded at commit).
   kHalt,         ///< The tile executed halt.
   kFault,        ///< The tile faulted.
+  kRecovery,     ///< The recovery layer acted (retry, rollback, rebalance).
 };
 
 const char* trace_event_kind_name(TraceEventKind k) noexcept;
+
+/// Recovery actions recorded as kRecovery events.
+enum class RecoveryAction : std::uint8_t {
+  kIcapRetry,     ///< Corrupted ICAP transfer scrubbed and re-streamed.
+  kRollback,      ///< Data memories rolled back to an epoch checkpoint.
+  kRebalance,     ///< Work remapped onto the surviving tiles.
+  kGiveUp,        ///< Recovery exhausted its budget; fault stands.
+};
+
+const char* recovery_action_name(RecoveryAction a) noexcept;
 
 /// One recorded event.
 struct TraceEvent {
@@ -37,6 +48,8 @@ struct TraceEvent {
   int dst_tile = -1;              ///< Remote writes: destination tile.
   int addr = -1;                  ///< Remote writes: destination address.
   Word value = 0;                 ///< Remote writes: the value.
+  RecoveryAction action = RecoveryAction::kIcapRetry;  ///< kRecovery only.
+  int attempt = 0;                ///< kRecovery: retry attempt number.
 };
 
 /// Bounded event recorder with unbounded counters.

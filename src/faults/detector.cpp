@@ -1,0 +1,63 @@
+#include "faults/detector.hpp"
+
+#include "isa/instruction.hpp"
+
+namespace cgra::faults {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+constexpr std::uint64_t fnv1a(std::uint64_t h, std::uint64_t word) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (word >> (8 * byte)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t dmem_checksum(const fabric::Tile& tile) {
+  std::uint64_t h = kFnvOffset;
+  for (int addr = 0; addr < kDataMemWords; ++addr) {
+    h = fnv1a(h, tile.dmem(addr));
+  }
+  return h;
+}
+
+std::uint64_t imem_checksum(const fabric::Tile& tile) {
+  std::uint64_t h = kFnvOffset;
+  for (int i = 0; i < tile.code_size(); ++i) {
+    const isa::EncodedInstr raw = isa::encode(*tile.instruction_at(i));
+    h = fnv1a(h, raw.lo);
+    h = fnv1a(h, raw.hi);
+  }
+  return h;
+}
+
+MemoryChecksums snapshot_checksums(const fabric::Fabric& fabric) {
+  MemoryChecksums sums;
+  sums.dmem.reserve(static_cast<std::size_t>(fabric.tile_count()));
+  sums.imem.reserve(static_cast<std::size_t>(fabric.tile_count()));
+  for (int t = 0; t < fabric.tile_count(); ++t) {
+    sums.dmem.push_back(dmem_checksum(fabric.tile(t)));
+    sums.imem.push_back(imem_checksum(fabric.tile(t)));
+  }
+  return sums;
+}
+
+std::vector<int> changed_tiles(const MemoryChecksums& before,
+                               const MemoryChecksums& after) {
+  std::vector<int> changed;
+  const std::size_t n = std::min(before.dmem.size(), after.dmem.size());
+  for (std::size_t t = 0; t < n; ++t) {
+    if (before.dmem[t] != after.dmem[t] || before.imem[t] != after.imem[t]) {
+      changed.push_back(static_cast<int>(t));
+    }
+  }
+  return changed;
+}
+
+}  // namespace cgra::faults

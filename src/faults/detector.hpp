@@ -1,0 +1,60 @@
+// Fault detection: memory checksums and the epoch watchdog.
+//
+// Two detectors complement the reconfiguration controller's readback
+// verification (config/reconfig.hpp):
+//
+//   * Memory checksums (FNV-1a over the data words / encoded instruction
+//     words of each tile) — cheap integrity fingerprints the runtime can
+//     snapshot at epoch boundaries and diff to localise silent SEUs that
+//     have not (yet) raised an architectural fault.
+//   * The epoch watchdog — flags a hung epoch when executed cycles exceed
+//     the analytic model's prediction by a configurable margin.  An SEU in
+//     a loop counter or branch target typically loops forever rather than
+//     faulting; the watchdog converts that hang into kWatchdogTimeout.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+
+namespace cgra::faults {
+
+/// FNV-1a fingerprint of a tile's 512 data words.
+std::uint64_t dmem_checksum(const fabric::Tile& tile);
+
+/// FNV-1a fingerprint of a tile's encoded (72-bit) instruction words.
+std::uint64_t imem_checksum(const fabric::Tile& tile);
+
+/// Per-tile fingerprints of the whole fabric.
+struct MemoryChecksums {
+  std::vector<std::uint64_t> dmem;
+  std::vector<std::uint64_t> imem;
+};
+
+MemoryChecksums snapshot_checksums(const fabric::Fabric& fabric);
+
+/// Tiles whose data or instruction fingerprint differs between two
+/// snapshots (sorted ascending).  A tile that legitimately computed will
+/// differ too — diff only across intervals the tile was meant to be idle.
+std::vector<int> changed_tiles(const MemoryChecksums& before,
+                               const MemoryChecksums& after);
+
+/// Hang budget for one epoch, derived from the analytic prediction.
+struct EpochWatchdog {
+  /// Executed cycles allowed as a multiple of the prediction.
+  double margin = 4.0;
+  /// Floor: epochs with tiny (or missing) predictions still get this long.
+  std::int64_t min_budget_cycles = 4096;
+
+  [[nodiscard]] std::int64_t budget_cycles(
+      std::int64_t predicted_cycles) const noexcept {
+    const auto scaled = static_cast<std::int64_t>(
+        margin * static_cast<double>(std::max<std::int64_t>(
+                     0, predicted_cycles)));
+    return std::max(min_budget_cycles, scaled);
+  }
+};
+
+}  // namespace cgra::faults

@@ -1,0 +1,73 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "common/prng.hpp"
+
+namespace cgra::faults {
+
+const char* fault_action_name(FaultAction a) noexcept {
+  switch (a) {
+    case FaultAction::kFlipDmemBit: return "flip-dmem-bit";
+    case FaultAction::kFlipInstBit: return "flip-inst-bit";
+    case FaultAction::kCorruptIcap: return "corrupt-icap";
+    case FaultAction::kFailLink: return "fail-link";
+    case FaultAction::kKillTile: return "kill-tile";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::flip_dmem_bit(std::int64_t cycle, int tile, int addr,
+                                    int bit) {
+  events.push_back({FaultAction::kFlipDmemBit, tile, cycle, addr, bit, 1});
+  return *this;
+}
+
+FaultPlan& FaultPlan::flip_inst_bit(std::int64_t cycle, int tile, int index,
+                                    int bit) {
+  events.push_back({FaultAction::kFlipInstBit, tile, cycle, index, bit, 1});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_icap(int tile, int times) {
+  events.push_back({FaultAction::kCorruptIcap, tile, 0, -1, -1, times});
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_link(std::int64_t cycle, int tile) {
+  events.push_back({FaultAction::kFailLink, tile, cycle, -1, -1, 1});
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_tile(std::int64_t cycle, int tile) {
+  events.push_back({FaultAction::kKillTile, tile, cycle, -1, -1, 1});
+  return *this;
+}
+
+FaultPlan FaultPlan::random_seus(std::uint64_t seed, int tiles,
+                                 std::int64_t horizon_cycles, int upsets,
+                                 double imem_fraction) {
+  FaultPlan plan;
+  plan.seed = seed;
+  SplitMix64 rng(seed);
+  for (int i = 0; i < upsets; ++i) {
+    const auto cycle = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(1, horizon_cycles))));
+    const int tile = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(std::max(1, tiles))));
+    if (rng.next_double() < imem_fraction) {
+      plan.flip_inst_bit(cycle, tile);
+    } else {
+      plan.flip_dmem_bit(cycle, tile);
+    }
+  }
+  // Sort by cycle so the injector can poll the earliest pending event.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  return plan;
+}
+
+}  // namespace cgra::faults

@@ -1,0 +1,70 @@
+// Scriptable fault plans.
+//
+// A FaultPlan is a deterministic script of hardware faults: single-event
+// upsets in tile memories, words corrupted in flight during ICAP transfers,
+// failed link drivers and hard tile deaths, each scheduled at a fabric
+// cycle (or, for ICAP corruption, at a stream attempt).  All randomness —
+// which address, which bit — flows from the plan's seed through SplitMix64,
+// so a plan replays identically run after run; the recovery tests and the
+// fault-rate sweep bench rely on this (docs/FAULTS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cgra::faults {
+
+/// What a fault event does when it fires.
+enum class FaultAction : std::uint8_t {
+  kFlipDmemBit,  ///< SEU: flip one bit of a data-memory word.
+  kFlipInstBit,  ///< SEU: flip one bit of an encoded instruction word.
+  kCorruptIcap,  ///< Corrupt words in flight during ICAP streams to a tile.
+  kFailLink,     ///< Permanently break the tile's output link driver.
+  kKillTile,     ///< Hard-fail the whole tile.
+};
+
+const char* fault_action_name(FaultAction a) noexcept;
+
+/// One scheduled fault.
+struct FaultEvent {
+  FaultAction action = FaultAction::kFlipDmemBit;
+  int tile = 0;
+  /// Fabric cycle at (or after) which the fault lands.  Ignored by
+  /// kCorruptIcap, which triggers on ICAP streams instead.
+  std::int64_t cycle = 0;
+  /// SEU target: data-memory address or instruction index; -1 = chosen by
+  /// the plan's PRNG when the event fires.
+  int addr = -1;
+  /// SEU target bit; -1 = chosen by the plan's PRNG.
+  int bit = -1;
+  /// kCorruptIcap: how many consecutive stream attempts to corrupt.  A
+  /// value below the controller's retry bound recovers; above it, the
+  /// corruption is latched as kIcapCorruption.
+  int count = 1;
+};
+
+/// A deterministic script of fault events.
+struct FaultPlan {
+  std::uint64_t seed = 0x5EEDu;
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  // Builder helpers (chainable).
+  FaultPlan& flip_dmem_bit(std::int64_t cycle, int tile, int addr = -1,
+                           int bit = -1);
+  FaultPlan& flip_inst_bit(std::int64_t cycle, int tile, int index = -1,
+                           int bit = -1);
+  FaultPlan& corrupt_icap(int tile, int times = 1);
+  FaultPlan& fail_link(std::int64_t cycle, int tile);
+  FaultPlan& kill_tile(std::int64_t cycle, int tile);
+
+  /// A shower of `upsets` random SEUs spread uniformly over `tiles` tiles
+  /// and [0, horizon_cycles); `imem_fraction` of them hit instruction
+  /// memory, the rest data memory.  Fully determined by `seed`.
+  static FaultPlan random_seus(std::uint64_t seed, int tiles,
+                               std::int64_t horizon_cycles, int upsets,
+                               double imem_fraction = 0.5);
+};
+
+}  // namespace cgra::faults

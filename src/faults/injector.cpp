@@ -1,0 +1,132 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+
+#include "isa/instruction.hpp"
+
+namespace cgra::faults {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  remaining_.reserve(plan_.events.size());
+  for (const auto& ev : plan_.events) {
+    remaining_.push_back(
+        ev.action == FaultAction::kCorruptIcap ? std::max(0, ev.count) : 1);
+  }
+}
+
+std::optional<std::int64_t> FaultInjector::next_cycle() const {
+  std::optional<std::int64_t> earliest;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const auto& ev = plan_.events[i];
+    if (remaining_[i] <= 0 || ev.action == FaultAction::kCorruptIcap) {
+      continue;
+    }
+    if (!earliest || ev.cycle < *earliest) earliest = ev.cycle;
+  }
+  return earliest;
+}
+
+int FaultInjector::fire_due(fabric::Fabric& fabric) {
+  int fired = 0;
+  const std::int64_t now = fabric.now();
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const auto& ev = plan_.events[i];
+    if (remaining_[i] <= 0 || ev.action == FaultAction::kCorruptIcap ||
+        ev.cycle > now) {
+      continue;
+    }
+    if (ev.tile < 0 || ev.tile >= fabric.tile_count()) {
+      remaining_[i] = 0;  // malformed event: drop it
+      continue;
+    }
+    auto& tile = fabric.tile(ev.tile);
+    switch (ev.action) {
+      case FaultAction::kFlipDmemBit: {
+        const int addr =
+            ev.addr >= 0 ? ev.addr
+                         : static_cast<int>(rng_.next_below(kDataMemWords));
+        const int bit = ev.bit >= 0
+                            ? ev.bit
+                            : static_cast<int>(rng_.next_below(kWordBits));
+        tile.flip_dmem_bit(addr, bit);
+        break;
+      }
+      case FaultAction::kFlipInstBit: {
+        if (tile.code_size() > 0) {
+          const int index =
+              ev.addr >= 0 ? ev.addr
+                           : static_cast<int>(rng_.next_below(
+                                 static_cast<std::uint64_t>(
+                                     tile.code_size())));
+          const int bit =
+              ev.bit >= 0 ? ev.bit
+                          : static_cast<int>(rng_.next_below(kInstWordBits));
+          tile.flip_inst_bit(index, bit);
+        }
+        break;
+      }
+      case FaultAction::kFailLink:
+        fabric.fail_link(ev.tile);
+        break;
+      case FaultAction::kKillTile:
+        fabric.kill_tile(ev.tile);
+        break;
+      case FaultAction::kCorruptIcap:
+        break;  // unreachable: filtered above
+    }
+    remaining_[i] = 0;
+    ++fired_count_;
+    ++fired;
+  }
+  return fired;
+}
+
+void FaultInjector::on_stream(int tile, int /*attempt*/, isa::Program& program,
+                              std::vector<isa::DataPatch>& patches) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const auto& ev = plan_.events[i];
+    if (ev.action != FaultAction::kCorruptIcap || remaining_[i] <= 0 ||
+        ev.tile != tile) {
+      continue;
+    }
+    // Flip one bit of the payload: prefer the instruction stream, fall
+    // back to a data patch.  An empty payload cannot be corrupted — the
+    // event stays armed for the next non-empty stream.
+    if (!program.code.empty()) {
+      const auto index = rng_.next_below(program.code.size());
+      isa::EncodedInstr raw = isa::encode(program.code[index]);
+      const int bit = static_cast<int>(rng_.next_below(kInstWordBits));
+      if (bit < 64) {
+        raw.lo ^= std::uint64_t{1} << bit;
+      } else {
+        raw.hi ^= static_cast<std::uint8_t>(1u << (bit - 64));
+      }
+      // Decoding may normalise the flipped bit away (a don't-care bit of
+      // the encoding); a corruption event must be observable, so poison
+      // the word outright in that case.
+      const isa::Instruction poison{isa::Opcode::kOpcodeCount, 0, 0, 0, 0, 0};
+      const isa::Instruction corrupted = isa::decode(raw).value_or(poison);
+      program.code[index] =
+          corrupted == program.code[index] ? poison : corrupted;
+    } else if (!patches.empty()) {
+      const auto index = rng_.next_below(patches.size());
+      const int bit = static_cast<int>(rng_.next_below(kWordBits));
+      patches[index].value ^= std::uint64_t{1} << bit;
+    } else {
+      continue;
+    }
+    if (--remaining_[i] == 0) ++fired_count_;
+    return;  // one corruption per stream attempt
+  }
+}
+
+int FaultInjector::pending() const {
+  int n = 0;
+  for (const int r : remaining_) {
+    if (r > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace cgra::faults

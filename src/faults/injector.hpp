@@ -1,0 +1,56 @@
+// Deterministic fault injector.
+//
+// Executes a FaultPlan against a live fabric.  Cycle-scheduled events
+// (SEUs, link failures, tile deaths) are polled by the recovery runner,
+// which runs the fabric in segments up to the next scheduled event so the
+// simulator's hot path needs no per-cycle hook.  ICAP corruption events
+// implement the config::IcapTap interface: the reconfiguration controller
+// hands each in-flight payload to the injector, which flips bits in the
+// copy — the pristine payload stays with the controller for readback
+// verification and re-streaming.
+#pragma once
+
+#include <optional>
+
+#include "common/prng.hpp"
+#include "config/reconfig.hpp"
+#include "fabric/fabric.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace cgra::faults {
+
+/// Replays a FaultPlan against a fabric.  Deterministic: the same plan
+/// (same seed) produces the same faults at the same cycles every run.
+class FaultInjector final : public config::IcapTap {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Cycle of the earliest pending cycle-scheduled event, if any.  The
+  /// recovery runner segments fabric.run() at this boundary.
+  [[nodiscard]] std::optional<std::int64_t> next_cycle() const;
+
+  /// Fire every pending event whose cycle has been reached
+  /// (event.cycle <= fabric.now()).  Returns the number fired.
+  int fire_due(fabric::Fabric& fabric);
+
+  /// IcapTap: corrupt the in-flight payload of a stream to `tile` if a
+  /// kCorruptIcap event with attempts remaining targets it.
+  void on_stream(int tile, int attempt, isa::Program& program,
+                 std::vector<isa::DataPatch>& patches) override;
+
+  /// Events that have fully fired / are still pending.
+  [[nodiscard]] int fired() const noexcept { return fired_count_; }
+  [[nodiscard]] int pending() const;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  /// Remaining activations per event: scheduled events start at 1,
+  /// kCorruptIcap events at their `count`.
+  std::vector<int> remaining_;
+  int fired_count_ = 0;
+  SplitMix64 rng_;
+};
+
+}  // namespace cgra::faults

@@ -1,6 +1,9 @@
 #include "interconnect/routing.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstdlib>
+#include <deque>
 
 namespace cgra::interconnect {
 
@@ -26,6 +29,58 @@ std::optional<Route> shortest_route(const LinkConfig& mesh, int from, int to) {
     route.hops.push_back(d);
     cur.col += cur.col < dst.col ? 1 : -1;
   }
+  return route;
+}
+
+std::optional<Route> shortest_route_avoiding(const LinkConfig& mesh, int from,
+                                             int to,
+                                             std::span<const int> blocked) {
+  const int n = mesh.tile_count();
+  if (from < 0 || from >= n || to < 0 || to >= n) return std::nullopt;
+  std::vector<std::uint8_t> forbidden(static_cast<std::size_t>(n), 0);
+  for (const int t : blocked) {
+    if (t >= 0 && t < n) forbidden[static_cast<std::size_t>(t)] = 1;
+  }
+  if (forbidden[static_cast<std::size_t>(from)] ||
+      forbidden[static_cast<std::size_t>(to)]) {
+    return std::nullopt;
+  }
+
+  Route route;
+  route.from = from;
+  route.to = to;
+  if (from == to) return route;
+
+  // BFS with parent links; direction order fixed for determinism.
+  constexpr std::array<Direction, 4> kDirs = {
+      Direction::kNorth, Direction::kEast, Direction::kSouth,
+      Direction::kWest};
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  std::vector<Direction> arrived_by(static_cast<std::size_t>(n),
+                                    Direction::kNorth);
+  std::deque<int> frontier{from};
+  parent[static_cast<std::size_t>(from)] = from;
+  while (!frontier.empty()) {
+    const int cur = frontier.front();
+    frontier.pop_front();
+    if (cur == to) break;
+    for (const Direction d : kDirs) {
+      const auto next = mesh.neighbor(cur, d);
+      if (!next || forbidden[static_cast<std::size_t>(*next)] ||
+          parent[static_cast<std::size_t>(*next)] >= 0) {
+        continue;
+      }
+      parent[static_cast<std::size_t>(*next)] = cur;
+      arrived_by[static_cast<std::size_t>(*next)] = d;
+      frontier.push_back(*next);
+    }
+  }
+  if (parent[static_cast<std::size_t>(to)] < 0) return std::nullopt;
+  for (int cur = to; cur != from;
+       cur = parent[static_cast<std::size_t>(cur)]) {
+    route.hops.push_back(arrived_by[static_cast<std::size_t>(cur)]);
+  }
+  std::reverse(route.hops.begin(), route.hops.end());
   return route;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/timing.hpp"
@@ -31,6 +32,14 @@ struct Route {
 /// Shortest Manhattan route (row-first) between two tiles of the mesh.
 /// Returns nullopt for invalid indices.  `from == to` yields an empty route.
 std::optional<Route> shortest_route(const LinkConfig& mesh, int from, int to);
+
+/// Shortest route that never enters a tile in `blocked` (BFS over the
+/// mesh).  Used to route around hard-failed tiles after fault evacuation.
+/// Returns nullopt for invalid indices, a blocked endpoint, or when the
+/// blocked set disconnects the endpoints.
+std::optional<Route> shortest_route_avoiding(const LinkConfig& mesh, int from,
+                                             int to,
+                                             std::span<const int> blocked);
 
 /// Manhattan distance between two tiles.
 int manhattan_distance(const LinkConfig& mesh, int a, int b);

@@ -20,22 +20,23 @@ Status Binding::validate(const ProcessNetwork& net) const {
         return Status::error("group references unknown process");
       }
       if (++seen[static_cast<std::size_t>(p)] > 1) {
-        return Status::error("process '" + net.process(p).name +
-                             "' bound twice");
+        return Status::errorf("process '%s' bound twice",
+                              net.process(p).name.c_str());
       }
     }
     if (g.replication > 1) {
       for (int p : g.procs) {
         if (!net.process(p).replicable) {
-          return Status::error("process '" + net.process(p).name +
-                               "' is not replicable");
+          return Status::errorf("process '%s' is not replicable",
+                                net.process(p).name.c_str());
         }
       }
     }
   }
   for (int i = 0; i < net.size(); ++i) {
     if (seen[static_cast<std::size_t>(i)] == 0) {
-      return Status::error("process '" + net.process(i).name + "' unbound");
+      return Status::errorf("process '%s' unbound",
+                            net.process(i).name.c_str());
     }
   }
   return Status{};

@@ -77,9 +77,17 @@ std::vector<int> scatter_order(int rows, int cols) {
 
 Placement place(const Binding& binding, int mesh_rows, int mesh_cols,
                 PlacementStrategy strategy) {
+  return place_avoiding(binding, mesh_rows, mesh_cols, strategy, {});
+}
+
+Placement place_avoiding(const Binding& binding, int mesh_rows, int mesh_cols,
+                         PlacementStrategy strategy,
+                         std::span<const int> excluded) {
+  std::set<int> banned(excluded.begin(), excluded.end());
+  const int usable = mesh_rows * mesh_cols - static_cast<int>(banned.size());
   const int needed = binding.tile_count();
-  if (needed > mesh_rows * mesh_cols) {
-    throw std::invalid_argument("binding does not fit the mesh");
+  if (needed > usable) {
+    throw std::invalid_argument("binding does not fit the surviving tiles");
   }
   std::vector<int> order;
   switch (strategy) {
@@ -95,6 +103,9 @@ Placement place(const Binding& binding, int mesh_rows, int mesh_cols,
     case PlacementStrategy::kScatter:
       order = scatter_order(mesh_rows, mesh_cols);
       break;
+  }
+  if (!banned.empty()) {
+    std::erase_if(order, [&](int t) { return banned.count(t) != 0; });
   }
 
   Placement p;

@@ -8,6 +8,7 @@
 // the copy-cost evaluation, and a local-search improver.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,13 @@ const char* placement_strategy_name(PlacementStrategy s) noexcept;
 /// Place `binding` on an R x C mesh (throws if it does not fit).
 Placement place(const Binding& binding, int mesh_rows, int mesh_cols,
                 PlacementStrategy strategy);
+
+/// Place `binding` like place() but never on a tile in `excluded` — the
+/// fault-evacuation path remaps work onto the surviving tiles this way.
+/// Throws if the survivors cannot host the binding.
+Placement place_avoiding(const Binding& binding, int mesh_rows, int mesh_cols,
+                         PlacementStrategy strategy,
+                         std::span<const int> excluded);
 
 /// Copy-cost evaluation (term C of Eq. 1).
 struct PlacementEval {

@@ -69,9 +69,10 @@ CompiledSchedule compile_item_schedule(const procnet::ProcessNetwork& net,
     return out;
   }
 
-  auto fail = [&](const std::string& why) {
-    out.status = Status::error(why);
+  auto fail = [&](Status why) {
+    out.status = std::move(why);
     out.epochs.clear();
+    out.meta.clear();
     return out;
   };
 
@@ -84,22 +85,26 @@ CompiledSchedule compile_item_schedule(const procnet::ProcessNetwork& net,
     for (const int pid : group.procs) {
       const auto it = library.find(pid);
       if (it == library.end()) {
-        return fail("no program for process '" + net.process(pid).name + "'");
+        return fail(Status::errorf("no program for process '%s'",
+                                   net.process(pid).name.c_str()));
       }
       const CompiledProcess& impl = it->second;
       if (impl.program.inst_words() > kInstMemWords) {
-        return fail("program too large for process '" +
-                    net.process(pid).name + "'");
+        return fail(Status::errorf(
+            "program too large for process '%s': %d words > %d",
+            net.process(pid).name.c_str(), impl.program.inst_words(),
+            kInstMemWords));
       }
       if (impl.in_base + impl.words > kDataMemWords ||
           impl.out_base + impl.words > kDataMemWords) {
-        return fail("block region out of range for '" +
-                    net.process(pid).name + "'");
+        return fail(Status::errorf("block region out of range for '%s'",
+                                   net.process(pid).name.c_str()));
       }
       if (prev != nullptr && prev->out_base != impl.in_base) {
-        return fail("in-tile chain mismatch: '" + net.process(pid).name +
-                    "' expects its input where the previous process did "
-                    "not leave it");
+        return fail(Status::errorf(
+            "in-tile chain mismatch: '%s' expects its input where the "
+            "previous process did not leave it",
+            net.process(pid).name.c_str()));
       }
       EpochConfig epoch;
       epoch.name = "run-" + net.process(pid).name;
@@ -110,6 +115,8 @@ CompiledSchedule compile_item_schedule(const procnet::ProcessNetwork& net,
       update.patches = impl.constants;
       epoch.tiles[tile] = std::move(update);
       out.epochs.push_back(std::move(epoch));
+      out.meta.push_back(
+          {pid, tile, net.process(pid).work_cycles_per_item()});
       prev = &impl;
     }
 
@@ -121,17 +128,26 @@ CompiledSchedule compile_item_schedule(const procnet::ProcessNetwork& net,
     const CompiledProcess& producer = library.at(last_pid);
     const auto next_it = library.find(first_next_pid);
     if (next_it == library.end()) {
-      return fail("no program for process '" +
-                  net.process(first_next_pid).name + "'");
+      return fail(Status::errorf("no program for process '%s'",
+                                 net.process(first_next_pid).name.c_str()));
     }
     const CompiledProcess& consumer = next_it->second;
     if (producer.words != consumer.words) {
-      return fail("block size mismatch between groups");
+      return fail(Status::errorf(
+          "block size mismatch between groups: %d words out, %d words in",
+          producer.words, consumer.words));
     }
 
-    const auto route = interconnect::shortest_route(mesh, tile, next_tile);
+    const auto route =
+        options.avoid_tiles.empty()
+            ? interconnect::shortest_route(mesh, tile, next_tile)
+            : interconnect::shortest_route_avoiding(mesh, tile, next_tile,
+                                                    options.avoid_tiles);
     if (!route || route->length() == 0) {
-      return fail("groups placed on the same tile or off the mesh");
+      return fail(Status::errorf(
+          "no route from tile %d to tile %d (same tile, off the mesh, or "
+          "blocked by failed tiles)",
+          tile, next_tile));
     }
     int hop_from = tile;
     for (int h = 0; h < route->length(); ++h) {
@@ -145,7 +161,8 @@ CompiledSchedule compile_item_schedule(const procnet::ProcessNetwork& net,
                  std::to_string(h);
       hop.links = idle_links;
       if (!hop.links.set_output(hop_from, dir)) {
-        return fail("route leaves the mesh");
+        return fail(Status::errorf("route leaves the mesh at tile %d",
+                                   hop_from));
       }
       TileUpdate update;
       update.program =
@@ -153,6 +170,8 @@ CompiledSchedule compile_item_schedule(const procnet::ProcessNetwork& net,
       update.reload_program = true;
       hop.tiles[hop_from] = std::move(update);
       out.epochs.push_back(std::move(hop));
+      // The cp loop retires 5 instructions per word plus setup/halt.
+      out.meta.push_back({-1, hop_from, 5 * producer.words + 16});
       hop_from = *mesh.neighbor(hop_from, dir);
     }
   }

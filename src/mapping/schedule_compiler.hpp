@@ -41,11 +41,26 @@ struct CompileOptions {
   /// Reserved relay region in every tile's data memory (multi-hop routes
   /// stage data here so they never clobber a host group's layout).
   int transit_base = 256;
+  /// Tiles routes must never enter (hard-failed hardware being evacuated).
+  /// Placement tiles are the caller's responsibility (place_avoiding).
+  std::vector<int> avoid_tiles;
+};
+
+/// Provenance of one emitted epoch, parallel to `epochs`.  The recovery
+/// layer uses it to checkpoint at process boundaries and to find where to
+/// resume after remapping onto surviving tiles.
+struct EpochMeta {
+  int process = -1;  ///< Process id for run epochs; -1 for route hops.
+  int tile = -1;     ///< The tile this epoch reprograms.
+  /// Analytic compute estimate of the epoch in fabric cycles — the base of
+  /// the epoch watchdog's hang budget.
+  std::int64_t predicted_cycles = 0;
 };
 
 /// A compiled schedule: run it with config::run_schedule.
 struct CompiledSchedule {
   std::vector<config::EpochConfig> epochs;
+  std::vector<EpochMeta> meta;  ///< One entry per epoch.
   Status status;  ///< Compilation diagnostics; epochs valid only if ok.
 
   [[nodiscard]] bool ok() const noexcept { return status.ok(); }

@@ -1,0 +1,365 @@
+// Fault injection, detection and recovery tests (docs/FAULTS.md).
+//
+// Everything here is deterministic: fault plans are PRNG-seeded scripts,
+// so every run injects the same faults at the same cycles and the
+// recovered outputs can be compared bit for bit with fault-free runs.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "apps/jpeg/fabric_jpeg.hpp"
+#include "common/prng.hpp"
+#include "fabric/fabric.hpp"
+#include "faults/detector.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "faults/recovery.hpp"
+#include "isa/assembler.hpp"
+
+namespace cgra::faults {
+namespace {
+
+jpeg::IntBlock random_pixels(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  jpeg::IntBlock b{};
+  for (auto& v : b) v = static_cast<int>(rng.next_below(256));
+  return b;
+}
+
+// ---------------------------------------------------------------- plans --
+
+TEST(FaultPlan, BuildersScheduleEvents) {
+  FaultPlan plan;
+  plan.flip_dmem_bit(10, 1, 5, 3)
+      .flip_inst_bit(20, 2)
+      .corrupt_icap(3, 2)
+      .fail_link(30, 4)
+      .kill_tile(40, 5);
+  ASSERT_EQ(plan.events.size(), 5u);
+  EXPECT_EQ(plan.events[0].action, FaultAction::kFlipDmemBit);
+  EXPECT_EQ(plan.events[0].addr, 5);
+  EXPECT_EQ(plan.events[0].bit, 3);
+  EXPECT_EQ(plan.events[2].count, 2);
+  EXPECT_EQ(plan.events[4].action, FaultAction::kKillTile);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, RandomSeusAreDeterministicAndSorted) {
+  const auto a = FaultPlan::random_seus(42, 8, 10'000, 32, 0.5);
+  const auto b = FaultPlan::random_seus(42, 8, 10'000, 32, 0.5);
+  const auto c = FaultPlan::random_seus(43, 8, 10'000, 32, 0.5);
+  ASSERT_EQ(a.events.size(), 32u);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].cycle, b.events[i].cycle);
+    EXPECT_EQ(a.events[i].tile, b.events[i].tile);
+    EXPECT_EQ(a.events[i].action, b.events[i].action);
+    EXPECT_GE(a.events[i].tile, 0);
+    EXPECT_LT(a.events[i].tile, 8);
+    EXPECT_GE(a.events[i].cycle, 0);
+    EXPECT_LT(a.events[i].cycle, 10'000);
+    if (i > 0) {
+      EXPECT_LE(a.events[i - 1].cycle, a.events[i].cycle);
+    }
+  }
+  bool differs = false;
+  for (std::size_t i = 0; i < c.events.size(); ++i) {
+    differs = differs || a.events[i].cycle != c.events[i].cycle ||
+              a.events[i].tile != c.events[i].tile;
+  }
+  EXPECT_TRUE(differs) << "different seeds must give different showers";
+}
+
+// ------------------------------------------------------------- injector --
+
+TEST(Injector, FiresScheduledSeuExactlyOnce) {
+  fabric::Fabric fab(1, 2);
+  FaultPlan plan;
+  plan.flip_dmem_bit(5, 1, 7, 2);
+  FaultInjector inj(plan);
+  ASSERT_TRUE(inj.next_cycle().has_value());
+  EXPECT_EQ(*inj.next_cycle(), 5);
+
+  // Not due yet at cycle 0.
+  EXPECT_EQ(inj.fire_due(fab), 0);
+  while (fab.now() < 5) fab.step();
+  EXPECT_EQ(inj.fire_due(fab), 1);
+  EXPECT_EQ(fab.tile(1).dmem(7), Word{1} << 2);
+  EXPECT_FALSE(inj.next_cycle().has_value());
+  EXPECT_EQ(inj.fire_due(fab), 0) << "events fire once";
+  EXPECT_EQ(inj.pending(), 0);
+}
+
+TEST(Injector, RandomTargetsAreDeterministicAcrossRuns) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.flip_dmem_bit(0, 0);  // addr/bit chosen by the plan's PRNG
+  plan.flip_dmem_bit(0, 1);
+
+  fabric::Fabric fab_a(1, 2);
+  fabric::Fabric fab_b(1, 2);
+  FaultInjector inj_a(plan);
+  FaultInjector inj_b(plan);
+  EXPECT_EQ(inj_a.fire_due(fab_a), 2);
+  EXPECT_EQ(inj_b.fire_due(fab_b), 2);
+  for (int t = 0; t < 2; ++t) {
+    bool flipped_somewhere = false;
+    for (int addr = 0; addr < kDataMemWords; ++addr) {
+      EXPECT_EQ(fab_a.tile(t).dmem(addr), fab_b.tile(t).dmem(addr));
+      flipped_somewhere = flipped_somewhere || fab_a.tile(t).dmem(addr) != 0;
+    }
+    EXPECT_TRUE(flipped_somewhere);
+  }
+}
+
+TEST(Injector, KillAndLinkEventsReachTheFabric) {
+  fabric::Fabric fab(1, 3);
+  FaultPlan plan;
+  plan.kill_tile(0, 1).fail_link(0, 2);
+  FaultInjector inj(plan);
+  EXPECT_EQ(inj.fire_due(fab), 2);
+  EXPECT_TRUE(fab.tile(1).dead());
+  EXPECT_TRUE(fab.link_failed(2));
+  EXPECT_EQ(fab.tile(1).fault().kind, FaultKind::kTileDead);
+}
+
+// ------------------------------------------------------------- detector --
+
+TEST(Detector, ChecksumsLocaliseSeus) {
+  fabric::Fabric fab(2, 2);
+  const auto before = snapshot_checksums(fab);
+  EXPECT_TRUE(changed_tiles(before, snapshot_checksums(fab)).empty());
+
+  fab.tile(2).flip_dmem_bit(100, 17);
+  const auto after = snapshot_checksums(fab);
+  EXPECT_EQ(changed_tiles(before, after), (std::vector<int>{2}));
+}
+
+TEST(Detector, ImemChecksumSeesInstructionSeus) {
+  const auto assembled = isa::assemble("  movi 0, #1\n  halt\n");
+  ASSERT_TRUE(assembled.ok()) << assembled.status.message();
+  fabric::Fabric fab(1, 2);
+  ASSERT_TRUE(fab.tile(0).load_program(assembled.program));
+  const auto before = snapshot_checksums(fab);
+  ASSERT_TRUE(fab.tile(0).flip_inst_bit(0, 3));
+  const auto after = snapshot_checksums(fab);
+  EXPECT_EQ(changed_tiles(before, after), (std::vector<int>{0}));
+}
+
+TEST(Detector, WatchdogBudgetScalesPredictionWithFloor) {
+  EpochWatchdog wd;
+  wd.margin = 4.0;
+  wd.min_budget_cycles = 4096;
+  EXPECT_EQ(wd.budget_cycles(0), 4096);        // floor
+  EXPECT_EQ(wd.budget_cycles(100), 4096);      // still under the floor
+  EXPECT_EQ(wd.budget_cycles(10'000), 40'000); // margin * prediction
+}
+
+// ----------------------------------------------- end-to-end recovery ----
+
+/// Sum of the explicit retry costs across all transitions of a timeline.
+Nanoseconds total_retry_ns(const config::Timeline& tl) {
+  Nanoseconds total = 0.0;
+  for (const auto& t : tl.transitions) total += t.retry_ns;
+  return total;
+}
+
+TEST(Recovery, ZeroFaultRunMatchesHostReference) {
+  const auto raw = random_pixels(11);
+  const auto quant = jpeg::scaled_quant(50);
+  const auto res = jpeg::encode_block_resilient(raw, quant, FaultPlan{});
+  ASSERT_TRUE(res.report.ok) << res.report.status.message();
+  EXPECT_EQ(res.zigzagged, jpeg::encode_block_stages(raw, quant));
+  EXPECT_EQ(res.report.rollbacks, 0);
+  EXPECT_EQ(res.report.rebalances, 0);
+  EXPECT_EQ(res.report.icap_retries, 0);
+  EXPECT_EQ(total_retry_ns(res.report.timeline), 0.0);
+}
+
+TEST(Recovery, IcapCorruptionRecoversWithinRetryBound) {
+  const auto raw = random_pixels(12);
+  const auto quant = jpeg::scaled_quant(50);
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.corrupt_icap(/*tile=*/1, /*times=*/2);  // DCT tile, first two streams
+  RecoveryPolicy policy;  // max_icap_retries = 3 > 2: must recover in-stream
+  const auto res = jpeg::encode_block_resilient(raw, quant, plan, policy);
+
+  ASSERT_TRUE(res.report.ok) << res.report.status.message();
+  EXPECT_EQ(res.zigzagged, jpeg::encode_block_stages(raw, quant));
+  EXPECT_EQ(res.report.icap_retries, 2);
+  EXPECT_EQ(res.report.rollbacks, 0) << "in-stream retry, no rollback";
+
+  // The retry cost is real and lands in Timeline.reconfig_ns.
+  const Nanoseconds retry = total_retry_ns(res.report.timeline);
+  EXPECT_GT(retry, 0.0);
+  const auto clean = jpeg::encode_block_resilient(raw, quant, FaultPlan{});
+  EXPECT_GT(res.report.timeline.reconfig_ns,
+            clean.report.timeline.reconfig_ns);
+  EXPECT_GE(res.report.timeline.reconfig_ns, retry);
+}
+
+TEST(Recovery, IcapCorruptionBeyondAllBudgetsGivesUp) {
+  const auto raw = random_pixels(13);
+  const auto quant = jpeg::scaled_quant(50);
+
+  FaultPlan plan;
+  plan.corrupt_icap(/*tile=*/1, /*times=*/1000);  // outlasts every retry
+  const auto res = jpeg::encode_block_resilient(raw, quant, plan);
+
+  EXPECT_FALSE(res.report.ok);
+  ASSERT_FALSE(res.report.unrecovered.empty()) << res.report.status.message();
+  EXPECT_EQ(res.report.unrecovered.front().kind, FaultKind::kIcapCorruption);
+  EXPECT_EQ(res.report.rollbacks,
+            RecoveryPolicy{}.max_retries_per_checkpoint);
+}
+
+TEST(Recovery, HardTileFaultMidRunRebalancesBitIdentical) {
+  // The acceptance scenario: a fixed-seed plan hard-fails the DCT tile
+  // mid-run on the 13-tile mesh.  Recovery must evacuate it, rebalance
+  // the pipeline onto the survivors, replay from the checkpoint, and the
+  // encoder output must be bit-identical to the fault-free run.
+  const auto raw = random_pixels(14);
+  const auto quant = jpeg::scaled_quant(50);
+  const auto clean = jpeg::encode_block_resilient(raw, quant, FaultPlan{});
+  ASSERT_TRUE(clean.report.ok);
+
+  FaultPlan plan;
+  plan.seed = 0xDEAD;
+  plan.kill_tile(/*cycle=*/50, /*tile=*/1);
+  const auto res = jpeg::encode_block_resilient(raw, quant, plan);
+
+  ASSERT_TRUE(res.report.ok) << res.report.status.message();
+  EXPECT_EQ(res.zigzagged, clean.zigzagged);
+  EXPECT_EQ(res.zigzagged, jpeg::encode_block_stages(raw, quant));
+  EXPECT_EQ(res.report.rebalances, 1);
+  EXPECT_EQ(res.report.evacuated_tiles, (std::vector<int>{1}));
+  EXPECT_EQ(res.report.faults_injected, 1);
+  // Degraded-mode cost is quantified, not hidden.
+  EXPECT_GT(res.report.timeline.reconfig_ns,
+            clean.report.timeline.reconfig_ns);
+}
+
+TEST(Recovery, ImemScrubCatchesSilentInstructionSeus) {
+  // An imem SEU whose flipped word still decodes to a valid instruction
+  // raises no architectural fault — executed, it just computes garbage.
+  // The per-epoch imem fingerprint diff (RecoveryPolicy::scrub_imem) must
+  // catch it anyway, and the scrub + rollback replay must stay bit-exact.
+  // Several seeds so both detector paths (architectural fault and
+  // fingerprint diff) get exercised.
+  const auto raw = random_pixels(16);
+  const auto quant = jpeg::scaled_quant(50);
+  const auto golden = jpeg::encode_block_stages(raw, quant);
+  int scrub_hits = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.flip_inst_bit(/*cycle=*/4000, /*tile=*/1);
+    const auto res = jpeg::encode_block_resilient(raw, quant, plan);
+    ASSERT_TRUE(res.report.ok)
+        << "seed " << seed << ": " << res.report.status.message();
+    EXPECT_EQ(res.zigzagged, golden) << "seed " << seed;
+    scrub_hits += res.report.scrub_detections;
+  }
+  EXPECT_GT(scrub_hits, 0);
+}
+
+TEST(Recovery, RecoveredRunsAreDeterministic) {
+  const auto raw = random_pixels(15);
+  const auto quant = jpeg::scaled_quant(75);
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.kill_tile(60, 2).corrupt_icap(1, 1);
+
+  const auto a = jpeg::encode_block_resilient(raw, quant, plan);
+  const auto b = jpeg::encode_block_resilient(raw, quant, plan);
+  ASSERT_TRUE(a.report.ok) << a.report.status.message();
+  ASSERT_TRUE(b.report.ok);
+  EXPECT_EQ(a.zigzagged, b.zigzagged);
+  EXPECT_EQ(a.report.rebalances, b.report.rebalances);
+  EXPECT_EQ(a.report.rollbacks, b.report.rollbacks);
+  EXPECT_EQ(a.report.icap_retries, b.report.icap_retries);
+  EXPECT_EQ(a.report.timeline.reconfig_ns, b.report.timeline.reconfig_ns);
+  EXPECT_EQ(a.zigzagged, jpeg::encode_block_stages(raw, quant));
+}
+
+TEST(Recovery, WatchdogConvertsHangIntoBoundedRetries) {
+  // A process whose program spins forever: the analytic prediction says
+  // 16 cycles, so the watchdog fires, recovery scrubs and replays, and
+  // after the retry budget the run gives up with kWatchdogTimeout.
+  procnet::ProcessNetwork net;
+  procnet::Process spin;
+  spin.name = "spin";
+  spin.runtime_cycles = 16;
+  net.add_process(spin);
+
+  const auto assembled = isa::assemble("spin:\n  jmp spin\n");
+  ASSERT_TRUE(assembled.ok()) << assembled.status.message();
+  mapping::ProgramLibrary lib;
+  mapping::CompiledProcess impl;
+  impl.program = assembled.program;
+  impl.in_base = 0;
+  impl.out_base = 0;
+  impl.words = 4;
+  lib[0] = impl;
+
+  mapping::Binding binding;
+  binding.groups = {{{0}, 1}};
+  const auto placement =
+      mapping::place(binding, 1, 2, mapping::PlacementStrategy::kSnake);
+
+  fabric::Fabric fab(1, 2);
+  config::ReconfigController ctrl(IcapModel{},
+                                  interconnect::LinkCostModel{50.0});
+  RecoveryPolicy policy;
+  policy.watchdog.min_budget_cycles = 64;  // keep the hang cheap
+  RecoveryManager manager(fab, ctrl, nullptr, policy);
+
+  const std::vector<Word> input(4, 0);
+  const auto rep = manager.run_item(net, binding, placement, lib, input);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.rollbacks, policy.max_retries_per_checkpoint);
+  ASSERT_FALSE(rep.unrecovered.empty());
+  EXPECT_EQ(rep.unrecovered.front().kind, FaultKind::kWatchdogTimeout);
+  EXPECT_GT(rep.recovery_ns, 0.0) << "scrub and replay cost is accounted";
+}
+
+TEST(Recovery, TraceRecordsRecoveryActions) {
+  // Drive the manager with an attached tracer and check kRecovery events.
+  const auto quant = jpeg::scaled_quant(50);
+  const auto net = jpeg::jpeg_transform_pipeline();
+  const auto lib = jpeg::jpeg_program_library(quant);
+  mapping::Binding binding;
+  binding.groups = {{{0}, 1}, {{1}, 1}, {{2}, 1}, {{3}, 1}};
+  const auto placement =
+      mapping::place(binding, 2, 7, mapping::PlacementStrategy::kSnake);
+
+  fabric::Fabric fab(2, 7);
+  fabric::Tracer tracer(1 << 16);
+  fab.attach_tracer(&tracer);
+  config::ReconfigController ctrl(IcapModel{},
+                                  interconnect::LinkCostModel{50.0});
+  FaultPlan plan;
+  plan.kill_tile(50, 1);
+  FaultInjector injector(plan);
+  RecoveryManager manager(fab, ctrl, &injector, RecoveryPolicy{});
+
+  const auto raw = random_pixels(16);
+  std::vector<Word> input;
+  for (const int v : raw) input.push_back(from_signed(v));
+  const auto rep = manager.run_item(net, binding, placement, lib, input);
+  ASSERT_TRUE(rep.ok) << rep.status.message();
+
+  int rebalance_events = 0;
+  for (const auto& ev : tracer.events()) {
+    if (ev.kind == fabric::TraceEventKind::kRecovery &&
+        ev.action == fabric::RecoveryAction::kRebalance) {
+      ++rebalance_events;
+    }
+  }
+  EXPECT_EQ(rebalance_events, 1);
+}
+
+}  // namespace
+}  // namespace cgra::faults

@@ -20,6 +20,19 @@ TEST(Status, ErrorCarriesMessage) {
   EXPECT_EQ(s.message(), "something broke");
 }
 
+TEST(Status, ErrorfFormats) {
+  const Status s = Status::errorf("tile %d needs %d words, has %d", 7, 640, 512);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "tile 7 needs 640 words, has 512");
+}
+
+TEST(Status, ErrorfHandlesLongMessages) {
+  std::string long_name(500, 'x');
+  const Status s = Status::errorf("process '%s' unmapped", long_name.c_str());
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(long_name), std::string::npos);
+}
+
 TEST(Fault, DefaultIsNotAFault) {
   const Fault f;
   EXPECT_FALSE(f.is_fault());
@@ -42,9 +55,38 @@ TEST(Fault, AllKindsHaveNames) {
   for (const auto kind :
        {FaultKind::kNone, FaultKind::kIllegalOpcode, FaultKind::kPcOutOfRange,
         FaultKind::kAddressOutOfRange, FaultKind::kNoActiveLink,
-        FaultKind::kDivideByZero}) {
+        FaultKind::kIcapCorruption, FaultKind::kWatchdogTimeout,
+        FaultKind::kLinkDown, FaultKind::kTileDead}) {
     EXPECT_STRNE(fault_kind_name(kind), "unknown");
   }
+}
+
+TEST(Fault, TransientAndPermanentNeverOverlap) {
+  // The recovery manager dispatches on this classification: transient
+  // faults get scrub-and-retry, permanent ones get evacuation.  A kind
+  // that is both would be dispatched twice.
+  for (const auto kind :
+       {FaultKind::kNone, FaultKind::kIllegalOpcode, FaultKind::kPcOutOfRange,
+        FaultKind::kAddressOutOfRange, FaultKind::kNoActiveLink,
+        FaultKind::kIcapCorruption, FaultKind::kWatchdogTimeout,
+        FaultKind::kLinkDown, FaultKind::kTileDead}) {
+    EXPECT_FALSE(fault_is_transient(kind) && fault_is_permanent(kind))
+        << fault_kind_name(kind);
+  }
+  // kNoActiveLink is a program bug (store to a link that was never
+  // configured), not a hardware fault: neither scrubbing nor evacuation
+  // can fix the program, so it is neither transient nor permanent.
+  EXPECT_FALSE(fault_is_transient(FaultKind::kNoActiveLink));
+  EXPECT_FALSE(fault_is_permanent(FaultKind::kNoActiveLink));
+  EXPECT_FALSE(fault_is_transient(FaultKind::kNone));
+  EXPECT_FALSE(fault_is_permanent(FaultKind::kNone));
+}
+
+TEST(Fault, HardwareFaultsArePermanent) {
+  EXPECT_TRUE(fault_is_permanent(FaultKind::kTileDead));
+  EXPECT_TRUE(fault_is_permanent(FaultKind::kLinkDown));
+  EXPECT_TRUE(fault_is_transient(FaultKind::kIcapCorruption));
+  EXPECT_TRUE(fault_is_transient(FaultKind::kWatchdogTimeout));
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ Tile run_tile(const std::string& src, int max_cycles = 100000) {
   t.restart();
   std::vector<RemoteWrite> remote;
   for (int c = 0; c < max_cycles && !t.halted(); ++c) {
-    t.step(0, c, /*has_link=*/false, remote);
+    t.step(0, c, LinkState::kNone, remote);
   }
   EXPECT_TRUE(t.halted()) << "program did not halt";
   return t;
@@ -76,7 +76,7 @@ TEST(Tile, ComplexOps) {
   t.set_dmem(1, cgra::pack_complex(b));
   t.restart();
   std::vector<RemoteWrite> remote;
-  for (int c = 0; c < 100 && !t.halted(); ++c) t.step(0, c, false, remote);
+  for (int c = 0; c < 100 && !t.halted(); ++c) t.step(0, c, LinkState::kNone, remote);
   EXPECT_EQ(t.dmem(2), cgra::word_cadd(t.dmem(0), t.dmem(1)));
   EXPECT_EQ(t.dmem(3), cgra::word_csub(t.dmem(0), t.dmem(1)));
   EXPECT_EQ(t.dmem(4), cgra::word_cmul(t.dmem(0), t.dmem(1)));
@@ -129,7 +129,7 @@ TEST(Tile, RemoteWriteEmitted) {
   ASSERT_TRUE(t.load_program(r.program));
   t.restart();
   std::vector<RemoteWrite> remote;
-  for (int c = 0; c < 10 && !t.halted(); ++c) t.step(3, c, true, remote);
+  for (int c = 0; c < 10 && !t.halted(); ++c) t.step(3, c, LinkState::kUp, remote);
   ASSERT_EQ(remote.size(), 1u);
   EXPECT_EQ(remote[0].src_tile, 3);
   EXPECT_EQ(remote[0].addr, 5);
@@ -144,7 +144,7 @@ TEST(Tile, RemoteWriteWithoutLinkFaults) {
   ASSERT_TRUE(t.load_program(r.program));
   t.restart();
   std::vector<RemoteWrite> remote;
-  for (int c = 0; c < 10 && !t.halted(); ++c) t.step(0, c, false, remote);
+  for (int c = 0; c < 10 && !t.halted(); ++c) t.step(0, c, LinkState::kNone, remote);
   EXPECT_TRUE(t.faulted());
   EXPECT_EQ(t.fault().kind, FaultKind::kNoActiveLink);
 }
@@ -156,7 +156,7 @@ TEST(Tile, OutOfRangeIndirectFaults) {
   ASSERT_TRUE(t.load_program(r.program));
   t.restart();
   std::vector<RemoteWrite> remote;
-  for (int c = 0; c < 10 && !t.halted(); ++c) t.step(0, c, false, remote);
+  for (int c = 0; c < 10 && !t.halted(); ++c) t.step(0, c, LinkState::kNone, remote);
   EXPECT_TRUE(t.faulted());
   EXPECT_EQ(t.fault().kind, FaultKind::kAddressOutOfRange);
 }
@@ -168,7 +168,7 @@ TEST(Tile, NegativePointerFaults) {
   ASSERT_TRUE(t.load_program(r.program));
   t.restart();
   std::vector<RemoteWrite> remote;
-  for (int c = 0; c < 10 && !t.halted(); ++c) t.step(0, c, false, remote);
+  for (int c = 0; c < 10 && !t.halted(); ++c) t.step(0, c, LinkState::kNone, remote);
   EXPECT_TRUE(t.faulted());
 }
 
@@ -179,7 +179,7 @@ TEST(Tile, PcRunoffFaults) {
   ASSERT_TRUE(t.load_program(r.program));
   t.restart();
   std::vector<RemoteWrite> remote;
-  for (int c = 0; c < 10 && !t.halted(); ++c) t.step(0, c, false, remote);
+  for (int c = 0; c < 10 && !t.halted(); ++c) t.step(0, c, LinkState::kNone, remote);
   EXPECT_TRUE(t.faulted());
   EXPECT_EQ(t.fault().kind, FaultKind::kPcOutOfRange);
 }
@@ -192,9 +192,9 @@ TEST(Tile, StallSuppressesExecution) {
   t.restart();
   t.stall_until(5);
   std::vector<RemoteWrite> remote;
-  EXPECT_FALSE(t.step(0, 0, false, remote));
-  EXPECT_FALSE(t.step(0, 4, false, remote));
-  EXPECT_TRUE(t.step(0, 5, false, remote));
+  EXPECT_FALSE(t.step(0, 0, LinkState::kNone, remote));
+  EXPECT_FALSE(t.step(0, 4, LinkState::kNone, remote));
+  EXPECT_TRUE(t.step(0, 5, LinkState::kNone, remote));
   EXPECT_EQ(t.stats().cycles_stalled, 2);
 }
 

@@ -88,6 +88,94 @@ TEST(Trace, RingBufferBoundsAndCounters) {
   EXPECT_EQ(tracer.tile_retirements(0), f.tile(0).stats().instructions);
 }
 
+TEST(Trace, RingBufferWraparoundKeepsNewestInOrder) {
+  Fabric f(1, 1);
+  Tracer tracer(8);
+  f.attach_tracer(&tracer);
+  // movi + 50x(sub, bnez) + halt = 102 events; only the last 8 survive.
+  f.tile(0).load_program(prog(
+      "  movi 0, #50\nl:\n  sub 0, 0, #1\n  bnez 0, l\n  halt\n"));
+  f.tile(0).restart();
+  f.run(1000);
+  ASSERT_EQ(tracer.events().size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 94);
+  // The retained window is the tail of the stream, still in issue order:
+  // bnez, sub, bnez, sub, bnez, sub, bnez, halt.
+  const auto& evs = tracer.events();
+  for (std::size_t i = 0; i + 1 < evs.size(); ++i) {
+    EXPECT_LE(evs[i].cycle, evs[i + 1].cycle);
+  }
+  EXPECT_EQ(evs.back().kind, TraceEventKind::kHalt);
+  for (std::size_t i = 0; i + 1 < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].opcode,
+              i % 2 == 0 ? isa::Opcode::kBnez : isa::Opcode::kSub);
+  }
+}
+
+TEST(Trace, FaultsInterleaveWithRemoteWrites) {
+  Fabric f(1, 2);
+  f.links().set_output(0, interconnect::Direction::kEast);
+  Tracer tracer;
+  f.attach_tracer(&tracer);
+  // Tile 0 streams remote writes for 12 cycles; tile 1 spins for ~7
+  // cycles and then faults (no active output link), so the fault lands
+  // in the middle of tile 0's write stream.
+  std::string writer = "  movi 0, #7\n";
+  for (int i = 1; i <= 12; ++i) {
+    writer += "  mov !" + std::to_string(i) + ", 0\n";
+  }
+  writer += "  halt\n";
+  f.tile(0).load_program(prog(writer));
+  f.tile(1).load_program(prog(
+      "  movi 0, #3\nl:\n  sub 0, 0, #1\n  bnez 0, l\n  mov !0, 0\n"));
+  f.tile(0).restart();
+  f.tile(1).restart();
+  f.run(100);
+
+  std::int64_t fault_cycle = -1;
+  int remote_before = 0;
+  int remote_after = 0;
+  std::int64_t last_cycle = -1;
+  for (const auto& ev : tracer.events()) {
+    EXPECT_GE(ev.cycle, last_cycle);  // recorded in simulation order
+    last_cycle = ev.cycle;
+    if (ev.kind == TraceEventKind::kFault) {
+      fault_cycle = ev.cycle;
+      EXPECT_EQ(ev.tile, 1);
+    }
+  }
+  ASSERT_GE(fault_cycle, 0);
+  for (const auto& ev : tracer.events()) {
+    if (ev.kind != TraceEventKind::kRemoteWrite) continue;
+    EXPECT_EQ(ev.tile, 0);
+    EXPECT_EQ(ev.dst_tile, 1);
+    if (ev.cycle < fault_cycle) ++remote_before;
+    if (ev.cycle > fault_cycle) ++remote_after;
+  }
+  // Commits straddle the fault: the trace shows the true interleaving.
+  EXPECT_GT(remote_before, 0);
+  EXPECT_GT(remote_after, 0);
+  ASSERT_EQ(f.faults().size(), 1u);
+  EXPECT_EQ(f.faults()[0].kind, FaultKind::kNoActiveLink);
+}
+
+TEST(Trace, RecoveryEventsDumpActionAndAttempt) {
+  Tracer tracer;
+  TraceEvent ev;
+  ev.cycle = 42;
+  ev.kind = TraceEventKind::kRecovery;
+  ev.tile = 3;
+  ev.action = RecoveryAction::kRollback;
+  ev.attempt = 2;
+  tracer.record(ev);
+  const std::string text = tracer.dump();
+  EXPECT_NE(text.find("recovery"), std::string::npos);
+  EXPECT_NE(text.find("rollback"), std::string::npos);
+  EXPECT_NE(text.find("attempt 2"), std::string::npos);
+  // Recovery events never touch the retirement histogram.
+  EXPECT_EQ(tracer.tile_retirements(3), 0);
+}
+
 TEST(Trace, DumpMentionsMnemonics) {
   Fabric f(1, 1);
   Tracer tracer;
