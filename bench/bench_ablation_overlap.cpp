@@ -12,6 +12,7 @@
 #include "apps/jpeg/fabric_jpeg.hpp"
 #include "common/prng.hpp"
 #include "common/table.hpp"
+#include "obs/bench_report.hpp"
 
 namespace {
 
@@ -33,6 +34,7 @@ int main() {
   using namespace cgra;
   std::printf("Ablation — partial vs full reconfiguration\n\n");
 
+  obs::BenchReport report("ablation_overlap");
   TextTable table({"workload", "partial (executed ns)",
                    "full-stall (ns)", "hidden by overlap"});
 
@@ -54,8 +56,13 @@ int main() {
                    TextTable::num(100.0 * (full_ns - partial_ns) / full_ns,
                                   1) +
                        "%"});
+    report.add("overlap_hidden_pct",
+               100.0 * (full_ns - partial_ns) / full_ns, "%",
+               {{"fft_n", std::to_string(n)}});
   }
   std::printf("%s\n", table.render().c_str());
+  report.add_table("overlap", table);
+  report.write();
 
   std::printf(
       "The executed (partial) time already contains whatever stall could\n"

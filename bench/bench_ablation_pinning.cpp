@@ -10,6 +10,7 @@
 #include "apps/jpeg/process_table.hpp"
 #include "common/table.hpp"
 #include "mapping/rebalance.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
   using namespace cgra;
@@ -18,6 +19,7 @@ int main() {
   CostParams pinned{};
   CostParams unpinned{};
   unpinned.allow_pinning = false;
+  obs::BenchReport report("ablation_pinning");
 
   std::printf("Ablation — instruction pinning (Table 4 mappings)\n\n");
   TextTable table({"impl", "tiles", "II pinned(us)", "II unpinned(us)",
@@ -32,8 +34,11 @@ int main() {
          TextTable::num(without.ii_ns / with.ii_ns, 2) + "x",
          TextTable::num(with.items_per_sec / jpeg::kPaperImageBlocks, 2),
          TextTable::num(without.items_per_sec / jpeg::kPaperImageBlocks, 2)});
+    report.add("pinning_slowdown", without.ii_ns / with.ii_ns, "x",
+               {{"impl", m.name}});
   }
   std::printf("%s\n", table.render().c_str());
+  report.add_table("table4_pinning", table);
 
   std::printf("Rebalancer sweep (reBalanceTwo) with and without pinning:\n\n");
   const auto net = jpeg::jpeg_main_pipeline();
@@ -52,8 +57,12 @@ int main() {
     sweep.add_row({TextTable::integer(tiles), TextTable::num(with, 2),
                    TextTable::num(without, 2),
                    TextTable::num(with / without, 2) + "x"});
+    report.add("sweep_ratio", with / without, "x",
+               {{"tiles", std::to_string(tiles)}});
   }
   std::printf("%s\n", sweep.render().c_str());
+  report.add_table("rebalance_sweep", sweep);
+  report.write();
   std::printf(
       "Single-process tiles are immune (the code is simply resident), so\n"
       "the ablation bites exactly where the paper uses \"(f)\": dense\n"

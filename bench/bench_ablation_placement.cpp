@@ -11,6 +11,7 @@
 #include "common/table.hpp"
 #include "mapping/placement.hpp"
 #include "mapping/rebalance.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
   using namespace cgra;
@@ -25,6 +26,7 @@ int main() {
               binding.describe(net).c_str());
 
   const interconnect::CopyCostModel copy{5 * kCycleNs, 100.0};
+  obs::BenchReport report("ablation_placement");
   TextTable table({"placement", "non-neighbor edges", "extra hops",
                    "copy ns/block", "II(us)", "img/s (200x200)"});
   for (const auto strategy :
@@ -41,6 +43,8 @@ int main() {
                    TextTable::num(eval.ii_ns / 1000.0, 2),
                    TextTable::num(
                        eval.items_per_sec / jpeg::kPaperImageBlocks, 2)});
+    report.add("copy_ns_per_block", pe.copy_ns_per_item, "ns",
+               {{"placement", mapping::placement_strategy_name(strategy)}});
 
     // Greedy improvement from this starting point.
     const auto improved = mapping::improve_placement(net, binding, p, copy);
@@ -51,6 +55,8 @@ int main() {
                    TextTable::num(ipe.copy_ns_per_item, 0), "", ""});
   }
   std::printf("%s\n", table.render().c_str());
+  report.add_table("placement", table);
+  report.write();
   std::printf(
       "Adjacent (1-hop) edges ride the free semi-systolic link; every extra\n"
       "hop pays a routed cp process (5 instructions/word) plus a link\n"

@@ -23,6 +23,7 @@
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
 #include "faults/recovery.hpp"
+#include "obs/bench_report.hpp"
 
 namespace {
 
@@ -64,6 +65,8 @@ int main() {
   }
   const Nanoseconds clean_ns = clean.report.timeline.total_ns();
   const auto horizon = ns_to_cycles_ceil(clean_ns);
+  obs::BenchReport report("fault_recovery");
+  report.add("clean_run", clean_ns, "ns");
 
   std::printf(
       "Part 1 — deterministic fault scenarios, resilient JPEG block\n"
@@ -119,8 +122,13 @@ int main() {
                 TextTable::num(total / 1000.0, 1),
                 res.report.ok ? TextTable::num(100.0 * overhead, 1) + "%"
                               : "-"});
+    if (res.report.ok) {
+      report.add("recovery_overhead_pct", 100.0 * overhead, "%",
+                 {{"scenario", s.name}});
+    }
   }
   std::printf("%s\n", t1.render().c_str());
+  report.add_table("deterministic_scenarios", t1);
 
   std::printf(
       "Part 2 — random SEU shower vs upset count (5 seeded trials each)\n"
@@ -161,8 +169,12 @@ int main() {
                                              : 0.0,
                                1) +
                     "%"});
+    report.add("seu_recovered", static_cast<double>(recovered), "trials",
+               {{"upsets", std::to_string(upsets)},
+                {"trials", std::to_string(kTrials)}});
   }
   std::printf("%s\n", t2.render().c_str());
+  report.add_table("seu_shower", t2);
 
   std::printf(
       "Part 3 — ICAP fault path on the 1024-point fabric FFT, 8x10 mesh\n"
@@ -213,8 +225,13 @@ int main() {
                 TextTable::num(
                     100.0 * (r.timeline.reconfig_ns / b0 - 1.0), 1) +
                     "%"});
+    report.add("icap_b_overhead_pct",
+               100.0 * (r.timeline.reconfig_ns / b0 - 1.0), "%",
+               {{"config", names[i]}});
   }
   std::printf("%s\n", t3.render().c_str());
+  report.add_table("icap_fault_path", t3);
+  report.write();
   std::printf(
       "Shape checks: every deterministic scenario but the forced give-up\n"
       "recovers bit-exactly; retry and verify costs land in term B, not in\n"

@@ -9,12 +9,14 @@
 
 #include "common/table.hpp"
 #include "dse/fft_perf_model.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
   using namespace cgra;
   const auto g = fft::make_geometry(1024);
   std::printf("Measuring kernel runtimes on the simulator...\n");
   const auto times = dse::measure_process_times(g);
+  obs::BenchReport report("fig10_11_fft_throughput");
 
   std::printf(
       "Figure 10/11 — #1024-point R2FFTs per second vs link cost L\n"
@@ -27,10 +29,15 @@ int main() {
       const auto cost = dse::evaluate_fft_design(
           g, times, cols, static_cast<Nanoseconds>(link));
       row.push_back(TextTable::num(cost.throughput_per_sec(), 0));
+      if (link == 0) {
+        report.add("throughput_at_L0", cost.throughput_per_sec(), "FFT/s",
+                   {{"cols", std::to_string(cols)}});
+      }
     }
     table.add_row(row);
   }
   std::printf("%s\n", table.render().c_str());
+  report.add_table("fig10_11", table);
 
   // Crossover report: first L at which each wider design stops beating the
   // next narrower one (Fig. 11's "interesting part").
@@ -56,7 +63,11 @@ int main() {
       std::printf("%2d cols never fall below %d cols for L <= 8000 ns\n",
                   wide, narrow);
     }
+    report.add("crossover_link_cost", static_cast<double>(crossover), "ns",
+               {{"wide", std::to_string(wide)},
+                {"narrow", std::to_string(narrow)}});
   }
+  report.write();
   std::printf(
       "\nPaper: beyond ~700 ns extra columns stop helping; beyond ~1100 ns\n"
       "they hurt.  The crossovers above must land in the same few-hundred-\n"

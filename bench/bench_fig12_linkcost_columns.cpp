@@ -7,12 +7,14 @@
 
 #include "common/table.hpp"
 #include "dse/fft_perf_model.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
   using namespace cgra;
   const auto g = fft::make_geometry(1024);
   std::printf("Measuring kernel runtimes on the simulator...\n");
   const auto times = dse::measure_process_times(g);
+  obs::BenchReport report("fig12_linkcost_columns");
 
   std::printf("Figure 12 — throughput vs #columns for several link costs\n\n");
 
@@ -31,6 +33,7 @@ int main() {
     table.add_row(row);
   }
   std::printf("%s\n", table.render().c_str());
+  report.add_table("fig12", table);
 
   // Shape summary: best column count per cost level.
   std::printf("Best design per link cost:\n");
@@ -47,6 +50,9 @@ int main() {
     }
     std::printf("  L=%4d ns -> %2d columns (%.0f FFT/s)\n", cost, best_cols,
                 best);
+    report.add("best_columns", static_cast<double>(best_cols), "cols",
+               {{"link_cost_ns", std::to_string(cost)}});
   }
+  report.write();
   return 0;
 }

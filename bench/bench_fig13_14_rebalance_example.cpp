@@ -10,6 +10,7 @@
 
 #include "common/table.hpp"
 #include "mapping/rebalance.hpp"
+#include "obs/bench_report.hpp"
 
 namespace {
 
@@ -45,6 +46,7 @@ int main() {
   const auto net = fig13_network();
   const CostParams params{};
 
+  obs::BenchReport report("fig13_14_rebalance_example");
   std::printf("Figure 13 — reBalanceOne, one tile at a time\n\n");
   for (int tiles = 1; tiles <= 5; ++tiles) {
     const auto b = mapping::rebalance(net, tiles, RebalanceAlgorithm::kOne,
@@ -52,6 +54,8 @@ int main() {
     const auto eval = mapping::evaluate(net, b, params);
     std::printf("  %d tile(s): %-55s makespan %.0f ns\n", tiles,
                 b.describe(net).c_str(), eval.ii_ns);
+    report.add("rebalance_one_makespan", eval.ii_ns, "ns",
+               {{"tiles", std::to_string(tiles)}});
   }
 
   std::printf(
@@ -64,8 +68,12 @@ int main() {
     const auto eval = mapping::evaluate(net, b, params);
     table.add_row({mapping::rebalance_name(algo), b.describe(net),
                    TextTable::num(eval.ii_ns, 0)});
+    report.add("makespan_4tiles", eval.ii_ns, "ns",
+               {{"algorithm", mapping::rebalance_name(algo)}});
   }
   std::printf("%s\n", table.render().c_str());
+  report.add_table("fig14", table);
+  report.write();
   std::printf(
       "Paper: reBalanceOne leaves 1400 ns; redistributing the surrounding\n"
       "set (reBalanceTwo) reaches 1200 ns and reBalanceOPT the set optimum.\n"

@@ -12,6 +12,7 @@
 #include "apps/jpeg/process_table.hpp"
 #include "common/table.hpp"
 #include "mapping/rebalance.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
   using namespace cgra;
@@ -51,6 +52,10 @@ int main() {
   }
   std::printf("%s\n", fig17.render().c_str());
 
+  obs::BenchReport report("fig16_17_rebalance_sweep");
+  report.add_table("fig16_images_per_sec", fig16);
+  report.add_table("fig17_utilization", fig17);
+
   int differing = 0;
   for (int i = 0; i < kMaxTiles; ++i) {
     const double a = one[i].eval.items_per_sec;
@@ -63,5 +68,11 @@ int main() {
       "the 16-20 tile region, where the heaviest tile hosts several\n"
       "processes and redistribution has room to work).\n",
       differing, kMaxTiles);
+  report.add("differing_tile_counts", static_cast<double>(differing),
+             "counts", {{"max_tiles", std::to_string(kMaxTiles)}});
+  report.add("peak_images_per_sec",
+             opt[kMaxTiles - 1].eval.items_per_sec / jpeg::kPaperImageBlocks,
+             "img/s", {{"tiles", std::to_string(kMaxTiles)}});
+  report.write();
   return 0;
 }

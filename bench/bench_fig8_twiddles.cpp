@@ -11,20 +11,22 @@
 
 #include "apps/fft/twiddle.hpp"
 #include "common/table.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
   using namespace cgra;
   using fft::TwiddleClass;
+  obs::BenchReport report("fig8_twiddles");
 
   // ---- Figure 8 grid: 64-point, M = 8 ----
   {
     const auto g = fft::make_geometry(64, 8);
-    const auto report = fft::analyze_twiddles(g, 1);  // single column
+    const auto tw = fft::analyze_twiddles(g, 1);  // single column
     std::printf("Figure 8 — twiddle classes, 64-point FFT, M=8, one column\n");
     std::printf("(steady state; R=red/preloaded, G=green/generated, "
                 "B=blue/resident, Y=yellow/ICAP reload)\n\n");
     std::map<std::pair<int, int>, const fft::TwiddleSlot*> grid;
-    for (const auto& slot : report.slots) {
+    for (const auto& slot : tw.slots) {
       grid[{slot.row, slot.stage}] = &slot;
     }
     TextTable table({"row", "s0", "s1", "s2", "s3", "s4", "s5"});
@@ -39,6 +41,7 @@ int main() {
       table.add_row(row);
     }
     std::printf("%s\n", table.render().c_str());
+    report.add_table("fig8_grid", table);
   }
 
   // ---- Aggregates for the evaluation geometry ----
@@ -49,14 +52,17 @@ int main() {
     TextTable table({"cols", "naive", "empirical yellow", "green generated",
                      "paper rule (events x N/2)"});
     for (const int cols : {1, 2, 5, 10}) {
-      const auto report = fft::analyze_twiddles(g, cols);
+      const auto tw = fft::analyze_twiddles(g, cols);
       table.add_row({TextTable::integer(cols),
-                     TextTable::integer(report.naive_words),
-                     TextTable::integer(report.reload_words),
-                     TextTable::integer(report.generated_words),
+                     TextTable::integer(tw.naive_words),
+                     TextTable::integer(tw.reload_words),
+                     TextTable::integer(tw.generated_words),
                      TextTable::integer(fft::paper_reload_words(g, cols))});
+      report.add("reload_words", static_cast<double>(tw.reload_words),
+                 "words", {{"cols", std::to_string(cols)}});
     }
     std::printf("%s\n", table.render().c_str());
+    report.add_table("reload_accounting", table);
     std::printf(
         "Paper claim: reload (log2N - log2M) x N/2 = %lld words instead of\n"
         "N/2 x log2N = %lld — a %.1fx reduction.  Our empirical classifier\n"
@@ -68,5 +74,6 @@ int main() {
         static_cast<double>(g.n) / 2 * g.stages /
             static_cast<double>(fft::paper_reload_estimate(g)));
   }
+  report.write();
   return 0;
 }

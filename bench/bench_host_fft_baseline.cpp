@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/fft/reference.hpp"
+#include "bench_json_reporter.hpp"
 #include "common/prng.hpp"
 #include "dse/fft_perf_model.hpp"
 
@@ -77,3 +78,7 @@ void BM_ModeledFabricThroughput(benchmark::State& state) {
 BENCHMARK(BM_ModeledFabricThroughput);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return cgra::benchjson::run_and_report(argc, argv, "host_fft_baseline");
+}

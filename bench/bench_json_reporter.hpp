@@ -1,0 +1,56 @@
+// Bridges google-benchmark runs into obs::BenchReport so the two
+// microbenchmark binaries emit the same BENCH_<name>.json as the plain
+// table benches.  The capture reporter keeps the normal console output
+// (it subclasses ConsoleReporter) and records every non-errored iteration
+// run — adjusted real time plus any user counters — into the report.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+
+namespace cgra::benchjson {
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(obs::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const std::string name = run.benchmark_name();
+      std::vector<std::pair<std::string, std::string>> params = {
+          {"iterations", std::to_string(run.iterations)}};
+      report_->add(name, run.GetAdjustedRealTime(),
+                   benchmark::GetTimeUnitString(run.time_unit), params);
+      for (const auto& [key, counter] : run.counters) {
+        const bool rate = (counter.flags & benchmark::Counter::kIsRate) != 0;
+        report_->add(name + "." + key, counter.value, rate ? "/s" : "",
+                     params);
+      }
+    }
+  }
+
+ private:
+  obs::BenchReport* report_;
+};
+
+/// Drop-in replacement for benchmark_main's main(): runs the registered
+/// benchmarks and writes BENCH_<report_name>.json alongside the console
+/// output.
+inline int run_and_report(int argc, char** argv, const char* report_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  obs::BenchReport report(report_name);
+  CaptureReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return report.write() ? 0 : 1;
+}
+
+}  // namespace cgra::benchjson

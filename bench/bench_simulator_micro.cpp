@@ -7,9 +7,11 @@
 #include "apps/fft/fabric_fft.hpp"
 #include "apps/fft/programs.hpp"
 #include "apps/jpeg/fabric_jpeg.hpp"
+#include "bench_json_reporter.hpp"
 #include "common/prng.hpp"
 #include "fabric/fabric.hpp"
 #include "isa/assembler.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -47,6 +49,35 @@ void BM_FabricStepRate64Tiles(benchmark::State& state) {
       static_cast<double>(tile_cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FabricStepRate64Tiles);
+
+// The observability overhead check: the same 64-tile hot loop with the
+// metrics registry attached (arg 1) vs detached (arg 0).  The attached
+// variant must stay within ~5% of the detached one; building with
+// -DCGRA_OBS_OFF=ON compiles the counter bumps out entirely.
+void BM_FabricStepRateMetrics(benchmark::State& state) {
+  using namespace cgra;
+  const bool attached = state.range(0) != 0;
+  const auto lay = fft::make_layout(128);
+  fabric::Fabric fab(8, 8);
+  const auto prog = fft::must_assemble(fft::bf_pair_source(lay));
+  for (int t = 0; t < fab.tile_count(); ++t) {
+    fab.tile(t).load_program(prog);
+  }
+  obs::MetricsRegistry metrics;
+  if (attached) fab.attach_metrics(&metrics);
+  std::int64_t tile_cycles = 0;
+  for (auto _ : state) {
+    for (int t = 0; t < fab.tile_count(); ++t) fab.tile(t).restart();
+    const auto run = fab.run(1'000'000);
+    tile_cycles += run.cycles * fab.tile_count();
+  }
+  state.counters["tile_cycles/s"] = benchmark::Counter(
+      static_cast<double>(tile_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FabricStepRateMetrics)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("metrics");
 
 void BM_Assembler(benchmark::State& state) {
   using namespace cgra;
@@ -89,3 +120,7 @@ void BM_JpegBlockOnFabric(benchmark::State& state) {
 BENCHMARK(BM_JpegBlockOnFabric);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return cgra::benchjson::run_and_report(argc, argv, "simulator_micro");
+}

@@ -12,10 +12,12 @@
 #include "apps/fft/programs.hpp"
 #include "common/table.hpp"
 #include "common/timing.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
   using namespace cgra;
   const auto g = fft::make_geometry(1024);
+  obs::BenchReport report("table1_fft_processes");
 
   std::printf("Table 1 — 1024-point Radix2 FFT processes (N=%d, M=%d)\n\n",
               g.n, g.m);
@@ -36,6 +38,8 @@ int main() {
                    TextTable::integer(g.twiddles_for_stage(s)),
                    TextTable::integer(bf_prog.inst_words()),
                    TextTable::integer(dmem)});
+    report.add("bf_runtime", cycles_to_ns(cycles), "ns",
+               {{"stage", std::to_string(s)}});
   }
   {
     const auto vcp = fft::measure_copy_cycles(g.m, g.m / 2);
@@ -44,8 +48,12 @@ int main() {
                    "9", "11"});
     table.add_row({"hcp", "1557", TextTable::num(cycles_to_ns(hcp), 0), "0",
                    "9", "11"});
+    report.add("vcp_runtime", cycles_to_ns(vcp), "ns");
+    report.add("hcp_runtime", cycles_to_ns(hcp), "ns");
   }
   std::printf("%s\n", table.render().c_str());
+  report.add_table("table1", table);
+  report.write();
   std::printf(
       "Notes: measured values come from executing the generated kernels on\n"
       "the cycle-accurate simulator at 2.5 ns/instruction.  The early stages\n"

@@ -9,6 +9,7 @@
 
 #include "apps/jpeg/process_table.hpp"
 #include "common/table.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
   using namespace cgra;
@@ -34,6 +35,7 @@ int main() {
       {"Impl5", {86, 0.98, 14.43, "yes", "yes"}},
   };
 
+  obs::BenchReport report("table4_jpeg_manual");
   TextTable table({"impl", "tiles", "binding", "II(us)", "paper II(us)",
                    "util", "paper util", "images/s", "paper img/s",
                    "reconfig", "reLink"});
@@ -42,6 +44,10 @@ int main() {
     const double images_per_sec =
         eval.items_per_sec / jpeg::kPaperImageBlocks;
     const auto& p = paper.at(m.name);
+    report.add("images_per_sec", images_per_sec, "img/s",
+               {{"impl", m.name}, {"tiles", std::to_string(m.tiles)}});
+    report.add("utilization", eval.avg_utilization, "",
+               {{"impl", m.name}, {"tiles", std::to_string(m.tiles)}});
     table.add_row({m.name, TextTable::integer(m.tiles),
                    m.binding.describe(m.network).substr(0, 40),
                    TextTable::num(eval.ii_ns / 1000.0, 1),
@@ -54,6 +60,8 @@ int main() {
                    eval.needs_relink ? "yes" : "no"});
   }
   std::printf("%s\n", table.render().c_str());
+  report.add_table("table4", table);
+  report.write();
   std::printf(
       "Shape checks: Impl2 == Impl3 and Impl4 ~= Impl5 in throughput (the\n"
       "DCT tile dominates unless it is split); splitting the DCT lifts\n"

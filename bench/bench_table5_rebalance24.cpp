@@ -6,6 +6,7 @@
 #include "apps/jpeg/process_table.hpp"
 #include "common/table.hpp"
 #include "mapping/rebalance.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
   using namespace cgra;
@@ -19,6 +20,7 @@ int main() {
   std::printf("Paper: T1:p0  T2:p1(17)  T3:p2-4  T4:p5(2)  T5:p6  T6:p7-8  "
               "T7:p9\n\n");
 
+  obs::BenchReport report("table5_rebalance24");
   for (const auto algo : {RebalanceAlgorithm::kOne, RebalanceAlgorithm::kTwo,
                           RebalanceAlgorithm::kOpt}) {
     const auto binding = mapping::rebalance(net, 24, algo, CostParams{});
@@ -46,6 +48,11 @@ int main() {
                 eval.ii_ns / 1000.0,
                 eval.items_per_sec / jpeg::kPaperImageBlocks,
                 eval.avg_utilization);
+    report.add_table(mapping::rebalance_name(algo), table);
+    report.add("images_per_sec",
+               eval.items_per_sec / jpeg::kPaperImageBlocks, "img/s",
+               {{"algorithm", mapping::rebalance_name(algo)}});
   }
+  report.write();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "common/prng.hpp"
 #include "common/table.hpp"
 #include "dse/fft_perf_model.hpp"
+#include "obs/bench_report.hpp"
 
 int main() {
   using namespace cgra;
@@ -28,6 +29,7 @@ int main() {
       "executed: total ns for one transform, all epochs, cycle-accurate\n"
       "modelled: steady-state ns per transform from the tau equations\n\n");
 
+  obs::BenchReport report("validation_executed_vs_model");
   TextTable table({"cols", "L(ns)", "executed ns", "exec reconfig ns",
                    "modelled ns", "exec slope vs L", "model slope vs L"});
   for (const int cols : {1, 2, 3, 6}) {
@@ -54,6 +56,10 @@ int main() {
              TextTable::num(model_at[1], 0),
              TextTable::num((exec_at[1] - exec_at[0]) / 1000.0, 2),
              TextTable::num((model_at[1] - model_at[0]) / 1000.0, 2)});
+        report.add("exec_slope_vs_L", (exec_at[1] - exec_at[0]) / 1000.0,
+                   "ns/ns", {{"cols", std::to_string(cols)}});
+        report.add("model_slope_vs_L", (model_at[1] - model_at[0]) / 1000.0,
+                   "ns/ns", {{"cols", std::to_string(cols)}});
       } else {
         table.add_row({TextTable::integer(cols), TextTable::integer(0),
                        TextTable::num(exec_at[0], 0),
@@ -63,6 +69,8 @@ int main() {
     }
   }
   std::printf("%s\n", table.render().c_str());
+  report.add_table("executed_vs_model", table);
+  report.write();
   std::printf(
       "Read the slope columns: both executed and modelled costs grow with L\n"
       "faster for wider designs — the mechanism behind Figures 10-12 — even\n"

@@ -2,19 +2,48 @@
 // fabric (8 tiles of M=8), validates against the double-precision
 // reference, and prints the Equation-1 cost breakdown of the run.
 //
-//   ./build/examples/fft_pipeline [N] [M] [cols]   (defaults: 64 8 1)
+//   ./build/examples/fft_pipeline [N] [M] [cols] [--profile]
+//                                 [--trace-json FILE]
+//
+// --profile prints the per-tile utilization / link / ICAP report plus the
+// model-vs-executed drift of the Sec. 3.2 tau equations; --trace-json
+// writes the span timeline as Chrome trace-event JSON (open in Perfetto).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <numbers>
+#include <string>
+#include <vector>
 
 #include "apps/fft/fabric_fft.hpp"
 #include "apps/fft/twiddle.hpp"
+#include "dse/fft_drift.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 int main(int argc, char** argv) {
   using namespace cgra;
-  const int n = argc > 1 ? std::atoi(argv[1]) : 64;
-  const int m = argc > 2 ? std::atoi(argv[2]) : 8;
-  const int cols = argc > 3 ? std::atoi(argv[3]) : 1;
+
+  bool profile = false;
+  std::string trace_path;
+  std::vector<int> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(argv[i], "--trace-json") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--trace-json needs a file argument\n");
+        return 1;
+      }
+      trace_path = argv[++i];
+    } else {
+      pos.push_back(std::atoi(argv[i]));
+    }
+  }
+  const int n = pos.size() > 0 ? pos[0] : 64;
+  const int m = pos.size() > 1 ? pos[1] : 8;
+  const int cols = pos.size() > 2 ? pos[2] : 1;
 
   fft::FftGeometry g;
   try {
@@ -44,6 +73,23 @@ int main(int argc, char** argv) {
   fft::FabricFftOptions opt;
   opt.link_cost_ns = 100.0;
   opt.cols = cols;
+
+  obs::SpanTimeline spans;
+  obs::MetricsRegistry metrics;
+  if (!trace_path.empty()) {
+    spans.set_track_name(obs::kTrackEpochs, "epochs");
+    spans.set_track_name(obs::kTrackIcap, "icap");
+    spans.set_track_name(obs::kTrackLinks, "links");
+    for (int t = 0; t < g.rows * cols; ++t) {
+      spans.set_track_name(obs::tile_track(t), "tile " + std::to_string(t));
+    }
+    opt.spans = &spans;
+  }
+  if (profile) {
+    opt.metrics = &metrics;
+    opt.collect_profile = true;
+  }
+
   const auto result = fft::run_fabric_fft(g, x, opt);
   if (!result.ok) {
     std::printf("fabric FFT failed (%zu faults)\n", result.faults.size());
@@ -78,5 +124,50 @@ int main(int argc, char** argv) {
       "\nTwiddle scheme: %lld of %lld words reloaded per transform "
       "(%lld generated in place by the green rule).\n",
       twiddles.reload_words, twiddles.naive_words, twiddles.generated_words);
+
+  if (profile) {
+    std::printf("\n%s", result.profile.render().c_str());
+    const Status rec = result.profile.reconcile();
+    if (rec.ok()) {
+      std::printf("reconciliation: OK (every tile sums to %lld cycles "
+                  "== %.1f ns)\n",
+                  static_cast<long long>(result.profile.total_cycles),
+                  result.profile.total_ns);
+    } else {
+      std::printf("reconciliation FAILED: %s\n", rec.message().c_str());
+      return 1;
+    }
+
+    const auto times = dse::measure_process_times(g);
+    const auto model =
+        dse::evaluate_fft_design(g, times, cols, opt.link_cost_ns);
+    const auto drift = dse::build_fft_drift(model, result.timeline);
+    std::printf("\n%s", drift.render().c_str());
+    std::printf("\nfabric counters: cycles=%lld retired=%lld "
+                "remote_writes=%lld faults=%lld\n",
+                static_cast<long long>(metrics.counter_value("fabric.cycles")),
+                static_cast<long long>(metrics.counter_value("fabric.retired")),
+                static_cast<long long>(
+                    metrics.counter_value("fabric.remote_writes")),
+                static_cast<long long>(metrics.counter_value("fabric.faults")));
+  }
+
+  if (!trace_path.empty()) {
+    const std::string json = spans.to_chrome_json("fft_pipeline");
+    const Status valid = obs::validate_chrome_trace(json);
+    if (!valid.ok()) {
+      std::printf("trace validation failed: %s\n", valid.message().c_str());
+      return 1;
+    }
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::printf("cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    out << json;
+    std::printf("\nwrote %zu spans (%zu unclosed) to %s — open in Perfetto "
+                "or chrome://tracing\n",
+                spans.spans().size(), spans.open_spans(), trace_path.c_str());
+  }
   return 0;
 }

@@ -5,22 +5,59 @@
 // the bundled decoder to report PSNR.
 //
 //   ./build/examples/jpeg_encode [width] [height] [quality] [out.jpg]
+//                                [--profile] [--trace-json FILE]
+//
+// The encoded stream is written only when an output path is given; without
+// one the example encodes in memory and reports sizes/PSNR.  --profile
+// runs one block through the compiled 1x4 schedule and prints the
+// per-tile / ICAP / per-process profile; --trace-json writes that run's
+// span timeline as Chrome trace-event JSON (open in Perfetto).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "apps/jpeg/color.hpp"
 #include "apps/jpeg/decoder.hpp"
 #include "apps/jpeg/fabric_jpeg.hpp"
 #include "apps/jpeg/process_table.hpp"
+#include "common/table.hpp"
+#include "config/profiler.hpp"
 #include "mapping/rebalance.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 int main(int argc, char** argv) {
   using namespace cgra;
-  const int width = argc > 1 ? std::atoi(argv[1]) : 64;
-  const int height = argc > 2 ? std::atoi(argv[2]) : 48;
-  const int quality = argc > 3 ? std::atoi(argv[3]) : 75;
-  const char* path = argc > 4 ? argv[4] : "out.jpg";
+
+  bool profile = false;
+  std::string trace_path;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(argv[i], "--trace-json") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--trace-json needs a file argument\n");
+        return 1;
+      }
+      trace_path = argv[++i];
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  const int width = pos.size() > 0 ? std::atoi(pos[0]) : 64;
+  const int height = pos.size() > 1 ? std::atoi(pos[1]) : 48;
+  const int quality = pos.size() > 2 ? std::atoi(pos[2]) : 75;
+  const char* path = pos.size() > 3 ? pos[3] : nullptr;
+  if (width <= 0 || height <= 0 || quality < 1 || quality > 100) {
+    std::printf("usage: %s [width] [height] [quality] [out.jpg] "
+                "[--profile] [--trace-json FILE]\n",
+                argv[0]);
+    return 1;
+  }
 
   const auto img = jpeg::synthetic_image(width, height, 2026);
   const auto quant = jpeg::scaled_quant(quality);
@@ -46,12 +83,22 @@ int main(int argc, char** argv) {
               cycles_to_ns(fabric_cycles) / 1000.0);
 
   const auto bytes = jpeg::encode_image(img, quality);
-  std::ofstream out(path, std::ios::binary);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  out.close();
-  std::printf("Wrote %zu bytes to %s (%dx%d, quality %d)\n", bytes.size(),
-              path, width, height, quality);
+  if (path != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::printf("cannot write %s\n", path);
+      return 1;
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    std::printf("Wrote %zu bytes to %s (%dx%d, quality %d)\n", bytes.size(),
+                path, width, height, quality);
+  } else {
+    std::printf("Encoded %zu bytes (%dx%d, quality %d); pass an output path "
+                "to save the stream\n",
+                bytes.size(), width, height, quality);
+  }
 
   const auto decoded = jpeg::decode_image(bytes);
   if (!decoded.ok) {
@@ -64,15 +111,21 @@ int main(int argc, char** argv) {
   {
     const auto rgb = jpeg::synthetic_rgb_image(width, height, 2027);
     const auto color_bytes = jpeg::encode_color_image(rgb, quality);
-    const std::string color_path = std::string(path) + ".color.jpg";
-    std::ofstream cout_file(color_path, std::ios::binary);
-    cout_file.write(reinterpret_cast<const char*>(color_bytes.data()),
-                    static_cast<std::streamsize>(color_bytes.size()));
     const auto color_decoded = jpeg::decode_image(color_bytes);
     if (color_decoded.ok && color_decoded.is_color) {
-      std::printf("Wrote %zu bytes to %s (color PSNR %.1f dB)\n",
-                  color_bytes.size(), color_path.c_str(),
-                  jpeg::psnr_rgb(rgb, color_decoded.rgb));
+      if (path != nullptr) {
+        const std::string color_path = std::string(path) + ".color.jpg";
+        std::ofstream cout_file(color_path, std::ios::binary);
+        cout_file.write(reinterpret_cast<const char*>(color_bytes.data()),
+                        static_cast<std::streamsize>(color_bytes.size()));
+        std::printf("Wrote %zu bytes to %s (color PSNR %.1f dB)\n",
+                    color_bytes.size(), color_path.c_str(),
+                    jpeg::psnr_rgb(rgb, color_decoded.rgb));
+      } else {
+        std::printf("Color variant: %zu bytes (PSNR %.1f dB, not written)\n",
+                    color_bytes.size(),
+                    jpeg::psnr_rgb(rgb, color_decoded.rgb));
+      }
     }
   }
 
@@ -89,5 +142,88 @@ int main(int argc, char** argv) {
       binding.describe(net).c_str(), eval.ii_ns / 1000.0,
       eval.time_for_items(blocks) / 1e6, width, height,
       eval.avg_utilization);
+
+  // --- observability: run one block through the compiled schedule ---
+  if (profile || !trace_path.empty()) {
+    const auto tnet = jpeg::jpeg_transform_pipeline();
+    const auto lib = jpeg::jpeg_program_library(quant);
+    mapping::Binding tbinding;
+    tbinding.groups = {{{0}, 1}, {{1}, 1}, {{2}, 1}, {{3}, 1}};
+    const auto placement = mapping::place(tbinding, 1, 4,
+                                          mapping::PlacementStrategy::kSnake);
+    const auto sched =
+        mapping::compile_item_schedule(tnet, tbinding, placement, lib);
+    if (!sched.ok()) {
+      std::printf("schedule compilation failed: %s\n",
+                  sched.status.message().c_str());
+      return 1;
+    }
+
+    fabric::Fabric fab(1, 4);
+    config::ReconfigController ctrl(IcapModel{},
+                                    interconnect::LinkCostModel{50.0});
+    obs::SpanTimeline spans;
+    obs::MetricsRegistry metrics;
+    spans.set_track_name(obs::kTrackEpochs, "epochs");
+    spans.set_track_name(obs::kTrackIcap, "icap");
+    spans.set_track_name(obs::kTrackLinks, "links");
+    for (int t = 0; t < 4; ++t) {
+      spans.set_track_name(obs::tile_track(t), "tile " + std::to_string(t));
+    }
+    ctrl.attach_timeline(&spans);
+    fab.attach_metrics(&metrics);
+
+    const auto raw = jpeg::extract_block(img, 0, 0);
+    const auto& first_impl = lib.at(0);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      fab.tile(sched.meta.front().tile)
+          .set_dmem(first_impl.in_base + static_cast<int>(i),
+                    from_signed(raw[i]));
+    }
+    const auto sres = config::run_schedule(fab, ctrl, sched.epochs, 1'000'000);
+    if (!sres.ok) {
+      std::printf("profiled schedule run failed\n");
+      return 1;
+    }
+
+    if (profile) {
+      const auto prof = config::build_profile(fab, sres.timeline);
+      std::printf("\n--- one block through the compiled schedule ---\n%s",
+                  prof.render().c_str());
+      const Status rec = prof.reconcile();
+      std::printf("reconciliation: %s\n", rec.message().c_str());
+      if (!rec.ok()) return 1;
+
+      TextTable table({"process", "epochs", "executed cycles",
+                       "predicted cycles"});
+      for (const auto& row :
+           mapping::attribute_process_cycles(sched, sres.timeline)) {
+        table.add_row({row.process < 0
+                           ? std::string("(routing)")
+                           : tnet.process(row.process).name,
+                       TextTable::integer(row.epochs),
+                       TextTable::integer(row.cycles),
+                       TextTable::integer(row.predicted_cycles)});
+      }
+      std::printf("\n%s", table.render().c_str());
+    }
+
+    if (!trace_path.empty()) {
+      const std::string json = spans.to_chrome_json("jpeg_encode");
+      const Status valid = obs::validate_chrome_trace(json);
+      if (!valid.ok()) {
+        std::printf("trace validation failed: %s\n", valid.message().c_str());
+        return 1;
+      }
+      std::ofstream out(trace_path, std::ios::binary);
+      if (!out) {
+        std::printf("cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      out << json;
+      std::printf("\nwrote %zu spans to %s\n", spans.spans().size(),
+                  trace_path.c_str());
+    }
+  }
   return 0;
 }

@@ -10,6 +10,8 @@
 //   --trace              print the execution trace (last 64 events)
 //   --cycles N           cycle budget (default 1e6)
 //   --dump LO HI         print dmem[LO..HI) after the run
+//   --profile            print the tile's cycle-accounting profile
+//   --trace-json FILE    write the run as Chrome trace-event JSON
 //
 // Exit status: 0 on success, 1 on assembly errors or runtime faults.
 #include <cstdio>
@@ -17,10 +19,14 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
 
+#include "config/profiler.hpp"
 #include "fabric/fabric.hpp"
 #include "isa/assembler.hpp"
 #include "isa/disassembler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -39,7 +45,8 @@ std::string read_file(const char* path, bool* ok) {
 int usage() {
   std::fprintf(stderr,
                "usage: remorph_asm (check|dis|run) prog.s "
-               "[--trace] [--cycles N] [--dump LO HI]\n");
+               "[--trace] [--cycles N] [--dump LO HI] [--profile] "
+               "[--trace-json FILE]\n");
   return 1;
 }
 
@@ -74,12 +81,18 @@ int main(int argc, char** argv) {
   if (mode != "run") return usage();
 
   bool trace = false;
+  bool profile = false;
+  std::string trace_json;
   long long cycles = 1'000'000;
   int dump_lo = -1;
   int dump_hi = -1;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+      trace_json = argv[++i];
     } else if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
       cycles = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--dump") == 0 && i + 2 < argc) {
@@ -93,6 +106,8 @@ int main(int argc, char** argv) {
   fabric::Fabric fab(1, 1);
   fabric::Tracer tracer;
   if (trace) fab.attach_tracer(&tracer);
+  obs::MetricsRegistry metrics;
+  if (profile) fab.attach_metrics(&metrics);
   if (!fab.tile(0).load_program(assembled.program)) {
     std::fprintf(stderr, "program does not fit the tile\n");
     return 1;
@@ -107,6 +122,28 @@ int main(int argc, char** argv) {
   }
   if (trace) {
     std::printf("--- trace ---\n%s", tracer.dump().c_str());
+  }
+  if (profile) {
+    config::Timeline timeline;
+    timeline.epoch_compute_ns = run.elapsed_ns();
+    timeline.epoch_cycles.push_back(run.cycles);
+    const auto prof = config::build_profile(fab, timeline);
+    std::printf("--- profile ---\n%s", prof.render().c_str());
+    std::printf("reconciliation: %s\n", prof.reconcile().message().c_str());
+    std::printf("%s", metrics.to_table().c_str());
+  }
+  if (!trace_json.empty()) {
+    obs::SpanTimeline spans;
+    spans.set_track_name(obs::kTrackEpochs, "run");
+    spans.complete("run", "epoch", obs::kTrackEpochs, 0.0, run.elapsed_ns(),
+                   {{"cycles", std::to_string(run.cycles), true}});
+    std::ofstream out(trace_json, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+      return 1;
+    }
+    out << spans.to_chrome_json("remorph_asm");
+    std::printf("wrote trace to %s\n", trace_json.c_str());
   }
   if (dump_lo >= 0 && dump_hi > dump_lo && dump_hi <= kDataMemWords) {
     std::printf("--- dmem[%d..%d) ---\n", dump_lo, dump_hi);

@@ -9,6 +9,7 @@
 
 #include "apps/fft/programs.hpp"
 #include "common/fixed_complex.hpp"
+#include "config/profiler.hpp"
 #include "fabric/fabric.hpp"
 #include "interconnect/link.hpp"
 
@@ -84,14 +85,32 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
   ReconfigController ctrl(IcapModel{},
                           interconnect::LinkCostModel{opt.link_cost_ns});
   ctrl.set_fault_options(opt.icap_faults);
+  ctrl.attach_timeline(opt.spans);
+  fab.attach_metrics(opt.metrics);
   config::Timeline& timeline = result.timeline;
+
+  /// Every exit past this point goes through finish() so the profile is
+  /// available even for runs that end early on a fault.
+  auto finish = [&]() -> FabricFftResult& {
+    if (opt.collect_profile) {
+      result.profile = config::build_profile(fab, timeline);
+    }
+    return result;
+  };
 
   auto run_epoch = [&](const EpochConfig& epoch) -> bool {
     const auto report = ctrl.apply(fab, epoch);
     timeline.reconfig_ns += report.total_ns();
     timeline.transitions.push_back(report);
+    const Nanoseconds epoch_start_ns = cycles_to_ns(fab.now());
     const auto run = fab.run(opt.max_cycles_per_epoch);
     timeline.epoch_compute_ns += run.elapsed_ns();
+    timeline.epoch_cycles.push_back(run.cycles);
+    if (opt.spans != nullptr) {
+      opt.spans->complete(epoch.name, "epoch", obs::kTrackEpochs,
+                          epoch_start_ns, run.elapsed_ns(),
+                          {{"cycles", std::to_string(run.cycles), true}});
+    }
     ++result.epochs;
     if (!run.ok()) {
       result.faults = run.faults;
@@ -121,7 +140,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
       update.restart = false;
       load.tiles[tile] = std::move(update);
     }
-    if (!run_epoch(load)) return result;
+    if (!run_epoch(load)) return finish();
   }
 
   const isa::Program bf_prog = must_assemble(bf_pair_source(lay));
@@ -149,7 +168,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
       update.restart = true;
       bf.tiles[tile] = std::move(update);
     }
-    if (!run_epoch(bf)) return result;
+    if (!run_epoch(bf)) return finish();
     if (s + 1 == g.stages) break;
 
     // ---- redistribution to the stage-(s+1) arrangement ----
@@ -203,7 +222,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
     int guard = 0;
     while (!all_done()) {
       if (++guard > 8 * (g.rows + cols) + 64) {
-        return result;  // routing livelock: reported as ok == false
+        return finish();  // routing livelock: reported as ok == false
       }
       bool progress = false;
 
@@ -278,7 +297,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
           hop.tiles[tile] = std::move(update);
           kernel_resident[static_cast<std::size_t>(tile)] = false;
         }
-        if (!run_epoch(hop)) return result;
+        if (!run_epoch(hop)) return finish();
         ++result.redistribution_subepochs;
 
         for (Move* mv : advancing) {
@@ -318,7 +337,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
             apply.tiles[tile] = std::move(update);
             kernel_resident[static_cast<std::size_t>(tile)] = false;
           }
-          if (!run_epoch(apply)) return result;
+          if (!run_epoch(apply)) return finish();
           ++result.redistribution_subepochs;
           for (Move* mv : applying) {
             occupied.erase({mv->dst_tile, mv->dst_slot});
@@ -329,7 +348,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
       }
 
       if (!progress) {
-        return result;  // routing stuck: reported as ok == false
+        return finish();  // routing stuck: reported as ok == false
       }
     }
   }
@@ -345,7 +364,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
         to_double(unpack_complex(w));
   }
   result.ok = true;
-  return result;
+  return finish();
 }
 
 std::int64_t measure_bf_cycles(const FftGeometry& g, int stage) {

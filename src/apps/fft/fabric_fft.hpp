@@ -31,6 +31,9 @@
 #include "common/status.hpp"
 #include "common/timing.hpp"
 #include "config/reconfig.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/span.hpp"
 
 namespace cgra::fft {
 
@@ -47,6 +50,14 @@ struct FabricFftOptions {
   /// flight, readback verification, and the retry bound.  Default-off: the
   /// zero-fault run streams exactly as the paper models it.
   config::IcapFaultOptions icap_faults{};
+
+  // --- observability (docs/OBSERVABILITY.md); all default-off ---
+  /// Span timeline for epoch / ICAP / stall tracks (not owned).
+  obs::SpanTimeline* spans = nullptr;
+  /// Metrics registry attached to the fabric hot loop (not owned).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Fill FabricFftResult::profile from the executed run.
+  bool collect_profile = false;
 };
 
 /// Result of a fabric FFT run.
@@ -57,6 +68,9 @@ struct FabricFftResult {
   std::vector<Fault> faults;
   int epochs = 0;                  ///< Epoch configurations applied.
   std::int64_t redistribution_subepochs = 0;
+  /// Per-tile / link / ICAP profile (FabricFftOptions::collect_profile);
+  /// filled even when the run ends early on a fault.
+  obs::ProfileReport profile;
 };
 
 /// Where logical element `e` lives under the stage-`s` arrangement.

@@ -23,6 +23,15 @@ class TextTable {
   /// Number of data rows added so far.
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
+  /// Raw cells, for machine-readable exports (obs::BenchReport).
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
   /// Format helpers for numeric cells.
   static std::string num(double v, int precision = 2);
   static std::string integer(long long v);

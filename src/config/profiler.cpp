@@ -1,0 +1,61 @@
+#include "config/profiler.hpp"
+
+namespace cgra::config {
+
+obs::ProfileReport build_profile(const fabric::Fabric& fabric,
+                                 const Timeline& timeline) {
+  obs::ProfileReport report;
+  report.total_cycles = fabric.now();
+  report.total_ns = timeline.total_ns();
+  report.reconfig_ns = timeline.reconfig_ns;
+
+  const double total_cycles = static_cast<double>(report.total_cycles);
+  for (int i = 0; i < fabric.tile_count(); ++i) {
+    const auto& stats = fabric.tile(i).stats();
+    obs::TileProfile tp;
+    tp.tile = i;
+    tp.retired = stats.instructions;
+    tp.stalled = stats.cycles_stalled;
+    tp.idle = stats.cycles_halted;
+    tp.remote_writes = stats.remote_writes;
+    tp.faulted = fabric.tile(i).faulted();
+    report.tiles.push_back(tp);
+
+    const auto dst = fabric.links().target(i);
+    if (stats.remote_writes > 0 || dst.has_value()) {
+      obs::LinkProfile lp;
+      lp.src_tile = i;
+      lp.dst_tile = dst.value_or(-1);
+      lp.words = stats.remote_writes;
+      lp.occupancy = report.total_cycles > 0
+                         ? static_cast<double>(lp.words) / total_cycles
+                         : 0.0;
+      // Sustained bandwidth of 48-bit words over the simulated wall time:
+      // bytes / ns == GB/s, so * 1000 for MB/s.
+      lp.bandwidth_mb_s =
+          report.total_ns > 0.0
+              ? static_cast<double>(lp.words) * (kWordBits / 8.0) /
+                    report.total_ns * 1000.0
+              : 0.0;
+      report.links.push_back(lp);
+    }
+  }
+
+  report.icap.transitions = static_cast<int>(timeline.transitions.size());
+  for (const auto& t : timeline.transitions) {
+    report.icap.busy_cycles += t.icap_busy_cycles;
+    report.icap.link_ns += t.link_ns;
+    report.icap.inst_reload_ns += t.inst_reload_ns;
+    report.icap.data_reload_ns += t.data_reload_ns;
+    report.icap.verify_ns += t.verify_ns;
+    report.icap.retry_ns += t.retry_ns;
+    report.icap.retries += t.icap_retries;
+  }
+  report.icap.busy_fraction =
+      report.total_cycles > 0
+          ? static_cast<double>(report.icap.busy_cycles) / total_cycles
+          : 0.0;
+  return report;
+}
+
+}  // namespace cgra::config

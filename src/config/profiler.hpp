@@ -1,0 +1,26 @@
+// Builds an obs::ProfileReport from an executed Fabric + Timeline pair.
+//
+// Lives in the config layer (not obs) because it reads both sides of the
+// dependency edge: fabric TileStats / link state on one hand and the
+// Equation-1 Timeline of the reconfiguration controller on the other.
+// obs stays a leaf library.
+#pragma once
+
+#include "config/reconfig.hpp"
+#include "fabric/fabric.hpp"
+#include "obs/profile.hpp"
+
+namespace cgra::config {
+
+/// Assemble the full profile of a completed run.
+///
+/// `total_cycles` comes from the fabric's cycle counter and `total_ns` from
+/// `timeline.total_ns()`; on a fabric that was fresh when the schedule
+/// started the two agree exactly (the reconciliation invariant checked by
+/// ProfileReport::reconcile()).  Per-tile rows come from TileStats — whose
+/// own invariant guarantees retired + stalled + idle == total_cycles — and
+/// the ICAP section aggregates the timeline's TransitionReports.
+obs::ProfileReport build_profile(const fabric::Fabric& fabric,
+                                 const Timeline& timeline);
+
+}  // namespace cgra::config

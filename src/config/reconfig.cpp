@@ -1,6 +1,7 @@
 #include "config/reconfig.hpp"
 
 #include <cmath>
+#include <string>
 
 namespace cgra::config {
 
@@ -29,8 +30,15 @@ bool readback_matches(const fabric::Tile& tile, const TileUpdate& update) {
   return true;
 }
 
-void record_recovery(fabric::Fabric& fabric, int tile,
-                     fabric::RecoveryAction action, int attempt) {
+void record_recovery(fabric::Fabric& fabric, obs::SpanTimeline* spans,
+                     int tile, fabric::RecoveryAction action, int attempt) {
+  if (spans != nullptr) {
+    spans->instant(
+        std::string("recovery:") + fabric::recovery_action_name(action),
+        "recovery", obs::tile_track(tile), cycles_to_ns(fabric.now()),
+        {{"tile", std::to_string(tile), true},
+         {"attempt", std::to_string(attempt), true}});
+  }
   if (fabric.tracer() == nullptr) return;
   fabric::TraceEvent ev;
   ev.cycle = fabric.now();
@@ -99,12 +107,12 @@ Nanoseconds ReconfigController::stream_tile(fabric::Fabric& fabric,
       f.tile = tile_index;
       f.cycle = fabric.now();
       report.detected.push_back(f);
-      record_recovery(fabric, tile_index, fabric::RecoveryAction::kGiveUp,
-                      attempt);
+      record_recovery(fabric, spans_, tile_index,
+                      fabric::RecoveryAction::kGiveUp, attempt);
       break;
     }
-    record_recovery(fabric, tile_index, fabric::RecoveryAction::kIcapRetry,
-                    attempt + 1);
+    record_recovery(fabric, spans_, tile_index,
+                    fabric::RecoveryAction::kIcapRetry, attempt + 1);
   }
   return occupied;
 }
@@ -112,22 +120,48 @@ Nanoseconds ReconfigController::stream_tile(fabric::Fabric& fabric,
 TransitionReport ReconfigController::apply(fabric::Fabric& fabric,
                                            const EpochConfig& next) {
   TransitionReport report;
+  report.name = next.name;
   report.start_cycle = fabric.now();
+  const Nanoseconds start_ns = cycles_to_ns(report.start_cycle);
+
+  // The enclosing transition span is opened with begin() so it precedes the
+  // per-tile stream spans in recording order — Chrome/Perfetto nest
+  // same-timestamp events by insertion order.
+  obs::SpanTimeline::SpanId transition_span = 0;
+  if (spans_ != nullptr) {
+    transition_span = spans_->begin("reconfig:" + next.name, "reconfig",
+                                    obs::kTrackIcap, start_ns);
+  }
 
   // --- link rewiring ---
   report.links_changed =
       interconnect::LinkConfig::changed_links(fabric.links(), next.links);
   report.link_ns = link_cost_.links_ns(report.links_changed);
   fabric.links() = next.links;
+  if (spans_ != nullptr && report.links_changed > 0) {
+    spans_->complete(
+        "rewire:" + next.name, "links", obs::kTrackLinks, start_ns,
+        report.link_ns,
+        {{"links_changed", std::to_string(report.links_changed), true}});
+  }
 
   // --- serial ICAP streaming, tile by tile ---
   // The link rewiring occupies the ICAP first (it is itself a partial
   // bitstream), then each tile's payload streams in ascending tile order.
   Nanoseconds icap_free_ns = cycles_to_ns(fabric.now()) + report.link_ns;
   for (const auto& [tile_index, update] : next.tiles) {
+    const Nanoseconds stream_start_ns = icap_free_ns;
     const Nanoseconds occupied =
         stream_tile(fabric, tile_index, update, report);
     icap_free_ns += occupied;
+    if (spans_ != nullptr && occupied > 0.0) {
+      spans_->complete(
+          "stream:t" + std::to_string(tile_index), "icap", obs::kTrackIcap,
+          stream_start_ns, occupied,
+          {{"tile", std::to_string(tile_index), true},
+           {"inst_words", std::to_string(update.inst_words()), true},
+           {"data_words", std::to_string(update.data_words()), true}});
+    }
 
     auto& tile = fabric.tile(tile_index);
     // A tile whose payload failed verification is NOT restarted into the
@@ -137,10 +171,22 @@ TransitionReport ReconfigController::apply(fabric::Fabric& fabric,
       tile.restart();
     }
     tile.stall_until(ns_to_cycles_ceil(icap_free_ns));
+    if (spans_ != nullptr) {
+      const Nanoseconds stall_end_ns =
+          cycles_to_ns(ns_to_cycles_ceil(icap_free_ns));
+      if (stall_end_ns > start_ns) {
+        spans_->complete("stall:t" + std::to_string(tile_index), "stall",
+                         obs::tile_track(tile_index), start_ns,
+                         stall_end_ns - start_ns);
+      }
+    }
   }
 
   report.complete_cycle = ns_to_cycles_ceil(icap_free_ns);
   report.icap_busy_cycles = report.complete_cycle - report.start_cycle;
+  if (spans_ != nullptr) {
+    spans_->end(transition_span, cycles_to_ns(report.complete_cycle));
+  }
 
   if (!partial_) {
     // Single-context baseline: the whole array stalls until the last byte
@@ -156,6 +202,7 @@ TransitionReport ReconfigController::scrub_tile(fabric::Fabric& fabric,
                                                 const EpochConfig& epoch,
                                                 int tile) {
   TransitionReport report;
+  report.name = "scrub:" + epoch.name;
   report.start_cycle = fabric.now();
   const auto it = epoch.tiles.find(tile);
   if (it == epoch.tiles.end()) {
@@ -170,6 +217,11 @@ TransitionReport ReconfigController::scrub_tile(fabric::Fabric& fabric,
   t.stall_until(ns_to_cycles_ceil(done_ns));
   report.complete_cycle = ns_to_cycles_ceil(done_ns);
   report.icap_busy_cycles = report.complete_cycle - report.start_cycle;
+  if (spans_ != nullptr && occupied > 0.0) {
+    spans_->complete("scrub:t" + std::to_string(tile), "icap", obs::kTrackIcap,
+                     cycles_to_ns(report.start_cycle), occupied,
+                     {{"tile", std::to_string(tile), true}});
+  }
   return report;
 }
 
@@ -177,13 +229,21 @@ ScheduleResult run_schedule(fabric::Fabric& fabric, ReconfigController& ctrl,
                             const std::vector<EpochConfig>& epochs,
                             std::int64_t max_cycles_per_epoch) {
   ScheduleResult result;
+  obs::SpanTimeline* spans = ctrl.timeline();
   for (const auto& epoch : epochs) {
     const TransitionReport report = ctrl.apply(fabric, epoch);
     result.timeline.reconfig_ns += report.total_ns();
     result.timeline.transitions.push_back(report);
 
+    const Nanoseconds epoch_start_ns = cycles_to_ns(fabric.now());
     const fabric::RunResult run = fabric.run(max_cycles_per_epoch);
     result.timeline.epoch_compute_ns += run.elapsed_ns();
+    result.timeline.epoch_cycles.push_back(run.cycles);
+    if (spans != nullptr) {
+      spans->complete(epoch.name, "epoch", obs::kTrackEpochs, epoch_start_ns,
+                      run.elapsed_ns(),
+                      {{"cycles", std::to_string(run.cycles), true}});
+    }
     if (!run.faults.empty()) {
       result.faults.insert(result.faults.end(), run.faults.begin(),
                            run.faults.end());

@@ -18,11 +18,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/timing.hpp"
 #include "config/epoch.hpp"
 #include "fabric/fabric.hpp"
+#include "obs/span.hpp"
 
 namespace cgra::config {
 
@@ -54,6 +56,7 @@ struct IcapFaultOptions {
 
 /// Cost breakdown of one epoch transition.
 struct TransitionReport {
+  std::string name;  ///< Destination epoch (EpochConfig::name).
   int links_changed = 0;
   Nanoseconds link_ns = 0.0;        ///< links_changed * L.
   Nanoseconds inst_reload_ns = 0.0; ///< Instruction words through the ICAP.
@@ -87,6 +90,10 @@ struct Timeline {
   Nanoseconds epoch_compute_ns = 0.0;  ///< Executed time incl. visible stalls.
   Nanoseconds reconfig_ns = 0.0;       ///< Analytic term B (links + ICAP).
   std::vector<TransitionReport> transitions;
+  /// Executed cycles of each epoch, parallel to `transitions` (filled by
+  /// run_schedule and the epoch-pipeline app drivers; the profiler uses it
+  /// for per-epoch drift bucketing).
+  std::vector<std::int64_t> epoch_cycles;
 
   /// Executed wall time of the whole schedule.
   [[nodiscard]] Nanoseconds total_ns() const noexcept {
@@ -141,6 +148,12 @@ class ReconfigController {
     return fault_options_;
   }
 
+  /// Attach (or detach with nullptr) a span timeline; the controller does
+  /// not own it.  With one attached, every apply()/scrub records spans on
+  /// the ICAP / links / per-tile tracks (see obs/span.hpp).
+  void attach_timeline(obs::SpanTimeline* spans) noexcept { spans_ = spans; }
+  [[nodiscard]] obs::SpanTimeline* timeline() const noexcept { return spans_; }
+
  private:
   /// Stream one tile update (with tamper/verify/retry); returns the ns the
   /// payload occupied the ICAP and updates `report`.
@@ -151,6 +164,7 @@ class ReconfigController {
   interconnect::LinkCostModel link_cost_;
   bool partial_ = true;
   IcapFaultOptions fault_options_;
+  obs::SpanTimeline* spans_ = nullptr;
 };
 
 /// Convenience driver: run a sequence of epochs to completion on a fabric,

@@ -1,0 +1,61 @@
+#include "dse/fft_drift.hpp"
+
+#include <string_view>
+
+namespace cgra::dse {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+obs::DriftReport build_fft_drift(const FftCostBreakdown& model,
+                                 const config::Timeline& executed) {
+  Nanoseconds bf_reload_ns = 0.0;
+  Nanoseconds bf_compute_ns = 0.0;
+  Nanoseconds copy_reload_ns = 0.0;
+  Nanoseconds copy_compute_ns = 0.0;
+  Nanoseconds link_ns = 0.0;
+
+  for (std::size_t i = 0; i < executed.transitions.size(); ++i) {
+    const config::TransitionReport& t = executed.transitions[i];
+    link_ns += t.link_ns;
+    const Nanoseconds compute_ns =
+        i < executed.epoch_cycles.size()
+            ? cycles_to_ns(executed.epoch_cycles[i])
+            : 0.0;
+    if (starts_with(t.name, "bf-")) {
+      bf_reload_ns += t.data_reload_ns + t.inst_reload_ns;
+      bf_compute_ns += compute_ns;
+    } else if (starts_with(t.name, "redistribute-") ||
+               starts_with(t.name, "apply-")) {
+      copy_reload_ns += t.data_reload_ns + t.inst_reload_ns;
+      copy_compute_ns += compute_ns;
+    }
+  }
+
+  obs::DriftReport drift;
+  drift.model = "fft-tau";
+  drift.add_unmeasured("tau0 input hcp", model.tau[0],
+                       "host-side input transfer is outside the run");
+  drift.add("tau1 twiddle reload", model.tau[1], bf_reload_ns,
+            "ICAP reload of bf-* epochs (twiddles + kernel faults-in)");
+  drift.add("tau2 butterfly compute", model.tau[2], bf_compute_ns,
+            "executed cycles of bf-* epochs");
+  drift.add("tau3 copy-var reload", model.tau[3], copy_reload_ns,
+            "run re-streams whole copy programs; model charges variables");
+  drift.add("tau4 copy compute", model.tau[4], copy_compute_ns,
+            "executed cycles of redistribute-*/apply-* epochs");
+  drift.add("tau5 link config", model.tau[5], link_ns,
+            "link rewiring over all transitions");
+  drift.add_unmeasured("tau6 hcp dmem reload", model.tau[6],
+                       "identically zero (Eq. 13)");
+  drift.add_unmeasured("tau7 output hcp", model.tau[7],
+                       "host-side output transfer is outside the run");
+  return drift;
+}
+
+}  // namespace cgra::dse

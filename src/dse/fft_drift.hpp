@@ -1,0 +1,34 @@
+// Model-vs-executed drift for the FFT tau equations.
+//
+// Buckets an executed Timeline (the named TransitionReports and
+// epoch_cycles that run_fabric_fft records) against the analytic
+// FftCostBreakdown of the same design, producing an obs::DriftReport: one
+// row per tau term that the cycle-level run can observe, flagged rows for
+// the terms it cannot (host-side I/O in tau0/tau7, the identically-zero
+// tau6).  The drift column quantifies how faithful Sec. 3.2's equations
+// are to the executed schedule — the paper validates them only at the
+// curve-shape level.
+#pragma once
+
+#include "config/reconfig.hpp"
+#include "dse/fft_perf_model.hpp"
+#include "obs/profile.hpp"
+
+namespace cgra::dse {
+
+/// Build the drift report for one executed FFT run.
+///
+/// `model` must be the breakdown of the same (geometry, cols, link cost)
+/// design the timeline was executed with.  Measured buckets:
+///   tau1 <- data-reload ns of the "bf-*" transitions (twiddle patches),
+///   tau2 <- executed cycles of the "bf-*" epochs,
+///   tau3 <- instruction + data reload ns of the "redistribute-*" /
+///           "apply-*" transitions (the simulator re-streams whole copy
+///           programs where the model charges only retargeted variables,
+///           so positive drift here measures that gap),
+///   tau4 <- executed cycles of the "redistribute-*" / "apply-*" epochs,
+///   tau5 <- link-rewiring ns summed over every transition.
+obs::DriftReport build_fft_drift(const FftCostBreakdown& model,
+                                 const config::Timeline& executed);
+
+}  // namespace cgra::dse

@@ -32,24 +32,32 @@ int Fabric::step() {
                       : TraceEventKind::kRetire;
         tracer_->record(ev);
       }
-    } else if (tracer_ != nullptr && !was_faulted && tile.faulted()) {
-      TraceEvent ev;
-      ev.cycle = cycle_;
-      ev.kind = TraceEventKind::kFault;
-      ev.tile = i;
-      ev.pc = pc_before;
-      const isa::Instruction* in = tile.instruction_at(pc_before);
-      if (in != nullptr) ev.opcode = in->opcode;
-      tracer_->record(ev);
+    } else if (!was_faulted && tile.faulted()) {
+      // The cycle a fault is raised mid-step would otherwise be missing
+      // from the tile's cycle accounting (TileStats invariant).
+      tile.count_fault_cycle();
+      if (metrics_ != nullptr) metrics_->add(m_faults_);
+      if (tracer_ != nullptr) {
+        TraceEvent ev;
+        ev.cycle = cycle_;
+        ev.kind = TraceEventKind::kFault;
+        ev.tile = i;
+        ev.pc = pc_before;
+        const isa::Instruction* in = tile.instruction_at(pc_before);
+        if (in != nullptr) ev.opcode = in->opcode;
+        tracer_->record(ev);
+      }
     }
   }
   // Commit remote writes synchronously at end of cycle, in tile order
   // (deterministic: lower tile index wins ties on the same destination word
   // last, i.e. the higher index's value persists — documented semantics).
+  int committed = 0;
   for (const auto& w : remote_buffer_) {
     const auto dst = links_.target(w.src_tile);
     if (dst) {
       tiles_[static_cast<std::size_t>(*dst)].set_dmem(w.addr, w.value);
+      ++committed;
       if (tracer_ != nullptr) {
         TraceEvent ev;
         ev.cycle = cycle_;
@@ -63,7 +71,24 @@ int Fabric::step() {
     }
   }
   ++cycle_;
+  if (metrics_ != nullptr) {
+    metrics_->add(m_cycles_);
+    metrics_->add(m_retired_, retired);
+    metrics_->add(m_remote_writes_, committed);
+  }
   return retired;
+}
+
+void Fabric::attach_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    m_cycles_ = metrics_->counter("fabric.cycles");
+    m_retired_ = metrics_->counter("fabric.retired");
+    m_remote_writes_ = metrics_->counter("fabric.remote_writes");
+    m_faults_ = metrics_->counter("fabric.faults");
+  } else {
+    m_cycles_ = m_retired_ = m_remote_writes_ = m_faults_ = {};
+  }
 }
 
 RunResult Fabric::run(std::int64_t max_cycles) {

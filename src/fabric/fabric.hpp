@@ -14,6 +14,7 @@
 #include "fabric/tile.hpp"
 #include "fabric/trace.hpp"
 #include "interconnect/link.hpp"
+#include "obs/metrics.hpp"
 
 namespace cgra::fabric {
 
@@ -94,6 +95,16 @@ class Fabric {
   void attach_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Attach (or detach with nullptr) a metrics registry; the fabric does
+  /// not own it.  Handles are resolved once here so the hot loop pays one
+  /// branch plus array increments per cycle (and nothing per tile).  The
+  /// published counters: fabric.cycles, fabric.retired,
+  /// fabric.remote_writes, fabric.faults.
+  void attach_metrics(obs::MetricsRegistry* metrics);
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
+  }
+
  private:
   interconnect::LinkConfig links_;
   std::vector<Tile> tiles_;
@@ -101,6 +112,11 @@ class Fabric {
   std::vector<std::uint8_t> failed_links_;  ///< 1 = output driver broken.
   std::int64_t cycle_ = 0;
   Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::CounterHandle m_cycles_;
+  obs::CounterHandle m_retired_;
+  obs::CounterHandle m_remote_writes_;
+  obs::CounterHandle m_faults_;
 };
 
 }  // namespace cgra::fabric

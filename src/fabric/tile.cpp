@@ -112,7 +112,10 @@ int Tile::effective_addr(std::uint16_t field, bool indirect, int tile_index,
 
 bool Tile::step(int tile_index, std::int64_t cycle, LinkState link,
                 std::vector<RemoteWrite>& remote_out) {
-  if (halted_ || fault_.is_fault()) return false;
+  if (halted_ || fault_.is_fault()) {
+    ++stats_.cycles_halted;
+    return false;
+  }
   if (cycle < stalled_until_) {
     ++stats_.cycles_stalled;
     return false;

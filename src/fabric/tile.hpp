@@ -36,10 +36,17 @@ struct RemoteWrite {
 };
 
 /// Per-tile execution counters.
+///
+/// Cycle accounting invariant (the basis of obs::ProfileReport): every
+/// fabric cycle a tile is stepped lands in exactly one of `instructions`
+/// (retired), `cycles_stalled` (reconfiguration stall) or `cycles_halted`
+/// (halted / faulted / the one cycle a fault is raised), so the three sum
+/// to the fabric's global cycle counter.
 struct TileStats {
   std::int64_t instructions = 0;  ///< Instructions retired.
   std::int64_t remote_writes = 0;
   std::int64_t cycles_stalled = 0;  ///< Cycles spent stalled for reconfig.
+  std::int64_t cycles_halted = 0;   ///< Cycles halted or faulted.
 };
 
 /// One processing element.
@@ -80,6 +87,11 @@ class Tile {
   [[nodiscard]] bool dead() const noexcept { return dead_; }
   [[nodiscard]] int pc() const noexcept { return pc_; }
   [[nodiscard]] const TileStats& stats() const noexcept { return stats_; }
+
+  /// Attribute the cycle a fault was raised mid-step to the halted bucket
+  /// (the fabric calls this on the fault transition, keeping the TileStats
+  /// cycle-accounting invariant exact).
+  void count_fault_cycle() noexcept { ++stats_.cycles_halted; }
   [[nodiscard]] int code_size() const noexcept {
     return static_cast<int>(code_.size());
   }

@@ -47,6 +47,13 @@ RecoveryManager::RecoveryManager(fabric::Fabric& fabric,
 
 void RecoveryManager::trace(int tile, fabric::RecoveryAction action,
                             int attempt) const {
+  if (obs::SpanTimeline* spans = ctrl_.timeline(); spans != nullptr) {
+    spans->instant(
+        std::string("recovery:") + fabric::recovery_action_name(action),
+        "recovery", obs::tile_track(tile), cycles_to_ns(fabric_.now()),
+        {{"tile", std::to_string(tile), true},
+         {"attempt", std::to_string(attempt), true}});
+  }
   if (fabric_.tracer() == nullptr) return;
   fabric::TraceEvent ev;
   ev.cycle = fabric_.now();
@@ -179,8 +186,16 @@ RecoveryReport RecoveryManager::run_item(
     if (!stream_failed) {
       const std::int64_t budget =
           policy_.watchdog.budget_cycles(m.predicted_cycles);
+      const Nanoseconds epoch_start_ns = cycles_to_ns(fabric_.now());
       run = run_with_injection(budget, rep);
       rep.timeline.epoch_compute_ns += run.elapsed_ns();
+      rep.timeline.epoch_cycles.push_back(run.cycles);
+      if (obs::SpanTimeline* spans = ctrl_.timeline(); spans != nullptr) {
+        spans->complete(sched.epochs[idx].name, "epoch", obs::kTrackEpochs,
+                        epoch_start_ns, run.elapsed_ns(),
+                        {{"cycles", std::to_string(run.cycles), true},
+                         {"replay", replay ? "true" : "false", true}});
+      }
       if (replay) rep.recovery_ns += run.elapsed_ns();
       // Configuration scrub: instruction memory never changes outside
       // the ICAP, so any fingerprint drift across the run is an upset —

@@ -1,5 +1,6 @@
 #include "mapping/schedule_compiler.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -176,6 +177,25 @@ CompiledSchedule compile_item_schedule(const procnet::ProcessNetwork& net,
     }
   }
   return out;
+}
+
+std::vector<ProcessCycles> attribute_process_cycles(
+    const CompiledSchedule& sched, const config::Timeline& timeline) {
+  std::map<int, ProcessCycles> buckets;
+  const std::size_t n =
+      std::min(sched.meta.size(), timeline.epoch_cycles.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const EpochMeta& m = sched.meta[i];
+    ProcessCycles& b = buckets[m.process];
+    b.process = m.process;
+    b.cycles += timeline.epoch_cycles[i];
+    b.predicted_cycles += m.predicted_cycles;
+    b.epochs += 1;
+  }
+  std::vector<ProcessCycles> rows;
+  rows.reserve(buckets.size());
+  for (auto& [pid, bucket] : buckets) rows.push_back(bucket);
+  return rows;
 }
 
 }  // namespace cgra::mapping

@@ -66,6 +66,24 @@ struct CompiledSchedule {
   [[nodiscard]] bool ok() const noexcept { return status.ok(); }
 };
 
+/// Executed cycles attributed to one process of the network.
+struct ProcessCycles {
+  int process = -1;  ///< Process id; -1 collects the routed transfer hops.
+  std::int64_t cycles = 0;            ///< Executed (Timeline::epoch_cycles).
+  std::int64_t predicted_cycles = 0;  ///< Analytic (EpochMeta) estimate.
+  int epochs = 0;                     ///< Epoch activations attributed.
+};
+
+/// Bucket a run's executed cycles by owning process.
+///
+/// Pairs `timeline.epoch_cycles[i]` (filled by config::run_schedule or the
+/// recovery manager) with `sched.meta[i].process`; route-hop epochs land in
+/// the process == -1 bucket.  Replayed epochs (recovery) add to their
+/// process again — attribution is of executed time, not of useful work.
+/// Rows come back sorted by process id, routing first.
+std::vector<ProcessCycles> attribute_process_cycles(
+    const CompiledSchedule& sched, const config::Timeline& timeline);
+
 /// Compile the flow of ONE pipeline item through `binding` as placed by
 /// `placement`.  Replicated groups execute on their first replica (the
 /// steady-state round-robin is the cost model's concern, correctness is

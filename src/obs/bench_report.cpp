@@ -1,0 +1,88 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace cgra::obs {
+
+void BenchReport::add(std::string metric, double value, std::string unit,
+                      std::vector<std::pair<std::string, std::string>> params) {
+  Metric m;
+  m.name = std::move(metric);
+  m.value = value;
+  m.unit = std::move(unit);
+  m.params = std::move(params);
+  metrics_.push_back(std::move(m));
+}
+
+void BenchReport::add_table(std::string table_name, const TextTable& table) {
+  Table t;
+  t.name = std::move(table_name);
+  t.header = table.header();
+  t.rows = table.rows();
+  tables_.push_back(std::move(t));
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << json_escape(name_) << "\",\"metrics\":[";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    const Metric& m = metrics_[i];
+    if (i != 0) os << ',';
+    os << "{\"name\":\"" << json_escape(m.name)
+       << "\",\"value\":" << json_number(m.value) << ",\"unit\":\""
+       << json_escape(m.unit) << '"';
+    if (!m.params.empty()) {
+      os << ",\"params\":{";
+      for (std::size_t p = 0; p < m.params.size(); ++p) {
+        if (p != 0) os << ',';
+        os << '"' << json_escape(m.params[p].first) << "\":\""
+           << json_escape(m.params[p].second) << '"';
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "],\"tables\":[";
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    const Table& t = tables_[i];
+    if (i != 0) os << ',';
+    os << "{\"name\":\"" << json_escape(t.name) << "\",\"header\":[";
+    for (std::size_t c = 0; c < t.header.size(); ++c) {
+      if (c != 0) os << ',';
+      os << '"' << json_escape(t.header[c]) << '"';
+    }
+    os << "],\"rows\":[";
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+      if (r != 0) os << ',';
+      os << '[';
+      for (std::size_t c = 0; c < t.rows[r].size(); ++c) {
+        if (c != 0) os << ',';
+        os << '"' << json_escape(t.rows[r][c]) << '"';
+      }
+      os << ']';
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool BenchReport::write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << to_json() << '\n';
+  out.close();
+  std::printf("wrote %s\n", path.c_str());
+  return out.good();
+}
+
+}  // namespace cgra::obs

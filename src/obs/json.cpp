@@ -1,0 +1,285 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgra::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Strict recursive-descent parser.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status parse(JsonValue* out) {
+    skip_ws();
+    Status s = value(out);
+    if (!s.ok()) return s;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON value");
+    }
+    return {};
+  }
+
+ private:
+  Status fail(const char* what) const {
+    return Status::errorf("JSON parse error at byte %zu: %s", pos_, what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at(char c) const {
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool consume(char c) {
+    if (!at(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status value(JsonValue* out) {
+    if (++depth_ > 64) return fail("nesting too deep");
+    Status s = value_inner(out);
+    --depth_;
+    return s;
+  }
+
+  Status value_inner(JsonValue* out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return string(&out->str);
+      case 't':
+      case 'f': return boolean(out);
+      case 'n': return null(out);
+      default: return number(out);
+    }
+  }
+
+  Status object(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return {};
+    for (;;) {
+      skip_ws();
+      if (!at('"')) return fail("expected object key string");
+      std::string key;
+      if (Status s = string(&key); !s.ok()) return s;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skip_ws();
+      JsonValue v;
+      if (Status s = value(&v); !s.ok()) return s;
+      out->object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return {};
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status array(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return {};
+    for (;;) {
+      skip_ws();
+      JsonValue v;
+      if (Status s = value(&v); !s.ok()) return s;
+      out->array.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return {};
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status string(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return {};
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad hex digit in \\u escape");
+            }
+            // UTF-8 encode the BMP code point (no surrogate pairs).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape character");
+        }
+      } else {
+        *out += c;
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status boolean(JsonValue* out) {
+    out->type = JsonValue::Type::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      out->boolean = true;
+      pos_ += 4;
+      return {};
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out->boolean = false;
+      pos_ += 5;
+      return {};
+    }
+    return fail("expected 'true' or 'false'");
+  }
+
+  Status null(JsonValue* out) {
+    out->type = JsonValue::Type::kNull;
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return {};
+    }
+    return fail("expected 'null'");
+  }
+
+  Status number(JsonValue* out) {
+    out->type = JsonValue::Type::kNumber;
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return fail("expected digit");
+    }
+    // Leading zero must not be followed by more digits.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      return fail("leading zero in number");
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("expected digit after decimal point");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (at('e') || at('E')) {
+      ++pos_;
+      if (at('+') || at('-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("expected digit in exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out->number = std::strtod(token.c_str(), nullptr);
+    return {};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Status parse_json(std::string_view text, JsonValue* out) {
+  return Parser(text).parse(out);
+}
+
+}  // namespace cgra::obs

@@ -1,0 +1,52 @@
+// Minimal JSON writer / parser for the observability exporters.
+//
+// The exporters (Chrome trace, metrics, profiles, bench reports) emit JSON
+// and the tests round-trip it, so both directions live here.  The parser is
+// a strict recursive-descent implementation of RFC 8259 minus surrogate
+// pairs in \u escapes — enough to validate everything this library writes
+// and to reject malformed output loudly in tests.  No external dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace cgra::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// Format a double the way JSON requires: no NaN/Inf (clamped to 0 with a
+/// large sentinel magnitude preserved), integral values without a trailing
+/// ".0" explosion, full round-trip precision otherwise.
+std::string json_number(double v);
+
+/// A parsed JSON value.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< Insertion order.
+
+  [[nodiscard]] bool is_object() const noexcept { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_string() const noexcept { return type == Type::kString; }
+  [[nodiscard]] bool is_number() const noexcept { return type == Type::kNumber; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse `text` into `out`.  On failure returns an error Status naming the
+/// byte offset and what was expected; `out` is left unspecified.
+Status parse_json(std::string_view text, JsonValue* out);
+
+}  // namespace cgra::obs

@@ -1,0 +1,206 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace cgra::obs {
+
+std::int32_t MetricsRegistry::find(const std::vector<std::string>& names,
+                                   std::string_view name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+CounterHandle MetricsRegistry::counter(std::string_view name) {
+  if (const std::int32_t i = find(counter_names_, name); i >= 0) {
+    return CounterHandle{i};
+  }
+  counter_names_.emplace_back(name);
+  counters_.push_back(0);
+  return CounterHandle{static_cast<std::int32_t>(counters_.size() - 1)};
+}
+
+GaugeHandle MetricsRegistry::gauge(std::string_view name) {
+  if (const std::int32_t i = find(gauge_names_, name); i >= 0) {
+    return GaugeHandle{i};
+  }
+  gauge_names_.emplace_back(name);
+  gauges_.push_back(0.0);
+  return GaugeHandle{static_cast<std::int32_t>(gauges_.size() - 1)};
+}
+
+HistogramHandle MetricsRegistry::histogram(std::string_view name,
+                                           std::vector<double> upper_bounds) {
+  for (std::size_t i = 0; i < hists_.size(); ++i) {
+    if (hists_[i].name == name) {
+      return HistogramHandle{static_cast<std::int32_t>(i)};
+    }
+  }
+  if (upper_bounds.empty() ||
+      !std::is_sorted(upper_bounds.begin(), upper_bounds.end()) ||
+      std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) !=
+          upper_bounds.end()) {
+    return HistogramHandle{};  // invalid: bounds must be strictly ascending
+  }
+  Histogram h;
+  h.name = std::string(name);
+  h.counts.assign(upper_bounds.size() + 1, 0);
+  h.bounds = std::move(upper_bounds);
+  hists_.push_back(std::move(h));
+  return HistogramHandle{static_cast<std::int32_t>(hists_.size() - 1)};
+}
+
+void MetricsRegistry::observe_slow(HistogramHandle h, double value) noexcept {
+  if (!h.valid()) return;
+  Histogram& hist = hists_[static_cast<std::size_t>(h.index)];
+  const auto it =
+      std::lower_bound(hist.bounds.begin(), hist.bounds.end(), value);
+  hist.counts[static_cast<std::size_t>(it - hist.bounds.begin())] += 1;
+  hist.total += 1;
+  hist.sum += value;
+}
+
+std::int64_t MetricsRegistry::counter_value(CounterHandle h) const {
+  return h.valid() ? counters_[static_cast<std::size_t>(h.index)] : 0;
+}
+
+double MetricsRegistry::gauge_value(GaugeHandle h) const {
+  return h.valid() ? gauges_[static_cast<std::size_t>(h.index)] : 0.0;
+}
+
+HistogramSnapshot MetricsRegistry::histogram_snapshot(
+    HistogramHandle h) const {
+  HistogramSnapshot snap;
+  if (!h.valid()) return snap;
+  const Histogram& hist = hists_[static_cast<std::size_t>(h.index)];
+  snap.name = hist.name;
+  snap.bounds = hist.bounds;
+  snap.counts = hist.counts;
+  snap.total = hist.total;
+  snap.sum = hist.sum;
+  return snap;
+}
+
+std::int64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::int32_t i = find(counter_names_, name);
+  return i >= 0 ? counters_[static_cast<std::size_t>(i)] : 0;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const std::int32_t i = find(gauge_names_, name);
+  return i >= 0 ? gauges_[static_cast<std::size_t>(i)] : 0.0;
+}
+
+std::vector<MetricSample> MetricsRegistry::samples() const {
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out.push_back(MetricSample{counter_names_[i], true,
+                               static_cast<double>(counters_[i])});
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    out.push_back(MetricSample{gauge_names_[i], false, gauges_[i]});
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::histograms() const {
+  std::vector<HistogramSnapshot> out;
+  out.reserve(hists_.size());
+  for (std::size_t i = 0; i < hists_.size(); ++i) {
+    out.push_back(histogram_snapshot(
+        HistogramHandle{static_cast<std::int32_t>(i)}));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  std::fill(gauges_.begin(), gauges_.end(), 0.0);
+  for (Histogram& h : hists_) {
+    std::fill(h.counts.begin(), h.counts.end(), 0);
+    h.total = 0;
+    h.sum = 0.0;
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << json_escape(counter_names_[i]) << "\":" << counters_[i];
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << json_escape(gauge_names_[i])
+       << "\":" << json_number(gauges_[i]);
+  }
+  os << "},\"histograms\":[";
+  for (std::size_t i = 0; i < hists_.size(); ++i) {
+    const Histogram& h = hists_[i];
+    if (i != 0) os << ',';
+    os << "{\"name\":\"" << json_escape(h.name) << "\",\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b != 0) os << ',';
+      os << json_number(h.bounds[b]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b != 0) os << ',';
+      os << h.counts[b];
+    }
+    os << "],\"total\":" << h.total << ",\"sum\":" << json_number(h.sum)
+       << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::ostringstream os;
+  os << "kind,name,value\n";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    os << "counter," << counter_names_[i] << ',' << counters_[i] << '\n';
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    os << "gauge," << gauge_names_[i] << ',' << json_number(gauges_[i])
+       << '\n';
+  }
+  for (const Histogram& h : hists_) {
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      os << "histogram," << h.name << "_le_";
+      if (b < h.bounds.size()) {
+        os << json_number(h.bounds[b]);
+      } else {
+        os << "inf";
+      }
+      os << ',' << h.counts[b] << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_table() const {
+  TextTable table({"metric", "kind", "value"});
+  for (const MetricSample& s : samples()) {
+    table.add_row({s.name, s.is_counter ? "counter" : "gauge",
+                   s.is_counter
+                       ? TextTable::integer(static_cast<long long>(s.value))
+                       : TextTable::num(s.value)});
+  }
+  for (const Histogram& h : hists_) {
+    table.add_row({h.name, "histogram",
+                   TextTable::integer(h.total) + " obs, sum " +
+                       TextTable::num(h.sum)});
+  }
+  return table.render();
+}
+
+}  // namespace cgra::obs

@@ -1,0 +1,151 @@
+// Low-overhead metrics registry for the fabric hot loop.
+//
+// Design contract (docs/OBSERVABILITY.md):
+//   * Handles are resolved ONCE (by name, O(log n)) at attach time; after
+//     that every update is a single bounds-unchecked array operation on a
+//     dense value vector — the fabric step loop pays one add per counter.
+//   * The registry is deliberately concurrency-free: the simulator is
+//     single-threaded per fabric, so no atomics, no locks, no false
+//     sharing.  Sharded fabrics get one registry each and merge offline.
+//   * Compiling with -DCGRA_OBS_OFF turns every update into an empty
+//     inline function: the escape hatch for overhead-critical sweeps,
+//     benchmarked by bench_simulator_micro.  Registration and readout keep
+//     working so harness code needs no #ifdefs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgra::obs {
+
+/// Pre-resolved index into the registry's dense counter storage.
+struct CounterHandle {
+  std::int32_t index = -1;
+  [[nodiscard]] bool valid() const noexcept { return index >= 0; }
+};
+
+/// Pre-resolved index into the dense gauge storage.
+struct GaugeHandle {
+  std::int32_t index = -1;
+  [[nodiscard]] bool valid() const noexcept { return index >= 0; }
+};
+
+/// Pre-resolved index into the histogram storage.
+struct HistogramHandle {
+  std::int32_t index = -1;
+  [[nodiscard]] bool valid() const noexcept { return index >= 0; }
+};
+
+/// Readout of one histogram: counts[i] holds observations v with
+/// v <= bounds[i] (and > bounds[i-1]); counts.back() is the overflow
+/// bucket for v > bounds.back().
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;       ///< Ascending upper bounds.
+  std::vector<std::int64_t> counts; ///< bounds.size() + 1 entries.
+  std::int64_t total = 0;           ///< Total observations.
+  double sum = 0.0;                 ///< Sum of observed values.
+};
+
+/// One metric in a snapshot dump (counters and gauges).
+struct MetricSample {
+  std::string name;
+  bool is_counter = true;
+  double value = 0.0;
+};
+
+/// Registry of counters, gauges and fixed-bucket histograms.
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name.  Call once, keep the handle.
+  CounterHandle counter(std::string_view name);
+  GaugeHandle gauge(std::string_view name);
+  /// `upper_bounds` must be non-empty and strictly ascending; an implicit
+  /// overflow bucket is appended.  Re-registering an existing name returns
+  /// the existing handle (the bounds of the first registration win).
+  HistogramHandle histogram(std::string_view name,
+                            std::vector<double> upper_bounds);
+
+  // --- hot path: one array op each, compiled out under CGRA_OBS_OFF ---
+
+  void add(CounterHandle h, std::int64_t delta = 1) noexcept {
+#ifndef CGRA_OBS_OFF
+    counters_[static_cast<std::size_t>(h.index)] += delta;
+#else
+    (void)h;
+    (void)delta;
+#endif
+  }
+
+  void set(GaugeHandle h, double value) noexcept {
+#ifndef CGRA_OBS_OFF
+    gauges_[static_cast<std::size_t>(h.index)] = value;
+#else
+    (void)h;
+    (void)value;
+#endif
+  }
+
+  void observe(HistogramHandle h, double value) noexcept {
+#ifndef CGRA_OBS_OFF
+    observe_slow(h, value);
+#else
+    (void)h;
+    (void)value;
+#endif
+  }
+
+  // --- readout ---
+
+  [[nodiscard]] std::int64_t counter_value(CounterHandle h) const;
+  [[nodiscard]] double gauge_value(GaugeHandle h) const;
+  [[nodiscard]] HistogramSnapshot histogram_snapshot(HistogramHandle h) const;
+
+  /// Lookup by name; 0 / empty when the metric does not exist.
+  [[nodiscard]] std::int64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+
+  /// All counters and gauges, in registration order.
+  [[nodiscard]] std::vector<MetricSample> samples() const;
+  /// All histograms, in registration order.
+  [[nodiscard]] std::vector<HistogramSnapshot> histograms() const;
+
+  [[nodiscard]] std::size_t metric_count() const noexcept {
+    return counter_names_.size() + gauge_names_.size() + hists_.size();
+  }
+
+  /// Zero all values; definitions and handles stay valid.
+  void reset_values();
+
+  // --- exporters ---
+
+  /// {"counters":{...},"gauges":{...},"histograms":[...]}
+  [[nodiscard]] std::string to_json() const;
+  /// kind,name,value rows (histograms flattened to one row per bucket).
+  [[nodiscard]] std::string to_csv() const;
+  /// Aligned table via common/table for terminal output.
+  [[nodiscard]] std::string to_table() const;
+
+ private:
+  struct Histogram {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::int64_t> counts;  ///< bounds.size() + 1.
+    std::int64_t total = 0;
+    double sum = 0.0;
+  };
+
+  void observe_slow(HistogramHandle h, double value) noexcept;
+  static std::int32_t find(const std::vector<std::string>& names,
+                           std::string_view name);
+
+  std::vector<std::string> counter_names_;
+  std::vector<std::int64_t> counters_;
+  std::vector<std::string> gauge_names_;
+  std::vector<double> gauges_;
+  std::vector<Histogram> hists_;
+};
+
+}  // namespace cgra::obs

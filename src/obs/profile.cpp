@@ -1,0 +1,205 @@
+#include "obs/profile.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace cgra::obs {
+
+void DriftReport::add(std::string name, Nanoseconds predicted,
+                      Nanoseconds measured, std::string note) {
+  DriftRow row;
+  row.name = std::move(name);
+  row.predicted_ns = predicted;
+  row.measured_ns = measured;
+  row.note = std::move(note);
+  rows.push_back(std::move(row));
+}
+
+void DriftReport::add_unmeasured(std::string name, Nanoseconds predicted,
+                                 std::string note) {
+  DriftRow row;
+  row.name = std::move(name);
+  row.predicted_ns = predicted;
+  row.has_measured = false;
+  row.note = std::move(note);
+  rows.push_back(std::move(row));
+}
+
+std::string DriftReport::render() const {
+  TextTable table({"term", "model(ns)", "executed(ns)", "drift", "note"});
+  for (const DriftRow& r : rows) {
+    table.add_row({r.name, TextTable::num(r.predicted_ns, 1),
+                   r.has_measured ? TextTable::num(r.measured_ns, 1) : "-",
+                   r.has_measured && r.predicted_ns != 0.0
+                       ? TextTable::num(r.drift_pct(), 1) + "%"
+                       : "-",
+                   r.note});
+  }
+  return table.render();
+}
+
+std::string DriftReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"model\":\"" << json_escape(model) << "\",\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DriftRow& r = rows[i];
+    if (i != 0) os << ',';
+    os << "{\"name\":\"" << json_escape(r.name)
+       << "\",\"predicted_ns\":" << json_number(r.predicted_ns);
+    if (r.has_measured) {
+      os << ",\"measured_ns\":" << json_number(r.measured_ns)
+         << ",\"drift_pct\":" << json_number(r.drift_pct());
+    }
+    if (!r.note.empty()) os << ",\"note\":\"" << json_escape(r.note) << '"';
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+double ProfileReport::fabric_utilization() const {
+  if (tiles.empty() || total_cycles <= 0) return 0.0;
+  std::int64_t retired = 0;
+  for (const TileProfile& t : tiles) retired += t.retired;
+  return static_cast<double>(retired) /
+         (static_cast<double>(total_cycles) *
+          static_cast<double>(tiles.size()));
+}
+
+Status ProfileReport::reconcile() const {
+  for (const TileProfile& t : tiles) {
+    if (t.total() != total_cycles) {
+      return Status::errorf(
+          "tile %d cycle breakdown %lld (retired %lld + stalled %lld + "
+          "idle %lld) != total cycles %lld",
+          t.tile, static_cast<long long>(t.total()),
+          static_cast<long long>(t.retired),
+          static_cast<long long>(t.stalled),
+          static_cast<long long>(t.idle),
+          static_cast<long long>(total_cycles));
+    }
+  }
+  if (total_ns != cycles_to_ns(total_cycles)) {
+    return Status::errorf(
+        "total_ns %.3f != %lld cycles on the fabric clock (%.3f ns)",
+        total_ns, static_cast<long long>(total_cycles),
+        cycles_to_ns(total_cycles));
+  }
+  return {};
+}
+
+std::string ProfileReport::render() const {
+  std::ostringstream os;
+  {
+    TextTable table({"tile", "retired", "stalled", "idle", "total",
+                     "util", "remote wr", "state"});
+    for (const TileProfile& t : tiles) {
+      table.add_row({TextTable::integer(t.tile),
+                     TextTable::integer(t.retired),
+                     TextTable::integer(t.stalled),
+                     TextTable::integer(t.idle),
+                     TextTable::integer(t.total()),
+                     TextTable::num(t.utilization() * 100.0, 1) + "%",
+                     TextTable::integer(t.remote_writes),
+                     t.faulted ? "FAULTED" : "ok"});
+    }
+    os << table.render();
+  }
+  os << "\nfabric: " << TextTable::integer(total_cycles) << " cycles = "
+     << TextTable::num(total_ns, 1) << " ns, utilization "
+     << TextTable::num(fabric_utilization() * 100.0, 1)
+     << "%, reconfiguration (Eq.1 term B) "
+     << TextTable::num(reconfig_ns, 1) << " ns\n";
+
+  bool any_traffic = false;
+  for (const LinkProfile& l : links) any_traffic = any_traffic || l.words > 0;
+  if (any_traffic) {
+    TextTable table({"src tile", "dst tile", "words", "occupancy",
+                     "bandwidth(MB/s)"});
+    for (const LinkProfile& l : links) {
+      if (l.words == 0) continue;
+      table.add_row({TextTable::integer(l.src_tile),
+                     l.dst_tile >= 0 ? TextTable::integer(l.dst_tile) : "-",
+                     TextTable::integer(l.words),
+                     TextTable::num(l.occupancy * 100.0, 2) + "%",
+                     TextTable::num(l.bandwidth_mb_s, 1)});
+    }
+    os << '\n' << table.render();
+  }
+
+  os << "\nICAP: " << icap.transitions << " transition(s), busy "
+     << TextTable::integer(icap.busy_cycles) << " cycle(s) ("
+     << TextTable::num(icap.busy_fraction * 100.0, 2) << "% of the run), "
+     << "links " << TextTable::num(icap.link_ns, 1) << " ns, inst "
+     << TextTable::num(icap.inst_reload_ns, 1) << " ns, data "
+     << TextTable::num(icap.data_reload_ns, 1) << " ns, verify "
+     << TextTable::num(icap.verify_ns, 1) << " ns, retry "
+     << TextTable::num(icap.retry_ns, 1) << " ns (" << icap.retries
+     << " retries)\n";
+
+  if (!drift.rows.empty()) {
+    os << "\nmodel-vs-executed drift (" << drift.model << "):\n"
+       << drift.render();
+  }
+  return os.str();
+}
+
+std::string ProfileReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"total_cycles\":" << total_cycles
+     << ",\"total_ns\":" << json_number(total_ns)
+     << ",\"reconfig_ns\":" << json_number(reconfig_ns)
+     << ",\"fabric_utilization\":" << json_number(fabric_utilization())
+     << ",\"tiles\":[";
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const TileProfile& t = tiles[i];
+    if (i != 0) os << ',';
+    os << "{\"tile\":" << t.tile << ",\"retired\":" << t.retired
+       << ",\"stalled\":" << t.stalled << ",\"idle\":" << t.idle
+       << ",\"utilization\":" << json_number(t.utilization())
+       << ",\"remote_writes\":" << t.remote_writes
+       << ",\"faulted\":" << (t.faulted ? "true" : "false") << '}';
+  }
+  os << "],\"links\":[";
+  bool first = true;
+  for (const LinkProfile& l : links) {
+    if (l.words == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"src_tile\":" << l.src_tile << ",\"dst_tile\":" << l.dst_tile
+       << ",\"words\":" << l.words
+       << ",\"occupancy\":" << json_number(l.occupancy)
+       << ",\"bandwidth_mb_s\":" << json_number(l.bandwidth_mb_s) << '}';
+  }
+  os << "],\"icap\":{\"transitions\":" << icap.transitions
+     << ",\"busy_cycles\":" << icap.busy_cycles
+     << ",\"busy_fraction\":" << json_number(icap.busy_fraction)
+     << ",\"link_ns\":" << json_number(icap.link_ns)
+     << ",\"inst_reload_ns\":" << json_number(icap.inst_reload_ns)
+     << ",\"data_reload_ns\":" << json_number(icap.data_reload_ns)
+     << ",\"verify_ns\":" << json_number(icap.verify_ns)
+     << ",\"retry_ns\":" << json_number(icap.retry_ns)
+     << ",\"retries\":" << icap.retries << '}';
+  if (!drift.rows.empty()) {
+    os << ",\"drift\":" << drift.to_json();
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string ProfileReport::to_csv() const {
+  std::ostringstream os;
+  os << "tile,retired,stalled,idle,total,utilization,remote_writes,"
+        "faulted\n";
+  for (const TileProfile& t : tiles) {
+    os << t.tile << ',' << t.retired << ',' << t.stalled << ',' << t.idle
+       << ',' << t.total() << ',' << json_number(t.utilization()) << ','
+       << t.remote_writes << ',' << (t.faulted ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cgra::obs

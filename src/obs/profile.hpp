@@ -1,0 +1,117 @@
+// Profiling reports: per-tile utilization, per-link traffic, ICAP
+// occupancy, and model-vs-executed drift.
+//
+// The structures here are plain data plus renderers (table / JSON / CSV);
+// they carry no simulator dependencies so any layer can build one.  The
+// canonical builder for a Fabric + Timeline pair is
+// config::build_profile() (src/config/profiler.hpp), which fills the
+// counters from TileStats and TransitionReports and guarantees the
+// reconciliation invariant checked by reconcile().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/timing.hpp"
+
+namespace cgra::obs {
+
+/// Cycle breakdown of one tile over a run.  Invariant (reconcile()):
+/// retired + stalled + idle == total fabric cycles.
+struct TileProfile {
+  int tile = 0;
+  std::int64_t retired = 0;  ///< Cycles an instruction retired.
+  std::int64_t stalled = 0;  ///< Cycles stalled for reconfiguration.
+  std::int64_t idle = 0;     ///< Cycles halted (incl. faulted).
+  std::int64_t remote_writes = 0;
+  bool faulted = false;
+
+  [[nodiscard]] std::int64_t total() const noexcept {
+    return retired + stalled + idle;
+  }
+  [[nodiscard]] double utilization() const noexcept {
+    const std::int64_t t = total();
+    return t > 0 ? static_cast<double>(retired) / static_cast<double>(t)
+                 : 0.0;
+  }
+};
+
+/// Traffic out of one tile's link driver.
+struct LinkProfile {
+  int src_tile = 0;
+  int dst_tile = -1;            ///< Final epoch's target; -1 if none.
+  std::int64_t words = 0;       ///< Remote writes committed.
+  double occupancy = 0.0;       ///< words / total cycles (1 word per cycle max).
+  double bandwidth_mb_s = 0.0;  ///< Sustained 48-bit-word bandwidth.
+};
+
+/// Serial ICAP channel accounting over the run.
+struct IcapProfile {
+  int transitions = 0;
+  std::int64_t busy_cycles = 0;
+  double busy_fraction = 0.0;   ///< busy_cycles / total cycles.
+  Nanoseconds link_ns = 0.0;
+  Nanoseconds inst_reload_ns = 0.0;
+  Nanoseconds data_reload_ns = 0.0;
+  Nanoseconds verify_ns = 0.0;
+  Nanoseconds retry_ns = 0.0;
+  int retries = 0;
+};
+
+/// One model-vs-executed comparison row.
+struct DriftRow {
+  std::string name;
+  Nanoseconds predicted_ns = 0.0;
+  Nanoseconds measured_ns = 0.0;
+  bool has_measured = true;  ///< false: the run cannot observe this term.
+  std::string note;
+
+  /// Signed drift of the execution against the model, in percent.
+  [[nodiscard]] double drift_pct() const noexcept {
+    return predicted_ns != 0.0
+               ? (measured_ns - predicted_ns) / predicted_ns * 100.0
+               : 0.0;
+  }
+};
+
+/// Model-vs-executed drift report (e.g. the FFT tau equations).
+struct DriftReport {
+  std::string model;
+  std::vector<DriftRow> rows;
+
+  void add(std::string name, Nanoseconds predicted, Nanoseconds measured,
+           std::string note = {});
+  void add_unmeasured(std::string name, Nanoseconds predicted,
+                      std::string note = {});
+
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The full profiling report of one run.
+struct ProfileReport {
+  std::int64_t total_cycles = 0;
+  Nanoseconds total_ns = 0.0;       ///< == Timeline::total_ns of the run.
+  Nanoseconds reconfig_ns = 0.0;    ///< Analytic Eq.-1 term B.
+  std::vector<TileProfile> tiles;
+  std::vector<LinkProfile> links;
+  IcapProfile icap;
+  DriftReport drift;                ///< Empty unless a model was compared.
+
+  /// Aggregate utilization: retired cycles / (tiles * total cycles).
+  [[nodiscard]] double fabric_utilization() const;
+
+  /// Check the accounting invariants: every tile's cycle breakdown sums to
+  /// total_cycles and total_ns equals total_cycles on the fabric clock.
+  [[nodiscard]] Status reconcile() const;
+
+  /// Per-tile utilization + link + ICAP tables for terminal output.
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::string to_json() const;
+  /// One row per tile: tile,retired,stalled,idle,total,utilization,...
+  [[nodiscard]] std::string to_csv() const;
+};
+
+}  // namespace cgra::obs

@@ -1,0 +1,271 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace cgra::obs {
+
+SpanTimeline::SpanId SpanTimeline::begin(std::string name,
+                                         std::string category, int track,
+                                         Nanoseconds start_ns) {
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.track = track;
+  s.start_ns = start_ns;
+  s.open = true;
+  spans_.push_back(std::move(s));
+  ++open_;
+  return spans_.size() - 1;
+}
+
+void SpanTimeline::end(SpanId id, Nanoseconds end_ns) {
+  if (id >= spans_.size() || !spans_[id].open) return;
+  Span& s = spans_[id];
+  s.dur_ns = end_ns > s.start_ns ? end_ns - s.start_ns : 0.0;
+  s.open = false;
+  --open_;
+}
+
+void SpanTimeline::complete(std::string name, std::string category, int track,
+                            Nanoseconds start_ns, Nanoseconds dur_ns,
+                            std::vector<SpanArg> args) {
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.track = track;
+  s.start_ns = start_ns;
+  s.dur_ns = dur_ns < 0.0 ? 0.0 : dur_ns;
+  s.args = std::move(args);
+  spans_.push_back(std::move(s));
+}
+
+void SpanTimeline::instant(std::string name, std::string category, int track,
+                           Nanoseconds at_ns, std::vector<SpanArg> args) {
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.track = track;
+  s.start_ns = at_ns;
+  s.instant = true;
+  s.args = std::move(args);
+  spans_.push_back(std::move(s));
+}
+
+void SpanTimeline::set_track_name(int track, std::string name) {
+  for (auto& [t, n] : track_names_) {
+    if (t == track) {
+      n = std::move(name);
+      return;
+    }
+  }
+  track_names_.emplace_back(track, std::move(name));
+}
+
+Nanoseconds SpanTimeline::total_in_category(std::string_view category) const {
+  Nanoseconds total = 0.0;
+  for (const Span& s : spans_) {
+    if (!s.instant && s.category == category) total += s.dur_ns;
+  }
+  return total;
+}
+
+Nanoseconds SpanTimeline::total_with_prefix(std::string_view prefix) const {
+  Nanoseconds total = 0.0;
+  for (const Span& s : spans_) {
+    if (!s.instant && s.name.size() >= prefix.size() &&
+        std::string_view(s.name).substr(0, prefix.size()) == prefix) {
+      total += s.dur_ns;
+    }
+  }
+  return total;
+}
+
+void SpanTimeline::clear() {
+  spans_.clear();
+  track_names_.clear();
+  open_ = 0;
+}
+
+namespace {
+
+void write_args(std::ostringstream& os, const std::vector<SpanArg>& args) {
+  os << "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << json_escape(args[i].key) << "\":";
+    if (args[i].numeric) {
+      os << args[i].value;
+    } else {
+      os << '"' << json_escape(args[i].value) << '"';
+    }
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string SpanTimeline::to_chrome_json(
+    const std::string& process_name) const {
+  // Sort by start time (stable: recording order breaks ties) so viewers
+  // nest contained spans correctly.
+  std::vector<std::size_t> order(spans_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return spans_[a].start_ns < spans_[b].start_ns;
+                   });
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+
+  sep();
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\""
+     << json_escape(process_name) << "\"}}";
+  for (const auto& [track, name] : track_names_) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << track
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(name) << "\"}}";
+  }
+
+  for (const std::size_t i : order) {
+    const Span& s = spans_[i];
+    sep();
+    os << "{\"ph\":\"" << (s.instant ? 'i' : 'X') << "\",\"pid\":1,\"tid\":"
+       << s.track << ",\"name\":\"" << json_escape(s.name)
+       << "\",\"cat\":\"" << json_escape(s.category)
+       << "\",\"ts\":" << json_number(s.start_ns / 1000.0);
+    if (s.instant) {
+      os << ",\"s\":\"t\"";
+    } else {
+      os << ",\"dur\":" << json_number(s.dur_ns / 1000.0);
+    }
+    if (!s.args.empty()) {
+      os << ',';
+      write_args(os, s.args);
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}";
+  return os.str();
+}
+
+namespace {
+
+Status check_event(const JsonValue& ev, std::size_t index) {
+  const auto fail = [index](const char* what) {
+    return Status::errorf("traceEvents[%zu]: %s", index, what);
+  };
+  if (!ev.is_object()) return fail("event is not an object");
+  const JsonValue* ph = ev.find("ph");
+  if (ph == nullptr || !ph->is_string() || ph->str.size() != 1) {
+    return fail("missing or malformed \"ph\"");
+  }
+  const JsonValue* name = ev.find("name");
+  if (name == nullptr || !name->is_string()) {
+    return fail("missing \"name\"");
+  }
+  const JsonValue* pid = ev.find("pid");
+  const JsonValue* tid = ev.find("tid");
+  if (pid == nullptr || !pid->is_number() || tid == nullptr ||
+      !tid->is_number()) {
+    return fail("missing numeric \"pid\"/\"tid\"");
+  }
+  switch (ph->str[0]) {
+    case 'X': {
+      const JsonValue* ts = ev.find("ts");
+      const JsonValue* dur = ev.find("dur");
+      if (ts == nullptr || !ts->is_number()) return fail("X without \"ts\"");
+      if (dur == nullptr || !dur->is_number()) {
+        return fail("X without \"dur\"");
+      }
+      if (dur->number < 0) return fail("negative \"dur\"");
+      break;
+    }
+    case 'i': {
+      const JsonValue* ts = ev.find("ts");
+      if (ts == nullptr || !ts->is_number()) return fail("i without \"ts\"");
+      const JsonValue* scope = ev.find("s");
+      if (scope == nullptr || !scope->is_string()) {
+        return fail("i without scope \"s\"");
+      }
+      break;
+    }
+    case 'M': {
+      if (ev.find("args") == nullptr) return fail("M without \"args\"");
+      break;
+    }
+    default:
+      return fail("unsupported phase (this library emits X, i, M)");
+  }
+  return {};
+}
+
+}  // namespace
+
+Status validate_chrome_trace(std::string_view json) {
+  JsonValue root;
+  if (Status s = parse_json(json, &root); !s.ok()) return s;
+  if (!root.is_object()) {
+    return Status::error("trace root is not a JSON object");
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status::error("missing \"traceEvents\" array");
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    if (Status s = check_event(events->array[i], i); !s.ok()) return s;
+  }
+  return {};
+}
+
+Status parse_chrome_trace(std::string_view json, std::vector<Span>* out) {
+  if (Status s = validate_chrome_trace(json); !s.ok()) return s;
+  JsonValue root;
+  if (Status s = parse_json(json, &root); !s.ok()) return s;
+  out->clear();
+  for (const JsonValue& ev : root.find("traceEvents")->array) {
+    const std::string& ph = ev.find("ph")->str;
+    if (ph == "M") continue;
+    Span s;
+    s.name = ev.find("name")->str;
+    if (const JsonValue* cat = ev.find("cat"); cat != nullptr) {
+      s.category = cat->str;
+    }
+    s.track = static_cast<int>(ev.find("tid")->number);
+    s.start_ns = ev.find("ts")->number * 1000.0;
+    if (ph == "X") {
+      s.dur_ns = ev.find("dur")->number * 1000.0;
+    } else {
+      s.instant = true;
+    }
+    if (const JsonValue* args = ev.find("args");
+        args != nullptr && args->is_object()) {
+      for (const auto& [k, v] : args->object) {
+        SpanArg arg;
+        arg.key = k;
+        if (v.is_number()) {
+          arg.numeric = true;
+          arg.value = json_number(v.number);
+        } else if (v.is_string()) {
+          arg.value = v.str;
+        }
+        s.args.push_back(std::move(arg));
+      }
+    }
+    out->push_back(std::move(s));
+  }
+  return {};
+}
+
+}  // namespace cgra::obs

@@ -1,0 +1,113 @@
+// Span-based timeline tracing exported as Chrome trace-event JSON.
+//
+// Orchestration layers (epoch runners, the reconfiguration controller, the
+// recovery manager) record begin/end spans on named tracks — one track per
+// tile plus dedicated tracks for epochs, the serial ICAP channel and link
+// rewiring.  The export is the Chrome trace-event format ("traceEvents"
+// with "X" complete events), loadable directly in Perfetto or
+// chrome://tracing; docs/OBSERVABILITY.md walks through opening one.
+//
+// Timestamps are simulated nanoseconds on the fabric clock (NOT host
+// time); the exporter converts to the format's microsecond unit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/timing.hpp"
+
+namespace cgra::obs {
+
+// Track (Chrome "tid") assignments.  Tiles get their own tracks so
+// per-tile stalls and recovery actions line up under each other.
+inline constexpr int kTrackEpochs = 0;  ///< Global epoch compute spans.
+inline constexpr int kTrackIcap = 1;    ///< Serial ICAP occupancy.
+inline constexpr int kTrackLinks = 2;   ///< Link rewiring.
+inline constexpr int kTrackTileBase = 16;
+[[nodiscard]] constexpr int tile_track(int tile) noexcept {
+  return kTrackTileBase + tile;
+}
+
+/// One key=value annotation on a span ("args" in the trace format).
+struct SpanArg {
+  std::string key;
+  std::string value;
+  bool numeric = false;  ///< Emit unquoted (the value must parse as JSON).
+};
+
+/// One recorded span (or instant marker when `instant`).
+struct Span {
+  std::string name;
+  std::string category;
+  int track = kTrackEpochs;
+  Nanoseconds start_ns = 0.0;
+  Nanoseconds dur_ns = 0.0;
+  bool instant = false;
+  bool open = false;  ///< begin() recorded, end() still pending.
+  std::vector<SpanArg> args;
+};
+
+/// Records spans; export with to_chrome_json().
+class SpanTimeline {
+ public:
+  using SpanId = std::size_t;
+
+  /// Open a span; pair with end().  Unclosed spans export with zero
+  /// duration and are countable via open_spans() (the nesting tests use
+  /// this to catch unbalanced instrumentation).
+  SpanId begin(std::string name, std::string category, int track,
+               Nanoseconds start_ns);
+  void end(SpanId id, Nanoseconds end_ns);
+
+  /// Record a complete span in one call (duration already known — the
+  /// common case for analytically-costed phases like ICAP streams).
+  void complete(std::string name, std::string category, int track,
+                Nanoseconds start_ns, Nanoseconds dur_ns,
+                std::vector<SpanArg> args = {});
+
+  /// Record a zero-duration marker (e.g. a recovery decision).
+  void instant(std::string name, std::string category, int track,
+               Nanoseconds at_ns, std::vector<SpanArg> args = {});
+
+  /// Label a track in the exported trace ("thread_name" metadata).
+  void set_track_name(int track, std::string name);
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] std::size_t open_spans() const noexcept { return open_; }
+
+  /// Total duration of non-instant spans whose category is `category`.
+  [[nodiscard]] Nanoseconds total_in_category(std::string_view category) const;
+  /// Total duration of non-instant spans whose name starts with `prefix`.
+  [[nodiscard]] Nanoseconds total_with_prefix(std::string_view prefix) const;
+
+  void clear();
+
+  /// Export as Chrome trace-event JSON (complete "X" events sorted by
+  /// start time, instant "i" events, and thread_name metadata).
+  [[nodiscard]] std::string to_chrome_json(
+      const std::string& process_name = "cgra") const;
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<std::pair<int, std::string>> track_names_;
+  std::size_t open_ = 0;
+};
+
+/// Validate that `json` parses and conforms to the trace-event schema this
+/// library emits: a top-level object with a "traceEvents" array whose
+/// entries carry the mandatory fields per phase type ("X" needs name/ts/dur,
+/// "i" needs name/ts/s, "M" needs name/args).  Returns the first violation.
+Status validate_chrome_trace(std::string_view json);
+
+/// Parse a Chrome trace back into spans (round-trip testing).  Metadata
+/// events are dropped; instants come back with instant=true.  Returns an
+/// error and leaves `out` unspecified if validation fails.
+Status parse_chrome_trace(std::string_view json, std::vector<Span>* out);
+
+}  // namespace cgra::obs

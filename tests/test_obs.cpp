@@ -1,0 +1,374 @@
+// Observability layer tests: metrics registry semantics (hot path,
+// histogram bucket edges, the CGRA_OBS_OFF escape hatch), span timeline
+// nesting and Chrome-trace round-trips, profile reconciliation, and the
+// BENCH_*.json schema.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "fabric/fabric.hpp"
+#include "isa/assembler.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/span.hpp"
+
+namespace cgra::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterFindOrCreateAndHotPath) {
+  MetricsRegistry reg;
+  const auto a = reg.counter("fabric.cycles");
+  const auto b = reg.counter("fabric.cycles");
+  ASSERT_TRUE(a.valid());
+  EXPECT_EQ(a.index, b.index);  // find-or-create: one slot per name
+  EXPECT_EQ(reg.metric_count(), 1u);
+
+  reg.add(a);
+  reg.add(a, 41);
+#ifdef CGRA_OBS_OFF
+  EXPECT_EQ(reg.counter_value(a), 0);
+  EXPECT_EQ(reg.counter_value("fabric.cycles"), 0);
+#else
+  EXPECT_EQ(reg.counter_value(a), 42);
+  EXPECT_EQ(reg.counter_value("fabric.cycles"), 42);
+#endif
+  EXPECT_EQ(reg.counter_value("no.such.metric"), 0);
+}
+
+TEST(Metrics, GaugeSetOverwrites) {
+  MetricsRegistry reg;
+  const auto g = reg.gauge("icap.occupancy");
+  reg.set(g, 0.25);
+  reg.set(g, 0.75);
+#ifdef CGRA_OBS_OFF
+  EXPECT_EQ(reg.gauge_value(g), 0.0);
+#else
+  EXPECT_EQ(reg.gauge_value(g), 0.75);
+  EXPECT_EQ(reg.gauge_value("icap.occupancy"), 0.75);
+#endif
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  MetricsRegistry reg;
+  const auto h = reg.histogram("stall.cycles", {10.0, 20.0});
+  ASSERT_TRUE(h.valid());
+  reg.observe(h, 5.0);    // bucket 0
+  reg.observe(h, 10.0);   // exactly on the bound: v <= bound -> bucket 0
+  reg.observe(h, 10.5);   // bucket 1
+  reg.observe(h, 20.0);   // bucket 1
+  reg.observe(h, 20.001); // overflow bucket
+  const auto snap = reg.histogram_snapshot(h);
+  ASSERT_EQ(snap.bounds.size(), 2u);
+  ASSERT_EQ(snap.counts.size(), 3u);  // two buckets + overflow
+#ifdef CGRA_OBS_OFF
+  EXPECT_EQ(snap.total, 0);
+#else
+  EXPECT_EQ(snap.counts[0], 2);
+  EXPECT_EQ(snap.counts[1], 2);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_EQ(snap.total, 5);
+  EXPECT_DOUBLE_EQ(snap.sum, 5.0 + 10.0 + 10.5 + 20.0 + 20.001);
+#endif
+}
+
+TEST(Metrics, HistogramReregistrationKeepsFirstBounds) {
+  MetricsRegistry reg;
+  const auto a = reg.histogram("h", {1.0, 2.0});
+  const auto b = reg.histogram("h", {100.0});
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(reg.histogram_snapshot(b).bounds.size(), 2u);
+}
+
+TEST(Metrics, ResetValuesKeepsDefinitionsAndHandles) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  reg.add(c, 7);
+  reg.reset_values();
+  EXPECT_EQ(reg.counter_value(c), 0);
+  EXPECT_EQ(reg.metric_count(), 1u);
+  reg.add(c, 3);
+#ifndef CGRA_OBS_OFF
+  EXPECT_EQ(reg.counter_value(c), 3);  // handle survives the reset
+#endif
+}
+
+TEST(Metrics, ExportersAreWellFormed) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("a.count"), 3);
+  reg.set(reg.gauge("b.gauge"), 1.5);
+  reg.observe(reg.histogram("c.hist", {1.0}), 0.5);
+
+  JsonValue parsed;
+  ASSERT_TRUE(parse_json(reg.to_json(), &parsed).ok());
+  ASSERT_TRUE(parsed.is_object());
+  ASSERT_NE(parsed.find("counters"), nullptr);
+  ASSERT_NE(parsed.find("gauges"), nullptr);
+  ASSERT_NE(parsed.find("histograms"), nullptr);
+#ifndef CGRA_OBS_OFF
+  const auto* counters = parsed.find("counters");
+  ASSERT_NE(counters->find("a.count"), nullptr);
+  EXPECT_EQ(counters->find("a.count")->number, 3.0);
+#endif
+
+  const std::string csv = reg.to_csv();
+  EXPECT_NE(csv.find("counter,a.count"), std::string::npos);
+  EXPECT_NE(reg.to_table().find("a.count"), std::string::npos);
+}
+
+// Integration: the fabric's attached counters agree with TileStats.
+TEST(Metrics, FabricCountersMatchTileStats) {
+  fabric::Fabric fab(1, 1);
+  MetricsRegistry reg;
+  fab.attach_metrics(&reg);
+  auto r = isa::assemble("  movi 0, #5\nl:\n  sub 0, 0, #1\n  bnez 0, l\n"
+                         "  halt\n");
+  ASSERT_TRUE(r.ok());
+  fab.tile(0).load_program(r.program);
+  fab.tile(0).restart();
+  const auto run = fab.run(100);
+#ifdef CGRA_OBS_OFF
+  EXPECT_EQ(reg.counter_value("fabric.cycles"), 0);
+#else
+  EXPECT_EQ(reg.counter_value("fabric.cycles"), run.cycles);
+  EXPECT_EQ(reg.counter_value("fabric.retired"),
+            fab.tile(0).stats().instructions);
+  EXPECT_EQ(reg.counter_value("fabric.faults"), 0);
+#endif
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(Spans, NestingAndOpenSpanAccounting) {
+  SpanTimeline tl;
+  const auto outer = tl.begin("epoch", "epoch", kTrackEpochs, 0.0);
+  tl.complete("stream:t0", "icap", kTrackIcap, 0.0, 40.0);
+  EXPECT_EQ(tl.open_spans(), 1u);
+  tl.end(outer, 100.0);
+  EXPECT_EQ(tl.open_spans(), 0u);
+
+  const auto dangling = tl.begin("unbalanced", "epoch", kTrackEpochs, 100.0);
+  (void)dangling;
+  EXPECT_EQ(tl.open_spans(), 1u);
+
+  ASSERT_EQ(tl.spans().size(), 3u);
+  EXPECT_EQ(tl.spans()[0].name, "epoch");
+  EXPECT_DOUBLE_EQ(tl.spans()[0].dur_ns, 100.0);
+  EXPECT_TRUE(tl.spans()[2].open);
+}
+
+TEST(Spans, CategoryAndPrefixTotals) {
+  SpanTimeline tl;
+  tl.complete("reconfig:a", "reconfig", kTrackIcap, 0.0, 100.0);
+  tl.complete("reconfig:b", "reconfig", kTrackIcap, 200.0, 50.0);
+  tl.complete("bf-stage-0", "epoch", kTrackEpochs, 0.0, 30.0);
+  tl.instant("recovery:scrub", "recovery", tile_track(1), 10.0);
+  EXPECT_DOUBLE_EQ(tl.total_in_category("reconfig"), 150.0);
+  EXPECT_DOUBLE_EQ(tl.total_in_category("recovery"), 0.0);  // instants: 0 dur
+  EXPECT_DOUBLE_EQ(tl.total_with_prefix("reconfig:"), 150.0);
+  EXPECT_DOUBLE_EQ(tl.total_with_prefix("bf-"), 30.0);
+}
+
+TEST(Spans, ChromeTraceRoundTrip) {
+  SpanTimeline tl;
+  tl.set_track_name(kTrackEpochs, "epochs");
+  tl.set_track_name(tile_track(0), "tile 0");
+  tl.complete("bf-stage-0", "epoch", kTrackEpochs, 2.5, 250.0,
+              {{"cycles", "100", true}, {"kind", "pair", false}});
+  tl.instant("recovery:rollback", "recovery", tile_track(0), 125.0,
+             {{"attempt", "2", true}});
+  const auto open_id = tl.begin("reconfig:s1", "reconfig", kTrackIcap, 252.5);
+  tl.end(open_id, 502.5);
+
+  const std::string json = tl.to_chrome_json("test-process");
+  ASSERT_TRUE(validate_chrome_trace(json).ok());
+
+  std::vector<Span> back;
+  ASSERT_TRUE(parse_chrome_trace(json, &back).ok());
+  ASSERT_EQ(back.size(), 3u);  // metadata dropped
+
+  const Span* bf = nullptr;
+  const Span* rec = nullptr;
+  const Span* cfg = nullptr;
+  for (const auto& s : back) {
+    if (s.name == "bf-stage-0") bf = &s;
+    if (s.name == "recovery:rollback") rec = &s;
+    if (s.name == "reconfig:s1") cfg = &s;
+  }
+  ASSERT_NE(bf, nullptr);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_DOUBLE_EQ(bf->start_ns, 2.5);
+  EXPECT_DOUBLE_EQ(bf->dur_ns, 250.0);
+  EXPECT_EQ(bf->track, kTrackEpochs);
+  ASSERT_EQ(bf->args.size(), 2u);
+  EXPECT_TRUE(rec->instant);
+  EXPECT_DOUBLE_EQ(rec->start_ns, 125.0);
+  EXPECT_DOUBLE_EQ(cfg->dur_ns, 250.0);
+}
+
+TEST(Spans, SameTimestampSpansExportInInsertionOrder) {
+  // Perfetto nests same-ts events by array order, so the enclosing span
+  // recorded first must stay first after the exporter's stable sort.
+  SpanTimeline tl;
+  tl.complete("outer", "reconfig", kTrackIcap, 100.0, 500.0);
+  tl.complete("inner", "icap", kTrackIcap, 100.0, 200.0);
+  const std::string json = tl.to_chrome_json();
+  EXPECT_LT(json.find("\"outer\""), json.find("\"inner\""));
+}
+
+TEST(Spans, ValidatorRejectsMalformedTraces) {
+  EXPECT_FALSE(validate_chrome_trace("not json").ok());
+  EXPECT_FALSE(validate_chrome_trace("{}").ok());  // no traceEvents
+  EXPECT_FALSE(
+      validate_chrome_trace("{\"traceEvents\": 5}").ok());  // not an array
+  // An "X" event without dur violates the schema.
+  EXPECT_FALSE(validate_chrome_trace(
+                   "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\","
+                   "\"ts\":0,\"pid\":1,\"tid\":0}]}")
+                   .ok());
+  // Minimal conforming trace.
+  EXPECT_TRUE(validate_chrome_trace(
+                  "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\","
+                  "\"ts\":0,\"dur\":1,\"pid\":1,\"tid\":0}]}")
+                  .ok());
+}
+
+TEST(Spans, ClearResetsEverything) {
+  SpanTimeline tl;
+  tl.begin("open", "epoch", kTrackEpochs, 0.0);
+  tl.clear();
+  EXPECT_TRUE(tl.spans().empty());
+  EXPECT_EQ(tl.open_spans(), 0u);
+}
+
+// ---------------------------------------------------------------- profile
+
+ProfileReport small_report() {
+  ProfileReport p;
+  p.total_cycles = 100;
+  p.total_ns = cycles_to_ns(100);
+  p.tiles.push_back({0, 60, 30, 10, 5, false});
+  p.tiles.push_back({1, 100, 0, 0, 0, false});
+  return p;
+}
+
+TEST(Profile, ReconcilePassesWhenCyclesSum) {
+  const auto p = small_report();
+  EXPECT_TRUE(p.reconcile().ok());
+  EXPECT_DOUBLE_EQ(p.tiles[0].utilization(), 0.6);
+  EXPECT_DOUBLE_EQ(p.fabric_utilization(), (60.0 + 100.0) / 200.0);
+}
+
+TEST(Profile, ReconcileFailsOnMissingCycles) {
+  auto p = small_report();
+  p.tiles[0].stalled -= 1;  // break the invariant by one cycle
+  const auto st = p.reconcile();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("tile 0"), std::string::npos);
+}
+
+TEST(Profile, ReconcileFailsOnClockMismatch) {
+  auto p = small_report();
+  p.total_ns += 1.0;
+  EXPECT_FALSE(p.reconcile().ok());
+}
+
+TEST(Profile, RenderAndExportersMentionEveryTile) {
+  const auto p = small_report();
+  const std::string text = p.render();
+  EXPECT_NE(text.find("tile"), std::string::npos);
+  JsonValue parsed;
+  ASSERT_TRUE(parse_json(p.to_json(), &parsed).ok());
+  const auto* tiles = parsed.find("tiles");
+  ASSERT_NE(tiles, nullptr);
+  ASSERT_TRUE(tiles->is_array());
+  EXPECT_EQ(tiles->array.size(), 2u);
+  const std::string csv = p.to_csv();
+  EXPECT_NE(csv.find("tile,retired"), std::string::npos);
+}
+
+TEST(Profile, DriftRowsComputeSignedPercentages) {
+  DriftReport d;
+  d.model = "fft-tau";
+  d.add("tau1", 100.0, 150.0);
+  d.add("tau2", 100.0, 75.0);
+  d.add_unmeasured("tau0", 40.0, "host-side");
+  EXPECT_DOUBLE_EQ(d.rows[0].drift_pct(), 50.0);
+  EXPECT_DOUBLE_EQ(d.rows[1].drift_pct(), -25.0);
+  EXPECT_FALSE(d.rows[2].has_measured);
+  JsonValue parsed;
+  ASSERT_TRUE(parse_json(d.to_json(), &parsed).ok());
+  EXPECT_NE(d.render().find("tau1"), std::string::npos);
+}
+
+// ------------------------------------------------------------ bench report
+
+TEST(BenchReport, JsonSchemaRoundTrips) {
+  BenchReport report("unit_test");
+  report.add("throughput", 1234.5, "FFT/s", {{"cols", "2"}});
+  report.add("plain", 1.0, "x");
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  report.add_table("t", table);
+
+  JsonValue parsed;
+  ASSERT_TRUE(parse_json(report.to_json(), &parsed).ok());
+  ASSERT_NE(parsed.find("bench"), nullptr);
+  EXPECT_EQ(parsed.find("bench")->str, "unit_test");
+  const auto* metrics = parsed.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->array.size(), 2u);
+  const auto& m0 = metrics->array[0];
+  EXPECT_EQ(m0.find("name")->str, "throughput");
+  EXPECT_EQ(m0.find("value")->number, 1234.5);
+  EXPECT_EQ(m0.find("unit")->str, "FFT/s");
+  ASSERT_NE(m0.find("params"), nullptr);
+  EXPECT_EQ(m0.find("params")->find("cols")->str, "2");
+  const auto* tables = parsed.find("tables");
+  ASSERT_NE(tables, nullptr);
+  ASSERT_EQ(tables->array.size(), 1u);
+  EXPECT_EQ(tables->array[0].find("header")->array.size(), 2u);
+  ASSERT_EQ(tables->array[0].find("rows")->array.size(), 1u);
+}
+
+TEST(BenchReport, WriteProducesParseableFile) {
+  BenchReport report("write_smoke");
+  report.add("m", 1.0, "");
+  ASSERT_TRUE(report.write("."));
+  std::FILE* f = std::fopen("BENCH_write_smoke.json", "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  std::remove("BENCH_write_smoke.json");
+  JsonValue parsed;
+  EXPECT_TRUE(parse_json(content, &parsed).ok());
+}
+
+// -------------------------------------------------------------- json utils
+
+TEST(Json, EscapeAndNumberFormatting) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(2.5), "2.5");
+  JsonValue v;
+  ASSERT_TRUE(parse_json("{\"k\": [1, true, \"s\", null]}", &v).ok());
+  ASSERT_NE(v.find("k"), nullptr);
+  ASSERT_EQ(v.find("k")->array.size(), 4u);
+  EXPECT_FALSE(parse_json("{\"k\": }", &v).ok());
+  EXPECT_FALSE(parse_json("[1, 2", &v).ok());
+}
+
+}  // namespace
+}  // namespace cgra::obs

@@ -112,6 +112,51 @@ TEST(Trace, RingBufferWraparoundKeepsNewestInOrder) {
   }
 }
 
+TEST(Trace, DumpTruncationNoteAgreesWithDropped) {
+  Tracer tracer(8);
+  TraceEvent ev;
+  ev.tile = 0;
+  ev.kind = TraceEventKind::kRetire;
+  for (int i = 0; i < 30; ++i) {
+    ev.cycle = i;
+    tracer.record(ev);
+  }
+  EXPECT_EQ(tracer.dropped(), 22);
+  const std::string text = tracer.dump();
+  // The dump's truncation note must quote exactly the dropped() count.
+  EXPECT_NE(text.find("(22 earlier events dropped)"), std::string::npos);
+}
+
+TEST(Trace, DumpTruncationSurvivesWraparound) {
+  Fabric f(1, 1);
+  Tracer tracer(8);
+  f.attach_tracer(&tracer);
+  // 102 events through a capacity-8 ring: 94 dropped (see the wraparound
+  // test above); the note and the counter must agree after the wrap.
+  f.tile(0).load_program(prog(
+      "  movi 0, #50\nl:\n  sub 0, 0, #1\n  bnez 0, l\n  halt\n"));
+  f.tile(0).restart();
+  f.run(1000);
+  const std::string text = tracer.dump();
+  const std::string note =
+      "(" + std::to_string(tracer.dropped()) + " earlier events dropped)";
+  EXPECT_NE(text.find(note), std::string::npos);
+  // max_lines below capacity narrows the window but never changes the
+  // ring-drop accounting in the note.
+  const std::string narrow = tracer.dump(2);
+  EXPECT_NE(narrow.find(note), std::string::npos);
+  EXPECT_LT(narrow.size(), text.size());
+}
+
+TEST(Trace, NoTruncationNoteBeforeCapacity) {
+  Tracer tracer(8);
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kRetire;
+  for (int i = 0; i < 5; ++i) tracer.record(ev);
+  EXPECT_EQ(tracer.dropped(), 0);
+  EXPECT_EQ(tracer.dump().find("dropped"), std::string::npos);
+}
+
 TEST(Trace, FaultsInterleaveWithRemoteWrites) {
   Fabric f(1, 2);
   f.links().set_output(0, interconnect::Direction::kEast);
