@@ -9,13 +9,15 @@
 
 #include "common/table.hpp"
 #include "dse/fft_perf_model.hpp"
+#include "dse/sweep.hpp"
 #include "obs/bench_report.hpp"
 
 int main() {
   using namespace cgra;
   const auto g = fft::make_geometry(1024);
   std::printf("Measuring kernel runtimes on the simulator...\n");
-  const auto times = dse::measure_process_times(g);
+  dse::SweepPool pool;
+  const auto times = dse::parallel_measure_process_times(g, pool);
   obs::BenchReport report("fig10_11_fft_throughput");
 
   std::printf(

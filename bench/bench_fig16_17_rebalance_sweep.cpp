@@ -11,6 +11,7 @@
 
 #include "apps/jpeg/process_table.hpp"
 #include "common/table.hpp"
+#include "dse/sweep.hpp"
 #include "mapping/rebalance.hpp"
 #include "obs/bench_report.hpp"
 
@@ -23,12 +24,18 @@ int main() {
   const CostParams params{};
   constexpr int kMaxTiles = 25;
 
-  const auto one = mapping::sweep(net, kMaxTiles, RebalanceAlgorithm::kOne,
-                                  params);
-  const auto two = mapping::sweep(net, kMaxTiles, RebalanceAlgorithm::kTwo,
-                                  params);
-  const auto opt = mapping::sweep(net, kMaxTiles, RebalanceAlgorithm::kOpt,
-                                  params);
+  // The 25 tile budgets of each sweep are independent candidates; the pool
+  // output is identical to the serial mapping::sweep.
+  dse::SweepPool pool;
+  const auto one =
+      dse::parallel_sweep(net, kMaxTiles, RebalanceAlgorithm::kOne, params,
+                          pool);
+  const auto two =
+      dse::parallel_sweep(net, kMaxTiles, RebalanceAlgorithm::kTwo, params,
+                          pool);
+  const auto opt =
+      dse::parallel_sweep(net, kMaxTiles, RebalanceAlgorithm::kOpt, params,
+                          pool);
 
   std::printf("Figure 16 — images/s vs number of tiles (200x200 image)\n\n");
   TextTable fig16({"tiles", "reBalanceOne", "reBalanceTwo", "reBalanceOPT"});

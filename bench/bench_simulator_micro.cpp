@@ -79,6 +79,97 @@ BENCHMARK(BM_FabricStepRateMetrics)
     ->Arg(1)
     ->ArgName("metrics");
 
+// --- engine scenario benches -----------------------------------------------
+// Three scenarios isolate the two fast-path mechanisms: the active-tile
+// scheduler (halted-heavy, stalled-heavy) and the predecoded dispatch
+// (branch-heavy).  The dense all-tiles-active case is BM_FabricStepRate64Tiles
+// above.  Each emits its own sim_cycles/s counter into
+// BENCH_simulator_micro.json.
+
+/// A self-contained countdown loop of ~2*n + 3 cycles.
+std::string countdown_source(int n) {
+  return "  movi 0, #" + std::to_string(n) +
+         "\nloop:\n  sub 0, 0, #1\n  bnez 0, loop\n  halt\n";
+}
+
+// 64-tile fabric, one tile running, 63 halted: the per-cycle cost of the
+// halted majority is what the active list eliminates.
+void BM_FabricHaltedHeavy(benchmark::State& state) {
+  using namespace cgra;
+  fabric::Fabric fab(8, 8);
+  auto r = isa::assemble(countdown_source(50'000));
+  if (!r.ok()) {
+    state.SkipWithError("assembly failed");
+    return;
+  }
+  fab.tile(0).load_program(r.program);
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    fab.tile(0).restart();
+    const auto run = fab.run(1'000'000);
+    cycles += run.cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FabricHaltedHeavy);
+
+// 64-tile fabric, every tile stalled for a long reconfiguration window:
+// the wake queue lets run() fast-forward instead of walking all tiles
+// through every stalled cycle.
+void BM_FabricStalledHeavy(benchmark::State& state) {
+  using namespace cgra;
+  fabric::Fabric fab(8, 8);
+  auto r = isa::assemble(countdown_source(4));
+  if (!r.ok()) {
+    state.SkipWithError("assembly failed");
+    return;
+  }
+  for (int t = 0; t < fab.tile_count(); ++t) {
+    fab.tile(t).load_program(r.program);
+  }
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    for (int t = 0; t < fab.tile_count(); ++t) {
+      fab.tile(t).restart();
+      fab.tile(t).stall_until(fab.now() + 100'000);
+    }
+    const auto run = fab.run(1'000'000);
+    cycles += run.cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FabricStalledHeavy);
+
+// Single tile in a tight branchy loop (sub/bnez/jmp): isolates instruction
+// dispatch, which predecoding turns from flag/bit tests into plain loads.
+void BM_TileBranchHeavy(benchmark::State& state) {
+  using namespace cgra;
+  fabric::Fabric fab(1, 1);
+  auto r = isa::assemble(
+      "  movi 0, #25000\n"
+      "outer:\n"
+      "  sub 0, 0, #1\n"
+      "  beqz 0, done\n"
+      "  jmp outer\n"
+      "done:\n  halt\n");
+  if (!r.ok()) {
+    state.SkipWithError("assembly failed");
+    return;
+  }
+  fab.tile(0).load_program(r.program);
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    fab.tile(0).restart();
+    const auto run = fab.run(1'000'000);
+    cycles += run.cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TileBranchHeavy);
+
 void BM_Assembler(benchmark::State& state) {
   using namespace cgra;
   const auto lay = fft::make_layout(128);

@@ -26,6 +26,7 @@
 #include "common/table.hpp"
 #include "config/profiler.hpp"
 #include "dse/fft_drift.hpp"
+#include "dse/sweep.hpp"
 #include "mapping/rebalance.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -122,7 +123,8 @@ int run_fft(const std::vector<int>& pos, bool json, bool csv,
                       "profile_run:fft");
   if (rc != 0) return rc;
 
-  const auto times = dse::measure_process_times(g);
+  dse::SweepPool pool;
+  const auto times = dse::parallel_measure_process_times(g, pool);
   const auto model =
       dse::evaluate_fft_design(g, times, cols, opt.link_cost_ns);
   std::printf("\n%s",

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against a committed baseline.
+
+Usage: perf_compare.py BASELINE.json CURRENT.json
+
+Prints a delta table for every metric the two files share.  Rate metrics
+(unit ends in "/s", e.g. the simulator's sim_cycles/s and tile_cycles/s
+counters) improve upward; time metrics (ns) improve downward.
+
+Purely informational: always exits 0.  CI runners have wildly variable
+machines, so deltas here flag *suspicious* regressions for a human to
+re-measure locally (see docs/EXPERIMENTS.md), they do not gate merges.
+"""
+
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {m["name"]: m for m in doc.get("metrics", [])}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 0
+    base = load_metrics(sys.argv[1])
+    cur = load_metrics(sys.argv[2])
+    shared = [n for n in base if n in cur]
+    if not shared:
+        print("no shared metrics between baseline and current run")
+        return 0
+
+    width = max(len(n) for n in shared)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'current':>14}  delta")
+    worst = None
+    for name in shared:
+        b, c = base[name]["value"], cur[name]["value"]
+        unit = base[name].get("unit", "")
+        if b == 0:
+            continue
+        higher_is_better = unit.endswith("/s")
+        ratio = c / b if higher_is_better else b / c
+        sign = "+" if ratio >= 1 else ""
+        pct = (ratio - 1) * 100
+        print(f"{name:<{width}}  {b:>14.4g}  {c:>14.4g}  "
+              f"{sign}{pct:.1f}% {'faster' if pct >= 0 else 'slower'}")
+        if worst is None or ratio < worst[1]:
+            worst = (name, ratio)
+    if worst and worst[1] < 0.8:
+        print(f"\nNOTE: {worst[0]} is {(1 - worst[1]) * 100:.0f}% slower than "
+              "the committed baseline. CI timing is noisy — re-measure "
+              "locally before concluding anything (docs/EXPERIMENTS.md).")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -1,24 +1,198 @@
 #include "fabric/fabric.hpp"
 
+#include <algorithm>
+
 namespace cgra::fabric {
 
 Fabric::Fabric(int rows, int cols)
     : links_(rows, cols),
       tiles_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)),
-      failed_links_(tiles_.size(), 0) {}
-
-int Fabric::step() {
-  int retired = 0;
-  remote_buffer_.clear();
+      failed_links_(tiles_.size(), 0),
+      class_(tiles_.size(), TileClass::kHalted),
+      in_active_(tiles_.size(), 0),
+      halted_count_(static_cast<int>(tiles_.size())),
+      settled_(tiles_.size(), 0),
+      link_state_(tiles_.size(), LinkState::kNone),
+      link_target_(tiles_.size(), -1) {
   for (int i = 0; i < tile_count(); ++i) {
+    tiles_[static_cast<std::size_t>(i)].bind_scheduler(this, i);
+  }
+}
+
+Fabric::Fabric(Fabric&& other) noexcept { *this = std::move(other); }
+
+Fabric& Fabric::operator=(Fabric&& other) noexcept {
+  if (this == &other) return *this;
+  links_ = std::move(other.links_);
+  tiles_ = std::move(other.tiles_);
+  remote_buffer_ = std::move(other.remote_buffer_);
+  failed_links_ = std::move(other.failed_links_);
+  cycle_ = other.cycle_;
+  tracer_ = other.tracer_;
+  metrics_ = other.metrics_;
+  m_cycles_ = other.m_cycles_;
+  m_retired_ = other.m_retired_;
+  m_remote_writes_ = other.m_remote_writes_;
+  m_faults_ = other.m_faults_;
+  class_ = std::move(other.class_);
+  active_ = std::move(other.active_);
+  in_active_ = std::move(other.in_active_);
+  wake_ = std::move(other.wake_);
+  halted_count_ = other.halted_count_;
+  settled_ = std::move(other.settled_);
+  link_state_ = std::move(other.link_state_);
+  link_target_ = std::move(other.link_target_);
+  stepping_ = other.stepping_;
+  active_dirty_ = other.active_dirty_;
+  // Tiles carry a back-pointer to their scheduler: point them here.
+  for (int i = 0; i < static_cast<int>(tiles_.size()); ++i) {
+    tiles_[static_cast<std::size_t>(i)].bind_scheduler(this, i);
+  }
+  return *this;
+}
+
+void Fabric::refresh_link_cache() {
+  for (int i = 0; i < tile_count(); ++i) {
+    const auto dst = links_.target(i);
+    const auto k = static_cast<std::size_t>(i);
+    link_target_[k] = dst.has_value() ? *dst : -1;
+    link_state_[k] = !dst.has_value() ? LinkState::kNone
+                     : failed_links_[k] != 0 ? LinkState::kDown
+                                             : LinkState::kUp;
+  }
+}
+
+void Fabric::settle_tile(int tile, std::int64_t boundary) {
+  const auto k = static_cast<std::size_t>(tile);
+  const std::int64_t pending = boundary - settled_[k];
+  if (pending <= 0) return;
+  switch (class_[k]) {
+    case TileClass::kStalled:
+      tiles_[k].account_idle_cycles(pending, 0);
+      break;
+    case TileClass::kHalted:
+      tiles_[k].account_idle_cycles(0, pending);
+      break;
+    case TileClass::kActive:
+      // Stepped every cycle while active: stats are already exact.
+      break;
+  }
+  settled_[k] = boundary;
+}
+
+void Fabric::settle_all() {
+  for (int i = 0; i < tile_count(); ++i) {
+    if (class_[static_cast<std::size_t>(i)] != TileClass::kActive) {
+      settle_tile(i, cycle_);
+    }
+  }
+}
+
+void Fabric::insert_active(int tile) {
+  const auto k = static_cast<std::size_t>(tile);
+  if (in_active_[k] != 0) return;
+  active_.insert(std::lower_bound(active_.begin(), active_.end(), tile), tile);
+  in_active_[k] = 1;
+}
+
+void Fabric::remove_active(int tile) {
+  const auto k = static_cast<std::size_t>(tile);
+  if (in_active_[k] == 0) return;
+  const auto it = std::lower_bound(active_.begin(), active_.end(), tile);
+  if (it != active_.end() && *it == tile) active_.erase(it);
+  in_active_[k] = 0;
+}
+
+void Fabric::compact_active() {
+  std::size_t w = 0;
+  for (const int t : active_) {
+    if (class_[static_cast<std::size_t>(t)] == TileClass::kActive) {
+      active_[w++] = t;
+    } else {
+      in_active_[static_cast<std::size_t>(t)] = 0;
+    }
+  }
+  active_.resize(w);
+  active_dirty_ = false;
+}
+
+void Fabric::tile_state_changed(int tile) {
+  const auto k = static_cast<std::size_t>(tile);
+  const Tile& t = tiles_[k];
+  const TileClass nc = t.halted()                  ? TileClass::kHalted
+                       : t.stalled_until() > cycle_ ? TileClass::kStalled
+                                                     : TileClass::kActive;
+  const TileClass oc = class_[k];
+  if (nc == oc) {
+    // Same class, but a stalled tile's deadline may have moved: keep the
+    // wake queue's always-one-valid-entry invariant.
+    if (nc == TileClass::kStalled) wake_.emplace(t.stalled_until(), tile);
+    return;
+  }
+  // While a cycle sweep is in flight the step machinery has already
+  // accounted the current cycle (retired or count_fault_cycle), so the
+  // settlement boundary moves past it; between cycles it is cycle_ itself.
+  const std::int64_t boundary = cycle_ + (stepping_ ? 1 : 0);
+  settle_tile(tile, boundary);  // settles under the *old* class
+  class_[k] = nc;
+  settled_[k] = boundary;
+  if (oc == TileClass::kHalted) --halted_count_;
+  if (nc == TileClass::kHalted) ++halted_count_;
+  if (oc == TileClass::kActive) {
+    if (stepping_) {
+      active_dirty_ = true;  // compacted right after the sweep
+    } else {
+      remove_active(tile);
+    }
+  }
+  if (nc == TileClass::kActive) insert_active(tile);
+  if (nc == TileClass::kStalled) wake_.emplace(t.stalled_until(), tile);
+}
+
+void Fabric::process_wakes() {
+  while (!wake_.empty() && wake_.top().first <= cycle_) {
+    const auto [wc, t] = wake_.top();
+    wake_.pop();
+    const auto k = static_cast<std::size_t>(t);
+    if (class_[k] != TileClass::kStalled) continue;       // stale entry
+    if (tiles_[k].stalled_until() > cycle_) continue;     // superseded
+    settle_tile(t, cycle_);  // close out the stalled interval
+    class_[k] = TileClass::kActive;
+    insert_active(t);
+  }
+}
+
+std::int64_t Fabric::next_wake_cycle() {
+  while (!wake_.empty()) {
+    const auto [wc, t] = wake_.top();
+    const auto k = static_cast<std::size_t>(t);
+    // Lazy deletion: drop entries whose tile left the stalled class or
+    // whose deadline was superseded by a later stall_until().
+    if (class_[k] != TileClass::kStalled || tiles_[k].stalled_until() != wc) {
+      wake_.pop();
+      continue;
+    }
+    return wc;
+  }
+  return -1;
+}
+
+int Fabric::step_cycle() {
+  remote_buffer_.clear();
+  int retired = 0;
+  stepping_ = true;
+  // Snapshot the active list: a sweep never grows it (transitions during a
+  // sweep only mark entries stale), but the compiler cannot see that
+  // through the tile.step call, and reloading size() per tile costs.
+  const int* const act = active_.data();
+  const std::size_t n_active = active_.size();
+  for (std::size_t idx = 0; idx < n_active; ++idx) {
+    const int i = act[idx];
+    if (class_[static_cast<std::size_t>(i)] != TileClass::kActive) continue;
     auto& tile = tiles_[static_cast<std::size_t>(i)];
-    const LinkState link =
-        !links_.target(i).has_value() ? LinkState::kNone
-        : failed_links_[static_cast<std::size_t>(i)] != 0 ? LinkState::kDown
-                                                          : LinkState::kUp;
     const int pc_before = tile.pc();
-    const bool was_faulted = tile.faulted();
-    if (tile.step(i, cycle_, link, remote_buffer_)) {
+    if (tile.step(i, cycle_, link_state_[static_cast<std::size_t>(i)],
+                  remote_buffer_)) {
       ++retired;
       if (tracer_ != nullptr) {
         const isa::Instruction* in = tile.instruction_at(pc_before);
@@ -32,9 +206,11 @@ int Fabric::step() {
                       : TraceEventKind::kRetire;
         tracer_->record(ev);
       }
-    } else if (!was_faulted && tile.faulted()) {
-      // The cycle a fault is raised mid-step would otherwise be missing
-      // from the tile's cycle accounting (TileStats invariant).
+    } else if (tile.faulted()) {
+      // An active tile cannot have entered the cycle faulted, so this is
+      // the raising transition.  The cycle the fault is raised mid-step
+      // would otherwise be missing from the tile's cycle accounting
+      // (TileStats invariant).
       tile.count_fault_cycle();
       if (metrics_ != nullptr) metrics_->add(m_faults_);
       if (tracer_ != nullptr) {
@@ -49,21 +225,25 @@ int Fabric::step() {
       }
     }
   }
-  // Commit remote writes synchronously at end of cycle, in tile order
-  // (deterministic: lower tile index wins ties on the same destination word
-  // last, i.e. the higher index's value persists — documented semantics).
+  stepping_ = false;
+  if (active_dirty_) compact_active();
+  // Commit remote writes synchronously at end of cycle, in ascending
+  // source-tile order (the order the tiles were stepped).  Two writes to
+  // the same destination word in the same cycle therefore resolve
+  // deterministically: the write from the higher source-tile index commits
+  // last, so its value persists — documented semantics.
   int committed = 0;
   for (const auto& w : remote_buffer_) {
-    const auto dst = links_.target(w.src_tile);
-    if (dst) {
-      tiles_[static_cast<std::size_t>(*dst)].set_dmem(w.addr, w.value);
+    const int dst = link_target_[static_cast<std::size_t>(w.src_tile)];
+    if (dst >= 0) {
+      tiles_[static_cast<std::size_t>(dst)].set_dmem(w.addr, w.value);
       ++committed;
       if (tracer_ != nullptr) {
         TraceEvent ev;
         ev.cycle = cycle_;
         ev.kind = TraceEventKind::kRemoteWrite;
         ev.tile = w.src_tile;
-        ev.dst_tile = *dst;
+        ev.dst_tile = dst;
         ev.addr = w.addr;
         ev.value = w.value;
         tracer_->record(ev);
@@ -76,6 +256,14 @@ int Fabric::step() {
     metrics_->add(m_retired_, retired);
     metrics_->add(m_remote_writes_, committed);
   }
+  return retired;
+}
+
+int Fabric::step() {
+  refresh_link_cache();
+  process_wakes();
+  const int retired = step_cycle();
+  settle_all();  // public boundary: idle tiles' stats catch up to cycle_
   return retired;
 }
 
@@ -93,21 +281,31 @@ void Fabric::attach_metrics(obs::MetricsRegistry* metrics) {
 
 RunResult Fabric::run(std::int64_t max_cycles) {
   RunResult result;
-  for (std::int64_t i = 0; i < max_cycles; ++i) {
+  refresh_link_cache();
+  while (result.cycles < max_cycles) {
     if (all_halted()) break;
-    step();
+    process_wakes();
+    if (active_.empty()) {
+      // Only stalled tiles remain: fast-forward to the next wake event
+      // (bounded by the cycle budget).  The skipped cycles are real
+      // simulated time — they count into the result, the cycle counter and
+      // the cycle metric; the stalled tiles' stats settle lazily.
+      const std::int64_t next = next_wake_cycle();
+      if (next < 0) break;  // unreachable: stalled tiles imply a wake entry
+      const std::int64_t skip =
+          std::min(next - cycle_, max_cycles - result.cycles);
+      cycle_ += skip;
+      result.cycles += skip;
+      if (metrics_ != nullptr) metrics_->add(m_cycles_, skip);
+      continue;
+    }
+    step_cycle();
     ++result.cycles;
   }
+  settle_all();
   result.all_halted = all_halted();
   result.faults = faults();
   return result;
-}
-
-bool Fabric::all_halted() const {
-  for (const auto& t : tiles_) {
-    if (!t.halted()) return false;
-  }
-  return true;
 }
 
 std::vector<Fault> Fabric::faults() const {

@@ -5,9 +5,22 @@
 // the cycle into the destination tile's data memory (the semi-systolic
 // shared-memory transfer of the paper).  MIMD: each tile runs its own
 // program.
+//
+// Fast execution engine (docs/ARCHITECTURE.md, "Execution engine"): the
+// fabric schedules only ACTIVE tiles.  Halted, faulted, dead and stalled
+// tiles cost nothing per cycle — their TileStats idle buckets are settled
+// in batches at state transitions and at every public API boundary, so the
+// cycle-accounting invariant (retired + stalled + halted == fabric cycles)
+// holds bit-identically to the one-step-per-tile reference engine.  Stall
+// deadlines live in a wake queue; when no tile is runnable, run()
+// fast-forwards the cycle counter to the next wake event.  Tiles are
+// stepped in ascending index order, so remote-write commit order (and with
+// it the same-destination tie-break) is unchanged.
 #pragma once
 
 #include <cstdint>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -33,9 +46,16 @@ struct RunResult {
 };
 
 /// The mesh of tiles.
-class Fabric {
+class Fabric : private TileScheduler {
  public:
   Fabric(int rows, int cols);
+
+  // Tiles hold a back-pointer to their fabric's scheduler, so copying
+  // would leave the copy's tiles notifying the original; moves re-bind.
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+  Fabric(Fabric&& other) noexcept;
+  Fabric& operator=(Fabric&& other) noexcept;
 
   [[nodiscard]] int rows() const noexcept { return links_.rows(); }
   [[nodiscard]] int cols() const noexcept { return links_.cols(); }
@@ -49,7 +69,10 @@ class Fabric {
     return tile(links_.index(c));
   }
 
-  /// Current link configuration (mutable: epochs rewire it).
+  /// Current link configuration (mutable: epochs rewire it).  The fabric
+  /// re-reads it at every run()/step() entry; rewiring while run() is on
+  /// the stack is not supported (and never happens: transitions are applied
+  /// between runs by the reconfiguration controller).
   [[nodiscard]] interconnect::LinkConfig& links() noexcept { return links_; }
   [[nodiscard]] const interconnect::LinkConfig& links() const noexcept {
     return links_;
@@ -63,6 +86,9 @@ class Fabric {
   /// from it raise kLinkDown from then on, whatever the epoch configures.
   void fail_link(int tile) {
     failed_links_.at(static_cast<std::size_t>(tile)) = 1;
+    if (link_state_[static_cast<std::size_t>(tile)] == LinkState::kUp) {
+      link_state_[static_cast<std::size_t>(tile)] = LinkState::kDown;
+    }
   }
   [[nodiscard]] bool link_failed(int tile) const {
     return failed_links_.at(static_cast<std::size_t>(tile)) != 0;
@@ -77,15 +103,27 @@ class Fabric {
   /// Global cycle counter (monotonic across run() calls).
   [[nodiscard]] std::int64_t now() const noexcept { return cycle_; }
 
-  /// Execute one cycle: step every tile, then commit remote writes.
-  /// Returns the number of tiles that retired an instruction.
+  /// Execute one cycle: step every runnable tile, then commit remote
+  /// writes.  Returns the number of tiles that retired an instruction.
+  /// Idle tiles' cycle accounting is settled before this returns, so the
+  /// observable TileStats match the reference one-step-per-tile engine.
   int step();
 
-  /// Run until every tile is halted, a fault occurs, or `max_cycles` elapse.
+  /// Run until every tile is halted, a fault occurs, or `max_cycles`
+  /// elapse.  When only stalled tiles remain, the cycle counter
+  /// fast-forwards to the next wake event (run-until-event; the skipped
+  /// cycles still count against `max_cycles` and into the result).
   RunResult run(std::int64_t max_cycles);
 
-  /// True if every tile is halted (cleanly or by fault).
-  [[nodiscard]] bool all_halted() const;
+  /// True if every tile is halted (cleanly or by fault).  O(1): the
+  /// scheduler maintains the halted-tile count across all transitions.
+  [[nodiscard]] bool all_halted() const noexcept {
+    return halted_count_ == tile_count();
+  }
+
+  /// Cycle of the earliest pending stall-wake event, or -1 when no tile is
+  /// stalled (exposed for schedulers and tests).
+  [[nodiscard]] std::int64_t next_wake_cycle();
 
   /// Collect faults currently latched in the tiles.
   [[nodiscard]] std::vector<Fault> faults() const;
@@ -106,6 +144,28 @@ class Fabric {
   }
 
  private:
+  /// Scheduling class of a tile.  Exactly one applies at any cycle; it is
+  /// also the TileStats bucket its skipped cycles settle into.
+  enum class TileClass : std::uint8_t { kActive, kStalled, kHalted };
+
+  /// TileScheduler: a tile's run state (or instruction image) changed.
+  void tile_state_changed(int tile) override;
+
+  /// Add the pending idle cycles of a non-active tile to its stats bucket.
+  void settle_tile(int tile, std::int64_t boundary);
+  /// Settle every tile up to the current cycle (public API boundary).
+  void settle_all();
+  /// Move tiles whose stall deadline has passed onto the active list.
+  void process_wakes();
+  /// Execute one cycle over the active list and commit remote writes.
+  int step_cycle();
+  /// Drop active-list entries invalidated during a sweep.
+  void compact_active();
+  void insert_active(int tile);
+  void remove_active(int tile);
+  /// Re-derive per-tile link state/target from links_ and failed_links_.
+  void refresh_link_cache();
+
   interconnect::LinkConfig links_;
   std::vector<Tile> tiles_;
   std::vector<RemoteWrite> remote_buffer_;
@@ -117,6 +177,27 @@ class Fabric {
   obs::CounterHandle m_retired_;
   obs::CounterHandle m_remote_writes_;
   obs::CounterHandle m_faults_;
+
+  // --- active-tile scheduler state ---
+  std::vector<TileClass> class_;         ///< Current class per tile.
+  std::vector<int> active_;              ///< Runnable tiles, ascending index.
+  std::vector<std::uint8_t> in_active_;  ///< Membership in active_ (incl. stale).
+  /// Pending (wake_cycle, tile) events, earliest first.  Entries are lazy:
+  /// superseded deadlines and dead classes are dropped on inspection; every
+  /// stalled tile always has one entry matching its true deadline.
+  std::priority_queue<std::pair<std::int64_t, int>,
+                      std::vector<std::pair<std::int64_t, int>>,
+                      std::greater<>>
+      wake_;
+  int halted_count_ = 0;                 ///< Tiles in class kHalted.
+  /// Cycle up to which each non-active tile's idle buckets are settled.
+  std::vector<std::int64_t> settled_;
+  /// Cached per-tile output-link state/target, refreshed at run()/step()
+  /// entry (links cannot change while the fabric is stepping).
+  std::vector<LinkState> link_state_;
+  std::vector<int> link_target_;
+  bool stepping_ = false;       ///< Inside a sweep: transitions settle at cycle_+1.
+  bool active_dirty_ = false;   ///< Stale entries in active_ need compaction.
 };
 
 }  // namespace cgra::fabric

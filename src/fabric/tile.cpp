@@ -6,8 +6,25 @@
 
 namespace cgra::fabric {
 
-using isa::Instruction;
+using isa::DecodedInstr;
 using isa::Opcode;
+
+Tile& Tile::operator=(const Tile& other) {
+  if (this == &other) return *this;
+  dmem_ = other.dmem_;
+  code_ = other.code_;
+  decoded_ = other.decoded_;
+  acc_ = other.acc_;
+  pc_ = other.pc_;
+  halted_ = other.halted_;
+  dead_ = other.dead_;
+  fault_ = other.fault_;
+  stats_ = other.stats_;
+  stalled_until_ = other.stalled_until_;
+  // sched_ / sched_index_ deliberately untouched: the binding names a slot
+  // in the owning fabric, not a property of the tile's value.
+  return *this;
+}
 
 bool Tile::load_program(const isa::Program& prog) {
   if (dead_) return false;
@@ -16,12 +33,14 @@ bool Tile::load_program(const isa::Program& prog) {
     if (patch.addr < 0 || patch.addr >= kDataMemWords) return false;
   }
   code_ = prog.code;
+  decoded_ = isa::predecode_all(code_);
   for (const auto& patch : prog.data) {
     dmem_[static_cast<std::size_t>(patch.addr)] = truncate_word(patch.value);
   }
   pc_ = 0;
   halted_ = true;  // a loaded tile awaits restart()
   fault_ = Fault{};
+  notify_scheduler();
   return true;
 }
 
@@ -41,6 +60,7 @@ void Tile::restart(int pc) {
   pc_ = pc;
   halted_ = code_.empty();
   fault_ = Fault{};
+  notify_scheduler();
 }
 
 bool Tile::restore_dmem(std::span<const Word> image) {
@@ -49,9 +69,11 @@ bool Tile::restore_dmem(std::span<const Word> image) {
   return true;
 }
 
-void Tile::flip_dmem_bit(int addr, int bit) {
-  auto& word = dmem_.at(static_cast<std::size_t>(addr));
+bool Tile::flip_dmem_bit(int addr, int bit) {
+  if (addr < 0 || addr >= kDataMemWords) return false;
+  auto& word = dmem_[static_cast<std::size_t>(addr)];
   word = truncate_word(word ^ (std::uint64_t{1} << (bit % kWordBits)));
+  return true;
 }
 
 bool Tile::flip_inst_bit(int index, int bit) {
@@ -69,6 +91,9 @@ bool Tile::flip_inst_bit(int index, int bit) {
   code_[static_cast<std::size_t>(index)] =
       decoded.value_or(isa::Instruction{isa::Opcode::kOpcodeCount, 0, 0, 0,
                                         0, 0});
+  // Keep the flattened image in lockstep with the poked slot.
+  decoded_[static_cast<std::size_t>(index)] =
+      isa::predecode(code_[static_cast<std::size_t>(index)]);
   return true;
 }
 
@@ -90,6 +115,7 @@ void Tile::raise(FaultKind kind, int tile_index, std::int64_t cycle) {
   fault_.pc = pc_;
   fault_.cycle = cycle;
   halted_ = true;
+  notify_scheduler();
 }
 
 int Tile::effective_addr(std::uint16_t field, bool indirect, int tile_index,
@@ -120,28 +146,44 @@ bool Tile::step(int tile_index, std::int64_t cycle, LinkState link,
     ++stats_.cycles_stalled;
     return false;
   }
-  if (pc_ < 0 || pc_ >= static_cast<int>(code_.size())) {
+  if (pc_ < 0 || pc_ >= static_cast<int>(decoded_.size())) {
     raise(FaultKind::kPcOutOfRange, tile_index, cycle);
     return false;
   }
-  const Instruction& in = code_[static_cast<std::size_t>(pc_)];
+  const DecodedInstr& in = decoded_[static_cast<std::size_t>(pc_)];
+  if (in.illegal) {
+    raise(FaultKind::kIllegalOpcode, tile_index, cycle);
+    return false;
+  }
 
   // --- operand fetch ---
   Word a = 0;
-  if (isa::reads_srca(in.opcode)) {
-    const int ea = effective_addr(in.srca, in.has_flag(isa::kFlagSrcAIndirect),
-                                  tile_index, cycle);
-    if (ea < 0) return false;
+  if (in.reads_srca) {
+    int ea = in.srca;
+    if (in.srca_oob) {
+      raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
+      return false;
+    }
+    if (in.srca_indirect) {
+      ea = effective_addr(in.srca, true, tile_index, cycle);
+      if (ea < 0) return false;
+    }
     a = dmem_[static_cast<std::size_t>(ea)];
   }
   Word b = 0;
-  if (isa::reads_srcb(in.opcode)) {
-    if (in.has_flag(isa::kFlagUseImm)) {
-      b = from_signed(in.imm);
+  if (in.reads_srcb) {
+    if (in.use_imm) {
+      b = in.imm_word;
     } else {
-      const int eb = effective_addr(
-          in.srcb, in.has_flag(isa::kFlagSrcBIndirect), tile_index, cycle);
-      if (eb < 0) return false;
+      int eb = in.srcb;
+      if (in.srcb_oob) {
+        raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
+        return false;
+      }
+      if (in.srcb_indirect) {
+        eb = effective_addr(in.srcb, true, tile_index, cycle);
+        if (eb < 0) return false;
+      }
       b = dmem_[static_cast<std::size_t>(eb)];
     }
   }
@@ -160,7 +202,7 @@ bool Tile::step(int tile_index, std::int64_t cycle, LinkState link,
       result = a;
       break;
     case Opcode::kMovi:
-      result = from_signed(in.imm);
+      result = in.imm_word;
       break;
     case Opcode::kAdd:
       result = word_add(a, b);
@@ -222,13 +264,14 @@ bool Tile::step(int tile_index, std::int64_t cycle, LinkState link,
       result = from_signed(acc_);
       break;
     case Opcode::kOpcodeCount:
+      // Unreachable: predecode marks these slots `illegal`.
       raise(FaultKind::kIllegalOpcode, tile_index, cycle);
       return false;
   }
 
   // --- write back ---
-  if (isa::writes_dst(in.opcode)) {
-    const bool remote = in.has_flag(isa::kFlagDstRemote);
+  if (in.writes_dst) {
+    const bool remote = in.dst_remote;
     if (remote) {
       if (link != LinkState::kUp) {
         raise(link == LinkState::kDown ? FaultKind::kLinkDown
@@ -240,27 +283,36 @@ bool Tile::step(int tile_index, std::int64_t cycle, LinkState link,
       // (pointer lives in this tile) but addresses the neighbour's memory;
       // range is validated here, the fabric routes the value.
       int addr = in.dst;
-      if (in.has_flag(isa::kFlagDstIndirect)) {
+      if (in.dst_indirect) {
         const int ea = effective_addr(in.dst, true, tile_index, cycle);
         if (ea < 0) return false;
         addr = ea;
-      } else if (addr >= kDataMemWords) {
+      } else if (in.dst_oob) {
         raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
         return false;
       }
       remote_out.push_back(RemoteWrite{tile_index, addr, result});
       ++stats_.remote_writes;
     } else {
-      const int ed = effective_addr(in.dst, in.has_flag(isa::kFlagDstIndirect),
-                                    tile_index, cycle);
-      if (ed < 0) return false;
+      int ed = in.dst;
+      if (in.dst_oob) {
+        raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
+        return false;
+      }
+      if (in.dst_indirect) {
+        ed = effective_addr(in.dst, true, tile_index, cycle);
+        if (ed < 0) return false;
+      }
       dmem_[static_cast<std::size_t>(ed)] = truncate_word(result);
     }
   }
 
   pc_ = next_pc;
-  halted_ = halt_after;
   ++stats_.instructions;
+  if (halt_after) {
+    halted_ = true;
+    notify_scheduler();
+  }
   return true;
 }
 

@@ -5,6 +5,13 @@
 // instruction per 2.5 ns cycle.  A tile reads only its own data memory but
 // can write either its own memory or — via the active output link — the
 // data memory of the connected neighbour.
+//
+// Fast path: load_program() predecodes the instruction image into flat
+// isa::DecodedInstr records (flags pre-split, immediates pre-converted,
+// operand roles resolved), so step() dispatches on plain fields.  The
+// encoded isa::Instruction image is kept alongside for readback-verify,
+// tracing and fault injection; flip_inst_bit re-predecodes the poked slot
+// so the two images never diverge.
 #pragma once
 
 #include <array>
@@ -16,6 +23,7 @@
 #include "common/status.hpp"
 #include "common/timing.hpp"
 #include "common/word.hpp"
+#include "isa/decoded.hpp"
 #include "isa/program.hpp"
 
 namespace cgra::fabric {
@@ -41,7 +49,9 @@ struct RemoteWrite {
 /// fabric cycle a tile is stepped lands in exactly one of `instructions`
 /// (retired), `cycles_stalled` (reconfiguration stall) or `cycles_halted`
 /// (halted / faulted / the one cycle a fault is raised), so the three sum
-/// to the fabric's global cycle counter.
+/// to the fabric's global cycle counter.  The active-tile scheduler settles
+/// the stalled/halted buckets of tiles it skips in batches, preserving the
+/// invariant at every Fabric API boundary.
 struct TileStats {
   std::int64_t instructions = 0;  ///< Instructions retired.
   std::int64_t remote_writes = 0;
@@ -49,10 +59,34 @@ struct TileStats {
   std::int64_t cycles_halted = 0;   ///< Cycles halted or faulted.
 };
 
+/// Observer of tile run-state transitions (halted / stalled / runnable).
+///
+/// The Fabric implements this to keep its active list, stall wake-queue and
+/// halted counter exact even when external layers (reconfiguration
+/// controller, fault injector, recovery) mutate tiles directly.  Transitions
+/// are rare — configuration events, faults, halts — so the virtual call is
+/// never on the per-cycle path.
+class TileScheduler {
+ public:
+  /// `tile` (the bound linear index) may have changed halted/stalled state
+  /// or its instruction image.
+  virtual void tile_state_changed(int tile) = 0;
+
+ protected:
+  ~TileScheduler() = default;
+};
+
 /// One processing element.
 class Tile {
  public:
   Tile() { dmem_.fill(0); }
+
+  // A copied tile is a standalone value: the scheduler binding names a slot
+  // in the source fabric and must not travel with the copy.
+  Tile(const Tile& other) { *this = other; }
+  Tile& operator=(const Tile& other);
+  Tile(Tile&&) noexcept = default;
+  Tile& operator=(Tile&&) noexcept = default;
 
   /// Load a program: replaces the instruction image, applies data patches
   /// and resets the PC.  The tile stays halted until restart() — mirroring
@@ -92,6 +126,11 @@ class Tile {
   /// (the fabric calls this on the fault transition, keeping the TileStats
   /// cycle-accounting invariant exact).
   void count_fault_cycle() noexcept { ++stats_.cycles_halted; }
+  /// Batch-settle cycles the scheduler skipped for this tile.
+  void account_idle_cycles(std::int64_t stalled, std::int64_t halted) noexcept {
+    stats_.cycles_stalled += stalled;
+    stats_.cycles_halted += halted;
+  }
   [[nodiscard]] int code_size() const noexcept {
     return static_cast<int>(code_.size());
   }
@@ -105,8 +144,10 @@ class Tile {
 
   // --- fault injection (SEU model) ---
 
-  /// Flip one bit of a data-memory word (single-event upset).
-  void flip_dmem_bit(int addr, int bit);
+  /// Flip one bit of a data-memory word (single-event upset).  Returns
+  /// false if `addr` is outside the data memory (same bounds-checked
+  /// contract as flip_inst_bit).
+  bool flip_dmem_bit(int addr, int bit);
 
   /// Flip one bit of the 72-bit encoded form of instruction `index` and
   /// decode it back.  If the flipped word no longer decodes, the slot is
@@ -133,9 +174,17 @@ class Tile {
   /// reaches `until_cycle` (used by the reconfiguration controller).
   void stall_until(std::int64_t until_cycle) noexcept {
     stalled_until_ = until_cycle;
+    notify_scheduler();
   }
   [[nodiscard]] std::int64_t stalled_until() const noexcept {
     return stalled_until_;
+  }
+
+  /// Bind this tile to its owning scheduler (the Fabric).  Run-state
+  /// transitions are reported through the interface from then on.
+  void bind_scheduler(TileScheduler* sched, int index) noexcept {
+    sched_ = sched;
+    sched_index_ = index;
   }
 
   /// Execute one cycle.
@@ -154,9 +203,14 @@ class Tile {
   int effective_addr(std::uint16_t field, bool indirect, int tile_index,
                      std::int64_t cycle);
   void raise(FaultKind kind, int tile_index, std::int64_t cycle);
+  void notify_scheduler() {
+    if (sched_ != nullptr) sched_->tile_state_changed(sched_index_);
+  }
 
   std::array<Word, kDataMemWords> dmem_{};
   std::vector<isa::Instruction> code_;
+  /// Flattened image of `code_`, kept in lockstep (see file comment).
+  std::vector<isa::DecodedInstr> decoded_;
   /// The DSP-macro accumulator (macz/mac/macr); 64-bit internally, results
   /// truncate to 48 bits when read back with macr.
   std::int64_t acc_ = 0;
@@ -166,6 +220,8 @@ class Tile {
   Fault fault_;
   TileStats stats_;
   std::int64_t stalled_until_ = 0;
+  TileScheduler* sched_ = nullptr;  ///< Not owned; null for standalone tiles.
+  int sched_index_ = -1;
 };
 
 }  // namespace cgra::fabric

@@ -49,7 +49,10 @@ int FaultInjector::fire_due(fabric::Fabric& fabric) {
         const int bit = ev.bit >= 0
                             ? ev.bit
                             : static_cast<int>(rng_.next_below(kWordBits));
-        tile.flip_dmem_bit(addr, bit);
+        // A plan-specified address outside the data memory flips nothing
+        // (the upset landed in unpopulated address space); the event is
+        // still consumed.
+        (void)tile.flip_dmem_bit(addr, bit);
         break;
       }
       case FaultAction::kFlipInstBit: {

@@ -1,0 +1,46 @@
+#include "isa/decoded.hpp"
+
+namespace cgra::isa {
+
+DecodedInstr predecode(const Instruction& in) noexcept {
+  DecodedInstr d;
+  d.opcode = in.opcode;
+  d.dst = in.dst;
+  d.srca = in.srca;
+  d.srcb = in.srcb;
+  d.imm = in.imm;
+  d.imm_word = from_signed(in.imm);
+
+  if (in.opcode >= Opcode::kOpcodeCount) {
+    // A poisoned slot executes as "raise kIllegalOpcode": no operand fetch,
+    // no write back (the interpreter faults before either).
+    d.illegal = true;
+    return d;
+  }
+
+  d.reads_srca = isa::reads_srca(in.opcode);
+  d.srca_indirect = in.has_flag(kFlagSrcAIndirect);
+  d.srca_oob = d.reads_srca && in.srca >= kDataMemWords;
+
+  d.reads_srcb = isa::reads_srcb(in.opcode);
+  d.use_imm = in.has_flag(kFlagUseImm);
+  d.srcb_indirect = in.has_flag(kFlagSrcBIndirect);
+  d.srcb_oob = d.reads_srcb && !d.use_imm && in.srcb >= kDataMemWords;
+
+  d.writes_dst = isa::writes_dst(in.opcode);
+  d.dst_remote = in.has_flag(kFlagDstRemote);
+  d.dst_indirect = in.has_flag(kFlagDstIndirect);
+  d.dst_oob = d.writes_dst && in.dst >= kDataMemWords;
+
+  return d;
+}
+
+std::vector<DecodedInstr> predecode_all(
+    const std::vector<Instruction>& code) {
+  std::vector<DecodedInstr> out;
+  out.reserve(code.size());
+  for (const auto& in : code) out.push_back(predecode(in));
+  return out;
+}
+
+}  // namespace cgra::isa

@@ -132,5 +132,130 @@ TEST(Fabric, StalledTileResumesAutomatically) {
   EXPECT_EQ(r.cycles, 12);  // 10 stalled + 2 executing
 }
 
+// --- execution-engine behaviour ---------------------------------------------
+
+/// Every fabric cycle lands in exactly one TileStats bucket, whatever mix
+/// of running / stalled / halted / dead the tile went through.
+void expect_stats_invariant(const Fabric& f) {
+  for (int i = 0; i < f.tile_count(); ++i) {
+    const auto& s = f.tile(i).stats();
+    EXPECT_EQ(s.instructions + s.cycles_stalled + s.cycles_halted, f.now())
+        << "tile " << i;
+  }
+}
+
+TEST(Fabric, RemoteWriteSameDestinationHigherSourceIndexPersists) {
+  // Tiles 0 and 2 both target tile 1's dmem[5] in the same cycle.  Commits
+  // happen in ascending source-tile order, so tile 2's value lands last
+  // and persists — the documented tie-break.
+  Fabric f(1, 3);
+  f.links().set_output(0, Direction::kEast);
+  f.links().set_output(2, Direction::kWest);
+  f.tile(0).load_program(prog("  movi 0, #111\n  mov !5, 0\n  halt\n"));
+  f.tile(2).load_program(prog("  movi 0, #222\n  mov !5, 0\n  halt\n"));
+  f.tile(0).restart();
+  f.tile(2).restart();
+  const auto r = f.run(100);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(to_signed(f.tile(1).dmem(5)), 222);
+}
+
+TEST(Fabric, FastForwardAccountsSkippedCyclesExactly) {
+  // Two tiles parked on different stall deadlines: the engine fast-forwards
+  // over the all-stalled gaps, but the result cycles, the global clock and
+  // the per-tile stats must match a cycle-by-cycle reference walk.
+  Fabric f(1, 2);
+  f.tile(0).load_program(prog("  movi 0, #1\n  halt\n"));
+  f.tile(1).load_program(prog("  movi 0, #2\n  nop\n  halt\n"));
+  f.tile(0).restart();
+  f.tile(1).restart();
+  f.tile(0).stall_until(100);
+  f.tile(1).stall_until(200);
+  const auto r = f.run(1'000);
+  EXPECT_TRUE(r.ok());
+  // Tile 1 wakes at 200 and runs 3 cycles: the run ends at cycle 203.
+  EXPECT_EQ(r.cycles, 203);
+  EXPECT_EQ(f.now(), 203);
+  expect_stats_invariant(f);
+  EXPECT_EQ(f.tile(0).stats().cycles_stalled, 100);
+  EXPECT_EQ(f.tile(0).stats().instructions, 2);
+  EXPECT_EQ(f.tile(0).stats().cycles_halted, 101);  // cycles 102..202
+  EXPECT_EQ(f.tile(1).stats().cycles_stalled, 200);
+  EXPECT_EQ(f.tile(1).stats().instructions, 3);
+}
+
+TEST(Fabric, FastForwardStopsAtMaxCyclesMidStall) {
+  Fabric f(1, 1);
+  f.tile(0).load_program(prog("  movi 0, #1\n  halt\n"));
+  f.tile(0).restart();
+  f.tile(0).stall_until(1'000'000);
+  const auto r = f.run(500);
+  EXPECT_FALSE(r.all_halted);
+  EXPECT_EQ(r.cycles, 500);
+  EXPECT_EQ(f.now(), 500);
+  expect_stats_invariant(f);
+  EXPECT_EQ(f.tile(0).stats().cycles_stalled, 500);
+}
+
+TEST(Fabric, StatsInvariantAcrossKillRestartAndSteps) {
+  Fabric f(2, 2);
+  for (int i = 0; i < 4; ++i) {
+    f.tile(i).load_program(prog("spin:\n  jmp spin\n"));
+    f.tile(i).restart();
+  }
+  f.run(10);
+  f.kill_tile(2);                        // external fault path
+  EXPECT_FALSE(f.all_halted());
+  f.run(5);
+  f.tile(0).stall_until(f.now() + 7);    // external stall path
+  for (int i = 0; i < 3; ++i) f.step();  // single-cycle public stepping
+  f.tile(1).restart();                   // restart a running tile
+  f.run(4);
+  EXPECT_EQ(f.now(), 22);
+  expect_stats_invariant(f);
+  EXPECT_EQ(f.dead_tiles(), std::vector<int>{2});
+}
+
+TEST(Fabric, AllHaltedCounterMatchesTileScan) {
+  Fabric f(2, 2);
+  EXPECT_TRUE(f.all_halted());
+  f.tile(0).load_program(prog("  nop\n  halt\n"));
+  f.tile(0).restart();
+  EXPECT_FALSE(f.all_halted());
+  f.tile(3).load_program(prog("spin:\n  jmp spin\n"));
+  f.tile(3).restart();
+  f.run(10);  // tile 0 halts, tile 3 spins
+  EXPECT_FALSE(f.all_halted());
+  f.kill_tile(3);
+  EXPECT_TRUE(f.all_halted());
+  for (int i = 0; i < f.tile_count(); ++i) EXPECT_TRUE(f.tile(i).halted());
+}
+
+TEST(Fabric, MovedFabricKeepsScheduling) {
+  Fabric f(1, 2);
+  f.tile(0).load_program(prog("  movi 0, #7\n  halt\n"));
+  Fabric g = std::move(f);
+  g.tile(0).restart();  // notification must reach the moved-to fabric
+  EXPECT_FALSE(g.all_halted());
+  const auto r = g.run(100);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(to_signed(g.tile(0).dmem(0)), 7);
+  expect_stats_invariant(g);
+}
+
+TEST(Fabric, NextWakeCycleTracksEarliestDeadline) {
+  Fabric f(1, 2);
+  f.tile(0).load_program(prog("  halt\n"));
+  f.tile(1).load_program(prog("  halt\n"));
+  f.tile(0).restart();
+  f.tile(1).restart();
+  EXPECT_EQ(f.next_wake_cycle(), -1);
+  f.tile(0).stall_until(50);
+  f.tile(1).stall_until(20);
+  EXPECT_EQ(f.next_wake_cycle(), 20);
+  f.tile(1).stall_until(80);  // superseded deadline must not resurface
+  EXPECT_EQ(f.next_wake_cycle(), 50);
+}
+
 }  // namespace
 }  // namespace cgra::fabric

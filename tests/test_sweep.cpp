@@ -1,0 +1,128 @@
+// Parallel sweep driver tests: deterministic result ordering, identical
+// output for 1 vs N lanes, exception propagation, pool reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "apps/jpeg/process_table.hpp"
+#include "dse/sweep.hpp"
+
+namespace cgra::dse {
+namespace {
+
+TEST(SweepPool, MapReturnsResultsInCandidateOrder) {
+  SweepPool pool(4);
+  EXPECT_EQ(pool.lanes(), 4);
+  const auto out = pool.map<int>(100, [](int i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(SweepPool, EveryCandidateRunsExactlyOnce) {
+  SweepPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(257, [&](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepPool, SingleLaneRunsInline) {
+  SweepPool pool(1);
+  EXPECT_EQ(pool.lanes(), 1);
+  const auto out = pool.map<int>(5, [](int i) { return i + 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(SweepPool, ExceptionPropagatesAfterAllCandidatesFinish) {
+  SweepPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(20,
+                                 [&](int i) {
+                                   ran.fetch_add(1);
+                                   if (i == 3) {
+                                     throw std::runtime_error("candidate 3");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 20);  // the failure does not skip other candidates
+}
+
+TEST(SweepPool, PoolIsReusableAcrossJobs) {
+  SweepPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    const auto out = pool.map<int>(8, [&](int i) { return i + round; });
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], i + round);
+    }
+  }
+}
+
+TEST(SweepDeterminism, RebalanceSweepIdenticalForOneAndManyLanes) {
+  const auto net = jpeg::jpeg_main_pipeline();
+  const mapping::CostParams params{};
+  constexpr int kMaxTiles = 12;
+
+  const auto serial =
+      mapping::sweep(net, kMaxTiles, mapping::RebalanceAlgorithm::kTwo,
+                     params);
+  SweepPool one(1);
+  SweepPool many(4);
+  const auto p1 = parallel_sweep(net, kMaxTiles,
+                                 mapping::RebalanceAlgorithm::kTwo, params,
+                                 one);
+  const auto pn = parallel_sweep(net, kMaxTiles,
+                                 mapping::RebalanceAlgorithm::kTwo, params,
+                                 many);
+
+  ASSERT_EQ(p1.size(), serial.size());
+  ASSERT_EQ(pn.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    for (const auto* p : {&p1[i], &pn[i]}) {
+      EXPECT_EQ(p->tiles, serial[i].tiles);
+      // Bit-identical evaluation: same candidate, same pure computation.
+      EXPECT_EQ(p->eval.items_per_sec, serial[i].eval.items_per_sec);
+      EXPECT_EQ(p->eval.avg_utilization, serial[i].eval.avg_utilization);
+      ASSERT_EQ(p->binding.groups.size(), serial[i].binding.groups.size());
+      for (std::size_t gi = 0; gi < serial[i].binding.groups.size(); ++gi) {
+        EXPECT_EQ(p->binding.groups[gi].procs,
+                  serial[i].binding.groups[gi].procs);
+        EXPECT_EQ(p->binding.groups[gi].replication,
+                  serial[i].binding.groups[gi].replication);
+      }
+    }
+  }
+  // The ranking consequence: identical best-throughput budget either way.
+  const auto best = [](const std::vector<mapping::SweepPoint>& v) {
+    std::size_t b = 0;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      if (v[i].eval.items_per_sec > v[b].eval.items_per_sec) b = i;
+    }
+    return v[b].tiles;
+  };
+  EXPECT_EQ(best(p1), best(serial));
+  EXPECT_EQ(best(pn), best(serial));
+}
+
+TEST(SweepDeterminism, MeasuredProcessTimesIdenticalForOneAndManyLanes) {
+  const auto g = fft::make_geometry(64);
+  const auto serial = measure_process_times(g);
+  SweepPool one(1);
+  SweepPool many(4);
+  const auto p1 = parallel_measure_process_times(g, one);
+  const auto pn = parallel_measure_process_times(g, many);
+  for (const auto* p : {&p1, &pn}) {
+    ASSERT_EQ(p->bf.size(), serial.bf.size());
+    for (std::size_t s = 0; s < serial.bf.size(); ++s) {
+      EXPECT_EQ(p->bf[s], serial.bf[s]);
+    }
+    EXPECT_EQ(p->vcp, serial.vcp);
+    EXPECT_EQ(p->hcp, serial.hcp);
+  }
+}
+
+}  // namespace
+}  // namespace cgra::dse
