@@ -45,7 +45,7 @@ int main() {
     for (auto& v : x) v = {rng.next_double(-1, 1), rng.next_double(-1, 1)};
 
     const auto result = fft::run_fabric_fft(g, x);
-    if (!result.ok) {
+    if (!result.ok()) {
       std::printf("fabric FFT failed for N=%d\n", n);
       return 1;
     }

@@ -217,7 +217,7 @@ int main() {
   const char* names[3] = {"baseline", "verify", "verify+corrupt x3"};
   for (int i = 0; i < 3; ++i) {
     const auto& r = *runs[i];
-    t3.add_row({names[i], r.ok ? "yes" : "no",
+    t3.add_row({names[i], r.ok() ? "yes" : "no",
                 TextTable::num(fft::rms_error(r.output, r0.output), 9),
                 TextTable::num(r.timeline.reconfig_ns / 1000.0, 1),
                 TextTable::num(total_verify_ns(r.timeline) / 1000.0, 1),

@@ -1,0 +1,266 @@
+// Warm service vs per-request construction (the tentpole acceptance
+// bench): the same repeated mixed workload — JPEG blocks, JPEG images,
+// FFTs — executed two ways and timed on the host clock:
+//
+//   cold  — every request constructs its own fabric, re-assembles every
+//           kernel, re-derives twiddles/quant tables (the library entry
+//           points exactly as a one-shot caller uses them);
+//   warm  — one cgra::service::Service with pooled reset-and-reuse
+//           fabrics, the content-addressed artifact cache and
+//           epoch-schedule batching.
+//
+// Each arm runs kReps times and the best wall time counts — the
+// standard way to shed scheduler noise on a shared single-core host.
+// Every warm result is checked bit-identical to its cold counterpart
+// before any time is reported; the run fails loudly otherwise.  The
+// speedup must be >= 2x — CI treats a regression below that as failure
+// (exit code 1).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cgra/service.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+cgra::jpeg::IntBlock block_for(int seed) {
+  cgra::jpeg::IntBlock raw{};
+  for (int i = 0; i < 64; ++i) {
+    raw[static_cast<std::size_t>(i)] = ((seed + 3) * 29 + i * 17) % 256;
+  }
+  return raw;
+}
+
+std::vector<cgra::fft::Cplx> signal_for(int n, int seed) {
+  std::vector<cgra::fft::Cplx> x(static_cast<std::size_t>(n));
+  cgra::SplitMix64 rng(static_cast<std::uint64_t>(seed) + 1);
+  for (auto& v : x) {
+    v = {rng.next_double(-1, 1) / n, rng.next_double(-1, 1) / n};
+  }
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cgra;
+  std::printf("Service throughput — warm pool+cache vs per-request\n\n");
+
+  // The repeated mixed workload: what a runtime management system sees
+  // when clients stream requests at it.  Block encodes dominate (the
+  // high-volume request type); FFTs and whole images keep the mix
+  // heterogeneous.  Per-category warm gains are uneven — blocks ~3x
+  // (cached artifacts + batch-amortised setup), FFTs ~1.7x (their
+  // reconfiguration epochs are still simulated per job) — so the
+  // aggregate bar is carried by the cache/pool/batching combination.
+  constexpr int kReps = 3;
+  constexpr int kRounds = 16;
+  constexpr int kBlocksPerRound = 24;
+  constexpr int kFftsPerRound = 2;
+  constexpr int kImagesPerRound = 1;
+  const auto quant = jpeg::scaled_quant(75);
+  const auto g = fft::make_geometry(64, 8);
+  const auto image = jpeg::synthetic_image(16, 16, 9);
+
+  // --- cold arm: library entry points, per-request construction ---
+  std::vector<jpeg::IntBlock> cold_blocks;
+  std::vector<std::vector<fft::Cplx>> cold_ffts;
+  std::vector<std::vector<std::uint8_t>> cold_images;
+  const auto run_cold = [&]() -> double {
+    cold_blocks.clear();
+    cold_ffts.clear();
+    cold_images.clear();
+    const auto t0 = Clock::now();
+    for (int r = 0; r < kRounds; ++r) {
+      for (int b = 0; b < kBlocksPerRound; ++b) {
+        const auto res = jpeg::encode_block_on_fabric(
+            block_for(r * kBlocksPerRound + b), quant);
+        if (!res.ok()) {
+          std::printf("cold block failed: %s\n",
+                      res.status.message().c_str());
+          std::exit(1);
+        }
+        cold_blocks.push_back(res.zigzagged);
+      }
+      for (int f = 0; f < kFftsPerRound; ++f) {
+        const auto res =
+            fft::run_fabric_fft(g, signal_for(g.n, r * kFftsPerRound + f));
+        if (!res.ok()) {
+          std::printf("cold FFT failed: %s\n", res.status.message().c_str());
+          std::exit(1);
+        }
+        cold_ffts.push_back(res.output);
+      }
+      for (int i = 0; i < kImagesPerRound; ++i) {
+        // Per-request fabric encode: fresh mesh, re-derived artifacts,
+        // one setup epoch — what the service amortises across requests.
+        fabric::Fabric fab(1, 4);
+        const auto art = jpeg::make_pipeline_artifacts(quant);
+        jpeg::BlockPipeline pipe(fab, art);
+        if (!pipe.setup_status().ok()) {
+          std::printf("cold image setup failed: %s\n",
+                      pipe.setup_status().message().c_str());
+          std::exit(1);
+        }
+        const int bw = (image.width + 7) / 8;
+        const int bh = (image.height + 7) / 8;
+        std::vector<jpeg::IntBlock> zz;
+        zz.reserve(static_cast<std::size_t>(bw) * bh);
+        for (int by = 0; by < bh; ++by) {
+          for (int bx = 0; bx < bw; ++bx) {
+            const auto res = pipe.encode(jpeg::extract_block(image, bx, by));
+            if (!res.ok()) {
+              std::printf("cold image block failed: %s\n",
+                          res.status.message().c_str());
+              std::exit(1);
+            }
+            zz.push_back(res.zigzagged);
+          }
+        }
+        cold_images.push_back(
+            jpeg::encode_image_from_zigzag(image, 75, zz));
+      }
+    }
+    return ms_since(t0);
+  };
+
+  // --- warm arm: everything through one long-lived service ---
+  service::ServiceOptions opt;
+  // A single worker on a single-core host: the measured speedup comes
+  // entirely from batching and the artifact/pool caches, with no help
+  // (or context-switch penalty) from thread parallelism.  On multi-core
+  // hosts raising workers adds a further parallel speedup on top.
+  opt.workers = 1;
+  opt.queue_capacity = 512;
+  opt.batch_limit = 16;
+  service::Service svc(opt);
+  std::vector<service::JobResult> rb, rf, ri;
+  const auto run_warm = [&]() -> double {
+    std::vector<service::JobHandle> hb, hf, hi;
+    const auto t0 = Clock::now();
+    for (int r = 0; r < kRounds; ++r) {
+      for (int b = 0; b < kBlocksPerRound; ++b) {
+        service::JpegBlockRequest req;
+        req.raw = block_for(r * kBlocksPerRound + b);
+        req.quant = quant;
+        auto sub = svc.submit(service::JobRequest{req});
+        if (!sub.accepted()) {
+          std::printf("submit rejected: %s\n", sub.status.message().c_str());
+          std::exit(1);
+        }
+        hb.push_back(sub.handle);
+      }
+      for (int f = 0; f < kFftsPerRound; ++f) {
+        service::FftRequest req;
+        req.n = g.n;
+        req.m = g.m;
+        req.input = signal_for(g.n, r * kFftsPerRound + f);
+        hf.push_back(svc.submit(service::JobRequest{req}).handle);
+      }
+      for (int i = 0; i < kImagesPerRound; ++i) {
+        service::JpegImageRequest req;
+        req.image = image;
+        req.quality = 75;
+        hi.push_back(svc.submit(service::JobRequest{req}).handle);
+      }
+    }
+    rb.clear();
+    rf.clear();
+    ri.clear();
+    for (const auto& h : hb) rb.push_back(svc.wait(h));
+    for (const auto& h : hf) rf.push_back(svc.wait(h));
+    for (const auto& h : hi) ri.push_back(svc.wait(h));
+    return ms_since(t0);
+  };
+
+  // Best-of-kReps per arm; the first warm rep doubles as the warm-up
+  // that fills the fabric pool and the artifact cache.
+  double cold_ms = run_cold();
+  double warm_ms = run_warm();
+  for (int rep = 1; rep < kReps; ++rep) {
+    cold_ms = std::min(cold_ms, run_cold());
+    warm_ms = std::min(warm_ms, run_warm());
+  }
+
+  // Untimed sanity check: the fabric-encoded stream is byte-identical to
+  // the host encoder, so both bench arms produce real JFIF output.
+  if (cold_images.front() != jpeg::encode_image(image, 75)) {
+    std::printf("fabric image stream diverged from host encoder!\n");
+    return 1;
+  }
+
+  // --- verification: warm must equal cold bit for bit ---
+  for (std::size_t i = 0; i < rb.size(); ++i) {
+    if (!rb[i].ok() ||
+        std::get<service::JpegBlockJobResult>(rb[i].payload).zigzagged !=
+            cold_blocks[i]) {
+      std::printf("block %zu mismatch vs serial!\n", i);
+      return 1;
+    }
+  }
+  for (std::size_t i = 0; i < rf.size(); ++i) {
+    if (!rf[i].ok() ||
+        std::get<service::FftJobResult>(rf[i].payload).output !=
+            cold_ffts[i]) {
+      std::printf("FFT %zu mismatch vs serial!\n", i);
+      return 1;
+    }
+  }
+  for (std::size_t i = 0; i < ri.size(); ++i) {
+    if (!ri[i].ok() ||
+        std::get<service::JpegImageJobResult>(ri[i].payload).jfif !=
+            cold_images[i]) {
+      std::printf("image %zu mismatch vs serial!\n", i);
+      return 1;
+    }
+  }
+  const int jobs =
+      kRounds * (kBlocksPerRound + kFftsPerRound + kImagesPerRound);
+  const double speedup = cold_ms / warm_ms;
+
+  TextTable table({"mode", "jobs", "wall ms", "jobs/s"});
+  table.add_row({"per-request (cold)", TextTable::integer(jobs),
+                 TextTable::num(cold_ms, 1),
+                 TextTable::num(1000.0 * jobs / cold_ms, 0)});
+  table.add_row({"warm service", TextTable::integer(jobs),
+                 TextTable::num(warm_ms, 1),
+                 TextTable::num(1000.0 * jobs / warm_ms, 0)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "speedup: %.2fx (every warm result verified identical to serial)\n"
+      "cache hit/miss: %lld/%lld, pool reused/constructed: %lld/%lld, "
+      "batches: %lld\n",
+      speedup, static_cast<long long>(svc.counter("cache.hit")),
+      static_cast<long long>(svc.counter("cache.miss")),
+      static_cast<long long>(svc.counter("pool.acquire.reused")),
+      static_cast<long long>(svc.counter("pool.acquire.constructed")),
+      static_cast<long long>(svc.counter("service.batches")));
+
+  obs::BenchReport report("service_throughput");
+  report.add("cold_ms", cold_ms, "ms");
+  report.add("warm_ms", warm_ms, "ms");
+  report.add("speedup", speedup, "x");
+  report.add("jobs", jobs, "count");
+  report.add("cache_hits", static_cast<double>(svc.counter("cache.hit")),
+             "count");
+  report.add("pool_reused",
+             static_cast<double>(svc.counter("pool.acquire.reused")),
+             "count");
+  report.add_table("throughput", table);
+  report.write();
+
+  if (speedup < 2.0) {
+    std::printf("FAIL: warm service below the 2x acceptance bar\n");
+    return 1;
+  }
+  return 0;
+}

@@ -190,7 +190,7 @@ void BM_FabricFftEndToEnd(benchmark::State& state) {
   for (auto& v : x) v = {rng.next_double(-1, 1), rng.next_double(-1, 1)};
   for (auto _ : state) {
     auto result = fft::run_fabric_fft(g, x);
-    if (!result.ok) state.SkipWithError("fabric FFT failed");
+    if (!result.ok()) state.SkipWithError("fabric FFT failed");
     benchmark::DoNotOptimize(result.output.data());
   }
 }
@@ -204,7 +204,7 @@ void BM_JpegBlockOnFabric(benchmark::State& state) {
   for (auto& v : raw) v = static_cast<int>(rng.next_below(256));
   for (auto _ : state) {
     auto result = jpeg::encode_block_on_fabric(raw, quant);
-    if (!result.ok) state.SkipWithError("fabric block failed");
+    if (!result.ok()) state.SkipWithError("fabric block failed");
     benchmark::DoNotOptimize(result.zigzagged.data());
   }
 }

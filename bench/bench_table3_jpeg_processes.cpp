@@ -34,7 +34,7 @@ int main() {
     for (auto& px : raw) px = static_cast<int>(rng.next_below(256));
     const auto zz = jpeg::encode_block_stages(raw, jpeg::scaled_quant(50));
     const auto entropy = jpeg::encode_entropy_on_fabric(zz, 0);
-    if (entropy.ok) hman_cycles = entropy.cycles;
+    if (entropy.ok()) hman_cycles = entropy.cycles;
   }
   auto measured_for = [&](const std::string& name) -> std::string {
     if (name == "shift") return std::to_string(measured.shift);

@@ -41,7 +41,7 @@ int main() {
       opt.cols = cols;
       opt.link_cost_ns = link_points[i];
       const auto run = fft::run_fabric_fft(g, x, opt);
-      if (!run.ok) {
+      if (!run.ok()) {
         std::printf("executed FFT failed for cols=%d\n", cols);
         return 1;
       }

@@ -7,8 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "common/table.hpp"
-#include "dse/fft_perf_model.hpp"
+#include "cgra/apps.hpp"
 
 int main(int argc, char** argv) {
   using namespace cgra;

@@ -16,11 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "apps/fft/fabric_fft.hpp"
-#include "apps/fft/twiddle.hpp"
-#include "dse/fft_drift.hpp"
-#include "obs/metrics.hpp"
-#include "obs/span.hpp"
+#include "cgra/apps.hpp"
 
 int main(int argc, char** argv) {
   using namespace cgra;
@@ -91,7 +87,7 @@ int main(int argc, char** argv) {
   }
 
   const auto result = fft::run_fabric_fft(g, x, opt);
-  if (!result.ok) {
+  if (!result.ok()) {
     std::printf("fabric FFT failed (%zu faults)\n", result.faults.size());
     for (const auto& f : result.faults) {
       std::printf("  %s\n", f.describe().c_str());

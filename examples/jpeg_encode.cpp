@@ -19,15 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "apps/jpeg/color.hpp"
-#include "apps/jpeg/decoder.hpp"
-#include "apps/jpeg/fabric_jpeg.hpp"
-#include "apps/jpeg/process_table.hpp"
-#include "common/table.hpp"
-#include "config/profiler.hpp"
-#include "mapping/rebalance.hpp"
-#include "obs/metrics.hpp"
-#include "obs/span.hpp"
+#include "cgra/apps.hpp"
 
 int main(int argc, char** argv) {
   using namespace cgra;
@@ -70,7 +62,7 @@ int main(int argc, char** argv) {
     for (int bx = 0; bx < (width + 7) / 8 && checked < 4; ++bx, ++checked) {
       const auto raw = jpeg::extract_block(img, bx, by);
       const auto fab = jpeg::encode_block_on_fabric(raw, quant);
-      if (!fab.ok || fab.zigzagged != jpeg::encode_block_stages(raw, quant)) {
+      if (!fab.ok() || fab.zigzagged != jpeg::encode_block_stages(raw, quant)) {
         std::printf("fabric/host mismatch at block (%d,%d)!\n", bx, by);
         return 1;
       }
@@ -101,8 +93,8 @@ int main(int argc, char** argv) {
   }
 
   const auto decoded = jpeg::decode_image(bytes);
-  if (!decoded.ok) {
-    std::printf("decode failed: %s\n", decoded.error.c_str());
+  if (!decoded.ok()) {
+    std::printf("decode failed: %s\n", decoded.error().c_str());
     return 1;
   }
   std::printf("Round-trip PSNR: %.1f dB\n", jpeg::psnr(img, decoded.image));
@@ -112,7 +104,7 @@ int main(int argc, char** argv) {
     const auto rgb = jpeg::synthetic_rgb_image(width, height, 2027);
     const auto color_bytes = jpeg::encode_color_image(rgb, quality);
     const auto color_decoded = jpeg::decode_image(color_bytes);
-    if (color_decoded.ok && color_decoded.is_color) {
+    if (color_decoded.ok() && color_decoded.is_color) {
       if (path != nullptr) {
         const std::string color_path = std::string(path) + ".color.jpg";
         std::ofstream cout_file(color_path, std::ios::binary);

@@ -20,16 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "apps/fft/fabric_fft.hpp"
-#include "apps/jpeg/fabric_jpeg.hpp"
-#include "apps/jpeg/process_table.hpp"
-#include "common/table.hpp"
-#include "config/profiler.hpp"
-#include "dse/fft_drift.hpp"
-#include "dse/sweep.hpp"
-#include "mapping/rebalance.hpp"
-#include "obs/metrics.hpp"
-#include "obs/span.hpp"
+#include "cgra/apps.hpp"
 
 namespace {
 
@@ -112,7 +103,7 @@ int run_fft(const std::vector<int>& pos, bool json, bool csv,
   opt.metrics = &metrics;
   opt.collect_profile = true;
   const auto result = fft::run_fabric_fft(g, x, opt);
-  if (!result.ok) {
+  if (!result.ok()) {
     std::printf("fabric FFT failed (%zu faults)\n", result.faults.size());
     return 1;
   }

@@ -6,10 +6,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "config/reconfig.hpp"
-#include "fabric/fabric.hpp"
-#include "isa/assembler.hpp"
-#include "isa/disassembler.hpp"
+#include "cgra/fabric.hpp"
 
 int main() {
   using namespace cgra;

@@ -21,12 +21,7 @@
 #include <sstream>
 #include <string>
 
-#include "config/profiler.hpp"
-#include "fabric/fabric.hpp"
-#include "isa/assembler.hpp"
-#include "isa/disassembler.hpp"
-#include "obs/metrics.hpp"
-#include "obs/span.hpp"
+#include "cgra/fabric.hpp"
 
 namespace {
 

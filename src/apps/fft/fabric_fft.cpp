@@ -69,18 +69,50 @@ struct Move {
 
 }  // namespace
 
+TwiddleTable twiddle_patch_table(const FftGeometry& g) {
+  const TileLayout lay = make_layout(g.m);
+  TwiddleTable table;
+  table.rows = g.rows;
+  table.patches.reserve(static_cast<std::size_t>(g.stages * g.rows));
+  for (int s = 0; s < g.stages; ++s) {
+    for (int row = 0; row < g.rows; ++row) {
+      table.patches.push_back(twiddle_patches(g, lay, row, s));
+    }
+  }
+  return table;
+}
+
 FabricFftResult run_fabric_fft(const FftGeometry& g,
                                const std::vector<Cplx>& input,
                                const FabricFftOptions& opt) {
   FabricFftResult result;
-  if (static_cast<int>(input.size()) != g.n) return result;
+  if (static_cast<int>(input.size()) != g.n) {
+    result.status = Status::errorf("input size %zu does not match n=%d",
+                                   input.size(), g.n);
+    return result;
+  }
   const int cols = opt.cols;
-  if (cols < 1 || g.stages % cols != 0) return result;
+  if (cols < 1 || g.stages % cols != 0) {
+    result.status = Status::errorf(
+        "cols=%d must be positive and divide log2(n)=%d", cols, g.stages);
+    return result;
+  }
   const int spc = g.stages / cols;  // stage slots per column
   const auto stage_col = [spc](int stage) { return stage / spc; };
 
   const TileLayout lay = make_layout(g.m);
-  fabric::Fabric fab(g.rows, cols);
+  const auto assemble = opt.assemble
+                            ? opt.assemble
+                            : [](const std::string& s) { return must_assemble(s); };
+  std::optional<fabric::Fabric> local;
+  if (opt.fabric == nullptr) local.emplace(g.rows, cols);
+  fabric::Fabric& fab = opt.fabric != nullptr ? *opt.fabric : *local;
+  if (fab.rows() != g.rows || fab.cols() != cols) {
+    result.status = Status::errorf(
+        "borrowed fabric is %dx%d, geometry needs %dx%d", fab.rows(),
+        fab.cols(), g.rows, cols);
+    return result;
+  }
   const auto tidx = [cols](int row, int col) { return row * cols + col; };
   ReconfigController ctrl(IcapModel{},
                           interconnect::LinkCostModel{opt.link_cost_ns});
@@ -114,6 +146,15 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
     ++result.epochs;
     if (!run.ok()) {
       result.faults = run.faults;
+      result.status =
+          run.faults.empty()
+              ? Status::errorf("epoch '%s' exceeded the %lld-cycle budget",
+                               epoch.name.c_str(),
+                               static_cast<long long>(
+                                   opt.max_cycles_per_epoch))
+              : Status::errorf("epoch '%s' ended with %zu fault(s): %s",
+                               epoch.name.c_str(), run.faults.size(),
+                               run.faults.front().describe().c_str());
       return false;
     }
     return true;
@@ -143,7 +184,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
     if (!run_epoch(load)) return finish();
   }
 
-  const isa::Program bf_prog = must_assemble(bf_pair_source(lay));
+  const isa::Program bf_prog = assemble(bf_pair_source(lay));
   // Instruction pinning: the BF kernel stays resident in a tile until a
   // redistribution epoch overwrites that tile's instruction memory.
   std::vector<bool> kernel_resident(
@@ -164,7 +205,9 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
         update.reload_program = true;
         kernel_resident[static_cast<std::size_t>(tile)] = true;
       }
-      update.patches = twiddle_patches(g, lay, row, s);
+      update.patches = opt.twiddles != nullptr
+                           ? opt.twiddles->at(s, row)
+                           : twiddle_patches(g, lay, row, s);
       update.restart = true;
       bf.tiles[tile] = std::move(update);
     }
@@ -222,7 +265,9 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
     int guard = 0;
     while (!all_done()) {
       if (++guard > 8 * (g.rows + cols) + 64) {
-        return finish();  // routing livelock: reported as ok == false
+        result.status =
+            Status::errorf("redistribution livelock after stage %d", s);
+        return finish();
       }
       bool progress = false;
 
@@ -291,7 +336,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
             src += copy_straight_source(local, false);
           }
           TileUpdate update;
-          update.program = must_assemble(src);
+          update.program = assemble(src);
           update.reload_program = true;
           update.restart = true;
           hop.tiles[tile] = std::move(update);
@@ -331,7 +376,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
           apply.links = no_links;
           for (const auto& [tile, entries] : applies) {
             TileUpdate update;
-            update.program = must_assemble(copy_straight_source(entries, false));
+            update.program = assemble(copy_straight_source(entries, false));
             update.reload_program = true;
             update.restart = true;
             apply.tiles[tile] = std::move(update);
@@ -348,7 +393,9 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
       }
 
       if (!progress) {
-        return finish();  // routing stuck: reported as ok == false
+        result.status =
+            Status::errorf("redistribution stuck after stage %d", s);
+        return finish();
       }
     }
   }
@@ -363,7 +410,7 @@ FabricFftResult run_fabric_fft(const FftGeometry& g,
     result.output[bit_reverse(static_cast<std::size_t>(e), bits)] =
         to_double(unpack_complex(w));
   }
-  result.ok = true;
+  result.status = Status();
   return finish();
 }
 

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "apps/fft/partition.hpp"
@@ -36,6 +37,23 @@
 #include "obs/span.hpp"
 
 namespace cgra::fft {
+
+/// Pre-computed per-(stage, row) twiddle patch sets for one geometry.
+/// Content depends only on (n, m), so a warm runtime (the job service)
+/// builds the table once per geometry and shares it across runs instead of
+/// re-deriving every factor per request.
+struct TwiddleTable {
+  int rows = 0;
+  std::vector<std::vector<isa::DataPatch>> patches;  ///< [stage*rows + row].
+
+  [[nodiscard]] const std::vector<isa::DataPatch>& at(int stage,
+                                                      int row) const {
+    return patches.at(static_cast<std::size_t>(stage * rows + row));
+  }
+};
+
+/// Build the full twiddle table for `g` (stage-major, Fig. 6/8 layout).
+TwiddleTable twiddle_patch_table(const FftGeometry& g);
 
 /// Options for a fabric FFT run.
 struct FabricFftOptions {
@@ -58,14 +76,31 @@ struct FabricFftOptions {
   obs::MetricsRegistry* metrics = nullptr;
   /// Fill FabricFftResult::profile from the executed run.
   bool collect_profile = false;
+
+  // --- warm-runtime hooks (src/service); all default-off.  With none set
+  // the run constructs everything fresh, exactly as before. ---
+  /// Borrowed fabric to run on instead of constructing one.  Must be a
+  /// rows x cols mesh in construction state (fresh or Fabric::reset());
+  /// the run leaves it dirty — the caller resets before reuse.
+  fabric::Fabric* fabric = nullptr;
+  /// Assembler override; defaults to must_assemble.  A content-addressed
+  /// cache hook: the same source always assembles to the same program, so
+  /// a warm runtime can skip re-assembly of recurring kernels and copy
+  /// programs entirely.
+  std::function<isa::Program(const std::string&)> assemble;
+  /// Pre-computed twiddle patches for this geometry (not owned); must match
+  /// (g, m) when set.
+  const TwiddleTable* twiddles = nullptr;
 };
 
 /// Result of a fabric FFT run.
 struct FabricFftResult {
   std::vector<Cplx> output;        ///< Natural order, scaled by 1/N.
   config::Timeline timeline;       ///< Equation-1 accounting.
-  bool ok = false;
+  Status status = Status::error("fabric FFT did not run");
   std::vector<Fault> faults;
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
   int epochs = 0;                  ///< Epoch configurations applied.
   std::int64_t redistribution_subepochs = 0;
   /// Per-tile / link / ICAP profile (FabricFftOptions::collect_profile);

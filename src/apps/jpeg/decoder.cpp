@@ -75,8 +75,7 @@ DecodeResult decode_image(const std::vector<std::uint8_t>& data) {
   Parser p{data};
 
   auto fail = [&](const std::string& why) {
-    result.ok = false;
-    result.error = why;
+    result.status = Status::error(why);
     return result;
   };
 
@@ -279,7 +278,7 @@ DecodeResult decode_image(const std::vector<std::uint8_t>& data) {
           result.is_color = true;
           result.rgb = merge_planes(result.image, planes[1], planes[2]);
         }
-        result.ok = true;
+        result.status = Status();
         return result;
       }
       default:

@@ -15,6 +15,7 @@
 #include "apps/jpeg/bitio.hpp"
 #include "apps/jpeg/color.hpp"
 #include "apps/jpeg/encoder.hpp"
+#include "common/status.hpp"
 
 namespace cgra::jpeg {
 
@@ -24,8 +25,14 @@ struct DecodeResult {
   Image image;
   RgbImage rgb;
   bool is_color = false;
-  bool ok = false;
-  std::string error;
+  Status status = Status::error("decode did not run");
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+  /// The failure description ("ok" on success) — parse errors name the
+  /// offending marker.
+  [[nodiscard]] const std::string& error() const noexcept {
+    return status.message();
+  }
 };
 
 /// Decode a baseline JFIF stream: grayscale or 4:4:4 color (1x1 sampling).

@@ -151,7 +151,8 @@ void put_dht(std::vector<std::uint8_t>& out, int clazz, int id,
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_image(const Image& img, int quality) {
+std::vector<std::uint8_t> encode_image_from_zigzag(
+    const Image& img, int quality, const std::vector<IntBlock>& blocks) {
   const std::array<int, 64> quant = scaled_quant(quality);
   const HuffEncoder dc = build_encoder(dc_luminance_spec());
   const HuffEncoder ac = build_encoder(ac_luminance_spec());
@@ -208,20 +209,28 @@ std::vector<std::uint8_t> encode_image(const Image& img, int quality) {
 
   BitWriter bw;
   int prev_dc = 0;
-  const int bw_blocks = (img.width + 7) / 8;
-  const int bh_blocks = (img.height + 7) / 8;
-  for (int by = 0; by < bh_blocks; ++by) {
-    for (int bx = 0; bx < bw_blocks; ++bx) {
-      const IntBlock zz =
-          encode_block_stages(extract_block(img, bx, by), quant);
-      prev_dc = huffman_encode_block(zz, prev_dc, bw, dc, ac);
-    }
+  for (const IntBlock& zz : blocks) {
+    prev_dc = huffman_encode_block(zz, prev_dc, bw, dc, ac);
   }
   const auto ecs = bw.finish();
   out.insert(out.end(), ecs.begin(), ecs.end());
 
   put_marker(out, 0xD9);  // EOI
   return out;
+}
+
+std::vector<std::uint8_t> encode_image(const Image& img, int quality) {
+  const std::array<int, 64> quant = scaled_quant(quality);
+  std::vector<IntBlock> blocks;
+  blocks.reserve(static_cast<std::size_t>(block_count(img.width, img.height)));
+  const int bw_blocks = (img.width + 7) / 8;
+  const int bh_blocks = (img.height + 7) / 8;
+  for (int by = 0; by < bh_blocks; ++by) {
+    for (int bx = 0; bx < bw_blocks; ++bx) {
+      blocks.push_back(encode_block_stages(extract_block(img, bx, by), quant));
+    }
+  }
+  return encode_image_from_zigzag(img, quality, blocks);
 }
 
 }  // namespace cgra::jpeg

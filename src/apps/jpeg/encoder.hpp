@@ -65,4 +65,12 @@ IntBlock encode_block_stages(const IntBlock& raw,
 /// Encode a whole image to a JFIF byte stream (baseline, grayscale).
 std::vector<std::uint8_t> encode_image(const Image& img, int quality = 50);
 
+/// Assemble the JFIF byte stream from already-transformed blocks: `blocks`
+/// must be the zigzagged outputs of encode_block_stages() for every 8x8
+/// block of `img` in row-major block order.  encode_image() delegates here;
+/// a warm runtime that ran the transforms on the fabric produces a
+/// byte-identical stream through this entry point.
+std::vector<std::uint8_t> encode_image_from_zigzag(
+    const Image& img, int quality, const std::vector<IntBlock>& blocks);
+
 }  // namespace cgra::jpeg

@@ -196,15 +196,10 @@ JpegKernelCycles measure_jpeg_kernels() {
   return cycles;
 }
 
-FabricBlockResult encode_block_on_fabric(const IntBlock& raw,
-                                         const std::array<int, 64>& quant) {
-  FabricBlockResult result;
+JpegPipelineArtifacts make_pipeline_artifacts(
+    const std::array<int, 64>& quant) {
   const JpegLayout lay;
-  fabric::Fabric fab(1, 4);
-  config::ReconfigController ctrl(IcapModel{}, interconnect::LinkCostModel{});
-  interconnect::LinkConfig links(1, 4);
-  for (int t = 0; t < 3; ++t) links.set_output(t, Direction::kEast);
-
+  JpegPipelineArtifacts art;
   // Stage programs: each computes in place, then streams X (or T for the
   // zigzag gather) to the next tile.
   const std::string srcs[4] = {
@@ -213,42 +208,85 @@ FabricBlockResult encode_block_on_fabric(const IntBlock& raw,
       strip_halt(quantize_source(lay)) + send_block_source(lay, lay.x),
       zigzag_source(lay),
   };
+  for (int t = 0; t < 4; ++t) {
+    art.stage_programs[static_cast<std::size_t>(t)] =
+        must_assemble(srcs[static_cast<std::size_t>(t)]);
+  }
+  art.basis = basis_patches(lay);
+  art.recips = recip_patches(lay, quant);
+  return art;
+}
 
-  // One-time configuration epoch: programs + constant tables + input block.
+BlockPipeline::BlockPipeline(fabric::Fabric& fab,
+                             const JpegPipelineArtifacts& art)
+    : fab_(fab) {
+  if (fab.rows() != 1 || fab.cols() != 4) {
+    setup_ = Status::errorf("pipeline needs a 1x4 fabric, got %dx%d",
+                            fab.rows(), fab.cols());
+    return;
+  }
+  config::ReconfigController ctrl(IcapModel{}, interconnect::LinkCostModel{});
+  interconnect::LinkConfig links(1, 4);
+  for (int t = 0; t < 3; ++t) links.set_output(t, Direction::kEast);
+
+  // One-time configuration epoch: programs + constant tables.
   config::EpochConfig setup;
   setup.name = "jpeg-setup";
   setup.links = links;
   for (int t = 0; t < 4; ++t) {
     config::TileUpdate update;
-    update.program = must_assemble(srcs[static_cast<std::size_t>(t)]);
+    update.program = art.stage_programs[static_cast<std::size_t>(t)];
     update.reload_program = true;
-    update.restart = false;  // started per stage below
-    if (t == 1) update.patches = basis_patches(lay);
-    if (t == 2) update.patches = recip_patches(lay, quant);
+    update.restart = false;  // started per stage in encode()
+    if (t == 1) update.patches = art.basis;
+    if (t == 2) update.patches = art.recips;
     setup.tiles[t] = std::move(update);
   }
-  const auto setup_report = ctrl.apply(fab, setup);
-  result.reconfig_ns += setup_report.total_ns();
-  for (int i = 0; i < 64; ++i) {
-    fab.tile(0).set_dmem(lay.x + i, from_signed(raw[static_cast<std::size_t>(i)]));
-  }
+  setup_ns_ = ctrl.apply(fab_, setup).total_ns();
+}
 
+FabricBlockResult BlockPipeline::encode(const IntBlock& raw) {
+  FabricBlockResult result;
+  if (!setup_.ok()) {
+    result.status = setup_;
+    return result;
+  }
+  const JpegLayout lay;
+  for (int i = 0; i < 64; ++i) {
+    fab_.tile(0).set_dmem(lay.x + i,
+                          from_signed(raw[static_cast<std::size_t>(i)]));
+  }
   // Drive the pipeline stage by stage (one block; steady-state overlap is
-  // the mapping model's job, correctness is this function's).
+  // the mapping model's job, correctness is this function's).  Every stage
+  // fully overwrites its successor's working block, so back-to-back blocks
+  // on the warm pipeline behave exactly like the first.
   for (int t = 0; t < 4; ++t) {
-    fab.tile(t).restart();
-    const auto run = fab.run(1'000'000);
+    fab_.tile(t).restart();
+    const auto run = fab_.run(1'000'000);
     result.total_cycles += run.cycles;
     if (!run.ok()) {
       result.faults = run.faults;
+      result.status = Status::errorf(
+          "stage %d %s", t,
+          run.faults.empty() ? "exceeded the cycle budget"
+                             : run.faults.front().describe().c_str());
       return result;
     }
   }
   for (int i = 0; i < 64; ++i) {
     result.zigzagged[static_cast<std::size_t>(i)] =
-        static_cast<int>(to_signed(fab.tile(3).dmem(lay.t + i)));
+        static_cast<int>(to_signed(fab_.tile(3).dmem(lay.t + i)));
   }
-  result.ok = true;
+  result.status = Status();
+  return result;
+}
+
+FabricBlockResult encode_block_on_fabric(const IntBlock& raw,
+                                         const std::array<int, 64>& quant) {
+  fabric::Fabric fab(1, 4);
+  BlockPipeline pipeline(fab, make_pipeline_artifacts(quant));
+  FabricBlockResult result = pipeline.encode(raw);
+  result.reconfig_ns += pipeline.setup_reconfig_ns();
   return result;
 }
 
@@ -445,14 +483,26 @@ FabricEntropyResult encode_entropy_on_fabric(const IntBlock& zz,
   const HmanLayout lay;
   fabric::Fabric fab(1, 1);
   auto& tile = fab.tile(0);
-  if (!tile.load_program(must_assemble(hman_source(lay)))) return result;
-  if (!tile.patch_data(hman_patches(lay, prev_dc))) return result;
+  if (!tile.load_program(must_assemble(hman_source(lay)))) {
+    result.status = Status::error("hman program exceeds the tile memories");
+    return result;
+  }
+  if (!tile.patch_data(hman_patches(lay, prev_dc))) {
+    result.status = Status::error("hman table patches out of range");
+    return result;
+  }
   for (int i = 0; i < 64; ++i) {
     tile.set_dmem(lay.zz + i, from_signed(zz[static_cast<std::size_t>(i)]));
   }
   tile.restart();
   const auto run = fab.run(10'000'000);
-  if (!run.ok()) return result;
+  if (!run.ok()) {
+    result.status = Status::errorf(
+        "hman run failed: %s",
+        run.faults.empty() ? "cycle budget exceeded"
+                           : run.faults.front().describe().c_str());
+    return result;
+  }
   result.cycles = run.cycles;
 
   // Unpack the 24-bit chunks plus the residual tail into a bit string.
@@ -468,7 +518,7 @@ FabricEntropyResult encode_entropy_on_fabric(const IntBlock& zz,
   for (int b = tail_bits - 1; b >= 0; --b) {
     result.bits.push_back(static_cast<std::uint8_t>((tail >> b) & 1));
   }
-  result.ok = true;
+  result.status = Status();
   return result;
 }
 
@@ -547,7 +597,9 @@ FabricStreamResult encode_blocks_on_fabric_stream(
   }
   for (int t = 0; t < kStages; ++t) {
     if (!fab.tile(t).load_program(must_assemble(srcs[static_cast<std::size_t>(t)]))) {
-      return result;  // program too large (cannot happen: asserted in tests)
+      // Cannot happen (program sizes are asserted in tests).
+      result.status = Status::errorf("stage %d program too large", t);
+      return result;
     }
   }
   fab.tile(1).patch_data(basis_patches(lay));
@@ -577,6 +629,10 @@ FabricStreamResult encode_blocks_on_fabric_stream(
     result.beat_cycles.push_back(run.cycles);
     if (!run.ok()) {
       result.faults = run.faults;
+      result.status = Status::errorf(
+          "beat %d failed: %s", beat,
+          run.faults.empty() ? "cycle budget exceeded"
+                             : run.faults.front().describe().c_str());
       return result;
     }
     // Collect the drained block from the zigzag tile.
@@ -602,24 +658,26 @@ FabricStreamResult encode_blocks_on_fabric_stream(
     result.steady_ii_cycles =
         *std::max_element(result.beat_cycles.begin(), result.beat_cycles.end());
   }
-  result.ok = true;
+  result.status = Status();
   return result;
 }
 
-ResilientBlockResult encode_block_resilient(const IntBlock& raw,
-                                            const std::array<int, 64>& quant,
-                                            const faults::FaultPlan& plan,
-                                            const faults::RecoveryPolicy& policy,
-                                            int rows, int cols) {
-  ResilientBlockResult result;
-  const auto net = jpeg_transform_pipeline();
-  const auto lib = jpeg_program_library(quant);
-  mapping::Binding binding;
-  binding.groups = {{{0}, 1}, {{1}, 1}, {{2}, 1}, {{3}, 1}};
-  const auto placement = mapping::place(binding, rows, cols,
-                                        mapping::PlacementStrategy::kSnake);
+ResilientJpegArtifacts make_resilient_artifacts(
+    const std::array<int, 64>& quant, int rows, int cols) {
+  ResilientJpegArtifacts art;
+  art.net = jpeg_transform_pipeline();
+  art.library = jpeg_program_library(quant);
+  art.binding.groups = {{{0}, 1}, {{1}, 1}, {{2}, 1}, {{3}, 1}};
+  art.placement = mapping::place(art.binding, rows, cols,
+                                 mapping::PlacementStrategy::kSnake);
+  return art;
+}
 
-  fabric::Fabric fab(rows, cols);
+ResilientBlockResult encode_block_resilient_on(
+    fabric::Fabric& fab, const ResilientJpegArtifacts& art,
+    const IntBlock& raw, const faults::FaultPlan& plan,
+    const faults::RecoveryPolicy& policy) {
+  ResilientBlockResult result;
   config::ReconfigController ctrl(IcapModel{},
                                   interconnect::LinkCostModel{50.0});
   faults::FaultInjector injector(plan);
@@ -629,13 +687,24 @@ ResilientBlockResult encode_block_resilient(const IntBlock& raw,
   std::vector<Word> input;
   input.reserve(raw.size());
   for (const int v : raw) input.push_back(from_signed(v));
-  result.report = manager.run_item(net, binding, placement, lib, input);
+  result.report = manager.run_item(art.net, art.binding, art.placement,
+                                   art.library, input);
   if (result.report.ok) {
     for (std::size_t i = 0; i < result.zigzagged.size(); ++i) {
       result.zigzagged[i] = static_cast<int>(to_signed(result.report.output[i]));
     }
   }
   return result;
+}
+
+ResilientBlockResult encode_block_resilient(const IntBlock& raw,
+                                            const std::array<int, 64>& quant,
+                                            const faults::FaultPlan& plan,
+                                            const faults::RecoveryPolicy& policy,
+                                            int rows, int cols) {
+  const auto art = make_resilient_artifacts(quant, rows, cols);
+  fabric::Fabric fab(rows, cols);
+  return encode_block_resilient_on(fab, art, raw, plan, policy);
 }
 
 }  // namespace cgra::jpeg

@@ -24,6 +24,8 @@
 #include "apps/jpeg/encoder.hpp"
 #include "common/status.hpp"
 #include "common/timing.hpp"
+#include "config/reconfig.hpp"
+#include "fabric/fabric.hpp"
 #include "faults/recovery.hpp"
 #include "mapping/schedule_compiler.hpp"
 #include "procnet/network.hpp"
@@ -88,7 +90,9 @@ std::vector<isa::DataPatch> hman_patches(const HmanLayout& lay, int prev_dc);
 struct FabricEntropyResult {
   std::vector<std::uint8_t> bits;  ///< The exact bit string, MSB first.
   std::int64_t cycles = 0;
-  bool ok = false;
+  Status status = Status::error("entropy encode did not run");
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
 };
 
 /// Run the hman program on one tile for `zz` and return the bit string
@@ -98,10 +102,51 @@ FabricEntropyResult encode_entropy_on_fabric(const IntBlock& zz, int prev_dc);
 /// Result of running one block through the fabric pipeline.
 struct FabricBlockResult {
   IntBlock zigzagged{};   ///< Output of the zigzag tile.
-  bool ok = false;
+  Status status = Status::error("block encode did not run");
   std::vector<Fault> faults;
   std::int64_t total_cycles = 0;
   Nanoseconds reconfig_ns = 0.0;
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+};
+
+/// The content the 1x4 transform pipeline streams through the ICAP: the
+/// four assembled stage programs (compute + block send) plus the constant
+/// tables.  Pure function of the quantiser, so a warm runtime caches one
+/// per quant table and shares it across every block job.
+struct JpegPipelineArtifacts {
+  std::array<isa::Program, 4> stage_programs;
+  std::vector<isa::DataPatch> basis;   ///< Q12 DCT basis for the DCT tile.
+  std::vector<isa::DataPatch> recips;  ///< Q16 reciprocals for quantize.
+};
+JpegPipelineArtifacts make_pipeline_artifacts(const std::array<int, 64>& quant);
+
+/// The 1x4 transform pipeline kept configured on a borrowed fabric: the
+/// setup epoch (programs + tables, one ICAP stream) is paid once in the
+/// constructor, then encode() runs blocks back to back with no further
+/// reconfiguration — the reset-and-reuse hot path of the job service.
+/// Each encode() is bit-identical (output and cycle count) to a fresh
+/// encode_block_on_fabric() call, which delegates here.
+class BlockPipeline {
+ public:
+  /// `fab` must be a 1x4 mesh in construction state (fresh or reset());
+  /// not owned.  Check setup_status() before encoding.
+  BlockPipeline(fabric::Fabric& fab, const JpegPipelineArtifacts& art);
+
+  [[nodiscard]] const Status& setup_status() const noexcept { return setup_; }
+  /// ICAP + link cost of the setup epoch.
+  [[nodiscard]] Nanoseconds setup_reconfig_ns() const noexcept {
+    return setup_ns_;
+  }
+
+  /// Run shift -> DCT -> quantize -> zigzag for one raw block.  The
+  /// result's reconfig_ns is 0: configuration was paid at construction.
+  FabricBlockResult encode(const IntBlock& raw);
+
+ private:
+  fabric::Fabric& fab_;
+  Status setup_;
+  Nanoseconds setup_ns_ = 0.0;
 };
 
 /// Run shift -> DCT -> quantize -> zigzag for one raw block on a 1x4 tile
@@ -115,8 +160,10 @@ struct FabricStreamResult {
   std::vector<IntBlock> zigzagged;     ///< One output per input block.
   std::vector<std::int64_t> beat_cycles;  ///< Cycles of each pipeline beat.
   std::int64_t steady_ii_cycles = 0;   ///< Median beat once the pipe is full.
-  bool ok = false;
+  Status status = Status::error("stream encode did not run");
   std::vector<Fault> faults;
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
 };
 
 /// Program library for the schedule compiler: implementations of the four
@@ -135,6 +182,20 @@ struct ResilientBlockResult {
   faults::RecoveryReport report;   ///< Recovery accounting and diagnostics.
 };
 
+/// Everything the resilient path derives from (quant, rows, cols) before
+/// the first cycle runs: the measured process network (four kernel
+/// simulations), the program library, the one-process-per-tile binding and
+/// its snake placement.  Expensive to build, pure, and reused verbatim by
+/// the job service's artifact cache.
+struct ResilientJpegArtifacts {
+  procnet::ProcessNetwork net;
+  mapping::ProgramLibrary library;
+  mapping::Binding binding;
+  mapping::Placement placement;
+};
+ResilientJpegArtifacts make_resilient_artifacts(
+    const std::array<int, 64>& quant, int rows = 2, int cols = 7);
+
 /// Run shift -> DCT -> quantize -> zigzag for one raw block under the
 /// RecoveryManager: each process on its own tile of a `rows x cols` mesh
 /// (snake placement), faults injected per `plan`, detected and recovered
@@ -148,6 +209,14 @@ ResilientBlockResult encode_block_resilient(
     const IntBlock& raw, const std::array<int, 64>& quant,
     const faults::FaultPlan& plan, const faults::RecoveryPolicy& policy = {},
     int rows = 2, int cols = 7);
+
+/// The warm-runtime form: runs on a borrowed fabric (construction state;
+/// its shape is the mesh) with pre-built artifacts.  The three-argument
+/// overload above delegates here with a local fabric.
+ResilientBlockResult encode_block_resilient_on(
+    fabric::Fabric& fab, const ResilientJpegArtifacts& art,
+    const IntBlock& raw, const faults::FaultPlan& plan,
+    const faults::RecoveryPolicy& policy = {});
 
 /// Stream `blocks` through the 1x4 pipeline with true overlap: in each
 /// "beat" all four tiles run concurrently on consecutive blocks (double-

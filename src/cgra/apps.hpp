@@ -1,0 +1,57 @@
+// cgra/apps.hpp — the public face of the application layer.
+//
+// Everything above the simulation core that turns the fabric into the
+// paper's two workloads and their tooling:
+//
+//   * apps/jpeg/ — the host JPEG codec (encoder/decoder/color), the
+//                  fabric kernels for shift/DCT/quantize/zigzag and the
+//                  Huffman tile, warm-pipeline artifacts (BlockPipeline),
+//                  the resilient (fault-recovered) block path, and the
+//                  Table-3 process annotations.
+//   * apps/fft/  — the reference FFT, radix-2 partitioning (Sec. 3.1),
+//                  tile kernel sources, twiddle schedules, and the
+//                  end-to-end fabric FFT with Eq.-1 accounting.
+//   * procnet/   — process networks with cycle/word annotations.
+//   * mapping/   — binding cost model, reBalance algorithms, placement,
+//                  and the epoch schedule compiler.
+//   * dse/       — the FFT analytic performance model, drift validation
+//                  and the deterministic parallel sweep driver.
+//   * faults/    — fault plans, the injector, detection and the
+//                  checkpoint/rollback/rebalance RecoveryManager.
+//
+// Includes cgra/fabric.hpp; see cgra/service.hpp for the job runtime.
+#pragma once
+
+#include "cgra/fabric.hpp"
+
+#include "apps/jpeg/bitio.hpp"
+#include "apps/jpeg/color.hpp"
+#include "apps/jpeg/dct.hpp"
+#include "apps/jpeg/decoder.hpp"
+#include "apps/jpeg/encoder.hpp"
+#include "apps/jpeg/fabric_jpeg.hpp"
+#include "apps/jpeg/process_table.hpp"
+#include "apps/jpeg/tables.hpp"
+
+#include "apps/fft/fabric_fft.hpp"
+#include "apps/fft/partition.hpp"
+#include "apps/fft/programs.hpp"
+#include "apps/fft/reference.hpp"
+#include "apps/fft/twiddle.hpp"
+
+#include "procnet/network.hpp"
+#include "procnet/process.hpp"
+
+#include "mapping/binding.hpp"
+#include "mapping/placement.hpp"
+#include "mapping/rebalance.hpp"
+#include "mapping/schedule_compiler.hpp"
+
+#include "dse/fft_drift.hpp"
+#include "dse/fft_perf_model.hpp"
+#include "dse/sweep.hpp"
+
+#include "faults/detector.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "faults/recovery.hpp"

@@ -1,0 +1,2 @@
+// Header-hygiene check: cgra/apps.hpp must compile standalone.
+#include "cgra/apps.hpp"

@@ -1,0 +1,2 @@
+// Header-hygiene check: cgra/fabric.hpp must compile standalone.
+#include "cgra/fabric.hpp"

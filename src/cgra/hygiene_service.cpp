@@ -1,0 +1,2 @@
+// Header-hygiene check: cgra/service.hpp must compile standalone.
+#include "cgra/service.hpp"

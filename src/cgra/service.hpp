@@ -1,0 +1,19 @@
+// cgra/service.hpp — the public face of the job-service runtime.
+//
+// The highest layer of the stack: cgra::service::Service accepts
+// JPEG-encode, FFT and DSE-sweep jobs through one asynchronous API
+// (submit() -> JobHandle, wait(), cancel(), deadlines, backpressure) and
+// runs them on a bounded pool of pre-warmed fabrics with epoch-schedule
+// batching and a content-addressed artifact cache.
+//
+// Includes the apps facade (and transitively the simulation core), so
+// this single header is enough to build a complete client — see
+// examples/service_demo.cpp for the quickstart.
+#pragma once
+
+#include "cgra/apps.hpp"
+
+#include "service/artifact_cache.hpp"
+#include "service/fabric_pool.hpp"
+#include "service/job.hpp"
+#include "service/service.hpp"

@@ -51,6 +51,26 @@ Fabric& Fabric::operator=(Fabric&& other) noexcept {
   return *this;
 }
 
+void Fabric::reset() {
+  links_ = interconnect::LinkConfig(rows(), cols());
+  remote_buffer_.clear();
+  std::fill(failed_links_.begin(), failed_links_.end(), 0);
+  cycle_ = 0;
+  for (auto& t : tiles_) t.reset();
+  // The per-tile notifications above ran against stale scheduler state;
+  // rebuild it wholesale to the construction-time invariant.
+  std::fill(class_.begin(), class_.end(), TileClass::kHalted);
+  active_.clear();
+  std::fill(in_active_.begin(), in_active_.end(), 0);
+  wake_ = {};
+  halted_count_ = tile_count();
+  std::fill(settled_.begin(), settled_.end(), 0);
+  std::fill(link_state_.begin(), link_state_.end(), LinkState::kNone);
+  std::fill(link_target_.begin(), link_target_.end(), -1);
+  stepping_ = false;
+  active_dirty_ = false;
+}
+
 void Fabric::refresh_link_cache() {
   for (int i = 0; i < tile_count(); ++i) {
     const auto dst = links_.target(i);

@@ -103,6 +103,16 @@ class Fabric : private TileScheduler {
   /// Global cycle counter (monotonic across run() calls).
   [[nodiscard]] std::int64_t now() const noexcept { return cycle_; }
 
+  /// Restore construction state: every tile reset (dmem/imem/stats, dead
+  /// tiles revived), links cleared, failed link drivers repaired, cycle
+  /// counter zeroed, scheduler state (active list, wake heap, settlement
+  /// boundaries) rebuilt.  A reset fabric behaves bit-identically to a
+  /// freshly constructed one — the contract the fabric pool's reset-and-
+  /// reuse depends on (property-tested cycle-for-cycle).  External
+  /// attachments (tracer, metrics registry) are harness wiring, not fabric
+  /// state, and are deliberately kept; detach them explicitly if unwanted.
+  void reset();
+
   /// Execute one cycle: step every runnable tile, then commit remote
   /// writes.  Returns the number of tiles that retired an instruction.
   /// Idle tiles' cycle accounting is settled before this returns, so the

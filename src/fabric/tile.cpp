@@ -63,6 +63,20 @@ void Tile::restart(int pc) {
   notify_scheduler();
 }
 
+void Tile::reset() {
+  dmem_.fill(0);
+  code_.clear();
+  decoded_.clear();
+  acc_ = 0;
+  pc_ = 0;
+  halted_ = true;
+  dead_ = false;
+  fault_ = Fault{};
+  stats_ = TileStats{};
+  stalled_until_ = 0;
+  notify_scheduler();
+}
+
 bool Tile::restore_dmem(std::span<const Word> image) {
   if (dead_ || image.size() != dmem_.size()) return false;
   std::copy(image.begin(), image.end(), dmem_.begin());

@@ -103,6 +103,14 @@ class Tile {
   /// A dead tile ignores the restart and stays faulted.
   void restart(int pc = 0);
 
+  /// Restore construction state: zeroed data memory, empty instruction
+  /// image, cleared accumulator/PC/stats/fault, halted.  Unlike every
+  /// in-mission path this also revives a dead tile — reset models taking
+  /// the hardware out of service and re-provisioning the slot (fabric-pool
+  /// reuse), not repair under fire.  The scheduler binding survives and is
+  /// notified like any other state transition.
+  void reset();
+
   /// Data memory access for harness / test code.
   [[nodiscard]] Word dmem(int addr) const { return dmem_.at(static_cast<std::size_t>(addr)); }
   void set_dmem(int addr, Word v) { dmem_.at(static_cast<std::size_t>(addr)) = v; }

@@ -1,0 +1,504 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "apps/fft/fabric_fft.hpp"
+#include "apps/fft/programs.hpp"
+#include "apps/jpeg/fabric_jpeg.hpp"
+#include "apps/jpeg/tables.hpp"
+
+namespace cgra::service {
+
+namespace {
+
+// Service span tracks (below obs::kTrackTileBase; tiles are unused here).
+constexpr int kTrackQueue = 3;
+constexpr int kTrackRun = 4;
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+/// The batch key: jobs with equal keys run back to back on one configured
+/// fabric.  The key therefore pins everything the setup epoch depends on.
+std::string batch_key_for(const JobRequest& request, std::uint64_t id) {
+  struct Visitor {
+    std::uint64_t id;
+    std::string operator()(const JpegBlockRequest& r) const {
+      const std::string base =
+          (r.plan.empty() ? std::string("jpeg.block:q=")
+                          : "jpeg.resilient:r=" + std::to_string(r.rows) +
+                                ":c=" + std::to_string(r.cols) + ":q=") +
+          hex64(fnv1a_values(r.quant));
+      return base;
+    }
+    std::string operator()(const JpegImageRequest& r) const {
+      return "jpeg.image:q=" + std::to_string(r.quality);
+    }
+    std::string operator()(const FftRequest& r) const {
+      return "fft:n=" + std::to_string(r.n) + ":m=" + std::to_string(r.m) +
+             ":c=" + std::to_string(r.cols);
+    }
+    std::string operator()(const DseSweepRequest&) const {
+      // Sweeps run fabric-free and gain nothing from fusion.
+      return "dse:" + std::to_string(id);
+    }
+  };
+  return std::visit(Visitor{id}, request);
+}
+
+const char* job_kind_name(const JobRequest& request) {
+  switch (request.index()) {
+    case 0: return "jpeg.block";
+    case 1: return "jpeg.image";
+    case 2: return "fft";
+    default: return "dse";
+  }
+}
+
+}  // namespace
+
+const char* job_phase_name(JobPhase phase) noexcept {
+  switch (phase) {
+    case JobPhase::kQueued: return "queued";
+    case JobPhase::kRunning: return "running";
+    case JobPhase::kDone: return "done";
+    case JobPhase::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Service::Service(ServiceOptions opt)
+    : opt_([&] {
+        ServiceOptions o = opt;
+        o.workers = std::max(1, o.workers);
+        o.queue_capacity = std::max(1, o.queue_capacity);
+        o.batch_limit = std::max(1, o.batch_limit);
+        return o;
+      }()),
+      epoch_(std::chrono::steady_clock::now()),
+      pool_(opt.max_fabrics_per_shape) {
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    submitted_ = metrics_.counter("service.jobs.submitted");
+    rejected_ = metrics_.counter("service.jobs.rejected");
+    completed_ = metrics_.counter("service.jobs.completed");
+    failed_ = metrics_.counter("service.jobs.failed");
+    cancelled_ = metrics_.counter("service.jobs.cancelled");
+    expired_ = metrics_.counter("service.jobs.deadline_expired");
+    batches_ = metrics_.counter("service.batches");
+    batch_size_ = metrics_.histogram("service.batch.size",
+                                     {1.0, 2.0, 4.0, 8.0, 16.0});
+    spans_.set_track_name(kTrackQueue, "service queue");
+    spans_.set_track_name(kTrackRun, "service run");
+  }
+  cache_.attach_metrics(&metrics_);
+  pool_.attach_metrics(&metrics_);
+  workers_.reserve(static_cast<std::size_t>(opt_.workers));
+  for (int i = 0; i < opt_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { shutdown(); }
+
+Nanoseconds Service::now_ns() const {
+  return static_cast<Nanoseconds>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+SubmitResult Service::submit(JobRequest request, SubmitOptions options) {
+  auto state = std::make_shared<JobState>();
+  state->request = std::move(request);
+  state->deadline = options.deadline;
+  state->queued_at_ns = now_ns();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      std::lock_guard<std::mutex> obs(obs_mu_);
+      metrics_.add(rejected_);
+      return {nullptr, Status::error("service is shut down")};
+    }
+    if (queue_.size() >= static_cast<std::size_t>(opt_.queue_capacity)) {
+      std::lock_guard<std::mutex> obs(obs_mu_);
+      metrics_.add(rejected_);
+      return {nullptr,
+              Status::errorf("service saturated: queue capacity %d reached",
+                             opt_.queue_capacity)};
+    }
+    state->id = next_id_++;
+    state->batch_key = batch_key_for(state->request, state->id);
+    queue_.push_back(state);
+  }
+  {
+    std::lock_guard<std::mutex> obs(obs_mu_);
+    metrics_.add(submitted_);
+  }
+  queue_cv_.notify_one();
+  return {std::move(state), Status()};
+}
+
+JobResult Service::wait(const JobHandle& handle) const {
+  if (handle == nullptr) {
+    JobResult r;
+    r.status = Status::error("wait on a null job handle");
+    return r;
+  }
+  std::unique_lock<std::mutex> lock(handle->mu);
+  handle->cv.wait(lock, [&] {
+    return handle->phase == JobPhase::kDone ||
+           handle->phase == JobPhase::kCancelled;
+  });
+  return handle->result;
+}
+
+bool Service::cancel(const JobHandle& handle) {
+  if (handle == nullptr) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::find(queue_.begin(), queue_.end(), handle);
+    if (it == queue_.end()) return false;  // running, done, or never queued
+    queue_.erase(it);
+  }
+  // Counter before publishing: see finish().
+  {
+    std::lock_guard<std::mutex> obs(obs_mu_);
+    metrics_.add(cancelled_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(handle->mu);
+    handle->phase = JobPhase::kCancelled;
+    handle->result.status = Status::error("cancelled before execution");
+    handle->result.payload = std::monostate{};
+  }
+  handle->cv.notify_all();
+  return true;
+}
+
+void Service::shutdown() {
+  std::deque<JobHandle> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    orphans.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  for (const auto& job : orphans) {
+    JobResult r;
+    r.status = Status::error("service shut down before execution");
+    finish(job, std::move(r));
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+std::size_t Service::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::int64_t Service::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> obs(obs_mu_);
+  return metrics_.counter_value(name);
+}
+
+void Service::finish(const JobHandle& job, JobResult result) {
+  const bool ok = result.status.ok();
+  // Counters first: a caller that observed wait() return must also
+  // observe the counters already reflecting this job.
+  {
+    std::lock_guard<std::mutex> obs(obs_mu_);
+    metrics_.add(ok ? completed_ : failed_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->phase = JobPhase::kDone;
+    job->result = std::move(result);
+  }
+  job->cv.notify_all();
+}
+
+std::vector<JobHandle> Service::next_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // stopping
+    const auto now = std::chrono::steady_clock::now();
+    JobHandle head = queue_.front();
+    queue_.pop_front();
+    if (head->deadline && *head->deadline < now) {
+      lock.unlock();
+      {
+        std::lock_guard<std::mutex> obs(obs_mu_);
+        metrics_.add(expired_);
+      }
+      JobResult r;
+      r.status = Status::error("deadline expired before execution");
+      finish(head, std::move(r));
+      lock.lock();
+      continue;
+    }
+    // Fuse followers sharing the head's batch key (same configuration),
+    // preserving queue order for everything left behind.
+    std::vector<JobHandle> batch{head};
+    for (auto it = queue_.begin();
+         it != queue_.end() &&
+         batch.size() < static_cast<std::size_t>(opt_.batch_limit);) {
+      if ((*it)->batch_key == head->batch_key &&
+          (!(*it)->deadline || *(*it)->deadline >= now)) {
+        batch.push_back(*it);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    lock.unlock();
+    const Nanoseconds start = now_ns();
+    for (const auto& job : batch) {
+      job->started_at_ns = start;
+      std::lock_guard<std::mutex> jl(job->mu);
+      job->phase = JobPhase::kRunning;
+    }
+    {
+      std::lock_guard<std::mutex> obs(obs_mu_);
+      metrics_.add(batches_);
+      metrics_.observe(batch_size_, static_cast<double>(batch.size()));
+      for (const auto& job : batch) {
+        spans_.complete("job " + std::to_string(job->id) + " queued",
+                        "service.queue", kTrackQueue, job->queued_at_ns,
+                        start - job->queued_at_ns,
+                        {{"kind", job_kind_name(job->request), false}});
+      }
+    }
+    return batch;
+  }
+}
+
+void Service::worker_loop() {
+  for (;;) {
+    const auto batch = next_batch();
+    if (batch.empty()) return;
+    execute_batch(batch);
+    {
+      std::lock_guard<std::mutex> obs(obs_mu_);
+      const Nanoseconds end = now_ns();
+      for (const auto& job : batch) {
+        spans_.complete("job " + std::to_string(job->id) + " run",
+                        "service.run", kTrackRun, job->started_at_ns,
+                        end - job->started_at_ns,
+                        {{"kind", job_kind_name(job->request), false},
+                         {"batch", std::to_string(batch.size()), true}});
+      }
+    }
+  }
+}
+
+void Service::execute_batch(const std::vector<JobHandle>& batch) {
+  switch (batch.front()->request.index()) {
+    case 0: run_jpeg_block_batch(batch); break;
+    case 1: run_jpeg_image_batch(batch); break;
+    case 2: run_fft_batch(batch); break;
+    default:
+      for (const auto& job : batch) run_dse_job(job);
+      break;
+  }
+}
+
+// --- executors -----------------------------------------------------------
+
+void Service::run_jpeg_block_batch(const std::vector<JobHandle>& batch) {
+  const auto& first = std::get<JpegBlockRequest>(batch.front()->request);
+  if (first.plan.empty()) {
+    // Warm 1x4 pipeline: one setup epoch for the whole batch.
+    const auto art = cache_.get_or_build<jpeg::JpegPipelineArtifacts>(
+        "jpeg.pipeline:q=" + hex64(fnv1a_values(first.quant)),
+        [&] { return jpeg::make_pipeline_artifacts(first.quant); });
+    auto lease = pool_.acquire(1, 4);
+    jpeg::BlockPipeline pipe(*lease, *art);
+    for (const auto& job : batch) {
+      JobResult r;
+      if (!pipe.setup_status().ok()) {
+        r.status = pipe.setup_status();
+        finish(job, std::move(r));
+        continue;
+      }
+      const auto& req = std::get<JpegBlockRequest>(job->request);
+      auto res = pipe.encode(req.raw);
+      r.status = res.status;
+      JpegBlockJobResult payload;
+      payload.zigzagged = res.zigzagged;
+      payload.cycles = res.total_cycles;
+      payload.reconfig_ns = res.reconfig_ns;
+      r.payload = std::move(payload);
+      finish(job, std::move(r));
+    }
+    return;
+  }
+
+  // Resilient path: pooled rows x cols mesh, per-job fault plan/policy.
+  const auto art = cache_.get_or_build<jpeg::ResilientJpegArtifacts>(
+      "jpeg.resilient:r=" + std::to_string(first.rows) +
+          ":c=" + std::to_string(first.cols) +
+          ":q=" + hex64(fnv1a_values(first.quant)),
+      [&] {
+        return jpeg::make_resilient_artifacts(first.quant, first.rows,
+                                              first.cols);
+      });
+  auto lease = pool_.acquire(first.rows, first.cols);
+  bool fresh = true;
+  for (const auto& job : batch) {
+    const auto& req = std::get<JpegBlockRequest>(job->request);
+    if (!fresh) (*lease).reset();
+    fresh = false;
+    auto res = jpeg::encode_block_resilient_on(*lease, *art, req.raw,
+                                               req.plan, req.policy);
+    JobResult r;
+    if (res.report.ok) {
+      r.status = Status();
+    } else {
+      r.status = res.report.status.ok()
+                     ? Status::error("recovery failed")
+                     : res.report.status;
+    }
+    JpegBlockJobResult payload;
+    payload.zigzagged = res.zigzagged;
+    payload.reconfig_ns = res.report.timeline.reconfig_ns;
+    payload.recovered = res.report.rollbacks > 0 || res.report.rebalances > 0 ||
+                        res.report.icap_retries > 0;
+    r.payload = std::move(payload);
+    finish(job, std::move(r));
+  }
+}
+
+void Service::run_jpeg_image_batch(const std::vector<JobHandle>& batch) {
+  const auto& first = std::get<JpegImageRequest>(batch.front()->request);
+  const std::array<int, 64> quant = jpeg::scaled_quant(first.quality);
+  const auto art = cache_.get_or_build<jpeg::JpegPipelineArtifacts>(
+      "jpeg.pipeline:q=" + hex64(fnv1a_values(quant)),
+      [&] { return jpeg::make_pipeline_artifacts(quant); });
+  auto lease = pool_.acquire(1, 4);
+  jpeg::BlockPipeline pipe(*lease, *art);
+  for (const auto& job : batch) {
+    JobResult r;
+    if (!pipe.setup_status().ok()) {
+      r.status = pipe.setup_status();
+      finish(job, std::move(r));
+      continue;
+    }
+    const auto& req = std::get<JpegImageRequest>(job->request);
+    if (req.image.width <= 0 || req.image.height <= 0 ||
+        req.image.pixels.size() !=
+            static_cast<std::size_t>(req.image.width) *
+                static_cast<std::size_t>(req.image.height)) {
+      r.status = Status::error("malformed image: pixels != width*height");
+      finish(job, std::move(r));
+      continue;
+    }
+    JpegImageJobResult payload;
+    std::vector<jpeg::IntBlock> blocks;
+    blocks.reserve(static_cast<std::size_t>(
+        jpeg::block_count(req.image.width, req.image.height)));
+    const int bw = (req.image.width + 7) / 8;
+    const int bh = (req.image.height + 7) / 8;
+    Status status;
+    for (int by = 0; by < bh && status.ok(); ++by) {
+      for (int bx = 0; bx < bw; ++bx) {
+        auto res = pipe.encode(jpeg::extract_block(req.image, bx, by));
+        if (!res.ok()) {
+          status = Status::errorf("block (%d,%d): %s", bx, by,
+                                  res.status.message().c_str());
+          break;
+        }
+        payload.fabric_cycles += res.total_cycles;
+        blocks.push_back(res.zigzagged);
+      }
+    }
+    r.status = status;
+    if (status.ok()) {
+      payload.jfif =
+          jpeg::encode_image_from_zigzag(req.image, req.quality, blocks);
+      r.payload = std::move(payload);
+    }
+    finish(job, std::move(r));
+  }
+}
+
+void Service::run_fft_batch(const std::vector<JobHandle>& batch) {
+  const auto& first = std::get<FftRequest>(batch.front()->request);
+  const auto power_of_two = [](int v) { return v >= 2 && (v & (v - 1)) == 0; };
+  if (!power_of_two(first.n) || (first.m != 0 && !power_of_two(first.m))) {
+    for (const auto& job : batch) {
+      JobResult r;
+      r.status = Status::errorf("FFT size must be a power of two (n=%d m=%d)",
+                                first.n, first.m);
+      finish(job, std::move(r));
+    }
+    return;
+  }
+  const auto g = fft::make_geometry(first.n, first.m);
+  const auto twiddles = cache_.get_or_build<fft::TwiddleTable>(
+      "fft.twiddles:n=" + std::to_string(g.n) + ":m=" + std::to_string(g.m),
+      [&] { return fft::twiddle_patch_table(g); });
+  // Content-addressed assembly: recurring kernels (the pinned butterfly,
+  // the hop/apply copy programs) assemble once per source text ever.
+  const auto assemble = [this](const std::string& src) {
+    const auto prog = cache_.get_or_build<isa::Program>(
+        "asm:" + hex64(fnv1a(src)), [&] { return fft::must_assemble(src); });
+    return *prog;
+  };
+  auto lease = pool_.acquire(g.rows, first.cols);
+  bool fresh = true;
+  for (const auto& job : batch) {
+    const auto& req = std::get<FftRequest>(job->request);
+    if (!fresh) (*lease).reset();  // the FFT run leaves the fabric dirty
+    fresh = false;
+    fft::FabricFftOptions opt;
+    opt.cols = req.cols;
+    opt.fabric = lease.get();
+    opt.assemble = assemble;
+    opt.twiddles = twiddles.get();
+    auto res = fft::run_fabric_fft(g, req.input, opt);
+    JobResult r;
+    r.status = res.status;
+    FftJobResult payload;
+    payload.output = std::move(res.output);
+    payload.timeline = res.timeline;
+    payload.epochs = res.epochs;
+    r.payload = std::move(payload);
+    finish(job, std::move(r));
+  }
+}
+
+void Service::run_dse_job(const JobHandle& job) {
+  const auto& req = std::get<DseSweepRequest>(job->request);
+  JobResult r;
+  if (req.net.processes().empty()) {
+    r.status = Status::error("DSE sweep needs a non-empty process network");
+    finish(job, std::move(r));
+    return;
+  }
+  if (req.max_tiles < 1) {
+    r.status = Status::errorf("DSE sweep needs max_tiles >= 1 (got %d)",
+                              req.max_tiles);
+    finish(job, std::move(r));
+    return;
+  }
+  DseSweepJobResult payload;
+  payload.points =
+      mapping::sweep(req.net, req.max_tiles, req.algorithm, req.params);
+  r.status = Status();
+  r.payload = std::move(payload);
+  finish(job, std::move(r));
+}
+
+}  // namespace cgra::service

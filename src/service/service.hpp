@@ -1,0 +1,156 @@
+// cgra::Service — the asynchronous job-service runtime.
+//
+// The paper's runtime management system accepts work (JPEG blocks/images,
+// FFTs, DSE sweeps) and keeps the reconfigurable fabric busy; this is our
+// software analogue.  One Service owns:
+//
+//   * a bounded FIFO queue with reject-on-saturation backpressure
+//     (submit() returns a Status error instead of blocking),
+//   * a worker pool executing jobs on pre-warmed fabrics from a
+//     FabricPool (reset-and-reuse instead of reconstruction),
+//   * a content-addressed ArtifactCache of assembled programs, twiddle
+//     and quantiser tables, pipeline artifacts and placements,
+//   * epoch-schedule batching: consecutive queued jobs with the same
+//     batch key (same kernel configuration) execute back to back on one
+//     configured fabric, paying the ICAP setup once per batch,
+//   * observability: job lifecycle spans plus queue/cache/pool counters
+//     in an obs::MetricsRegistry.
+//
+// Determinism: each job's result is bit-identical to running the same
+// request serially on a fresh fabric — batching and pooling only change
+// WHERE the job runs (a reset fabric, a cached artifact), never its
+// inputs.  tests/test_service.cpp checks this with racing producers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "service/artifact_cache.hpp"
+#include "service/fabric_pool.hpp"
+#include "service/job.hpp"
+
+namespace cgra::service {
+
+/// A reference to a submitted job; share or store freely.
+using JobHandle = std::shared_ptr<JobState>;
+
+/// submit() outcome: `status` tells whether the job was accepted; the
+/// handle is null exactly when it was not (saturation / shutdown).
+struct SubmitResult {
+  JobHandle handle;
+  Status status = Status();
+
+  [[nodiscard]] bool accepted() const noexcept { return status.ok(); }
+};
+
+/// Per-submission options.
+struct SubmitOptions {
+  /// Give up if a worker has not STARTED the job by then: expired jobs
+  /// complete with a "deadline exceeded" Status instead of executing.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+/// Service construction knobs.
+struct ServiceOptions {
+  int workers = 4;             ///< Worker threads (>= 1).
+  int queue_capacity = 64;     ///< Queued (not yet running) jobs bound.
+  int max_fabrics_per_shape = 8;  ///< FabricPool bound per mesh shape.
+  int batch_limit = 8;         ///< Max jobs fused into one warm batch.
+};
+
+/// The asynchronous job service.  Thread-safe; destruction drains the
+/// queue (pending jobs complete with a shutdown Status) and joins the
+/// workers.
+class Service {
+ public:
+  explicit Service(ServiceOptions opt = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Enqueue a job.  Returns a null handle with a Status error when the
+  /// queue is saturated or the service is shutting down.
+  [[nodiscard]] SubmitResult submit(JobRequest request,
+                                    SubmitOptions options = {});
+
+  /// Block until the job finishes (done or cancelled) and return its
+  /// result.  Cancelled jobs report a "cancelled" Status.
+  [[nodiscard]] JobResult wait(const JobHandle& handle) const;
+
+  /// Remove a still-queued job.  Returns true iff this call cancelled it
+  /// (running or finished jobs are not interrupted — the fabric has no
+  /// preemption; that mirrors real partial reconfiguration).
+  bool cancel(const JobHandle& handle);
+
+  /// Stop accepting work, fail the still-queued jobs with a shutdown
+  /// Status, and join the workers.  Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Queued-but-not-started jobs right now.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Shared observability: counters (service.*, cache.*, pool.*), job
+  /// lifecycle spans.  Guarded internally; safe to read between jobs.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] const obs::SpanTimeline& spans() const { return spans_; }
+
+  /// Counter convenience (by full metric name, e.g. "cache.hit").
+  [[nodiscard]] std::int64_t counter(std::string_view name) const;
+
+ private:
+  void worker_loop();
+  /// Pop the next runnable job plus every same-batch-key follower (up to
+  /// batch_limit).  Empty when shutting down.
+  std::vector<JobHandle> next_batch();
+  void execute_batch(const std::vector<JobHandle>& batch);
+  void finish(const JobHandle& job, JobResult result);
+
+  void run_jpeg_block_batch(const std::vector<JobHandle>& batch);
+  void run_jpeg_image_batch(const std::vector<JobHandle>& batch);
+  void run_fft_batch(const std::vector<JobHandle>& batch);
+  void run_dse_job(const JobHandle& job);
+
+  [[nodiscard]] Nanoseconds now_ns() const;
+
+  const ServiceOptions opt_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<JobHandle> queue_;
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+
+  ArtifactCache cache_;
+  FabricPool pool_;
+
+  mutable std::mutex obs_mu_;  ///< Guards metrics_ + spans_ (registry is
+                               ///< single-threaded by design).
+  obs::MetricsRegistry metrics_;
+  obs::SpanTimeline spans_;
+  obs::CounterHandle submitted_;
+  obs::CounterHandle rejected_;
+  obs::CounterHandle completed_;
+  obs::CounterHandle failed_;
+  obs::CounterHandle cancelled_;
+  obs::CounterHandle expired_;
+  obs::CounterHandle batches_;
+  obs::HistogramHandle batch_size_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cgra::service

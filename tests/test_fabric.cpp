@@ -257,5 +257,113 @@ TEST(Fabric, NextWakeCycleTracksEarliestDeadline) {
   EXPECT_EQ(f.next_wake_cycle(), 50);
 }
 
+// --- Fabric::reset(): the fabric-pool reuse contract ---------------------
+
+// A workload that exercises every class of state reset() must clear:
+// programs, data, links, stalls, a dead tile and a failed link driver.
+void dirty(Fabric& f) {
+  f.links().set_output(0, Direction::kEast);
+  f.tile(0).load_program(
+      prog("  movi 0, #13\n  mov !5, 0\n  halt\n"));
+  f.tile(1).load_program(prog("  movi 7, #-4\n  halt\n"));
+  for (int t = 0; t < f.tile_count(); ++t) f.tile(t).set_dmem(100, 77);
+  f.tile(0).restart();
+  f.tile(1).restart();
+  (void)f.run(1000);
+  if (f.tile_count() > 2) f.kill_tile(2);
+  f.fail_link(1);
+  f.tile(1).stall_until(f.now() + 500);
+}
+
+TEST(Fabric, ResetRestoresConstructionState) {
+  Fabric f(2, 2);
+  dirty(f);
+  ASSERT_NE(f.now(), 0);
+  ASSERT_FALSE(f.dead_tiles().empty());
+
+  f.reset();
+
+  EXPECT_EQ(f.now(), 0);
+  EXPECT_TRUE(f.all_halted());
+  EXPECT_TRUE(f.dead_tiles().empty());
+  EXPECT_EQ(f.next_wake_cycle(), -1);
+  for (int t = 0; t < f.tile_count(); ++t) {
+    EXPECT_FALSE(f.link_failed(t)) << t;
+    EXPECT_FALSE(f.links().output(t).has_value()) << t;
+    EXPECT_EQ(f.tile(t).stats().instructions, 0) << t;
+    EXPECT_EQ(f.tile(t).stats().cycles_halted, 0) << t;
+    for (int a = 0; a < kDataMemWords; ++a) {
+      ASSERT_EQ(f.tile(t).dmem(a), 0u) << "tile " << t << " dmem " << a;
+    }
+  }
+  // An empty reset fabric runs zero cycles, like a fresh one.
+  const auto r = f.run(100);
+  EXPECT_EQ(r.cycles, 0);
+  expect_stats_invariant(f);
+}
+
+// Property: for a set of structurally different workloads, running W on a
+// reset fabric is cycle-for-cycle and bit-for-bit identical to running W
+// on a fresh fabric — whatever ran before the reset.
+TEST(Fabric, ResetReusedRunMatchesFreshCycleForCycle) {
+  const auto run_workload = [](Fabric& f, int variant) {
+    f.links().set_output(0, Direction::kEast);
+    if (f.cols() >= 2) f.links().set_output(1, Direction::kSouth);
+    f.tile(0).load_program(prog(
+        "  movi 1, #" + std::to_string(3 + variant) +
+        "\n  movi 2, #0\n"
+        "loop:\n"
+        "  add 2, 2, 1\n  sub 1, 1, #1\n  bnez 1, loop\n"
+        "  mov !9, 2\n  halt\n"));
+    f.tile(1).load_program(prog("  mov 3, 9\n  add 3, 3, #1\n  halt\n"));
+    f.tile(0).restart();
+    f.tile(1).restart();
+    return f.run(10'000);
+  };
+
+  for (int variant = 0; variant < 4; ++variant) {
+    // Fresh reference.
+    Fabric fresh(2, 2);
+    const auto want = run_workload(fresh, variant);
+
+    // Reused: a different workload ran first, then reset().
+    Fabric reused(2, 2);
+    dirty(reused);
+    reused.reset();
+    const auto got = run_workload(reused, variant);
+
+    EXPECT_EQ(got.cycles, want.cycles) << variant;
+    EXPECT_EQ(got.all_halted, want.all_halted) << variant;
+    EXPECT_EQ(got.faults.size(), want.faults.size()) << variant;
+    for (int t = 0; t < fresh.tile_count(); ++t) {
+      EXPECT_EQ(reused.tile(t).stats().instructions,
+                fresh.tile(t).stats().instructions)
+          << variant << " tile " << t;
+      EXPECT_EQ(reused.tile(t).stats().cycles_stalled,
+                fresh.tile(t).stats().cycles_stalled)
+          << variant << " tile " << t;
+      for (int a = 0; a < kDataMemWords; ++a) {
+        ASSERT_EQ(reused.tile(t).dmem(a), fresh.tile(t).dmem(a))
+            << variant << " tile " << t << " dmem " << a;
+      }
+    }
+    expect_stats_invariant(reused);
+  }
+}
+
+TEST(Fabric, ResetRevivesDeadTileForReuse) {
+  Fabric f(1, 2);
+  f.kill_tile(1);
+  ASSERT_EQ(f.dead_tiles(), std::vector<int>{1});
+  f.reset();
+  ASSERT_TRUE(f.dead_tiles().empty());
+  // The revived tile executes again.
+  f.tile(1).load_program(prog("  movi 0, #6\n  halt\n"));
+  f.tile(1).restart();
+  const auto r = f.run(100);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(to_signed(f.tile(1).dmem(0)), 6);
+}
+
 }  // namespace
 }  // namespace cgra::fabric

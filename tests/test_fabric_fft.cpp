@@ -58,7 +58,7 @@ TEST_P(FabricFftSizes, MatchesReference) {
   const auto g = make_geometry(n, m);
   const auto x = random_signal(n, 0xF00D + static_cast<unsigned>(n));
   const auto result = run_fabric_fft(g, x);
-  ASSERT_TRUE(result.ok) << "faults: " << result.faults.size();
+  ASSERT_TRUE(result.ok()) << "faults: " << result.faults.size();
   const auto expect = scaled_reference(x);
   const double err = rms_error(result.output, expect);
   // Q3.20 inputs scaled by 1/N: tolerance grows with log2(N).
@@ -77,7 +77,7 @@ TEST(FabricFft, SingleTileGeometry) {
   const auto g = make_geometry(16, 16);
   const auto x = random_signal(16, 99);
   const auto result = run_fabric_fft(g, x);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   for (const auto& tr : result.timeline.transitions) {
     EXPECT_EQ(tr.links_changed, 0);
   }
@@ -89,7 +89,7 @@ TEST(FabricFft, ImpulseThroughFabric) {
   std::vector<Cplx> x(64, Cplx{0, 0});
   x[0] = {1.0, 0.0};
   const auto result = run_fabric_fft(g, x);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   for (const auto& v : result.output) {
     EXPECT_NEAR(v.real(), 1.0 / 64.0, 1e-4);
     EXPECT_NEAR(v.imag(), 0.0, 1e-4);
@@ -100,7 +100,7 @@ TEST(FabricFft, TimelineAccountsReconfiguration) {
   const auto g = make_geometry(32, 8);
   const auto x = random_signal(32, 5);
   const auto result = run_fabric_fft(g, x);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   EXPECT_GT(result.timeline.reconfig_ns, 0.0);
   EXPECT_GT(result.timeline.epoch_compute_ns, 0.0);
   EXPECT_GT(result.epochs, g.stages);  // stages + redistribution epochs
@@ -115,8 +115,8 @@ TEST(FabricFft, LinkCostRaisesReconfigTerm) {
   dear.link_cost_ns = 1000.0;
   const auto r0 = run_fabric_fft(g, x, cheap);
   const auto r1 = run_fabric_fft(g, x, dear);
-  ASSERT_TRUE(r0.ok);
-  ASSERT_TRUE(r1.ok);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
   EXPECT_GT(r1.timeline.reconfig_ns, r0.timeline.reconfig_ns);
   // Functional output must not depend on the cost model.
   EXPECT_LT(rms_error(r0.output, r1.output), 1e-12);
@@ -155,7 +155,7 @@ TEST(FabricFft, MeasuredCopyMatchesPaperShape) {
 TEST(FabricFft, RejectsWrongInputSize) {
   const auto g = make_geometry(32, 8);
   const auto result = run_fabric_fft(g, random_signal(16, 1));
-  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.ok());
 }
 
 // ---- multi-column designs (the paper's pipelined layouts) ----
@@ -170,7 +170,7 @@ TEST_P(FabricFftColumns, MultiColumnMatchesReference) {
   FabricFftOptions opt;
   opt.cols = cols;
   const auto result = run_fabric_fft(g, x, opt);
-  ASSERT_TRUE(result.ok) << "cols=" << cols;
+  ASSERT_TRUE(result.ok()) << "cols=" << cols;
   EXPECT_LT(rms_error(result.output, scaled_reference(x)), 3e-4 * g.stages);
 }
 
@@ -190,8 +190,8 @@ TEST(FabricFft, MultiColumnUsesHorizontalLinks) {
   two.link_cost_ns = 10.0;
   const auto r1 = run_fabric_fft(g, x, one);
   const auto r2 = run_fabric_fft(g, x, two);
-  ASSERT_TRUE(r1.ok);
-  ASSERT_TRUE(r2.ok);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
   auto total_links = [](const FabricFftResult& r) {
     int n = 0;
     for (const auto& t : r.timeline.transitions) n += t.links_changed;
@@ -207,7 +207,7 @@ TEST(FabricFft, RejectsNonDivisorColumns) {
   FabricFftOptions opt;
   opt.cols = 4;
   const auto result = run_fabric_fft(g, random_signal(64, 1), opt);
-  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.ok());
 }
 
 TEST(FabricFft, FullySpatialDesignKeepsAllKernelsPinned) {
@@ -218,7 +218,7 @@ TEST(FabricFft, FullySpatialDesignKeepsAllKernelsPinned) {
   opt.cols = 4;
   const auto x = random_signal(16, 9);
   const auto result = run_fabric_fft(g, x, opt);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   EXPECT_LT(rms_error(result.output, scaled_reference(x)), 2e-3);
 }
 

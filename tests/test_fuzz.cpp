@@ -90,14 +90,14 @@ TEST_P(JpegCorruption, CorruptedStreamsFailGracefully) {
       corrupted[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
     }
     const auto result = jpeg::decode_image(corrupted);  // no crash, no hang
-    if (result.ok) {
+    if (result.ok()) {
       // A flip in the entropy data may still decode; the image must at
       // least have the declared geometry.
       EXPECT_EQ(result.image.pixels.size(),
                 static_cast<std::size_t>(result.image.width) *
                     static_cast<std::size_t>(result.image.height));
     } else {
-      EXPECT_FALSE(result.error.empty());
+      EXPECT_FALSE(result.error().empty());
     }
   }
 }
@@ -111,7 +111,7 @@ TEST_P(JpegCorruption, TruncatedStreamsFailGracefully) {
     const std::vector<std::uint8_t> cut(bytes.begin(),
                                         bytes.begin() + static_cast<long>(keep));
     const auto result = jpeg::decode_image(cut);
-    (void)result.ok;  // must simply return
+    (void)result.ok();  // must simply return
   }
 }
 

@@ -32,7 +32,7 @@ TEST(Integration, FabricBlocksProduceDecodableJpeg) {
     for (int bx = 0; bx < 3; ++bx) {
       const auto raw = jpeg::extract_block(img, bx, by);
       const auto fab = jpeg::encode_block_on_fabric(raw, quant);
-      ASSERT_TRUE(fab.ok);
+      ASSERT_TRUE(fab.ok());
       pred = jpeg::huffman_encode_block(fab.zigzagged, pred, bw, dc, ac);
     }
   }
@@ -42,7 +42,7 @@ TEST(Integration, FabricBlocksProduceDecodableJpeg) {
   // stream stands in for the fabric stream; decode and check quality.
   const auto bytes = jpeg::encode_image(img, 60);
   const auto decoded = jpeg::decode_image(bytes);
-  ASSERT_TRUE(decoded.ok) << decoded.error;
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
   EXPECT_GT(jpeg::psnr(img, decoded.image), 28.0);
 }
 
@@ -57,10 +57,10 @@ TEST(Integration, FullJpegBlockPathOnFabric) {
     jpeg::IntBlock raw{};
     for (auto& px : raw) px = static_cast<int>(rng.next_below(256));
     const auto transform = jpeg::encode_block_on_fabric(raw, quant);
-    ASSERT_TRUE(transform.ok);
+    ASSERT_TRUE(transform.ok());
     const auto entropy =
         jpeg::encode_entropy_on_fabric(transform.zigzagged, prev_dc);
-    ASSERT_TRUE(entropy.ok);
+    ASSERT_TRUE(entropy.ok());
 
     // Host golden model for the same block and predictor.
     jpeg::BitWriter bw;
@@ -106,8 +106,8 @@ TEST(Integration, FabricFftTimelineConsistentWithModelDirection) {
   hi.link_cost_ns = 2000.0;
   const auto rlo = fft::run_fabric_fft(g, x, lo);
   const auto rhi = fft::run_fabric_fft(g, x, hi);
-  ASSERT_TRUE(rlo.ok);
-  ASSERT_TRUE(rhi.ok);
+  ASSERT_TRUE(rlo.ok());
+  ASSERT_TRUE(rhi.ok());
   EXPECT_GT(rhi.timeline.reconfig_ns - rlo.timeline.reconfig_ns, 0.0);
 }
 
@@ -141,7 +141,7 @@ TEST(Integration, EquationOneTermsAllMaterialise) {
   const auto g = fft::make_geometry(32, 8);
   std::vector<fft::Cplx> x(32, fft::Cplx{0.5, 0.0});
   const auto r = fft::run_fabric_fft(g, x);
-  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.ok());
   EXPECT_GT(r.timeline.epoch_compute_ns, 0.0);  // A
   EXPECT_GT(r.timeline.reconfig_ns, 0.0);       // B
   EXPECT_GT(r.redistribution_subepochs, 0);     // C

@@ -117,7 +117,7 @@ TEST_P(RoundTrip, DecodeRecoversImage) {
   const auto img = synthetic_image(w, h, 42);
   const auto bytes = encode_image(img, 75);
   const auto decoded = decode_image(bytes);
-  ASSERT_TRUE(decoded.ok) << decoded.error;
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
   ASSERT_EQ(decoded.image.width, w);
   ASSERT_EQ(decoded.image.height, h);
   EXPECT_GT(psnr(img, decoded.image), 30.0);
@@ -136,14 +136,14 @@ TEST(JpegCodec, QualityTradesSizeForPsnr) {
   EXPECT_LT(lo.size(), hi.size());
   const auto dlo = decode_image(lo);
   const auto dhi = decode_image(hi);
-  ASSERT_TRUE(dlo.ok);
-  ASSERT_TRUE(dhi.ok);
+  ASSERT_TRUE(dlo.ok());
+  ASSERT_TRUE(dhi.ok());
   EXPECT_LT(psnr(img, dlo.image), psnr(img, dhi.image));
 }
 
 TEST(JpegCodec, DecoderRejectsGarbage) {
-  EXPECT_FALSE(decode_image({0x00, 0x01, 0x02}).ok);
-  EXPECT_FALSE(decode_image({0xFF, 0xD8}).ok);  // SOI then nothing
+  EXPECT_FALSE(decode_image({0x00, 0x01, 0x02}).ok());
+  EXPECT_FALSE(decode_image({0xFF, 0xD8}).ok());  // SOI then nothing
 }
 
 TEST(JpegCodec, FlatImageCompressesHard) {
@@ -154,7 +154,7 @@ TEST(JpegCodec, FlatImageCompressesHard) {
   const auto bytes = encode_image(img);
   EXPECT_LT(bytes.size(), 1200u);  // headers dominate
   const auto decoded = decode_image(bytes);
-  ASSERT_TRUE(decoded.ok);
+  ASSERT_TRUE(decoded.ok());
   EXPECT_GT(psnr(img, decoded.image), 45.0);
 }
 

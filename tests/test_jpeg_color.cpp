@@ -75,7 +75,7 @@ TEST_P(ColorRoundTrip, EncodeDecodeRecoversImage) {
   const auto img = synthetic_rgb_image(w, h, 33);
   const auto bytes = encode_color_image(img, 80);
   const auto decoded = decode_image(bytes);
-  ASSERT_TRUE(decoded.ok) << decoded.error;
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
   ASSERT_TRUE(decoded.is_color);
   ASSERT_EQ(decoded.rgb.width, w);
   ASSERT_EQ(decoded.rgb.height, h);
@@ -90,7 +90,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Color, GrayscaleStreamsStillDecode) {
   const auto img = synthetic_image(32, 32, 4);
   const auto decoded = decode_image(encode_image(img, 75));
-  ASSERT_TRUE(decoded.ok);
+  ASSERT_TRUE(decoded.ok());
   EXPECT_FALSE(decoded.is_color);
   EXPECT_GT(psnr(img, decoded.image), 30.0);
 }
@@ -99,8 +99,8 @@ TEST(Color, QualityControlsColorFidelity) {
   const auto img = synthetic_rgb_image(48, 48, 12);
   const auto lo = decode_image(encode_color_image(img, 15));
   const auto hi = decode_image(encode_color_image(img, 92));
-  ASSERT_TRUE(lo.ok);
-  ASSERT_TRUE(hi.ok);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
   EXPECT_LT(psnr_rgb(img, lo.rgb), psnr_rgb(img, hi.rgb));
 }
 

@@ -106,7 +106,7 @@ TEST_P(FabricBlockPipeline, MatchesHostStagesBitExactly) {
   const auto raw = random_pixels(GetParam());
   const auto quant = scaled_quant(50);
   const auto result = encode_block_on_fabric(raw, quant);
-  ASSERT_TRUE(result.ok) << result.faults.size() << " faults";
+  ASSERT_TRUE(result.ok()) << result.faults.size() << " faults";
   EXPECT_EQ(result.zigzagged, encode_block_stages(raw, quant));
   EXPECT_GT(result.total_cycles, 0);
   EXPECT_GT(result.reconfig_ns, 0.0);
@@ -175,7 +175,7 @@ TEST(HmanFabric, DcOnlyBlock) {
   IntBlock zz{};
   zz[0] = 10;
   const auto result = encode_entropy_on_fabric(zz, 0);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.bits, host_entropy_bits(zz, 0));
 }
 
@@ -183,7 +183,7 @@ TEST(HmanFabric, NegativeDcDelta) {
   IntBlock zz{};
   zz[0] = -37;
   const auto result = encode_entropy_on_fabric(zz, 12);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.bits, host_entropy_bits(zz, 12));
 }
 
@@ -192,7 +192,7 @@ TEST(HmanFabric, ZrlRunsOfZeros) {
   zz[0] = 5;
   zz[40] = -3;  // 39 leading zeros -> two ZRLs + run 7
   const auto result = encode_entropy_on_fabric(zz, 0);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.bits, host_entropy_bits(zz, 0));
 }
 
@@ -203,7 +203,7 @@ TEST(HmanFabric, DenseBlockNoEob) {
   }
   // Last coefficient nonzero: no EOB emitted.
   const auto result = encode_entropy_on_fabric(zz, -4);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.bits, host_entropy_bits(zz, -4));
 }
 
@@ -219,7 +219,7 @@ TEST_P(HmanFabricFuzz, MatchesHostOnRealBlocks) {
     for (auto& px : raw) px = static_cast<int>(rng.next_below(256));
     const IntBlock zz = encode_block_stages(raw, quant);
     const auto result = encode_entropy_on_fabric(zz, prev_dc);
-    ASSERT_TRUE(result.ok) << round;
+    ASSERT_TRUE(result.ok()) << round;
     EXPECT_EQ(result.bits, host_entropy_bits(zz, prev_dc)) << round;
     EXPECT_GT(result.cycles, 0);
     prev_dc = zz[0];
@@ -237,7 +237,7 @@ TEST(HmanFabric, CyclesInTable3Ballpark) {
   for (auto& px : raw) px = static_cast<int>(rng.next_below(256));
   const IntBlock zz = encode_block_stages(raw, scaled_quant(50));
   const auto result = encode_entropy_on_fabric(zz, 0);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   EXPECT_GT(result.cycles, 200);
   EXPECT_LT(result.cycles, 60000);
 }
@@ -246,7 +246,7 @@ TEST(JpegFabric, PipelineWorksAtHighQuality) {
   const auto raw = random_pixels(99);
   const auto quant = scaled_quant(90);
   const auto result = encode_block_on_fabric(raw, quant);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.zigzagged, encode_block_stages(raw, quant));
 }
 

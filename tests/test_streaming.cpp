@@ -24,7 +24,7 @@ TEST(JpegStream, OutputsMatchHostForEveryBlock) {
   const auto blocks = random_blocks(8, 0x1234);
   const auto quant = jpeg::scaled_quant(50);
   const auto result = jpeg::encode_blocks_on_fabric_stream(blocks, quant);
-  ASSERT_TRUE(result.ok) << result.faults.size() << " faults";
+  ASSERT_TRUE(result.ok()) << result.faults.size() << " faults";
   ASSERT_EQ(result.zigzagged.size(), blocks.size());
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     EXPECT_EQ(result.zigzagged[i],
@@ -37,7 +37,7 @@ TEST(JpegStream, SteadyBeatIsBoundedByHeaviestStage) {
   const auto blocks = random_blocks(12, 0x77);
   const auto quant = jpeg::scaled_quant(50);
   const auto result = jpeg::encode_blocks_on_fabric_stream(blocks, quant);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   const auto kernels = jpeg::measure_jpeg_kernels();
   // Each beat runs prologue (64 moves) + the heaviest stage (DCT) + its
   // 64-word send loop; the steady beat must be within ~15% of that.
@@ -54,14 +54,14 @@ TEST(JpegStream, OverlapBeatsSequentialExecution) {
   const auto blocks = random_blocks(k, 0x99);
   const auto quant = jpeg::scaled_quant(50);
   const auto stream = jpeg::encode_blocks_on_fabric_stream(blocks, quant);
-  ASSERT_TRUE(stream.ok);
+  ASSERT_TRUE(stream.ok());
   std::int64_t stream_total = 0;
   for (const auto c : stream.beat_cycles) stream_total += c;
 
   std::int64_t sequential_total = 0;
   for (const auto& b : blocks) {
     const auto one = jpeg::encode_block_on_fabric(b, quant);
-    ASSERT_TRUE(one.ok);
+    ASSERT_TRUE(one.ok());
     sequential_total += one.total_cycles;
   }
   EXPECT_LT(static_cast<double>(stream_total),
@@ -72,7 +72,7 @@ TEST(JpegStream, SingleBlockDegeneratesGracefully) {
   const auto blocks = random_blocks(1, 0x5);
   const auto quant = jpeg::scaled_quant(75);
   const auto result = jpeg::encode_blocks_on_fabric_stream(blocks, quant);
-  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
   ASSERT_EQ(result.zigzagged.size(), 1u);
   EXPECT_EQ(result.zigzagged[0],
             jpeg::encode_block_stages(blocks[0], quant));
