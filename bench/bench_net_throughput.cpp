@@ -1,0 +1,198 @@
+// Network serving throughput (the PR acceptance bench): N client
+// threads hammer one cgra::net::Server over loopback TCP with a fixed
+// JPEG-block / FFT request mix and every reply is checked bit-identical
+// to the same job executed in-process on the same service.  Reported:
+// sustained requests/s plus client-observed latency percentiles, also
+// written to BENCH_net_throughput.json for the CI perf artifact.  The
+// run fails (exit 1) below the 1000 req/s acceptance bar or on any
+// reply mismatch.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "cgra/net.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Fixed mix: 7 JPEG blocks per FFT — blocks are the high-volume
+/// request type, the FFTs keep reconfiguration epochs in the path.
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 256;
+constexpr int kFftEvery = 8;
+constexpr double kMinReqPerSec = 1000.0;
+
+cgra::jpeg::IntBlock block_for(int seed) {
+  cgra::jpeg::IntBlock raw{};
+  for (int i = 0; i < 64; ++i) {
+    raw[static_cast<std::size_t>(i)] = ((seed + 5) * 31 + i * 11) % 256;
+  }
+  return raw;
+}
+
+cgra::service::JobRequest request_for(int index) {
+  using namespace cgra;
+  if (index % kFftEvery == kFftEvery - 1) {
+    service::FftRequest req;
+    req.n = 64;
+    req.m = 8;
+    req.input.resize(64);
+    SplitMix64 rng(static_cast<std::uint64_t>(index) + 1);
+    for (auto& v : req.input) {
+      v = {rng.next_double(-1, 1) / req.n, rng.next_double(-1, 1) / req.n};
+    }
+    return service::JobRequest{req};
+  }
+  service::JpegBlockRequest req;
+  req.raw = block_for(index);
+  req.quant = jpeg::scaled_quant(75);
+  return service::JobRequest{req};
+}
+
+bool payload_equal(const cgra::service::JobResult& a,
+                   const cgra::service::JobResult& b) {
+  using namespace cgra::service;
+  if (!a.ok() || !b.ok() || a.payload.index() != b.payload.index()) {
+    return false;
+  }
+  if (const auto* blk = std::get_if<JpegBlockJobResult>(&a.payload)) {
+    return blk->zigzagged == std::get<JpegBlockJobResult>(b.payload).zigzagged;
+  }
+  if (const auto* fft = std::get_if<FftJobResult>(&a.payload)) {
+    // Exact ==: the wire carries the bit patterns, not approximations.
+    return fft->output == std::get<FftJobResult>(b.payload).output;
+  }
+  return false;
+}
+
+double percentile(std::vector<double>* sorted, double p) {
+  std::sort(sorted->begin(), sorted->end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted->size() - 1));
+  return (*sorted)[idx];
+}
+
+}  // namespace
+
+int main() {
+  using namespace cgra;
+  std::printf("Network serving throughput — %d clients x %d requests\n\n",
+              kClients, kRequestsPerClient);
+
+  service::ServiceOptions sopt;
+  sopt.workers = 1;  // single-core host: batching does the heavy lifting
+  sopt.queue_capacity = 512;
+  sopt.batch_limit = 16;
+  service::Service svc(sopt);
+  net::Server server(&svc);
+  if (const auto s = server.start(); !s.ok()) {
+    std::printf("server start failed: %s\n", s.message().c_str());
+    return 1;
+  }
+
+  // Expected results computed in-process first — this is the oracle the
+  // wire replies must match bit for bit, and it doubles as the warm-up
+  // that fills the artifact cache and fabric pool.
+  const int total = kClients * kRequestsPerClient;
+  std::vector<service::JobResult> expected;
+  expected.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    expected.push_back(svc.wait(svc.submit(request_for(i)).handle));
+    if (!expected.back().ok()) {
+      std::printf("in-process job %d failed: %s\n", i,
+                  expected.back().status.message().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<int> failures(kClients, 0);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::ClientOptions copt;
+      copt.port = server.port();
+      net::Client client(copt);
+      auto& lat = latencies[static_cast<std::size_t>(c)];
+      lat.reserve(kRequestsPerClient);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const int index = c * kRequestsPerClient + r;
+        net::Response resp;
+        const auto rt0 = Clock::now();
+        const Status s = client.call(request_for(index), &resp);
+        lat.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - rt0)
+                .count());
+        if (!s.ok() || !resp.result.ok()) {
+          ++failures[static_cast<std::size_t>(c)];
+          continue;
+        }
+        if (!payload_equal(resp.result,
+                           expected[static_cast<std::size_t>(index)])) {
+          ++mismatches[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  server.stop();
+
+  int failed = 0;
+  int mismatched = 0;
+  std::vector<double> all;
+  all.reserve(static_cast<std::size_t>(total));
+  for (int c = 0; c < kClients; ++c) {
+    failed += failures[static_cast<std::size_t>(c)];
+    mismatched += mismatches[static_cast<std::size_t>(c)];
+    all.insert(all.end(), latencies[static_cast<std::size_t>(c)].begin(),
+               latencies[static_cast<std::size_t>(c)].end());
+  }
+  const double req_per_sec = 1000.0 * total / wall_ms;
+  const double p50 = percentile(&all, 0.50);
+  const double p90 = percentile(&all, 0.90);
+  const double p99 = percentile(&all, 0.99);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"clients", TextTable::integer(kClients)});
+  table.add_row({"requests", TextTable::integer(total)});
+  table.add_row({"wall ms", TextTable::num(wall_ms, 1)});
+  table.add_row({"req/s", TextTable::num(req_per_sec, 0)});
+  table.add_row({"p50 ms", TextTable::num(p50, 2)});
+  table.add_row({"p90 ms", TextTable::num(p90, 2)});
+  table.add_row({"p99 ms", TextTable::num(p99, 2)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("replies verified bit-identical to in-process: %d/%d\n",
+              total - mismatched - failed, total);
+
+  obs::BenchReport report("net_throughput");
+  report.add("req_per_sec", req_per_sec, "req/s");
+  report.add("wall_ms", wall_ms, "ms");
+  report.add("latency_p50_ms", p50, "ms");
+  report.add("latency_p90_ms", p90, "ms");
+  report.add("latency_p99_ms", p99, "ms");
+  report.add("clients", kClients, "count");
+  report.add("requests", total, "count");
+  report.add_table("net_throughput", table);
+  report.write();
+
+  if (failed > 0 || mismatched > 0) {
+    std::printf("FAIL: %d transport failures, %d payload mismatches\n",
+                failed, mismatched);
+    return 1;
+  }
+  if (req_per_sec < kMinReqPerSec) {
+    std::printf("FAIL: %.0f req/s below the %.0f req/s acceptance bar\n",
+                req_per_sec, kMinReqPerSec);
+    return 1;
+  }
+  return 0;
+}

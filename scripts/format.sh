@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Format every C++ file under the formatted directories in place, or
+# verify them with --check (what CI's format job runs).
+#
+#   ./scripts/format.sh           # rewrite files
+#   ./scripts/format.sh --check   # exit non-zero on any violation
+#
+# Override the binary with CLANG_FORMAT=clang-format-18 etc.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fmt="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$fmt" >/dev/null; then
+  echo "error: $fmt not found (set CLANG_FORMAT to your binary)" >&2
+  exit 1
+fi
+
+args=(-i)
+if [[ "${1:-}" == "--check" ]]; then
+  args=(--dry-run --Werror)
+fi
+
+find src tests bench examples \
+  \( -name '*.cpp' -o -name '*.hpp' \) -print0 |
+  xargs -0 "$fmt" "${args[@]}"

@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_*.json against a committed baseline.
+"""Compare fresh BENCH_*.json runs against committed baselines.
 
-Usage: perf_compare.py BASELINE.json CURRENT.json
+Usage: perf_compare.py BASELINE.json CURRENT.json [BASELINE.json CURRENT.json ...]
 
-Prints a delta table for every metric the two files share.  Rate metrics
-(unit ends in "/s", e.g. the simulator's sim_cycles/s and tile_cycles/s
-counters) improve upward; time metrics (ns) improve downward.
+Takes one or more baseline/current pairs and prints a single merged
+delta table covering every metric each pair shares.  When more than one
+pair is given, metric names are prefixed with the bench name so rows
+from different benches stay distinguishable.  Rate metrics (unit ends in
+"/s", e.g. the simulator's sim_cycles/s and the net layer's req/s)
+improve upward; time metrics (ns, ms) improve downward.
 
 Purely informational: always exits 0.  CI runners have wildly variable
 machines, so deltas here flag *suspicious* regressions for a human to
@@ -16,30 +19,41 @@ import json
 import sys
 
 
-def load_metrics(path):
+def load(path):
     with open(path) as f:
         doc = json.load(f)
-    return {m["name"]: m for m in doc.get("metrics", [])}
+    return doc.get("bench", path), {m["name"]: m for m in doc.get("metrics", [])}
 
 
 def main():
-    if len(sys.argv) != 3:
+    argv = sys.argv[1:]
+    if not argv or len(argv) % 2 != 0:
         print(__doc__)
         return 0
-    base = load_metrics(sys.argv[1])
-    cur = load_metrics(sys.argv[2])
-    shared = [n for n in base if n in cur]
-    if not shared:
-        print("no shared metrics between baseline and current run")
+    pairs = [(argv[i], argv[i + 1]) for i in range(0, len(argv), 2)]
+
+    # Collect rows across all pairs first so one table, one width.
+    rows = []  # (display name, baseline value, current value, unit)
+    for base_path, cur_path in pairs:
+        bench, base = load(base_path)
+        _, cur = load(cur_path)
+        shared = [n for n in base if n in cur]
+        if not shared:
+            print(f"no shared metrics between {base_path} and {cur_path}")
+            continue
+        for name in shared:
+            display = f"{bench}.{name}" if len(pairs) > 1 else name
+            rows.append((display, base[name]["value"], cur[name]["value"],
+                         base[name].get("unit", "")))
+    if not rows:
+        print("no shared metrics in any baseline/current pair")
         return 0
 
-    width = max(len(n) for n in shared)
+    width = max(len(r[0]) for r in rows)
     print(f"{'metric':<{width}}  {'baseline':>14}  {'current':>14}  delta")
     worst = None
-    for name in shared:
-        b, c = base[name]["value"], cur[name]["value"]
-        unit = base[name].get("unit", "")
-        if b == 0:
+    for name, b, c, unit in rows:
+        if b == 0 or c == 0:
             continue
         higher_is_better = unit.endswith("/s")
         ratio = c / b if higher_is_better else b / c

@@ -1,0 +1,18 @@
+// cgra/net.hpp — the public face of the TCP serving layer.
+//
+// The outermost layer of the stack: cgra::net::Server exposes a
+// cgra::service::Service over a versioned length-prefixed binary
+// protocol (JPEG block/image, FFT and DSE-sweep jobs plus ping, stats
+// and cancel), and cgra::net::Client is the matching blocking client
+// with reconnect-and-retry.  Loopback-only by default.
+//
+// Includes the service facade (and transitively apps + the simulation
+// core), so this single header is enough to build a network client or
+// stand up a server — see examples/serve_demo.cpp for the quickstart.
+#pragma once
+
+#include "cgra/service.hpp"
+
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"

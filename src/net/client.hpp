@@ -1,0 +1,101 @@
+// cgra::net::Client — blocking TCP client for the serving layer.
+//
+// One connection, requests paired to replies by the echoed request id.
+// call() is the simple path: send one job, block for its reply.  The
+// send()/receive() pair exposes pipelining (many requests in flight on
+// one connection, replies in request order) for load generators.
+//
+// Transient transport failures — connect refused/reset while the server
+// restarts, a broken pipe, a reply timeout — are retried with
+// exponential backoff after reconnecting, because every request type is
+// a pure function of its payload (the job-service determinism contract),
+// so resending is always safe.  Protocol-level errors (kError replies,
+// malformed responses) are never retried.
+//
+// Not thread-safe: one Client per thread (see bench_net_throughput).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/protocol.hpp"
+
+namespace cgra::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int connect_timeout_ms = 2000;
+  /// Reply wait bound per attempt; <= 0 waits forever.
+  int request_timeout_ms = 30000;
+  /// Transport retries after the first attempt (0 = fail fast).
+  int max_retries = 3;
+  int retry_backoff_ms = 50;     ///< First backoff; doubles per retry.
+  double backoff_factor = 2.0;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions opt);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect now (otherwise the first request connects lazily).  Applies
+  /// the retry policy.
+  [[nodiscard]] Status connect();
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Round-trip a ping.
+  [[nodiscard]] Status ping();
+
+  /// Submit one job and block for its result (with transport retries).
+  [[nodiscard]] Status call(const service::JobRequest& job, Response* out);
+
+  /// Fetch the server's merged stats samples (service.* + net.*).
+  [[nodiscard]] Status stats(std::vector<obs::MetricSample>* out);
+
+  /// Ask the server to cancel a job by its request id; `cancelled`
+  /// reports whether it was still cancellable.  Blocking: replies are
+  /// strictly in request order, so only use this when no other requests
+  /// are in flight on this connection (pipelined callers use
+  /// send_cancel() and pair the ack via receive()).
+  [[nodiscard]] Status cancel(std::uint64_t target_id, bool* cancelled);
+
+  // --- pipelining (no retries: callers manage the stream) ---
+
+  /// Fire a job request without waiting; returns the assigned id.
+  [[nodiscard]] Status send(const service::JobRequest& job,
+                            std::uint64_t* request_id);
+  /// Fire a cancel for `target_id` without waiting; the kCancelResult
+  /// ack arrives via receive() behind any earlier in-flight replies.
+  [[nodiscard]] Status send_cancel(std::uint64_t target_id,
+                                   std::uint64_t* request_id);
+  /// Read the next in-order reply.
+  [[nodiscard]] Status receive(Response* out);
+
+  /// Connect attempts made so far (tests assert the retry schedule).
+  [[nodiscard]] int connect_attempts() const noexcept {
+    return connect_attempts_;
+  }
+
+ private:
+  [[nodiscard]] Status connect_once();
+  [[nodiscard]] Status ensure_connected();
+  /// Send `frame` and wait for the reply matching `request_id`, applying
+  /// the retry policy on transport failures.
+  [[nodiscard]] Status roundtrip(const std::vector<std::uint8_t>& frame,
+                                 std::uint64_t request_id, Response* out);
+  [[nodiscard]] Status read_response(Response* out);
+
+  const ClientOptions opt_;
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  int connect_attempts_ = 0;
+};
+
+}  // namespace cgra::net

@@ -1,0 +1,421 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "net/socket_util.hpp"
+
+namespace cgra::net {
+
+namespace {
+
+/// Span track for network requests (service uses 3/4, tiles start at
+/// obs::kTrackTileBase).
+constexpr int kTrackNet = 5;
+
+}  // namespace
+
+/// Per-connection state.  The reader thread is the only producer of
+/// `replies`, the writer thread the only consumer; `mu` guards the queue,
+/// the in-flight count and the id -> handle map used by cancel.
+struct Server::Connection {
+  int fd = -1;
+  std::thread reader;
+  std::thread writer;
+
+  /// One reply slot, delivered strictly in request order.  Control and
+  /// error replies are pre-encoded (`ready`); job replies block the
+  /// writer on Service::wait(handle) when their turn comes.
+  struct Pending {
+    std::vector<std::uint8_t> ready;
+    service::JobHandle handle;
+    MsgType request_type = MsgType::kPing;
+    std::uint64_t request_id = 0;
+    Nanoseconds start_ns = 0;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Pending> replies;
+  std::unordered_map<std::uint64_t, service::JobHandle> active;
+  int inflight = 0;
+  bool reader_exited = false;
+  bool writer_exited = false;
+  bool broken = false;  ///< Writer hit a socket error; stop queueing.
+};
+
+Server::Server(service::Service* service, ServerOptions opt)
+    : service_(service),
+      opt_([&] {
+        ServerOptions o = opt;
+        o.max_connections = std::max(1, o.max_connections);
+        o.max_inflight_per_connection =
+            std::max(1, o.max_inflight_per_connection);
+        return o;
+      }()),
+      epoch_(std::chrono::steady_clock::now()) {
+  std::lock_guard<std::mutex> obs(obs_mu_);
+  accepted_ = metrics_.counter("net.connections.accepted");
+  refused_ = metrics_.counter("net.connections.refused");
+  closed_ = metrics_.counter("net.connections.closed");
+  requests_ = metrics_.counter("net.requests");
+  replies_ = metrics_.counter("net.replies");
+  errors_ = metrics_.counter("net.replies.error");
+  malformed_ = metrics_.counter("net.frames.malformed");
+  conn_backpressure_ = metrics_.counter("net.backpressure.connection");
+  service_backpressure_ = metrics_.counter("net.backpressure.service");
+  bytes_in_ = metrics_.counter("net.bytes.in");
+  bytes_out_ = metrics_.counter("net.bytes.out");
+  spans_.set_track_name(kTrackNet, "net requests");
+}
+
+Server::~Server() { stop(); }
+
+Nanoseconds Server::now_ns() const {
+  return static_cast<Nanoseconds>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Status Server::start() {
+  if (started_) return Status::error("server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::errorf("socket failed: %s", std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      opt_.loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  addr.sin_port = htons(opt_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const Status s = Status::errorf("bind to port %u failed: %s", opt_.port,
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const Status s = Status::errorf("listen failed: %s", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  started_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return Status();
+}
+
+void Server::stop() {
+  if (!started_) return;
+  if (!stopping_.exchange(true)) {
+    // Stop accepting; in-flight connections drain below.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (const auto& conn : conns) {
+    // Half-close: no more requests, pending replies still flush.
+    ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (const auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    ::close(conn->fd);
+    std::lock_guard<std::mutex> obs(obs_mu_);
+    metrics_.add(closed_);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+std::int64_t Server::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> obs(obs_mu_);
+  return metrics_.counter_value(name);
+}
+
+std::vector<obs::MetricSample> Server::metrics_samples() const {
+  std::lock_guard<std::mutex> obs(obs_mu_);
+  return metrics_.samples();
+}
+
+std::size_t Server::span_count() const {
+  std::lock_guard<std::mutex> obs(obs_mu_);
+  return spans_.spans().size();
+}
+
+void Server::reap_finished_connections() {
+  std::vector<std::shared_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      std::unique_lock<std::mutex> cl((*it)->mu);
+      const bool done = (*it)->reader_exited && (*it)->writer_exited;
+      cl.unlock();
+      if (done) {
+        finished.push_back(*it);
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& conn : finished) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    ::close(conn->fd);
+    std::lock_guard<std::mutex> obs(obs_mu_);
+    metrics_.add(closed_);
+  }
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed or broken
+    }
+    reap_finished_connections();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.size() >= static_cast<std::size_t>(opt_.max_connections)) {
+        ::close(fd);
+        std::lock_guard<std::mutex> obs(obs_mu_);
+        metrics_.add(refused_);
+        continue;
+      }
+    }
+    set_nodelay(fd);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> obs(obs_mu_);
+      metrics_.add(accepted_);
+    }
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    conn->writer = std::thread([this, conn] { writer_loop(conn); });
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+  const auto queue_reply = [&](Connection::Pending pending) {
+    bool notify = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->broken) {
+        conn->replies.push_back(std::move(pending));
+        notify = true;
+      }
+    }
+    if (notify) conn->cv.notify_one();
+  };
+  const auto queue_ready = [&](std::vector<std::uint8_t> bytes) {
+    Connection::Pending p;
+    p.ready = std::move(bytes);
+    queue_reply(std::move(p));
+  };
+  const auto queue_error = [&](std::uint64_t request_id,
+                               std::string_view message) {
+    {
+      std::lock_guard<std::mutex> obs(obs_mu_);
+      metrics_.add(errors_);
+    }
+    queue_ready(encode_error(request_id, message));
+  };
+
+  for (;;) {
+    Frame frame;
+    Status err;
+    const ReadOutcome outcome = read_frame(
+        conn->fd, opt_.idle_timeout_ms, &stopping_, &frame, &err);
+    if (outcome != ReadOutcome::kFrame) {
+      if (outcome == ReadOutcome::kError) {
+        // Framing errors desync the stream: report once, then close.
+        std::lock_guard<std::mutex> obs(obs_mu_);
+        metrics_.add(malformed_);
+      }
+      break;
+    }
+    const Nanoseconds start = now_ns();
+    {
+      std::lock_guard<std::mutex> obs(obs_mu_);
+      metrics_.add(requests_);
+      metrics_.add(bytes_in_, static_cast<std::int64_t>(
+                                  kHeaderSize + frame.payload.size()));
+    }
+    Request req;
+    const Status decoded = decode_request(frame, &req);
+    if (!decoded.ok()) {
+      // Valid frame, bad payload: recoverable — reply and keep reading.
+      queue_error(req.request_id, decoded.message());
+      continue;
+    }
+    switch (req.type) {
+      case MsgType::kPing:
+        queue_ready(encode_pong(req.request_id));
+        break;
+      case MsgType::kStats: {
+        // The service's counters plus our own net.* set, one flat list.
+        auto samples = service_->metrics_samples();
+        const auto mine = metrics_samples();
+        samples.insert(samples.end(), mine.begin(), mine.end());
+        queue_ready(encode_stats_result(req.request_id, samples));
+        break;
+      }
+      case MsgType::kCancel: {
+        service::JobHandle target;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          const auto it = conn->active.find(req.cancel_target);
+          if (it != conn->active.end()) target = it->second;
+        }
+        const bool cancelled =
+            target != nullptr && service_->cancel(target);
+        queue_ready(encode_cancel_result(req.request_id, req.cancel_target,
+                                         cancelled));
+        break;
+      }
+      default: {  // job request
+        bool over_cap = false;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          over_cap = conn->inflight >= opt_.max_inflight_per_connection;
+        }
+        if (over_cap) {
+          {
+            std::lock_guard<std::mutex> obs(obs_mu_);
+            metrics_.add(conn_backpressure_);
+          }
+          queue_error(req.request_id,
+                      "connection in-flight limit reached; drain replies "
+                      "before sending more jobs");
+          break;
+        }
+        auto submit = service_->submit(std::move(req.job));
+        if (!submit.accepted()) {
+          {
+            std::lock_guard<std::mutex> obs(obs_mu_);
+            metrics_.add(service_backpressure_);
+          }
+          queue_error(req.request_id, submit.status.message());
+          break;
+        }
+        Connection::Pending p;
+        p.handle = submit.handle;
+        p.request_type = req.type;
+        p.request_id = req.request_id;
+        p.start_ns = start;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          ++conn->inflight;
+          conn->active[req.request_id] = submit.handle;
+        }
+        queue_reply(std::move(p));
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->reader_exited = true;
+  }
+  conn->cv.notify_all();
+}
+
+void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Connection::Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv.wait(lock, [&] {
+        return !conn->replies.empty() || conn->reader_exited;
+      });
+      if (conn->replies.empty()) break;  // reader gone, queue drained
+      pending = std::move(conn->replies.front());
+      conn->replies.pop_front();
+    }
+    std::vector<std::uint8_t> bytes;
+    if (!pending.ready.empty()) {
+      bytes = std::move(pending.ready);
+    } else {
+      // Job reply: block until the service finishes it, then encode.
+      const auto result = service_->wait(pending.handle);
+      Request req;
+      req.type = pending.request_type;
+      req.request_id = pending.request_id;
+      const Status enc = encode_job_result(req, result, &bytes);
+      if (!enc.ok()) bytes = encode_error(pending.request_id, enc.message());
+      {
+        std::lock_guard<std::mutex> obs(obs_mu_);
+        if (!result.status.ok()) metrics_.add(errors_);
+        spans_.complete(
+            "req " + std::to_string(pending.request_id),
+            "net.request", kTrackNet, pending.start_ns,
+            now_ns() - pending.start_ns,
+            {{"type", msg_type_name(pending.request_type), false}});
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        --conn->inflight;
+        conn->active.erase(pending.request_id);
+      }
+    }
+    const Status written = write_all(conn->fd, bytes);
+    if (!written.ok()) {
+      // Peer is gone: wake the reader (it may be blocked in poll on a
+      // half-dead socket) and stop delivering.  In-flight jobs keep
+      // running in the service; their results are simply dropped.
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->broken = true;
+        conn->replies.clear();
+        conn->active.clear();
+      }
+      ::shutdown(conn->fd, SHUT_RDWR);
+      break;
+    }
+    std::lock_guard<std::mutex> obs(obs_mu_);
+    metrics_.add(replies_);
+    metrics_.add(bytes_out_, static_cast<std::int64_t>(bytes.size()));
+  }
+  // The writer is always the last side with bytes to deliver: once it is
+  // done (reader gone + queue drained, or the socket broke), signal EOF
+  // to the peer.  The fd itself is closed by reap/stop.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->writer_exited = true;
+  }
+  conn->cv.notify_all();
+}
+
+}  // namespace cgra::net

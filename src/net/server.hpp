@@ -1,0 +1,119 @@
+// cgra::net::Server — the TCP front-end over cgra::service::Service.
+//
+// One acceptor thread plus a reader/writer thread pair per connection:
+//
+//   reader  — frames requests off the socket, answers control frames
+//             (ping/stats/cancel) and submits job frames to the service;
+//   writer  — delivers replies strictly in request order, blocking on
+//             Service::wait() for job results (HTTP/1.1-style pipelining:
+//             a connection may have many requests in flight, replies are
+//             paired by order AND by the echoed request id).
+//
+// Backpressure is surfaced, never dropped: a connection that exceeds its
+// in-flight cap, or a submit the service rejects (queue saturation),
+// comes back as a kError reply carrying the Status message, and the
+// connection keeps working.  Malformed framing (bad magic/version/
+// oversized length) desyncs the byte stream, so those close the
+// connection; malformed payloads inside valid frames get kError replies.
+//
+// Shutdown is drain-then-close: stop() closes the listener, half-closes
+// every connection for reading, lets writers flush all pending replies
+// (in-flight jobs complete), then closes.  The Service must outlive the
+// Server.  Loopback-only by default (ServerOptions::loopback_only).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "service/service.hpp"
+
+namespace cgra::net {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 = pick an ephemeral port (see port()).
+  bool loopback_only = true;           ///< Bind 127.0.0.1, not 0.0.0.0.
+  int max_connections = 64;            ///< Accepted sockets beyond it close.
+  int max_inflight_per_connection = 32;  ///< Job frames awaiting replies.
+  /// Close a connection idle (no frame started) for this long; <= 0 waits
+  /// forever.
+  int idle_timeout_ms = 60000;
+};
+
+class Server {
+ public:
+  /// `service` must outlive the server.
+  explicit Server(service::Service* service, ServerOptions opt = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and start the acceptor.  Fails on bind/listen errors
+  /// (e.g. port in use).
+  [[nodiscard]] Status start();
+
+  /// Graceful drain-then-shutdown; idempotent, called by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return started_ && !stopping_.load(std::memory_order_relaxed);
+  }
+
+  /// The bound port (resolves option port 0 after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Server-side counters (net.*) and per-request spans.
+  [[nodiscard]] std::int64_t counter(std::string_view name) const;
+  [[nodiscard]] std::vector<obs::MetricSample> metrics_samples() const;
+  [[nodiscard]] std::size_t span_count() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void writer_loop(const std::shared_ptr<Connection>& conn);
+  void reap_finished_connections();
+
+  [[nodiscard]] Nanoseconds now_ns() const;
+
+  service::Service* const service_;
+  const ServerOptions opt_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  mutable std::mutex obs_mu_;
+  obs::MetricsRegistry metrics_;
+  obs::SpanTimeline spans_;
+  obs::CounterHandle accepted_;
+  obs::CounterHandle refused_;
+  obs::CounterHandle closed_;
+  obs::CounterHandle requests_;
+  obs::CounterHandle replies_;
+  obs::CounterHandle errors_;
+  obs::CounterHandle malformed_;
+  obs::CounterHandle conn_backpressure_;
+  obs::CounterHandle service_backpressure_;
+  obs::CounterHandle bytes_in_;
+  obs::CounterHandle bytes_out_;
+};
+
+}  // namespace cgra::net

@@ -1,0 +1,125 @@
+#include "net/socket_util.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace cgra::net {
+
+namespace {
+
+/// Poll slice so a blocking wait notices the stop flag promptly.
+constexpr int kPollSliceMs = 50;
+
+/// Once a header arrived, the rest of the frame must follow within this
+/// budget — a peer that stalls mid-frame is broken, not idle.
+constexpr int kBodyTimeoutMs = 10000;
+
+}  // namespace
+
+int wait_readable(int fd, int timeout_ms, const std::atomic<bool>* stop) {
+  int waited = 0;
+  for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return -1;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    int slice = kPollSliceMs;
+    if (timeout_ms > 0) slice = std::min(slice, timeout_ms - waited);
+    const int rc = ::poll(&pfd, 1, slice);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (rc > 0) return 1;
+    waited += slice;
+    if (timeout_ms > 0 && waited >= timeout_ms) return 0;
+  }
+}
+
+namespace {
+
+/// Read exactly `size` bytes; the idle timeout applies only when
+/// `first_byte_idle` (i.e. between frames).
+ReadOutcome read_exact(int fd, std::uint8_t* data, std::size_t size,
+                       int idle_timeout_ms, const std::atomic<bool>* stop,
+                       bool first_byte_idle, Status* error) {
+  std::size_t got = 0;
+  while (got < size) {
+    const int timeout =
+        (got == 0 && first_byte_idle) ? idle_timeout_ms : kBodyTimeoutMs;
+    const int rc = wait_readable(fd, timeout, stop);
+    if (rc == 0) {
+      if (got == 0 && first_byte_idle) return ReadOutcome::kTimeout;
+      *error = Status::error("peer stalled mid-frame");
+      return ReadOutcome::kError;
+    }
+    if (rc < 0) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        return ReadOutcome::kStopped;
+      }
+      *error = Status::errorf("poll failed: %s", std::strerror(errno));
+      return ReadOutcome::kError;
+    }
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n == 0) {
+      if (got == 0 && first_byte_idle) return ReadOutcome::kClosed;
+      *error = Status::error("peer closed mid-frame");
+      return ReadOutcome::kError;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      *error = Status::errorf("recv failed: %s", std::strerror(errno));
+      return ReadOutcome::kError;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return ReadOutcome::kFrame;
+}
+
+}  // namespace
+
+ReadOutcome read_frame(int fd, int idle_timeout_ms,
+                       const std::atomic<bool>* stop, Frame* out,
+                       Status* error) {
+  std::uint8_t header[kHeaderSize];
+  const ReadOutcome head = read_exact(fd, header, kHeaderSize,
+                                      idle_timeout_ms, stop, true, error);
+  if (head != ReadOutcome::kFrame) return head;
+  const Status parsed = decode_header(header, &out->header);
+  if (!parsed.ok()) {
+    *error = parsed;
+    return ReadOutcome::kError;
+  }
+  out->payload.assign(out->header.payload_len, 0);
+  if (out->header.payload_len == 0) return ReadOutcome::kFrame;
+  return read_exact(fd, out->payload.data(), out->payload.size(),
+                    idle_timeout_ms, stop, false, error);
+}
+
+Status write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::errorf("send failed: %s", std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace cgra::net

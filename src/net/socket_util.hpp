@@ -1,0 +1,48 @@
+// Internal POSIX socket helpers shared by the server and the client.
+// Not part of the public facade (cgra/net.hpp exports protocol/server/
+// client only); everything here is blocking-with-poll so callers get
+// timeouts and stop-flag checks without nonblocking state machines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/protocol.hpp"
+
+namespace cgra::net {
+
+/// Outcome of a frame read beyond ok/error: who ended it.
+enum class ReadOutcome {
+  kFrame,     ///< A full frame was read.
+  kClosed,    ///< Clean EOF from the peer.
+  kTimeout,   ///< Idle timeout expired with no header byte.
+  kStopped,   ///< The stop flag was raised mid-wait.
+  kError,     ///< Socket or framing error (see the Status).
+};
+
+/// Wait until `fd` is readable, `timeout_ms` expires (<= 0 waits forever)
+/// or `stop` (nullable) goes true.  Returns 1 readable / 0 timeout /
+/// -1 stopped or error.
+int wait_readable(int fd, int timeout_ms, const std::atomic<bool>* stop);
+
+/// Read one length-prefixed frame.  `idle_timeout_ms` applies to the wait
+/// for the FIRST header byte; once a frame is underway, a fixed body
+/// timeout guards against stalled peers.
+ReadOutcome read_frame(int fd, int idle_timeout_ms,
+                       const std::atomic<bool>* stop, Frame* out,
+                       Status* error);
+
+/// Write the whole buffer (handles short writes, ignores SIGPIPE).
+Status write_all(int fd, const std::uint8_t* data, std::size_t size);
+
+inline Status write_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  return write_all(fd, bytes.data(), bytes.size());
+}
+
+/// Disable Nagle: the protocol is request/response with small frames, so
+/// coalescing delays round trips for nothing.
+void set_nodelay(int fd);
+
+}  // namespace cgra::net

@@ -212,6 +212,11 @@ std::int64_t Service::counter(std::string_view name) const {
   return metrics_.counter_value(name);
 }
 
+std::vector<obs::MetricSample> Service::metrics_samples() const {
+  std::lock_guard<std::mutex> obs(obs_mu_);
+  return metrics_.samples();
+}
+
 void Service::finish(const JobHandle& job, JobResult result) {
   const bool ok = result.status.ok();
   // Counters first: a caller that observed wait() return must also

@@ -110,6 +110,10 @@ class Service {
   /// Counter convenience (by full metric name, e.g. "cache.hit").
   [[nodiscard]] std::int64_t counter(std::string_view name) const;
 
+  /// Thread-safe snapshot of every counter and gauge (service.*, cache.*,
+  /// pool.*) — the stats hook the network layer serves to remote clients.
+  [[nodiscard]] std::vector<obs::MetricSample> metrics_samples() const;
+
  private:
   void worker_loop();
   /// Pop the next runnable job plus every same-batch-key follower (up to
