@@ -1,0 +1,3 @@
+// Standalone-compile check for the cgra/chaos.hpp umbrella header: it
+// must build as the only include of a TU (no hidden include-order deps).
+#include "cgra/chaos.hpp"

@@ -24,6 +24,17 @@ Status Status::errorf(const char* fmt, ...) {
   return error(std::move(message));
 }
 
+const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kError: return "error";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kUnknownOutcome: return "unknown-outcome";
+  }
+  return "unknown";
+}
+
 const char* fault_kind_name(FaultKind kind) noexcept {
   switch (kind) {
     case FaultKind::kNone: return "none";

@@ -5,11 +5,30 @@
 // interpreter records a Fault and halts, and offline tools return Status.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
 
 namespace cgra {
+
+/// Coarse classification of a failure, preserved across the wire so a
+/// remote caller can react without parsing the message.  kError is the
+/// generic class every plain Status::error falls into; the rest exist
+/// because the serving stack handles them differently (fail fast, give
+/// up on a deadline, or — crucially — *not* retry when the outcome of a
+/// sent request is unknowable).
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kError = 1,             ///< Generic failure (bad request, execution fault).
+  kUnavailable = 2,       ///< Backpressure / circuit open: safe to retry later.
+  kDeadlineExceeded = 3,  ///< The caller's deadline passed; work was shed.
+  kUnknownOutcome = 4,    ///< Request may or may not have executed; a blind
+                          ///< retry could double-execute it.
+};
+
+/// Human-readable status-code name.
+const char* status_code_name(StatusCode code) noexcept;
 
 /// Result of an offline operation (assembly, configuration loading, ...).
 class Status {
@@ -28,7 +47,27 @@ class Status {
   /// idiom every diagnostic call site uses, so messages stay greppable.
   [[gnu::format(printf, 1, 2)]] static Status errorf(const char* fmt, ...);
 
+  /// Failure with an explicit classification (see StatusCode).
+  static Status coded(StatusCode code, std::string message) {
+    Status s = error(std::move(message));
+    s.code_ = code == StatusCode::kOk ? StatusCode::kError : code;
+    return s;
+  }
+
+  static Status unavailable(std::string message) {
+    return coded(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status deadline_exceeded(std::string message) {
+    return coded(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status unknown_outcome(std::string message) {
+    return coded(StatusCode::kUnknownOutcome, std::move(message));
+  }
+
   [[nodiscard]] bool ok() const noexcept { return !message_.has_value(); }
+  [[nodiscard]] StatusCode code() const noexcept {
+    return ok() ? StatusCode::kOk : code_;
+  }
   [[nodiscard]] const std::string& message() const noexcept {
     static const std::string kOk = "ok";
     return message_ ? *message_ : kOk;
@@ -38,6 +77,7 @@ class Status {
 
  private:
   std::optional<std::string> message_;
+  StatusCode code_ = StatusCode::kError;  ///< Meaningful only when !ok().
 };
 
 /// Runtime fault classes the tile interpreter, the reconfiguration

@@ -32,6 +32,11 @@ void Client::close() {
 Status Client::connect_once() {
   close();
   ++connect_attempts_;
+  if (const auto d = chaos::decide(opt_.chaos, chaos::Hook::kClientConnect);
+      d && d.action == chaos::Action::kFail) {
+    return Status::errorf("injected connect failure to %s:%u",
+                          opt_.host.c_str(), opt_.port);
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::errorf("socket failed: %s", std::strerror(errno));
@@ -119,12 +124,45 @@ Status Client::read_response(Response* out) {
   return decode_response(frame, out);
 }
 
+Status Client::breaker_gate() {
+  if (opt_.breaker_threshold <= 0) return Status();
+  if (breaker_ == BreakerState::kOpen) {
+    if (std::chrono::steady_clock::now() < breaker_open_until_) {
+      return Status::unavailable("circuit breaker open");
+    }
+    breaker_ = BreakerState::kHalfOpen;  // cooldown passed: one probe
+  }
+  return Status();
+}
+
+void Client::breaker_success() {
+  breaker_ = BreakerState::kClosed;
+  breaker_failures_ = 0;
+}
+
+void Client::breaker_failure() {
+  if (opt_.breaker_threshold <= 0) return;
+  ++breaker_failures_;
+  if (breaker_ == BreakerState::kHalfOpen ||
+      breaker_failures_ >= opt_.breaker_threshold) {
+    breaker_ = BreakerState::kOpen;
+    breaker_open_until_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(std::max(1, opt_.breaker_cooldown_ms));
+  }
+}
+
 Status Client::roundtrip(const std::vector<std::uint8_t>& frame,
-                         std::uint64_t request_id, Response* out) {
+                         std::uint64_t request_id, bool idempotent,
+                         Response* out) {
+  if (Status gate = breaker_gate(); !gate.ok()) return gate;
   Status last;
+  bool maybe_sent = false;  ///< A write was attempted; the server may have
+                            ///< received (and started executing) the request.
   int backoff = opt_.retry_backoff_ms;
   for (int attempt = 0; attempt <= opt_.max_retries; ++attempt) {
     if (attempt > 0) {
+      if (maybe_sent && !idempotent) break;  // resend could double-execute
       // A failed attempt leaves the stream in an unknown state (a reply
       // may be half-delivered), so retries always reconnect first.
       close();
@@ -133,8 +171,25 @@ Status Client::roundtrip(const std::vector<std::uint8_t>& frame,
     }
     last = ensure_connected();
     if (!last.ok()) continue;
-    last = write_all(fd_, frame);
+    const std::vector<std::uint8_t>* to_send = &frame;
+    std::vector<std::uint8_t> mutated;
+    if (const auto d = chaos::decide(opt_.chaos, chaos::Hook::kClientFrame)) {
+      if (d.action == chaos::Action::kDelay) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(d.a));
+      } else {
+        mutated = frame;
+        if (chaos::mutate_frame(d, &mutated)) to_send = &mutated;
+      }
+    }
+    maybe_sent = true;
+    last = write_all(fd_, *to_send);
     if (!last.ok()) continue;
+    if (const auto d = chaos::decide(opt_.chaos, chaos::Hook::kClientRecv);
+        d && d.action == chaos::Action::kReset) {
+      close();
+      last = Status::error("injected receive reset");
+      continue;
+    }
     last = read_response(out);
     if (!last.ok()) continue;
     if (out->request_id != request_id) {
@@ -145,16 +200,24 @@ Status Client::roundtrip(const std::vector<std::uint8_t>& frame,
                             static_cast<unsigned long long>(request_id));
       continue;
     }
+    breaker_success();
     return Status();
   }
   close();
+  breaker_failure();
+  if (maybe_sent && !idempotent) {
+    return Status::unknown_outcome(
+        "request may have been executed (no idempotency id, so not "
+        "retried): " +
+        last.message());
+  }
   return last;
 }
 
 Status Client::ping() {
   const std::uint64_t id = next_id_++;
   Response resp;
-  const Status s = roundtrip(encode_ping(id), id, &resp);
+  const Status s = roundtrip(encode_ping(id), id, /*idempotent=*/true, &resp);
   if (!s.ok()) return s;
   if (resp.type != MsgType::kPong) {
     return Status::errorf("expected pong, got %s", msg_type_name(resp.type));
@@ -162,18 +225,22 @@ Status Client::ping() {
   return Status();
 }
 
-Status Client::call(const service::JobRequest& job, Response* out) {
+Status Client::call(const service::JobRequest& job, Response* out,
+                    const CallOptions& options) {
   const std::uint64_t id = next_id_++;
   std::vector<std::uint8_t> frame;
-  const Status enc = encode_job_request(id, job, &frame);
+  JobFrameOptions wire;
+  wire.deadline_ms = options.deadline_ms;
+  wire.idempotency_id = options.idempotency_id;
+  const Status enc = encode_job_request(id, job, &frame, wire);
   if (!enc.ok()) return enc;
-  return roundtrip(frame, id, out);
+  return roundtrip(frame, id, options.idempotency_id != 0, out);
 }
 
 Status Client::stats(std::vector<obs::MetricSample>* out) {
   const std::uint64_t id = next_id_++;
   Response resp;
-  const Status s = roundtrip(encode_stats(id), id, &resp);
+  const Status s = roundtrip(encode_stats(id), id, /*idempotent=*/true, &resp);
   if (!s.ok()) return s;
   if (resp.type != MsgType::kStatsResult) {
     return Status::errorf("expected stats result, got %s",
@@ -183,10 +250,26 @@ Status Client::stats(std::vector<obs::MetricSample>* out) {
   return Status();
 }
 
+Status Client::health(HealthInfo* out) {
+  const std::uint64_t id = next_id_++;
+  Response resp;
+  const Status s =
+      roundtrip(encode_health(id), id, /*idempotent=*/true, &resp);
+  if (!s.ok()) return s;
+  if (resp.type != MsgType::kHealthResult) {
+    return Status::errorf("expected health result, got %s",
+                          msg_type_name(resp.type));
+  }
+  *out = resp.health;
+  return Status();
+}
+
 Status Client::cancel(std::uint64_t target_id, bool* cancelled) {
   const std::uint64_t id = next_id_++;
   Response resp;
-  const Status s = roundtrip(encode_cancel(id, target_id), id, &resp);
+  // Cancelling twice acks the same way, so post-send retries are safe.
+  const Status s = roundtrip(encode_cancel(id, target_id), id,
+                             /*idempotent=*/true, &resp);
   if (!s.ok()) return s;
   if (resp.type != MsgType::kCancelResult) {
     return Status::errorf("expected cancel result, got %s",
@@ -196,14 +279,24 @@ Status Client::cancel(std::uint64_t target_id, bool* cancelled) {
   return Status();
 }
 
-Status Client::send(const service::JobRequest& job,
-                    std::uint64_t* request_id) {
+Status Client::send(const service::JobRequest& job, std::uint64_t* request_id,
+                    const CallOptions& options) {
   const Status conn = ensure_connected();
   if (!conn.ok()) return conn;
   const std::uint64_t id = next_id_++;
   std::vector<std::uint8_t> frame;
-  const Status enc = encode_job_request(id, job, &frame);
+  JobFrameOptions wire;
+  wire.deadline_ms = options.deadline_ms;
+  wire.idempotency_id = options.idempotency_id;
+  const Status enc = encode_job_request(id, job, &frame, wire);
   if (!enc.ok()) return enc;
+  if (const auto d = chaos::decide(opt_.chaos, chaos::Hook::kClientFrame)) {
+    if (d.action == chaos::Action::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(d.a));
+    } else {
+      chaos::mutate_frame(d, &frame);
+    }
+  }
   const Status sent = write_all(fd_, frame);
   if (!sent.ok()) {
     close();

@@ -7,18 +7,29 @@
 //
 // Transient transport failures — connect refused/reset while the server
 // restarts, a broken pipe, a reply timeout — are retried with
-// exponential backoff after reconnecting, because every request type is
-// a pure function of its payload (the job-service determinism contract),
-// so resending is always safe.  Protocol-level errors (kError replies,
+// exponential backoff after reconnecting.  Retry safety is explicit
+// about WHEN the failure happened: before the request bytes were
+// written, any request retries; after they may have been sent, only
+// requests carrying an idempotency id (the server deduplicates them) are
+// resent — anything else returns kUnknownOutcome, because a blind resend
+// could double-execute it.  Protocol-level errors (kError replies,
 // malformed responses) are never retried.
+//
+// On top of the per-call backoff sits an optional circuit breaker:
+// after `breaker_threshold` consecutive whole-call transport failures
+// the client fails fast with kUnavailable for `breaker_cooldown_ms`,
+// then lets exactly one probe through (half-open); a probe success
+// closes the breaker, a failure reopens it.
 //
 // Not thread-safe: one Client per thread (see bench_net_throughput).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "common/status.hpp"
 #include "net/protocol.hpp"
 
@@ -34,6 +45,23 @@ struct ClientOptions {
   int max_retries = 3;
   int retry_backoff_ms = 50;     ///< First backoff; doubles per retry.
   double backoff_factor = 2.0;
+  /// Consecutive whole-call transport failures that open the circuit
+  /// breaker; 0 disables it.
+  int breaker_threshold = 0;
+  int breaker_cooldown_ms = 1000;  ///< Open-state fail-fast window.
+  /// Chaos injector for the client-side hooks (kClientConnect,
+  /// kClientFrame, kClientRecv); not owned, must outlive the client.
+  chaos::ChaosInjector* chaos = nullptr;
+};
+
+/// Per-call robustness options (wire fields of protocol v2 job frames).
+struct CallOptions {
+  /// Milliseconds the caller will wait; propagated end to end and
+  /// enforced by the server at queue admission and epoch boundaries.
+  std::uint32_t deadline_ms = 0;
+  /// Non-zero marks the request idempotent: the server deduplicates
+  /// repeats of the same id, so post-send retries are safe.
+  std::uint64_t idempotency_id = 0;
 };
 
 class Client {
@@ -53,11 +81,17 @@ class Client {
   /// Round-trip a ping.
   [[nodiscard]] Status ping();
 
-  /// Submit one job and block for its result (with transport retries).
-  [[nodiscard]] Status call(const service::JobRequest& job, Response* out);
+  /// Submit one job and block for its result (with transport retries —
+  /// post-send retries only when `options.idempotency_id` is set; a
+  /// possibly-sent non-idempotent request fails with kUnknownOutcome).
+  [[nodiscard]] Status call(const service::JobRequest& job, Response* out,
+                            const CallOptions& options = {});
 
   /// Fetch the server's merged stats samples (service.* + net.*).
   [[nodiscard]] Status stats(std::vector<obs::MetricSample>* out);
+
+  /// Fetch the server's readiness snapshot.
+  [[nodiscard]] Status health(HealthInfo* out);
 
   /// Ask the server to cancel a job by its request id; `cancelled`
   /// reports whether it was still cancellable.  Blocking: replies are
@@ -70,7 +104,8 @@ class Client {
 
   /// Fire a job request without waiting; returns the assigned id.
   [[nodiscard]] Status send(const service::JobRequest& job,
-                            std::uint64_t* request_id);
+                            std::uint64_t* request_id,
+                            const CallOptions& options = {});
   /// Fire a cancel for `target_id` without waiting; the kCancelResult
   /// ack arrives via receive() behind any earlier in-flight replies.
   [[nodiscard]] Status send_cancel(std::uint64_t target_id,
@@ -83,19 +118,37 @@ class Client {
     return connect_attempts_;
   }
 
+  /// True while the circuit breaker is failing calls fast.
+  [[nodiscard]] bool breaker_open() const noexcept {
+    return breaker_ == BreakerState::kOpen;
+  }
+
  private:
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
   [[nodiscard]] Status connect_once();
   [[nodiscard]] Status ensure_connected();
   /// Send `frame` and wait for the reply matching `request_id`, applying
-  /// the retry policy on transport failures.
+  /// the retry policy on transport failures.  `idempotent` gates
+  /// post-send retries (see the file comment).
   [[nodiscard]] Status roundtrip(const std::vector<std::uint8_t>& frame,
-                                 std::uint64_t request_id, Response* out);
+                                 std::uint64_t request_id, bool idempotent,
+                                 Response* out);
   [[nodiscard]] Status read_response(Response* out);
+
+  /// Fail fast while the breaker is open; arm the half-open probe once
+  /// the cooldown has passed.
+  [[nodiscard]] Status breaker_gate();
+  void breaker_success();
+  void breaker_failure();
 
   const ClientOptions opt_;
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
   int connect_attempts_ = 0;
+  BreakerState breaker_ = BreakerState::kClosed;
+  int breaker_failures_ = 0;
+  std::chrono::steady_clock::time_point breaker_open_until_{};
 };
 
 }  // namespace cgra::net

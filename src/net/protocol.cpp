@@ -371,6 +371,7 @@ const char* msg_type_name(MsgType type) noexcept {
     case MsgType::kDseSweep: return "dse.sweep";
     case MsgType::kStats: return "stats";
     case MsgType::kCancel: return "cancel";
+    case MsgType::kHealth: return "health";
     case MsgType::kPong: return "pong";
     case MsgType::kJpegBlockResult: return "jpeg.block.result";
     case MsgType::kJpegImageResult: return "jpeg.image.result";
@@ -379,6 +380,7 @@ const char* msg_type_name(MsgType type) noexcept {
     case MsgType::kStatsResult: return "stats.result";
     case MsgType::kCancelResult: return "cancel.result";
     case MsgType::kError: return "error";
+    case MsgType::kHealthResult: return "health.result";
   }
   return "?";
 }
@@ -392,6 +394,7 @@ bool msg_type_is_request(MsgType type) noexcept {
     case MsgType::kDseSweep:
     case MsgType::kStats:
     case MsgType::kCancel:
+    case MsgType::kHealth:
       return true;
     default:
       return false;
@@ -470,6 +473,10 @@ std::vector<std::uint8_t> encode_stats(std::uint64_t request_id) {
   return control_frame(MsgType::kStats, request_id);
 }
 
+std::vector<std::uint8_t> encode_health(std::uint64_t request_id) {
+  return control_frame(MsgType::kHealth, request_id);
+}
+
 std::vector<std::uint8_t> encode_pong(std::uint64_t request_id) {
   return control_frame(MsgType::kPong, request_id);
 }
@@ -484,12 +491,28 @@ std::vector<std::uint8_t> encode_cancel(std::uint64_t request_id,
 }
 
 std::vector<std::uint8_t> encode_error(std::uint64_t request_id,
-                                       std::string_view message) {
+                                       std::string_view message,
+                                       StatusCode code) {
   auto buf = begin_frame();
   Writer w(&buf);
   w.u64(request_id);
+  w.u8(static_cast<std::uint8_t>(code == StatusCode::kOk ? StatusCode::kError
+                                                         : code));
   w.str(message.substr(0, kMaxStringBytes));
   return seal(MsgType::kError, std::move(buf));
+}
+
+std::vector<std::uint8_t> encode_health_result(std::uint64_t request_id,
+                                               const HealthInfo& health) {
+  auto buf = begin_frame();
+  Writer w(&buf);
+  w.u64(request_id);
+  w.boolean(health.accepting);
+  w.u32(health.queue_depth);
+  w.u32(health.queue_capacity);
+  w.u32(health.workers);
+  w.u32(health.connections);
+  return seal(MsgType::kHealthResult, std::move(buf));
 }
 
 std::vector<std::uint8_t> encode_cancel_result(std::uint64_t request_id,
@@ -523,10 +546,13 @@ std::vector<std::uint8_t> encode_stats_result(
 
 Status encode_job_request(std::uint64_t request_id,
                           const service::JobRequest& job,
-                          std::vector<std::uint8_t>* out) {
+                          std::vector<std::uint8_t>* out,
+                          const JobFrameOptions& options) {
   auto buf = begin_frame();
   Writer w(&buf);
   w.u64(request_id);
+  w.u32(options.deadline_ms);
+  w.u64(options.idempotency_id);
   MsgType type;
   switch (job.index()) {
     case 0: {
@@ -598,7 +624,8 @@ Status encode_job_result(const Request& request,
                          const service::JobResult& result,
                          std::vector<std::uint8_t>* out) {
   if (!result.status.ok()) {
-    *out = encode_error(request.request_id, result.status.message());
+    *out = encode_error(request.request_id, result.status.message(),
+                        result.status.code());
     return Status();
   }
   auto buf = begin_frame();
@@ -670,10 +697,16 @@ Status decode_request(const Frame& frame, Request* out) {
   Reader r(frame.payload);
   out->type = frame.header.type;
   out->request_id = r.u64();
+  out->options = JobFrameOptions{};
   out->cancel_target = 0;
+  if (msg_type_is_job(frame.header.type)) {
+    out->options.deadline_ms = r.u32();
+    out->options.idempotency_id = r.u64();
+  }
   switch (frame.header.type) {
     case MsgType::kPing:
     case MsgType::kStats:
+    case MsgType::kHealth:
       break;
     case MsgType::kCancel:
       out->cancel_target = r.u64();
@@ -742,13 +775,30 @@ Status decode_response(const Frame& frame, Response* out) {
   out->stats.clear();
   out->cancel_target = 0;
   out->cancelled = false;
+  out->health = HealthInfo{};
   switch (frame.header.type) {
     case MsgType::kPong:
       out->result.status = Status();
       break;
+    case MsgType::kHealthResult:
+      out->health.accepting = r.boolean();
+      out->health.queue_depth = r.u32();
+      out->health.queue_capacity = r.u32();
+      out->health.workers = r.u32();
+      out->health.connections = r.u32();
+      out->result.status = Status();
+      break;
     case MsgType::kError: {
+      const std::uint8_t raw_code = r.u8();
+      if (raw_code > static_cast<std::uint8_t>(StatusCode::kUnknownOutcome) ||
+          raw_code == static_cast<std::uint8_t>(StatusCode::kOk)) {
+        return Status::errorf("invalid error status code %u", raw_code);
+      }
       const std::string message = r.str();
-      if (r.ok()) out->result.status = Status::error(message);
+      if (r.ok()) {
+        out->result.status =
+            Status::coded(static_cast<StatusCode>(raw_code), message);
+      }
       break;
     }
     case MsgType::kCancelResult:

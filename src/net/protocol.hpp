@@ -15,6 +15,14 @@
 // echoed verbatim in the matching response, so a connection can pipeline
 // requests and still pair replies (replies arrive in request order).
 //
+// Version 2 adds the robustness fields: job request payloads carry a
+// u32 deadline (milliseconds the client is willing to wait; 0 = none)
+// and a u64 idempotency id (0 = none) right after the request id, kError
+// payloads lead with a StatusCode byte so clients can distinguish
+// "unavailable, retry later" from "deadline exceeded" without string
+// matching, and kHealth/kHealthResult report server readiness for
+// load-shed-aware clients.
+//
 // Request payloads mirror cgra::service::JobRequest — JPEG block (plain
 // or resilient, fault plan and recovery policy travel in the frame),
 // whole image, FFT and DSE sweep — plus ping, stats and cancel control
@@ -47,7 +55,7 @@
 namespace cgra::net {
 
 inline constexpr std::uint32_t kMagic = 0x43475241u;
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
 inline constexpr std::size_t kHeaderSize = 12;
 /// Hard bound on a frame payload; frames claiming more are rejected
 /// before any allocation happens.
@@ -72,6 +80,7 @@ enum class MsgType : std::uint8_t {
   kDseSweep = 5,
   kStats = 6,
   kCancel = 7,
+  kHealth = 9,  // 8 is skipped so the response slot 72 stays kError's.
 
   kPong = 65,
   kJpegBlockResult = 66,
@@ -81,6 +90,7 @@ enum class MsgType : std::uint8_t {
   kStatsResult = 70,
   kCancelResult = 71,
   kError = 72,
+  kHealthResult = 73,
 };
 
 inline constexpr std::uint8_t kResponseOffset = 64;
@@ -114,10 +124,18 @@ struct Frame {
 
 // --- request / response value types -------------------------------------
 
+/// Per-request robustness fields carried on job frames (v2).
+struct JobFrameOptions {
+  std::uint32_t deadline_ms = 0;     ///< 0 = no deadline.
+  std::uint64_t idempotency_id = 0;  ///< 0 = not idempotent (never retried
+                                     ///< after the frame may have been sent).
+};
+
 /// Server-side view of any request frame.
 struct Request {
   MsgType type = MsgType::kPing;
   std::uint64_t request_id = 0;
+  JobFrameOptions options;          ///< Valid iff msg_type_is_job(type).
   service::JobRequest job;          ///< Valid iff msg_type_is_job(type).
   std::uint64_t cancel_target = 0;  ///< Valid for kCancel.
 };
@@ -132,6 +150,16 @@ struct DseWirePoint {
   bool needs_reconfig = false;
 };
 
+/// Server readiness snapshot (kHealthResult payload).
+struct HealthInfo {
+  bool accepting = false;            ///< False while draining/shutting down.
+  std::uint32_t queue_depth = 0;     ///< Jobs waiting in the service queue.
+  std::uint32_t queue_capacity = 0;  ///< Queue bound (admission rejects past
+                                     ///< this).
+  std::uint32_t workers = 0;         ///< Live worker threads.
+  std::uint32_t connections = 0;     ///< Open client connections.
+};
+
 /// Client-side view of any response frame.  For job responses `result`
 /// carries the same payload types service::Service::wait() returns (the
 /// DSE payload is summarised into `dse_points`); kError frames decode to
@@ -144,6 +172,7 @@ struct Response {
   std::vector<obs::MetricSample> stats;       ///< kStatsResult.
   std::uint64_t cancel_target = 0;            ///< kCancelResult.
   bool cancelled = false;                     ///< kCancelResult.
+  HealthInfo health;                          ///< kHealthResult.
 };
 
 // --- encoding ------------------------------------------------------------
@@ -153,9 +182,14 @@ struct Response {
 [[nodiscard]] std::vector<std::uint8_t> encode_stats(std::uint64_t request_id);
 [[nodiscard]] std::vector<std::uint8_t> encode_cancel(
     std::uint64_t request_id, std::uint64_t target_id);
+[[nodiscard]] std::vector<std::uint8_t> encode_health(
+    std::uint64_t request_id);
 [[nodiscard]] std::vector<std::uint8_t> encode_pong(std::uint64_t request_id);
 [[nodiscard]] std::vector<std::uint8_t> encode_error(
-    std::uint64_t request_id, std::string_view message);
+    std::uint64_t request_id, std::string_view message,
+    StatusCode code = StatusCode::kError);
+[[nodiscard]] std::vector<std::uint8_t> encode_health_result(
+    std::uint64_t request_id, const HealthInfo& health);
 [[nodiscard]] std::vector<std::uint8_t> encode_cancel_result(
     std::uint64_t request_id, std::uint64_t target_id, bool cancelled);
 [[nodiscard]] std::vector<std::uint8_t> encode_stats_result(
@@ -165,7 +199,8 @@ struct Response {
 /// (e.g. an image larger than kMaxPayload).
 [[nodiscard]] Status encode_job_request(std::uint64_t request_id,
                                         const service::JobRequest& job,
-                                        std::vector<std::uint8_t>* out);
+                                        std::vector<std::uint8_t>* out,
+                                        const JobFrameOptions& options = {});
 
 /// Encode a finished job's result as the response frame for `request`
 /// (ok results become the typed result frame, failures become kError).

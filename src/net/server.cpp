@@ -7,7 +7,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -22,6 +25,18 @@ namespace {
 constexpr int kTrackNet = 5;
 
 }  // namespace
+
+const char* close_reason_name(CloseReason reason) noexcept {
+  switch (reason) {
+    case CloseReason::kPeerEof: return "peer_eof";
+    case CloseReason::kIdleTimeout: return "idle_timeout";
+    case CloseReason::kMalformed: return "malformed";
+    case CloseReason::kWriteError: return "write_error";
+    case CloseReason::kChaos: return "chaos";
+    case CloseReason::kDrain: return "drain";
+  }
+  return "?";
+}
 
 /// Per-connection state.  The reader thread is the only producer of
 /// `replies`, the writer thread the only consumer; `mu` guards the queue,
@@ -50,7 +65,47 @@ struct Server::Connection {
   bool reader_exited = false;
   bool writer_exited = false;
   bool broken = false;  ///< Writer hit a socket error; stop queueing.
+  int close_reason = -1;  ///< First CloseReason observed; -1 = none yet.
 };
+
+void Server::note_close(Connection* conn, CloseReason reason) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->close_reason < 0) conn->close_reason = static_cast<int>(reason);
+}
+
+void Server::count_close(Connection* conn) {
+  int reason;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    // A connection with no recorded cause went down in the shutdown
+    // drain (stop() half-closes it and the reader reports kStopped).
+    if (conn->close_reason < 0) {
+      conn->close_reason = static_cast<int>(CloseReason::kDrain);
+    }
+    reason = conn->close_reason;
+  }
+  std::lock_guard<std::mutex> obs(obs_mu_);
+  metrics_.add(closed_);
+  metrics_.add(closed_reason_[static_cast<std::size_t>(reason)]);
+}
+
+service::JobHandle Server::cached_reply(std::uint64_t idempotency_id) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const auto it = reply_cache_.find(idempotency_id);
+  return it == reply_cache_.end() ? nullptr : it->second;
+}
+
+void Server::remember_reply(std::uint64_t idempotency_id,
+                            const service::JobHandle& handle) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (!reply_cache_.emplace(idempotency_id, handle).second) return;
+  reply_cache_order_.push_back(idempotency_id);
+  while (reply_cache_order_.size() >
+         static_cast<std::size_t>(std::max(1, opt_.reply_cache_capacity))) {
+    reply_cache_.erase(reply_cache_order_.front());
+    reply_cache_order_.pop_front();
+  }
+}
 
 Server::Server(service::Service* service, ServerOptions opt)
     : service_(service),
@@ -66,12 +121,19 @@ Server::Server(service::Service* service, ServerOptions opt)
   accepted_ = metrics_.counter("net.connections.accepted");
   refused_ = metrics_.counter("net.connections.refused");
   closed_ = metrics_.counter("net.connections.closed");
+  for (int r = 0; r < kCloseReasonCount; ++r) {
+    closed_reason_[static_cast<std::size_t>(r)] = metrics_.counter(
+        std::string("net.conn_closed.") +
+        close_reason_name(static_cast<CloseReason>(r)));
+  }
   requests_ = metrics_.counter("net.requests");
   replies_ = metrics_.counter("net.replies");
   errors_ = metrics_.counter("net.replies.error");
   malformed_ = metrics_.counter("net.frames.malformed");
   conn_backpressure_ = metrics_.counter("net.backpressure.connection");
   service_backpressure_ = metrics_.counter("net.backpressure.service");
+  idempotent_hits_ = metrics_.counter("net.idempotent.hits");
+  deadline_submits_ = metrics_.counter("net.deadline.submits");
   bytes_in_ = metrics_.counter("net.bytes.in");
   bytes_out_ = metrics_.counter("net.bytes.out");
   spans_.set_track_name(kTrackNet, "net requests");
@@ -142,8 +204,7 @@ void Server::stop() {
     if (conn->reader.joinable()) conn->reader.join();
     if (conn->writer.joinable()) conn->writer.join();
     ::close(conn->fd);
-    std::lock_guard<std::mutex> obs(obs_mu_);
-    metrics_.add(closed_);
+    count_close(conn.get());
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -186,8 +247,7 @@ void Server::reap_finished_connections() {
     if (conn->reader.joinable()) conn->reader.join();
     if (conn->writer.joinable()) conn->writer.join();
     ::close(conn->fd);
-    std::lock_guard<std::mutex> obs(obs_mu_);
-    metrics_.add(closed_);
+    count_close(conn.get());
   }
 }
 
@@ -201,6 +261,15 @@ void Server::accept_loop() {
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener closed or broken
+    }
+    if (const auto d = chaos::decide(opt_.chaos, chaos::Hook::kAccept);
+        d && d.action == chaos::Action::kFail) {
+      // Injected accept failure: to the client this is indistinguishable
+      // from a crash between accept and the first read.
+      ::close(fd);
+      std::lock_guard<std::mutex> obs(obs_mu_);
+      metrics_.add(refused_);
+      continue;
     }
     reap_finished_connections();
     {
@@ -219,10 +288,16 @@ void Server::accept_loop() {
       std::lock_guard<std::mutex> obs(obs_mu_);
       metrics_.add(accepted_);
     }
+    // Register before spawning: a health request served by the reader
+    // must already see its own connection in conns_.  Reap can observe
+    // the not-yet-started threads but only joins once both exit flags
+    // are set, and stop() joins the acceptor before draining conns_.
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
     conn->reader = std::thread([this, conn] { reader_loop(conn); });
     conn->writer = std::thread([this, conn] { writer_loop(conn); });
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.push_back(std::move(conn));
   }
 }
 
@@ -244,24 +319,48 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
     queue_reply(std::move(p));
   };
   const auto queue_error = [&](std::uint64_t request_id,
-                               std::string_view message) {
+                               std::string_view message,
+                               StatusCode code = StatusCode::kError) {
     {
       std::lock_guard<std::mutex> obs(obs_mu_);
       metrics_.add(errors_);
     }
-    queue_ready(encode_error(request_id, message));
+    queue_ready(encode_error(request_id, message, code));
   };
 
   for (;;) {
+    if (const auto d =
+            chaos::decide(opt_.chaos, chaos::Hook::kServerRead)) {
+      if (d.action == chaos::Action::kDelay) {
+        // Read stall: the connection sits idle, pipelined peers block.
+        std::this_thread::sleep_for(std::chrono::milliseconds(d.a));
+      } else if (d.action == chaos::Action::kReset) {
+        note_close(conn.get(), CloseReason::kChaos);
+        ::shutdown(conn->fd, SHUT_RDWR);
+        break;
+      }
+    }
     Frame frame;
     Status err;
     const ReadOutcome outcome = read_frame(
         conn->fd, opt_.idle_timeout_ms, &stopping_, &frame, &err);
     if (outcome != ReadOutcome::kFrame) {
-      if (outcome == ReadOutcome::kError) {
-        // Framing errors desync the stream: report once, then close.
-        std::lock_guard<std::mutex> obs(obs_mu_);
-        metrics_.add(malformed_);
+      switch (outcome) {
+        case ReadOutcome::kClosed:
+          note_close(conn.get(), CloseReason::kPeerEof);
+          break;
+        case ReadOutcome::kTimeout:
+          note_close(conn.get(), CloseReason::kIdleTimeout);
+          break;
+        case ReadOutcome::kStopped:
+          note_close(conn.get(), CloseReason::kDrain);
+          break;
+        default:
+          // Framing errors desync the stream: report once, then close.
+          note_close(conn.get(), CloseReason::kMalformed);
+          std::lock_guard<std::mutex> obs(obs_mu_);
+          metrics_.add(malformed_);
+          break;
       }
       break;
     }
@@ -289,6 +388,20 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
         const auto mine = metrics_samples();
         samples.insert(samples.end(), mine.begin(), mine.end());
         queue_ready(encode_stats_result(req.request_id, samples));
+        break;
+      }
+      case MsgType::kHealth: {
+        HealthInfo info;
+        info.accepting = running() && service_->accepting();
+        info.queue_depth = static_cast<std::uint32_t>(service_->queue_depth());
+        info.queue_capacity =
+            static_cast<std::uint32_t>(service_->queue_capacity());
+        info.workers = static_cast<std::uint32_t>(service_->workers());
+        {
+          std::lock_guard<std::mutex> lock(conns_mu_);
+          info.connections = static_cast<std::uint32_t>(conns_.size());
+        }
+        queue_ready(encode_health_result(req.request_id, info));
         break;
       }
       case MsgType::kCancel: {
@@ -320,24 +433,49 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
                       "before sending more jobs");
           break;
         }
-        auto submit = service_->submit(std::move(req.job));
-        if (!submit.accepted()) {
-          {
+        // Idempotent retry?  Attach to the ORIGINAL job's handle — the
+        // service keeps results for the handle's lifetime, so the retry
+        // gets the same bytes without executing anything twice.
+        service::JobHandle handle;
+        if (req.options.idempotency_id != 0) {
+          handle = cached_reply(req.options.idempotency_id);
+          if (handle != nullptr) {
             std::lock_guard<std::mutex> obs(obs_mu_);
-            metrics_.add(service_backpressure_);
+            metrics_.add(idempotent_hits_);
           }
-          queue_error(req.request_id, submit.status.message());
-          break;
+        }
+        if (handle == nullptr) {
+          service::SubmitOptions sopt;
+          if (req.options.deadline_ms > 0) {
+            sopt.deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(req.options.deadline_ms);
+            std::lock_guard<std::mutex> obs(obs_mu_);
+            metrics_.add(deadline_submits_);
+          }
+          auto submit = service_->submit(std::move(req.job), sopt);
+          if (!submit.accepted()) {
+            {
+              std::lock_guard<std::mutex> obs(obs_mu_);
+              metrics_.add(service_backpressure_);
+            }
+            queue_error(req.request_id, submit.status.message(),
+                        submit.status.code());
+            break;
+          }
+          handle = submit.handle;
+          if (req.options.idempotency_id != 0) {
+            remember_reply(req.options.idempotency_id, handle);
+          }
         }
         Connection::Pending p;
-        p.handle = submit.handle;
+        p.handle = handle;
         p.request_type = req.type;
         p.request_id = req.request_id;
         p.start_ns = start;
         {
           std::lock_guard<std::mutex> lock(conn->mu);
           ++conn->inflight;
-          conn->active[req.request_id] = submit.handle;
+          conn->active[req.request_id] = handle;
         }
         queue_reply(std::move(p));
         break;
@@ -389,11 +527,52 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
         conn->active.erase(pending.request_id);
       }
     }
-    const Status written = write_all(conn->fd, bytes);
+    if (const auto d =
+            chaos::decide(opt_.chaos, chaos::Hook::kServerFrame)) {
+      if (d.action == chaos::Action::kDelay) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(d.a));
+      } else {
+        // Corrupt/truncate the outbound reply; the client must detect it
+        // (checksum-free protocol: bad magic/length/payload) and resync.
+        chaos::mutate_frame(d, &bytes);
+      }
+    }
+    bool chaos_break = false;
+    Status written;
+    if (const auto d =
+            chaos::decide(opt_.chaos, chaos::Hook::kServerWrite)) {
+      switch (d.action) {
+        case chaos::Action::kReset:
+          note_close(conn.get(), CloseReason::kChaos);
+          written = Status::error("injected write reset");
+          chaos_break = true;
+          break;
+        case chaos::Action::kPartialWrite: {
+          // Deliver a prefix, then fail the write: the client sees a
+          // half-frame followed by EOF.
+          const auto keep = static_cast<std::size_t>(std::clamp<std::int64_t>(
+              d.a, 0, static_cast<std::int64_t>(bytes.size())));
+          (void)write_all(conn->fd,
+                          std::vector<std::uint8_t>(bytes.begin(),
+                                                    bytes.begin() + keep));
+          note_close(conn.get(), CloseReason::kChaos);
+          written = Status::error("injected partial write");
+          chaos_break = true;
+          break;
+        }
+        case chaos::Action::kDelay:
+          std::this_thread::sleep_for(std::chrono::milliseconds(d.a));
+          break;
+        default:
+          break;
+      }
+    }
+    if (!chaos_break) written = write_all(conn->fd, bytes);
     if (!written.ok()) {
       // Peer is gone: wake the reader (it may be blocked in poll on a
       // half-dead socket) and stop delivering.  In-flight jobs keep
       // running in the service; their results are simply dropped.
+      note_close(conn.get(), CloseReason::kWriteError);
       {
         std::lock_guard<std::mutex> lock(conn->mu);
         conn->broken = true;

@@ -16,12 +16,28 @@
 // oversized length) desyncs the byte stream, so those close the
 // connection; malformed payloads inside valid frames get kError replies.
 //
+// Robustness (protocol v2): job frames carry a deadline (propagated to
+// the service as an absolute submit deadline) and an idempotency id.
+// Ids deduplicate retries server-side — a repeat of an id the server
+// has seen attaches to the ORIGINAL job's handle instead of submitting
+// again, so a client retrying after an ambiguous failure can never
+// double-execute work.  kHealth frames answer a readiness snapshot
+// without touching the job queue.
+//
+// Every connection close is attributed to a structured reason
+// (net.conn_closed.{peer_eof,idle_timeout,malformed,write_error,chaos,
+// drain}, first cause wins) alongside the net.connections.closed total.
+// Chaos hooks (kAccept, kServerRead, kServerWrite, kServerFrame) are
+// compiled into the accept/reader/writer paths; they cost one null test
+// when ServerOptions::chaos is unset.
+//
 // Shutdown is drain-then-close: stop() closes the listener, half-closes
 // every connection for reading, lets writers flush all pending replies
 // (in-flight jobs complete), then closes.  The Service must outlive the
 // Server.  Loopback-only by default (ServerOptions::loopback_only).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -30,14 +46,32 @@
 #include <mutex>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "service/service.hpp"
 
 namespace cgra::net {
+
+/// Why a connection closed; the FIRST cause observed wins (e.g. a chaos
+/// reset that later surfaces as a write error still counts as chaos).
+enum class CloseReason : std::uint8_t {
+  kPeerEof = 0,   ///< Client closed its side cleanly.
+  kIdleTimeout,   ///< No frame started within idle_timeout_ms.
+  kMalformed,     ///< Framing desync (bad magic/version/length).
+  kWriteError,    ///< Reply delivery failed (peer gone mid-write).
+  kChaos,         ///< An injected fault tore the connection down.
+  kDrain,         ///< Server-initiated shutdown drain.
+};
+
+inline constexpr int kCloseReasonCount =
+    static_cast<int>(CloseReason::kDrain) + 1;
+
+[[nodiscard]] const char* close_reason_name(CloseReason reason) noexcept;
 
 struct ServerOptions {
   std::uint16_t port = 0;  ///< 0 = pick an ephemeral port (see port()).
@@ -47,6 +81,13 @@ struct ServerOptions {
   /// Close a connection idle (no frame started) for this long; <= 0 waits
   /// forever.
   int idle_timeout_ms = 60000;
+  /// Distinct idempotency ids remembered for reply deduplication (FIFO
+  /// eviction).  Retries of a remembered id reuse the original job's
+  /// result instead of executing again.
+  int reply_cache_capacity = 1024;
+  /// Chaos injector for the server-side hooks (kAccept, kServerRead,
+  /// kServerWrite, kServerFrame); not owned, must outlive the server.
+  chaos::ChaosInjector* chaos = nullptr;
 };
 
 class Server {
@@ -85,6 +126,17 @@ class Server {
   void writer_loop(const std::shared_ptr<Connection>& conn);
   void reap_finished_connections();
 
+  /// Record why `conn` is going down (first cause wins).
+  void note_close(Connection* conn, CloseReason reason);
+  /// Count one closed connection under its recorded reason.
+  void count_close(Connection* conn);
+
+  /// Reply-dedup lookup: the handle of the job originally submitted for
+  /// `idempotency_id`, or null when unseen.
+  [[nodiscard]] service::JobHandle cached_reply(std::uint64_t idempotency_id);
+  void remember_reply(std::uint64_t idempotency_id,
+                      const service::JobHandle& handle);
+
   [[nodiscard]] Nanoseconds now_ns() const;
 
   service::Service* const service_;
@@ -100,18 +152,28 @@ class Server {
   mutable std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
 
+  /// Idempotency id -> original job handle, FIFO-evicted at
+  /// reply_cache_capacity.  Guarded by cache_mu_ (never held together
+  /// with a connection mutex).
+  std::mutex cache_mu_;
+  std::unordered_map<std::uint64_t, service::JobHandle> reply_cache_;
+  std::deque<std::uint64_t> reply_cache_order_;
+
   mutable std::mutex obs_mu_;
   obs::MetricsRegistry metrics_;
   obs::SpanTimeline spans_;
   obs::CounterHandle accepted_;
   obs::CounterHandle refused_;
   obs::CounterHandle closed_;
+  std::array<obs::CounterHandle, kCloseReasonCount> closed_reason_;
   obs::CounterHandle requests_;
   obs::CounterHandle replies_;
   obs::CounterHandle errors_;
   obs::CounterHandle malformed_;
   obs::CounterHandle conn_backpressure_;
   obs::CounterHandle service_backpressure_;
+  obs::CounterHandle idempotent_hits_;
+  obs::CounterHandle deadline_submits_;
   obs::CounterHandle bytes_in_;
   obs::CounterHandle bytes_out_;
 };

@@ -110,6 +110,14 @@ class ArtifactCache {
     map_.clear();
   }
 
+  /// Drop one entry; returns true when it existed.  Artifacts are pure
+  /// functions of their key, so eviction can never change results — only
+  /// force a rebuild (the property the cache-poison chaos hook asserts).
+  bool erase(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.erase(key) > 0;
+  }
+
  private:
   void count(obs::CounterHandle h) {
     if (metrics_ != nullptr && h.valid()) metrics_->add(h);

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "fabric/fabric.hpp"
 #include "obs/metrics.hpp"
 
@@ -84,9 +85,19 @@ class FabricPool {
     }
   }
 
+  /// Wire a chaos injector (not owned; call before the first acquire).
+  void attach_chaos(chaos::ChaosInjector* injector) {
+    std::lock_guard<std::mutex> lock(mu_);
+    chaos_ = injector;
+  }
+
   /// Take a rows x cols fabric in construction state, blocking while the
-  /// shape is at its bound with no free instance.
+  /// shape is at its bound with no free instance.  An injected kPoolLease
+  /// failure returns an invalid lease — callers must check valid().
   [[nodiscard]] Lease acquire(int rows, int cols) {
+    if (const auto d = chaos::decide(chaos_, chaos::Hook::kPoolLease)) {
+      if (d.action == chaos::Action::kFail) return Lease();
+    }
     std::unique_lock<std::mutex> lock(mu_);
     Shape& shape = shapes_[{rows, cols}];
     cv_.wait(lock, [&] {
@@ -136,6 +147,7 @@ class FabricPool {
   std::condition_variable cv_;
   std::map<std::pair<int, int>, Shape> shapes_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  chaos::ChaosInjector* chaos_ = nullptr;
   obs::CounterHandle reused_;
   obs::CounterHandle constructed_;
 };

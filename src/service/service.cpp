@@ -82,7 +82,8 @@ Service::Service(ServiceOptions opt)
         return o;
       }()),
       epoch_(std::chrono::steady_clock::now()),
-      pool_(opt.max_fabrics_per_shape) {
+      pool_(opt.max_fabrics_per_shape),
+      chaos_(opt.chaos) {
   {
     std::lock_guard<std::mutex> lock(obs_mu_);
     submitted_ = metrics_.counter("service.jobs.submitted");
@@ -92,6 +93,8 @@ Service::Service(ServiceOptions opt)
     cancelled_ = metrics_.counter("service.jobs.cancelled");
     expired_ = metrics_.counter("service.jobs.deadline_expired");
     batches_ = metrics_.counter("service.batches");
+    crashes_ = metrics_.counter("service.worker.crashes");
+    lease_retries_ = metrics_.counter("service.lease.retries");
     batch_size_ = metrics_.histogram("service.batch.size",
                                      {1.0, 2.0, 4.0, 8.0, 16.0});
     spans_.set_track_name(kTrackQueue, "service queue");
@@ -99,6 +102,7 @@ Service::Service(ServiceOptions opt)
   }
   cache_.attach_metrics(&metrics_);
   pool_.attach_metrics(&metrics_);
+  pool_.attach_chaos(chaos_);
   workers_.reserve(static_cast<std::size_t>(opt_.workers));
   for (int i = 0; i < opt_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -207,6 +211,11 @@ std::size_t Service::queue_depth() const {
   return queue_.size();
 }
 
+bool Service::accepting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !stopping_;
+}
+
 std::int64_t Service::counter(std::string_view name) const {
   std::lock_guard<std::mutex> obs(obs_mu_);
   return metrics_.counter_value(name);
@@ -233,6 +242,100 @@ void Service::finish(const JobHandle& job, JobResult result) {
   job->cv.notify_all();
 }
 
+void Service::resume_after_crash(const std::vector<JobHandle>& batch) {
+  {
+    std::lock_guard<std::mutex> obs(obs_mu_);
+    metrics_.add(crashes_);
+  }
+  bool resumed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      // Front of the queue, original order, no capacity check: these jobs
+      // were admitted once and must not be lost to saturation now.
+      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+        {
+          std::lock_guard<std::mutex> jl((*it)->mu);
+          (*it)->phase = JobPhase::kQueued;
+        }
+        queue_.push_front(*it);
+      }
+      // Safe against shutdown(): workers_ is only mutated under mu_ while
+      // !stopping_, and shutdown() joins only after setting stopping_.
+      workers_.emplace_back([this] { worker_loop(); });
+      resumed = true;
+    }
+  }
+  if (resumed) {
+    queue_cv_.notify_all();
+    return;
+  }
+  for (const auto& job : batch) {
+    JobResult r;
+    r.status = Status::error("service shut down before execution");
+    finish(job, std::move(r));
+  }
+}
+
+bool Service::finish_if_deadline_expired(const JobHandle& job) {
+  if (!job->deadline || std::chrono::steady_clock::now() <= *job->deadline) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> obs(obs_mu_);
+    metrics_.add(expired_);
+  }
+  JobResult r;
+  r.status = Status::deadline_exceeded("deadline expired at epoch boundary");
+  finish(job, std::move(r));
+  return true;
+}
+
+FabricPool::Lease Service::acquire_fabric(int rows, int cols) {
+  auto lease = pool_.acquire(rows, cols);
+  if (!lease.valid()) {
+    // Injected kPoolLease failure; one retry recovers (the pool can
+    // always construct below its bound once the rule stops firing).
+    {
+      std::lock_guard<std::mutex> obs(obs_mu_);
+      metrics_.add(lease_retries_);
+    }
+    lease = pool_.acquire(rows, cols);
+  }
+  return lease;
+}
+
+template <typename T, typename Builder>
+std::shared_ptr<const T> Service::cached(const std::string& key,
+                                         Builder&& build) {
+  if (const auto d = chaos::decide(chaos_, chaos::Hook::kCachePoison);
+      d && d.action == chaos::Action::kFail) {
+    cache_.erase(key);
+  }
+  return cache_.get_or_build<T>(key, std::forward<Builder>(build));
+}
+
+void Service::fail_batch(const std::vector<JobHandle>& batch,
+                         const Status& status) {
+  for (const auto& job : batch) {
+    JobResult r;
+    r.status = status;
+    finish(job, std::move(r));
+  }
+}
+
+namespace {
+
+/// Resolve a kKillTile decision to a concrete tile index (`a` out of
+/// range falls back to the decision's seeded choice).
+int poison_target(const chaos::Decision& d, int tiles) {
+  if (d.a >= 0 && d.a < tiles) return static_cast<int>(d.a);
+  SplitMix64 rng(d.salt);
+  return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(tiles)));
+}
+
+}  // namespace
+
 std::vector<JobHandle> Service::next_batch() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -248,7 +351,7 @@ std::vector<JobHandle> Service::next_batch() {
         metrics_.add(expired_);
       }
       JobResult r;
-      r.status = Status::error("deadline expired before execution");
+      r.status = Status::deadline_exceeded("deadline expired before execution");
       finish(head, std::move(r));
       lock.lock();
       continue;
@@ -268,6 +371,10 @@ std::vector<JobHandle> Service::next_batch() {
       }
     }
     lock.unlock();
+    if (const auto d = chaos::decide(chaos_, chaos::Hook::kQueueStall);
+        d && d.action == chaos::Action::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(d.a));
+    }
     const Nanoseconds start = now_ns();
     for (const auto& job : batch) {
       job->started_at_ns = start;
@@ -293,6 +400,11 @@ void Service::worker_loop() {
   for (;;) {
     const auto batch = next_batch();
     if (batch.empty()) return;
+    if (const auto d = chaos::decide(chaos_, chaos::Hook::kWorkerCrash);
+        d && d.action == chaos::Action::kCrash) {
+      resume_after_crash(batch);
+      return;  // this worker thread "dies"
+    }
     execute_batch(batch);
     {
       std::lock_guard<std::mutex> obs(obs_mu_);
@@ -325,20 +437,40 @@ void Service::run_jpeg_block_batch(const std::vector<JobHandle>& batch) {
   const auto& first = std::get<JpegBlockRequest>(batch.front()->request);
   if (first.plan.empty()) {
     // Warm 1x4 pipeline: one setup epoch for the whole batch.
-    const auto art = cache_.get_or_build<jpeg::JpegPipelineArtifacts>(
+    const auto art = cached<jpeg::JpegPipelineArtifacts>(
         "jpeg.pipeline:q=" + hex64(fnv1a_values(first.quant)),
         [&] { return jpeg::make_pipeline_artifacts(first.quant); });
-    auto lease = pool_.acquire(1, 4);
-    jpeg::BlockPipeline pipe(*lease, *art);
+    auto lease = acquire_fabric(1, 4);
+    if (!lease.valid()) {
+      fail_batch(batch, Status::unavailable("no fabric lease for jpeg.block"));
+      return;
+    }
+    auto pipe = std::make_unique<jpeg::BlockPipeline>(*lease, *art);
     for (const auto& job : batch) {
+      if (finish_if_deadline_expired(job)) continue;
       JobResult r;
-      if (!pipe.setup_status().ok()) {
-        r.status = pipe.setup_status();
+      if (!pipe->setup_status().ok()) {
+        r.status = pipe->setup_status();
         finish(job, std::move(r));
         continue;
       }
       const auto& req = std::get<JpegBlockRequest>(job->request);
-      auto res = pipe.encode(req.raw);
+      if (const auto d = chaos::decide(chaos_, chaos::Hook::kFabricPoison);
+          d && d.action == chaos::Action::kKillTile) {
+        (*lease).kill_tile(
+            poison_target(d, (*lease).rows() * (*lease).cols()));
+      }
+      auto res = pipe->encode(req.raw);
+      if (!res.ok() && !(*lease).dead_tiles().empty()) {
+        // Crash-resume: the fabric died under the job.  encode() is pure
+        // and nothing was delivered, so swap in a fresh lease and re-run.
+        lease.release();
+        lease = acquire_fabric(1, 4);
+        if (lease.valid()) {
+          pipe = std::make_unique<jpeg::BlockPipeline>(*lease, *art);
+          if (pipe->setup_status().ok()) res = pipe->encode(req.raw);
+        }
+      }
       r.status = res.status;
       JpegBlockJobResult payload;
       payload.zigzagged = res.zigzagged;
@@ -351,7 +483,7 @@ void Service::run_jpeg_block_batch(const std::vector<JobHandle>& batch) {
   }
 
   // Resilient path: pooled rows x cols mesh, per-job fault plan/policy.
-  const auto art = cache_.get_or_build<jpeg::ResilientJpegArtifacts>(
+  const auto art = cached<jpeg::ResilientJpegArtifacts>(
       "jpeg.resilient:r=" + std::to_string(first.rows) +
           ":c=" + std::to_string(first.cols) +
           ":q=" + hex64(fnv1a_values(first.quant)),
@@ -359,14 +491,26 @@ void Service::run_jpeg_block_batch(const std::vector<JobHandle>& batch) {
         return jpeg::make_resilient_artifacts(first.quant, first.rows,
                                               first.cols);
       });
-  auto lease = pool_.acquire(first.rows, first.cols);
+  auto lease = acquire_fabric(first.rows, first.cols);
+  if (!lease.valid()) {
+    fail_batch(batch, Status::unavailable("no fabric lease for jpeg.block"));
+    return;
+  }
   bool fresh = true;
   for (const auto& job : batch) {
+    if (finish_if_deadline_expired(job)) continue;
     const auto& req = std::get<JpegBlockRequest>(job->request);
     if (!fresh) (*lease).reset();
     fresh = false;
-    auto res = jpeg::encode_block_resilient_on(*lease, *art, req.raw,
-                                               req.plan, req.policy);
+    faults::FaultPlan plan = req.plan;
+    if (const auto d = chaos::decide(chaos_, chaos::Hook::kFabricPoison);
+        d && d.action == chaos::Action::kKillTile) {
+      // Mid-epoch tile death routed through the job's own fault plan: the
+      // RecoveryManager must rebalance onto surviving tiles and resume.
+      plan.kill_tile(d.b, poison_target(d, first.rows * first.cols));
+    }
+    auto res = jpeg::encode_block_resilient_on(*lease, *art, req.raw, plan,
+                                               req.policy);
     JobResult r;
     if (res.report.ok) {
       r.status = Status();
@@ -388,12 +532,17 @@ void Service::run_jpeg_block_batch(const std::vector<JobHandle>& batch) {
 void Service::run_jpeg_image_batch(const std::vector<JobHandle>& batch) {
   const auto& first = std::get<JpegImageRequest>(batch.front()->request);
   const std::array<int, 64> quant = jpeg::scaled_quant(first.quality);
-  const auto art = cache_.get_or_build<jpeg::JpegPipelineArtifacts>(
+  const auto art = cached<jpeg::JpegPipelineArtifacts>(
       "jpeg.pipeline:q=" + hex64(fnv1a_values(quant)),
       [&] { return jpeg::make_pipeline_artifacts(quant); });
-  auto lease = pool_.acquire(1, 4);
+  auto lease = acquire_fabric(1, 4);
+  if (!lease.valid()) {
+    fail_batch(batch, Status::unavailable("no fabric lease for jpeg.image"));
+    return;
+  }
   jpeg::BlockPipeline pipe(*lease, *art);
   for (const auto& job : batch) {
+    if (finish_if_deadline_expired(job)) continue;
     JobResult r;
     if (!pipe.setup_status().ok()) {
       r.status = pipe.setup_status();
@@ -451,28 +600,47 @@ void Service::run_fft_batch(const std::vector<JobHandle>& batch) {
     return;
   }
   const auto g = fft::make_geometry(first.n, first.m);
-  const auto twiddles = cache_.get_or_build<fft::TwiddleTable>(
+  const auto twiddles = cached<fft::TwiddleTable>(
       "fft.twiddles:n=" + std::to_string(g.n) + ":m=" + std::to_string(g.m),
       [&] { return fft::twiddle_patch_table(g); });
   // Content-addressed assembly: recurring kernels (the pinned butterfly,
   // the hop/apply copy programs) assemble once per source text ever.
   const auto assemble = [this](const std::string& src) {
-    const auto prog = cache_.get_or_build<isa::Program>(
+    const auto prog = cached<isa::Program>(
         "asm:" + hex64(fnv1a(src)), [&] { return fft::must_assemble(src); });
     return *prog;
   };
-  auto lease = pool_.acquire(g.rows, first.cols);
+  auto lease = acquire_fabric(g.rows, first.cols);
+  if (!lease.valid()) {
+    fail_batch(batch, Status::unavailable("no fabric lease for fft"));
+    return;
+  }
   bool fresh = true;
   for (const auto& job : batch) {
+    if (finish_if_deadline_expired(job)) continue;
     const auto& req = std::get<FftRequest>(job->request);
     if (!fresh) (*lease).reset();  // the FFT run leaves the fabric dirty
     fresh = false;
+    if (const auto d = chaos::decide(chaos_, chaos::Hook::kFabricPoison);
+        d && d.action == chaos::Action::kKillTile) {
+      (*lease).kill_tile(poison_target(d, (*lease).rows() * (*lease).cols()));
+    }
     fft::FabricFftOptions opt;
     opt.cols = req.cols;
     opt.fabric = lease.get();
     opt.assemble = assemble;
     opt.twiddles = twiddles.get();
     auto res = fft::run_fabric_fft(g, req.input, opt);
+    if (!res.status.ok() && !(*lease).dead_tiles().empty()) {
+      // Crash-resume onto a replacement lease (release() resets the dead
+      // fabric back to health before returning it to the pool).
+      lease.release();
+      lease = acquire_fabric(g.rows, first.cols);
+      if (lease.valid()) {
+        opt.fabric = lease.get();
+        res = fft::run_fabric_fft(g, req.input, opt);
+      }
+    }
     JobResult r;
     r.status = res.status;
     FftJobResult payload;
@@ -485,6 +653,7 @@ void Service::run_fft_batch(const std::vector<JobHandle>& batch) {
 }
 
 void Service::run_dse_job(const JobHandle& job) {
+  if (finish_if_deadline_expired(job)) return;
   const auto& req = std::get<DseSweepRequest>(job->request);
   JobResult r;
   if (req.net.processes().empty()) {

@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -66,6 +67,10 @@ struct ServiceOptions {
   int queue_capacity = 64;     ///< Queued (not yet running) jobs bound.
   int max_fabrics_per_shape = 8;  ///< FabricPool bound per mesh shape.
   int batch_limit = 8;         ///< Max jobs fused into one warm batch.
+  /// Chaos injector (not owned; must outlive the service).  Wires the
+  /// service-level hooks: kWorkerCrash, kPoolLease, kCachePoison,
+  /// kQueueStall, kFabricPoison.
+  chaos::ChaosInjector* chaos = nullptr;
 };
 
 /// The asynchronous job service.  Thread-safe; destruction drains the
@@ -100,6 +105,13 @@ class Service {
   /// Queued-but-not-started jobs right now.
   [[nodiscard]] std::size_t queue_depth() const;
 
+  /// Readiness facts the network layer's health frame reports.
+  [[nodiscard]] int queue_capacity() const noexcept {
+    return opt_.queue_capacity;
+  }
+  [[nodiscard]] int workers() const noexcept { return opt_.workers; }
+  [[nodiscard]] bool accepting() const;
+
   /// Shared observability: counters (service.*, cache.*, pool.*), job
   /// lifecycle spans.  Guarded internally; safe to read between jobs.
   [[nodiscard]] const obs::MetricsRegistry& metrics() const {
@@ -121,6 +133,28 @@ class Service {
   std::vector<JobHandle> next_batch();
   void execute_batch(const std::vector<JobHandle>& batch);
   void finish(const JobHandle& job, JobResult result);
+
+  /// Crash-resume: an injected kWorkerCrash killed this worker after it
+  /// claimed `batch`.  Requeue the jobs at the queue front (they were
+  /// already admitted — the capacity check does not reapply) and respawn
+  /// a replacement worker, unless the service is shutting down.
+  void resume_after_crash(const std::vector<JobHandle>& batch);
+
+  /// Epoch-boundary deadline check: finish the job with kDeadlineExceeded
+  /// and return true when its deadline has passed.
+  bool finish_if_deadline_expired(const JobHandle& job);
+
+  /// Pool acquire with one retry absorbing an injected kPoolLease
+  /// failure.  May still return an invalid lease (callers fail the batch
+  /// with kUnavailable).
+  [[nodiscard]] FabricPool::Lease acquire_fabric(int rows, int cols);
+
+  /// Cache lookup routed through the kCachePoison hook (an injected
+  /// failure evicts the key first, forcing a rebuild).
+  template <typename T, typename Builder>
+  std::shared_ptr<const T> cached(const std::string& key, Builder&& build);
+
+  void fail_batch(const std::vector<JobHandle>& batch, const Status& status);
 
   void run_jpeg_block_batch(const std::vector<JobHandle>& batch);
   void run_jpeg_image_batch(const std::vector<JobHandle>& batch);
@@ -152,7 +186,10 @@ class Service {
   obs::CounterHandle cancelled_;
   obs::CounterHandle expired_;
   obs::CounterHandle batches_;
+  obs::CounterHandle crashes_;
+  obs::CounterHandle lease_retries_;
   obs::HistogramHandle batch_size_;
+  chaos::ChaosInjector* const chaos_;
 
   std::vector<std::thread> workers_;
 };

@@ -199,7 +199,8 @@ TEST(Protocol, DecodeRejectsTruncatedAndOversizedPayloads) {
 
   // Oversized element count: claim 2^30 FFT points.
   frame.payload.assign(bytes.begin() + kHeaderSize, bytes.end());
-  const std::size_t count_at = 8 + 12;  // request id + n,m,cols
+  // request id + v2 options (deadline, idempotency id) + n,m,cols
+  const std::size_t count_at = 8 + 12 + 12;
   frame.payload[count_at + 3] = 0x40;
   const Status s = decode_request(frame, &req);
   EXPECT_FALSE(s.ok());
@@ -291,7 +292,7 @@ TEST(NetServer, MalformedPayloadGetsErrorReplyAndStreamSurvives) {
   // Hand-roll a valid frame whose FFT body claims an oversized count.
   std::vector<std::uint8_t> bytes;
   ASSERT_TRUE(encode_job_request(5, fft_request(32, 0), &bytes).ok());
-  bytes[kHeaderSize + 8 + 12 + 3] = 0x40;  // input count |= 2^30
+  bytes[kHeaderSize + 8 + 12 + 12 + 3] = 0x40;  // input count |= 2^30
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
