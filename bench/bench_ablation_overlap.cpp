@@ -62,7 +62,7 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   report.add_table("overlap", table);
-  report.write();
+  if (!report.write()) return 1;
 
   std::printf(
       "The executed (partial) time already contains whatever stall could\n"

@@ -62,7 +62,7 @@ int main() {
   }
   std::printf("%s\n", sweep.render().c_str());
   report.add_table("rebalance_sweep", sweep);
-  report.write();
+  if (!report.write()) return 1;
   std::printf(
       "Single-process tiles are immune (the code is simply resident), so\n"
       "the ablation bites exactly where the paper uses \"(f)\": dense\n"

@@ -56,7 +56,7 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   report.add_table("placement", table);
-  report.write();
+  if (!report.write()) return 1;
   std::printf(
       "Adjacent (1-hop) edges ride the free semi-systolic link; every extra\n"
       "hop pays a routed cp process (5 instructions/word) plus a link\n"

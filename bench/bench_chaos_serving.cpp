@@ -312,7 +312,7 @@ int main() {
   std::printf("\n%s\n", table.render().c_str());
   report.add("requests_per_seed", total, "count");
   report.add_table("chaos_serving", table);
-  report.write();
+  if (!report.write()) return 1;
 
   if (!ok) return 1;
   std::printf("all seeds: zero lost replies, zero duplicated side effects, "

@@ -231,7 +231,7 @@ int main() {
   }
   std::printf("%s\n", t3.render().c_str());
   report.add_table("icap_fault_path", t3);
-  report.write();
+  if (!report.write()) return 1;
   std::printf(
       "Shape checks: every deterministic scenario but the forced give-up\n"
       "recovers bit-exactly; retry and verify costs land in term B, not in\n"

@@ -69,7 +69,7 @@ int main() {
                {{"wide", std::to_string(wide)},
                 {"narrow", std::to_string(narrow)}});
   }
-  report.write();
+  if (!report.write()) return 1;
   std::printf(
       "\nPaper: beyond ~700 ns extra columns stop helping; beyond ~1100 ns\n"
       "they hurt.  The crossovers above must land in the same few-hundred-\n"

@@ -53,6 +53,6 @@ int main() {
     report.add("best_columns", static_cast<double>(best_cols), "cols",
                {{"link_cost_ns", std::to_string(cost)}});
   }
-  report.write();
+  if (!report.write()) return 1;
   return 0;
 }

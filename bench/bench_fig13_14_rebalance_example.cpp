@@ -73,7 +73,7 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   report.add_table("fig14", table);
-  report.write();
+  if (!report.write()) return 1;
   std::printf(
       "Paper: reBalanceOne leaves 1400 ns; redistributing the surrounding\n"
       "set (reBalanceTwo) reaches 1200 ns and reBalanceOPT the set optimum.\n"

@@ -80,6 +80,6 @@ int main() {
   report.add("peak_images_per_sec",
              opt[kMaxTiles - 1].eval.items_per_sec / jpeg::kPaperImageBlocks,
              "img/s", {{"tiles", std::to_string(kMaxTiles)}});
-  report.write();
+  if (!report.write()) return 1;
   return 0;
 }

@@ -74,6 +74,6 @@ int main() {
         static_cast<double>(g.n) / 2 * g.stages /
             static_cast<double>(fft::paper_reload_estimate(g)));
   }
-  report.write();
+  if (!report.write()) return 1;
   return 0;
 }

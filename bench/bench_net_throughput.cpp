@@ -1,11 +1,15 @@
 // Network serving throughput (the PR acceptance bench): N client
 // threads hammer one cgra::net::Server over loopback TCP with a fixed
 // JPEG-block / FFT request mix and every reply is checked bit-identical
-// to the same job executed in-process on the same service.  Reported:
-// sustained requests/s plus client-observed latency percentiles, also
-// written to BENCH_net_throughput.json for the CI perf artifact.  The
-// run fails (exit 1) below the 1000 req/s acceptance bar or on any
-// reply mismatch.
+// to the same job executed in-process on the same service.  Runs the
+// rig TWICE — tracing off, then tracing on (shared server/service
+// tracer plus a per-client tracer, protocol v3 trace contexts on every
+// request) — and reports both sustained req/s figures and the tracing
+// overhead between them.  The overhead target is 3%; the run only hard-
+// fails beyond 10% (loopback throughput on shared CI is too noisy for
+// the target itself to gate).  Written to BENCH_net_throughput.json for
+// the CI perf artifact.  Fails (exit 1) below the 1000 req/s acceptance
+// bar or on any reply mismatch in either phase.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -25,6 +29,8 @@ constexpr int kClients = 4;
 constexpr int kRequestsPerClient = 256;
 constexpr int kFftEvery = 8;
 constexpr double kMinReqPerSec = 1000.0;
+constexpr double kOverheadTargetPct = 3.0;
+constexpr double kOverheadHardFailPct = 10.0;
 
 cgra::jpeg::IntBlock block_for(int seed) {
   cgra::jpeg::IntBlock raw{};
@@ -76,22 +82,35 @@ double percentile(std::vector<double>* sorted, double p) {
   return (*sorted)[idx];
 }
 
-}  // namespace
+struct PhaseStats {
+  double wall_ms = 0.0;
+  double req_per_sec = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  int failed = 0;
+  int mismatched = 0;
+};
 
-int main() {
+/// One full rig: fresh service + server (+ tracer when `traced`), an
+/// in-process oracle/warm-up pass, then kClients threads of checked
+/// round-trips.  Returns false on a setup failure.
+bool run_phase(bool traced, PhaseStats* out) {
   using namespace cgra;
-  std::printf("Network serving throughput — %d clients x %d requests\n\n",
-              kClients, kRequestsPerClient);
+  obs::Tracer tracer;
 
   service::ServiceOptions sopt;
   sopt.workers = 1;  // single-core host: batching does the heavy lifting
   sopt.queue_capacity = 512;
   sopt.batch_limit = 16;
+  if (traced) sopt.tracer = &tracer;
   service::Service svc(sopt);
-  net::Server server(&svc);
+  net::ServerOptions nopt;
+  if (traced) nopt.tracer = &tracer;
+  net::Server server(&svc, nopt);
   if (const auto s = server.start(); !s.ok()) {
     std::printf("server start failed: %s\n", s.message().c_str());
-    return 1;
+    return false;
   }
 
   // Expected results computed in-process first — this is the oracle the
@@ -105,7 +124,7 @@ int main() {
     if (!expected.back().ok()) {
       std::printf("in-process job %d failed: %s\n", i,
                   expected.back().status.message().c_str());
-      return 1;
+      return false;
     }
   }
 
@@ -116,9 +135,11 @@ int main() {
   std::vector<std::thread> threads;
   threads.reserve(kClients);
   for (int c = 0; c < kClients; ++c) {
-    threads.emplace_back([&, c] {
+    threads.emplace_back([&, c, traced] {
+      obs::Tracer client_tracer;
       net::ClientOptions copt;
       copt.port = server.port();
+      if (traced) copt.tracer = &client_tracer;
       net::Client client(copt);
       auto& lat = latencies[static_cast<std::size_t>(c)];
       lat.reserve(kRequestsPerClient);
@@ -142,56 +163,91 @@ int main() {
     });
   }
   for (auto& t : threads) t.join();
-  const double wall_ms =
+  out->wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   server.stop();
 
-  int failed = 0;
-  int mismatched = 0;
   std::vector<double> all;
   all.reserve(static_cast<std::size_t>(total));
   for (int c = 0; c < kClients; ++c) {
-    failed += failures[static_cast<std::size_t>(c)];
-    mismatched += mismatches[static_cast<std::size_t>(c)];
+    out->failed += failures[static_cast<std::size_t>(c)];
+    out->mismatched += mismatches[static_cast<std::size_t>(c)];
     all.insert(all.end(), latencies[static_cast<std::size_t>(c)].begin(),
                latencies[static_cast<std::size_t>(c)].end());
   }
-  const double req_per_sec = 1000.0 * total / wall_ms;
-  const double p50 = percentile(&all, 0.50);
-  const double p90 = percentile(&all, 0.90);
-  const double p99 = percentile(&all, 0.99);
+  out->req_per_sec = 1000.0 * total / out->wall_ms;
+  out->p50 = percentile(&all, 0.50);
+  out->p90 = percentile(&all, 0.90);
+  out->p99 = percentile(&all, 0.99);
+  return true;
+}
 
-  TextTable table({"metric", "value"});
-  table.add_row({"clients", TextTable::integer(kClients)});
-  table.add_row({"requests", TextTable::integer(total)});
-  table.add_row({"wall ms", TextTable::num(wall_ms, 1)});
-  table.add_row({"req/s", TextTable::num(req_per_sec, 0)});
-  table.add_row({"p50 ms", TextTable::num(p50, 2)});
-  table.add_row({"p90 ms", TextTable::num(p90, 2)});
-  table.add_row({"p99 ms", TextTable::num(p99, 2)});
+}  // namespace
+
+int main() {
+  using namespace cgra;
+  const int total = kClients * kRequestsPerClient;
+  std::printf("Network serving throughput — %d clients x %d requests\n\n",
+              kClients, kRequestsPerClient);
+
+  PhaseStats off;
+  if (!run_phase(/*traced=*/false, &off)) return 1;
+  PhaseStats on;
+  if (!run_phase(/*traced=*/true, &on)) return 1;
+
+  const double overhead_pct =
+      off.req_per_sec > 0.0
+          ? 100.0 * (off.req_per_sec - on.req_per_sec) / off.req_per_sec
+          : 0.0;
+
+  TextTable table({"metric", "tracing off", "tracing on"});
+  table.add_row({"clients", TextTable::integer(kClients),
+                 TextTable::integer(kClients)});
+  table.add_row({"requests", TextTable::integer(total),
+                 TextTable::integer(total)});
+  table.add_row({"wall ms", TextTable::num(off.wall_ms, 1),
+                 TextTable::num(on.wall_ms, 1)});
+  table.add_row({"req/s", TextTable::num(off.req_per_sec, 0),
+                 TextTable::num(on.req_per_sec, 0)});
+  table.add_row({"p50 ms", TextTable::num(off.p50, 2),
+                 TextTable::num(on.p50, 2)});
+  table.add_row({"p90 ms", TextTable::num(off.p90, 2),
+                 TextTable::num(on.p90, 2)});
+  table.add_row({"p99 ms", TextTable::num(off.p99, 2),
+                 TextTable::num(on.p99, 2)});
   std::printf("%s\n", table.render().c_str());
+  const int bad = off.failed + off.mismatched + on.failed + on.mismatched;
   std::printf("replies verified bit-identical to in-process: %d/%d\n",
-              total - mismatched - failed, total);
+              2 * total - bad, 2 * total);
+  std::printf("tracing overhead: %.1f%% (target <= %.0f%%, hard fail > "
+              "%.0f%%)\n",
+              overhead_pct, kOverheadTargetPct, kOverheadHardFailPct);
 
   obs::BenchReport report("net_throughput");
-  report.add("req_per_sec", req_per_sec, "req/s");
-  report.add("wall_ms", wall_ms, "ms");
-  report.add("latency_p50_ms", p50, "ms");
-  report.add("latency_p90_ms", p90, "ms");
-  report.add("latency_p99_ms", p99, "ms");
+  report.add("req_per_sec", off.req_per_sec, "req/s");
+  report.add("wall_ms", off.wall_ms, "ms");
+  report.add("latency_p50_ms", off.p50, "ms");
+  report.add("latency_p90_ms", off.p90, "ms");
+  report.add("latency_p99_ms", off.p99, "ms");
+  report.add("req_per_sec_traced", on.req_per_sec, "req/s");
+  report.add("latency_p99_traced_ms", on.p99, "ms");
+  report.add("tracing_overhead_pct", overhead_pct, "%");
   report.add("clients", kClients, "count");
   report.add("requests", total, "count");
   report.add_table("net_throughput", table);
-  report.write();
+  if (!report.write()) return 1;
 
-  if (failed > 0 || mismatched > 0) {
-    std::printf("FAIL: %d transport failures, %d payload mismatches\n",
-                failed, mismatched);
+  if (bad > 0) {
+    std::printf("FAIL: %d transport failures / payload mismatches\n", bad);
     return 1;
   }
-  if (req_per_sec < kMinReqPerSec) {
-    std::printf("FAIL: %.0f req/s below the %.0f req/s acceptance bar\n",
-                req_per_sec, kMinReqPerSec);
+  if (off.req_per_sec < kMinReqPerSec || on.req_per_sec < kMinReqPerSec) {
+    std::printf("FAIL: below the %.0f req/s acceptance bar\n", kMinReqPerSec);
+    return 1;
+  }
+  if (overhead_pct > kOverheadHardFailPct) {
+    std::printf("FAIL: tracing overhead %.1f%% beyond the %.0f%% hard bar\n",
+                overhead_pct, kOverheadHardFailPct);
     return 1;
   }
   return 0;

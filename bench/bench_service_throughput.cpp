@@ -256,7 +256,7 @@ int main() {
              static_cast<double>(svc.counter("pool.acquire.reused")),
              "count");
   report.add_table("throughput", table);
-  report.write();
+  if (!report.write()) return 1;
 
   if (speedup < 2.0) {
     std::printf("FAIL: warm service below the 2x acceptance bar\n");

@@ -53,7 +53,7 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   report.add_table("table1", table);
-  report.write();
+  if (!report.write()) return 1;
   std::printf(
       "Notes: measured values come from executing the generated kernels on\n"
       "the cycle-accurate simulator at 2.5 ns/instruction.  The early stages\n"

@@ -101,6 +101,6 @@ int main() {
                "cycles");
     report.add("retarget_payload", icap.data_reload_ns(3), "ns");
   }
-  report.write();
+  if (!report.write()) return 1;
   return 0;
 }

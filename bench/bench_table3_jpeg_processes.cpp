@@ -54,7 +54,7 @@ int main() {
   std::printf("%s\n", table.render().c_str());
   report.add("entropy_block", static_cast<double>(hman_cycles), "cycles");
   report.add_table("table3", table);
-  report.write();
+  if (!report.write()) return 1;
   std::printf(
       "Measured cycles execute the generated tile assembly on the cycle\n"
       "simulator.  The paper's DCT (133324 cycles) is float-heavy; our Q12\n"

@@ -61,7 +61,7 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   report.add_table("table4", table);
-  report.write();
+  if (!report.write()) return 1;
   std::printf(
       "Shape checks: Impl2 == Impl3 and Impl4 ~= Impl5 in throughput (the\n"
       "DCT tile dominates unless it is split); splitting the DCT lifts\n"

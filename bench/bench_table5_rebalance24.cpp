@@ -71,6 +71,6 @@ int main() {
                eval.items_per_sec / jpeg::kPaperImageBlocks, "img/s",
                {{"algorithm", mapping::rebalance_name(algo)}});
   }
-  report.write();
+  if (!report.write()) return 1;
   return 0;
 }

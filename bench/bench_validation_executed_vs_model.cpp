@@ -70,7 +70,7 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   report.add_table("executed_vs_model", table);
-  report.write();
+  if (!report.write()) return 1;
   std::printf(
       "Read the slope columns: both executed and modelled costs grow with L\n"
       "faster for wider designs — the mechanism behind Figures 10-12 — even\n"

@@ -6,32 +6,68 @@
 // stats frame — verifying the block reply is bit-identical to calling
 // the service directly in-process.
 //
+// With --trace[=path] every call carries a protocol-v3 trace context:
+// the client opens spans around its round-trips, the server/service
+// stack records connection, queue-wait, epoch-fusion and fabric spans
+// tagged with the same trace id, and at the end the demo pulls the
+// server's live dump over the wire (kTraceDump), merges it with the
+// client timeline and writes ONE Chrome/Perfetto-loadable JSON (default
+// serve_trace.json — open it at https://ui.perfetto.dev).
+//
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/serve_demo
+//   ./build/examples/serve_demo --trace
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <numbers>
+#include <string>
 #include <vector>
 
 #include "cgra/net.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cgra;
+
+  bool trace = false;
+  std::string trace_path = "serve_trace.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace = true;
+      trace_path = argv[i] + 8;
+    } else {
+      std::printf("usage: %s [--trace[=path]]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  // One tracer shared by the server AND its service, so a request's
+  // connection/queue/fusion/fabric spans land in one timeline; the
+  // client records its own side and merges the server dump at the end.
+  obs::Tracer server_tracer;
+  obs::Tracer client_tracer;
 
   // --- server: a 2-worker service behind a loopback TCP front-end ---
   service::ServiceOptions sopt;
   sopt.workers = 2;
   sopt.queue_capacity = 64;
+  if (trace) sopt.tracer = &server_tracer;
   service::Service svc(sopt);
-  net::Server server(&svc);
+  net::ServerOptions nopt;
+  if (trace) nopt.tracer = &server_tracer;
+  net::Server server(&svc, nopt);
   if (const auto s = server.start(); !s.ok()) {
     std::printf("server start failed: %s\n", s.message().c_str());
     return 1;
   }
-  std::printf("serving on 127.0.0.1:%u\n", server.port());
+  std::printf("serving on 127.0.0.1:%u%s\n", server.port(),
+              trace ? " (tracing)" : "");
 
   net::ClientOptions copt;
   copt.port = server.port();
+  if (trace) copt.tracer = &client_tracer;
   net::Client client(copt);
 
   if (const auto s = client.ping(); !s.ok()) {
@@ -47,7 +83,10 @@ int main() {
   }
   block.quant = jpeg::scaled_quant(75);
   net::Response resp;
-  if (const auto s = client.call(service::JobRequest{block}, &resp);
+  net::CallOptions deadline_call;
+  deadline_call.deadline_ms = 5000;  // exercises the deadline-check events
+  if (const auto s =
+          client.call(service::JobRequest{block}, &resp, deadline_call);
       !s.ok() || !resp.result.ok()) {
     std::printf("block failed: %s / %s\n", s.message().c_str(),
                 resp.result.status.message().c_str());
@@ -126,6 +165,47 @@ int main() {
         sample.name == "net.requests" || sample.name == "net.bytes.out") {
       std::printf("stat %-24s %.0f\n", sample.name.c_str(), sample.value);
     }
+  }
+  // Per-request-type latency percentiles (from the server's histograms).
+  for (const auto& sample : stats) {
+    if (sample.name.rfind("net.latency_ms.", 0) == 0 &&
+        (sample.name.size() > 4 &&
+         (sample.name.compare(sample.name.size() - 4, 4, ".p50") == 0 ||
+          sample.name.compare(sample.name.size() - 4, 4, ".p90") == 0 ||
+          sample.name.compare(sample.name.size() - 4, 4, ".p99") == 0))) {
+      std::printf("stat %-32s %8.3f ms\n", sample.name.c_str(), sample.value);
+    }
+  }
+
+  // --- trace export: pull the server dump, merge, write one JSON ---
+  if (trace) {
+    net::TraceDumpInfo dump;
+    if (const auto s = client.trace_dump(&dump); !s.ok()) {
+      std::printf("trace dump failed: %s\n", s.message().c_str());
+      return 1;
+    }
+    const std::string server_json(dump.trace_json.begin(),
+                                  dump.trace_json.end());
+    std::vector<obs::Span> server_spans;
+    if (const auto s = obs::parse_chrome_trace(server_json, &server_spans);
+        !s.ok()) {
+      std::printf("server trace did not parse: %s\n", s.message().c_str());
+      return 1;
+    }
+    client_tracer.merge_spans(server_spans);
+    const std::string merged = client_tracer.to_chrome_json("serve_demo");
+    std::ofstream out(trace_path, std::ios::binary);
+    out << merged;
+    if (!out.good()) {
+      std::printf("cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf(
+        "trace: %zu server spans merged (%u anomalies, %llu flight events) "
+        "-> %s\n",
+        server_spans.size(), dump.anomalies,
+        static_cast<unsigned long long>(dump.events_recorded),
+        trace_path.c_str());
   }
 
   server.stop();

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/tracer.hpp"
+
 namespace cgra::chaos {
 
 const char* hook_name(Hook hook) noexcept {
@@ -112,6 +114,11 @@ void ChaosInjector::attach_metrics(obs::MetricsRegistry* metrics) {
   }
 }
 
+void ChaosInjector::attach_tracer(obs::Tracer* tracer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracer_ = tracer;
+}
+
 Decision ChaosInjector::decide(Hook hook) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto h = static_cast<std::size_t>(hook);
@@ -131,6 +138,13 @@ Decision ChaosInjector::decide(Hook hook) {
     ++fired_[h];
     if (metrics_ != nullptr && fired_counters_[h].valid()) {
       metrics_->add(fired_counters_[h]);
+    }
+    if (tracer_ != nullptr) {
+      // Trace id 0: a firing belongs to no single request, but anomaly
+      // dumps include chaos-fire events alongside the trace's own.
+      tracer_->event(obs::TraceContext{}, obs::FlightEventKind::kChaosFire,
+                     static_cast<std::uint16_t>(hook),
+                     static_cast<std::uint32_t>(rule.action));
     }
     Decision d;
     d.action = rule.action;

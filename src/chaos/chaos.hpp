@@ -31,6 +31,10 @@
 #include "common/prng.hpp"
 #include "obs/metrics.hpp"
 
+namespace cgra::obs {
+class Tracer;
+}  // namespace cgra::obs
+
 namespace cgra::chaos {
 
 /// Named failure points.  Each is compiled into exactly one layer:
@@ -161,6 +165,11 @@ class ChaosInjector {
   /// owned; call before the first decide()).
   void attach_metrics(obs::MetricsRegistry* metrics);
 
+  /// Record every firing as a kChaosFire flight event (code = hook,
+  /// arg = action) on `tracer`'s ring, so anomaly dumps show the chaos
+  /// that explains them.  Not owned; call before the first decide().
+  void attach_tracer(obs::Tracer* tracer);
+
   [[nodiscard]] std::int64_t invocations(Hook hook) const;
   [[nodiscard]] std::int64_t fired(Hook hook) const;
   [[nodiscard]] std::int64_t fired_total() const;
@@ -174,6 +183,7 @@ class ChaosInjector {
   std::vector<int> fired_per_rule_;   ///< Firings consumed per rule.
   std::vector<SplitMix64> rule_rng_;  ///< Per-rule deterministic stream.
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::array<obs::CounterHandle, kHookCount> fired_counters_{};
 };
 

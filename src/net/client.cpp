@@ -145,10 +145,17 @@ void Client::breaker_failure() {
   ++breaker_failures_;
   if (breaker_ == BreakerState::kHalfOpen ||
       breaker_failures_ >= opt_.breaker_threshold) {
+    const bool was_open = breaker_ == BreakerState::kOpen;
     breaker_ = BreakerState::kOpen;
     breaker_open_until_ =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(std::max(1, opt_.breaker_cooldown_ms));
+    if (!was_open && opt_.tracer != nullptr && trace_ctx_.valid()) {
+      opt_.tracer->note_anomaly(
+          trace_ctx_, obs::AnomalyReason::kBreakerOpen,
+          "breaker opened after " + std::to_string(breaker_failures_) +
+              " consecutive transport failures");
+    }
   }
 }
 
@@ -163,6 +170,10 @@ Status Client::roundtrip(const std::vector<std::uint8_t>& frame,
   for (int attempt = 0; attempt <= opt_.max_retries; ++attempt) {
     if (attempt > 0) {
       if (maybe_sent && !idempotent) break;  // resend could double-execute
+      if (opt_.tracer != nullptr && trace_ctx_.valid()) {
+        opt_.tracer->event(trace_ctx_, obs::FlightEventKind::kRetry, 0,
+                           static_cast<std::uint32_t>(attempt));
+      }
       // A failed attempt leaves the stream in an unknown state (a reply
       // may be half-delivered), so retries always reconnect first.
       close();
@@ -228,13 +239,30 @@ Status Client::ping() {
 Status Client::call(const service::JobRequest& job, Response* out,
                     const CallOptions& options) {
   const std::uint64_t id = next_id_++;
+  obs::TraceContext ctx = options.trace;
+  if (!ctx.valid() && opt_.tracer != nullptr &&
+      opt_.protocol_version >= 3) {
+    ctx = opt_.tracer->make_context();
+  }
   std::vector<std::uint8_t> frame;
   JobFrameOptions wire;
   wire.deadline_ms = options.deadline_ms;
   wire.idempotency_id = options.idempotency_id;
+  wire.trace = ctx;
+  wire.version = opt_.protocol_version;
   const Status enc = encode_job_request(id, job, &frame, wire);
   if (!enc.ok()) return enc;
-  return roundtrip(frame, id, options.idempotency_id != 0, out);
+  const Nanoseconds t0 = obs::trace_clock_ns();
+  trace_ctx_ = ctx;
+  const Status s = roundtrip(frame, id, options.idempotency_id != 0, out);
+  trace_ctx_ = obs::TraceContext{};
+  if (opt_.tracer != nullptr && ctx.valid()) {
+    opt_.tracer->span(obs::kTraceTrackClient,
+                      "call req " + std::to_string(id), ctx, t0,
+                      obs::trace_clock_ns() - t0,
+                      {{"status", status_code_name(s.code()), false}});
+  }
+  return s;
 }
 
 Status Client::stats(std::vector<obs::MetricSample>* out) {
@@ -264,6 +292,20 @@ Status Client::health(HealthInfo* out) {
   return Status();
 }
 
+Status Client::trace_dump(TraceDumpInfo* out) {
+  const std::uint64_t id = next_id_++;
+  Response resp;
+  const Status s =
+      roundtrip(encode_trace_dump(id), id, /*idempotent=*/true, &resp);
+  if (!s.ok()) return s;
+  if (resp.type != MsgType::kTraceDumpResult) {
+    return Status::errorf("expected trace dump result, got %s",
+                          msg_type_name(resp.type));
+  }
+  *out = std::move(resp.trace_dump);
+  return Status();
+}
+
 Status Client::cancel(std::uint64_t target_id, bool* cancelled) {
   const std::uint64_t id = next_id_++;
   Response resp;
@@ -288,6 +330,8 @@ Status Client::send(const service::JobRequest& job, std::uint64_t* request_id,
   JobFrameOptions wire;
   wire.deadline_ms = options.deadline_ms;
   wire.idempotency_id = options.idempotency_id;
+  wire.trace = options.trace;
+  wire.version = opt_.protocol_version;
   const Status enc = encode_job_request(id, job, &frame, wire);
   if (!enc.ok()) return enc;
   if (const auto d = chaos::decide(opt_.chaos, chaos::Hook::kClientFrame)) {

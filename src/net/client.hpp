@@ -52,6 +52,15 @@ struct ClientOptions {
   /// Chaos injector for the client-side hooks (kClientConnect,
   /// kClientFrame, kClientRecv); not owned, must outlive the client.
   chaos::ChaosInjector* chaos = nullptr;
+  /// Wire tracer: call() generates a propagated trace context per
+  /// request (when CallOptions::trace is unset), records a client span
+  /// around the round-trip, and logs retry / breaker-open flight
+  /// events.  Not owned, must outlive the client; null = untraced.
+  obs::Tracer* tracer = nullptr;
+  /// Version stamped on job frames (kMinVersion..kVersion).  v2 omits
+  /// the trace context — the compatibility knob the mixed-version tests
+  /// exercise.
+  std::uint8_t protocol_version = kVersion;
 };
 
 /// Per-call robustness options (wire fields of protocol v2 job frames).
@@ -62,6 +71,9 @@ struct CallOptions {
   /// Non-zero marks the request idempotent: the server deduplicates
   /// repeats of the same id, so post-send retries are safe.
   std::uint64_t idempotency_id = 0;
+  /// Explicit trace identity to propagate (v3 frames).  Invalid (the
+  /// default) lets call() mint one from ClientOptions::tracer.
+  obs::TraceContext trace;
 };
 
 class Client {
@@ -92,6 +104,11 @@ class Client {
 
   /// Fetch the server's readiness snapshot.
   [[nodiscard]] Status health(HealthInfo* out);
+
+  /// Pull the server tracer's live dump: anomaly/span/event counts plus
+  /// the full Chrome trace JSON (merge it locally with
+  /// obs::parse_chrome_trace + Tracer::merge_spans).
+  [[nodiscard]] Status trace_dump(TraceDumpInfo* out);
 
   /// Ask the server to cancel a job by its request id; `cancelled`
   /// reports whether it was still cancellable.  Blocking: replies are
@@ -145,6 +162,9 @@ class Client {
   const ClientOptions opt_;
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  /// Trace identity of the call in flight; roundtrip() tags its retry
+  /// and breaker flight events with it (invalid between calls).
+  obs::TraceContext trace_ctx_;
   int connect_attempts_ = 0;
   BreakerState breaker_ = BreakerState::kClosed;
   int breaker_failures_ = 0;

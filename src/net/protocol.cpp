@@ -372,6 +372,7 @@ const char* msg_type_name(MsgType type) noexcept {
     case MsgType::kStats: return "stats";
     case MsgType::kCancel: return "cancel";
     case MsgType::kHealth: return "health";
+    case MsgType::kTraceDump: return "trace.dump";
     case MsgType::kPong: return "pong";
     case MsgType::kJpegBlockResult: return "jpeg.block.result";
     case MsgType::kJpegImageResult: return "jpeg.image.result";
@@ -381,6 +382,7 @@ const char* msg_type_name(MsgType type) noexcept {
     case MsgType::kCancelResult: return "cancel.result";
     case MsgType::kError: return "error";
     case MsgType::kHealthResult: return "health.result";
+    case MsgType::kTraceDumpResult: return "trace.dump.result";
   }
   return "?";
 }
@@ -395,6 +397,7 @@ bool msg_type_is_request(MsgType type) noexcept {
     case MsgType::kStats:
     case MsgType::kCancel:
     case MsgType::kHealth:
+    case MsgType::kTraceDump:
       return true;
     default:
       return false;
@@ -437,9 +440,9 @@ Status decode_header(std::span<const std::uint8_t> bytes, FrameHeader* out) {
   if (magic != kMagic) {
     return Status::errorf("bad frame magic 0x%08x", magic);
   }
-  if (bytes[4] != kVersion) {
-    return Status::errorf("unsupported protocol version %u (speaking %u)",
-                          bytes[4], kVersion);
+  if (bytes[4] < kMinVersion || bytes[4] > kVersion) {
+    return Status::errorf("unsupported protocol version %u (speaking %u..%u)",
+                          bytes[4], kMinVersion, kVersion);
   }
   const std::uint8_t raw_type = bytes[5];
   const auto type = static_cast<MsgType>(raw_type);
@@ -475,6 +478,10 @@ std::vector<std::uint8_t> encode_stats(std::uint64_t request_id) {
 
 std::vector<std::uint8_t> encode_health(std::uint64_t request_id) {
   return control_frame(MsgType::kHealth, request_id);
+}
+
+std::vector<std::uint8_t> encode_trace_dump(std::uint64_t request_id) {
+  return control_frame(MsgType::kTraceDump, request_id);
 }
 
 std::vector<std::uint8_t> encode_pong(std::uint64_t request_id) {
@@ -542,17 +549,52 @@ std::vector<std::uint8_t> encode_stats_result(
   return seal(MsgType::kStatsResult, std::move(buf));
 }
 
+std::vector<std::uint8_t> encode_trace_dump_result(std::uint64_t request_id,
+                                                   const TraceDumpInfo& info) {
+  auto buf = begin_frame();
+  Writer w(&buf);
+  w.u64(request_id);
+  w.u32(info.anomalies);
+  w.u32(info.spans);
+  w.u64(info.events_recorded);
+  w.u64(info.events_dropped);
+  if (info.trace_json.size() > kMaxTraceBytes) {
+    std::vector<std::uint8_t> truncated(
+        info.trace_json.begin(),
+        info.trace_json.begin() + static_cast<long>(kMaxTraceBytes));
+    w.bytes(truncated);
+  } else {
+    w.bytes(info.trace_json);
+  }
+  return seal(MsgType::kTraceDumpResult, std::move(buf));
+}
+
+void stamp_frame_version(std::vector<std::uint8_t>* frame,
+                         std::uint8_t version) {
+  if (frame == nullptr || frame->size() < kHeaderSize) return;
+  if (version < kMinVersion || version > kVersion) return;
+  (*frame)[4] = version;
+}
+
 // --- job request encoder -------------------------------------------------
 
 Status encode_job_request(std::uint64_t request_id,
                           const service::JobRequest& job,
                           std::vector<std::uint8_t>* out,
                           const JobFrameOptions& options) {
+  if (options.version < kMinVersion || options.version > kVersion) {
+    return Status::errorf("cannot encode protocol version %u (speaking %u..%u)",
+                          options.version, kMinVersion, kVersion);
+  }
   auto buf = begin_frame();
   Writer w(&buf);
   w.u64(request_id);
   w.u32(options.deadline_ms);
   w.u64(options.idempotency_id);
+  if (options.version >= 3) {
+    w.u64(options.trace.trace_id);
+    w.u64(options.trace.parent_span_id);
+  }
   MsgType type;
   switch (job.index()) {
     case 0: {
@@ -615,6 +657,7 @@ Status encode_job_request(std::uint64_t request_id,
                           buf.size() - kHeaderSize, kMaxPayload);
   }
   *out = seal(type, std::move(buf));
+  stamp_frame_version(out, options.version);
   return Status();
 }
 
@@ -702,11 +745,17 @@ Status decode_request(const Frame& frame, Request* out) {
   if (msg_type_is_job(frame.header.type)) {
     out->options.deadline_ms = r.u32();
     out->options.idempotency_id = r.u64();
+    out->options.version = frame.header.version;
+    if (frame.header.version >= 3) {
+      out->options.trace.trace_id = r.u64();
+      out->options.trace.parent_span_id = r.u64();
+    }
   }
   switch (frame.header.type) {
     case MsgType::kPing:
     case MsgType::kStats:
     case MsgType::kHealth:
+    case MsgType::kTraceDump:
       break;
     case MsgType::kCancel:
       out->cancel_target = r.u64();
@@ -776,6 +825,7 @@ Status decode_response(const Frame& frame, Response* out) {
   out->cancel_target = 0;
   out->cancelled = false;
   out->health = HealthInfo{};
+  out->trace_dump = TraceDumpInfo{};
   switch (frame.header.type) {
     case MsgType::kPong:
       out->result.status = Status();
@@ -804,6 +854,14 @@ Status decode_response(const Frame& frame, Response* out) {
     case MsgType::kCancelResult:
       out->cancel_target = r.u64();
       out->cancelled = r.boolean();
+      out->result.status = Status();
+      break;
+    case MsgType::kTraceDumpResult:
+      out->trace_dump.anomalies = r.u32();
+      out->trace_dump.spans = r.u32();
+      out->trace_dump.events_recorded = r.u64();
+      out->trace_dump.events_dropped = r.u64();
+      out->trace_dump.trace_json = r.blob(kMaxTraceBytes);
       out->result.status = Status();
       break;
     case MsgType::kStatsResult: {

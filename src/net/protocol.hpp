@@ -23,6 +23,15 @@
 // matching, and kHealth/kHealthResult report server readiness for
 // load-shed-aware clients.
 //
+// Version 3 adds wire tracing: job payloads carry a 128-bit trace
+// context (u64 trace id + u64 parent span id, client-generated, zero =
+// untraced) right after the idempotency id, and kTraceDump /
+// kTraceDumpResult frames pull the server's merged trace JSON and
+// flight-recorder anomaly summary live (docs/OBSERVABILITY.md, "Wire
+// tracing").  Decoders accept kMinVersion..kVersion and read the trace
+// fields only from v3 frames; the server echoes the request's version
+// on its replies so v2 clients keep working unchanged.
+//
 // Request payloads mirror cgra::service::JobRequest — JPEG block (plain
 // or resilient, fault plan and recovery policy travel in the frame),
 // whole image, FFT and DSE sweep — plus ping, stats and cancel control
@@ -50,12 +59,15 @@
 
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "service/job.hpp"
 
 namespace cgra::net {
 
 inline constexpr std::uint32_t kMagic = 0x43475241u;
-inline constexpr std::uint8_t kVersion = 2;
+inline constexpr std::uint8_t kVersion = 3;
+/// Oldest version still decoded; v2 peers see identical behaviour.
+inline constexpr std::uint8_t kMinVersion = 2;
 inline constexpr std::size_t kHeaderSize = 12;
 /// Hard bound on a frame payload; frames claiming more are rejected
 /// before any allocation happens.
@@ -69,6 +81,9 @@ inline constexpr std::uint32_t kMaxEdges = 1u << 16;
 inline constexpr std::uint32_t kMaxSweepPoints = 4096;
 inline constexpr std::uint32_t kMaxStatsSamples = 1u << 16;
 inline constexpr std::uint32_t kMaxStringBytes = 4096;
+/// Bound on the trace JSON blob in kTraceDumpResult (exceeds
+/// kMaxStringBytes by design — traces are big).
+inline constexpr std::uint32_t kMaxTraceBytes = kMaxPayload / 2;
 
 /// Frame types.  Requests are 1..63, responses 65..127; the response for
 /// request type T is T + kResponseOffset (control frames included).
@@ -81,6 +96,7 @@ enum class MsgType : std::uint8_t {
   kStats = 6,
   kCancel = 7,
   kHealth = 9,  // 8 is skipped so the response slot 72 stays kError's.
+  kTraceDump = 10,
 
   kPong = 65,
   kJpegBlockResult = 66,
@@ -91,6 +107,7 @@ enum class MsgType : std::uint8_t {
   kCancelResult = 71,
   kError = 72,
   kHealthResult = 73,
+  kTraceDumpResult = 74,
 };
 
 inline constexpr std::uint8_t kResponseOffset = 64;
@@ -124,11 +141,15 @@ struct Frame {
 
 // --- request / response value types -------------------------------------
 
-/// Per-request robustness fields carried on job frames (v2).
+/// Per-request robustness + tracing fields carried on job frames.
 struct JobFrameOptions {
   std::uint32_t deadline_ms = 0;     ///< 0 = no deadline.
   std::uint64_t idempotency_id = 0;  ///< 0 = not idempotent (never retried
                                      ///< after the frame may have been sent).
+  obs::TraceContext trace;           ///< v3: propagated trace identity
+                                     ///< (trace_id 0 = untraced).
+  std::uint8_t version = kVersion;   ///< Wire version to speak; the trace
+                                     ///< context is omitted below v3.
 };
 
 /// Server-side view of any request frame.
@@ -160,6 +181,16 @@ struct HealthInfo {
   std::uint32_t connections = 0;     ///< Open client connections.
 };
 
+/// kTraceDumpResult payload: the server's flight-recorder counters plus
+/// its merged trace as Chrome trace-event JSON (UTF-8 bytes).
+struct TraceDumpInfo {
+  std::uint32_t anomalies = 0;          ///< Retained AnomalyRecords.
+  std::uint32_t spans = 0;              ///< Spans in the dumped timeline.
+  std::uint64_t events_recorded = 0;    ///< Flight events ever recorded.
+  std::uint64_t events_dropped = 0;     ///< Overwritten before dumping.
+  std::vector<std::uint8_t> trace_json; ///< <= kMaxTraceBytes.
+};
+
 /// Client-side view of any response frame.  For job responses `result`
 /// carries the same payload types service::Service::wait() returns (the
 /// DSE payload is summarised into `dse_points`); kError frames decode to
@@ -173,6 +204,7 @@ struct Response {
   std::uint64_t cancel_target = 0;            ///< kCancelResult.
   bool cancelled = false;                     ///< kCancelResult.
   HealthInfo health;                          ///< kHealthResult.
+  TraceDumpInfo trace_dump;                   ///< kTraceDumpResult.
 };
 
 // --- encoding ------------------------------------------------------------
@@ -184,6 +216,8 @@ struct Response {
     std::uint64_t request_id, std::uint64_t target_id);
 [[nodiscard]] std::vector<std::uint8_t> encode_health(
     std::uint64_t request_id);
+[[nodiscard]] std::vector<std::uint8_t> encode_trace_dump(
+    std::uint64_t request_id);
 [[nodiscard]] std::vector<std::uint8_t> encode_pong(std::uint64_t request_id);
 [[nodiscard]] std::vector<std::uint8_t> encode_error(
     std::uint64_t request_id, std::string_view message,
@@ -194,6 +228,16 @@ struct Response {
     std::uint64_t request_id, std::uint64_t target_id, bool cancelled);
 [[nodiscard]] std::vector<std::uint8_t> encode_stats_result(
     std::uint64_t request_id, const std::vector<obs::MetricSample>& samples);
+/// The trace JSON is truncated to kMaxTraceBytes (at which point it no
+/// longer parses — dump earlier / cap the tracer rather than rely on it).
+[[nodiscard]] std::vector<std::uint8_t> encode_trace_dump_result(
+    std::uint64_t request_id, const TraceDumpInfo& info);
+
+/// Re-stamp an encoded frame's version byte (reply version echo: the
+/// server answers a v2 request with v2 frames).  No-op outside
+/// kMinVersion..kVersion or on short buffers.
+void stamp_frame_version(std::vector<std::uint8_t>* frame,
+                         std::uint8_t version);
 
 /// Encode a job request; fails when the request exceeds protocol bounds
 /// (e.g. an image larger than kMaxPayload).

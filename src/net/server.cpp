@@ -55,6 +55,9 @@ struct Server::Connection {
     MsgType request_type = MsgType::kPing;
     std::uint64_t request_id = 0;
     Nanoseconds start_ns = 0;
+    std::uint8_t version = kVersion;  ///< Echoed on the reply frame.
+    obs::TraceContext trace;          ///< v3 propagated trace identity.
+    Nanoseconds trace_start_ns = 0;   ///< Frame arrival, trace clock.
   };
 
   std::mutex mu;
@@ -117,6 +120,13 @@ Server::Server(service::Service* service, ServerOptions opt)
         return o;
       }()),
       epoch_(std::chrono::steady_clock::now()) {
+  if (opt_.tracer != nullptr) {
+    tracer_ = opt_.tracer;
+  } else {
+    own_tracer_ = std::make_unique<obs::Tracer>();
+    tracer_ = own_tracer_.get();
+  }
+  if (opt_.chaos != nullptr) opt_.chaos->attach_tracer(tracer_);
   std::lock_guard<std::mutex> obs(obs_mu_);
   accepted_ = metrics_.counter("net.connections.accepted");
   refused_ = metrics_.counter("net.connections.refused");
@@ -136,6 +146,15 @@ Server::Server(service::Service* service, ServerOptions opt)
   deadline_submits_ = metrics_.counter("net.deadline.submits");
   bytes_in_ = metrics_.counter("net.bytes.in");
   bytes_out_ = metrics_.counter("net.bytes.out");
+  const std::vector<double> latency_bounds = {0.1, 0.25, 0.5,  1.0,  2.5,
+                                              5.0, 10.0, 25.0, 50.0, 100.0,
+                                              250.0, 1000.0};
+  const char* const kJobNames[4] = {"jpeg.block", "jpeg.image", "fft",
+                                    "dse.sweep"};
+  for (std::size_t i = 0; i < latency_ms_.size(); ++i) {
+    latency_ms_[i] = metrics_.histogram(
+        std::string("net.latency_ms.") + kJobNames[i], latency_bounds);
+  }
   spans_.set_track_name(kTrackNet, "net requests");
 }
 
@@ -217,9 +236,26 @@ std::int64_t Server::counter(std::string_view name) const {
   return metrics_.counter_value(name);
 }
 
+obs::HistogramHandle Server::latency_histogram(MsgType type) const {
+  if (!msg_type_is_job(type)) return {};
+  return latency_ms_[static_cast<std::size_t>(type) -
+                     static_cast<std::size_t>(MsgType::kJpegBlock)];
+}
+
 std::vector<obs::MetricSample> Server::metrics_samples() const {
   std::lock_guard<std::mutex> obs(obs_mu_);
-  return metrics_.samples();
+  auto samples = metrics_.samples();
+  // Percentile gauges from the latency histograms: remote stats readers
+  // get p50/p90/p99 without shipping the raw buckets over the wire.
+  for (const obs::HistogramSnapshot& h : metrics_.histograms()) {
+    if (h.total <= 0) continue;
+    samples.push_back({h.name + ".count", true,
+                       static_cast<double>(h.total)});
+    samples.push_back({h.name + ".p50", false, histogram_quantile(h, 0.50)});
+    samples.push_back({h.name + ".p90", false, histogram_quantile(h, 0.90)});
+    samples.push_back({h.name + ".p99", false, histogram_quantile(h, 0.99)});
+  }
+  return samples;
 }
 
 std::size_t Server::span_count() const {
@@ -313,7 +349,11 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
     }
     if (notify) conn->cv.notify_one();
   };
+  // Version of the frame currently being answered: replies are stamped
+  // with the dialect the client spoke (a v2 client rejects v3 frames).
+  std::uint8_t cur_version = kVersion;
   const auto queue_ready = [&](std::vector<std::uint8_t> bytes) {
+    stamp_frame_version(&bytes, cur_version);
     Connection::Pending p;
     p.ready = std::move(bytes);
     queue_reply(std::move(p));
@@ -365,6 +405,8 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
       break;
     }
     const Nanoseconds start = now_ns();
+    const Nanoseconds trace_start = obs::trace_clock_ns();
+    cur_version = frame.header.version;
     {
       std::lock_guard<std::mutex> obs(obs_mu_);
       metrics_.add(requests_);
@@ -402,6 +444,18 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
           info.connections = static_cast<std::uint32_t>(conns_.size());
         }
         queue_ready(encode_health_result(req.request_id, info));
+        break;
+      }
+      case MsgType::kTraceDump: {
+        TraceDumpInfo info;
+        info.anomalies =
+            static_cast<std::uint32_t>(tracer_->anomalies().size());
+        info.spans = static_cast<std::uint32_t>(tracer_->span_count());
+        info.events_recorded = tracer_->events_recorded();
+        info.events_dropped = tracer_->events_dropped();
+        const std::string json = tracer_->to_chrome_json("cgra.server");
+        info.trace_json.assign(json.begin(), json.end());
+        queue_ready(encode_trace_dump_result(req.request_id, info));
         break;
       }
       case MsgType::kCancel: {
@@ -446,9 +500,15 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
         }
         if (handle == nullptr) {
           service::SubmitOptions sopt;
+          sopt.trace = req.options.trace;
           if (req.options.deadline_ms > 0) {
             sopt.deadline = std::chrono::steady_clock::now() +
                             std::chrono::milliseconds(req.options.deadline_ms);
+            if (req.options.trace.valid()) {
+              tracer_->event(req.options.trace,
+                             obs::FlightEventKind::kDeadlineCheck, 0,
+                             req.options.deadline_ms);
+            }
             std::lock_guard<std::mutex> obs(obs_mu_);
             metrics_.add(deadline_submits_);
           }
@@ -472,6 +532,9 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
         p.request_type = req.type;
         p.request_id = req.request_id;
         p.start_ns = start;
+        p.version = frame.header.version;
+        p.trace = req.options.trace;
+        p.trace_start_ns = trace_start;
         {
           std::lock_guard<std::mutex> lock(conn->mu);
           ++conn->inflight;
@@ -512,14 +575,25 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
       req.request_id = pending.request_id;
       const Status enc = encode_job_result(req, result, &bytes);
       if (!enc.ok()) bytes = encode_error(pending.request_id, enc.message());
+      stamp_frame_version(&bytes, pending.version);
+      const Nanoseconds dur = now_ns() - pending.start_ns;
       {
         std::lock_guard<std::mutex> obs(obs_mu_);
         if (!result.status.ok()) metrics_.add(errors_);
+        metrics_.observe(latency_histogram(pending.request_type), dur / 1e6);
         spans_.complete(
             "req " + std::to_string(pending.request_id),
-            "net.request", kTrackNet, pending.start_ns,
-            now_ns() - pending.start_ns,
+            "net.request", kTrackNet, pending.start_ns, dur,
             {{"type", msg_type_name(pending.request_type), false}});
+      }
+      if (pending.trace.valid()) {
+        const Nanoseconds tdur =
+            obs::trace_clock_ns() - pending.trace_start_ns;
+        tracer_->span(obs::kTraceTrackConnection,
+                      "conn req " + std::to_string(pending.request_id),
+                      pending.trace, pending.trace_start_ns, tdur,
+                      {{"type", msg_type_name(pending.request_type), false}});
+        tracer_->note_complete(pending.trace, tdur);
       }
       {
         std::lock_guard<std::mutex> lock(conn->mu);

@@ -53,9 +53,12 @@
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/tracer.hpp"
 #include "service/service.hpp"
 
 namespace cgra::net {
+
+enum class MsgType : std::uint8_t;  // protocol.hpp
 
 /// Why a connection closed; the FIRST cause observed wins (e.g. a chaos
 /// reset that later surfaces as a write error still counts as chaos).
@@ -88,6 +91,12 @@ struct ServerOptions {
   /// Chaos injector for the server-side hooks (kAccept, kServerRead,
   /// kServerWrite, kServerFrame); not owned, must outlive the server.
   chaos::ChaosInjector* chaos = nullptr;
+  /// Wire tracer recording connection spans, flight events and the
+  /// kTraceDump payload.  Share one tracer between the Server and its
+  /// Service so a request's spans land in one timeline.  Not owned; must
+  /// outlive the server.  Null: the server creates a private tracer, so
+  /// kTraceDump always answers.
+  obs::Tracer* tracer = nullptr;
 };
 
 class Server {
@@ -113,10 +122,15 @@ class Server {
   /// The bound port (resolves option port 0 after start()).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-  /// Server-side counters (net.*) and per-request spans.
+  /// Server-side counters (net.*) and per-request spans.  The samples
+  /// include p50/p90/p99 gauges derived from the per-request-type
+  /// latency histograms (net.latency_ms.<type>.p50 ...).
   [[nodiscard]] std::int64_t counter(std::string_view name) const;
   [[nodiscard]] std::vector<obs::MetricSample> metrics_samples() const;
   [[nodiscard]] std::size_t span_count() const;
+
+  /// The tracer answering kTraceDump (the option's, or the private one).
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
 
  private:
   struct Connection;
@@ -139,8 +153,13 @@ class Server {
 
   [[nodiscard]] Nanoseconds now_ns() const;
 
+  /// Latency histogram for a job request type (null handle otherwise).
+  [[nodiscard]] obs::HistogramHandle latency_histogram(MsgType type) const;
+
   service::Service* const service_;
   const ServerOptions opt_;
+  std::unique_ptr<obs::Tracer> own_tracer_;  ///< When no tracer was given.
+  obs::Tracer* tracer_ = nullptr;            ///< Never null after ctor.
   const std::chrono::steady_clock::time_point epoch_;
 
   int listen_fd_ = -1;
@@ -176,6 +195,9 @@ class Server {
   obs::CounterHandle deadline_submits_;
   obs::CounterHandle bytes_in_;
   obs::CounterHandle bytes_out_;
+  /// Per-request-type latency histograms, indexed by job MsgType -
+  /// kJpegBlock (jpeg.block, jpeg.image, fft, dse.sweep).
+  std::array<obs::HistogramHandle, 4> latency_ms_{};
 };
 
 }  // namespace cgra::net

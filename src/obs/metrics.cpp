@@ -203,4 +203,25 @@ std::string MetricsRegistry::to_table() const {
   return table.render();
 }
 
+double histogram_quantile(const HistogramSnapshot& snap, double q) {
+  if (snap.total <= 0 || snap.counts.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(snap.total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+    const double prev = cum;
+    cum += static_cast<double>(snap.counts[b]);
+    if (cum < rank || snap.counts[b] == 0) continue;
+    // Overflow bucket has no upper bound: clamp to the last finite one.
+    if (b >= snap.bounds.size()) return snap.bounds.back();
+    const double lo = b == 0 ? 0.0 : snap.bounds[b - 1];
+    const double hi = snap.bounds[b];
+    const double frac =
+        (rank - prev) / static_cast<double>(snap.counts[b]);
+    return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
+  }
+  return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+}
+
 }  // namespace cgra::obs

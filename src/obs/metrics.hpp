@@ -148,4 +148,11 @@ class MetricsRegistry {
   std::vector<Histogram> hists_;
 };
 
+/// Quantile estimate (q in [0,1]) from a histogram snapshot by linear
+/// interpolation within the winning bucket.  The overflow bucket clamps
+/// to bounds.back().  Returns 0 for an empty histogram.  Feeds the
+/// p50/p90/p99 gauges the server appends to kStatsResult frames.
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& snap,
+                                        double q);
+
 }  // namespace cgra::obs

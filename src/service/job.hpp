@@ -27,6 +27,7 @@
 #include "faults/fault_plan.hpp"
 #include "faults/recovery.hpp"
 #include "mapping/rebalance.hpp"
+#include "obs/tracer.hpp"
 #include "procnet/network.hpp"
 
 namespace cgra::service {
@@ -129,6 +130,9 @@ struct JobState {
   std::optional<std::chrono::steady_clock::time_point> deadline;
   Nanoseconds queued_at_ns = 0.0;   ///< Host time on the service clock.
   Nanoseconds started_at_ns = 0.0;  ///< Set when a worker picks it up.
+  obs::TraceContext trace;          ///< Propagated wire-trace identity.
+  Nanoseconds trace_queued_ns = 0.0;   ///< Same instants on the process-wide
+  Nanoseconds trace_started_ns = 0.0;  ///< trace clock (obs::trace_clock_ns).
 
   std::mutex mu;
   std::condition_variable cv;

@@ -83,7 +83,11 @@ Service::Service(ServiceOptions opt)
       }()),
       epoch_(std::chrono::steady_clock::now()),
       pool_(opt.max_fabrics_per_shape),
-      chaos_(opt.chaos) {
+      chaos_(opt.chaos),
+      tracer_(opt.tracer) {
+  if (chaos_ != nullptr && tracer_ != nullptr) {
+    chaos_->attach_tracer(tracer_);
+  }
   {
     std::lock_guard<std::mutex> lock(obs_mu_);
     submitted_ = metrics_.counter("service.jobs.submitted");
@@ -123,6 +127,9 @@ SubmitResult Service::submit(JobRequest request, SubmitOptions options) {
   state->request = std::move(request);
   state->deadline = options.deadline;
   state->queued_at_ns = now_ns();
+  state->trace = options.trace;
+  state->trace_queued_ns = obs::trace_clock_ns();
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -140,10 +147,15 @@ SubmitResult Service::submit(JobRequest request, SubmitOptions options) {
     state->id = next_id_++;
     state->batch_key = batch_key_for(state->request, state->id);
     queue_.push_back(state);
+    depth = queue_.size();
   }
   {
     std::lock_guard<std::mutex> obs(obs_mu_);
     metrics_.add(submitted_);
+  }
+  if (tracer_ != nullptr && state->trace.valid()) {
+    tracer_->event(state->trace, obs::FlightEventKind::kEnqueue, 0,
+                   static_cast<std::uint32_t>(depth));
   }
   queue_cv_.notify_one();
   return {std::move(state), Status()};
@@ -228,6 +240,18 @@ std::vector<obs::MetricSample> Service::metrics_samples() const {
 
 void Service::finish(const JobHandle& job, JobResult result) {
   const bool ok = result.status.ok();
+  if (tracer_ != nullptr && job->trace.valid()) {
+    tracer_->event(job->trace, obs::FlightEventKind::kComplete,
+                   static_cast<std::uint16_t>(result.status.code()), 0);
+    if (!ok) {
+      tracer_->note_anomaly(
+          job->trace,
+          result.status.code() == StatusCode::kDeadlineExceeded
+              ? obs::AnomalyReason::kDeadlineExceeded
+              : obs::AnomalyReason::kError,
+          result.status.message());
+    }
+  }
   // Counters first: a caller that observed wait() return must also
   // observe the counters already reflecting this job.
   {
@@ -246,6 +270,14 @@ void Service::resume_after_crash(const std::vector<JobHandle>& batch) {
   {
     std::lock_guard<std::mutex> obs(obs_mu_);
     metrics_.add(crashes_);
+  }
+  if (tracer_ != nullptr) {
+    for (const auto& job : batch) {
+      if (!job->trace.valid()) continue;
+      tracer_->event(job->trace, obs::FlightEventKind::kRetry, 0, 1);
+      tracer_->note_anomaly(job->trace, obs::AnomalyReason::kCrashResume,
+                            "worker crashed; batch requeued at queue front");
+    }
   }
   bool resumed = false;
   {
@@ -279,7 +311,13 @@ void Service::resume_after_crash(const std::vector<JobHandle>& batch) {
 
 bool Service::finish_if_deadline_expired(const JobHandle& job) {
   if (!job->deadline || std::chrono::steady_clock::now() <= *job->deadline) {
+    if (tracer_ != nullptr && job->deadline && job->trace.valid()) {
+      tracer_->event(job->trace, obs::FlightEventKind::kDeadlineCheck, 0, 0);
+    }
     return false;
+  }
+  if (tracer_ != nullptr && job->trace.valid()) {
+    tracer_->event(job->trace, obs::FlightEventKind::kDeadlineCheck, 1, 0);
   }
   {
     std::lock_guard<std::mutex> obs(obs_mu_);
@@ -291,7 +329,12 @@ bool Service::finish_if_deadline_expired(const JobHandle& job) {
   return true;
 }
 
-FabricPool::Lease Service::acquire_fabric(int rows, int cols) {
+FabricPool::Lease Service::acquire_fabric(int rows, int cols,
+                                          const JobHandle& head) {
+  const bool traced =
+      tracer_ != nullptr && head != nullptr && head->trace.valid();
+  const auto shape_code = static_cast<std::uint16_t>(
+      (static_cast<unsigned>(rows) << 8) | static_cast<unsigned>(cols & 0xFF));
   auto lease = pool_.acquire(rows, cols);
   if (!lease.valid()) {
     // Injected kPoolLease failure; one retry recovers (the pool can
@@ -300,9 +343,24 @@ FabricPool::Lease Service::acquire_fabric(int rows, int cols) {
       std::lock_guard<std::mutex> obs(obs_mu_);
       metrics_.add(lease_retries_);
     }
+    if (traced) {
+      tracer_->event(head->trace, obs::FlightEventKind::kRetry, shape_code, 1);
+    }
     lease = pool_.acquire(rows, cols);
   }
+  if (traced) {
+    tracer_->event(head->trace, obs::FlightEventKind::kLease, shape_code,
+                   lease.valid() ? 1 : 0);
+  }
   return lease;
+}
+
+void Service::trace_fabric(const JobHandle& job, Nanoseconds t0,
+                           const char* what) {
+  if (tracer_ == nullptr || !job->trace.valid()) return;
+  tracer_->span(obs::kTraceTrackFabric, std::string("fabric ") + what,
+                job->trace, t0, obs::trace_clock_ns() - t0,
+                {{"job", std::to_string(job->id), true}});
 }
 
 template <typename T, typename Builder>
@@ -350,6 +408,10 @@ std::vector<JobHandle> Service::next_batch() {
         std::lock_guard<std::mutex> obs(obs_mu_);
         metrics_.add(expired_);
       }
+      if (tracer_ != nullptr && head->trace.valid()) {
+        tracer_->event(head->trace, obs::FlightEventKind::kDeadlineCheck, 1,
+                       0);
+      }
       JobResult r;
       r.status = Status::deadline_exceeded("deadline expired before execution");
       finish(head, std::move(r));
@@ -376,10 +438,25 @@ std::vector<JobHandle> Service::next_batch() {
       std::this_thread::sleep_for(std::chrono::milliseconds(d.a));
     }
     const Nanoseconds start = now_ns();
+    const Nanoseconds trace_start = obs::trace_clock_ns();
     for (const auto& job : batch) {
       job->started_at_ns = start;
+      job->trace_started_ns = trace_start;
       std::lock_guard<std::mutex> jl(job->mu);
       job->phase = JobPhase::kRunning;
+    }
+    if (tracer_ != nullptr) {
+      for (const auto& job : batch) {
+        if (!job->trace.valid()) continue;
+        tracer_->event(job->trace, obs::FlightEventKind::kDequeue, 0, 0);
+        tracer_->event(job->trace, obs::FlightEventKind::kBatchAttach, 0,
+                       static_cast<std::uint32_t>(batch.size()));
+        tracer_->span(obs::kTraceTrackQueue,
+                      "queue wait job " + std::to_string(job->id), job->trace,
+                      job->trace_queued_ns,
+                      trace_start - job->trace_queued_ns,
+                      {{"kind", job_kind_name(job->request), false}});
+      }
     }
     {
       std::lock_guard<std::mutex> obs(obs_mu_);
@@ -406,6 +483,17 @@ void Service::worker_loop() {
       return;  // this worker thread "dies"
     }
     execute_batch(batch);
+    if (tracer_ != nullptr) {
+      const Nanoseconds trace_end = obs::trace_clock_ns();
+      for (const auto& job : batch) {
+        tracer_->span(obs::kTraceTrackFusion,
+                      "epoch fusion job " + std::to_string(job->id),
+                      job->trace, job->trace_started_ns,
+                      trace_end - job->trace_started_ns,
+                      {{"kind", job_kind_name(job->request), false},
+                       {"batch", std::to_string(batch.size()), true}});
+      }
+    }
     {
       std::lock_guard<std::mutex> obs(obs_mu_);
       const Nanoseconds end = now_ns();
@@ -440,7 +528,7 @@ void Service::run_jpeg_block_batch(const std::vector<JobHandle>& batch) {
     const auto art = cached<jpeg::JpegPipelineArtifacts>(
         "jpeg.pipeline:q=" + hex64(fnv1a_values(first.quant)),
         [&] { return jpeg::make_pipeline_artifacts(first.quant); });
-    auto lease = acquire_fabric(1, 4);
+    auto lease = acquire_fabric(1, 4, batch.front());
     if (!lease.valid()) {
       fail_batch(batch, Status::unavailable("no fabric lease for jpeg.block"));
       return;
@@ -460,17 +548,19 @@ void Service::run_jpeg_block_batch(const std::vector<JobHandle>& batch) {
         (*lease).kill_tile(
             poison_target(d, (*lease).rows() * (*lease).cols()));
       }
+      const Nanoseconds t0 = obs::trace_clock_ns();
       auto res = pipe->encode(req.raw);
       if (!res.ok() && !(*lease).dead_tiles().empty()) {
         // Crash-resume: the fabric died under the job.  encode() is pure
         // and nothing was delivered, so swap in a fresh lease and re-run.
         lease.release();
-        lease = acquire_fabric(1, 4);
+        lease = acquire_fabric(1, 4, job);
         if (lease.valid()) {
           pipe = std::make_unique<jpeg::BlockPipeline>(*lease, *art);
           if (pipe->setup_status().ok()) res = pipe->encode(req.raw);
         }
       }
+      trace_fabric(job, t0, "jpeg.block");
       r.status = res.status;
       JpegBlockJobResult payload;
       payload.zigzagged = res.zigzagged;
@@ -491,7 +581,7 @@ void Service::run_jpeg_block_batch(const std::vector<JobHandle>& batch) {
         return jpeg::make_resilient_artifacts(first.quant, first.rows,
                                               first.cols);
       });
-  auto lease = acquire_fabric(first.rows, first.cols);
+  auto lease = acquire_fabric(first.rows, first.cols, batch.front());
   if (!lease.valid()) {
     fail_batch(batch, Status::unavailable("no fabric lease for jpeg.block"));
     return;
@@ -509,8 +599,10 @@ void Service::run_jpeg_block_batch(const std::vector<JobHandle>& batch) {
       // RecoveryManager must rebalance onto surviving tiles and resume.
       plan.kill_tile(d.b, poison_target(d, first.rows * first.cols));
     }
+    const Nanoseconds t0 = obs::trace_clock_ns();
     auto res = jpeg::encode_block_resilient_on(*lease, *art, req.raw, plan,
                                                req.policy);
+    trace_fabric(job, t0, "jpeg.resilient");
     JobResult r;
     if (res.report.ok) {
       r.status = Status();
@@ -535,7 +627,7 @@ void Service::run_jpeg_image_batch(const std::vector<JobHandle>& batch) {
   const auto art = cached<jpeg::JpegPipelineArtifacts>(
       "jpeg.pipeline:q=" + hex64(fnv1a_values(quant)),
       [&] { return jpeg::make_pipeline_artifacts(quant); });
-  auto lease = acquire_fabric(1, 4);
+  auto lease = acquire_fabric(1, 4, batch.front());
   if (!lease.valid()) {
     fail_batch(batch, Status::unavailable("no fabric lease for jpeg.image"));
     return;
@@ -558,6 +650,7 @@ void Service::run_jpeg_image_batch(const std::vector<JobHandle>& batch) {
       finish(job, std::move(r));
       continue;
     }
+    const Nanoseconds t0 = obs::trace_clock_ns();
     JpegImageJobResult payload;
     std::vector<jpeg::IntBlock> blocks;
     blocks.reserve(static_cast<std::size_t>(
@@ -577,6 +670,7 @@ void Service::run_jpeg_image_batch(const std::vector<JobHandle>& batch) {
         blocks.push_back(res.zigzagged);
       }
     }
+    trace_fabric(job, t0, "jpeg.image");
     r.status = status;
     if (status.ok()) {
       payload.jfif =
@@ -610,7 +704,7 @@ void Service::run_fft_batch(const std::vector<JobHandle>& batch) {
         "asm:" + hex64(fnv1a(src)), [&] { return fft::must_assemble(src); });
     return *prog;
   };
-  auto lease = acquire_fabric(g.rows, first.cols);
+  auto lease = acquire_fabric(g.rows, first.cols, batch.front());
   if (!lease.valid()) {
     fail_batch(batch, Status::unavailable("no fabric lease for fft"));
     return;
@@ -630,17 +724,19 @@ void Service::run_fft_batch(const std::vector<JobHandle>& batch) {
     opt.fabric = lease.get();
     opt.assemble = assemble;
     opt.twiddles = twiddles.get();
+    const Nanoseconds t0 = obs::trace_clock_ns();
     auto res = fft::run_fabric_fft(g, req.input, opt);
     if (!res.status.ok() && !(*lease).dead_tiles().empty()) {
       // Crash-resume onto a replacement lease (release() resets the dead
       // fabric back to health before returning it to the pool).
       lease.release();
-      lease = acquire_fabric(g.rows, first.cols);
+      lease = acquire_fabric(g.rows, first.cols, job);
       if (lease.valid()) {
         opt.fabric = lease.get();
         res = fft::run_fabric_fft(g, req.input, opt);
       }
     }
+    trace_fabric(job, t0, "fft");
     JobResult r;
     r.status = res.status;
     FftJobResult payload;

@@ -59,6 +59,10 @@ struct SubmitOptions {
   /// Give up if a worker has not STARTED the job by then: expired jobs
   /// complete with a "deadline exceeded" Status instead of executing.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Wire-trace identity (zero = untraced).  Traced jobs record
+  /// queue-wait / epoch-fusion / fabric-epoch spans and flight events on
+  /// the attached ServiceOptions::tracer.
+  obs::TraceContext trace;
 };
 
 /// Service construction knobs.
@@ -71,6 +75,10 @@ struct ServiceOptions {
   /// service-level hooks: kWorkerCrash, kPoolLease, kCachePoison,
   /// kQueueStall, kFabricPoison.
   chaos::ChaosInjector* chaos = nullptr;
+  /// Wire tracer (not owned; must outlive the service).  Traced jobs
+  /// record spans + flight-recorder events here; null disables tracing
+  /// at one branch per instrumentation point.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// The asynchronous job service.  Thread-safe; destruction drains the
@@ -146,8 +154,14 @@ class Service {
 
   /// Pool acquire with one retry absorbing an injected kPoolLease
   /// failure.  May still return an invalid lease (callers fail the batch
-  /// with kUnavailable).
-  [[nodiscard]] FabricPool::Lease acquire_fabric(int rows, int cols);
+  /// with kUnavailable).  `head` attributes the lease (and any retry) to
+  /// the batch head's flight recorder.
+  [[nodiscard]] FabricPool::Lease acquire_fabric(int rows, int cols,
+                                                 const JobHandle& head);
+
+  /// Record a fabric-epoch span for a traced job: t0 .. now on the trace
+  /// clock, on the fabric track.
+  void trace_fabric(const JobHandle& job, Nanoseconds t0, const char* what);
 
   /// Cache lookup routed through the kCachePoison hook (an injected
   /// failure evicts the key first, forcing a rebuild).
@@ -190,6 +204,7 @@ class Service {
   obs::CounterHandle lease_retries_;
   obs::HistogramHandle batch_size_;
   chaos::ChaosInjector* const chaos_;
+  obs::Tracer* const tracer_;
 
   std::vector<std::thread> workers_;
 };

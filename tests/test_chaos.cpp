@@ -348,6 +348,71 @@ TEST(ChaosFuzz, TruncatedFramesNeverKillServer) {
   }
 }
 
+/// v3 job payloads carry the trace context at frame bytes 32..47.  Flip
+/// every one of those bytes, and truncate the frame at boundaries that
+/// land inside the context: the server must survive each, and a clean
+/// follow-up request must still round-trip bit-identically.  (A flipped
+/// trace byte is semantically harmless — it only renames the trace — so
+/// the chaotic call itself usually succeeds.)
+TEST(ChaosFuzz, CorruptedTraceContextNeverKillsServer) {
+  ChaosRig rig;
+  const auto job = fft_request(32, 2);
+  const auto reference = fft::run_fabric_fft(
+      fft::make_geometry(32, 8), std::get<service::FftRequest>(job).input);
+  ASSERT_TRUE(reference.status.ok());
+
+  for (std::int64_t index = 32; index <= 47; ++index) {
+    ChaosPlan plan;
+    plan.corrupt_byte(Hook::kClientFrame, index, /*mask=*/0xA5, /*first=*/1);
+    ChaosInjector inj(plan);
+    ClientOptions copt;
+    copt.port = rig.server.port();
+    copt.request_timeout_ms = 300;
+    copt.max_retries = 1;
+    copt.retry_backoff_ms = 10;
+    copt.chaos = &inj;
+    Client chaotic(copt);
+    net::Response resp;
+    (void)chaotic.call(job, &resp);
+    EXPECT_EQ(inj.fired(Hook::kClientFrame), 1) << "index " << index;
+
+    auto clean = rig.client();
+    net::Response check;
+    const auto s = clean.call(job, &check);
+    ASSERT_TRUE(s.ok()) << "index " << index << ": " << s.message();
+    ASSERT_TRUE(check.result.status.ok()) << check.result.status.message();
+    EXPECT_EQ(std::get<service::FftJobResult>(check.result.payload).output,
+              reference.output)
+        << "index " << index;
+  }
+
+  // Truncations ending inside (and one byte short of) the context.
+  for (const std::int64_t keep : {32, 36, 40, 44, 47}) {
+    ChaosPlan plan;
+    plan.truncate(Hook::kClientFrame, keep, /*first=*/1);
+    ChaosInjector inj(plan);
+    {
+      ClientOptions copt;
+      copt.port = rig.server.port();
+      copt.request_timeout_ms = 200;
+      copt.max_retries = 0;
+      copt.chaos = &inj;
+      Client bounded(copt);
+      net::Response resp;
+      (void)bounded.call(job, &resp);
+      EXPECT_EQ(inj.fired(Hook::kClientFrame), 1) << "keep " << keep;
+    }
+    auto clean = rig.client();
+    net::Response check;
+    const auto s = clean.call(job, &check);
+    ASSERT_TRUE(s.ok()) << "keep " << keep << ": " << s.message();
+    ASSERT_TRUE(check.result.status.ok()) << check.result.status.message();
+    EXPECT_EQ(std::get<service::FftJobResult>(check.result.payload).output,
+              reference.output)
+        << "keep " << keep;
+  }
+}
+
 // --- deadline propagation ------------------------------------------------
 
 TEST(ChaosDeadline, ExpiredDeadlineSurfacesOverTheWire) {

@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/span.hpp"
+#include "obs/tracer.hpp"
 
 namespace cgra::obs {
 namespace {
@@ -354,6 +355,155 @@ TEST(BenchReport, WriteProducesParseableFile) {
   std::remove("BENCH_write_smoke.json");
   JsonValue parsed;
   EXPECT_TRUE(parse_json(content, &parsed).ok());
+}
+
+// ------------------------------------------------------------------ tracer
+
+TEST(FlightRing, RecordsInOrderAndRoundsCapacity) {
+  FlightRing ring(10);  // rounds up to the next power of two
+  EXPECT_EQ(ring.capacity(), 16u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ring.record(7, FlightEventKind::kEnqueue, static_cast<std::uint16_t>(i),
+                2 * i, 100.0 * i);
+  }
+#ifdef CGRA_OBS_OFF
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+#else
+  EXPECT_EQ(ring.recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].trace_id, 7u);
+    EXPECT_EQ(events[i].kind, FlightEventKind::kEnqueue);
+    EXPECT_EQ(events[i].code, i);
+    EXPECT_EQ(events[i].arg, 2 * i);
+  }
+#endif
+}
+
+#ifndef CGRA_OBS_OFF
+TEST(FlightRing, WrapKeepsNewestAndCountsDropped) {
+  FlightRing ring(8);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    ring.record(1, FlightEventKind::kRetry, 0, i, static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().arg, 12u);  // oldest surviving event
+  EXPECT_EQ(events.back().arg, 19u);
+}
+#endif
+
+TEST(Tracer, MakeContextDeterministicAndNonzero) {
+  TracerOptions opt;
+  opt.seed = 42;
+  Tracer a(opt);
+  Tracer b(opt);
+  const auto c1 = a.make_context();
+  const auto c2 = b.make_context();
+  EXPECT_TRUE(c1.valid());
+  EXPECT_EQ(c1.trace_id, c2.trace_id);  // same seed, same id stream
+  EXPECT_EQ(c1.parent_span_id, c2.parent_span_id);
+  EXPECT_NE(a.make_context().trace_id, c1.trace_id);
+  EXPECT_EQ(Tracer::trace_hex(0x1a2b), "0000000000001a2b");
+}
+
+TEST(Tracer, SpanCarriesTraceArgsAndMergesAcrossTracers) {
+  Tracer tracer;
+  const auto ctx = tracer.make_context();
+  tracer.span(kTraceTrackClient, "call", ctx, 10.0, 100.0,
+              {{"status", "ok", false}});
+  tracer.instant(kTraceTrackQueue, "mark", ctx, 20.0);
+  tracer.span(kTraceTrackFabric, "dropped", TraceContext{}, 0.0, 1.0);
+  EXPECT_EQ(tracer.span_count(), 2u);  // the invalid context records nothing
+  const std::string json = tracer.to_chrome_json("test");
+  EXPECT_TRUE(validate_chrome_trace(json).ok());
+  EXPECT_NE(json.find(Tracer::trace_hex(ctx.trace_id)), std::string::npos);
+
+  // The client-side merge path: parse one tracer's export, graft it
+  // into another, and the result still validates.
+  std::vector<Span> spans;
+  ASSERT_TRUE(parse_chrome_trace(json, &spans).ok());
+  Tracer other;
+  other.merge_spans(spans);
+  EXPECT_EQ(other.span_count(), 2u);
+  EXPECT_TRUE(validate_chrome_trace(other.to_chrome_json()).ok());
+}
+
+#ifndef CGRA_OBS_OFF
+TEST(Tracer, AnomalyDumpKeepsOwnTraceAndChaosFires) {
+  Tracer tracer;
+  const auto mine = tracer.make_context();
+  const auto other = tracer.make_context();
+  tracer.event(mine, FlightEventKind::kEnqueue, 0, 1);
+  tracer.event(other, FlightEventKind::kEnqueue, 0, 2);
+  tracer.event(TraceContext{}, FlightEventKind::kChaosFire, 3, 4);
+  tracer.note_anomaly(mine, AnomalyReason::kDeadlineExceeded, "late");
+  const auto anomalies = tracer.anomalies();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].trace_id, mine.trace_id);
+  EXPECT_EQ(anomalies[0].reason, AnomalyReason::kDeadlineExceeded);
+  EXPECT_EQ(anomalies[0].detail, "late");
+  // Own enqueue + the chaos fire + the kAnomaly marker itself; the other
+  // trace's enqueue is filtered out.
+  ASSERT_EQ(anomalies[0].events.size(), 3u);
+  EXPECT_EQ(anomalies[0].events[0].kind, FlightEventKind::kEnqueue);
+  EXPECT_EQ(anomalies[0].events[1].kind, FlightEventKind::kChaosFire);
+  EXPECT_EQ(anomalies[0].events[2].kind, FlightEventKind::kAnomaly);
+  // The dump annotates the flight-recorder track in the export.
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_TRUE(validate_chrome_trace(json).ok());
+  EXPECT_NE(json.find("anomaly: deadline-exceeded"), std::string::npos);
+}
+#endif
+
+TEST(Tracer, AnomaliesAreFifoBounded) {
+  TracerOptions opt;
+  opt.max_anomalies = 4;
+  Tracer tracer(opt);
+  for (int i = 0; i < 10; ++i) {
+    TraceContext ctx{static_cast<std::uint64_t>(i + 1), 0};
+    tracer.note_anomaly(ctx, AnomalyReason::kError, std::to_string(i));
+  }
+  const auto anomalies = tracer.anomalies();
+  ASSERT_EQ(anomalies.size(), 4u);
+  EXPECT_EQ(anomalies.front().detail, "6");
+  EXPECT_EQ(anomalies.back().detail, "9");
+}
+
+TEST(Tracer, SlowTailReservoirFlagsOnlyStragglers) {
+  Tracer tracer;
+  const auto ctx = tracer.make_context();
+  // Uniform completions: strictly-greater-than-p99 never fires.
+  for (int i = 0; i < 100; ++i) tracer.note_complete(ctx, 1e6);
+  EXPECT_TRUE(tracer.anomalies().empty());
+  tracer.note_complete(ctx, 5e8);  // a 500 ms straggler
+  const auto anomalies = tracer.anomalies();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].reason, AnomalyReason::kSlowTail);
+}
+
+TEST(Metrics, HistogramQuantileInterpolates) {
+  HistogramSnapshot snap;
+  snap.name = "h";
+  snap.bounds = {1.0, 2.0, 4.0};
+  snap.counts = {10, 10, 0, 0};
+  snap.total = 20;
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 0.75), 1.5);
+  EXPECT_DOUBLE_EQ(histogram_quantile(snap, 1.0), 2.0);
+  // Overflow bucket clamps to the last finite bound.
+  HistogramSnapshot over;
+  over.bounds = {1.0, 2.0, 4.0};
+  over.counts = {0, 0, 0, 5};
+  over.total = 5;
+  EXPECT_DOUBLE_EQ(histogram_quantile(over, 0.9), 4.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(HistogramSnapshot{}, 0.5), 0.0);
 }
 
 // -------------------------------------------------------------- json utils
