@@ -1,0 +1,481 @@
+// Reactor scale benchmark: one cgra::net::Server, hundreds to tens of
+// thousands of concurrent pipelined loopback connections driven from a
+// bench-local epoll client rig (no thread per connection on either
+// side).  Two phases, same connection set:
+//
+//   * jobs — every connection pipelines identical-shape JPEG-block
+//     requests (one batch key, so the service's cross-connection epoch
+//     fusion engages), with a window of in-flight frames per
+//     connection.  Every reply is matched against an in-process oracle
+//     bit for bit, strictly in request order: a lost, duplicated or
+//     reordered reply fails the run.  Job throughput is bounded by the
+//     fabric simulation itself (one worker core executes the blocks),
+//     so this phase bars on correctness and reports throughput.
+//   * frontend — the same connections pipeline kPing frames, measuring
+//     the serving front-end alone (framing, epoll readiness, reply
+//     pump, sendmsg write coalescing) without the job executor in the
+//     denominator.  This is the path the reactor rewrite optimises and
+//     where the acceptance bar sits: >= 5x the committed
+//     BENCH_net_throughput req/s baseline (3453 -> 17265) in the
+//     default 64-connection configuration.
+//
+// Usage: bench_net_scale [connections] (default 64; CI runs 1000, a
+// raised-ulimit host sustains 10000).  Frame counts per connection
+// scale inversely so total work stays roughly constant.  At every size
+// the p99 bars below are enforced — no advisory mode.  Writes
+// BENCH_net_scale.json for the CI perf artifact.
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "cgra/net.hpp"
+#include "net/protocol.hpp"
+#include "net/socket_util.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kSeeds = 64;          ///< Distinct JPEG blocks cycled through.
+constexpr int kJobWindow = 8;       ///< In-flight job frames per connection.
+constexpr int kPingWindow = 64;     ///< Ping window cap per connection.
+/// Total in-flight pings across all connections: the per-connection
+/// window shrinks as connections grow, so latency percentiles measure
+/// serving capacity rather than self-inflicted queueing depth.
+constexpr int kPingInflightTarget = 8192;
+constexpr int kJobsTotalTarget = 6144;
+constexpr int kPingsTotalTarget = 131072;
+/// Acceptance: 5x the committed BENCH_net_throughput baseline
+/// (3453.09 req/s), enforced on the front-end phase at 64 connections.
+constexpr double kFiveXReqPerSec = 17265.0;
+constexpr int kDefaultConnections = 64;
+/// Front-end p99 bar (ms), enforced at EVERY size including the CI
+/// 1000-connection run — no advisory mode.  Above 1000 connections the
+/// bar scales linearly: in-flight depth cannot drop below one frame per
+/// connection, so the queueing floor itself grows with the connection
+/// count (10k connections on one core queue ~10k frames deep).
+constexpr double kPingP99BarMs = 250.0;
+constexpr double kPhaseDeadlineSec = 300.0;
+
+cgra::jpeg::IntBlock block_for(int seed) {
+  cgra::jpeg::IntBlock raw{};
+  for (int i = 0; i < 64; ++i) {
+    raw[static_cast<std::size_t>(i)] = ((seed + 3) * 29 + i * 17) % 256;
+  }
+  return raw;
+}
+
+cgra::service::JobRequest request_for(int seed) {
+  cgra::service::JpegBlockRequest req;
+  req.raw = block_for(seed);
+  req.quant = cgra::jpeg::scaled_quant(75);  // one quant = one batch key
+  return cgra::service::JobRequest{req};
+}
+
+/// One pipelined connection in the client rig.  All state is owned by
+/// its driver thread; the rig uses edge-level epoll like the server.
+struct Conn {
+  int fd = -1;
+  int index = 0;
+  int sent = 0;
+  int recvd = 0;
+  int target = 0;
+  std::vector<std::uint8_t> out;  ///< Encoded-but-unwritten request bytes.
+  std::size_t out_off = 0;
+  std::vector<std::uint8_t> in;   ///< Raw reply bytes awaiting framing.
+  std::size_t in_off = 0;
+  struct Sent {
+    std::uint64_t id;
+    int seed;
+    Clock::time_point at;
+  };
+  std::deque<Sent> inflight;
+  std::uint64_t next_seq = 0;
+  bool want_write = false;
+};
+
+struct PhaseStats {
+  double wall_ms = 0.0;
+  double req_per_sec = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  long replies = 0;
+  long bad = 0;  ///< Transport failures, mismatches, order violations.
+};
+
+double percentile(std::vector<double>* sorted, double p) {
+  std::sort(sorted->begin(), sorted->end());
+  if (sorted->empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted->size() - 1));
+  return (*sorted)[idx];
+}
+
+/// Patch the request id into a pre-encoded frame (header at 0, payload
+/// begins with the little-endian u64 id) — avoids re-encoding a full
+/// job payload per request.
+void patch_request_id(std::vector<std::uint8_t>* frame, std::uint64_t id) {
+  for (int i = 0; i < 8; ++i) {
+    (*frame)[cgra::net::kHeaderSize + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(id >> (8 * i));
+  }
+}
+
+/// Drive `conns` through one phase: keep each connection's window full,
+/// verify replies in order, collect latencies.  Returns false on any
+/// correctness failure (also recorded in stats->bad).
+bool run_phase(bool jobs, std::vector<Conn>* conns,
+               const std::vector<std::vector<std::uint8_t>>& templates,
+               const std::vector<cgra::service::JobResult>& expected,
+               int per_conn, int window, PhaseStats* stats) {
+  using namespace cgra;
+  using namespace cgra::net;
+  const int epfd = ::epoll_create1(0);
+  if (epfd < 0) return false;
+  for (auto& c : *conns) {
+    c.sent = 0;
+    c.recvd = 0;
+    c.target = per_conn;
+    c.out.clear();
+    c.out_off = 0;
+    c.in.clear();
+    c.in_off = 0;
+    c.inflight.clear();
+    c.want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.ptr = &c;
+    if (::epoll_ctl(epfd, EPOLL_CTL_ADD, c.fd, &ev) < 0) {
+      ::close(epfd);
+      return false;
+    }
+  }
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(per_conn) * conns->size());
+  long done = 0;
+  const long goal = static_cast<long>(per_conn) * static_cast<long>(
+                                                      conns->size());
+  const auto t0 = Clock::now();
+
+  const auto fill_window = [&](Conn& c) {
+    while (c.sent < c.target &&
+           static_cast<int>(c.inflight.size()) < window) {
+      const int seed = (c.index + c.sent) % kSeeds;
+      // Unique per-connection id; replies must come back in this order.
+      const std::uint64_t id =
+          (static_cast<std::uint64_t>(c.index) << 32) |
+          static_cast<std::uint64_t>(++c.next_seq);
+      std::vector<std::uint8_t> frame =
+          jobs ? templates[static_cast<std::size_t>(seed)]
+               : encode_ping(id);
+      if (jobs) patch_request_id(&frame, id);
+      c.out.insert(c.out.end(), frame.begin(), frame.end());
+      c.inflight.push_back({id, seed, Clock::now()});
+      ++c.sent;
+    }
+  };
+  const auto flush_out = [&](Conn& c) -> bool {
+    while (c.out_off < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                               c.out.size() - c.out_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (!c.want_write) {
+            c.want_write = true;
+            epoll_event ev{};
+            ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+            ev.data.ptr = &c;
+            (void)::epoll_ctl(epfd, EPOLL_CTL_MOD, c.fd, &ev);
+          }
+          return true;
+        }
+        return false;
+      }
+      c.out_off += static_cast<std::size_t>(n);
+    }
+    c.out.clear();
+    c.out_off = 0;
+    if (c.want_write) {
+      c.want_write = false;
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLET;
+      ev.data.ptr = &c;
+      (void)::epoll_ctl(epfd, EPOLL_CTL_MOD, c.fd, &ev);
+    }
+    return true;
+  };
+  const auto drain_in = [&](Conn& c) -> bool {
+    for (;;) {
+      // Parse every complete frame buffered so far.
+      for (;;) {
+        const std::size_t avail = c.in.size() - c.in_off;
+        if (avail < kHeaderSize) break;
+        FrameHeader hdr;
+        if (!decode_header(std::span<const std::uint8_t>(
+                               c.in.data() + c.in_off, kHeaderSize),
+                           &hdr)
+                 .ok()) {
+          return false;
+        }
+        if (avail < kHeaderSize + hdr.payload_len) break;
+        Frame frame;
+        frame.header = hdr;
+        const auto* body = c.in.data() + c.in_off + kHeaderSize;
+        frame.payload.assign(body, body + hdr.payload_len);
+        c.in_off += kHeaderSize + hdr.payload_len;
+        Response resp;
+        if (!decode_response(frame, &resp).ok()) return false;
+        if (c.inflight.empty() || resp.request_id != c.inflight.front().id) {
+          return false;  // lost, duplicated or reordered reply
+        }
+        const Conn::Sent sent = c.inflight.front();
+        c.inflight.pop_front();
+        latencies.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - sent.at)
+                .count());
+        if (jobs) {
+          if (resp.type != MsgType::kJpegBlockResult || !resp.result.ok()) {
+            return false;
+          }
+          const auto& got =
+              std::get<service::JpegBlockJobResult>(resp.result.payload);
+          const auto& want = std::get<service::JpegBlockJobResult>(
+              expected[static_cast<std::size_t>(sent.seed)].payload);
+          if (got.zigzagged != want.zigzagged) return false;
+        } else if (resp.type != MsgType::kPong) {
+          return false;
+        }
+        ++c.recvd;
+        ++done;
+      }
+      if (c.in_off == c.in.size()) {
+        c.in.clear();
+        c.in_off = 0;
+      } else if (c.in_off >= 64 * 1024) {
+        c.in.erase(c.in.begin(),
+                   c.in.begin() + static_cast<std::ptrdiff_t>(c.in_off));
+        c.in_off = 0;
+      }
+      const std::size_t old = c.in.size();
+      c.in.resize(old + 64 * 1024);
+      const ssize_t n = ::recv(c.fd, c.in.data() + old, 64 * 1024, 0);
+      if (n > 0) {
+        c.in.resize(old + static_cast<std::size_t>(n));
+        continue;
+      }
+      c.in.resize(old);
+      if (n == 0) return c.recvd == c.target;  // server-side close
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+  };
+
+  // Prime every window before the clock-relevant loop services replies.
+  bool ok = true;
+  for (auto& c : *conns) {
+    fill_window(c);
+    if (!flush_out(c)) {
+      ok = false;
+      ++stats->bad;
+    }
+  }
+  epoll_event events[256];
+  const auto deadline =
+      t0 + std::chrono::duration<double>(kPhaseDeadlineSec);
+  while (ok && done < goal) {
+    if (Clock::now() > deadline) {
+      std::printf("phase deadline exceeded (%ld/%ld replies)\n", done, goal);
+      ok = false;
+      break;
+    }
+    const int n = ::epoll_wait(epfd, events,
+                               static_cast<int>(std::size(events)), 100);
+    for (int i = 0; i < n; ++i) {
+      auto& c = *static_cast<Conn*>(events[i].data.ptr);
+      if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        if (!drain_in(c)) {
+          ok = false;
+          ++stats->bad;
+          continue;
+        }
+      }
+      fill_window(c);
+      if (!flush_out(c)) {
+        ok = false;
+        ++stats->bad;
+        continue;
+      }
+    }
+  }
+  stats->wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  stats->replies = done;
+  stats->req_per_sec = stats->wall_ms > 0.0
+                           ? 1000.0 * static_cast<double>(done) /
+                                 stats->wall_ms
+                           : 0.0;
+  stats->p50 = percentile(&latencies, 0.50);
+  stats->p90 = percentile(&latencies, 0.90);
+  stats->p99 = percentile(&latencies, 0.99);
+  for (auto& c : *conns) {
+    (void)::epoll_ctl(epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+  }
+  ::close(epfd);
+  return ok && done == goal;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cgra;
+  const int connections =
+      argc > 1 ? std::atoi(argv[1]) : kDefaultConnections;
+  if (connections < 1 || connections > 65536) {
+    std::printf("bad connection count\n");
+    return 1;
+  }
+  const int jobs_per_conn = std::max(2, kJobsTotalTarget / connections);
+  const int pings_per_conn = std::max(8, kPingsTotalTarget / connections);
+  const int job_window = std::min(kJobWindow, jobs_per_conn);
+  const int ping_window =
+      std::clamp(kPingInflightTarget / connections, 4, kPingWindow);
+
+  std::printf(
+      "Reactor scale — %d pipelined connections "
+      "(%d jobs + %d pings per connection)\n\n",
+      connections, jobs_per_conn, pings_per_conn);
+
+  service::ServiceOptions sopt;
+  sopt.workers = 1;
+  // Every window can be full at once; admission here is the bench's own
+  // windowing, saturation replies would be a correctness failure.
+  sopt.queue_capacity = connections * job_window + 256;
+  sopt.batch_limit = 32;
+  sopt.fusion_window_us = 100;  // cross-connection epoch fusion
+  service::Service svc(sopt);
+  net::ServerOptions nopt;
+  nopt.max_connections = connections + 8;
+  nopt.max_inflight_per_connection = std::max(kJobWindow, kPingWindow);
+  net::Server server(&svc, nopt);
+  if (const auto s = server.start(); !s.ok()) {
+    std::printf("server start failed: %s\n", s.message().c_str());
+    return 1;
+  }
+
+  // In-process oracle (and cache/pool warm-up): the wire replies must be
+  // bit-identical to these.
+  std::vector<std::vector<std::uint8_t>> templates;
+  std::vector<service::JobResult> expected;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    expected.push_back(svc.wait(svc.submit(request_for(seed)).handle));
+    if (!expected.back().ok()) {
+      std::printf("oracle job %d failed: %s\n", seed,
+                  expected.back().status.message().c_str());
+      return 1;
+    }
+    std::vector<std::uint8_t> frame;
+    if (!net::encode_job_request(0, request_for(seed), &frame).ok()) {
+      return 1;
+    }
+    templates.push_back(std::move(frame));
+  }
+
+  std::vector<Conn> conns(static_cast<std::size_t>(connections));
+  for (int i = 0; i < connections; ++i) {
+    auto& c = conns[static_cast<std::size_t>(i)];
+    c.index = i;
+    c.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (c.fd < 0 ||
+        ::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+            0 ||
+        !net::set_nonblocking(c.fd).ok()) {
+      std::printf("connect %d/%d failed: %s (raise ulimit -n?)\n", i + 1,
+                  connections, std::strerror(errno));
+      return 1;
+    }
+    (void)net::set_nodelay(c.fd);
+  }
+
+  PhaseStats jobs;
+  const bool jobs_ok = run_phase(/*jobs=*/true, &conns, templates, expected,
+                                 jobs_per_conn, job_window, &jobs);
+  PhaseStats pings;
+  const bool pings_ok = run_phase(/*jobs=*/false, &conns, templates,
+                                  expected, pings_per_conn, ping_window,
+                                  &pings);
+  for (auto& c : conns) ::close(c.fd);
+  server.stop();
+
+  TextTable table({"phase", "replies", "wall ms", "req/s", "p50 ms",
+                   "p90 ms", "p99 ms"});
+  table.add_row({"jobs (verified)", TextTable::integer(jobs.replies),
+                 TextTable::num(jobs.wall_ms, 1),
+                 TextTable::num(jobs.req_per_sec, 0),
+                 TextTable::num(jobs.p50, 2), TextTable::num(jobs.p90, 2),
+                 TextTable::num(jobs.p99, 2)});
+  table.add_row({"frontend (ping)", TextTable::integer(pings.replies),
+                 TextTable::num(pings.wall_ms, 1),
+                 TextTable::num(pings.req_per_sec, 0),
+                 TextTable::num(pings.p50, 2), TextTable::num(pings.p90, 2),
+                 TextTable::num(pings.p99, 2)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "job replies bit-identical, in order, none lost or duplicated: %s\n",
+      jobs_ok ? "yes" : "NO");
+  std::printf("cross-connection fusion gains: %lld fused arrivals\n",
+              static_cast<long long>(
+                  svc.counter("service.fusion.window_gains")));
+
+  obs::BenchReport report("net_scale");
+  report.add("connections", connections, "count");
+  report.add("job_req_per_sec", jobs.req_per_sec, "req/s");
+  report.add("job_p50_ms", jobs.p50, "ms");
+  report.add("job_p90_ms", jobs.p90, "ms");
+  report.add("job_p99_ms", jobs.p99, "ms");
+  report.add("frontend_req_per_sec", pings.req_per_sec, "req/s");
+  report.add("frontend_p50_ms", pings.p50, "ms");
+  report.add("frontend_p90_ms", pings.p90, "ms");
+  report.add("frontend_p99_ms", pings.p99, "ms");
+  report.add_table("net_scale", table);
+  if (!report.write()) return 1;
+
+  if (!jobs_ok || !pings_ok || jobs.bad > 0 || pings.bad > 0) {
+    std::printf("FAIL: correctness violation (%ld bad)\n",
+                jobs.bad + pings.bad);
+    return 1;
+  }
+  if (connections == kDefaultConnections &&
+      pings.req_per_sec < kFiveXReqPerSec) {
+    std::printf("FAIL: frontend %.0f req/s below the 5x bar (%.0f)\n",
+                pings.req_per_sec, kFiveXReqPerSec);
+    return 1;
+  }
+  const double p99_bar =
+      kPingP99BarMs * std::max(1.0, connections / 1000.0);
+  if (pings.p99 > p99_bar) {
+    std::printf("FAIL: frontend p99 %.1f ms beyond the %.0f ms bar\n",
+                pings.p99, p99_bar);
+    return 1;
+  }
+  return 0;
+}

@@ -10,9 +10,12 @@ from different benches stay distinguishable.  Rate metrics (unit ends in
 "/s", e.g. the simulator's sim_cycles/s and the net layer's req/s)
 improve upward; time metrics (ns, ms) improve downward.
 
-Purely informational: always exits 0.  CI runners have wildly variable
-machines, so deltas here flag *suspicious* regressions for a human to
-re-measure locally (see docs/EXPERIMENTS.md), they do not gate merges.
+Deltas are informational: CI runners have wildly variable machines, so
+they flag *suspicious* regressions for a human to re-measure locally
+(see docs/EXPERIMENTS.md), they do not gate merges.  A MISSING or
+unreadable file is a hard error (exit 1), though — a bench that crashed
+before writing its JSON, or a baseline someone forgot to commit, must
+not silently pass as "no shared metrics".
 """
 
 import json
@@ -20,8 +23,11 @@ import sys
 
 
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"perf_compare: cannot read {path}: {err}")
     return doc.get("bench", path), {m["name"]: m for m in doc.get("metrics", [])}
 
 
@@ -29,7 +35,7 @@ def main():
     argv = sys.argv[1:]
     if not argv or len(argv) % 2 != 0:
         print(__doc__)
-        return 0
+        return 0 if not argv else 1
     pairs = [(argv[i], argv[i + 1]) for i in range(0, len(argv), 2)]
 
     # Collect rows across all pairs first so one table, one width.

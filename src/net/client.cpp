@@ -82,7 +82,9 @@ Status Client::connect_once() {
     }
   }
   ::fcntl(fd, F_SETFL, flags);
-  set_nodelay(fd);
+  // Nagle off is a latency optimisation, not a correctness requirement:
+  // a failure here still leaves a working (slower) connection.
+  (void)set_nodelay(fd);
   fd_ = fd;
   return Status();
 }

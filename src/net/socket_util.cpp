@@ -1,5 +1,6 @@
 #include "net/socket_util.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -110,6 +111,18 @@ Status write_all(int fd, const std::uint8_t* data, std::size_t size) {
         ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Socket buffer full (pipelined burst, or a nonblocking fd):
+        // wait for writability instead of failing the stream mid-frame.
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        const int rc = ::poll(&pfd, 1, kBodyTimeoutMs);
+        if (rc > 0) continue;
+        if (rc < 0 && errno == EINTR) continue;
+        return Status::error(rc == 0 ? "send stalled: peer not draining"
+                                     : "poll for writability failed");
+      }
       return Status::errorf("send failed: %s", std::strerror(errno));
     }
     sent += static_cast<std::size_t>(n);
@@ -117,9 +130,67 @@ Status write_all(int fd, const std::uint8_t* data, std::size_t size) {
   return Status();
 }
 
-void set_nodelay(int fd) {
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Status::errorf("fcntl(F_GETFL) failed: %s", std::strerror(errno));
+  }
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::errorf("fcntl(F_SETFL, O_NONBLOCK) failed: %s",
+                          std::strerror(errno));
+  }
+  return Status();
+}
+
+Status set_nodelay(int fd) {
   int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) < 0) {
+    return Status::errorf("setsockopt(TCP_NODELAY) failed: %s",
+                          std::strerror(errno));
+  }
+  return Status();
+}
+
+Status listen_tcp(std::uint16_t port, bool loopback_only, int backlog,
+                  int* out_fd, std::uint16_t* out_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::errorf("socket failed: %s", std::strerror(errno));
+  }
+  int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) < 0) {
+    const Status s = Status::errorf("setsockopt(SO_REUSEADDR) failed: %s",
+                                    std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const Status s = Status::errorf("bind to port %u failed: %s", port,
+                                    std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) < 0) {
+    const Status s = Status::errorf("listen failed: %s", std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const Status s =
+        Status::errorf("getsockname failed: %s", std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  *out_fd = fd;
+  *out_port = ntohs(bound.sin_port);
+  return Status();
 }
 
 }  // namespace cgra::net

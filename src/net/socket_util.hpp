@@ -1,7 +1,9 @@
 // Internal POSIX socket helpers shared by the server and the client.
 // Not part of the public facade (cgra/net.hpp exports protocol/server/
-// client only); everything here is blocking-with-poll so callers get
-// timeouts and stop-flag checks without nonblocking state machines.
+// client only).  The blocking-with-poll readers give callers timeouts
+// and stop-flag checks; the nonblocking/listen helpers carry the socket
+// setup the epoll reactor and the client share, with Status-returning
+// error paths instead of silently ignored setsockopt failures.
 #pragma once
 
 #include <atomic>
@@ -34,15 +36,29 @@ ReadOutcome read_frame(int fd, int idle_timeout_ms,
                        const std::atomic<bool>* stop, Frame* out,
                        Status* error);
 
-/// Write the whole buffer (handles short writes, ignores SIGPIPE).
+/// Write the whole buffer: loops on short writes and EINTR, ignores
+/// SIGPIPE, and poll-waits for writability on EAGAIN/EWOULDBLOCK — so a
+/// pipelined burst that fills the socket buffer (or a nonblocking fd)
+/// completes instead of failing mid-frame.
 Status write_all(int fd, const std::uint8_t* data, std::size_t size);
 
 inline Status write_all(int fd, const std::vector<std::uint8_t>& bytes) {
   return write_all(fd, bytes.data(), bytes.size());
 }
 
+/// Put the descriptor into nonblocking mode (O_NONBLOCK).
+[[nodiscard]] Status set_nonblocking(int fd);
+
 /// Disable Nagle: the protocol is request/response with small frames, so
 /// coalescing delays round trips for nothing.
-void set_nodelay(int fd);
+[[nodiscard]] Status set_nodelay(int fd);
+
+/// Create a TCP listener: socket + SO_REUSEADDR (checked — a server
+/// restarting on a fixed port must not race TIME_WAIT) + bind + listen.
+/// On success `*out_fd` holds the listening socket and `*out_port` the
+/// bound port (resolving port 0 to the kernel's pick).
+[[nodiscard]] Status listen_tcp(std::uint16_t port, bool loopback_only,
+                                int backlog, int* out_fd,
+                                std::uint16_t* out_port);
 
 }  // namespace cgra::net

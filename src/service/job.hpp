@@ -12,6 +12,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -138,6 +139,10 @@ struct JobState {
   std::condition_variable cv;
   JobPhase phase = JobPhase::kQueued;
   JobResult result;
+  /// Fired exactly once when the job reaches kDone/kCancelled — the
+  /// event-driven alternative to blocking in Service::wait().  Invoked
+  /// OUTSIDE `mu`, so hooks may call back into the service.
+  std::vector<std::function<void()>> completion_hooks;
 };
 
 }  // namespace cgra::service

@@ -79,6 +79,7 @@ Service::Service(ServiceOptions opt)
         o.workers = std::max(1, o.workers);
         o.queue_capacity = std::max(1, o.queue_capacity);
         o.batch_limit = std::max(1, o.batch_limit);
+        o.fusion_window_us = std::max(0, o.fusion_window_us);
         return o;
       }()),
       epoch_(std::chrono::steady_clock::now()),
@@ -99,6 +100,8 @@ Service::Service(ServiceOptions opt)
     batches_ = metrics_.counter("service.batches");
     crashes_ = metrics_.counter("service.worker.crashes");
     lease_retries_ = metrics_.counter("service.lease.retries");
+    window_waits_ = metrics_.counter("service.fusion.window_waits");
+    window_gains_ = metrics_.counter("service.fusion.window_gains");
     batch_size_ = metrics_.histogram("service.batch.size",
                                      {1.0, 2.0, 4.0, 8.0, 16.0});
     spans_.set_track_name(kTrackQueue, "service queue");
@@ -157,7 +160,13 @@ SubmitResult Service::submit(JobRequest request, SubmitOptions options) {
     tracer_->event(state->trace, obs::FlightEventKind::kEnqueue, 0,
                    static_cast<std::uint32_t>(depth));
   }
-  queue_cv_.notify_one();
+  if (opt_.fusion_window_us > 0) {
+    // A worker parked in its fusion window must see every arrival, not
+    // just the one an idle peer happened to absorb.
+    queue_cv_.notify_all();
+  } else {
+    queue_cv_.notify_one();
+  }
   return {std::move(state), Status()};
 }
 
@@ -175,6 +184,31 @@ JobResult Service::wait(const JobHandle& handle) const {
   return handle->result;
 }
 
+bool Service::try_result(const JobHandle& handle, JobResult* out) const {
+  if (handle == nullptr) return false;
+  std::lock_guard<std::mutex> lock(handle->mu);
+  if (handle->phase != JobPhase::kDone &&
+      handle->phase != JobPhase::kCancelled) {
+    return false;
+  }
+  *out = handle->result;
+  return true;
+}
+
+void Service::on_complete(const JobHandle& handle,
+                          std::function<void()> hook) {
+  if (handle == nullptr || !hook) return;
+  {
+    std::lock_guard<std::mutex> lock(handle->mu);
+    if (handle->phase != JobPhase::kDone &&
+        handle->phase != JobPhase::kCancelled) {
+      handle->completion_hooks.push_back(std::move(hook));
+      return;
+    }
+  }
+  hook();  // already finished: fire on the caller's thread, lock dropped
+}
+
 bool Service::cancel(const JobHandle& handle) {
   if (handle == nullptr) return false;
   {
@@ -188,13 +222,17 @@ bool Service::cancel(const JobHandle& handle) {
     std::lock_guard<std::mutex> obs(obs_mu_);
     metrics_.add(cancelled_);
   }
+  std::vector<std::function<void()>> hooks;
   {
     std::lock_guard<std::mutex> lock(handle->mu);
     handle->phase = JobPhase::kCancelled;
     handle->result.status = Status::error("cancelled before execution");
     handle->result.payload = std::monostate{};
+    hooks = std::move(handle->completion_hooks);
+    handle->completion_hooks.clear();
   }
   handle->cv.notify_all();
+  for (auto& h : hooks) h();
   return true;
 }
 
@@ -258,12 +296,16 @@ void Service::finish(const JobHandle& job, JobResult result) {
     std::lock_guard<std::mutex> obs(obs_mu_);
     metrics_.add(ok ? completed_ : failed_);
   }
+  std::vector<std::function<void()>> hooks;
   {
     std::lock_guard<std::mutex> lock(job->mu);
     job->phase = JobPhase::kDone;
     job->result = std::move(result);
+    hooks = std::move(job->completion_hooks);
+    job->completion_hooks.clear();
   }
   job->cv.notify_all();
+  for (auto& h : hooks) h();
 }
 
 void Service::resume_after_crash(const std::vector<JobHandle>& batch) {
@@ -431,6 +473,47 @@ std::vector<JobHandle> Service::next_batch() {
       } else {
         ++it;
       }
+    }
+    // Cross-connection fusion window: with capacity left in the batch,
+    // briefly hold the epoch open for same-key arrivals from other
+    // producers (the reactor's many connections).  DSE keys are unique
+    // per job, so waiting can never help there.
+    if (opt_.fusion_window_us > 0 && head->request.index() != 3 &&
+        batch.size() < static_cast<std::size_t>(opt_.batch_limit) &&
+        !stopping_) {
+      const auto window_end =
+          now + std::chrono::microseconds(opt_.fusion_window_us);
+      {
+        std::lock_guard<std::mutex> obs(obs_mu_);
+        metrics_.add(window_waits_);
+      }
+      const std::size_t before = batch.size();
+      bool timed_out = false;
+      while (!timed_out && !stopping_ &&
+             batch.size() < static_cast<std::size_t>(opt_.batch_limit)) {
+        timed_out = queue_cv_.wait_until(lock, window_end) ==
+                    std::cv_status::timeout;
+        const auto arrival = std::chrono::steady_clock::now();
+        for (auto it = queue_.begin();
+             it != queue_.end() &&
+             batch.size() < static_cast<std::size_t>(opt_.batch_limit);) {
+          if ((*it)->batch_key == head->batch_key &&
+              (!(*it)->deadline || *(*it)->deadline >= arrival)) {
+            batch.push_back(*it);
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      if (batch.size() > before) {
+        std::lock_guard<std::mutex> obs(obs_mu_);
+        metrics_.add(window_gains_,
+                     static_cast<std::int64_t>(batch.size() - before));
+      }
+      // The window may have swallowed a notify meant for an idle peer;
+      // hand it back if unrelated work is still queued.
+      if (!queue_.empty()) queue_cv_.notify_one();
     }
     lock.unlock();
     if (const auto d = chaos::decide(chaos_, chaos::Hook::kQueueStall);

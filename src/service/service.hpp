@@ -79,6 +79,12 @@ struct ServiceOptions {
   /// record spans + flight-recorder events here; null disables tracing
   /// at one branch per instrumentation point.
   obs::Tracer* tracer = nullptr;
+  /// Cross-connection fusion window: when > 0, a worker whose batch is
+  /// still below batch_limit holds the queue open this long waiting for
+  /// same-batch-key arrivals (e.g. identical jobs from other
+  /// connections) before paying the setup epoch.  0 keeps the legacy
+  /// take-what-is-queued behaviour.
+  int fusion_window_us = 0;
 };
 
 /// The asynchronous job service.  Thread-safe; destruction drains the
@@ -100,6 +106,18 @@ class Service {
   /// Block until the job finishes (done or cancelled) and return its
   /// result.  Cancelled jobs report a "cancelled" Status.
   [[nodiscard]] JobResult wait(const JobHandle& handle) const;
+
+  /// Non-blocking wait(): copy the result into *out and return true iff
+  /// the job already finished (done or cancelled).
+  [[nodiscard]] bool try_result(const JobHandle& handle,
+                                JobResult* out) const;
+
+  /// Register a completion hook: invoked exactly once when the job
+  /// reaches kDone/kCancelled — immediately (on this thread) when it
+  /// already has, otherwise on the finishing thread, outside the job
+  /// lock.  The event-driven reply path in cgra::net uses this instead
+  /// of a blocking writer thread per connection.
+  void on_complete(const JobHandle& handle, std::function<void()> hook);
 
   /// Remove a still-queued job.  Returns true iff this call cancelled it
   /// (running or finished jobs are not interrupted — the fabric has no
@@ -202,6 +220,8 @@ class Service {
   obs::CounterHandle batches_;
   obs::CounterHandle crashes_;
   obs::CounterHandle lease_retries_;
+  obs::CounterHandle window_waits_;
+  obs::CounterHandle window_gains_;
   obs::HistogramHandle batch_size_;
   chaos::ChaosInjector* const chaos_;
   obs::Tracer* const tracer_;

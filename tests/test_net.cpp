@@ -501,6 +501,83 @@ TEST(NetServer, ConnectionInflightCapSurfacesAsErrorReply) {
   (void)rig.svc.wait(heavy.handle);
 }
 
+TEST(NetServer, SlowReaderIsShedWithoutStallingPeers) {
+  // One shard so the slow reader and the healthy peer share an event
+  // loop: shedding must be per-connection, not per-shard.
+  Rig rig({.workers = 2}, {.shards = 1, .write_backlog_limit = 64 * 1024});
+
+  // The slow reader: a tiny receive window, pipelined pings, and it
+  // never reads a byte back.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 4096;  // before connect(), so the window stays small
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf),
+            0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(rig.server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  auto peer = rig.client();
+  ASSERT_TRUE(peer.ping().ok());
+
+  // Pong replies pile up once the kernel buffers fill; the cap must trip
+  // well before this many bursts (the bound only makes a regression fail
+  // instead of hang).
+  std::vector<std::uint8_t> burst;
+  for (std::uint64_t i = 1; i <= 4096; ++i) {
+    const auto ping = encode_ping(i);
+    burst.insert(burst.end(), ping.begin(), ping.end());
+  }
+  for (int i = 0;
+       i < 512 && rig.server.counter("net.conn_closed.write_backlog") == 0;
+       ++i) {
+    if (!write_all(fd, burst).ok()) break;  // server already shed us
+    // The shard keeps serving its other connection the whole time.
+    ASSERT_TRUE(peer.ping().ok());
+  }
+  for (int i = 0;
+       i < 5000 && rig.server.counter("net.conn_closed.write_backlog") == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(rig.server.counter("net.conn_closed.write_backlog"), 1);
+  EXPECT_TRUE(peer.ping().ok());
+  ::close(fd);
+}
+
+TEST(NetServer, AdmissionControlShedsWithUnavailable) {
+  // Bucket of 2 tokens, effectively no refill: the third pipelined job
+  // must be shed with a retryable kUnavailable — never silently dropped.
+  Rig rig({.workers = 1},
+          {.admission_rate = 1e-9, .admission_burst = 2});
+  auto client = rig.client();
+  ASSERT_TRUE(client.ping().ok());  // control frames bypass admission
+
+  std::uint64_t ids[3] = {};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.send(block_request(i), &ids[i]).ok());
+  }
+  Response resp;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.receive(&resp).ok());
+    EXPECT_EQ(resp.request_id, ids[i]);
+    EXPECT_TRUE(resp.result.ok()) << resp.result.status.message();
+  }
+  ASSERT_TRUE(client.receive(&resp).ok());
+  EXPECT_EQ(resp.request_id, ids[2]);
+  EXPECT_EQ(resp.type, MsgType::kError);
+  EXPECT_EQ(resp.result.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(resp.result.status.message().find("admission"),
+            std::string::npos);
+  EXPECT_EQ(rig.server.counter("net.admission.shed"), 1);
+
+  // Pings still pass after the shed: only job frames spend tokens.
+  EXPECT_TRUE(client.ping().ok());
+}
+
 // --- cancel + stats ------------------------------------------------------
 
 TEST(NetServer, CancelQueuedJobOverTheWire) {
