@@ -13,6 +13,7 @@
 #include "common/prng.hpp"
 #include "common/table.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
 namespace {
 
@@ -30,7 +31,8 @@ double full_stall_estimate_ns(const cgra::config::Timeline& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   std::printf("Ablation — partial vs full reconfiguration\n\n");
 

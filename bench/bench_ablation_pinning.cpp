@@ -11,8 +11,10 @@
 #include "common/table.hpp"
 #include "mapping/rebalance.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   using mapping::CostParams;
 

@@ -12,8 +12,10 @@
 #include "mapping/placement.hpp"
 #include "mapping/rebalance.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   using mapping::CostParams;
   using mapping::PlacementStrategy;

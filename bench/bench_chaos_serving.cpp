@@ -24,6 +24,7 @@
 
 #include "cgra/chaos.hpp"
 #include "cgra/net.hpp"
+#include "engine/cli.hpp"
 
 namespace {
 
@@ -212,7 +213,8 @@ RunStats wire_run(const std::vector<cgra::service::JobResult>& expected,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   const int total = kClients * kRequestsPerClient;
   std::printf("Chaos serving — %d clients x %d requests, %zu seeds\n\n",

@@ -24,6 +24,7 @@
 #include "faults/injector.hpp"
 #include "faults/recovery.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
 namespace {
 
@@ -50,7 +51,8 @@ cgra::Nanoseconds total_verify_ns(const config::Timeline& tl) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   const auto raw = sample_block(2026);
   const auto quant = jpeg::scaled_quant(50);
   const auto golden = jpeg::encode_block_stages(raw, quant);

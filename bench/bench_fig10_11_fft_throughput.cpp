@@ -11,13 +11,15 @@
 #include "dse/fft_perf_model.hpp"
 #include "dse/sweep.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   const auto g = fft::make_geometry(1024);
   std::printf("Measuring kernel runtimes on the simulator...\n");
-  dse::SweepPool pool;
-  const auto times = dse::parallel_measure_process_times(g, pool);
+  dse::Sweep sweep;
+  const auto times = sweep.measure_process_times(g);
   obs::BenchReport report("fig10_11_fft_throughput");
 
   std::printf(

@@ -11,6 +11,7 @@
 #include "common/table.hpp"
 #include "mapping/rebalance.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
 namespace {
 
@@ -38,7 +39,8 @@ cgra::procnet::ProcessNetwork fig13_network() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   using mapping::CostParams;
   using mapping::RebalanceAlgorithm;

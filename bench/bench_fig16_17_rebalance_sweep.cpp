@@ -14,8 +14,10 @@
 #include "dse/sweep.hpp"
 #include "mapping/rebalance.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   using mapping::CostParams;
   using mapping::RebalanceAlgorithm;
@@ -26,16 +28,13 @@ int main() {
 
   // The 25 tile budgets of each sweep are independent candidates; the pool
   // output is identical to the serial mapping::sweep.
-  dse::SweepPool pool;
+  dse::Sweep sweep;
   const auto one =
-      dse::parallel_sweep(net, kMaxTiles, RebalanceAlgorithm::kOne, params,
-                          pool);
+      sweep.rebalance_sweep(net, kMaxTiles, RebalanceAlgorithm::kOne, params);
   const auto two =
-      dse::parallel_sweep(net, kMaxTiles, RebalanceAlgorithm::kTwo, params,
-                          pool);
+      sweep.rebalance_sweep(net, kMaxTiles, RebalanceAlgorithm::kTwo, params);
   const auto opt =
-      dse::parallel_sweep(net, kMaxTiles, RebalanceAlgorithm::kOpt, params,
-                          pool);
+      sweep.rebalance_sweep(net, kMaxTiles, RebalanceAlgorithm::kOpt, params);
 
   std::printf("Figure 16 — images/s vs number of tiles (200x200 image)\n\n");
   TextTable fig16({"tiles", "reBalanceOne", "reBalanceTwo", "reBalanceOPT"});

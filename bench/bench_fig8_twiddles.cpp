@@ -12,8 +12,10 @@
 #include "apps/fft/twiddle.hpp"
 #include "common/table.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   using fft::TwiddleClass;
   obs::BenchReport report("fig8_twiddles");

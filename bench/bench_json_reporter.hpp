@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/cli.hpp"
 #include "obs/bench_report.hpp"
 
 namespace cgra::benchjson {
@@ -44,6 +45,7 @@ class CaptureReporter : public benchmark::ConsoleReporter {
 /// benchmarks and writes BENCH_<report_name>.json alongside the console
 /// output.
 inline int run_and_report(int argc, char** argv, const char* report_name) {
+  engine::apply_engine_flag(&argc, argv);  // one --engine flag for all mains
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   obs::BenchReport report(report_name);

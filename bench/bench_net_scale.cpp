@@ -44,6 +44,7 @@
 #include "cgra/net.hpp"
 #include "net/protocol.hpp"
 #include "net/socket_util.hpp"
+#include "engine/cli.hpp"
 
 namespace {
 
@@ -343,6 +344,7 @@ bool run_phase(bool jobs, std::vector<Conn>* conns,
 }  // namespace
 
 int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   const int connections =
       argc > 1 ? std::atoi(argv[1]) : kDefaultConnections;

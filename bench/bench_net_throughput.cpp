@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cgra/net.hpp"
+#include "engine/cli.hpp"
 
 namespace {
 
@@ -184,7 +185,8 @@ bool run_phase(bool traced, PhaseStats* out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   const int total = kClients * kRequestsPerClient;
   std::printf("Network serving throughput — %d clients x %d requests\n\n",

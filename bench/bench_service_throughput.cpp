@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cgra/service.hpp"
+#include "engine/cli.hpp"
 
 namespace {
 
@@ -51,7 +52,8 @@ std::vector<cgra::fft::Cplx> signal_for(int n, int seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   std::printf("Service throughput — warm pool+cache vs per-request\n\n");
 

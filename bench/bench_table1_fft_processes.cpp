@@ -13,8 +13,10 @@
 #include "common/table.hpp"
 #include "common/timing.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   const auto g = fft::make_geometry(1024);
   obs::BenchReport report("table1_fft_processes");

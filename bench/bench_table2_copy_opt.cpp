@@ -17,6 +17,7 @@
 #include "fabric/fabric.hpp"
 #include "interconnect/link.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
 namespace {
 
@@ -30,7 +31,8 @@ double executed_inplace_update_ns() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   const auto g = fft::make_geometry(1024);
   const IcapModel icap;

@@ -11,8 +11,10 @@
 #include "common/prng.hpp"
 #include "common/table.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   const auto procs = jpeg::paper_table3_processes();
   const auto measured = jpeg::measure_jpeg_kernels();

@@ -10,8 +10,10 @@
 #include "apps/jpeg/process_table.hpp"
 #include "common/table.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   using mapping::CostParams;
   using mapping::evaluate;

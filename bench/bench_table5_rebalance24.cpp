@@ -8,8 +8,10 @@
 #include "dse/sweep.hpp"
 #include "mapping/rebalance.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   using mapping::CostParams;
   using mapping::RebalanceAlgorithm;
@@ -30,8 +32,8 @@ int main() {
     mapping::Binding binding;
     mapping::BindingEval eval;
   };
-  dse::SweepPool pool;
-  const auto results = pool.map<AlgoResult>(3, [&](int i) {
+  dse::Sweep sweep;
+  const auto results = sweep.map<AlgoResult>(3, [&](int i) {
     AlgoResult r;
     r.binding = mapping::rebalance(net, 24, algos[i], CostParams{});
     r.eval = mapping::evaluate(net, r.binding, CostParams{});

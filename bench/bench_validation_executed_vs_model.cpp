@@ -15,8 +15,10 @@
 #include "common/table.hpp"
 #include "dse/fft_perf_model.hpp"
 #include "obs/bench_report.hpp"
+#include "engine/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   using namespace cgra;
   const auto g = fft::make_geometry(64, 8);  // 6 stages, 8 rows
   const auto times = dse::measure_process_times(g);

@@ -12,6 +12,7 @@
 //   --json             dump the profile and metrics as JSON
 //   --csv              dump the profile as CSV rows
 //   --trace-json FILE  write the span timeline as Chrome trace-event JSON
+//   --engine=SPEC      execution engine: interp | threaded | batch[:width]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "cgra/apps.hpp"
+#include "cgra/engine.hpp"
 
 namespace {
 
@@ -114,8 +116,8 @@ int run_fft(const std::vector<int>& pos, bool json, bool csv,
                       "profile_run:fft");
   if (rc != 0) return rc;
 
-  dse::SweepPool pool;
-  const auto times = dse::parallel_measure_process_times(g, pool);
+  dse::Sweep sweep(engine::process_engine());
+  const auto times = sweep.measure_process_times(g);
   const auto model =
       dse::evaluate_fft_design(g, times, cols, opt.link_cost_ns);
   std::printf("\n%s",
@@ -190,6 +192,7 @@ int run_jpeg(const std::vector<int>& pos, bool json, bool csv,
 }  // namespace
 
 int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
   bool json = false;
   bool csv = false;
   std::string trace_path;

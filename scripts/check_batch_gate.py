@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Gate the batch engine's dense-mesh speedup.
+
+Usage: check_batch_gate.py CURRENT.json [BASELINE.json] [--factor=5.0]
+
+CURRENT.json is a fresh BENCH_simulator_micro.json.  The gate passes iff
+the lockstep batch engine's steady-state dense-mesh throughput
+(BM_FabricBatchDenseLoop64Tiles/width:16.tile_cycles/s) clears
+`factor` x the sequential interpreter's dense-mesh throughput
+(BM_FabricStepRate64Tiles.tile_cycles/s) — measured in the SAME run, so
+the ratio is independent of how fast the host happens to be.  When a
+committed BASELINE.json is also given, the batch number must clear
+`factor` x the baseline's interpreter throughput too, pinning the gate
+to the repo's committed reference point.
+
+Unlike perf_compare.py (informational), a miss here exits 1: the >5x
+batch speedup is an acceptance criterion, not a trend to eyeball.  The
+run must be interpreter-engined (the reference scenario follows
+--engine; the batch scenario pins BatchEngine regardless).
+"""
+
+import json
+import sys
+
+BATCH = "BM_FabricBatchDenseLoop64Tiles/width:16.tile_cycles/s"
+REF = "BM_FabricStepRate64Tiles.tile_cycles/s"
+INFO = "BM_FabricDenseLoop64Tiles.tile_cycles/s"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"check_batch_gate: cannot read {path}: {err}")
+    return doc.get("engine", "interp"), {
+        m["name"]: m["value"] for m in doc.get("metrics", [])
+    }
+
+
+def metric(metrics, name, path):
+    if name not in metrics or metrics[name] <= 0:
+        sys.exit(f"check_batch_gate: {path} has no usable '{name}' "
+                 "(did the bench run with a filter that skipped it?)")
+    return metrics[name]
+
+
+def main():
+    factor = 5.0
+    paths = []
+    for arg in sys.argv[1:]:
+        if arg.startswith("--factor="):
+            factor = float(arg.split("=", 1)[1])
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            paths.append(arg)
+    if not paths or len(paths) > 2:
+        print(__doc__)
+        return 1
+
+    engine, cur = load(paths[0])
+    if engine != "interp":
+        sys.exit(f"check_batch_gate: {paths[0]} was measured with "
+                 f"--engine={engine}; the interpreter reference scenario "
+                 "is only meaningful on the default interp run.")
+    batch = metric(cur, BATCH, paths[0])
+
+    checks = [("same-run interp dense mesh", metric(cur, REF, paths[0]))]
+    if len(paths) == 2:
+        base_engine, base = load(paths[1])
+        if base_engine != "interp":
+            sys.exit(f"check_batch_gate: baseline {paths[1]} was measured "
+                     f"with --engine={base_engine}, not interp.")
+        checks.append(("committed interp dense mesh", metric(base, REF,
+                                                             paths[1])))
+
+    print(f"batch dense loop: {batch / 1e6:.1f}M tile_cycles/s "
+          f"(need >{factor:.1f}x each reference)")
+    if INFO in cur and cur[INFO] > 0:
+        print(f"  [info] vs same-run interp dense loop: "
+              f"{batch / cur[INFO]:.2f}x")
+    ok = True
+    for label, ref in checks:
+        ratio = batch / ref
+        verdict = "ok" if ratio > factor else "FAIL"
+        print(f"  {label}: {ref / 1e6:.1f}M -> {ratio:.2f}x  [{verdict}]")
+        ok &= ratio > factor
+    if not ok:
+        print("\nbatch gate FAILED: the SoA lockstep engine no longer "
+              "clears its dense-mesh speedup target; re-measure locally "
+              "before suspecting the machine (docs/EXPERIMENTS.md).")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

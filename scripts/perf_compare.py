@@ -16,6 +16,11 @@ they flag *suspicious* regressions for a human to re-measure locally
 unreadable file is a hard error (exit 1), though — a bench that crashed
 before writing its JSON, or a baseline someone forgot to commit, must
 not silently pass as "no shared metrics".
+
+Comparing numbers produced by different execution engines is apples to
+oranges (batch mode is >5x the interpreter by design), so a pair whose
+"engine" fields disagree is also a hard error.  Reports predating the
+field count as "interp".
 """
 
 import json
@@ -28,7 +33,8 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"perf_compare: cannot read {path}: {err}")
-    return doc.get("bench", path), {m["name"]: m for m in doc.get("metrics", [])}
+    return (doc.get("bench", path), doc.get("engine", "interp"),
+            {m["name"]: m for m in doc.get("metrics", [])})
 
 
 def main():
@@ -41,8 +47,13 @@ def main():
     # Collect rows across all pairs first so one table, one width.
     rows = []  # (display name, baseline value, current value, unit)
     for base_path, cur_path in pairs:
-        bench, base = load(base_path)
-        _, cur = load(cur_path)
+        bench, base_engine, base = load(base_path)
+        _, cur_engine, cur = load(cur_path)
+        if base_engine != cur_engine:
+            sys.exit(f"perf_compare: engine mismatch for {bench}: "
+                     f"{base_path} was measured on '{base_engine}' but "
+                     f"{cur_path} on '{cur_engine}' — rerun the bench with "
+                     f"--engine={base_engine} (or refresh the baseline).")
         shared = [n for n in base if n in cur]
         if not shared:
             print(f"no shared metrics between {base_path} and {cur_path}")

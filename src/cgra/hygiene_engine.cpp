@@ -1,0 +1,2 @@
+// Header-hygiene check: cgra/engine.hpp must compile standalone.
+#include "cgra/engine.hpp"

@@ -15,7 +15,8 @@ int default_lanes() {
 }
 }  // namespace
 
-SweepPool::SweepPool(int lanes) {
+Sweep::Sweep(engine::EngineOptions options) : options_(options) {
+  int lanes = options.threads;
   if (lanes <= 0) lanes = default_lanes();
   threads_.reserve(static_cast<std::size_t>(lanes - 1));
   for (int i = 1; i < lanes; ++i) {
@@ -23,7 +24,7 @@ SweepPool::SweepPool(int lanes) {
   }
 }
 
-SweepPool::~SweepPool() {
+Sweep::~Sweep() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     stop_ = true;
@@ -32,7 +33,7 @@ SweepPool::~SweepPool() {
   for (auto& t : threads_) t.join();
 }
 
-void SweepPool::drain(const std::function<void(int)>* job, int n) {
+void Sweep::drain(const std::function<void(int)>* job, int n) {
   for (;;) {
     const int i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
@@ -49,7 +50,7 @@ void SweepPool::drain(const std::function<void(int)>* job, int n) {
   }
 }
 
-void SweepPool::worker_loop() {
+void Sweep::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;
@@ -68,7 +69,7 @@ void SweepPool::worker_loop() {
   }
 }
 
-void SweepPool::parallel_for(int n, const std::function<void(int)>& fn) {
+void Sweep::parallel_for(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
   if (threads_.empty()) {
     // Single lane: the serial reference path, no synchronisation at all.
@@ -97,11 +98,50 @@ void SweepPool::parallel_for(int n, const std::function<void(int)>& fn) {
   if (err) std::rethrow_exception(err);
 }
 
-std::vector<mapping::SweepPoint> parallel_sweep(
+std::vector<fabric::RunResult> Sweep::run_fabrics(
+    std::span<fabric::Fabric* const> fabrics, std::int64_t max_cycles) {
+  const int n = static_cast<int>(fabrics.size());
+  std::vector<fabric::RunResult> results(static_cast<std::size_t>(n));
+  if (n == 0) return results;
+
+  if (options_.kind == engine::EngineKind::kBatch) {
+    // Chunk the population into batch_width lockstep groups; each group is
+    // one candidate for the lane pool.  BatchEngine::run_batch itself falls
+    // back to sequential interpreter runs for a group it cannot lockstep
+    // (shape mismatch, duplicates), so results stay positional and
+    // bit-identical regardless.
+    const int width = options_.batch_width > 0 ? options_.batch_width : 1;
+    const int groups = (n + width - 1) / width;
+    parallel_for(groups, [&](int gi) {
+      const int lo = gi * width;
+      const int hi = std::min(lo + width, n);
+      engine::BatchEngine batch(hi - lo);
+      const auto group = batch.run_batch(
+          fabrics.subspan(static_cast<std::size_t>(lo),
+                          static_cast<std::size_t>(hi - lo)),
+          max_cycles);
+      std::copy(group.begin(), group.end(),
+                results.begin() + lo);
+    });
+    return results;
+  }
+
+  parallel_for(n, [&](int i) {
+    fabric::Fabric& f = *fabrics[static_cast<std::size_t>(i)];
+    if (options_.kind == engine::EngineKind::kInterp) {
+      f.attach_engine(nullptr);  // pin the interpreter
+    } else {
+      f.adopt_engine(engine::make_engine(options_));
+    }
+    results[static_cast<std::size_t>(i)] = f.run(max_cycles);
+  });
+  return results;
+}
+
+std::vector<mapping::SweepPoint> Sweep::rebalance_sweep(
     const procnet::ProcessNetwork& net, int max_tiles,
-    mapping::RebalanceAlgorithm algo, const mapping::CostParams& params,
-    SweepPool& pool) {
-  return pool.map<mapping::SweepPoint>(max_tiles, [&](int i) {
+    mapping::RebalanceAlgorithm algo, const mapping::CostParams& params) {
+  return map<mapping::SweepPoint>(max_tiles, [&](int i) {
     const int n = i + 1;  // budgets are 1..max_tiles, same as mapping::sweep
     mapping::SweepPoint pt;
     pt.tiles = n;
@@ -111,14 +151,13 @@ std::vector<mapping::SweepPoint> parallel_sweep(
   });
 }
 
-FftProcessTimes parallel_measure_process_times(const fft::FftGeometry& g,
-                                               SweepPool& pool) {
+FftProcessTimes Sweep::measure_process_times(const fft::FftGeometry& g) {
   FftProcessTimes times;
   // Candidates 0..stages-1: per-stage butterfly kernels; stages and
   // stages+1: the vertical and horizontal copy kernels.  Each runs on its
   // own private Fabric, so the measurements are trivially independent.
   const auto measured =
-      pool.map<Nanoseconds>(g.stages + 2, [&](int i) -> Nanoseconds {
+      map<Nanoseconds>(g.stages + 2, [&](int i) -> Nanoseconds {
         if (i < g.stages) return cycles_to_ns(fft::measure_bf_cycles(g, i));
         if (i == g.stages) {
           return cycles_to_ns(fft::measure_copy_cycles(g.m, g.m / 2));
@@ -129,6 +168,18 @@ FftProcessTimes parallel_measure_process_times(const fft::FftGeometry& g,
   times.vcp = measured[static_cast<std::size_t>(g.stages)];
   times.hcp = measured[static_cast<std::size_t>(g.stages) + 1];
   return times;
+}
+
+std::vector<mapping::SweepPoint> parallel_sweep(
+    const procnet::ProcessNetwork& net, int max_tiles,
+    mapping::RebalanceAlgorithm algo, const mapping::CostParams& params,
+    Sweep& pool) {
+  return pool.rebalance_sweep(net, max_tiles, algo, params);
+}
+
+FftProcessTimes parallel_measure_process_times(const fft::FftGeometry& g,
+                                               Sweep& pool) {
+  return pool.measure_process_times(g);
 }
 
 }  // namespace cgra::dse

@@ -2,16 +2,20 @@
 //
 // DSE sweeps (tile-budget rebalancing, per-stage kernel timing, link-cost
 // grids) evaluate many independent candidates; each evaluation is a pure
-// function of its inputs.  SweepPool runs such candidate sets on a small
-// fixed-size thread pool with the calling thread as one of the lanes.
+// function of its inputs.  dse::Sweep runs such candidate sets on a small
+// fixed-size thread pool with the calling thread as one of the lanes, and
+// runs fabric populations under a configurable execution engine — the one
+// engine::EngineOptions knob shared with the CLI flag and ServiceOptions.
 //
-// Determinism rules (docs/ARCHITECTURE.md, "Execution engine"):
+// Determinism rules (docs/ARCHITECTURE.md, "Execution engines"):
 //   * Candidates must not share mutable state — each builds its own Fabric
 //     or binding.  Everything the simulator touches satisfies this (no
 //     mutable globals; function-local const statics are init-once).
 //   * Results are written to slot `i` of a pre-sized vector, so the output
 //     order is the candidate order no matter how lanes interleave.  A
-//     sweep therefore produces bit-identical results with 1 or N workers.
+//     sweep therefore produces bit-identical results with 1 or N workers —
+//     and, for run_fabrics, with any engine kind (the engines' bit-identity
+//     contract, tests/test_engine.cpp).
 //   * Work is claimed from a shared atomic counter (dynamic load balance);
 //     no candidate is evaluated twice, none is skipped.
 #pragma once
@@ -22,26 +26,35 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "dse/fft_perf_model.hpp"
+#include "engine/engine.hpp"
 #include "mapping/rebalance.hpp"
 
 namespace cgra::dse {
 
-/// Fixed-size pool of worker threads for independent candidate evaluation.
-class SweepPool {
+/// The one sweep driver: a fixed-size pool of evaluation lanes plus an
+/// execution-engine choice for fabric runs.
+///
+/// `options.threads` = concurrent evaluation lanes, including the calling
+/// thread (so `threads - 1` workers are spawned); `<= 0` picks a small
+/// default from the hardware, `1` runs every job inline on the caller — the
+/// reference against which parallel runs must be identical.
+/// `options.kind` / `options.batch_width` select how run_fabrics executes.
+class Sweep {
  public:
-  /// `lanes` = number of concurrent evaluation lanes, including the calling
-  /// thread (so `lanes - 1` threads are spawned).  `lanes <= 1` runs every
-  /// job inline on the caller — the reference against which parallel runs
-  /// must be identical.  0 picks a small default from the hardware.
-  explicit SweepPool(int lanes = 0);
-  ~SweepPool();
+  explicit Sweep(engine::EngineOptions options = {});
+  ~Sweep();
 
-  SweepPool(const SweepPool&) = delete;
-  SweepPool& operator=(const SweepPool&) = delete;
+  Sweep(const Sweep&) = delete;
+  Sweep& operator=(const Sweep&) = delete;
+
+  [[nodiscard]] const engine::EngineOptions& options() const noexcept {
+    return options_;
+  }
 
   /// Total evaluation lanes (spawned threads + the caller).
   [[nodiscard]] int lanes() const noexcept {
@@ -61,10 +74,35 @@ class SweepPool {
     return out;
   }
 
+  /// Run every fabric for up to `max_cycles` under the sweep's engine;
+  /// results are positionally matched to `fabrics`.  kBatch chunks the
+  /// population into batch_width lockstep groups (BatchEngine::run_batch),
+  /// groups spread across the lanes; other kinds run each fabric on its own
+  /// lane with the chosen engine attached.  Results are bit-identical
+  /// across engine kinds and lane counts.  Any engine previously attached
+  /// to a fabric is replaced.
+  std::vector<fabric::RunResult> run_fabrics(
+      std::span<fabric::Fabric* const> fabrics, std::int64_t max_cycles);
+
+  /// mapping::sweep with the per-budget rebalance+evaluate candidates
+  /// spread over the lanes.  Output is identical to the serial
+  /// mapping::sweep for any lane count (each budget is recomputed from
+  /// scratch in both).
+  std::vector<mapping::SweepPoint> rebalance_sweep(
+      const procnet::ProcessNetwork& net, int max_tiles,
+      mapping::RebalanceAlgorithm algo, const mapping::CostParams& params);
+
+  /// measure_process_times with the per-stage butterfly simulations (and
+  /// the two copy-kernel simulations) spread over the lanes.  Identical
+  /// output to the serial version: every measurement runs on its own
+  /// private Fabric.
+  FftProcessTimes measure_process_times(const fft::FftGeometry& g);
+
  private:
   void worker_loop();
   void drain(const std::function<void(int)>* job, int n);
 
+  engine::EngineOptions options_;
   std::vector<std::thread> threads_;
   std::mutex mu_;
   std::condition_variable work_cv_;  ///< Wakes workers on a new job / stop.
@@ -78,18 +116,25 @@ class SweepPool {
   std::exception_ptr error_;
 };
 
-/// mapping::sweep with the per-budget rebalance+evaluate candidates spread
-/// over the pool.  Output is identical to the serial mapping::sweep for any
-/// lane count (each budget is recomputed from scratch in both).
+// --- deprecated shims (one PR only; use dse::Sweep) -------------------------
+
+/// @deprecated Use dse::Sweep with EngineOptions{.threads = lanes}.
+class SweepPool : public Sweep {
+ public:
+  [[deprecated("use dse::Sweep")]] explicit SweepPool(int lanes = 0)
+      : Sweep(engine::EngineOptions{engine::EngineKind::kInterp, 8, lanes}) {}
+};
+
+/// @deprecated Use Sweep::rebalance_sweep.
+[[deprecated("use Sweep::rebalance_sweep")]]
 std::vector<mapping::SweepPoint> parallel_sweep(
     const procnet::ProcessNetwork& net, int max_tiles,
     mapping::RebalanceAlgorithm algo, const mapping::CostParams& params,
-    SweepPool& pool);
+    Sweep& pool);
 
-/// measure_process_times with the per-stage butterfly simulations (and the
-/// two copy-kernel simulations) spread over the pool.  Identical output to
-/// the serial version: every measurement runs on its own private Fabric.
+/// @deprecated Use Sweep::measure_process_times.
+[[deprecated("use Sweep::measure_process_times")]]
 FftProcessTimes parallel_measure_process_times(const fft::FftGeometry& g,
-                                               SweepPool& pool);
+                                               Sweep& pool);
 
 }  // namespace cgra::dse

@@ -1,0 +1,789 @@
+// BatchEngine: lockstep SoA stepping of N same-shape fabrics.
+//
+// Tile state is extracted into struct-of-arrays buffers with the instance
+// index innermost (dmem word w of tile t for instance i lives at
+// ((t*512 + w) * W) + i), so one instruction applied across instances
+// walks contiguous memory.  Each simulated cycle sweeps tiles in ascending
+// index; per tile, lanes whose instances run the same code at the same pc
+// take the vectorized path — one indirect call into a superinstruction
+// whose lane loop the compiler vectorizes — and divergent lanes take a
+// scalar path that is the interpreter body.  Remote writes are buffered
+// per instance and committed at end of cycle in ascending source order,
+// exactly the interpreter's commit semantics.
+//
+// When no instance has a live link or a tracer (the common dense-mesh
+// case), tiles cannot interact at all, and the lockstep sweep is replaced
+// by isolated mode: each tile runs to its halt or the budget in one
+// converged burst plus per-lane scalar tails, with the idle-cycle
+// accounting settled in closed form afterwards (see run_isolated).
+//
+// Bit-identity: the same shared step core executes every lane, prologue
+// checks and stat bumps mirror Tile::step, and stat/metric totals are
+// written back as deltas so the end state equals a sequential run's.  The
+// vectorized path is disabled whenever any instance has a tracer attached
+// (per-event streams come from the scalar path); a tracer shared across
+// instances sees each fabric's event subsequence unchanged, interleaved in
+// cycle order.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "engine/dispatch.hpp"
+#include "engine/engine.hpp"
+#include "fabric/exec_access.hpp"
+#include "fabric/step_core.hpp"
+#include "fabric/trace.hpp"
+
+namespace cgra::engine {
+
+using fabric::ExecAccess;
+using fabric::Fabric;
+using fabric::LinkState;
+using fabric::RemoteWrite;
+using fabric::RunResult;
+using fabric::Tile;
+using fabric::TileExec;
+using fabric::TraceEvent;
+using fabric::TraceEventKind;
+using isa::DecodedInstr;
+
+namespace {
+
+/// Per-instance (per-fabric) bookkeeping.
+struct Instance {
+  Fabric* f = nullptr;
+  std::int64_t start = 0;   ///< Fabric cycle counter at extraction.
+  std::int64_t cycles = 0;  ///< Cycles executed (RunResult::cycles).
+  bool done = false;
+  int halted_tiles = 0;
+  std::int64_t d_committed = 0;
+  std::int64_t d_faults = 0;
+  std::vector<RemoteWrite> rbuf;  ///< This cycle's remote writes.
+  fabric::Tracer* tracer = nullptr;
+  std::vector<LinkState> link;  ///< Per tile, from ExecAccess::begin.
+  std::vector<int> link_target;
+};
+
+struct DenseCtx;
+/// Per-pc dispatch entry for a uniform tile's dense lane loop.  `pure`
+/// marks instructions that cannot branch, halt, fault or write remotely
+/// (detail::pure_instr), so a burst can skip every post-step check.
+struct DensePc {
+  void (*fn)(DenseCtx&, const DecodedInstr&) = nullptr;
+  std::uint8_t pure = 0;
+};
+
+/// The extracted lockstep state: T tiles x W instances.
+struct Soa {
+  int T = 0;
+  int W = 0;
+  bool any_tracer = false;
+  int halted_total = 0;  ///< Halted tiles summed over every instance.
+  std::vector<Instance> inst;
+  std::vector<Word> dmem;  ///< [(t*kDataMemWords + w) * W + i]
+  // Per (t, i) = t*W + i:
+  std::vector<std::int64_t> acc;
+  std::vector<int> pc;
+  std::vector<std::uint8_t> halted;
+  std::vector<Fault> fault;
+  std::vector<std::int64_t> stalled_until;
+  std::vector<std::int64_t> d_instr, d_stall, d_halt, d_remote;
+  /// Relative cycle at which the lane's tile halted or faulted during
+  /// this run; -1 while running (and for tiles halted at extraction).
+  /// Isolated mode turns it into closed-form cycles_halted credit.
+  std::vector<std::int64_t> halt_cycle;
+  std::vector<const std::vector<DecodedInstr>*> dec;
+  std::vector<std::uint8_t> uniform;  ///< Per t: identical code, all i.
+  /// Per t (uniform tiles only): lane-loop fn per pc, classified once at
+  /// extraction so the cycle loop dispatches with a single indexed load.
+  std::vector<std::vector<DensePc>> fn_tables;
+
+  [[nodiscard]] std::size_t ti(int t, int i) const noexcept {
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(W) +
+           static_cast<std::size_t>(i);
+  }
+  [[nodiscard]] std::size_t word(int t, int addr, int i) const noexcept {
+    return (static_cast<std::size_t>(t) *
+                static_cast<std::size_t>(kDataMemWords) +
+            static_cast<std::size_t>(addr)) *
+               static_cast<std::size_t>(W) +
+           static_cast<std::size_t>(i);
+  }
+};
+
+/// The step-core View over one SoA lane — same interface as TileView.
+class SoaView {
+ public:
+  SoaView(Soa& s, int t, int i, std::int64_t cycle) noexcept
+      : s_(s), t_(t), i_(i), ti_(s.ti(t, i)), cycle_(cycle) {}
+
+  [[nodiscard]] Word load(int addr) const {
+    return s_.dmem[s_.word(t_, addr, i_)];
+  }
+  void store(int addr, Word v) { s_.dmem[s_.word(t_, addr, i_)] = v; }
+  [[nodiscard]] std::int64_t& acc() noexcept { return s_.acc[ti_]; }
+  [[nodiscard]] int pc() const noexcept { return s_.pc[ti_]; }
+  void set_pc(int pc) noexcept { s_.pc[ti_] = pc; }
+  void raise(FaultKind kind) {
+    Fault& fl = s_.fault[ti_];
+    fl.kind = kind;
+    fl.tile = t_;
+    fl.pc = s_.pc[ti_];
+    fl.cycle = cycle_;
+    mark_halted();
+  }
+  void halt() { mark_halted(); }
+  void retire() noexcept { ++s_.d_instr[ti_]; }
+  void emit_remote(int addr, Word value) {
+    s_.inst[static_cast<std::size_t>(i_)].rbuf.push_back(
+        RemoteWrite{t_, addr, value});
+    ++s_.d_remote[ti_];
+  }
+
+ private:
+  void mark_halted() {
+    if (s_.halted[ti_] == 0) {
+      s_.halted[ti_] = 1;
+      ++s_.inst[static_cast<std::size_t>(i_)].halted_tiles;
+      ++s_.halted_total;
+      s_.halt_cycle[ti_] =
+          cycle_ - s_.inst[static_cast<std::size_t>(i_)].start;
+    }
+  }
+
+  Soa& s_;
+  int t_;
+  int i_;
+  std::size_t ti_;
+  std::int64_t cycle_;
+};
+
+/// Lane context handed to the vectorized superinstructions.
+struct VecCtx {
+  Soa* s;
+  int t;
+  std::int64_t k;    ///< Relative cycle (absolute = inst.start + k).
+  const int* lanes;  ///< Running instance indices.
+  int n;
+
+  [[nodiscard]] int lane_count() const noexcept { return n; }
+  [[nodiscard]] SoaView view(int j) {
+    const int i = lanes[j];
+    return SoaView(*s, t, i,
+                   s->inst[static_cast<std::size_t>(i)].start + k);
+  }
+  [[nodiscard]] LinkState link(int j) const {
+    return s->inst[static_cast<std::size_t>(lanes[j])]
+        .link[static_cast<std::size_t>(t)];
+  }
+  void on_fault(int j) {
+    const int i = lanes[j];
+    ++s->d_halt[s->ti(t, i)];  // the raising cycle lands in the halted bucket
+    ++s->inst[static_cast<std::size_t>(i)].d_faults;
+  }
+};
+
+/// Lane view for the dense (all-instances-runnable) cycle: lane j IS
+/// instance j, so every hot access — dmem, acc, pc, retire counter — is an
+/// affine function of j over a handful of loop-invariant base pointers,
+/// which is what lets the compiler vectorize the lane loop across
+/// instances.  Cold paths (faults, halt, remote writes) delegate to the
+/// bookkeeping-carrying SoaView.
+class DenseView {
+ public:
+  DenseView(Soa& s, int t, int j, std::int64_t k, Word* dmem_t,
+            std::int64_t* acc_t, int* pc_t, std::int64_t* d_instr_t) noexcept
+      : s_(s),
+        t_(t),
+        j_(j),
+        k_(k),
+        dmem_t_(dmem_t),
+        acc_t_(acc_t),
+        pc_t_(pc_t),
+        d_instr_t_(d_instr_t) {}
+
+  [[nodiscard]] Word load(int addr) const {
+    return dmem_t_[static_cast<std::size_t>(addr) *
+                       static_cast<std::size_t>(s_.W) +
+                   static_cast<std::size_t>(j_)];
+  }
+  void store(int addr, Word v) {
+    dmem_t_[static_cast<std::size_t>(addr) * static_cast<std::size_t>(s_.W) +
+            static_cast<std::size_t>(j_)] = v;
+  }
+  [[nodiscard]] std::int64_t& acc() noexcept {
+    return acc_t_[static_cast<std::size_t>(j_)];
+  }
+  [[nodiscard]] int pc() const noexcept {
+    return pc_t_[static_cast<std::size_t>(j_)];
+  }
+  void set_pc(int pc) noexcept { pc_t_[static_cast<std::size_t>(j_)] = pc; }
+  void retire() noexcept { ++d_instr_t_[static_cast<std::size_t>(j_)]; }
+  void raise(FaultKind kind) { cold_view().raise(kind); }
+  void halt() { cold_view().halt(); }
+  void emit_remote(int addr, Word value) {
+    cold_view().emit_remote(addr, value);
+  }
+
+ private:
+  [[nodiscard]] SoaView cold_view() {
+    return SoaView(s_, t_, j_,
+                   s_.inst[static_cast<std::size_t>(j_)].start + k_);
+  }
+
+  Soa& s_;
+  int t_;
+  int j_;
+  std::int64_t k_;
+  Word* dmem_t_;
+  std::int64_t* acc_t_;
+  int* pc_t_;
+  std::int64_t* d_instr_t_;
+};
+
+/// Lane context for the dense cycle: identity lane map over all W
+/// instances, base pointers hoisted per tile.
+struct DenseCtx {
+  Soa* s;
+  int t;
+  std::int64_t k;
+  Word* dmem_t;
+  std::int64_t* acc_t;
+  int* pc_t;
+  std::int64_t* d_instr_t;
+
+  DenseCtx(Soa& soa, int tile, std::int64_t cycle) noexcept
+      : s(&soa),
+        t(tile),
+        k(cycle),
+        dmem_t(soa.dmem.data() + static_cast<std::size_t>(tile) *
+                                     static_cast<std::size_t>(kDataMemWords) *
+                                     static_cast<std::size_t>(soa.W)),
+        acc_t(soa.acc.data() + soa.ti(tile, 0)),
+        pc_t(soa.pc.data() + soa.ti(tile, 0)),
+        d_instr_t(soa.d_instr.data() + soa.ti(tile, 0)) {}
+
+  [[nodiscard]] int lane_count() const noexcept { return s->W; }
+  [[nodiscard]] DenseView view(int j) noexcept {
+    return DenseView(*s, t, j, k, dmem_t, acc_t, pc_t, d_instr_t);
+  }
+  [[nodiscard]] LinkState link(int j) const {
+    return s->inst[static_cast<std::size_t>(j)]
+        .link[static_cast<std::size_t>(t)];
+  }
+  void on_fault(int j) {
+    ++s->d_halt[s->ti(t, j)];  // the raising cycle lands in the halted bucket
+    ++s->inst[static_cast<std::size_t>(j)].d_faults;
+  }
+};
+
+void trace_fault(const Instance& in, int t, int pc, std::int64_t cycle) {
+  if (in.tracer == nullptr) return;
+  TraceEvent ev;
+  ev.cycle = cycle;
+  ev.kind = TraceEventKind::kFault;
+  ev.tile = t;
+  ev.pc = pc;
+  const isa::Instruction* ip = in.f->tile(t).instruction_at(pc);
+  if (ip != nullptr) ev.opcode = ip->opcode;
+  in.tracer->record(ev);
+}
+
+/// One lane, one cycle: the interpreter body (same prologue, raise points
+/// and trace events as Tile::step under ExecAccess::run_cycle).  The lane
+/// is known runnable (not halted, not stalled).
+void scalar_step(Soa& s, int t, int i, std::int64_t k) {
+  const std::size_t ti = s.ti(t, i);
+  Instance& in = s.inst[static_cast<std::size_t>(i)];
+  const std::int64_t cycle = in.start + k;
+  const auto& dec = *s.dec[ti];
+  const int pc = s.pc[ti];
+  SoaView v(s, t, i, cycle);
+  if (pc < 0 || pc >= static_cast<int>(dec.size())) {
+    v.raise(FaultKind::kPcOutOfRange);
+    ++s.d_halt[ti];
+    ++in.d_faults;
+    trace_fault(in, t, pc, cycle);
+    return;
+  }
+  if (fabric::core::exec_instr<fabric::core::DynTraits>(
+          v, dec[static_cast<std::size_t>(pc)],
+          in.link[static_cast<std::size_t>(t)])) {
+    if (in.tracer != nullptr) {
+      const isa::Instruction* ip = in.f->tile(t).instruction_at(pc);
+      TraceEvent ev;
+      ev.cycle = cycle;
+      ev.tile = t;
+      ev.pc = pc;
+      if (ip != nullptr) ev.opcode = ip->opcode;
+      ev.kind = (ip != nullptr && ip->opcode == isa::Opcode::kHalt)
+                    ? TraceEventKind::kHalt
+                    : TraceEventKind::kRetire;
+      in.tracer->record(ev);
+    }
+  } else {
+    ++s.d_halt[ti];
+    ++in.d_faults;
+    trace_fault(in, t, pc, cycle);
+  }
+}
+
+// --- isolated mode ---------------------------------------------------------
+// When no instance has a live link and no tracer is attached (and the
+// cycle budget is finite), remote writes can never commit: every (tile,
+// lane) evolves independently, so instead of sweeping all tiles each
+// cycle we run each tile to its halt or the budget in one go and settle
+// the idle-cycle accounting in closed form afterwards.  This removes the
+// per-(tile, cycle) dispatch overhead that dominates dense meshes.
+
+/// Run tile t's converged lanes (all unhalted, unstalled, same pc,
+/// uniform code) for as many cycles as they stay converged, up to
+/// `max_cycles`.  Pure instructions (cannot branch/halt/fault/emit) skip
+/// every post-step check; others re-check halt and pc convergence.
+/// Returns the relative cycle at which the burst stopped.
+std::int64_t dense_burst(Soa& s, int t, std::int64_t max_cycles) {
+  const int W = s.W;
+  const auto& tab = s.fn_tables[static_cast<std::size_t>(t)];
+  const auto& dec = *s.dec[s.ti(t, 0)];
+  const int n = static_cast<int>(tab.size());
+  DenseCtx c(s, t, 0);
+  int pc0 = s.pc[s.ti(t, 0)];
+  const int h0 = s.halted_total;
+  std::int64_t k = 0;
+  while (k < max_cycles) {
+    if (pc0 < 0 || pc0 >= n) {
+      // Same per-lane raise as scalar_step's out-of-range arm (no tracer
+      // can be attached in isolated mode).
+      for (int j = 0; j < W; ++j) {
+        SoaView v(s, t, j, s.inst[static_cast<std::size_t>(j)].start + k);
+        v.raise(FaultKind::kPcOutOfRange);
+        ++s.d_halt[s.ti(t, j)];
+        ++s.inst[static_cast<std::size_t>(j)].d_faults;
+      }
+      return k + 1;
+    }
+    const DensePc e = tab[static_cast<std::size_t>(pc0)];
+    c.k = k;
+    e.fn(c, dec[static_cast<std::size_t>(pc0)]);
+    ++k;
+    if (e.pure != 0) {
+      ++pc0;  // a pure instruction always falls through
+      continue;
+    }
+    if (s.halted_total != h0) break;  // some lane halted or faulted
+    const int* pcs = s.pc.data() + s.ti(t, 0);
+    pc0 = pcs[0];
+    bool converged = true;
+    for (int j = 1; j < W; ++j) converged &= (pcs[j] == pc0);
+    if (!converged) break;
+  }
+  return k;
+}
+
+/// Run lane (t, i) alone from relative cycle max(k0, its stall expiry)
+/// until it halts or the budget ends.  Idle cycles are NOT bumped here;
+/// run_isolated credits them in closed form.
+void scalar_tail(Soa& s, int t, int i, std::int64_t k0,
+                 std::int64_t max_cycles) {
+  const std::size_t ti = s.ti(t, i);
+  if (s.halted[ti] != 0) return;
+  std::int64_t k = std::max(
+      k0,
+      std::max<std::int64_t>(
+          s.stalled_until[ti] - s.inst[static_cast<std::size_t>(i)].start, 0));
+  while (k < max_cycles && s.halted[ti] == 0) {
+    scalar_step(s, t, i, k);
+    ++k;
+  }
+}
+
+void run_isolated(Soa& s, std::int64_t max_cycles) {
+  const int T = s.T;
+  const int W = s.W;
+  for (int t = 0; t < T; ++t) {
+    std::int64_t k = 0;
+    bool converged = s.uniform[static_cast<std::size_t>(t)] != 0;
+    const int pc0 = s.pc[s.ti(t, 0)];
+    for (int i = 0; converged && i < W; ++i) {
+      const std::size_t ti = s.ti(t, i);
+      converged = s.halted[ti] == 0 &&
+                  s.stalled_until[ti] <=
+                      s.inst[static_cast<std::size_t>(i)].start &&
+                  s.pc[ti] == pc0;
+    }
+    if (converged) k = dense_burst(s, t, max_cycles);
+    if (k < max_cycles) {
+      for (int i = 0; i < W; ++i) scalar_tail(s, t, i, k, max_cycles);
+    }
+  }
+  // Closed-form completion and idle accounting, matching the lockstep
+  // loop cycle for cycle: an instance finishes at the top of the first
+  // cycle with every tile halted (last halt event + 1), else at the
+  // budget; halted tiles bump cycles_halted each remaining cycle and
+  // pre-halted ones every cycle; stall windows count until they expire,
+  // the tile halts, or the run ends — whichever is first.
+  for (int i = 0; i < W; ++i) {
+    Instance& in = s.inst[static_cast<std::size_t>(i)];
+    std::int64_t cycles = max_cycles;
+    if (in.halted_tiles == T) {
+      cycles = 0;
+      for (int t = 0; t < T; ++t) {
+        cycles = std::max(cycles, s.halt_cycle[s.ti(t, i)] + 1);
+      }
+    }
+    in.done = true;
+    in.cycles = cycles;
+    for (int t = 0; t < T; ++t) {
+      const std::size_t ti = s.ti(t, i);
+      const std::int64_t h = s.halt_cycle[ti];
+      if (s.halted[ti] != 0 && h < 0) {
+        // Halted before this run began: every executed cycle lands in
+        // the halted bucket and any stall window underneath never counts.
+        s.d_halt[ti] += cycles;
+        continue;
+      }
+      if (h >= 0) s.d_halt[ti] += cycles - (h + 1);
+      s.d_stall[ti] += std::min(
+          std::max<std::int64_t>(s.stalled_until[ti] - in.start, 0), cycles);
+    }
+  }
+}
+
+bool batchable(std::span<Fabric* const> fabrics) {
+  if (fabrics.empty() || fabrics.front() == nullptr) return false;
+  const int rows = fabrics.front()->rows();
+  const int cols = fabrics.front()->cols();
+  for (std::size_t i = 0; i < fabrics.size(); ++i) {
+    if (fabrics[i] == nullptr) return false;
+    if (fabrics[i]->rows() != rows || fabrics[i]->cols() != cols) {
+      return false;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (fabrics[i] == fabrics[j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<RunResult> BatchEngine::run_batch(
+    std::span<Fabric* const> fabrics, std::int64_t max_cycles) {
+  std::vector<RunResult> results(fabrics.size());
+  if (fabrics.empty()) return results;
+  if (!batchable(fabrics)) {
+    // Mixed shapes / duplicates cannot be stepped in lockstep; fall back
+    // to sequential interpretation — bit-identical, just unbatched.
+    for (std::size_t i = 0; i < fabrics.size(); ++i) {
+      if (fabrics[i] != nullptr) {
+        results[i] = fabrics[i]->run_interpreter(max_cycles);
+      }
+    }
+    return results;
+  }
+
+  const int W = static_cast<int>(fabrics.size());
+  const int T = fabrics.front()->tile_count();
+  Soa s;
+  s.T = T;
+  s.W = W;
+  s.inst.resize(static_cast<std::size_t>(W));
+  const std::size_t tw = static_cast<std::size_t>(T) *
+                         static_cast<std::size_t>(W);
+  s.dmem.resize(tw * static_cast<std::size_t>(kDataMemWords));
+  s.acc.resize(tw);
+  s.pc.resize(tw);
+  s.halted.resize(tw);
+  s.fault.resize(tw);
+  s.stalled_until.resize(tw);
+  s.d_instr.assign(tw, 0);
+  s.d_stall.assign(tw, 0);
+  s.d_halt.assign(tw, 0);
+  s.d_remote.assign(tw, 0);
+  s.halt_cycle.assign(tw, -1);
+  s.dec.resize(tw);
+  s.uniform.assign(static_cast<std::size_t>(T), 1);
+
+  // --- extraction ---
+  for (int i = 0; i < W; ++i) {
+    Fabric& f = *fabrics[static_cast<std::size_t>(i)];
+    ExecAccess::begin(f);       // links re-derived: the one shared place
+    ExecAccess::settle_all(f);  // stats exact at cycle_ before we add deltas
+    Instance& in = s.inst[static_cast<std::size_t>(i)];
+    in.f = &f;
+    in.start = f.now();
+    in.tracer = f.tracer();
+    if (in.tracer != nullptr) s.any_tracer = true;
+    in.link.resize(static_cast<std::size_t>(T));
+    in.link_target.resize(static_cast<std::size_t>(T));
+    for (int t = 0; t < T; ++t) {
+      in.link[static_cast<std::size_t>(t)] = ExecAccess::link_state(f, t);
+      in.link_target[static_cast<std::size_t>(t)] =
+          ExecAccess::link_target(f, t);
+      Tile& tile = f.tile(t);
+      const std::size_t ti = s.ti(t, i);
+      s.acc[ti] = TileExec::acc(tile);
+      s.pc[ti] = TileExec::pc(tile);
+      s.halted[ti] = tile.halted() ? 1 : 0;
+      if (tile.halted()) {
+        ++in.halted_tiles;
+        ++s.halted_total;
+      }
+      s.fault[ti] = tile.fault();
+      s.stalled_until[ti] = tile.stalled_until();
+      s.dec[ti] = &TileExec::decoded(tile);
+      if (i > 0 && s.uniform[static_cast<std::size_t>(t)] != 0 &&
+          TileExec::code(tile) !=
+              TileExec::code(fabrics.front()->tile(t))) {
+        s.uniform[static_cast<std::size_t>(t)] = 0;
+      }
+    }
+  }
+  s.fn_tables.resize(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    if (s.uniform[static_cast<std::size_t>(t)] == 0) continue;
+    const auto& dec = *s.dec[s.ti(t, 0)];
+    auto& tab = s.fn_tables[static_cast<std::size_t>(t)];
+    tab.resize(dec.size());
+    for (std::size_t p = 0; p < dec.size(); ++p) {
+      tab[p].fn = detail::select_vec_fn<DenseCtx>(dec[p]);
+      if (tab[p].fn == nullptr) tab[p].fn = &detail::exec_vec_generic<DenseCtx>;
+      tab[p].pure = detail::pure_instr(dec[p]) ? 1 : 0;
+    }
+  }
+  // Dmem AoS -> SoA as a tile-major transpose: the destination walks the
+  // SoA array sequentially and the sources are W sequential streams, vs
+  // one cache line touched per word when copying instance-major.
+  std::vector<Word*> lane_mem(static_cast<std::size_t>(W));
+  for (int t = 0; t < T; ++t) {
+    for (int i = 0; i < W; ++i) {
+      lane_mem[static_cast<std::size_t>(i)] =
+          TileExec::dmem(s.inst[static_cast<std::size_t>(i)].f->tile(t))
+              .data();
+    }
+    Word* dst = s.dmem.data() + static_cast<std::size_t>(t) *
+                                    static_cast<std::size_t>(kDataMemWords) *
+                                    static_cast<std::size_t>(W);
+    for (int a = 0; a < kDataMemWords; ++a) {
+      for (int i = 0; i < W; ++i) {
+        dst[static_cast<std::size_t>(a) * static_cast<std::size_t>(W) +
+            static_cast<std::size_t>(i)] =
+            lane_mem[static_cast<std::size_t>(i)][static_cast<std::size_t>(a)];
+      }
+    }
+  }
+  // Cycles any lane spends stalled come only from stall windows already
+  // pending at extraction (nothing inside a batch run re-arms them), so
+  // past this horizon a cycle with no halted tile anywhere needs no
+  // per-lane runnable scan at all.
+  std::int64_t clean_from = 0;
+  for (int i = 0; i < W; ++i) {
+    const Instance& in = s.inst[static_cast<std::size_t>(i)];
+    for (int t = 0; t < T; ++t) {
+      clean_from = std::max(clean_from,
+                            s.stalled_until[s.ti(t, i)] - in.start);
+    }
+  }
+
+  // Instances interact only through remote writes over live links, and
+  // only a tracer observes the per-cycle interleave; with neither (and a
+  // finite budget), no lane can affect another, so the per-cycle tile
+  // sweep collapses into per-tile bursts (run_isolated above).
+  bool interacting = s.any_tracer || max_cycles < 0;
+  for (int i = 0; i < W && !interacting; ++i) {
+    const Instance& in = s.inst[static_cast<std::size_t>(i)];
+    for (int t = 0; t < T; ++t) {
+      if (in.link[static_cast<std::size_t>(t)] == LinkState::kUp) {
+        interacting = true;
+        break;
+      }
+    }
+  }
+  if (!interacting) {
+    run_isolated(s, max_cycles);
+  } else {
+  // --- lockstep cycle loop ---
+  std::vector<int> live;
+  std::vector<int> lanes;
+  live.reserve(static_cast<std::size_t>(W));
+  lanes.reserve(static_cast<std::size_t>(W));
+
+  // End-of-cycle commit for one instance, in push order == ascending
+  // source tile (tiles are swept ascending): the interpreter's commit
+  // semantics, including the same-destination tie-break.
+  const auto commit_remotes = [&s, T](int i, std::int64_t k) {
+    Instance& in = s.inst[static_cast<std::size_t>(i)];
+    if (in.rbuf.empty()) return;
+    for (const auto& w : in.rbuf) {
+      const int dst = in.link_target[static_cast<std::size_t>(w.src_tile)];
+      if (dst < 0) continue;
+      s.dmem[s.word(dst, w.addr, i)] = w.value;
+      ++in.d_committed;
+      if (in.tracer != nullptr) {
+        TraceEvent ev;
+        ev.cycle = in.start + k;
+        ev.kind = TraceEventKind::kRemoteWrite;
+        ev.tile = w.src_tile;
+        ev.dst_tile = dst;
+        ev.addr = w.addr;
+        ev.value = w.value;
+        in.tracer->record(ev);
+      }
+    }
+    in.rbuf.clear();
+    (void)T;
+  };
+
+  for (std::int64_t k = 0;; ++k) {
+    if (s.halted_total == 0 && k >= clean_from && k != max_cycles) {
+      // Dense cycle: every instance is live and every lane runnable, so
+      // lane j IS instance j and the idle-lane bookkeeping vanishes; per
+      // tile the only question left is whether the lanes' pcs converge.
+      for (int t = 0; t < T; ++t) {
+        const int* pcs = s.pc.data() + s.ti(t, 0);
+        const int pc0 = pcs[0];
+        bool same_pc = true;
+        for (int j = 1; j < W; ++j) same_pc &= (pcs[j] == pc0);
+        if (same_pc && !s.any_tracer &&
+            s.uniform[static_cast<std::size_t>(t)] != 0) {
+          const auto& tab = s.fn_tables[static_cast<std::size_t>(t)];
+          if (pc0 >= 0 && pc0 < static_cast<int>(tab.size())) {
+            const DecodedInstr& din =
+                (*s.dec[s.ti(t, 0)])[static_cast<std::size_t>(pc0)];
+            DenseCtx c(s, t, k);
+            tab[static_cast<std::size_t>(pc0)].fn(c, din);
+            continue;
+          }
+        }
+        for (int i = 0; i < W; ++i) scalar_step(s, t, i, k);
+      }
+      for (int i = 0; i < W; ++i) commit_remotes(i, k);
+      continue;
+    }
+
+    live.clear();
+    for (int i = 0; i < W; ++i) {
+      Instance& in = s.inst[static_cast<std::size_t>(i)];
+      if (in.done) continue;
+      if (in.halted_tiles == T || k == max_cycles) {
+        in.done = true;
+        in.cycles = k;
+        continue;
+      }
+      live.push_back(i);
+    }
+    if (live.empty()) break;
+
+    for (int t = 0; t < T; ++t) {
+      lanes.clear();
+      bool same_pc = true;
+      int pc0 = -1;
+      for (const int i : live) {
+        const std::size_t ti = s.ti(t, i);
+        // The idle-lane bumps mirror the Tile::step prologue and are the
+        // same whichever execution path the running lanes take.
+        if (s.halted[ti] != 0) {
+          ++s.d_halt[ti];
+          continue;
+        }
+        if (s.inst[static_cast<std::size_t>(i)].start + k <
+            s.stalled_until[ti]) {
+          ++s.d_stall[ti];
+          continue;
+        }
+        const int pc = s.pc[ti];
+        if (pc0 == -1) {
+          pc0 = pc;
+        } else if (pc != pc0) {
+          same_pc = false;
+        }
+        lanes.push_back(i);
+      }
+      if (lanes.empty()) continue;
+      if (same_pc && !s.any_tracer &&
+          s.uniform[static_cast<std::size_t>(t)] != 0) {
+        const auto& dec = *s.dec[s.ti(t, lanes.front())];
+        if (pc0 >= 0 && pc0 < static_cast<int>(dec.size())) {
+          const DecodedInstr& din = dec[static_cast<std::size_t>(pc0)];
+          VecCtx c{&s, t, k, lanes.data(), static_cast<int>(lanes.size())};
+          if (const auto vfn = detail::select_vec_fn<VecCtx>(din)) {
+            vfn(c, din);
+          } else {
+            detail::exec_vec_generic(c, din);
+          }
+          continue;
+        }
+      }
+      for (const int i : lanes) scalar_step(s, t, i, k);
+    }
+
+    for (const int i : live) commit_remotes(i, k);
+  }
+  }  // interacting
+
+  // --- write-back ---
+  // Dmem SoA -> AoS, the transpose inverse of extraction: sequential reads
+  // of the SoA array fanning out to W sequential per-instance streams.
+  for (int t = 0; t < T; ++t) {
+    for (int i = 0; i < W; ++i) {
+      lane_mem[static_cast<std::size_t>(i)] =
+          TileExec::dmem(s.inst[static_cast<std::size_t>(i)].f->tile(t))
+              .data();
+    }
+    const Word* src = s.dmem.data() +
+                      static_cast<std::size_t>(t) *
+                          static_cast<std::size_t>(kDataMemWords) *
+                          static_cast<std::size_t>(W);
+    for (int a = 0; a < kDataMemWords; ++a) {
+      for (int i = 0; i < W; ++i) {
+        lane_mem[static_cast<std::size_t>(i)][static_cast<std::size_t>(a)] =
+            src[static_cast<std::size_t>(a) * static_cast<std::size_t>(W) +
+                static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  for (int i = 0; i < W; ++i) {
+    Instance& in = s.inst[static_cast<std::size_t>(i)];
+    Fabric& f = *in.f;
+    std::int64_t d_retired = 0;
+    for (int t = 0; t < T; ++t) {
+      const std::size_t ti = s.ti(t, i);
+      Tile& tile = f.tile(t);
+      TileExec::acc(tile) = s.acc[ti];
+      TileExec::pc(tile) = s.pc[ti];
+      TileExec::halted(tile) = s.halted[ti] != 0;
+      TileExec::fault(tile) = s.fault[ti];
+      auto& stats = TileExec::stats(tile);
+      stats.instructions += s.d_instr[ti];
+      stats.remote_writes += s.d_remote[ti];
+      stats.cycles_stalled += s.d_stall[ti];
+      stats.cycles_halted += s.d_halt[ti];
+      d_retired += s.d_instr[ti];
+    }
+    // Cycle counter first: rebuild_scheduler classifies stalled-vs-active
+    // against it and stamps every settlement boundary with it.
+    ExecAccess::cycle(f) = in.start + in.cycles;
+    ExecAccess::rebuild_scheduler(f);
+    ExecAccess::flush_cycle_metrics(f, in.cycles, d_retired, in.d_committed,
+                                    in.d_faults);
+    RunResult& r = results[static_cast<std::size_t>(i)];
+    r.cycles = in.cycles;
+    r.all_halted = f.all_halted();
+    r.faults = f.faults();
+  }
+  return results;
+}
+
+RunResult BatchEngine::run(Fabric& fabric, std::int64_t max_cycles) {
+  Fabric* one[] = {&fabric};
+  return run_batch(one, max_cycles).front();
+}
+
+int BatchEngine::step(Fabric& fabric) {
+  // A single externally-driven cycle has no batch dimension; the
+  // interpreter step is the reference semantics verbatim.
+  return fabric.step_interpreter();
+}
+
+}  // namespace cgra::engine

@@ -1,0 +1,50 @@
+#include "engine/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace cgra::engine {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec) {
+  std::fprintf(stderr,
+               "invalid --engine spec '%.*s' (expected interp | threaded | "
+               "batch[:width])\n",
+               static_cast<int>(spec.size()), spec.data());
+  std::exit(2);
+}
+
+}  // namespace
+
+EngineOptions apply_engine_flag(int* argc, char** argv) {
+  std::optional<EngineOptions> chosen;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    const std::string_view arg = argv[r];
+    std::string_view spec;
+    if (arg == "--engine") {
+      if (r + 1 >= *argc) bad_spec("");
+      spec = argv[++r];
+    } else if (arg.starts_with("--engine=")) {
+      spec = arg.substr(sizeof("--engine=") - 1);
+    } else {
+      argv[w++] = argv[r];
+      continue;
+    }
+    const auto parsed = parse_engine_spec(spec);
+    if (!parsed.has_value()) bad_spec(spec);
+    chosen = *parsed;  // last one wins, like most flag parsers
+  }
+  for (int r = w; r < *argc; ++r) argv[r] = nullptr;
+  *argc = w;
+  if (chosen.has_value()) {
+    use_process_engine(*chosen);
+    return *chosen;
+  }
+  install_build_default();
+  return process_engine();
+}
+
+}  // namespace cgra::engine

@@ -1,8 +1,26 @@
 #include "fabric/fabric.hpp"
 
 #include <algorithm>
+#include <atomic>
+
+#include "fabric/exec_access.hpp"
 
 namespace cgra::fabric {
+
+namespace {
+// Installed once at startup (CLI flag / build default static initializer),
+// before any thread runs a fabric; atomic so concurrent fabric creation in
+// worker pools reads it without a race.
+std::atomic<EngineFactory> g_engine_factory{nullptr};
+}  // namespace
+
+void set_default_engine_factory(EngineFactory factory) noexcept {
+  g_engine_factory.store(factory, std::memory_order_release);
+}
+
+EngineFactory default_engine_factory() noexcept {
+  return g_engine_factory.load(std::memory_order_acquire);
+}
 
 Fabric::Fabric(int rows, int cols)
     : links_(rows, cols),
@@ -26,6 +44,10 @@ Fabric& Fabric::operator=(Fabric&& other) noexcept {
   links_ = std::move(other.links_);
   tiles_ = std::move(other.tiles_);
   remote_buffer_ = std::move(other.remote_buffer_);
+  owned_engine_ = std::move(other.owned_engine_);
+  engine_ = other.engine_;
+  engine_resolved_ = other.engine_resolved_;
+  other.engine_ = nullptr;
   failed_links_ = std::move(other.failed_links_);
   cycle_ = other.cycle_;
   tracer_ = other.tracer_;
@@ -198,89 +220,32 @@ std::int64_t Fabric::next_wake_cycle() {
 }
 
 int Fabric::step_cycle() {
-  remote_buffer_.clear();
-  int retired = 0;
-  stepping_ = true;
-  // Snapshot the active list: a sweep never grows it (transitions during a
-  // sweep only mark entries stale), but the compiler cannot see that
-  // through the tile.step call, and reloading size() per tile costs.
-  const int* const act = active_.data();
-  const std::size_t n_active = active_.size();
-  for (std::size_t idx = 0; idx < n_active; ++idx) {
-    const int i = act[idx];
-    if (class_[static_cast<std::size_t>(i)] != TileClass::kActive) continue;
-    auto& tile = tiles_[static_cast<std::size_t>(i)];
-    const int pc_before = tile.pc();
-    if (tile.step(i, cycle_, link_state_[static_cast<std::size_t>(i)],
-                  remote_buffer_)) {
-      ++retired;
-      if (tracer_ != nullptr) {
-        const isa::Instruction* in = tile.instruction_at(pc_before);
-        TraceEvent ev;
-        ev.cycle = cycle_;
-        ev.tile = i;
-        ev.pc = pc_before;
-        if (in != nullptr) ev.opcode = in->opcode;
-        ev.kind = (in != nullptr && in->opcode == isa::Opcode::kHalt)
-                      ? TraceEventKind::kHalt
-                      : TraceEventKind::kRetire;
-        tracer_->record(ev);
-      }
-    } else if (tile.faulted()) {
-      // An active tile cannot have entered the cycle faulted, so this is
-      // the raising transition.  The cycle the fault is raised mid-step
-      // would otherwise be missing from the tile's cycle accounting
-      // (TileStats invariant).
-      tile.count_fault_cycle();
-      if (metrics_ != nullptr) metrics_->add(m_faults_);
-      if (tracer_ != nullptr) {
-        TraceEvent ev;
-        ev.cycle = cycle_;
-        ev.kind = TraceEventKind::kFault;
-        ev.tile = i;
-        ev.pc = pc_before;
-        const isa::Instruction* in = tile.instruction_at(pc_before);
-        if (in != nullptr) ev.opcode = in->opcode;
-        tracer_->record(ev);
-      }
-    }
+  // The per-cycle sweep (trace events, fault accounting, remote-write
+  // commit order, cycle/metrics bumps) is shared with the pluggable
+  // execution engines via ExecAccess::run_cycle; only the per-tile
+  // dispatch below is interpreter-specific.
+  return ExecAccess::run_cycle(*this, [this](Tile& tile, int i, int) {
+    return tile.step(i, cycle_, link_state_[static_cast<std::size_t>(i)],
+                     remote_buffer_);
+  });
+}
+
+void Fabric::resolve_engine() {
+  engine_resolved_ = true;
+  if (const EngineFactory factory = default_engine_factory()) {
+    owned_engine_ = factory();
+    engine_ = owned_engine_.get();
   }
-  stepping_ = false;
-  if (active_dirty_) compact_active();
-  // Commit remote writes synchronously at end of cycle, in ascending
-  // source-tile order (the order the tiles were stepped).  Two writes to
-  // the same destination word in the same cycle therefore resolve
-  // deterministically: the write from the higher source-tile index commits
-  // last, so its value persists — documented semantics.
-  int committed = 0;
-  for (const auto& w : remote_buffer_) {
-    const int dst = link_target_[static_cast<std::size_t>(w.src_tile)];
-    if (dst >= 0) {
-      tiles_[static_cast<std::size_t>(dst)].set_dmem(w.addr, w.value);
-      ++committed;
-      if (tracer_ != nullptr) {
-        TraceEvent ev;
-        ev.cycle = cycle_;
-        ev.kind = TraceEventKind::kRemoteWrite;
-        ev.tile = w.src_tile;
-        ev.dst_tile = dst;
-        ev.addr = w.addr;
-        ev.value = w.value;
-        tracer_->record(ev);
-      }
-    }
-  }
-  ++cycle_;
-  if (metrics_ != nullptr) {
-    metrics_->add(m_cycles_);
-    metrics_->add(m_retired_, retired);
-    metrics_->add(m_remote_writes_, committed);
-  }
-  return retired;
 }
 
 int Fabric::step() {
-  refresh_link_cache();
+  if (!engine_resolved_) resolve_engine();
+  if (engine_ != nullptr) return engine_->step(*this);
+  return step_interpreter();
+}
+
+int Fabric::step_interpreter() {
+  ExecAccess::begin(*this);
   process_wakes();
   const int retired = step_cycle();
   settle_all();  // public boundary: idle tiles' stats catch up to cycle_
@@ -300,8 +265,14 @@ void Fabric::attach_metrics(obs::MetricsRegistry* metrics) {
 }
 
 RunResult Fabric::run(std::int64_t max_cycles) {
+  if (!engine_resolved_) resolve_engine();
+  if (engine_ != nullptr) return engine_->run(*this, max_cycles);
+  return run_interpreter(max_cycles);
+}
+
+RunResult Fabric::run_interpreter(std::int64_t max_cycles) {
   RunResult result;
-  refresh_link_cache();
+  ExecAccess::begin(*this);
   while (result.cycles < max_cycles) {
     if (all_halted()) break;
     process_wakes();

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -44,6 +45,31 @@ struct RunResult {
     return cycles_to_ns(cycles);
   }
 };
+
+class Fabric;
+
+/// Pluggable execution strategy driving a Fabric (implementations live in
+/// src/engine; see docs/ARCHITECTURE.md "Execution engines").  A fabric
+/// with an attached hook delegates run()/step() to it; engines reach the
+/// scheduler internals through fabric::ExecAccess and MUST be bit-identical
+/// to the built-in interpreter — same cycle counts, stats, traces and
+/// remote-write commit order (tests/test_engine.cpp enforces it).
+class ExecutionHook {
+ public:
+  virtual ~ExecutionHook() = default;
+  /// Same contract as Fabric::run().
+  virtual RunResult run(Fabric& fabric, std::int64_t max_cycles) = 0;
+  /// Same contract as Fabric::step().
+  virtual int step(Fabric& fabric) = 0;
+};
+
+/// Process-wide default-engine factory, consulted lazily the first time a
+/// fabric without an attached engine runs.  Returning nullptr keeps the
+/// built-in interpreter.  Installed once at startup (engine CLI flag /
+/// build default) before any threads run fabrics.
+using EngineFactory = std::unique_ptr<ExecutionHook> (*)();
+void set_default_engine_factory(EngineFactory factory) noexcept;
+[[nodiscard]] EngineFactory default_engine_factory() noexcept;
 
 /// The mesh of tiles.
 class Fabric : private TileScheduler {
@@ -117,13 +143,45 @@ class Fabric : private TileScheduler {
   /// writes.  Returns the number of tiles that retired an instruction.
   /// Idle tiles' cycle accounting is settled before this returns, so the
   /// observable TileStats match the reference one-step-per-tile engine.
+  /// Delegates to the attached execution engine when one is installed.
   int step();
 
   /// Run until every tile is halted, a fault occurs, or `max_cycles`
   /// elapse.  When only stalled tiles remain, the cycle counter
   /// fast-forwards to the next wake event (run-until-event; the skipped
   /// cycles still count against `max_cycles` and into the result).
+  /// Delegates to the attached execution engine when one is installed.
   RunResult run(std::int64_t max_cycles);
+
+  /// The built-in interpreter: the reference implementation run()/step()
+  /// use when no engine is attached.  Engines and the conformance suite
+  /// call these directly to compare against the reference.
+  RunResult run_interpreter(std::int64_t max_cycles);
+  int step_interpreter();
+
+  // --- pluggable execution engines ---
+  // Like the tracer/metrics attachments, an engine is harness wiring, not
+  // fabric state: reset() keeps it.  When neither attach nor adopt was
+  // called, the first run()/step() consults the process-wide default
+  // factory once (set_default_engine_factory); attach_engine(nullptr)
+  // pins the built-in interpreter explicitly.
+
+  /// Attach a non-owning engine (must outlive the fabric), or nullptr to
+  /// pin the built-in interpreter.
+  void attach_engine(ExecutionHook* engine) noexcept {
+    owned_engine_.reset();
+    engine_ = engine;
+    engine_resolved_ = true;
+  }
+  /// Attach an engine the fabric owns.
+  void adopt_engine(std::unique_ptr<ExecutionHook> engine) noexcept {
+    owned_engine_ = std::move(engine);
+    engine_ = owned_engine_.get();
+    engine_resolved_ = true;
+  }
+  /// The engine run()/step() currently delegate to (null = interpreter,
+  /// or default not resolved yet).
+  [[nodiscard]] ExecutionHook* engine() const noexcept { return engine_; }
 
   /// True if every tile is halted (cleanly or by fault).  O(1): the
   /// scheduler maintains the halted-tile count across all transitions.
@@ -154,6 +212,10 @@ class Fabric : private TileScheduler {
   }
 
  private:
+  /// Execution engines (src/engine) reach the scheduler internals through
+  /// this single audited backdoor (fabric/exec_access.hpp).
+  friend struct ExecAccess;
+
   /// Scheduling class of a tile.  Exactly one applies at any cycle; it is
   /// also the TileStats bucket its skipped cycles settle into.
   enum class TileClass : std::uint8_t { kActive, kStalled, kHalted };
@@ -176,9 +238,15 @@ class Fabric : private TileScheduler {
   /// Re-derive per-tile link state/target from links_ and failed_links_.
   void refresh_link_cache();
 
+  /// Resolve the lazy process-default engine (first run()/step()).
+  void resolve_engine();
+
   interconnect::LinkConfig links_;
   std::vector<Tile> tiles_;
   std::vector<RemoteWrite> remote_buffer_;
+  ExecutionHook* engine_ = nullptr;  ///< Delegation target; see engine().
+  std::unique_ptr<ExecutionHook> owned_engine_;
+  bool engine_resolved_ = false;  ///< Default-factory lookup done.
   std::vector<std::uint8_t> failed_links_;  ///< 1 = output driver broken.
   std::int64_t cycle_ = 0;
   Tracer* tracer_ = nullptr;

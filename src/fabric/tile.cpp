@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fabric/step_core.hpp"
 #include "isa/instruction.hpp"
 
 namespace cgra::fabric {
@@ -21,6 +22,9 @@ Tile& Tile::operator=(const Tile& other) {
   fault_ = other.fault_;
   stats_ = other.stats_;
   stalled_until_ = other.stalled_until_;
+  // The assigned-over instruction image changed as far as any engine cache
+  // keyed on this slot is concerned, whatever version the source carried.
+  ++code_version_;
   // sched_ / sched_index_ deliberately untouched: the binding names a slot
   // in the owning fabric, not a property of the tile's value.
   return *this;
@@ -40,6 +44,7 @@ bool Tile::load_program(const isa::Program& prog) {
   pc_ = 0;
   halted_ = true;  // a loaded tile awaits restart()
   fault_ = Fault{};
+  ++code_version_;
   notify_scheduler();
   return true;
 }
@@ -74,6 +79,7 @@ void Tile::reset() {
   fault_ = Fault{};
   stats_ = TileStats{};
   stalled_until_ = 0;
+  ++code_version_;
   notify_scheduler();
 }
 
@@ -108,6 +114,7 @@ bool Tile::flip_inst_bit(int index, int bit) {
   // Keep the flattened image in lockstep with the poked slot.
   decoded_[static_cast<std::size_t>(index)] =
       isa::predecode(code_[static_cast<std::size_t>(index)]);
+  ++code_version_;
   return true;
 }
 
@@ -132,24 +139,6 @@ void Tile::raise(FaultKind kind, int tile_index, std::int64_t cycle) {
   notify_scheduler();
 }
 
-int Tile::effective_addr(std::uint16_t field, bool indirect, int tile_index,
-                         std::int64_t cycle) {
-  int addr = field;
-  if (indirect) {
-    if (addr >= kDataMemWords) {
-      raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
-      return -1;
-    }
-    addr = static_cast<int>(
-        to_signed(dmem_[static_cast<std::size_t>(addr)]));
-  }
-  if (addr < 0 || addr >= kDataMemWords) {
-    raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
-    return -1;
-  }
-  return addr;
-}
-
 bool Tile::step(int tile_index, std::int64_t cycle, LinkState link,
                 std::vector<RemoteWrite>& remote_out) {
   if (halted_ || fault_.is_fault()) {
@@ -164,170 +153,12 @@ bool Tile::step(int tile_index, std::int64_t cycle, LinkState link,
     raise(FaultKind::kPcOutOfRange, tile_index, cycle);
     return false;
   }
+  // The semantics live in the shared step core (step_core.hpp) so every
+  // execution engine — this interpreter, the threaded superinstructions,
+  // the batch SoA stepper — runs the same body.
   const DecodedInstr& in = decoded_[static_cast<std::size_t>(pc_)];
-  if (in.illegal) {
-    raise(FaultKind::kIllegalOpcode, tile_index, cycle);
-    return false;
-  }
-
-  // --- operand fetch ---
-  Word a = 0;
-  if (in.reads_srca) {
-    int ea = in.srca;
-    if (in.srca_oob) {
-      raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
-      return false;
-    }
-    if (in.srca_indirect) {
-      ea = effective_addr(in.srca, true, tile_index, cycle);
-      if (ea < 0) return false;
-    }
-    a = dmem_[static_cast<std::size_t>(ea)];
-  }
-  Word b = 0;
-  if (in.reads_srcb) {
-    if (in.use_imm) {
-      b = in.imm_word;
-    } else {
-      int eb = in.srcb;
-      if (in.srcb_oob) {
-        raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
-        return false;
-      }
-      if (in.srcb_indirect) {
-        eb = effective_addr(in.srcb, true, tile_index, cycle);
-        if (eb < 0) return false;
-      }
-      b = dmem_[static_cast<std::size_t>(eb)];
-    }
-  }
-
-  // --- execute ---
-  Word result = 0;
-  int next_pc = pc_ + 1;
-  bool halt_after = false;
-  switch (in.opcode) {
-    case Opcode::kNop:
-      break;
-    case Opcode::kHalt:
-      halt_after = true;
-      break;
-    case Opcode::kMov:
-      result = a;
-      break;
-    case Opcode::kMovi:
-      result = in.imm_word;
-      break;
-    case Opcode::kAdd:
-      result = word_add(a, b);
-      break;
-    case Opcode::kSub:
-      result = word_sub(a, b);
-      break;
-    case Opcode::kMul:
-      result = word_mul(a, b);
-      break;
-    case Opcode::kAnd:
-      result = a & b;
-      break;
-    case Opcode::kOrr:
-      result = a | b;
-      break;
-    case Opcode::kXor:
-      result = a ^ b;
-      break;
-    case Opcode::kShl:
-      result = truncate_word(a << (to_signed(b) & 63));
-      break;
-    case Opcode::kShr:
-      result = truncate_word((a & kWordMask) >>
-                             static_cast<unsigned>(to_signed(b) & 63));
-      break;
-    case Opcode::kSra:
-      result = from_signed(to_signed(a) >>
-                           static_cast<unsigned>(to_signed(b) & 63));
-      break;
-    case Opcode::kCadd:
-      result = word_cadd(a, b);
-      break;
-    case Opcode::kCsub:
-      result = word_csub(a, b);
-      break;
-    case Opcode::kCmul:
-      result = word_cmul(a, b);
-      break;
-    case Opcode::kBeqz:
-      if (to_signed(a) == 0) next_pc = in.imm;
-      break;
-    case Opcode::kBnez:
-      if (to_signed(a) != 0) next_pc = in.imm;
-      break;
-    case Opcode::kBltz:
-      if (to_signed(a) < 0) next_pc = in.imm;
-      break;
-    case Opcode::kJmp:
-      next_pc = in.imm;
-      break;
-    case Opcode::kMacz:
-      acc_ = to_signed(a) * to_signed(b);
-      break;
-    case Opcode::kMac:
-      acc_ += to_signed(a) * to_signed(b);
-      break;
-    case Opcode::kMacr:
-      result = from_signed(acc_);
-      break;
-    case Opcode::kOpcodeCount:
-      // Unreachable: predecode marks these slots `illegal`.
-      raise(FaultKind::kIllegalOpcode, tile_index, cycle);
-      return false;
-  }
-
-  // --- write back ---
-  if (in.writes_dst) {
-    const bool remote = in.dst_remote;
-    if (remote) {
-      if (link != LinkState::kUp) {
-        raise(link == LinkState::kDown ? FaultKind::kLinkDown
-                                       : FaultKind::kNoActiveLink,
-              tile_index, cycle);
-        return false;
-      }
-      // Remote effective address is resolved with *local* indirection
-      // (pointer lives in this tile) but addresses the neighbour's memory;
-      // range is validated here, the fabric routes the value.
-      int addr = in.dst;
-      if (in.dst_indirect) {
-        const int ea = effective_addr(in.dst, true, tile_index, cycle);
-        if (ea < 0) return false;
-        addr = ea;
-      } else if (in.dst_oob) {
-        raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
-        return false;
-      }
-      remote_out.push_back(RemoteWrite{tile_index, addr, result});
-      ++stats_.remote_writes;
-    } else {
-      int ed = in.dst;
-      if (in.dst_oob) {
-        raise(FaultKind::kAddressOutOfRange, tile_index, cycle);
-        return false;
-      }
-      if (in.dst_indirect) {
-        ed = effective_addr(in.dst, true, tile_index, cycle);
-        if (ed < 0) return false;
-      }
-      dmem_[static_cast<std::size_t>(ed)] = truncate_word(result);
-    }
-  }
-
-  pc_ = next_pc;
-  ++stats_.instructions;
-  if (halt_after) {
-    halted_ = true;
-    notify_scheduler();
-  }
-  return true;
+  TileView view(*this, tile_index, cycle, remote_out);
+  return core::exec_instr<core::DynTraits>(view, in, link);
 }
 
 }  // namespace cgra::fabric

@@ -76,6 +76,9 @@ class TileScheduler {
   ~TileScheduler() = default;
 };
 
+class TileView;
+struct TileExec;
+
 /// One processing element.
 class Tile {
  public:
@@ -142,6 +145,13 @@ class Tile {
   [[nodiscard]] int code_size() const noexcept {
     return static_cast<int>(code_.size());
   }
+  /// Monotonic counter bumped whenever the instruction image may have
+  /// changed (load_program, flip_inst_bit, reset, copy-assign).  Execution
+  /// engines key per-tile specialization caches on it and re-specialize
+  /// when it moves — the "re-specialized on imem pokes" contract.
+  [[nodiscard]] std::uint64_t code_version() const noexcept {
+    return code_version_;
+  }
   /// Instruction at `pc`, or nullptr when out of range (used by tracing and
   /// by the readback-verify pass of the reconfiguration controller).
   [[nodiscard]] const isa::Instruction* instruction_at(int pc) const noexcept {
@@ -206,10 +216,11 @@ class Tile {
             std::vector<RemoteWrite>& remote_out);
 
  private:
-  /// Resolve an effective data-memory address; returns -1 and records a
-  /// fault if the address (or the indirection pointer) is out of range.
-  int effective_addr(std::uint16_t field, bool indirect, int tile_index,
-                     std::int64_t cycle);
+  // The shared step core (step_core.hpp) reaches architectural state
+  // through these views; everything else goes through the public API.
+  friend class TileView;
+  friend struct TileExec;
+
   void raise(FaultKind kind, int tile_index, std::int64_t cycle);
   void notify_scheduler() {
     if (sched_ != nullptr) sched_->tile_state_changed(sched_index_);
@@ -228,6 +239,7 @@ class Tile {
   Fault fault_;
   TileStats stats_;
   std::int64_t stalled_until_ = 0;
+  std::uint64_t code_version_ = 0;  ///< See code_version().
   TileScheduler* sched_ = nullptr;  ///< Not owned; null for standalone tiles.
   int sched_index_ = -1;
 };

@@ -1,0 +1,57 @@
+#include "isa/blocks.hpp"
+
+#include <cstddef>
+
+#include "isa/instruction.hpp"
+
+namespace cgra::isa {
+
+std::vector<Block> segment_blocks(const std::vector<DecodedInstr>& code) {
+  const int n = static_cast<int>(code.size());
+  std::vector<Block> blocks;
+  if (n == 0) return blocks;
+
+  // Pass 1: leaders.  A poisoned (illegal) slot predecodes with the raw
+  // opcode field, so consult the decoded roles only on legal slots.
+  std::vector<std::uint8_t> leader(static_cast<std::size_t>(n), 0);
+  leader[0] = 1;
+  for (int i = 0; i < n; ++i) {
+    const DecodedInstr& in = code[static_cast<std::size_t>(i)];
+    if (in.illegal) continue;
+    if (is_branch(in.opcode)) {
+      if (in.imm >= 0 && in.imm < n) leader[static_cast<std::size_t>(in.imm)] = 1;
+      if (i + 1 < n) leader[static_cast<std::size_t>(i + 1)] = 1;
+    } else if (in.opcode == Opcode::kHalt) {
+      if (i + 1 < n) leader[static_cast<std::size_t>(i + 1)] = 1;
+    }
+  }
+
+  // Pass 2: cut blocks at leaders and control flow.
+  int begin = 0;
+  for (int i = 0; i < n; ++i) {
+    const DecodedInstr& in = code[static_cast<std::size_t>(i)];
+    const bool last = i + 1 == n;
+    BlockTerm term = BlockTerm::kFallthrough;
+    bool cut = false;
+    if (!in.illegal && is_branch(in.opcode)) {
+      term = in.opcode == Opcode::kJmp ? BlockTerm::kJump : BlockTerm::kBranch;
+      cut = true;
+    } else if (!in.illegal && in.opcode == Opcode::kHalt) {
+      term = BlockTerm::kHalt;
+      cut = true;
+    } else if (last) {
+      term = BlockTerm::kEnd;
+      cut = true;
+    } else if (leader[static_cast<std::size_t>(i + 1)] != 0) {
+      term = BlockTerm::kFallthrough;
+      cut = true;
+    }
+    if (cut) {
+      blocks.push_back(Block{begin, i + 1, term});
+      begin = i + 1;
+    }
+  }
+  return blocks;
+}
+
+}  // namespace cgra::isa

@@ -1,0 +1,45 @@
+// Basic-block segmentation over a predecoded instruction image.
+//
+// The threaded execution engine (src/engine/threaded_engine.cpp) specializes
+// each tile's program into straight-line superinstruction runs; the unit of
+// specialization is the basic block.  Leaders are pc 0, every in-range
+// branch target, and the instruction after any control-flow or halt
+// instruction.  Out-of-range branch targets start no block: taking such a
+// branch raises kPcOutOfRange on the next cycle, which block boundaries do
+// not affect.
+//
+// Segmentation is purely structural — it derives from the DecodedInstr
+// image alone and changes no semantics.  A tile's blocks are recomputed
+// whenever Tile::code_version() moves.
+#pragma once
+
+#include <vector>
+
+#include "isa/decoded.hpp"
+
+namespace cgra::isa {
+
+/// How a basic block ends.
+enum class BlockTerm {
+  kFallthrough,  ///< Next instruction is a leader (branch target).
+  kBranch,       ///< Conditional branch (beqz/bnez/bltz): two successors.
+  kJump,         ///< Unconditional jmp.
+  kHalt,         ///< halt instruction.
+  kEnd,          ///< Runs off the end of the image (pc fault next cycle).
+};
+
+/// One basic block: instructions [begin, end) of the image.
+struct Block {
+  int begin = 0;
+  int end = 0;  ///< One past the last instruction.
+  BlockTerm term = BlockTerm::kEnd;
+
+  [[nodiscard]] int size() const noexcept { return end - begin; }
+};
+
+/// Partition `code` into basic blocks, ordered by `begin` and covering the
+/// whole image exactly once.  Empty image -> empty vector.
+[[nodiscard]] std::vector<Block> segment_blocks(
+    const std::vector<DecodedInstr>& code);
+
+}  // namespace cgra::isa

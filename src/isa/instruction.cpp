@@ -70,67 +70,4 @@ std::optional<Opcode> opcode_from_mnemonic(const std::string& name) noexcept {
   return std::nullopt;
 }
 
-bool writes_dst(Opcode op) noexcept {
-  switch (op) {
-    case Opcode::kNop:
-    case Opcode::kHalt:
-    case Opcode::kBeqz:
-    case Opcode::kBnez:
-    case Opcode::kBltz:
-    case Opcode::kJmp:
-    case Opcode::kMacz:
-    case Opcode::kMac:
-      return false;
-    default:
-      return true;
-  }
-}
-
-bool reads_srca(Opcode op) noexcept {
-  switch (op) {
-    case Opcode::kNop:
-    case Opcode::kHalt:
-    case Opcode::kMovi:
-    case Opcode::kJmp:
-    case Opcode::kMacr:
-      return false;
-    default:
-      return true;
-  }
-}
-
-bool reads_srcb(Opcode op) noexcept {
-  switch (op) {
-    case Opcode::kAdd:
-    case Opcode::kSub:
-    case Opcode::kMul:
-    case Opcode::kAnd:
-    case Opcode::kOrr:
-    case Opcode::kXor:
-    case Opcode::kShl:
-    case Opcode::kShr:
-    case Opcode::kSra:
-    case Opcode::kCadd:
-    case Opcode::kCsub:
-    case Opcode::kCmul:
-    case Opcode::kMacz:
-    case Opcode::kMac:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool is_branch(Opcode op) noexcept {
-  switch (op) {
-    case Opcode::kBeqz:
-    case Opcode::kBnez:
-    case Opcode::kBltz:
-    case Opcode::kJmp:
-      return true;
-    default:
-      return false;
-  }
-}
-
 }  // namespace cgra::isa

@@ -100,12 +100,74 @@ const char* mnemonic(Opcode op) noexcept;
 /// Opcode from a mnemonic, or nullopt.
 std::optional<Opcode> opcode_from_mnemonic(const std::string& name) noexcept;
 
+// Opcode property helpers.  constexpr so the templated execution engines
+// (src/fabric/step_core.hpp) fold them away when the opcode is a template
+// parameter; the interpreter calls them with runtime opcodes as before.
+
 /// Whether this opcode writes its dst field.
-bool writes_dst(Opcode op) noexcept;
+[[nodiscard]] constexpr bool writes_dst(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kBeqz:
+    case Opcode::kBnez:
+    case Opcode::kBltz:
+    case Opcode::kJmp:
+    case Opcode::kMacz:
+    case Opcode::kMac:
+      return false;
+    default:
+      return true;
+  }
+}
+
 /// Whether this opcode reads srcA / may read srcB.
-bool reads_srca(Opcode op) noexcept;
-bool reads_srcb(Opcode op) noexcept;
+[[nodiscard]] constexpr bool reads_srca(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kMovi:
+    case Opcode::kJmp:
+    case Opcode::kMacr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+[[nodiscard]] constexpr bool reads_srcb(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kAnd:
+    case Opcode::kOrr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSra:
+    case Opcode::kCadd:
+    case Opcode::kCsub:
+    case Opcode::kCmul:
+    case Opcode::kMacz:
+    case Opcode::kMac:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Whether this opcode is a control-flow instruction using imm as target.
-bool is_branch(Opcode op) noexcept;
+[[nodiscard]] constexpr bool is_branch(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kBeqz:
+    case Opcode::kBnez:
+    case Opcode::kBltz:
+    case Opcode::kJmp:
+      return true;
+    default:
+      return false;
+  }
+}
 
 }  // namespace cgra::isa

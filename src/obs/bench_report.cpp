@@ -9,6 +9,19 @@
 
 namespace cgra::obs {
 
+namespace {
+std::string& engine_label_storage() {
+  static std::string label = "interp";
+  return label;
+}
+}  // namespace
+
+void set_bench_engine_label(std::string label) {
+  engine_label_storage() = std::move(label);
+}
+
+const std::string& bench_engine_label() { return engine_label_storage(); }
+
 void BenchReport::add(std::string metric, double value, std::string unit,
                       std::vector<std::pair<std::string, std::string>> params) {
   Metric m;
@@ -29,7 +42,8 @@ void BenchReport::add_table(std::string table_name, const TextTable& table) {
 
 std::string BenchReport::to_json() const {
   std::ostringstream os;
-  os << "{\"bench\":\"" << json_escape(name_) << "\",\"metrics\":[";
+  os << "{\"bench\":\"" << json_escape(name_) << "\",\"engine\":\""
+     << json_escape(engine_) << "\",\"metrics\":[";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     const Metric& m = metrics_[i];
     if (i != 0) os << ',';

@@ -5,9 +5,13 @@
 // the JSON; humans read the table).  Schema:
 //
 //   { "bench": "<name>",
+//     "engine": "interp" | "threaded" | "batch:<W>",
 //     "metrics": [ {"name": ..., "value": ..., "unit": ...,
 //                   "params": {"k": "v", ...}}, ... ],
 //     "tables":  [ {"name": ..., "header": [...], "rows": [[...], ...]} ] }
+//
+// The engine field records which execution engine produced the numbers;
+// scripts/perf_compare.py refuses to compare reports across engines.
 #pragma once
 
 #include <string>
@@ -20,10 +24,17 @@ class TextTable;
 
 namespace cgra::obs {
 
+/// Process-wide label for the execution engine benchmarks run on; stamped
+/// into every BenchReport at construction.  engine::use_process_engine
+/// keeps it in sync with the --engine flag; the default is "interp".
+void set_bench_engine_label(std::string label);
+[[nodiscard]] const std::string& bench_engine_label();
+
 /// Collects metrics and tables; write() emits BENCH_<name>.json.
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), engine_(bench_engine_label()) {}
 
   /// One scalar result with its unit and identifying parameters.
   void add(std::string metric, double value, std::string unit,
@@ -33,6 +44,9 @@ class BenchReport {
   void add_table(std::string table_name, const TextTable& table);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Override the engine stamp (defaults to bench_engine_label()).
+  void set_engine(std::string engine) { engine_ = std::move(engine); }
+  [[nodiscard]] const std::string& engine() const noexcept { return engine_; }
   [[nodiscard]] std::string to_json() const;
 
   /// Write BENCH_<name>.json into `dir` (default: the working directory)
@@ -53,6 +67,7 @@ class BenchReport {
   };
 
   std::string name_;
+  std::string engine_;
   std::vector<Metric> metrics_;
   std::vector<Table> tables_;
 };

@@ -394,6 +394,13 @@ FabricPool::Lease Service::acquire_fabric(int rows, int cols,
     tracer_->event(head->trace, obs::FlightEventKind::kLease, shape_code,
                    lease.valid() ? 1 : 0);
   }
+  if (lease.valid() && opt_.engine.has_value()) {
+    if (opt_.engine->kind == engine::EngineKind::kInterp) {
+      lease.get()->attach_engine(nullptr);
+    } else {
+      lease.get()->adopt_engine(engine::make_engine(*opt_.engine));
+    }
+  }
   return lease;
 }
 

@@ -34,6 +34,7 @@
 
 #include "chaos/chaos.hpp"
 #include "common/status.hpp"
+#include "engine/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "service/artifact_cache.hpp"
@@ -85,6 +86,11 @@ struct ServiceOptions {
   /// connections) before paying the setup epoch.  0 keeps the legacy
   /// take-what-is-queued behaviour.
   int fusion_window_us = 0;
+  /// Execution engine attached to every leased fabric.  nullopt keeps the
+  /// process-wide default (engine::use_process_engine / the --engine
+  /// flag); kInterp pins the interpreter explicitly.  Job results are
+  /// bit-identical across engines (the engines' conformance contract).
+  std::optional<engine::EngineOptions> engine;
 };
 
 /// The asynchronous job service.  Thread-safe; destruction drains the

@@ -1,0 +1,15 @@
+// Linked into every test executable (tests/CMakeLists.txt): installs the
+// build-configured default execution engine before main() runs, so a
+// -DCGRA_DEFAULT_ENGINE=threaded build runs the WHOLE test suite on that
+// engine — the in-situ half of the engines' bit-identity contract.  In the
+// default build ("interp") this is a no-op.
+#include "engine/engine.hpp"
+
+namespace {
+
+[[maybe_unused]] const bool g_build_default_engine_installed = [] {
+  cgra::engine::install_build_default();
+  return true;
+}();
+
+}  // namespace

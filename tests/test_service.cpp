@@ -324,5 +324,43 @@ TEST(Service, InvalidRequestsReportStatusNotCrash) {
   }
 }
 
+// ServiceOptions::engine: the same jobs produce bit-identical payloads on
+// every execution engine (the fabrics behind the pool differ only in HOW
+// they step, never in what they compute).  Jobs are submitted one at a
+// time so each is its own batch — per-job cycle counts depend on batch
+// position (the head pays the setup epoch), which is scheduling, not
+// engine behaviour.
+TEST(Service, ResultsBitIdenticalAcrossEngines) {
+  const auto quant = jpeg::scaled_quant(75);
+
+  std::vector<JpegBlockJobResult> want;
+  for (const auto kind :
+       {engine::EngineKind::kInterp, engine::EngineKind::kThreaded,
+        engine::EngineKind::kBatch}) {
+    ServiceOptions opt{.workers = 1};
+    opt.engine = engine::EngineOptions{kind, 4, 0};
+    Service svc(opt);
+    for (int i = 0; i < 4; ++i) {
+      JpegBlockRequest req;
+      req.raw = test_block(i);
+      req.quant = quant;
+      auto sub = svc.submit(JobRequest{req});
+      ASSERT_TRUE(sub.accepted()) << sub.status.message();
+      const auto res = svc.wait(sub.handle);
+      ASSERT_TRUE(res.ok()) << res.status.message();
+      const auto& payload = std::get<JpegBlockJobResult>(res.payload);
+      if (kind == engine::EngineKind::kInterp) {
+        want.push_back(payload);
+      } else {
+        const auto idx = static_cast<std::size_t>(i);
+        EXPECT_EQ(payload.zigzagged, want[idx].zigzagged)
+            << "job " << i << " on " << engine::engine_name(kind);
+        EXPECT_EQ(payload.cycles, want[idx].cycles)
+            << "job " << i << " on " << engine::engine_name(kind);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cgra::service

@@ -1,18 +1,27 @@
-// Parallel sweep driver tests: deterministic result ordering, identical
-// output for 1 vs N lanes, exception propagation, pool reuse.
+// Sweep driver tests: deterministic result ordering, identical output for
+// 1 vs N lanes and for every execution engine, exception propagation,
+// reuse across jobs, and the one-PR deprecated SweepPool shims.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 
 #include "apps/jpeg/process_table.hpp"
 #include "dse/sweep.hpp"
+#include "isa/assembler.hpp"
 
 namespace cgra::dse {
 namespace {
 
-TEST(SweepPool, MapReturnsResultsInCandidateOrder) {
-  SweepPool pool(4);
+engine::EngineOptions lanes_only(int lanes) {
+  engine::EngineOptions o;
+  o.threads = lanes;
+  return o;
+}
+
+TEST(Sweep, MapReturnsResultsInCandidateOrder) {
+  Sweep pool(lanes_only(4));
   EXPECT_EQ(pool.lanes(), 4);
   const auto out = pool.map<int>(100, [](int i) { return i * i; });
   ASSERT_EQ(out.size(), 100u);
@@ -21,8 +30,8 @@ TEST(SweepPool, MapReturnsResultsInCandidateOrder) {
   }
 }
 
-TEST(SweepPool, EveryCandidateRunsExactlyOnce) {
-  SweepPool pool(3);
+TEST(Sweep, EveryCandidateRunsExactlyOnce) {
+  Sweep pool(lanes_only(3));
   std::vector<std::atomic<int>> hits(257);
   pool.parallel_for(257, [&](int i) {
     hits[static_cast<std::size_t>(i)].fetch_add(1);
@@ -30,15 +39,15 @@ TEST(SweepPool, EveryCandidateRunsExactlyOnce) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(SweepPool, SingleLaneRunsInline) {
-  SweepPool pool(1);
+TEST(Sweep, SingleLaneRunsInline) {
+  Sweep pool(lanes_only(1));
   EXPECT_EQ(pool.lanes(), 1);
   const auto out = pool.map<int>(5, [](int i) { return i + 1; });
   EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
 }
 
-TEST(SweepPool, ExceptionPropagatesAfterAllCandidatesFinish) {
-  SweepPool pool(4);
+TEST(Sweep, ExceptionPropagatesAfterAllCandidatesFinish) {
+  Sweep pool(lanes_only(4));
   std::atomic<int> ran{0};
   EXPECT_THROW(pool.parallel_for(20,
                                  [&](int i) {
@@ -51,8 +60,8 @@ TEST(SweepPool, ExceptionPropagatesAfterAllCandidatesFinish) {
   EXPECT_EQ(ran.load(), 20);  // the failure does not skip other candidates
 }
 
-TEST(SweepPool, PoolIsReusableAcrossJobs) {
-  SweepPool pool(2);
+TEST(Sweep, PoolIsReusableAcrossJobs) {
+  Sweep pool(lanes_only(2));
   for (int round = 0; round < 50; ++round) {
     const auto out = pool.map<int>(8, [&](int i) { return i + round; });
     for (int i = 0; i < 8; ++i) {
@@ -69,14 +78,14 @@ TEST(SweepDeterminism, RebalanceSweepIdenticalForOneAndManyLanes) {
   const auto serial =
       mapping::sweep(net, kMaxTiles, mapping::RebalanceAlgorithm::kTwo,
                      params);
-  SweepPool one(1);
-  SweepPool many(4);
-  const auto p1 = parallel_sweep(net, kMaxTiles,
-                                 mapping::RebalanceAlgorithm::kTwo, params,
-                                 one);
-  const auto pn = parallel_sweep(net, kMaxTiles,
-                                 mapping::RebalanceAlgorithm::kTwo, params,
-                                 many);
+  Sweep one(lanes_only(1));
+  Sweep many(lanes_only(4));
+  const auto p1 = one.rebalance_sweep(net, kMaxTiles,
+                                      mapping::RebalanceAlgorithm::kTwo,
+                                      params);
+  const auto pn = many.rebalance_sweep(net, kMaxTiles,
+                                       mapping::RebalanceAlgorithm::kTwo,
+                                       params);
 
   ASSERT_EQ(p1.size(), serial.size());
   ASSERT_EQ(pn.size(), serial.size());
@@ -110,10 +119,10 @@ TEST(SweepDeterminism, RebalanceSweepIdenticalForOneAndManyLanes) {
 TEST(SweepDeterminism, MeasuredProcessTimesIdenticalForOneAndManyLanes) {
   const auto g = fft::make_geometry(64);
   const auto serial = measure_process_times(g);
-  SweepPool one(1);
-  SweepPool many(4);
-  const auto p1 = parallel_measure_process_times(g, one);
-  const auto pn = parallel_measure_process_times(g, many);
+  Sweep one(lanes_only(1));
+  Sweep many(lanes_only(4));
+  const auto p1 = one.measure_process_times(g);
+  const auto pn = many.measure_process_times(g);
   for (const auto* p : {&p1, &pn}) {
     ASSERT_EQ(p->bf.size(), serial.bf.size());
     for (std::size_t s = 0; s < serial.bf.size(); ++s) {
@@ -123,6 +132,95 @@ TEST(SweepDeterminism, MeasuredProcessTimesIdenticalForOneAndManyLanes) {
     EXPECT_EQ(p->hcp, serial.hcp);
   }
 }
+
+// run_fabrics must produce bit-identical results for every engine kind,
+// lane count and batch width — including a population whose instances halt
+// at different cycles and one that faults.
+TEST(SweepDeterminism, RunFabricsIdenticalAcrossEnginesAndBatchWidths) {
+  constexpr int kN = 7;
+  const auto setup = [](fabric::Fabric& f, int i) {
+    auto r = isa::assemble(
+        "  movi 1, #" + std::to_string(10 + 13 * i) +
+        "\n  movi 2, #0\n"
+        "loop:\n  add 2, 2, 1\n  sub 1, 1, #1\n  bnez 1, loop\n" +
+        std::string(i == 5 ? "  mov !0, 2\n" : "") +  // no link: faults
+        "  halt\n");
+    ASSERT_TRUE(r.ok());
+    f.tile(0).load_program(r.program);
+    f.tile(0).restart();
+  };
+
+  std::vector<fabric::Fabric> ref_storage;
+  ref_storage.reserve(kN);
+  std::vector<fabric::RunResult> want;
+  for (int i = 0; i < kN; ++i) {
+    ref_storage.emplace_back(1, 2);
+    setup(ref_storage.back(), i);
+    want.push_back(ref_storage.back().run_interpreter(10'000));
+  }
+
+  const engine::EngineOptions configs[] = {
+      {engine::EngineKind::kInterp, 8, 1},
+      {engine::EngineKind::kInterp, 8, 4},
+      {engine::EngineKind::kThreaded, 8, 3},
+      {engine::EngineKind::kBatch, 1, 2},   // degenerate groups of one
+      {engine::EngineKind::kBatch, 3, 2},   // uneven tail group
+      {engine::EngineKind::kBatch, 16, 1},  // one group holds everything
+  };
+  for (const auto& cfg : configs) {
+    std::vector<fabric::Fabric> storage;
+    storage.reserve(kN);  // ptrs point into storage: no reallocation allowed
+    std::vector<fabric::Fabric*> ptrs;
+    for (int i = 0; i < kN; ++i) {
+      storage.emplace_back(1, 2);
+      setup(storage.back(), i);
+      ptrs.push_back(&storage.back());
+    }
+    Sweep sweep(cfg);
+    const auto got = sweep.run_fabrics(ptrs, 10'000);
+    const std::string ctx = engine::engine_spec(cfg) + " lanes " +
+                            std::to_string(cfg.threads);
+    ASSERT_EQ(got.size(), want.size()) << ctx;
+    for (int i = 0; i < kN; ++i) {
+      const auto& g = got[static_cast<std::size_t>(i)];
+      const auto& w = want[static_cast<std::size_t>(i)];
+      const std::string ic = ctx + " instance " + std::to_string(i);
+      EXPECT_EQ(g.cycles, w.cycles) << ic;
+      EXPECT_EQ(g.all_halted, w.all_halted) << ic;
+      ASSERT_EQ(g.faults.size(), w.faults.size()) << ic;
+      const auto& f = storage[static_cast<std::size_t>(i)];
+      const auto& rf = ref_storage[static_cast<std::size_t>(i)];
+      EXPECT_EQ(f.now(), rf.now()) << ic;
+      EXPECT_EQ(f.tile(0).dmem(2), rf.tile(0).dmem(2)) << ic;
+      EXPECT_EQ(f.tile(0).stats().instructions,
+                rf.tile(0).stats().instructions)
+          << ic;
+    }
+  }
+}
+
+// The deprecated one-PR shims must keep compiling and behaving until the
+// next release removes them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(SweepShims, DeprecatedSweepPoolApiStillWorks) {
+  SweepPool pool(2);
+  EXPECT_EQ(pool.lanes(), 2);
+  const auto out = pool.map<int>(4, [](int i) { return i * 3; });
+  EXPECT_EQ(out, (std::vector<int>{0, 3, 6, 9}));
+
+  const auto g = fft::make_geometry(64);
+  const auto times = parallel_measure_process_times(g, pool);
+  const auto serial = measure_process_times(g);
+  ASSERT_EQ(times.bf.size(), serial.bf.size());
+  EXPECT_EQ(times.vcp, serial.vcp);
+
+  const auto net = jpeg::jpeg_main_pipeline();
+  const auto pts = parallel_sweep(net, 4, mapping::RebalanceAlgorithm::kTwo,
+                                  mapping::CostParams{}, pool);
+  EXPECT_EQ(pts.size(), 4u);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace cgra::dse
