@@ -1,0 +1,272 @@
+// Benchmarks the automatic mapper (src/mapper/): solve time and mapped
+// quality for both solvers over eight synthetic process networks plus the
+// paper's five JPEG budgets (Table 3/4).
+//
+// Emits BENCH_mapper.json with, per case and solver, the solve time and the
+// mapped per-item makespan, plus the aggregates the CI gate consumes
+// (scripts/check_mapper_gate.py):
+//
+//   calibration_ms          fixed count of cost-model evaluations, measured
+//                           in the SAME run — the machine-speed yardstick
+//                           that makes the solve-time gate host-independent
+//   exact_solve_ms_total    sum of exact solve times across all cases
+//   anneal_solve_ms_total   sum of anneal solve times across all cases
+//   worst_mapped_vs_manual  max over JPEG budgets of exact/manual makespan
+//                           (<= 1.0: the mapper re-derives or beats the
+//                           paper's hand mappings)
+//   worst_anneal_vs_exact   max over cases with a completed exact proof of
+//                           anneal/exact makespan (<= 1.05 acceptance bar)
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/jpeg/process_table.hpp"
+#include "cgra/mapper.hpp"
+#include "common/table.hpp"
+#include "engine/cli.hpp"
+#include "obs/bench_report.hpp"
+
+namespace {
+
+using namespace cgra;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+procnet::Process proc(std::string name, std::int64_t cycles,
+                      bool replicable = true) {
+  return procnet::Process{std::move(name), 10, 8, 8, 8, cycles, 1, replicable};
+}
+
+struct Case {
+  std::string name;
+  procnet::ProcessNetwork net;
+};
+
+/// Eight synthetic shapes spanning the structures the solvers must handle:
+/// balanced and skewed chains, fan-out, fan-in, a diamond DAG, disconnected
+/// islands, replication-friendly skew and copy-dominated fat edges.
+std::vector<Case> synthetic_cases() {
+  std::vector<Case> cases;
+
+  Case even{"chain4_even", {}};
+  for (int i = 0; i < 4; ++i) even.net.add_process(proc("p" + std::to_string(i), 1000));
+  for (int i = 0; i + 1 < 4; ++i) even.net.add_edge(i, i + 1, 64);
+  cases.push_back(std::move(even));
+
+  Case hot{"chain8_hot_middle", {}};
+  for (int i = 0; i < 8; ++i) {
+    hot.net.add_process(proc("p" + std::to_string(i), i == 4 ? 8000 : 500));
+  }
+  for (int i = 0; i + 1 < 8; ++i) hot.net.add_edge(i, i + 1, 64);
+  cases.push_back(std::move(hot));
+
+  Case star{"star_fanout", {}};
+  star.net.add_process(proc("hub", 2000));
+  for (int i = 0; i < 5; ++i) {
+    star.net.add_process(proc("leaf" + std::to_string(i), 700));
+    star.net.add_edge(0, i + 1, 32);
+  }
+  cases.push_back(std::move(star));
+
+  Case gather{"gather_fanin", {}};
+  for (int i = 0; i < 5; ++i) {
+    gather.net.add_process(proc("src" + std::to_string(i), 600));
+  }
+  gather.net.add_process(proc("sink", 2500));
+  for (int i = 0; i < 5; ++i) gather.net.add_edge(i, 5, 32);
+  cases.push_back(std::move(gather));
+
+  Case diamond{"diamond", {}};
+  diamond.net.add_process(proc("split", 800));
+  diamond.net.add_process(proc("left", 1500));
+  diamond.net.add_process(proc("right", 1500));
+  diamond.net.add_process(proc("join", 800));
+  diamond.net.add_edge(0, 1, 64);
+  diamond.net.add_edge(0, 2, 64);
+  diamond.net.add_edge(1, 3, 64);
+  diamond.net.add_edge(2, 3, 64);
+  cases.push_back(std::move(diamond));
+
+  Case islands{"two_islands", {}};
+  for (int i = 0; i < 6; ++i) {
+    islands.net.add_process(proc("p" + std::to_string(i), 900));
+  }
+  islands.net.add_edge(0, 1, 64);
+  islands.net.add_edge(1, 2, 64);
+  islands.net.add_edge(3, 4, 64);
+  islands.net.add_edge(4, 5, 64);
+  cases.push_back(std::move(islands));
+
+  Case skew{"chain6_skewed", {}};
+  const std::int64_t cycles[6] = {200, 6000, 400, 3000, 150, 900};
+  for (int i = 0; i < 6; ++i) {
+    skew.net.add_process(proc("p" + std::to_string(i), cycles[i]));
+  }
+  for (int i = 0; i + 1 < 6; ++i) skew.net.add_edge(i, i + 1, 64);
+  cases.push_back(std::move(skew));
+
+  Case fat{"chain5_fat_edges", {}};
+  for (int i = 0; i < 5; ++i) {
+    fat.net.add_process(proc("p" + std::to_string(i), 300));
+  }
+  for (int i = 0; i + 1 < 5; ++i) fat.net.add_edge(i, i + 1, 256);
+  cases.push_back(std::move(fat));
+
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cgra::engine::apply_engine_flag(&argc, argv);
+  using namespace cgra;
+  using mapper::MappedNetwork;
+  using mapper::MapperOptions;
+  using mapper::SolverKind;
+
+  obs::BenchReport report("mapper");
+
+  // --- same-run machine-speed yardstick -----------------------------------
+  // A fixed count of shared-cost-model evaluations of the JPEG pipeline.
+  // Solve-time budgets gate the ratio solve_ms / calibration_ms, so a slow
+  // CI host scales both sides equally (scripts/check_mapper_gate.py).
+  const auto jpeg_net = jpeg::jpeg_main_pipeline();
+  const mapper::CostModel cal_cost;
+  const auto cal_binding = mapper::seed_bindings(jpeg_net, 4, cal_cost.params);
+  const mapping::Placement cal_place = mapping::place(
+      cal_binding.back(), 4, 4, mapping::PlacementStrategy::kSnake);
+  const auto cal_start = Clock::now();
+  double checksum = 0.0;
+  constexpr int kCalibrationEvals = 2000;
+  for (int i = 0; i < kCalibrationEvals; ++i) {
+    checksum += mapper::score_mapping(jpeg_net, cal_binding.back(), cal_place,
+                                      cal_cost)
+                    .total_ns();
+  }
+  const double calibration_ms = ms_since(cal_start);
+  report.add("calibration_ms", calibration_ms, "ms",
+             {{"evals", std::to_string(kCalibrationEvals)}});
+  std::printf("calibration: %d cost evaluations in %.2f ms (checksum %g)\n\n",
+              kCalibrationEvals, calibration_ms, checksum);
+
+  double exact_total_ms = 0.0;
+  double anneal_total_ms = 0.0;
+  double worst_anneal_vs_exact = 0.0;
+
+  // --- synthetic shapes, both solvers -------------------------------------
+  TextTable synth({"case", "procs", "exact ms", "exact ns/item", "opt",
+                   "anneal ms", "anneal ns/item", "anneal/exact"});
+  for (const auto& c : synthetic_cases()) {
+    // Tile budget 6 of the 16-tile mesh: enough to replicate the hot
+    // stages, small enough that the exact proof completes — the quality
+    // ratio below is only meaningful against a completed oracle.
+    MapperOptions exact_opt;
+    exact_opt.solver = SolverKind::kExact;
+    exact_opt.max_tiles = 6;
+    auto start = Clock::now();
+    const MappedNetwork exact = mapper::map_network(c.net, 4, 4, exact_opt);
+    const double exact_ms = ms_since(start);
+
+    MapperOptions anneal_opt;
+    anneal_opt.solver = SolverKind::kAnneal;
+    anneal_opt.max_tiles = 6;
+    start = Clock::now();
+    const MappedNetwork anneal = mapper::map_network(c.net, 4, 4, anneal_opt);
+    const double anneal_ms = ms_since(start);
+
+    if (!exact.ok() || !anneal.ok()) {
+      std::fprintf(stderr, "mapping %s failed: %s / %s\n", c.name.c_str(),
+                   exact.status.message().c_str(),
+                   anneal.status.message().c_str());
+      return 1;
+    }
+    exact_total_ms += exact_ms;
+    anneal_total_ms += anneal_ms;
+    const double quality = anneal.cost.total_ns() / exact.cost.total_ns();
+    if (exact.optimal && quality > worst_anneal_vs_exact) {
+      worst_anneal_vs_exact = quality;
+    }
+    report.add(c.name + ".exact.solve_ms", exact_ms, "ms",
+               {{"solver", "exact"}});
+    report.add(c.name + ".exact.total_ns", exact.cost.total_ns(), "ns",
+               {{"solver", "exact"}});
+    report.add(c.name + ".anneal.solve_ms", anneal_ms, "ms",
+               {{"solver", "anneal"}});
+    report.add(c.name + ".anneal.total_ns", anneal.cost.total_ns(), "ns",
+               {{"solver", "anneal"}});
+    synth.add_row({c.name, TextTable::integer(c.net.size()),
+                   TextTable::num(exact_ms, 2),
+                   TextTable::num(exact.cost.total_ns(), 0),
+                   exact.optimal ? "yes" : "no", TextTable::num(anneal_ms, 2),
+                   TextTable::num(anneal.cost.total_ns(), 0),
+                   TextTable::num(quality, 3)});
+  }
+  std::printf("%s\n", synth.render().c_str());
+  report.add_table("synthetic", synth);
+
+  // --- the paper's JPEG budgets vs the manual Table-4 mappings ------------
+  double worst_mapped_vs_manual = 0.0;
+  TextTable jpeg_table({"impl", "tiles", "manual ns/item", "exact ns/item",
+                        "mapped/manual", "exact ms", "opt", "anneal/exact"});
+  for (const auto& m : jpeg::table4_manual_mappings()) {
+    MapperOptions opt;
+    opt.max_tiles = m.tiles;
+    const MappedNetwork manual =
+        mapper::score_manual(m.network, m.binding, 4, 4, opt);
+
+    opt.solver = SolverKind::kExact;
+    auto start = Clock::now();
+    const MappedNetwork exact = mapper::map_network(m.network, 4, 4, opt);
+    const double exact_ms = ms_since(start);
+
+    opt.solver = SolverKind::kAnneal;
+    start = Clock::now();
+    const MappedNetwork anneal = mapper::map_network(m.network, 4, 4, opt);
+    const double anneal_ms = ms_since(start);
+
+    if (!manual.ok() || !exact.ok() || !anneal.ok()) {
+      std::fprintf(stderr, "mapping %s failed\n", m.name.c_str());
+      return 1;
+    }
+    exact_total_ms += exact_ms;
+    anneal_total_ms += anneal_ms;
+    const double vs_manual = exact.cost.total_ns() / manual.cost.total_ns();
+    if (vs_manual > worst_mapped_vs_manual) worst_mapped_vs_manual = vs_manual;
+    const double quality = anneal.cost.total_ns() / exact.cost.total_ns();
+    if (exact.optimal && quality > worst_anneal_vs_exact) {
+      worst_anneal_vs_exact = quality;
+    }
+    report.add(m.name + ".exact.solve_ms", exact_ms, "ms",
+               {{"tiles", std::to_string(m.tiles)}});
+    report.add(m.name + ".anneal.solve_ms", anneal_ms, "ms",
+               {{"tiles", std::to_string(m.tiles)}});
+    report.add(m.name + ".mapped_vs_manual", vs_manual, "",
+               {{"tiles", std::to_string(m.tiles)}});
+    jpeg_table.add_row(
+        {m.name, TextTable::integer(m.tiles),
+         TextTable::num(manual.cost.total_ns(), 0),
+         TextTable::num(exact.cost.total_ns(), 0),
+         TextTable::num(vs_manual, 3), TextTable::num(exact_ms, 1),
+         exact.optimal ? "yes" : "no", TextTable::num(quality, 3)});
+  }
+  std::printf("%s\n", jpeg_table.render().c_str());
+  report.add_table("jpeg_budgets", jpeg_table);
+
+  report.add("exact_solve_ms_total", exact_total_ms, "ms", {});
+  report.add("anneal_solve_ms_total", anneal_total_ms, "ms", {});
+  report.add("worst_mapped_vs_manual", worst_mapped_vs_manual, "", {});
+  report.add("worst_anneal_vs_exact", worst_anneal_vs_exact, "", {});
+  std::printf(
+      "totals: exact %.1f ms, anneal %.1f ms, calibration %.2f ms\n"
+      "worst mapped/manual %.4f (gate <= 1.0), worst anneal/exact %.4f "
+      "(gate <= 1.05)\n",
+      exact_total_ms, anneal_total_ms, calibration_ms, worst_mapped_vs_manual,
+      worst_anneal_vs_exact);
+  if (!report.write()) return 1;
+  return 0;
+}

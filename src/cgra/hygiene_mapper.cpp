@@ -1,0 +1,2 @@
+// Header-hygiene check: cgra/mapper.hpp must compile standalone.
+#include "cgra/mapper.hpp"

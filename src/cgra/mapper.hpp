@@ -1,0 +1,16 @@
+// cgra/mapper.hpp — the public face of the automatic process-network
+// mapper.
+//
+// cgra::mapper::map_network takes any annotated procnet::ProcessNetwork
+// and a mesh shape and returns a complete MappedNetwork: a Binding (who
+// shares a tile, with replication), a Placement (where on the mesh), a
+// bandwidth-aware LinkPlan (hot edges win the 48-wire links first) and the
+// scored per-item cost.  Two solvers sit behind the one interface: an
+// exact branch-and-bound (the small-mesh oracle) and a deterministic
+// seeded annealer for everything larger.  The result feeds
+// compile_mapped_schedule and rides through cgra::Service as a MapJob —
+// see docs/MAPPING.md and examples/map_and_run.cpp.
+#pragma once
+
+#include "mapper/cost.hpp"
+#include "mapper/mapper.hpp"

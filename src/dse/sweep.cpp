@@ -170,16 +170,18 @@ FftProcessTimes Sweep::measure_process_times(const fft::FftGeometry& g) {
   return times;
 }
 
-std::vector<mapping::SweepPoint> parallel_sweep(
-    const procnet::ProcessNetwork& net, int max_tiles,
-    mapping::RebalanceAlgorithm algo, const mapping::CostParams& params,
-    Sweep& pool) {
-  return pool.rebalance_sweep(net, max_tiles, algo, params);
-}
-
-FftProcessTimes parallel_measure_process_times(const fft::FftGeometry& g,
-                                               Sweep& pool) {
-  return pool.measure_process_times(g);
+std::vector<MapperSweepPoint> Sweep::mapper_sweep(
+    const procnet::ProcessNetwork& net, int mesh_rows, int mesh_cols,
+    std::span<const int> budgets, const mapper::MapperOptions& options) {
+  return map<MapperSweepPoint>(
+      static_cast<int>(budgets.size()), [&](int i) {
+        MapperSweepPoint pt;
+        pt.tiles = budgets[static_cast<std::size_t>(i)];
+        mapper::MapperOptions opt = options;
+        opt.max_tiles = pt.tiles;
+        pt.mapped = mapper::map_network(net, mesh_rows, mesh_cols, opt);
+        return pt;
+      });
 }
 
 }  // namespace cgra::dse

@@ -32,9 +32,16 @@
 
 #include "dse/fft_perf_model.hpp"
 #include "engine/engine.hpp"
+#include "mapper/mapper.hpp"
 #include "mapping/rebalance.hpp"
 
 namespace cgra::dse {
+
+/// One automatic-mapper sweep candidate: a tile budget and its mapping.
+struct MapperSweepPoint {
+  int tiles = 0;  ///< Tile budget handed to the mapper.
+  mapper::MappedNetwork mapped;
+};
 
 /// The one sweep driver: a fixed-size pool of evaluation lanes plus an
 /// execution-engine choice for fabric runs.
@@ -98,6 +105,15 @@ class Sweep {
   /// private Fabric.
   FftProcessTimes measure_process_times(const fft::FftGeometry& g);
 
+  /// Run the automatic mapper once per tile budget, budgets spread over the
+  /// lanes — mapper-driven placements as sweep candidates next to the
+  /// rebalance heuristics.  Each budget maps independently (the mapper is a
+  /// pure function of its inputs), so results are positionally deterministic
+  /// for any lane count.
+  std::vector<MapperSweepPoint> mapper_sweep(
+      const procnet::ProcessNetwork& net, int mesh_rows, int mesh_cols,
+      std::span<const int> budgets, const mapper::MapperOptions& options = {});
+
  private:
   void worker_loop();
   void drain(const std::function<void(int)>* job, int n);
@@ -115,26 +131,5 @@ class Sweep {
   bool stop_ = false;
   std::exception_ptr error_;
 };
-
-// --- deprecated shims (one PR only; use dse::Sweep) -------------------------
-
-/// @deprecated Use dse::Sweep with EngineOptions{.threads = lanes}.
-class SweepPool : public Sweep {
- public:
-  [[deprecated("use dse::Sweep")]] explicit SweepPool(int lanes = 0)
-      : Sweep(engine::EngineOptions{engine::EngineKind::kInterp, 8, lanes}) {}
-};
-
-/// @deprecated Use Sweep::rebalance_sweep.
-[[deprecated("use Sweep::rebalance_sweep")]]
-std::vector<mapping::SweepPoint> parallel_sweep(
-    const procnet::ProcessNetwork& net, int max_tiles,
-    mapping::RebalanceAlgorithm algo, const mapping::CostParams& params,
-    Sweep& pool);
-
-/// @deprecated Use Sweep::measure_process_times.
-[[deprecated("use Sweep::measure_process_times")]]
-FftProcessTimes parallel_measure_process_times(const fft::FftGeometry& g,
-                                               Sweep& pool);
 
 }  // namespace cgra::dse

@@ -1,0 +1,103 @@
+// Shared cost model of the automatic mapper.
+//
+// Both solvers (mapper::ExactMapper, mapper::AnnealMapper) minimise the same
+// per-item makespan:
+//
+//   total = II(binding)              epoch makespan from mapping::evaluate
+//         + copy_ns                  mesh distance x byte-rate (Eq. 1 term C)
+//         + link_ns                  per-item link flips for edges that lost
+//                                    the bandwidth race for a 48-wire link
+//
+// The link term is the BandMap policy (PAPERS.md): inter-process edges are
+// sorted hottest-first by their per-item word volume, and each tile's single
+// steady output link is granted to the first edge that asks for it.  Colder
+// edges crossing the same tile must flip the link every pipeline item and
+// are charged the swept per-link reconfiguration cost L for every such hop.
+#pragma once
+
+#include <vector>
+
+#include "interconnect/routing.hpp"
+#include "mapping/placement.hpp"
+
+namespace cgra::mapper {
+
+/// The three cost-model ingredients every mapper call shares.
+struct CostModel {
+  mapping::CostParams params{};          ///< II / pinning / ICAP model.
+  interconnect::CopyCostModel copy{};    ///< Routed copy cost per word-hop.
+  /// Per-link reconfiguration cost L.  Nonzero by default (the paper sweeps
+  /// L; 50 ns matches the executed-schedule benches) so bandwidth-aware
+  /// link allocation actually differentiates placements.
+  interconnect::LinkCostModel link{50.0};
+};
+
+/// One inter-group edge after routing and link allocation.
+struct RoutedEdge {
+  int edge = -1;       ///< Index into net.edges().
+  int from_tile = -1;  ///< Costed (worst) producer replica.
+  int to_tile = -1;    ///< Costed (worst) consumer replica.
+  int words = 0;       ///< 48-bit words per pipeline item.
+  std::vector<int> path;   ///< Tile indices from producer to consumer.
+  int owned_links = 0;     ///< Hops riding a steady 48-wire link for free.
+  int switched_links = 0;  ///< Hops flipping a busier tile's link per item.
+  Nanoseconds copy_ns = 0.0;  ///< Relay copies beyond the adjacent hop.
+  Nanoseconds link_ns = 0.0;  ///< Per-item link reconfiguration charge.
+
+  [[nodiscard]] Nanoseconds ns_per_item() const noexcept {
+    return copy_ns + link_ns;
+  }
+};
+
+/// Bandwidth-aware link assignment for a placed binding.
+struct LinkPlan {
+  interconnect::LinkConfig steady;  ///< Who owns each tile's output link.
+  std::vector<RoutedEdge> routes;   ///< Inter-group edges, hottest first.
+  Nanoseconds copy_ns = 0.0;        ///< Sum of per-edge relay copies.
+  Nanoseconds link_ns = 0.0;        ///< Sum of per-edge link flips.
+};
+
+/// Per-item cost of a complete mapping.
+struct MappedCost {
+  Nanoseconds ii_ns = 0.0;    ///< Binding epoch makespan (mapping::evaluate).
+  Nanoseconds copy_ns = 0.0;  ///< Routed copy cost of the placement.
+  Nanoseconds link_ns = 0.0;  ///< Link flips for edges without a steady wire.
+  [[nodiscard]] Nanoseconds total_ns() const noexcept {
+    return ii_ns + copy_ns + link_ns;
+  }
+};
+
+/// Route every inter-group edge (worst replica pair, matching the placement
+/// cost model) and allocate steady links hottest-edge-first.
+LinkPlan plan_links(const procnet::ProcessNetwork& net,
+                    const mapping::Binding& binding,
+                    const mapping::Placement& placement,
+                    const CostModel& cost);
+
+/// Score a complete mapping under the shared cost model.
+MappedCost score_mapping(const procnet::ProcessNetwork& net,
+                         const mapping::Binding& binding,
+                         const mapping::Placement& placement,
+                         const CostModel& cost);
+
+/// Deterministic topological order (procnet::topological_order, re-exported
+/// here because both solvers seed from it).
+std::vector<int> topological_order(const procnet::ProcessNetwork& net);
+
+/// List-scheduling seed: min-makespan contiguous partition of the
+/// topological order into g groups for every g <= budget, returned both
+/// plain and (when the leftover budget adds any) water-filled with replicas
+/// — replication lifts compute-bound shapes and sinks copy-bound ones, so
+/// the caller scores both.  Never empty for a valid network and budget >= 1.
+std::vector<mapping::Binding> seed_bindings(const procnet::ProcessNetwork& net,
+                                            int budget,
+                                            const mapping::CostParams& params);
+
+/// Grow `binding` by `extra` replicas, one at a time, always replicating the
+/// group with the highest effective busy time.  Stops early when that group
+/// is not a replicable singleton.  Returns how many replicas were added.
+int water_fill_replicas(const procnet::ProcessNetwork& net,
+                        mapping::Binding& binding, int extra,
+                        const mapping::CostParams& params);
+
+}  // namespace cgra::mapper

@@ -1,0 +1,419 @@
+// Exact mapper: branch-and-bound over set partitions composed with a
+// placement branch-and-bound, both under admissible lower bounds.
+//
+// Candidate space (documented in docs/MAPPING.md):
+//   * bindings: every set partition of the processes into at most
+//     `budget` groups (canonical enumeration in topological order, each
+//     partition generated exactly once), crossed with every replication
+//     vector that is minimal for its makespan level — a replica that does
+//     not lower II can only add placement cost, so non-minimal vectors are
+//     dominated and skipped;
+//   * placements: every injective assignment of group replicas to mesh
+//     tiles, searched with an incremental worst-replica-pair copy-cost
+//     bound (the link term is evaluated at leaves; it is nonnegative, so
+//     the bound stays admissible).
+//
+// Candidates are placement-searched in order of rising II and the search
+// stops as soon as the next candidate's II cannot beat the best total —
+// II is a lower bound on any placement's total.  `optimal` reports whether
+// that proof ran to completion inside the node budgets.
+#include <algorithm>
+#include <cmath>
+
+#include "mapper/mapper.hpp"
+
+namespace cgra::mapper {
+
+namespace {
+
+using mapping::Binding;
+using mapping::Placement;
+using procnet::ProcessNetwork;
+
+struct Candidate {
+  Binding binding;
+  Nanoseconds ii_ns = 0.0;
+  int tiles = 0;
+};
+
+/// Inter-group edge of one candidate binding.
+struct GroupEdge {
+  int a = 0;  ///< Producer group.
+  int b = 0;  ///< Consumer group.
+  int words = 0;
+};
+
+/// Replication vectors minimal for their makespan level: r_i(t) =
+/// ceil(busy_i / t) over replicable singletons, one vector per candidate
+/// level t drawn from {busy_i / k}.  Returns deduplicated vectors (always
+/// including all-ones) whose tile sum fits the budget.
+std::vector<std::vector<int>> minimal_replications(
+    const ProcessNetwork& net, const std::vector<std::vector<int>>& groups,
+    int budget, const mapping::CostParams& params) {
+  const int g = static_cast<int>(groups.size());
+  std::vector<Nanoseconds> busy(groups.size());
+  std::vector<bool> replicable(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    busy[i] = mapping::group_busy_ns(net, groups[i], params);
+    replicable[i] = groups[i].size() == 1 &&
+                    net.process(groups[i].front()).replicable;
+  }
+  std::vector<std::vector<int>> out;
+  auto add_level = [&](double t) {
+    if (t <= 0.0) return;
+    std::vector<int> r(groups.size(), 1);
+    int total = 0;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (replicable[i] && busy[i] > t) {
+        r[i] = static_cast<int>(std::ceil(busy[i] / t - 1e-9));
+      }
+      total += r[i];
+    }
+    if (total > budget) return;
+    if (std::find(out.begin(), out.end(), r) == out.end()) {
+      out.push_back(std::move(r));
+    }
+  };
+  add_level(*std::max_element(busy.begin(), busy.end()));  // all ones
+  // Every group's busy/k is a candidate level, k = 1 included: a slow
+  // non-replicable (or unsplit) group sets the makespan floor the OTHER
+  // groups replicate down to, so its k = 1 level demands a vector of its
+  // own (e.g. the diamond: join's floor asks left and right for 2 replicas
+  // each even though join itself never replicates).
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const int k_max = replicable[i] ? budget - g + 1 : 1;
+    for (int k = 1; k <= k_max; ++k) {
+      add_level(busy[i] / static_cast<double>(k));
+    }
+  }
+  return out;
+}
+
+/// Placement branch-and-bound for one candidate binding.
+class PlacementSearch {
+ public:
+  PlacementSearch(const ProcessNetwork& net, const Candidate& cand,
+                  const CostModel& cost, int mesh_rows, int mesh_cols,
+                  std::int64_t* nodes_left)
+      : net_(net),
+        cand_(cand),
+        cost_(cost),
+        mesh_rows_(mesh_rows),
+        mesh_cols_(mesh_cols),
+        mesh_(mesh_rows, mesh_cols),
+        nodes_left_(nodes_left) {
+    const int n = mesh_.tile_count();
+    dist_.assign(static_cast<std::size_t>(n * n), 0);
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        dist_[static_cast<std::size_t>(a * n + b)] =
+            interconnect::manhattan_distance(mesh_, a, b);
+      }
+    }
+    const auto owner = mapping::owner_of_processes(net, cand.binding);
+    for (int e = 0; e < static_cast<int>(net.edges().size()); ++e) {
+      const auto& edge = net.edges()[static_cast<std::size_t>(e)];
+      const int ga = owner[static_cast<std::size_t>(edge.from)];
+      const int gb = owner[static_cast<std::size_t>(edge.to)];
+      if (ga == gb) continue;
+      edges_.push_back({ga, gb, edge.words});
+    }
+    for (int g = 0; g < static_cast<int>(cand.binding.groups.size()); ++g) {
+      edges_of_group_.emplace_back();
+      for (int e = 0; e < static_cast<int>(edges_.size()); ++e) {
+        if (edges_[static_cast<std::size_t>(e)].a == g ||
+            edges_[static_cast<std::size_t>(e)].b == g) {
+          edges_of_group_.back().push_back(e);
+        }
+      }
+      for (int r = 0; r < cand.binding.groups[static_cast<std::size_t>(g)]
+                              .replication;
+           ++r) {
+        units_.push_back(g);
+      }
+    }
+    worst_.assign(edges_.size(), -1);
+    placed_.assign(cand.binding.groups.size(), {});
+  }
+
+  /// Search; updates *best_total/*best_placement on improvement.  Returns
+  /// false if the node budget ran out (proof incomplete).
+  bool run(Nanoseconds* best_total, Placement* best_placement) {
+    best_total_ = best_total;
+    best_placement_ = best_placement;
+    complete_ = true;
+    descend(0, 0u, 0.0);
+    return complete_;
+  }
+
+ private:
+  [[nodiscard]] Nanoseconds edge_cost(int words, int d) const {
+    return cost_.copy.transfer_ns(words, d - 1);
+  }
+
+  void descend(std::size_t unit, std::uint32_t used, Nanoseconds partial) {
+    if (*nodes_left_ <= 0) {
+      complete_ = false;
+      return;
+    }
+    --*nodes_left_;
+    if (unit == units_.size()) {
+      leaf(partial);
+      return;
+    }
+    const int g = units_[unit];
+    // Replicas of one group are interchangeable: force ascending tile
+    // indices within the group to break the r! symmetry.
+    const int floor_tile =
+        (unit > 0 && units_[unit - 1] == g)
+            ? placed_[static_cast<std::size_t>(g)].back() + 1
+            : 0;
+    const int n = mesh_.tile_count();
+    for (int t = floor_tile; t < n; ++t) {
+      if ((used >> t) & 1u) continue;
+      // Incrementally lift each touched edge's worst placed replica pair.
+      // The undo log is per level: recursion below reuses the shared
+      // worst_ array, so each frame must restore exactly its own writes.
+      Nanoseconds delta = 0.0;
+      std::vector<std::pair<int, int>> undo;
+      for (const int e : edges_of_group_[static_cast<std::size_t>(g)]) {
+        const auto& ge = edges_[static_cast<std::size_t>(e)];
+        const int other = ge.a == g ? ge.b : ge.a;
+        int far = worst_[static_cast<std::size_t>(e)];
+        for (const int t2 : placed_[static_cast<std::size_t>(other)]) {
+          far = std::max(far, dist_[static_cast<std::size_t>(
+                                  t * n + t2)]);
+        }
+        // The same-group placed replicas never pair with t (an edge always
+        // crosses groups), so `far` only reflects cross-group pairs.
+        if (far != worst_[static_cast<std::size_t>(e)]) {
+          const int old = worst_[static_cast<std::size_t>(e)];
+          delta += edge_cost(ge.words, far) -
+                   (old < 0 ? 0.0 : edge_cost(ge.words, old));
+          undo.emplace_back(e, old);
+          worst_[static_cast<std::size_t>(e)] = far;
+        }
+      }
+      const Nanoseconds bound = cand_.ii_ns + partial + delta;
+      if (bound < *best_total_) {
+        placed_[static_cast<std::size_t>(g)].push_back(t);
+        descend(unit + 1, used | (1u << t), partial + delta);
+        placed_[static_cast<std::size_t>(g)].pop_back();
+      }
+      for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+        worst_[static_cast<std::size_t>(it->first)] = it->second;
+      }
+      if (!complete_) return;
+    }
+  }
+
+  void leaf(Nanoseconds partial) {
+    Placement p;
+    p.mesh_rows = mesh_rows_;
+    p.mesh_cols = mesh_cols_;
+    p.tile_of = placed_;
+    const LinkPlan plan = plan_links(net_, cand_.binding, p, cost_);
+    const Nanoseconds total = cand_.ii_ns + partial + plan.link_ns;
+    if (total < *best_total_) {
+      *best_total_ = total;
+      *best_placement_ = std::move(p);
+    }
+  }
+
+  const ProcessNetwork& net_;
+  const Candidate& cand_;
+  const CostModel& cost_;
+  int mesh_rows_;
+  int mesh_cols_;
+  interconnect::LinkConfig mesh_;
+  std::int64_t* nodes_left_;
+  std::vector<int> dist_;
+  std::vector<GroupEdge> edges_;
+  std::vector<std::vector<int>> edges_of_group_;
+  std::vector<int> units_;                  ///< Group id per placed replica.
+  std::vector<int> worst_;                  ///< Per-edge worst placed pair.
+  std::vector<std::vector<int>> placed_;    ///< Tiles per group so far.
+  Nanoseconds* best_total_ = nullptr;
+  Placement* best_placement_ = nullptr;
+  bool complete_ = true;
+};
+
+/// Canonical set-partition enumeration with busy-time lower bounds.
+class PartitionSearch {
+ public:
+  PartitionSearch(const ProcessNetwork& net, int budget,
+                  const mapping::CostParams& params,
+                  std::int64_t* nodes_left)
+      : net_(net), budget_(budget), params_(params), nodes_left_(nodes_left) {
+    order_ = procnet::topological_order(net);
+  }
+
+  /// Enumerate partitions whose II lower bound stays below `prune_above`,
+  /// emitting every (partition x minimal replication) candidate.  Returns
+  /// false if the node budget ran out.
+  bool run(Nanoseconds prune_above, std::vector<Candidate>* out) {
+    prune_above_ = prune_above;
+    out_ = out;
+    complete_ = true;
+    assign(0);
+    return complete_;
+  }
+
+ private:
+  void assign(std::size_t idx) {
+    if (*nodes_left_ <= 0) {
+      complete_ = false;
+      return;
+    }
+    --*nodes_left_;
+    if (idx == order_.size()) {
+      emit();
+      return;
+    }
+    const int p = order_[idx];
+    const int g = static_cast<int>(groups_.size());
+    for (int target = 0; target <= g && complete_; ++target) {
+      if (target == g && g >= budget_) break;
+      if (target == g) {
+        groups_.emplace_back(1, p);
+        busy_.push_back(mapping::group_busy_ns(net_, groups_.back(), params_));
+      } else {
+        groups_[static_cast<std::size_t>(target)].push_back(p);
+        busy_[static_cast<std::size_t>(target)] = mapping::group_busy_ns(
+            net_, groups_[static_cast<std::size_t>(target)], params_);
+      }
+      if (lower_bound() < prune_above_) assign(idx + 1);
+      if (target == g) {
+        groups_.pop_back();
+        busy_.pop_back();
+      } else {
+        groups_[static_cast<std::size_t>(target)].pop_back();
+        busy_[static_cast<std::size_t>(target)] = mapping::group_busy_ns(
+            net_, groups_[static_cast<std::size_t>(target)], params_);
+      }
+    }
+  }
+
+  /// Admissible II bound of any completion of the partial partition: a
+  /// multi-process group can never replicate; a singleton may replicate up
+  /// to the tiles no other group needs.
+  [[nodiscard]] Nanoseconds lower_bound() const {
+    const int g = static_cast<int>(groups_.size());
+    const int cap = std::max(1, budget_ - g + 1);
+    Nanoseconds lb = 0.0;
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+      const bool can_replicate =
+          groups_[i].size() == 1 && net_.process(groups_[i].front()).replicable;
+      lb = std::max(lb, can_replicate ? busy_[i] / cap : busy_[i]);
+    }
+    return lb;
+  }
+
+  void emit() {
+    for (auto& r : minimal_replications(net_, groups_, budget_, params_)) {
+      Candidate c;
+      for (std::size_t i = 0; i < groups_.size(); ++i) {
+        c.binding.groups.push_back({groups_[i], r[i]});
+      }
+      c.ii_ns = mapping::evaluate(net_, c.binding, params_).ii_ns;
+      c.tiles = c.binding.tile_count();
+      if (c.ii_ns < prune_above_) out_->push_back(std::move(c));
+    }
+  }
+
+  const ProcessNetwork& net_;
+  int budget_;
+  const mapping::CostParams& params_;
+  std::int64_t* nodes_left_;
+  std::vector<int> order_;
+  std::vector<std::vector<int>> groups_;
+  std::vector<Nanoseconds> busy_;
+  Nanoseconds prune_above_ = 0.0;
+  std::vector<Candidate>* out_ = nullptr;
+  bool complete_ = true;
+};
+
+}  // namespace
+
+MappedNetwork ExactMapper::map(const ProcessNetwork& net, int mesh_rows,
+                               int mesh_cols,
+                               const MapperOptions& options) const {
+  MappedNetwork out;
+  out.solver = name();
+  out.status = validate_map_inputs(net, mesh_rows, mesh_cols, options);
+  if (!out.status.ok()) return out;
+  const int mesh_tiles = mesh_rows * mesh_cols;
+  if (mesh_tiles > 16 || net.size() > 12) {
+    out.status = Status::errorf(
+        "exact mapper handles meshes of <= 16 tiles and <= 12 processes "
+        "(got %dx%d, %d processes); use the annealing solver",
+        mesh_rows, mesh_cols, net.size());
+    return out;
+  }
+  const int budget =
+      options.max_tiles > 0 ? std::min(options.max_tiles, mesh_tiles)
+                            : mesh_tiles;
+  const CostModel& cost = options.cost;
+
+  // Greedy seed: best list-scheduling binding under snake + local search —
+  // a finite incumbent that makes the bounds bite from the first node.
+  Nanoseconds best_total = 0.0;
+  bool have_best = false;
+  Binding best_binding;
+  Placement best_placement;
+  for (const auto& seed : seed_bindings(net, budget, cost.params)) {
+    Placement p = mapping::improve_placement(
+        net, seed,
+        mapping::place(seed, mesh_rows, mesh_cols,
+                       mapping::PlacementStrategy::kSnake),
+        cost.copy);
+    const Nanoseconds total = score_mapping(net, seed, p, cost).total_ns();
+    if (!have_best || total < best_total) {
+      have_best = true;
+      best_total = total;
+      best_binding = seed;
+      best_placement = std::move(p);
+    }
+  }
+
+  std::int64_t nodes_left = options.node_budget;
+  std::vector<Candidate> candidates;
+  PartitionSearch partitions(net, budget, cost.params, &nodes_left);
+  bool proof = partitions.run(best_total, &candidates);
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.ii_ns != b.ii_ns) return a.ii_ns < b.ii_ns;
+                     return a.tiles < b.tiles;
+                   });
+
+  int searched = 0;
+  for (const auto& cand : candidates) {
+    if (cand.ii_ns >= best_total) break;  // II bounds any placement's total
+    if (searched >= options.binding_budget || nodes_left <= 0) {
+      proof = false;
+      break;
+    }
+    ++searched;
+    Nanoseconds before = best_total;
+    PlacementSearch search(net, cand, cost, mesh_rows, mesh_cols,
+                           &nodes_left);
+    Placement found;
+    if (!search.run(&best_total, &found)) proof = false;
+    if (best_total < before) {
+      best_binding = cand.binding;
+      best_placement = std::move(found);
+    }
+  }
+
+  out.binding = std::move(best_binding);
+  out.placement = std::move(best_placement);
+  out.links = plan_links(net, out.binding, out.placement, cost);
+  out.eval = mapping::evaluate(net, out.binding, cost.params);
+  out.cost = score_mapping(net, out.binding, out.placement, cost);
+  out.optimal = proof;
+  out.nodes_explored = options.node_budget - nodes_left;
+  return out;
+}
+
+}  // namespace cgra::mapper

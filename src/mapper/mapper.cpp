@@ -1,0 +1,100 @@
+#include "mapper/mapper.hpp"
+
+namespace cgra::mapper {
+
+const char* solver_kind_name(SolverKind kind) noexcept {
+  switch (kind) {
+    case SolverKind::kAuto: return "auto";
+    case SolverKind::kExact: return "exact";
+    case SolverKind::kAnneal: return "anneal";
+  }
+  return "?";
+}
+
+Status validate_map_inputs(const procnet::ProcessNetwork& net, int mesh_rows,
+                           int mesh_cols, const MapperOptions& options) {
+  if (mesh_rows < 1 || mesh_cols < 1) {
+    return Status::errorf("mesh %dx%d is empty", mesh_rows, mesh_cols);
+  }
+  if (Status s = net.validate(); !s.ok()) return s;
+  const auto& params = options.cost.params;
+  for (int i = 0; i < net.size(); ++i) {
+    const auto& p = net.process(i);
+    if (p.data_words() > params.dmem_words) {
+      return Status::errorf("process '%s' needs %d data words (tile has %d)",
+                            p.name.c_str(), p.data_words(), params.dmem_words);
+    }
+    if (p.insts > params.imem_words) {
+      return Status::errorf(
+          "process '%s' needs %d instruction words (tile has %d)",
+          p.name.c_str(), p.insts, params.imem_words);
+    }
+    if (p.runtime_cycles < 0 || p.invocations_per_item < 1) {
+      return Status::errorf("process '%s' has invalid runtime annotations",
+                            p.name.c_str());
+    }
+  }
+  if (options.max_tiles < 0) {
+    return Status::errorf("max_tiles %d is negative", options.max_tiles);
+  }
+  return Status{};
+}
+
+std::unique_ptr<Mapper> make_mapper(SolverKind kind) {
+  if (kind == SolverKind::kAnneal) return std::make_unique<AnnealMapper>();
+  return std::make_unique<ExactMapper>();  // kExact and kAuto's small-mesh arm
+}
+
+MappedNetwork map_network(const procnet::ProcessNetwork& net, int mesh_rows,
+                          int mesh_cols, const MapperOptions& options) {
+  SolverKind kind = options.solver;
+  if (kind == SolverKind::kAuto) {
+    const bool small = mesh_rows * mesh_cols <= 16 && net.size() <= 12;
+    kind = small ? SolverKind::kExact : SolverKind::kAnneal;
+  }
+  MapperOptions resolved = options;
+  resolved.solver = kind;
+  return make_mapper(kind)->map(net, mesh_rows, mesh_cols, resolved);
+}
+
+MappedNetwork score_manual(const procnet::ProcessNetwork& net,
+                           const mapping::Binding& binding, int mesh_rows,
+                           int mesh_cols, const MapperOptions& options) {
+  MappedNetwork out;
+  out.solver = "manual";
+  out.status = validate_map_inputs(net, mesh_rows, mesh_cols, options);
+  if (!out.status.ok()) return out;
+  out.status = binding.validate(net);
+  if (!out.status.ok()) return out;
+  if (binding.tile_count() > mesh_rows * mesh_cols) {
+    out.status = Status::errorf("manual binding needs %d tiles, mesh has %d",
+                                binding.tile_count(), mesh_rows * mesh_cols);
+    return out;
+  }
+  out.binding = binding;
+  out.placement = mapping::improve_placement(
+      net, binding,
+      mapping::place(binding, mesh_rows, mesh_cols,
+                     mapping::PlacementStrategy::kSnake),
+      options.cost.copy);
+  out.links = plan_links(net, out.binding, out.placement, options.cost);
+  out.eval = mapping::evaluate(net, out.binding, options.cost.params);
+  out.cost = score_mapping(net, out.binding, out.placement, options.cost);
+  return out;
+}
+
+mapping::CompiledSchedule compile_mapped_schedule(
+    const procnet::ProcessNetwork& net, const MappedNetwork& mapped,
+    const mapping::ProgramLibrary& library,
+    const mapping::CompileOptions& compile_options) {
+  if (!mapped.ok()) {
+    mapping::CompiledSchedule sched;
+    sched.status = Status::error("cannot compile a failed mapping: " +
+                                 std::string(mapped.status.message()));
+    return sched;
+  }
+  return mapping::compile_item_schedule(net, mapped.binding, mapped.placement,
+                                        library, compile_options);
+}
+
+}  // namespace cgra::mapper

@@ -1,0 +1,135 @@
+// Automatic process-network mapper (ROADMAP item 3).
+//
+// Takes any procnet::Network annotated with per-process cycle counts and
+// per-edge word volumes and emits the complete recipe the rest of the stack
+// consumes: a Binding (who shares a tile, with replication), a Placement
+// (where on the R x C mesh), a bandwidth-aware LinkPlan (hot edges win the
+// 48-wire links first, per BandMap) and the scored per-item cost.  The
+// result feeds mapping::compile_item_schedule unchanged (see
+// compile_mapped_schedule) and rides through cgra::Service as a MapJob.
+//
+// Two solvers behind one interface:
+//
+//   * ExactMapper — branch-and-bound over set partitions of the processes
+//     (ILP-style: admissible lower bounds, canonical enumeration, water-
+//     filled replication) composed with a placement branch-and-bound.
+//     Optimal by construction over its candidate space on meshes of up to
+//     16 tiles; `optimal` reports whether the proof completed inside the
+//     node budget.  This is the oracle the annealer is validated against.
+//
+//   * AnnealMapper — deterministic seeded simulated annealing over
+//     (binding, placement) moves, list-scheduling seeded.  Scales to
+//     meshes the exact search cannot enumerate.
+//
+// map_network() picks the exact solver whenever it can prove optimality
+// cheaply (small mesh, small network) and falls back to annealing.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mapper/cost.hpp"
+#include "mapping/schedule_compiler.hpp"
+
+namespace cgra::mapper {
+
+/// Which solver to run.
+enum class SolverKind { kAuto, kExact, kAnneal };
+
+const char* solver_kind_name(SolverKind kind) noexcept;
+
+/// Everything a mapper call can be tuned with.  The defaults are what the
+/// CI oracle suite runs.
+struct MapperOptions {
+  SolverKind solver = SolverKind::kAuto;
+  /// Tile budget; 0 means the whole mesh.  The mapper may use fewer tiles
+  /// when that costs no throughput (extra tiles only add placement cost).
+  int max_tiles = 0;
+  CostModel cost{};
+  /// Annealer determinism: every random choice flows from this seed.
+  std::uint64_t seed = 1;
+  int anneal_iterations = 6000;
+  int anneal_restarts = 3;
+  /// Exact-search safety valve: placement/partition nodes explored before
+  /// the solver returns its best-so-far with optimal = false.
+  std::int64_t node_budget = 4'000'000;
+  /// Exact search: placement-search at most this many candidate bindings
+  /// (ordered by rising II) before declaring the proof incomplete.
+  int binding_budget = 4'096;
+};
+
+/// A mapped process network: everything downstream consumers need.
+struct MappedNetwork {
+  Status status;  ///< Mapping diagnostics; fields below valid only if ok.
+  std::string solver;           ///< "exact" or "anneal".
+  mapping::Binding binding;     ///< Tile groups + replication.
+  mapping::Placement placement; ///< Mesh coordinates per group replica.
+  LinkPlan links;               ///< Steady link ownership + routed edges.
+  mapping::BindingEval eval;    ///< Binding-level throughput/utilisation.
+  MappedCost cost;              ///< Per-item makespan decomposition.
+  bool optimal = false;  ///< Exact proof completed within the budgets.
+  std::int64_t nodes_explored = 0;  ///< Search effort (nodes / evaluations).
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+};
+
+/// The solver interface.  Implementations are deterministic: the same
+/// (network, mesh, options) always returns the same mapping.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  [[nodiscard]] virtual MappedNetwork map(
+      const procnet::ProcessNetwork& net, int mesh_rows, int mesh_cols,
+      const MapperOptions& options) const = 0;
+};
+
+/// Exact branch-and-bound search (meshes up to 16 tiles, <= 12 processes).
+class ExactMapper final : public Mapper {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "exact"; }
+  [[nodiscard]] MappedNetwork map(const procnet::ProcessNetwork& net,
+                                  int mesh_rows, int mesh_cols,
+                                  const MapperOptions& options) const override;
+};
+
+/// Simulated annealing + list scheduling (any mesh).
+class AnnealMapper final : public Mapper {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "anneal"; }
+  [[nodiscard]] MappedNetwork map(const procnet::ProcessNetwork& net,
+                                  int mesh_rows, int mesh_cols,
+                                  const MapperOptions& options) const override;
+};
+
+/// Instantiate a solver; kAuto defers the choice to map-time (mesh size).
+std::unique_ptr<Mapper> make_mapper(SolverKind kind);
+
+/// Map `net` onto a mesh_rows x mesh_cols mesh.  kAuto picks the exact
+/// solver for meshes of <= 16 tiles with <= 12 processes, else annealing.
+MappedNetwork map_network(const procnet::ProcessNetwork& net, int mesh_rows,
+                          int mesh_cols, const MapperOptions& options = {});
+
+/// Structural/feasibility checks shared by both solvers: valid network,
+/// every process fits a tile's memories, the mesh can host one group.
+Status validate_map_inputs(const procnet::ProcessNetwork& net, int mesh_rows,
+                           int mesh_cols, const MapperOptions& options);
+
+/// Score an externally supplied mapping (e.g. the paper's manual Table-4
+/// bindings) under the mapper's cost model, with the placement improved the
+/// same way the solvers improve theirs — the fair baseline for
+/// "re-derive or beat" comparisons.  The returned MappedNetwork carries
+/// solver = "manual".
+MappedNetwork score_manual(const procnet::ProcessNetwork& net,
+                           const mapping::Binding& binding, int mesh_rows,
+                           int mesh_cols, const MapperOptions& options = {});
+
+/// Compile one pipeline item of a mapped network into an executable epoch
+/// schedule (mapping::compile_item_schedule with the mapped binding and
+/// placement).  The mapping must be ok().
+mapping::CompiledSchedule compile_mapped_schedule(
+    const procnet::ProcessNetwork& net, const MappedNetwork& mapped,
+    const mapping::ProgramLibrary& library,
+    const mapping::CompileOptions& compile_options = {});
+
+}  // namespace cgra::mapper

@@ -147,6 +147,17 @@ BindingEval evaluate(const ProcessNetwork& net, const Binding& binding,
   return out;
 }
 
+std::vector<int> owner_of_processes(const ProcessNetwork& net,
+                                    const Binding& binding) {
+  std::vector<int> owner(static_cast<std::size_t>(net.size()), -1);
+  for (std::size_t g = 0; g < binding.groups.size(); ++g) {
+    for (const int p : binding.groups[g].procs) {
+      owner[static_cast<std::size_t>(p)] = static_cast<int>(g);
+    }
+  }
+  return owner;
+}
+
 Binding all_on_one_tile(const ProcessNetwork& net) {
   Binding b;
   TileGroup g;

@@ -103,6 +103,12 @@ Nanoseconds group_busy_ns(const procnet::ProcessNetwork& net,
 BindingEval evaluate(const procnet::ProcessNetwork& net, const Binding& binding,
                      const CostParams& params);
 
+/// Group index hosting each process: owner[p] = g, or -1 for a process the
+/// binding does not mention (validate() rejects those, but partial bindings
+/// occur mid-search).
+std::vector<int> owner_of_processes(const procnet::ProcessNetwork& net,
+                                    const Binding& binding);
+
 /// Convenience: single-tile binding hosting the whole network.
 Binding all_on_one_tile(const procnet::ProcessNetwork& net);
 

@@ -123,29 +123,13 @@ Placement place_avoiding(const Binding& binding, int mesh_rows, int mesh_cols,
   return p;
 }
 
-namespace {
-
-/// Group index hosting a process.
-std::vector<int> group_of_process(const procnet::ProcessNetwork& net,
-                                  const Binding& binding) {
-  std::vector<int> owner(static_cast<std::size_t>(net.size()), -1);
-  for (std::size_t g = 0; g < binding.groups.size(); ++g) {
-    for (const int p : binding.groups[g].procs) {
-      owner[static_cast<std::size_t>(p)] = static_cast<int>(g);
-    }
-  }
-  return owner;
-}
-
-}  // namespace
-
 PlacementEval evaluate_placement(const procnet::ProcessNetwork& net,
                                  const Binding& binding,
                                  const Placement& placement,
                                  const CopyCostModel& copy) {
   PlacementEval eval;
   const LinkConfig mesh = placement.mesh();
-  const auto owner = group_of_process(net, binding);
+  const auto owner = owner_of_processes(net, binding);
   for (const auto& edge : net.edges()) {
     const int ga = owner[static_cast<std::size_t>(edge.from)];
     const int gb = owner[static_cast<std::size_t>(edge.to)];

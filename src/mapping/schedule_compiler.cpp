@@ -77,104 +77,118 @@ CompiledSchedule compile_item_schedule(const procnet::ProcessNetwork& net,
     return out;
   };
 
-  for (std::size_t g = 0; g < binding.groups.size(); ++g) {
-    const auto& group = binding.groups[g];
-    const int tile = placement.tile_of[g].front();
-
-    // --- one epoch per process activation on this tile ---
-    const CompiledProcess* prev = nullptr;
-    for (const int pid : group.procs) {
-      const auto it = library.find(pid);
-      if (it == library.end()) {
-        return fail(Status::errorf("no program for process '%s'",
-                                   net.process(pid).name.c_str()));
-      }
-      const CompiledProcess& impl = it->second;
-      if (impl.program.inst_words() > kInstMemWords) {
-        return fail(Status::errorf(
-            "program too large for process '%s': %d words > %d",
-            net.process(pid).name.c_str(), impl.program.inst_words(),
-            kInstMemWords));
-      }
-      if (impl.in_base + impl.words > kDataMemWords ||
-          impl.out_base + impl.words > kDataMemWords) {
-        return fail(Status::errorf("block region out of range for '%s'",
-                                   net.process(pid).name.c_str()));
-      }
-      if (prev != nullptr && prev->out_base != impl.in_base) {
-        return fail(Status::errorf(
-            "in-tile chain mismatch: '%s' expects its input where the "
-            "previous process did not leave it",
-            net.process(pid).name.c_str()));
-      }
-      EpochConfig epoch;
-      epoch.name = "run-" + net.process(pid).name;
-      epoch.links = idle_links;
-      TileUpdate update;
-      update.program = impl.program;
-      update.reload_program = true;
-      update.patches = impl.constants;
-      epoch.tiles[tile] = std::move(update);
-      out.epochs.push_back(std::move(epoch));
-      out.meta.push_back(
-          {pid, tile, net.process(pid).work_cycles_per_item()});
-      prev = &impl;
-    }
-
-    // --- routed transfer to the next group ---
-    if (g + 1 >= binding.groups.size()) break;
-    const int next_tile = placement.tile_of[g + 1].front();
-    const int last_pid = group.procs.back();
-    const int first_next_pid = binding.groups[g + 1].procs.front();
-    const CompiledProcess& producer = library.at(last_pid);
-    const auto next_it = library.find(first_next_pid);
-    if (next_it == library.end()) {
+  // Dataflow-driven emission: processes run in topological order, and every
+  // cross-tile edge gets its own routed transfer right before its consumer
+  // runs.  For a contiguous pipeline binding this degenerates to the classic
+  // group-then-transfer chain, but it is also correct for the bindings the
+  // automatic mapper emits (src/mapper/), where a group may host
+  // non-adjacent pipeline stages (e.g. {shift, quantize, zigzag} on one
+  // tile with the replicated DCT split out).
+  const std::vector<int> owner = owner_of_processes(net, binding);
+  const std::vector<int> order = procnet::topological_order(net);
+  std::vector<bool> ran(static_cast<std::size_t>(net.size()), false);
+  for (const int pid : order) {
+    const auto it = library.find(pid);
+    if (it == library.end()) {
       return fail(Status::errorf("no program for process '%s'",
-                                 net.process(first_next_pid).name.c_str()));
+                                 net.process(pid).name.c_str()));
     }
-    const CompiledProcess& consumer = next_it->second;
-    if (producer.words != consumer.words) {
+    const CompiledProcess& impl = it->second;
+    if (impl.program.inst_words() > kInstMemWords) {
       return fail(Status::errorf(
-          "block size mismatch between groups: %d words out, %d words in",
-          producer.words, consumer.words));
+          "program too large for process '%s': %d words > %d",
+          net.process(pid).name.c_str(), impl.program.inst_words(),
+          kInstMemWords));
+    }
+    if (impl.in_base + impl.words > kDataMemWords ||
+        impl.out_base + impl.words > kDataMemWords) {
+      return fail(Status::errorf("block region out of range for '%s'",
+                                 net.process(pid).name.c_str()));
+    }
+    const int tile =
+        placement.tile_of[static_cast<std::size_t>(owner[
+            static_cast<std::size_t>(pid)])].front();
+
+    // --- routed transfer for every inbound cross-tile edge ---
+    for (const auto& e : net.edges()) {
+      if (e.to != pid) continue;
+      if (!ran[static_cast<std::size_t>(e.from)]) {
+        return fail(Status::errorf(
+            "edge '%s' -> '%s' closes a cycle: one pipeline item cannot "
+            "flow through it",
+            net.process(e.from).name.c_str(), net.process(pid).name.c_str()));
+      }
+      // The producer ran, so its library entry already passed the checks.
+      const CompiledProcess& producer = library.at(e.from);
+      const int from_tile =
+          placement.tile_of[static_cast<std::size_t>(owner[
+              static_cast<std::size_t>(e.from)])].front();
+      if (from_tile == tile) {
+        if (producer.out_base != impl.in_base) {
+          return fail(Status::errorf(
+              "in-tile chain mismatch: '%s' expects its input where '%s' "
+              "did not leave it",
+              net.process(pid).name.c_str(),
+              net.process(e.from).name.c_str()));
+        }
+        continue;
+      }
+      if (producer.words != impl.words) {
+        return fail(Status::errorf(
+            "block size mismatch between groups: %d words out, %d words in",
+            producer.words, impl.words));
+      }
+
+      const auto route =
+          options.avoid_tiles.empty()
+              ? interconnect::shortest_route(mesh, from_tile, tile)
+              : interconnect::shortest_route_avoiding(mesh, from_tile, tile,
+                                                      options.avoid_tiles);
+      if (!route || route->length() == 0) {
+        return fail(Status::errorf(
+            "no route from tile %d to tile %d (same tile, off the mesh, or "
+            "blocked by failed tiles)",
+            from_tile, tile));
+      }
+      int hop_from = from_tile;
+      for (int h = 0; h < route->length(); ++h) {
+        const Direction dir = route->hops[static_cast<std::size_t>(h)];
+        const bool first = h == 0;
+        const bool last = h + 1 == route->length();
+        const int src_base = first ? producer.out_base : options.transit_base;
+        const int dst_base = last ? impl.in_base : options.transit_base;
+        EpochConfig hop;
+        hop.name = "route-" + net.process(e.from).name + "-h" +
+                   std::to_string(h);
+        hop.links = idle_links;
+        if (!hop.links.set_output(hop_from, dir)) {
+          return fail(Status::errorf("route leaves the mesh at tile %d",
+                                     hop_from));
+        }
+        TileUpdate update;
+        update.program =
+            copy_program(producer.words, src_base, dst_base, transit_ctrl);
+        update.reload_program = true;
+        hop.tiles[hop_from] = std::move(update);
+        out.epochs.push_back(std::move(hop));
+        // The cp loop retires 5 instructions per word plus setup/halt.
+        out.meta.push_back({-1, hop_from, 5 * producer.words + 16});
+        hop_from = *mesh.neighbor(hop_from, dir);
+      }
     }
 
-    const auto route =
-        options.avoid_tiles.empty()
-            ? interconnect::shortest_route(mesh, tile, next_tile)
-            : interconnect::shortest_route_avoiding(mesh, tile, next_tile,
-                                                    options.avoid_tiles);
-    if (!route || route->length() == 0) {
-      return fail(Status::errorf(
-          "no route from tile %d to tile %d (same tile, off the mesh, or "
-          "blocked by failed tiles)",
-          tile, next_tile));
-    }
-    int hop_from = tile;
-    for (int h = 0; h < route->length(); ++h) {
-      const Direction dir = route->hops[static_cast<std::size_t>(h)];
-      const bool first = h == 0;
-      const bool last = h + 1 == route->length();
-      const int src_base = first ? producer.out_base : options.transit_base;
-      const int dst_base = last ? consumer.in_base : options.transit_base;
-      EpochConfig hop;
-      hop.name = "route-" + net.process(last_pid).name + "-h" +
-                 std::to_string(h);
-      hop.links = idle_links;
-      if (!hop.links.set_output(hop_from, dir)) {
-        return fail(Status::errorf("route leaves the mesh at tile %d",
-                                   hop_from));
-      }
-      TileUpdate update;
-      update.program =
-          copy_program(producer.words, src_base, dst_base, transit_ctrl);
-      update.reload_program = true;
-      hop.tiles[hop_from] = std::move(update);
-      out.epochs.push_back(std::move(hop));
-      // The cp loop retires 5 instructions per word plus setup/halt.
-      out.meta.push_back({-1, hop_from, 5 * producer.words + 16});
-      hop_from = *mesh.neighbor(hop_from, dir);
-    }
+    // --- one epoch for the process activation itself ---
+    EpochConfig epoch;
+    epoch.name = "run-" + net.process(pid).name;
+    epoch.links = idle_links;
+    TileUpdate update;
+    update.program = impl.program;
+    update.reload_program = true;
+    update.patches = impl.constants;
+    epoch.tiles[tile] = std::move(update);
+    out.epochs.push_back(std::move(epoch));
+    out.meta.push_back({pid, tile, net.process(pid).work_cycles_per_item()});
+    ran[static_cast<std::size_t>(pid)] = true;
   }
   return out;
 }

@@ -8,11 +8,14 @@
 // library (the implementation of each process), it emits the EpochConfig
 // sequence that pushes one pipeline item through the fabric —
 //
-//   * one epoch per process activation (context switches on shared tiles
-//     become instruction reloads through the ICAP, exactly as costed),
-//   * routed transfer epochs between groups: each hop of the shortest mesh
-//     route gets a link reconfiguration plus a cp copy-loop program, with
-//     intermediate tiles relaying through a reserved transit region,
+//   * one epoch per process activation, in dataflow (topological) order —
+//     context switches on shared tiles become instruction reloads through
+//     the ICAP, exactly as costed,
+//   * routed transfer epochs for every cross-tile edge: each hop of the
+//     shortest mesh route gets a link reconfiguration plus a cp copy-loop
+//     program, with intermediate tiles relaying through a reserved transit
+//     region.  Groups need not be contiguous pipeline segments: the
+//     automatic mapper (src/mapper/) may co-locate non-adjacent stages,
 //
 // and run_schedule() executes it cycle-accurately.
 #pragma once
@@ -89,7 +92,8 @@ std::vector<ProcessCycles> attribute_process_cycles(
 /// steady-state round-robin is the cost model's concern, correctness is
 /// identical per replica).  Fails with a diagnostic if:
 ///   * a process lacks a library entry or its program overflows the tile,
-///   * consecutive processes on one tile disagree on block location,
+///   * an edge's producer and consumer share a tile but disagree on the
+///     block location, or an edge closes a cycle,
 ///   * any region (including transit on route tiles) exceeds data memory.
 CompiledSchedule compile_item_schedule(const procnet::ProcessNetwork& net,
                                        const Binding& binding,

@@ -638,7 +638,7 @@ Status encode_job_request(std::uint64_t request_id,
       write_cplx_vec(w, r.input);
       break;
     }
-    default: {
+    case 3: {
       type = MsgType::kDseSweep;
       const auto& r = std::get<service::DseSweepRequest>(job);
       if (r.net.processes().size() > kMaxProcesses ||
@@ -651,6 +651,11 @@ Status encode_job_request(std::uint64_t request_id,
       write_network(w, r.net);
       break;
     }
+    default:
+      // Mapper jobs are in-process only for now: the wire protocol has no
+      // frame for them, and silently encoding a different job kind would be
+      // far worse than refusing.
+      return Status::error("job kind has no wire encoding");
   }
   if (buf.size() - kHeaderSize > kMaxPayload) {
     return Status::errorf("encoded request is %zu bytes (bound %u)",

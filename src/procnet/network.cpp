@@ -49,6 +49,35 @@ Status ProcessNetwork::validate() const {
   return Status{};
 }
 
+std::vector<int> topological_order(const ProcessNetwork& net) {
+  const int n = net.size();
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (const auto& e : net.edges()) ++indeg[static_cast<std::size_t>(e.to)];
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> done(static_cast<std::size_t>(n), false);
+  for (;;) {
+    int pick = -1;
+    for (int i = 0; i < n; ++i) {
+      if (!done[static_cast<std::size_t>(i)] &&
+          indeg[static_cast<std::size_t>(i)] == 0) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick < 0) break;
+    done[static_cast<std::size_t>(pick)] = true;
+    order.push_back(pick);
+    for (const auto& e : net.edges()) {
+      if (e.from == pick) --indeg[static_cast<std::size_t>(e.to)];
+    }
+  }
+  for (int i = 0; i < n; ++i) {  // cycle remainder, id order
+    if (!done[static_cast<std::size_t>(i)]) order.push_back(i);
+  }
+  return order;
+}
+
 ProcessNetwork ProcessNetwork::pipeline(std::vector<Process> procs,
                                         int words_per_edge) {
   ProcessNetwork net;

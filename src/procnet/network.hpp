@@ -69,4 +69,10 @@ class ProcessNetwork {
   std::vector<Edge> edges_;
 };
 
+/// Deterministic topological order of the network's processes (Kahn,
+/// lowest id first).  Processes on cycles — the model does not forbid
+/// them — are appended in id order; consumers that need a DAG must check
+/// producer-before-consumer themselves.
+std::vector<int> topological_order(const ProcessNetwork& net);
+
 }  // namespace cgra::procnet

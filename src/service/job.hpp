@@ -1,8 +1,9 @@
 // Job types for the cgra::service runtime.
 //
-// One submission API covers the three workload families the repo models:
+// One submission API covers the workload families the repo models:
 // JPEG encoding (single blocks — optionally under the fault-recovery
-// manager — and whole images), fabric FFTs, and DSE sweeps.  A JobRequest
+// manager — and whole images), fabric FFTs, DSE sweeps, and automatic
+// process-network mapping (src/mapper/).  A JobRequest
 // is a value: everything the executor needs travels in the request, so a
 // job is a pure function and batched execution can be checked
 // bit-for-bit against serial per-request execution.
@@ -27,6 +28,7 @@
 #include "config/reconfig.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/recovery.hpp"
+#include "mapper/mapper.hpp"
 #include "mapping/rebalance.hpp"
 #include "obs/tracer.hpp"
 #include "procnet/network.hpp"
@@ -71,9 +73,19 @@ struct DseSweepRequest {
   mapping::CostParams params{};
 };
 
+/// Map an annotated process network onto a mesh with the automatic mapper
+/// (exact or annealing, see src/mapper/).  The result carries the binding,
+/// placement and link plan ready for mapping::compile_item_schedule.
+struct MapJobRequest {
+  procnet::ProcessNetwork net;
+  int mesh_rows = 4;
+  int mesh_cols = 4;
+  mapper::MapperOptions options{};
+};
+
 using JobRequest =
     std::variant<JpegBlockRequest, JpegImageRequest, FftRequest,
-                 DseSweepRequest>;
+                 DseSweepRequest, MapJobRequest>;
 
 // --- results -------------------------------------------------------------
 
@@ -99,9 +111,13 @@ struct DseSweepJobResult {
   std::vector<mapping::SweepPoint> points;
 };
 
+struct MapJobResult {
+  mapper::MappedNetwork mapped;
+};
+
 using JobPayload =
     std::variant<std::monostate, JpegBlockJobResult, JpegImageJobResult,
-                 FftJobResult, DseSweepJobResult>;
+                 FftJobResult, DseSweepJobResult, MapJobResult>;
 
 /// What wait() returns: a Status plus the kind-specific payload.
 struct JobResult {

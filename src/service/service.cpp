@@ -48,6 +48,10 @@ std::string batch_key_for(const JobRequest& request, std::uint64_t id) {
       // Sweeps run fabric-free and gain nothing from fusion.
       return "dse:" + std::to_string(id);
     }
+    std::string operator()(const MapJobRequest&) const {
+      // Mapper jobs run fabric-free too: unique key, no fusion.
+      return "map:" + std::to_string(id);
+    }
   };
   return std::visit(Visitor{id}, request);
 }
@@ -57,7 +61,8 @@ const char* job_kind_name(const JobRequest& request) {
     case 0: return "jpeg.block";
     case 1: return "jpeg.image";
     case 2: return "fft";
-    default: return "dse";
+    case 3: return "dse";
+    default: return "map";
   }
 }
 
@@ -483,9 +488,9 @@ std::vector<JobHandle> Service::next_batch() {
     }
     // Cross-connection fusion window: with capacity left in the batch,
     // briefly hold the epoch open for same-key arrivals from other
-    // producers (the reactor's many connections).  DSE keys are unique
-    // per job, so waiting can never help there.
-    if (opt_.fusion_window_us > 0 && head->request.index() != 3 &&
+    // producers (the reactor's many connections).  DSE and mapper keys
+    // are unique per job, so waiting can never help there.
+    if (opt_.fusion_window_us > 0 && head->request.index() < 3 &&
         batch.size() < static_cast<std::size_t>(opt_.batch_limit) &&
         !stopping_) {
       const auto window_end =
@@ -603,8 +608,11 @@ void Service::execute_batch(const std::vector<JobHandle>& batch) {
     case 0: run_jpeg_block_batch(batch); break;
     case 1: run_jpeg_image_batch(batch); break;
     case 2: run_fft_batch(batch); break;
-    default:
+    case 3:
       for (const auto& job : batch) run_dse_job(job);
+      break;
+    default:
+      for (const auto& job : batch) run_map_job(job);
       break;
   }
 }
@@ -857,6 +865,18 @@ void Service::run_dse_job(const JobHandle& job) {
   payload.points =
       mapping::sweep(req.net, req.max_tiles, req.algorithm, req.params);
   r.status = Status();
+  r.payload = std::move(payload);
+  finish(job, std::move(r));
+}
+
+void Service::run_map_job(const JobHandle& job) {
+  if (finish_if_deadline_expired(job)) return;
+  const auto& req = std::get<MapJobRequest>(job->request);
+  JobResult r;
+  MapJobResult payload;
+  payload.mapped =
+      mapper::map_network(req.net, req.mesh_rows, req.mesh_cols, req.options);
+  r.status = payload.mapped.status;
   r.payload = std::move(payload);
   finish(job, std::move(r));
 }

@@ -198,6 +198,7 @@ class Service {
   void run_jpeg_image_batch(const std::vector<JobHandle>& batch);
   void run_fft_batch(const std::vector<JobHandle>& batch);
   void run_dse_job(const JobHandle& job);
+  void run_map_job(const JobHandle& job);
 
   [[nodiscard]] Nanoseconds now_ns() const;
 

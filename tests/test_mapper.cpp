@@ -1,0 +1,436 @@
+// Automatic-mapper tests (ctest label: mapper).
+//
+// The headline suite: the mapper must re-derive or beat the paper's manual
+// JPEG mappings (Table 3/4) at every published tile budget, the annealer
+// must land within 5% of the exact oracle on every small-mesh case, and
+// every emitted mapping must be legal — for randomized networks (100-graph
+// fuzz per solver) and for the degenerate shapes a generator never quite
+// expects (single process, chain, star, disconnected islands).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/jpeg/process_table.hpp"
+#include "common/prng.hpp"
+#include "config/reconfig.hpp"
+#include "mapper/mapper.hpp"
+
+namespace cgra::mapper {
+namespace {
+
+// Fuzz iterations trimmed under sanitizers (the suites run the same cases).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr int kFuzzGraphs = 25;
+#else
+constexpr int kFuzzGraphs = 100;
+#endif
+
+MapperOptions fast_anneal(std::uint64_t seed = 1) {
+  MapperOptions opt;
+  opt.solver = SolverKind::kAnneal;
+  opt.seed = seed;
+  opt.anneal_iterations = 2000;
+  opt.anneal_restarts = 2;
+  return opt;
+}
+
+/// Every structural invariant a mapping must satisfy, in one place.
+void expect_legal(const procnet::ProcessNetwork& net,
+                  const MappedNetwork& mapped, int mesh_tiles, int budget,
+                  const std::string& ctx) {
+  ASSERT_TRUE(mapped.ok()) << ctx << ": " << mapped.status.message();
+  // Binding: every process in exactly one group, replication only where
+  // the network allows it.
+  ASSERT_TRUE(mapped.binding.validate(net).ok())
+      << ctx << ": " << mapped.binding.validate(net).message();
+  // Tile budget respected (link capacity holds by construction: each tile
+  // appears once, and a tile drives at most one steady output link).
+  EXPECT_LE(mapped.binding.tile_count(), budget) << ctx;
+  EXPECT_LE(mapped.binding.tile_count(), mesh_tiles) << ctx;
+  // Placement: every replica on a distinct valid tile.
+  ASSERT_TRUE(mapped.placement.validate(mapped.binding).ok())
+      << ctx << ": " << mapped.placement.validate(mapped.binding).message();
+  // Link plan: every inter-group edge routed exactly once.
+  const auto owner = mapping::owner_of_processes(net, mapped.binding);
+  std::set<int> expected;
+  for (int e = 0; e < static_cast<int>(net.edges().size()); ++e) {
+    const auto& edge = net.edges()[static_cast<std::size_t>(e)];
+    if (owner[static_cast<std::size_t>(edge.from)] !=
+        owner[static_cast<std::size_t>(edge.to)]) {
+      expected.insert(e);
+    }
+  }
+  std::set<int> routed;
+  for (const auto& r : mapped.links.routes) {
+    EXPECT_TRUE(routed.insert(r.edge).second)
+        << ctx << ": edge " << r.edge << " routed twice";
+    ASSERT_GE(static_cast<int>(r.path.size()), 2) << ctx;
+    EXPECT_EQ(r.path.front(), r.from_tile) << ctx;
+    EXPECT_EQ(r.path.back(), r.to_tile) << ctx;
+  }
+  EXPECT_EQ(routed, expected) << ctx << ": routed edge set mismatch";
+  // The reported cost decomposition is self-consistent.
+  EXPECT_DOUBLE_EQ(mapped.cost.copy_ns, mapped.links.copy_ns) << ctx;
+  EXPECT_DOUBLE_EQ(mapped.cost.link_ns, mapped.links.link_ns) << ctx;
+  EXPECT_DOUBLE_EQ(mapped.cost.ii_ns, mapped.eval.ii_ns) << ctx;
+}
+
+// --- the paper oracle: Table 3/4 JPEG mappings ---------------------------
+
+TEST(MapperOracle, RederivesOrBeatsEveryManualJpegMapping) {
+  for (const auto& m : jpeg::table4_manual_mappings()) {
+    MapperOptions opt;
+    opt.max_tiles = m.tiles;
+    const auto manual = score_manual(m.network, m.binding, 4, 4, opt);
+    ASSERT_TRUE(manual.ok()) << m.name << ": " << manual.status.message();
+    const auto mapped = map_network(m.network, 4, 4, opt);
+    expect_legal(m.network, mapped, 16, m.tiles, m.name);
+    EXPECT_LE(mapped.cost.total_ns(), manual.cost.total_ns())
+        << m.name << ": the mapper must re-derive or beat the paper's "
+        << "manual mapping at " << m.tiles << " tiles";
+  }
+}
+
+TEST(MapperOracle, ExactProofCompletesOnSmallBudgets) {
+  // At 1, 2, 5 and 10 tiles the proof finishes comfortably inside the
+  // default budgets; 13 tiles (Impl4) may exhaust them, which is allowed —
+  // the mapping must still beat the manual one (previous test).
+  for (const auto& m : jpeg::table4_manual_mappings()) {
+    if (m.tiles > 10) continue;
+    MapperOptions opt;
+    opt.max_tiles = m.tiles;
+    opt.solver = SolverKind::kExact;
+    const auto mapped = map_network(m.network, 4, 4, opt);
+    ASSERT_TRUE(mapped.ok()) << m.name;
+    EXPECT_TRUE(mapped.optimal)
+        << m.name << " explored " << mapped.nodes_explored << " nodes";
+  }
+}
+
+TEST(MapperOracle, MatchesPaperNumbersAtPublishedBudgets) {
+  // Impl1 (1 tile) and Impl2 (2 tiles) are provably unbeatable shapes: the
+  // mapper's totals must equal the manual ones exactly.  Impl2's best
+  // binding is NON-contiguous in pipeline order ({DCT} alone vs the rest),
+  // so this also proves the search is over true set partitions.
+  const auto manuals = jpeg::table4_manual_mappings();
+  for (const auto& m : manuals) {
+    if (m.tiles > 2) continue;
+    MapperOptions opt;
+    opt.max_tiles = m.tiles;
+    const auto manual = score_manual(m.network, m.binding, 4, 4, opt);
+    const auto mapped = map_network(m.network, 4, 4, opt);
+    ASSERT_TRUE(mapped.ok()) << m.name;
+    EXPECT_DOUBLE_EQ(mapped.cost.total_ns(), manual.cost.total_ns()) << m.name;
+  }
+}
+
+TEST(MapperOracle, AnnealWithinFivePercentOfExactOnAllSmallMeshCases) {
+  for (const auto& m : jpeg::table4_manual_mappings()) {
+    MapperOptions opt;
+    opt.max_tiles = m.tiles;
+    opt.solver = SolverKind::kExact;
+    const auto exact = map_network(m.network, 4, 4, opt);
+    ASSERT_TRUE(exact.ok()) << m.name;
+    const MapperOptions aopt = [&] {
+      MapperOptions o;
+      o.max_tiles = m.tiles;
+      o.solver = SolverKind::kAnneal;
+      return o;
+    }();
+    const auto anneal = map_network(m.network, 4, 4, aopt);
+    ASSERT_TRUE(anneal.ok()) << m.name;
+    EXPECT_LE(anneal.cost.total_ns(), exact.cost.total_ns() * 1.05)
+        << m.name << ": anneal " << anneal.cost.total_ns() << " vs exact "
+        << exact.cost.total_ns();
+  }
+}
+
+TEST(MapperOracle, ReplicationRederivesTheSplitPipelineWin) {
+  // At 5 tiles on the split pipeline the known-optimal shape is {dct} x4
+  // plus everything else on one tile: II = 4 * 33372 cycles / 4 replicas.
+  const auto net = jpeg::jpeg_split_pipeline();
+  MapperOptions opt;
+  opt.max_tiles = 5;
+  const auto mapped = map_network(net, 4, 4, opt);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_TRUE(mapped.optimal);
+  EXPECT_DOUBLE_EQ(mapped.cost.total_ns(), cycles_to_ns(33372));
+  bool found_replicated_dct = false;
+  for (const auto& g : mapped.binding.groups) {
+    if (g.replication == 4 && g.procs.size() == 1) found_replicated_dct = true;
+  }
+  EXPECT_TRUE(found_replicated_dct) << mapped.binding.describe(net);
+}
+
+// --- solver auto-selection and determinism -------------------------------
+
+TEST(Mapper, AutoPicksExactOnSmallMeshesAndAnnealOnLarge) {
+  const auto net = jpeg::jpeg_main_pipeline();
+  const auto small = map_network(net, 4, 4, {});
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small.solver, "exact");
+  const auto large = map_network(net, 5, 5, {});
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(large.solver, "anneal");
+  expect_legal(net, large, 25, 25, "5x5 anneal");
+}
+
+TEST(Mapper, SameInputsSameMapping) {
+  const auto net = jpeg::jpeg_split_pipeline();
+  for (const SolverKind kind : {SolverKind::kExact, SolverKind::kAnneal}) {
+    MapperOptions opt;
+    opt.solver = kind;
+    opt.max_tiles = 6;
+    const auto a = map_network(net, 4, 4, opt);
+    const auto b = map_network(net, 4, 4, opt);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.binding.describe(net), b.binding.describe(net));
+    EXPECT_EQ(a.placement.tile_of, b.placement.tile_of);
+    EXPECT_DOUBLE_EQ(a.cost.total_ns(), b.cost.total_ns());
+  }
+}
+
+// --- bandwidth-aware link allocation -------------------------------------
+
+TEST(MapperLinks, HottestEdgeWinsTheContestedSteadyLink) {
+  // P0 fans out to P1 (hot, 100 words) and P2 (cold, 10 words) on a 2x2
+  // mesh with P0 at tile 0, P1 east (tile 1), P2 south (tile 2).  Tile 0
+  // drives one steady 48-wire link: the hot edge must win it and the cold
+  // edge must pay a per-item link flip.
+  procnet::ProcessNetwork net;
+  net.add_process({"P0", 10, 0, 0, 0, 100, 1, true});
+  net.add_process({"P1", 10, 0, 0, 0, 100, 1, true});
+  net.add_process({"P2", 10, 0, 0, 0, 100, 1, true});
+  net.add_edge(0, 1, 100);
+  net.add_edge(0, 2, 10);
+
+  mapping::Binding binding;
+  binding.groups = {{{0}, 1}, {{1}, 1}, {{2}, 1}};
+  mapping::Placement placement;
+  placement.mesh_rows = 2;
+  placement.mesh_cols = 2;
+  placement.tile_of = {{0}, {1}, {2}};
+
+  const CostModel cost;
+  const auto plan = plan_links(net, binding, placement, cost);
+  ASSERT_EQ(plan.routes.size(), 2u);
+  // Routes come back hottest first.
+  EXPECT_EQ(plan.routes[0].words, 100);
+  EXPECT_EQ(plan.routes[0].owned_links, 1);
+  EXPECT_EQ(plan.routes[0].switched_links, 0);
+  EXPECT_EQ(plan.routes[1].words, 10);
+  EXPECT_EQ(plan.routes[1].owned_links, 0);
+  EXPECT_EQ(plan.routes[1].switched_links, 1);
+  EXPECT_DOUBLE_EQ(plan.link_ns, cost.link.per_link_ns);
+  EXPECT_DOUBLE_EQ(plan.routes[0].ns_per_item(), 0.0);  // adjacent + owned
+}
+
+// --- randomized fuzz: both solvers, every mapping legal ------------------
+
+procnet::ProcessNetwork random_network(SplitMix64& rng, int max_procs) {
+  procnet::ProcessNetwork net;
+  const int n = 1 + static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(max_procs)));
+  for (int i = 0; i < n; ++i) {
+    procnet::Process p;
+    p.name = "p" + std::to_string(i);
+    p.insts = 1 + static_cast<int>(rng.next_below(200));
+    p.data1 = static_cast<int>(rng.next_below(100));
+    p.data2 = static_cast<int>(rng.next_below(100));
+    p.data3 = static_cast<int>(rng.next_below(100));
+    p.runtime_cycles = 1 + static_cast<int>(rng.next_below(50'000));
+    p.invocations_per_item = 1 + static_cast<int>(rng.next_below(4));
+    p.replicable = rng.next_below(2) == 0;
+    net.add_process(p);
+  }
+  // Forward edges only (a DAG); possibly disconnected.
+  for (int b = 1; b < n; ++b) {
+    for (int a = 0; a < b; ++a) {
+      if (rng.next_below(100) < 40) {
+        net.add_edge(a, b, 1 + static_cast<int>(rng.next_below(128)));
+      }
+    }
+  }
+  return net;
+}
+
+TEST(MapperFuzz, ExactMappingsAreLegalOnRandomGraphs) {
+  SplitMix64 rng(0xE1);
+  for (int i = 0; i < kFuzzGraphs; ++i) {
+    const auto net = random_network(rng, 8);
+    MapperOptions opt;
+    opt.solver = SolverKind::kExact;
+    const auto mapped = map_network(net, 3, 3, opt);
+    expect_legal(net, mapped, 9, 9, "exact graph " + std::to_string(i));
+  }
+}
+
+TEST(MapperFuzz, AnnealMappingsAreLegalOnRandomGraphs) {
+  SplitMix64 rng(0xA2);
+  for (int i = 0; i < kFuzzGraphs; ++i) {
+    const auto net = random_network(rng, 16);
+    const auto mapped = map_network(net, 5, 5, fast_anneal(17 + i));
+    expect_legal(net, mapped, 25, 25, "anneal graph " + std::to_string(i));
+  }
+}
+
+TEST(MapperFuzz, ExactNeverLosesToAnnealWhenProofCompletes) {
+  SplitMix64 rng(0xEA);
+  for (int i = 0; i < kFuzzGraphs / 5; ++i) {
+    const auto net = random_network(rng, 6);
+    MapperOptions opt;
+    opt.solver = SolverKind::kExact;
+    const auto exact = map_network(net, 3, 3, opt);
+    ASSERT_TRUE(exact.ok());
+    if (!exact.optimal) continue;
+    const auto anneal = map_network(net, 3, 3, fast_anneal(29 + i));
+    ASSERT_TRUE(anneal.ok());
+    EXPECT_LE(exact.cost.total_ns(), anneal.cost.total_ns() + 1e-6)
+        << "graph " << i;
+  }
+}
+
+// --- degenerate shapes ---------------------------------------------------
+
+procnet::Process simple_process(const std::string& name, int cycles) {
+  procnet::Process p;
+  p.name = name;
+  p.insts = 10;
+  p.runtime_cycles = cycles;
+  return p;
+}
+
+TEST(MapperDegenerate, SingleProcess) {
+  procnet::ProcessNetwork net;
+  net.add_process(simple_process("only", 1000));
+  for (const SolverKind kind : {SolverKind::kExact, SolverKind::kAnneal}) {
+    MapperOptions opt;
+    opt.solver = kind;
+    const auto mapped = map_network(net, 4, 4, opt);
+    expect_legal(net, mapped, 16, 16, solver_kind_name(kind));
+    EXPECT_DOUBLE_EQ(mapped.cost.copy_ns, 0.0);
+    EXPECT_DOUBLE_EQ(mapped.cost.link_ns, 0.0);
+  }
+}
+
+TEST(MapperDegenerate, ChainStarAndDisconnected) {
+  std::vector<procnet::ProcessNetwork> nets;
+  {
+    procnet::ProcessNetwork chain;
+    for (int i = 0; i < 5; ++i) {
+      chain.add_process(simple_process("c" + std::to_string(i), 100 * (i + 1)));
+    }
+    for (int i = 0; i + 1 < 5; ++i) chain.add_edge(i, i + 1, 16);
+    nets.push_back(std::move(chain));
+  }
+  {
+    procnet::ProcessNetwork star;  // one producer feeding four consumers
+    star.add_process(simple_process("hub", 5000));
+    for (int i = 1; i <= 4; ++i) {
+      star.add_process(simple_process("leaf" + std::to_string(i), 700));
+      star.add_edge(0, i, 8 * i);
+    }
+    nets.push_back(std::move(star));
+  }
+  {
+    procnet::ProcessNetwork islands;  // two unconnected chains
+    for (int i = 0; i < 4; ++i) {
+      islands.add_process(simple_process("i" + std::to_string(i), 900));
+    }
+    islands.add_edge(0, 1, 4);
+    islands.add_edge(2, 3, 4);
+    nets.push_back(std::move(islands));
+  }
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    for (const SolverKind kind : {SolverKind::kExact, SolverKind::kAnneal}) {
+      MapperOptions opt;
+      opt.solver = kind;
+      const auto mapped = map_network(nets[n], 3, 3, opt);
+      expect_legal(nets[n], mapped, 9, 9,
+                   "net " + std::to_string(n) + " " + solver_kind_name(kind));
+    }
+  }
+}
+
+TEST(MapperDegenerate, InvalidInputsAreDiagnosed) {
+  procnet::ProcessNetwork empty;
+  EXPECT_FALSE(map_network(empty, 4, 4, {}).ok());
+
+  procnet::ProcessNetwork net;
+  net.add_process(simple_process("a", 100));
+  EXPECT_FALSE(map_network(net, 0, 4, {}).ok());
+
+  procnet::ProcessNetwork fat;
+  auto p = simple_process("fat", 100);
+  p.insts = kInstMemWords + 1;  // cannot fit any tile's instruction memory
+  fat.add_process(p);
+  const auto mapped = map_network(fat, 4, 4, {});
+  EXPECT_FALSE(mapped.ok());
+  EXPECT_NE(std::string(mapped.status.message()).find("instruction"),
+            std::string::npos);
+}
+
+TEST(MapperDegenerate, SingleTileBudgetGroupsEverything) {
+  const auto net = jpeg::jpeg_main_pipeline();
+  MapperOptions opt;
+  opt.max_tiles = 1;
+  const auto mapped = map_network(net, 4, 4, opt);
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_EQ(mapped.binding.groups.size(), 1u);
+  EXPECT_EQ(static_cast<int>(mapped.binding.groups[0].procs.size()),
+            net.size());
+}
+
+// --- end to end: map, compile, execute on the fabric ---------------------
+
+TEST(MapperEndToEnd, MappedScheduleComputesTheRightBlock) {
+  // No hand placement anywhere: the mapper places the measured JPEG
+  // transform pipeline, the schedule compiler lowers it, and the fabric
+  // must still produce the host-reference block.
+  const auto net = jpeg::jpeg_transform_pipeline();
+  const auto quant = jpeg::scaled_quant(50);
+  const auto lib = jpeg::jpeg_program_library(quant);
+
+  MapperOptions opt;
+  opt.max_tiles = 3;
+  const auto mapped = map_network(net, 2, 2, opt);
+  expect_legal(net, mapped, 4, 3, "transform pipeline");
+
+  const auto compiled = compile_mapped_schedule(net, mapped, lib);
+  ASSERT_TRUE(compiled.ok()) << compiled.status.message();
+
+  SplitMix64 rng(7);
+  jpeg::IntBlock raw{};
+  for (auto& v : raw) v = static_cast<int>(rng.next_below(256));
+
+  fabric::Fabric fab(2, 2);
+  const jpeg::JpegLayout lay;
+  const auto owner = mapping::owner_of_processes(net, mapped.binding);
+  const int in_tile =
+      mapped.placement.tile_of[static_cast<std::size_t>(owner[0])][0];
+  for (int i = 0; i < 64; ++i) {
+    fab.tile(in_tile).set_dmem(lay.x + i,
+                               from_signed(raw[static_cast<std::size_t>(i)]));
+  }
+  config::ReconfigController ctrl(IcapModel{},
+                                  interconnect::LinkCostModel{50.0});
+  const auto result = config::run_schedule(fab, ctrl, compiled.epochs,
+                                           10'000'000);
+  ASSERT_TRUE(result.ok);
+
+  const int zigzag = net.size() - 1;
+  const int out_tile =
+      mapped.placement.tile_of[static_cast<std::size_t>(owner[zigzag])][0];
+  jpeg::IntBlock out{};
+  for (int i = 0; i < 64; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<int>(to_signed(fab.tile(out_tile).dmem(lay.t + i)));
+  }
+  EXPECT_EQ(out, jpeg::encode_block_stages(raw, quant));
+}
+
+}  // namespace
+}  // namespace cgra::mapper

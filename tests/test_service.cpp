@@ -270,6 +270,34 @@ TEST(Service, DseSweepMatchesDirectSweep) {
   }
 }
 
+TEST(Service, MapJobMatchesDirectMapping) {
+  Service svc(ServiceOptions{.workers = 2});
+  MapJobRequest req;
+  req.net = jpeg::jpeg_split_pipeline();
+  req.mesh_rows = 4;
+  req.mesh_cols = 4;
+  req.options.max_tiles = 5;
+  auto sub = svc.submit(JobRequest{req});
+  const auto res = svc.wait(sub.handle);
+  ASSERT_TRUE(res.ok()) << res.status.message();
+  const auto& payload = std::get<MapJobResult>(res.payload);
+  ASSERT_TRUE(payload.mapped.ok());
+  const auto direct =
+      mapper::map_network(req.net, req.mesh_rows, req.mesh_cols, req.options);
+  EXPECT_EQ(payload.mapped.binding.describe(req.net),
+            direct.binding.describe(req.net));
+  EXPECT_DOUBLE_EQ(payload.mapped.cost.total_ns(), direct.cost.total_ns());
+  EXPECT_EQ(payload.mapped.solver, "exact");
+}
+
+TEST(Service, MapJobReportsMapperErrors) {
+  Service svc(ServiceOptions{.workers = 1});
+  MapJobRequest req;  // empty network: the mapper must refuse, not crash
+  auto sub = svc.submit(JobRequest{req});
+  const auto res = svc.wait(sub.handle);
+  EXPECT_FALSE(res.ok());
+}
+
 TEST(Service, ShutdownFailsPendingAndRejectsNew) {
   auto svc = std::make_unique<Service>(
       ServiceOptions{.workers = 1, .queue_capacity = 16});

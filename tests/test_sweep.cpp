@@ -199,28 +199,31 @@ TEST(SweepDeterminism, RunFabricsIdenticalAcrossEnginesAndBatchWidths) {
   }
 }
 
-// The deprecated one-PR shims must keep compiling and behaving until the
-// next release removes them.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(SweepShims, DeprecatedSweepPoolApiStillWorks) {
-  SweepPool pool(2);
-  EXPECT_EQ(pool.lanes(), 2);
-  const auto out = pool.map<int>(4, [](int i) { return i * 3; });
-  EXPECT_EQ(out, (std::vector<int>{0, 3, 6, 9}));
-
-  const auto g = fft::make_geometry(64);
-  const auto times = parallel_measure_process_times(g, pool);
-  const auto serial = measure_process_times(g);
-  ASSERT_EQ(times.bf.size(), serial.bf.size());
-  EXPECT_EQ(times.vcp, serial.vcp);
-
+// Mapper-driven placements as sweep candidates: each budget maps
+// independently, so results are positional and lane-count independent.
+TEST(Sweep, MapperSweepIsDeterministicAcrossLaneCounts) {
   const auto net = jpeg::jpeg_main_pipeline();
-  const auto pts = parallel_sweep(net, 4, mapping::RebalanceAlgorithm::kTwo,
-                                  mapping::CostParams{}, pool);
-  EXPECT_EQ(pts.size(), 4u);
+  const std::vector<int> budgets = {1, 2, 4};
+  std::vector<MapperSweepPoint> want;
+  {
+    Sweep serial(engine::EngineOptions{engine::EngineKind::kInterp, 8, 1});
+    want = serial.mapper_sweep(net, 4, 4, budgets);
+  }
+  Sweep pool(engine::EngineOptions{engine::EngineKind::kInterp, 8, 4});
+  const auto got = pool.mapper_sweep(net, 4, 4, budgets);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_TRUE(got[i].mapped.ok()) << got[i].mapped.status.message();
+    EXPECT_EQ(got[i].tiles, budgets[i]);
+    EXPECT_EQ(got[i].mapped.cost.total_ns(), want[i].mapped.cost.total_ns());
+    EXPECT_EQ(got[i].mapped.binding.describe(net),
+              want[i].mapped.binding.describe(net));
+  }
+  // More tiles never hurt: the sweep's totals are monotonically
+  // non-increasing in the budget.
+  EXPECT_LE(got[1].mapped.cost.total_ns(), got[0].mapped.cost.total_ns());
+  EXPECT_LE(got[2].mapped.cost.total_ns(), got[1].mapped.cost.total_ns());
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace cgra::dse
